@@ -1,0 +1,378 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (Section V) at laptop scale. Each benchmark reports the
+// metrics the corresponding artifact plots: ns/op is the query run-time
+// (Figures 3a, 3d–h, 4, 6, 7), and the custom metrics routes/query and
+// nn/query are the series of Figures 3(b) and 3(c) and Table X.
+//
+// The full-fidelity artifacts (all five graphs, all methods, INF
+// markers) are produced by `go run ./cmd/kosr bench -exp <id>`; these
+// benchmarks run the same code paths on the two datasets the paper
+// focuses on (CAL and FLA analogues) with small query batches so that
+// `go test -bench=. -benchmem` completes in minutes.
+package kosr
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/ch"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/label"
+	"repro/internal/workload"
+)
+
+var (
+	dsMu    sync.Mutex
+	dsCache = map[string]*workload.Dataset{}
+	chCache = map[string]*ch.Index{}
+)
+
+func benchConfig() workload.Config {
+	cfg := workload.Config{
+		NumQueries:  3,
+		Seed:        1,
+		MaxExamined: 500_000,
+		MaxDuration: 2 * time.Second,
+	}
+	cfg.Fill()
+	return cfg
+}
+
+func dataset(b *testing.B, a gen.Analogue) *workload.Dataset {
+	b.Helper()
+	dsMu.Lock()
+	defer dsMu.Unlock()
+	if d, ok := dsCache[string(a)]; ok {
+		return d
+	}
+	cfg := benchConfig()
+	d, err := workload.Prepare(a, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dsCache[string(a)] = d
+	return d
+}
+
+func hierarchy(b *testing.B, d *workload.Dataset) *ch.Index {
+	b.Helper()
+	dsMu.Lock()
+	defer dsMu.Unlock()
+	if h, ok := chCache[d.Name]; ok {
+		return h
+	}
+	h := ch.Build(d.G)
+	chCache[d.Name] = h
+	return h
+}
+
+// runMethod executes one (dataset, method, queries) cell b.N times and
+// reports the Figure 3(b)/(c) metrics alongside ns/op.
+func runMethod(b *testing.B, d *workload.Dataset, m workload.MethodID, lenC, k int) {
+	b.Helper()
+	cfg := benchConfig()
+	queries := workload.RandomQueries(d.G, cfg.NumQueries, lenC, k, cfg.Seed)
+	var last workload.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := d.RunMethod(m, queries, cfg, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.StopTimer()
+	if last.INF {
+		b.ReportMetric(1, "INF")
+		return
+	}
+	b.ReportMetric(last.AvgExamined, "routes/query")
+	b.ReportMetric(last.AvgNN, "nn/query")
+	b.ReportMetric(last.AvgTimeMS, "ms/query")
+}
+
+// --- Tables ---
+
+// BenchmarkTable3 replays the PruningKOSR trace of Table III.
+func BenchmarkTable3PruningKOSRTrace(b *testing.B) {
+	g := graph.Figure1()
+	prov := core.NewLabelProvider(g, nil)
+	s, _ := g.VertexByName("s")
+	tv, _ := g.VertexByName("t")
+	q := core.Query{Source: s, Target: tv, Categories: []graph.Category{0, 1, 2}, K: 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		trace := &core.Trace{}
+		if _, _, err := core.Solve(g, q, prov, core.Options{Method: core.MethodPK, Trace: trace}); err != nil {
+			b.Fatal(err)
+		}
+		if len(trace.Steps) != 13 {
+			b.Fatalf("steps=%d", len(trace.Steps))
+		}
+	}
+}
+
+// BenchmarkTable6 replays the StarKOSR trace of Table VI.
+func BenchmarkTable6StarKOSRTrace(b *testing.B) {
+	g := graph.Figure1()
+	prov := core.NewLabelProvider(g, nil)
+	s, _ := g.VertexByName("s")
+	tv, _ := g.VertexByName("t")
+	q := core.Query{Source: s, Target: tv, Categories: []graph.Category{0, 1, 2}, K: 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		trace := &core.Trace{}
+		if _, _, err := core.Solve(g, q, prov, core.Options{Method: core.MethodSK, Trace: trace}); err != nil {
+			b.Fatal(err)
+		}
+		if len(trace.Steps) != 9 {
+			b.Fatalf("steps=%d", len(trace.Steps))
+		}
+	}
+}
+
+// BenchmarkTable7 generates the dataset analogues of Table VII.
+func BenchmarkTable7DatasetGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, a := range gen.AllAnalogues {
+			g, err := gen.BuildAnalogue(a, gen.AnalogueOptions{Seed: int64(i)})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if g.NumVertices() == 0 {
+				b.Fatal("empty graph")
+			}
+		}
+	}
+}
+
+// BenchmarkTable9 measures the preprocessing of Table IX: building the
+// 2-hop label index (the dominant cost) on the CAL analogue.
+func BenchmarkTable9PreprocessingCAL(b *testing.B) {
+	g, err := gen.BuildAnalogue(gen.CAL, gen.AnalogueOptions{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix := label.Build(g)
+		st := ix.Stats()
+		b.ReportMetric(st.AvgIn, "avgLin")
+		b.ReportMetric(st.AvgOut, "avgLout")
+	}
+}
+
+// BenchmarkTable10 reproduces the Table X breakdown: PK vs SK on the FLA
+// analogue with per-phase wall-clock attribution.
+func BenchmarkTable10Breakdown(b *testing.B) {
+	d := dataset(b, gen.FLA)
+	cfg := benchConfig()
+	queries := workload.RandomQueries(d.G, cfg.NumQueries, cfg.LenC, cfg.K, cfg.Seed)
+	for _, m := range []workload.MethodID{workload.MPK, workload.MSK} {
+		b.Run(string(m), func(b *testing.B) {
+			var last workload.Result
+			for i := 0; i < b.N; i++ {
+				r, err := d.RunMethod(m, queries, cfg, true)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = r
+			}
+			b.ReportMetric(last.AvgNNTimeMS, "nn-ms")
+			b.ReportMetric(last.AvgPQTimeMS, "pq-ms")
+			b.ReportMetric(last.AvgEstTimeMS, "est-ms")
+		})
+	}
+}
+
+// --- Figures ---
+
+// BenchmarkFig3 covers Figures 3(a)–3(c): per-graph, per-method query
+// cost with examined-route and NN-query counts as reported metrics.
+func BenchmarkFig3QueryPerformance(b *testing.B) {
+	for _, a := range []gen.Analogue{gen.CAL, gen.FLA, gen.GPlus} {
+		d := dataset(b, a)
+		for _, m := range []workload.MethodID{
+			workload.MKPNE, workload.MPK, workload.MSK, workload.MSKDB, workload.MSKDij,
+		} {
+			b.Run(string(a)+"/"+string(m), func(b *testing.B) {
+				cfg := benchConfig()
+				runMethod(b, d, m, cfg.LenC, cfg.K)
+			})
+		}
+	}
+}
+
+// BenchmarkFig3d / Fig4: effect of k on the FLA analogue.
+func BenchmarkFig3dEffectOfK(b *testing.B) {
+	d := dataset(b, gen.FLA)
+	for _, k := range []int{10, 30, 50} {
+		b.Run("k="+itoa(k)+"/SK", func(b *testing.B) { runMethod(b, d, workload.MSK, 6, k) })
+	}
+}
+
+// BenchmarkFig3e: effect of k on the CAL analogue.
+func BenchmarkFig3eEffectOfK(b *testing.B) {
+	d := dataset(b, gen.CAL)
+	for _, k := range []int{10, 30, 50} {
+		b.Run("k="+itoa(k)+"/SK", func(b *testing.B) { runMethod(b, d, workload.MSK, 6, k) })
+		b.Run("k="+itoa(k)+"/PK", func(b *testing.B) { runMethod(b, d, workload.MPK, 6, k) })
+	}
+}
+
+// BenchmarkFig3f: effect of |C| on the FLA analogue.
+func BenchmarkFig3fEffectOfC(b *testing.B) {
+	d := dataset(b, gen.FLA)
+	for _, lenC := range []int{2, 6, 10} {
+		b.Run("C="+itoa(lenC)+"/SK", func(b *testing.B) { runMethod(b, d, workload.MSK, lenC, 30) })
+	}
+}
+
+// BenchmarkFig3g: effect of |C| on the CAL analogue.
+func BenchmarkFig3gEffectOfC(b *testing.B) {
+	d := dataset(b, gen.CAL)
+	for _, lenC := range []int{2, 6, 10} {
+		b.Run("C="+itoa(lenC)+"/SK", func(b *testing.B) { runMethod(b, d, workload.MSK, lenC, 30) })
+		b.Run("C="+itoa(lenC)+"/PK", func(b *testing.B) { runMethod(b, d, workload.MPK, lenC, 30) })
+	}
+}
+
+// BenchmarkFig3h: effect of |Ci| on the FLA analogue. Category
+// reassignments share the 2-hop labels (topology is unchanged).
+func BenchmarkFig3hEffectOfCi(b *testing.B) {
+	base := dataset(b, gen.FLA)
+	n := base.G.NumVertices()
+	for _, size := range []int{n / 80, n / 20, n / 10} {
+		g, err := gen.BuildAnalogue(gen.FLA, gen.AnalogueOptions{Seed: 1, CatSize: size, NumCats: 24})
+		if err != nil {
+			b.Fatal(err)
+		}
+		d, err := workload.PrepareReusingLabels("FLA", g, base.Lab)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run("Ci="+itoa(size)+"/SK", func(b *testing.B) { runMethod(b, d, workload.MSK, 6, 30) })
+	}
+}
+
+// BenchmarkFig4: small k on the CAL analogue.
+func BenchmarkFig4SmallK(b *testing.B) {
+	d := dataset(b, gen.CAL)
+	for _, k := range []int{1, 2, 5} {
+		b.Run("k="+itoa(k)+"/SK", func(b *testing.B) { runMethod(b, d, workload.MSK, 6, k) })
+	}
+}
+
+// BenchmarkFig5: the searching-space profile of SK (per-category
+// examined routes); the profile peak is reported as a metric.
+func BenchmarkFig5SearchSpace(b *testing.B) {
+	d := dataset(b, gen.FLA)
+	cfg := benchConfig()
+	queries := workload.RandomQueries(d.G, cfg.NumQueries, cfg.LenC, cfg.K, cfg.Seed)
+	var last workload.Result
+	for i := 0; i < b.N; i++ {
+		r, err := d.RunMethod(workload.MSK, queries, cfg, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	peak, peakAt := 0.0, 0
+	for i, c := range last.ExaminedPerLevel {
+		if c > peak {
+			peak, peakAt = c, i
+		}
+	}
+	b.ReportMetric(peak, "peak-routes")
+	b.ReportMetric(float64(peakAt), "peak-category")
+	if len(last.ExaminedPerLevel) > 0 {
+		b.ReportMetric(last.ExaminedPerLevel[len(last.ExaminedPerLevel)-1], "final-routes")
+	}
+}
+
+// BenchmarkFig6: Zipfian category skew on the FLA analogue, reusing the
+// shared labels across skew factors.
+func BenchmarkFig6Zipf(b *testing.B) {
+	base := dataset(b, gen.FLA)
+	for _, f := range []float64{1.2, 1.8} {
+		gb := gen.GridBuilder(gen.GridOptions{
+			Rows: 112, Cols: 128, Directed: true, MaxWeight: 12, Diagonals: true,
+			Seed: 1 + int64(len("FLA"))*1001, // matches gen.BuildAnalogue's FLA seed
+		})
+		gen.AssignZipfCategories(gb, 112*128, 24, f, 9)
+		g, err := gb.Build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		d, err := workload.PrepareReusingLabels("FLA-zipf", g, base.Lab)
+		if err != nil {
+			b.Fatal(err)
+		}
+		name := "f=1.2"
+		if f == 1.8 {
+			name = "f=1.8"
+		}
+		b.Run(name+"/SK", func(b *testing.B) { runMethod(b, d, workload.MSK, 6, 30) })
+		b.Run(name+"/PK", func(b *testing.B) { runMethod(b, d, workload.MPK, 6, 30) })
+	}
+}
+
+// BenchmarkFig7: OSR queries (k = 1) including the GSP baselines.
+func BenchmarkFig7OSR(b *testing.B) {
+	for _, a := range []gen.Analogue{gen.CAL, gen.FLA} {
+		d := dataset(b, a)
+		cfg := benchConfig()
+		queries := workload.RandomQueries(d.G, cfg.NumQueries, cfg.LenC, 1, cfg.Seed)
+		b.Run(string(a)+"/SK", func(b *testing.B) { runMethod(b, d, workload.MSK, cfg.LenC, 1) })
+		b.Run(string(a)+"/PK", func(b *testing.B) { runMethod(b, d, workload.MPK, cfg.LenC, 1) })
+		b.Run(string(a)+"/GSP", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, q := range queries {
+					if _, _, _, err := core.GSP(d.G, q); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+		b.Run(string(a)+"/GSP-CH", func(b *testing.B) {
+			h := hierarchy(b, d)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, q := range queries {
+					if _, _, _, err := core.GSPCH(d.G, h, q); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblation isolates the two design choices of the paper:
+// dominance pruning (PK) and A* estimation (KPNE+A*), against neither
+// (KPNE) and both (SK), on the CAL analogue.
+func BenchmarkAblation(b *testing.B) {
+	d := dataset(b, gen.CAL)
+	for _, m := range []workload.MethodID{
+		workload.MKPNE, workload.MPK, workload.MKStar, workload.MSK,
+	} {
+		b.Run(string(m), func(b *testing.B) { runMethod(b, d, m, 6, 30) })
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,405 @@
+// Command kosr is the command-line front end of the KOSR reproduction:
+//
+//	kosr gen    -analogue FLA -out fla.graph        generate a dataset
+//	kosr index  -graph fla.graph -out fla.idx       build the label index
+//	kosr query  -graph fla.graph [-index fla.idx] -source 0 -target 99 \
+//	            -cats 1,2,3 -k 5 [-method SK|PK|KPNE] [-dij]
+//	kosr bench  -exp f3a [-scale 1] [-queries 10]   regenerate a paper artifact
+//	kosr demo                                        replay the paper's example
+//
+// Run any subcommand with -h for its flags.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	kosr "repro"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = cmdGen(os.Args[2:])
+	case "index":
+		err = cmdIndex(os.Args[2:])
+	case "query":
+		err = cmdQuery(os.Args[2:])
+	case "bench":
+		err = cmdBench(os.Args[2:])
+	case "demo":
+		err = cmdDemo(os.Args[2:])
+	case "verify":
+		err = cmdVerify(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "kosr: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kosr:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: kosr <gen|index|query|bench|demo> [flags]
+
+  gen    generate a synthetic dataset analogue (CAL NYC COL FLA G+)
+  index  build and save the 2-hop label index for a graph
+  query  answer a KOSR query
+  bench  regenerate a table or figure of the paper (see -exp list)
+  demo   replay the paper's running example with a step-by-step trace
+  verify cross-check every method against brute force on random queries`)
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	analogue := fs.String("analogue", "CAL", "dataset analogue: CAL NYC COL FLA G+")
+	scale := fs.Int("scale", 1, "size multiplier")
+	numCats := fs.Int("cats", 24, "number of categories")
+	catSize := fs.Int("catsize", 0, "vertices per category (0 = 5% of |V|)")
+	seed := fs.Int64("seed", 1, "random seed")
+	out := fs.String("out", "", "output file (default stdout)")
+	fs.Parse(args)
+
+	g, err := gen.BuildAnalogue(gen.Analogue(*analogue), gen.AnalogueOptions{
+		Scale: *scale, NumCats: *numCats, CatSize: *catSize, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if _, err := g.WriteTo(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "generated %s: |V|=%d |E|=%d |S|=%d\n",
+		*analogue, g.NumVertices(), g.NumEdges(), g.NumCategories())
+	return nil
+}
+
+func loadGraph(path string) (*kosr.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return kosr.ReadGraph(f)
+}
+
+func cmdIndex(args []string) error {
+	fs := flag.NewFlagSet("index", flag.ExitOnError)
+	graphPath := fs.String("graph", "", "graph file (required)")
+	out := fs.String("out", "", "label index output file (required)")
+	diskDir := fs.String("disk", "", "optionally also write a disk store to this directory")
+	fs.Parse(args)
+	if *graphPath == "" || *out == "" {
+		return fmt.Errorf("index: -graph and -out are required")
+	}
+	g, err := loadGraph(*graphPath)
+	if err != nil {
+		return err
+	}
+	sys := kosr.NewSystem(g)
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	if err := sys.SaveIndex(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	st := sys.Labels.Stats()
+	fmt.Fprintf(os.Stderr, "label index: avg|Lin|=%.1f avg|Lout|=%.1f size=%.1fMB\n",
+		st.AvgIn, st.AvgOut, float64(st.SizeBytes)/(1<<20))
+	if *diskDir != "" {
+		if err := sys.SaveDiskStore(*diskDir); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "disk store written to %s\n", *diskDir)
+	}
+	return nil
+}
+
+func parseCats(g *kosr.Graph, spec string) ([]kosr.Category, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	parts := strings.Split(spec, ",")
+	cats := make([]kosr.Category, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if c, ok := g.CategoryByName(p); ok {
+			cats = append(cats, c)
+			continue
+		}
+		id, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("unknown category %q", p)
+		}
+		cats = append(cats, kosr.Category(id))
+	}
+	return cats, nil
+}
+
+func parseVertex(g *kosr.Graph, spec string) (kosr.Vertex, error) {
+	if v, ok := g.VertexByName(spec); ok {
+		return v, nil
+	}
+	id, err := strconv.Atoi(spec)
+	if err != nil {
+		return 0, fmt.Errorf("unknown vertex %q", spec)
+	}
+	return kosr.Vertex(id), nil
+}
+
+func cmdQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	graphPath := fs.String("graph", "", "graph file (required)")
+	indexPath := fs.String("index", "", "label index file (optional; built on the fly otherwise)")
+	source := fs.String("source", "", "source vertex id or name")
+	target := fs.String("target", "", "target vertex id or name")
+	catsSpec := fs.String("cats", "", "comma-separated category ids or names, in visiting order")
+	k := fs.Int("k", 1, "number of routes")
+	method := fs.String("method", "SK", "SK | PK | KPNE")
+	dij := fs.Bool("dij", false, "use Dijkstra nearest neighbours instead of the label index")
+	expand := fs.Bool("expand", false, "expand witnesses into full routes")
+	fs.Parse(args)
+	if *graphPath == "" || *source == "" || *target == "" {
+		return fmt.Errorf("query: -graph, -source, -target are required")
+	}
+	g, err := loadGraph(*graphPath)
+	if err != nil {
+		return err
+	}
+	var sys *kosr.System
+	if *indexPath != "" {
+		f, err := os.Open(*indexPath)
+		if err != nil {
+			return err
+		}
+		sys, err = kosr.LoadSystem(g, f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	} else if *dij {
+		sys = kosr.NewSystemWithoutIndex(g)
+	} else {
+		sys = kosr.NewSystem(g)
+	}
+	src, err := parseVertex(g, *source)
+	if err != nil {
+		return err
+	}
+	dst, err := parseVertex(g, *target)
+	if err != nil {
+		return err
+	}
+	cats, err := parseCats(g, *catsSpec)
+	if err != nil {
+		return err
+	}
+	var m kosr.Method
+	switch strings.ToUpper(*method) {
+	case "SK":
+		m = kosr.StarKOSR
+	case "PK":
+		m = kosr.PruningKOSR
+	case "KPNE":
+		m = kosr.KPNE
+	default:
+		return fmt.Errorf("unknown method %q", *method)
+	}
+	routes, st, err := sys.Solve(
+		kosr.Query{Source: src, Target: dst, Categories: cats, K: *k},
+		kosr.Options{Method: m, UseDijkstraNN: *dij})
+	if err != nil {
+		return err
+	}
+	for i, r := range routes {
+		fmt.Printf("%2d. cost=%-8g witness:", i+1, r.Cost)
+		for _, v := range r.Witness {
+			fmt.Printf(" %s", g.VertexName(v))
+		}
+		fmt.Println()
+		if *expand {
+			route := sys.ExpandWitness(r.Witness)
+			fmt.Printf("    route:")
+			for _, v := range route {
+				fmt.Printf(" %s", g.VertexName(v))
+			}
+			fmt.Println()
+		}
+	}
+	fmt.Printf("%s: %d routes, %v, %d examined routes, %d NN queries\n",
+		m, len(routes), st.Total.Round(1000), st.Examined, st.NNQueries)
+	return nil
+}
+
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	exp := fs.String("exp", "", "experiment id (see -list)")
+	list := fs.Bool("list", false, "list experiment ids")
+	scale := fs.Int("scale", 1, "dataset scale")
+	queries := fs.Int("queries", 10, "random query instances per data point")
+	seed := fs.Int64("seed", 1, "random seed")
+	catSize := fs.Int("catsize", 0, "|Ci| (0 = 5% of |V|)")
+	fs.Parse(args)
+	if *list || *exp == "" {
+		fmt.Println("experiments:")
+		for _, id := range workload.IDs() {
+			e, _ := workload.Get(id)
+			fmt.Printf("  %-9s %s\n", id, e.Title)
+		}
+		return nil
+	}
+	e, ok := workload.Get(*exp)
+	if !ok {
+		return fmt.Errorf("unknown experiment %q (use -list)", *exp)
+	}
+	cfg := workload.Config{
+		Scale: *scale, NumQueries: *queries, Seed: *seed, CatSize: *catSize,
+	}
+	return e.Run(cfg, os.Stdout)
+}
+
+func cmdVerify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	graphPath := fs.String("graph", "", "graph file (default: a random grid)")
+	trials := fs.Int("trials", 25, "random query instances")
+	lenC := fs.Int("lenc", 3, "category sequence length")
+	k := fs.Int("k", 5, "routes per query")
+	seed := fs.Int64("seed", 1, "random seed")
+	fs.Parse(args)
+
+	var g *kosr.Graph
+	if *graphPath != "" {
+		var err error
+		if g, err = loadGraph(*graphPath); err != nil {
+			return err
+		}
+	} else {
+		b := gen.GridBuilder(gen.GridOptions{Rows: 15, Cols: 15, Diagonals: true, Seed: *seed})
+		gen.AssignUniformCategories(b, 225, 5, 25, *seed+1)
+		var err error
+		if g, err = b.Build(); err != nil {
+			return err
+		}
+	}
+	if g.NumVertices() > 2000 {
+		return fmt.Errorf("verify: graph too large for the brute-force oracle (%d vertices)", g.NumVertices())
+	}
+	prov := core.NewLabelProvider(g, nil)
+	dij := &core.DijkstraProvider{Graph: g}
+	queries := workload.RandomQueries(g, *trials, *lenC, *k, *seed+2)
+	methods := []core.Method{core.MethodKPNE, core.MethodPK, core.MethodSK, core.MethodKStar}
+	checked := 0
+	for qi, q := range queries {
+		oracle, err := core.BruteForce(g, q)
+		if err != nil {
+			return err
+		}
+		for _, m := range methods {
+			for pi, p := range []core.Provider{prov, dij} {
+				routes, _, err := core.Solve(g, q, p, core.Options{Method: m})
+				if err != nil {
+					return err
+				}
+				if len(routes) != len(oracle) {
+					return fmt.Errorf("verify: query %d %v provider %d: %d routes, oracle %d",
+						qi, m, pi, len(routes), len(oracle))
+				}
+				for i := range routes {
+					if routes[i].Cost != oracle[i].Cost {
+						return fmt.Errorf("verify: query %d %v provider %d route %d: cost %g, oracle %g",
+							qi, m, pi, i, routes[i].Cost, oracle[i].Cost)
+					}
+				}
+				checked++
+			}
+		}
+	}
+	fmt.Printf("verify: OK — %d method runs across %d random queries match the brute-force oracle\n",
+		checked, len(queries))
+	return nil
+}
+
+func cmdDemo(args []string) error {
+	fs := flag.NewFlagSet("demo", flag.ExitOnError)
+	method := fs.String("method", "PK", "PK (Table III) or SK (Table VI)")
+	fs.Parse(args)
+
+	g := kosr.Figure1()
+	sys := kosr.NewSystem(g)
+	s, _ := g.VertexByName("s")
+	tv, _ := g.VertexByName("t")
+	ma, _ := g.CategoryByName("MA")
+	re, _ := g.CategoryByName("RE")
+	ci, _ := g.CategoryByName("CI")
+	q := core.Query{Source: s, Target: tv, Categories: []graph.Category{ma, re, ci}, K: 2}
+
+	var m core.Method
+	var table string
+	switch strings.ToUpper(*method) {
+	case "PK":
+		m, table = core.MethodPK, "Table III"
+	case "SK":
+		m, table = core.MethodSK, "Table VI"
+	default:
+		return fmt.Errorf("unknown method %q", *method)
+	}
+	trace := &core.Trace{}
+	prov := &core.LabelProvider{Graph: g, Labels: sys.Labels, Inv: sys.Inverted}
+	routes, st, err := core.Solve(g, q, prov, core.Options{Method: m, Trace: trace})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Replaying the paper's %s: %s on (s, t, ⟨MA,RE,CI⟩, 2)\n\n", table, m)
+	for i, step := range trace.Steps {
+		fmt.Printf("step %2d:", i+1)
+		for _, e := range step.Queue {
+			x := strconv.Itoa(e.X)
+			if e.X < 0 {
+				x = "-"
+			}
+			fmt.Printf("  ⟨%s⟩(%g),%s", e.Witness, e.Cost, x)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	for i, r := range routes {
+		fmt.Printf("result %d: cost=%g witness:", i+1, r.Cost)
+		for _, v := range r.Witness {
+			fmt.Printf(" %s", g.VertexName(v))
+		}
+		fmt.Println()
+	}
+	fmt.Printf("\n%d examined routes, %d NN queries\n", st.Examined, st.NNQueries)
+	return nil
+}

@@ -1,0 +1,63 @@
+// Command kosrd serves KOSR queries over HTTP.
+//
+//	kosrd -graph city.graph [-index city.idx] [-addr :8080] [-budget 5000000]
+//
+// Endpoints:
+//
+//	GET  /health
+//	POST /query   {"source":"s","target":"t","categories":["MA","RE","CI"],"k":3}
+//	POST /expand  {"witness":[0,1,2,4,7]}
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	kosr "repro"
+	"repro/internal/server"
+)
+
+func main() {
+	graphPath := flag.String("graph", "", "graph file (required)")
+	indexPath := flag.String("index", "", "label index file (optional; built at startup otherwise)")
+	addr := flag.String("addr", ":8080", "listen address")
+	budget := flag.Int64("budget", 5_000_000, "max examined routes per query (0 = unlimited)")
+	flag.Parse()
+	if *graphPath == "" {
+		fmt.Fprintln(os.Stderr, "kosrd: -graph is required")
+		os.Exit(2)
+	}
+	f, err := os.Open(*graphPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := kosr.ReadGraph(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	var sys *kosr.System
+	if *indexPath != "" {
+		idx, err := os.Open(*indexPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sys, err = kosr.LoadSystem(g, idx)
+		idx.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("loaded label index from %s", *indexPath)
+	} else {
+		log.Printf("building label index for %d vertices ...", g.NumVertices())
+		sys = kosr.NewSystem(g)
+	}
+	srv := server.New(sys)
+	srv.MaxExamined = *budget
+	log.Printf("kosrd listening on %s (|V|=%d |E|=%d |S|=%d)",
+		*addr, g.NumVertices(), g.NumEdges(), g.NumCategories())
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}

@@ -1,0 +1,86 @@
+package kosr
+
+import (
+	"sync"
+	"testing"
+)
+
+// A System's indexes are immutable after construction, so concurrent
+// queries (each with its own per-query NN state) must be safe. Run with
+// -race to validate.
+func TestConcurrentQueries(t *testing.T) {
+	g := Figure1()
+	sys := NewSystem(g)
+	s, _ := g.VertexByName("s")
+	tv, _ := g.VertexByName("t")
+	ma, _ := g.CategoryByName("MA")
+	re, _ := g.CategoryByName("RE")
+	ci, _ := g.CategoryByName("CI")
+	cats := []Category{ma, re, ci}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				m := []Method{KPNE, PruningKOSR, StarKOSR}[(worker+i)%3]
+				routes, _, err := sys.Solve(
+					Query{Source: s, Target: tv, Categories: cats, K: 3},
+					Options{Method: m})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(routes) != 3 || routes[0].Cost != 20 {
+					t.Errorf("worker %d: routes=%v", worker, routes)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentDiskQueries(t *testing.T) {
+	g := Figure1()
+	sys := NewSystem(g)
+	dir := t.TempDir() + "/store"
+	if err := sys.SaveDiskStore(dir); err != nil {
+		t.Fatal(err)
+	}
+	// The Store mutates its Seeks counter and page cache, so each
+	// goroutine opens its own handle (the documented usage: one
+	// DiskSystem per worker).
+	s, _ := g.VertexByName("s")
+	tv, _ := g.VertexByName("t")
+	ma, _ := g.CategoryByName("MA")
+	re, _ := g.CategoryByName("RE")
+	ci, _ := g.CategoryByName("CI")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ds, err := OpenDiskSystem(g, dir)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer ds.Close()
+			for i := 0; i < 10; i++ {
+				routes, err := ds.TopK(s, tv, []Category{ma, re, ci}, 2)
+				if err != nil || len(routes) != 2 {
+					t.Errorf("routes=%v err=%v", routes, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,104 @@
+package kosr
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// After incremental edge insertions, label-based KOSR answers must match
+// the brute-force oracle computed on the rebuilt graph — the end-to-end
+// check of the Section IV-C graph-structure updates.
+func TestInsertEdgeEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(777))
+	for trial := 0; trial < 15; trial++ {
+		n := 10 + rng.Intn(15)
+		b := NewBuilder(n, true)
+		b.EnsureCategories(3)
+		for i := 0; i < 3*n; i++ {
+			b.AddEdge(Vertex(rng.Intn(n)), Vertex(rng.Intn(n)), float64(1+rng.Intn(12)))
+		}
+		for v := 0; v < n; v++ {
+			b.AddCategory(Vertex(v), Category(rng.Intn(3)))
+		}
+		g := b.MustBuild()
+		sys := NewSystem(g)
+		dyn := sys.NewDynamic()
+
+		for i := 0; i < 4; i++ {
+			u := Vertex(rng.Intn(n))
+			v := Vertex(rng.Intn(n))
+			w := float64(1 + rng.Intn(6))
+			if err := sys.InsertEdge(dyn, u, v, w); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		full, err := dyn.Rebuild()
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := Query{
+			Source:     Vertex(rng.Intn(n)),
+			Target:     Vertex(rng.Intn(n)),
+			Categories: []Category{0, 1, 2},
+			K:          4,
+		}
+		oracle, err := core.BruteForce(full, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		routes, _, err := sys.Solve(q, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(routes) != len(oracle) {
+			t.Fatalf("trial %d: got %d routes, oracle %d\ngot=%v\nwant=%v",
+				trial, len(routes), len(oracle), routes, oracle)
+		}
+		for i := range routes {
+			if routes[i].Cost != oracle[i].Cost {
+				t.Fatalf("trial %d route %d: cost %v, oracle %v",
+					trial, i, routes[i].Cost, oracle[i].Cost)
+			}
+		}
+	}
+}
+
+func TestInsertEdgeImprovesRoute(t *testing.T) {
+	// Figure 1: a new expressway d→t with cost 1 improves every route's
+	// final leg from 4 to 1.
+	g := Figure1()
+	sys := NewSystem(g)
+	s, _ := g.VertexByName("s")
+	tv, _ := g.VertexByName("t")
+	d, _ := g.VertexByName("d")
+	ma, _ := g.CategoryByName("MA")
+	re, _ := g.CategoryByName("RE")
+	ci, _ := g.CategoryByName("CI")
+	cats := []Category{ma, re, ci}
+
+	before, err := sys.TopK(s, tv, cats, 1)
+	if err != nil || before[0].Cost != 20 {
+		t.Fatalf("before=%v err=%v", before, err)
+	}
+	dyn := sys.NewDynamic()
+	if err := sys.InsertEdge(dyn, d, tv, 1); err != nil {
+		t.Fatal(err)
+	}
+	after, err := sys.TopK(s, tv, cats, 1)
+	if err != nil || after[0].Cost != 17 {
+		t.Fatalf("after=%v err=%v (want 17 = 20 - 3)", after, err)
+	}
+}
+
+func TestInsertEdgeWithoutIndexFails(t *testing.T) {
+	g := Figure1()
+	sys := NewSystemWithoutIndex(g)
+	dyn := graph.NewDynamic(g)
+	if err := sys.InsertEdge(dyn, 0, 1, 1); err == nil {
+		t.Fatal("want error without label index")
+	}
+}

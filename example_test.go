@@ -1,0 +1,70 @@
+package kosr_test
+
+import (
+	"fmt"
+
+	kosr "repro"
+)
+
+// The paper's running example: Alice travels from s to t via a shopping
+// mall, a restaurant, and a cinema (Example 1).
+func ExampleSystem_TopK() {
+	g := kosr.Figure1()
+	sys := kosr.NewSystem(g)
+
+	s, _ := g.VertexByName("s")
+	t, _ := g.VertexByName("t")
+	ma, _ := g.CategoryByName("MA")
+	re, _ := g.CategoryByName("RE")
+	ci, _ := g.CategoryByName("CI")
+
+	routes, _ := sys.TopK(s, t, []kosr.Category{ma, re, ci}, 3)
+	for i, r := range routes {
+		fmt.Printf("%d: cost %g via", i+1, r.Cost)
+		for _, v := range r.Witness[1 : len(r.Witness)-1] {
+			fmt.Printf(" %s", g.VertexName(v))
+		}
+		fmt.Println()
+	}
+	// Output:
+	// 1: cost 20 via a b d
+	// 2: cost 21 via a e d
+	// 3: cost 22 via c b d
+}
+
+// Building a custom graph: two POI categories on a five-vertex chain.
+func ExampleNewBuilder() {
+	b := kosr.NewBuilder(5, false) // undirected
+	fuel := b.NameCategory("fuel")
+	food := b.NameCategory("food")
+	b.AddEdge(0, 1, 2).AddEdge(1, 2, 2).AddEdge(2, 3, 2).AddEdge(3, 4, 2)
+	b.AddCategory(1, fuel)
+	b.AddCategory(3, food)
+	g, _ := b.Build()
+
+	sys := kosr.NewSystem(g)
+	routes, _ := sys.TopK(0, 4, []kosr.Category{fuel, food}, 1)
+	fmt.Println(routes[0])
+	// Output:
+	// ⟨0 1 3 4⟩(8)
+}
+
+// Query variants (Section IV-C): no fixed source, and a category filter.
+func ExampleSystem_SolveVariant() {
+	g := kosr.Figure1()
+	sys := kosr.NewSystem(g)
+	t, _ := g.VertexByName("t")
+	ma, _ := g.CategoryByName("MA")
+	re, _ := g.CategoryByName("RE")
+	ci, _ := g.CategoryByName("CI")
+
+	routes, _, _ := sys.SolveVariant(kosr.VariantQuery{
+		NoSource:   true, // start at any shopping mall
+		Target:     t,
+		Categories: []kosr.Category{ma, re, ci},
+		K:          1,
+	}, kosr.Options{})
+	fmt.Printf("start at %s, cost %g\n", g.VertexName(routes[0].Witness[0]), routes[0].Cost)
+	// Output:
+	// start at c, cost 12
+}

@@ -1,0 +1,58 @@
+// Quickstart: answer the paper's running example (Figure 1).
+//
+// Alice starts at s, wants to visit a shopping mall (MA), then a
+// restaurant (RE), then a cinema (CI), and end at t. The top-3 optimal
+// sequenced routes have costs 20, 21 and 22 (Example 1 of the paper).
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	kosr "repro"
+)
+
+func main() {
+	g := kosr.Figure1()
+	sys := kosr.NewSystem(g) // builds the 2-hop label + inverted indexes
+
+	s, _ := g.VertexByName("s")
+	t, _ := g.VertexByName("t")
+	ma, _ := g.CategoryByName("MA")
+	re, _ := g.CategoryByName("RE")
+	ci, _ := g.CategoryByName("CI")
+
+	routes, err := sys.TopK(s, t, []kosr.Category{ma, re, ci}, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Top-3 optimal sequenced routes for ⟨MA, RE, CI⟩ from s to t:")
+	for i, r := range routes {
+		fmt.Printf("%d. cost %-3g witness:", i+1, r.Cost)
+		for _, v := range r.Witness {
+			fmt.Printf(" %s", g.VertexName(v))
+		}
+		// A witness lists only the category stops; expand it into the
+		// actual turn-by-turn route.
+		full := sys.ExpandWitness(r.Witness)
+		fmt.Printf("   (drive:")
+		for _, v := range full {
+			fmt.Printf(" %s", g.VertexName(v))
+		}
+		fmt.Println(")")
+	}
+
+	// Compare the three algorithms on the same query.
+	fmt.Println("\nAlgorithm comparison (same query, k=2):")
+	q := kosr.Query{Source: s, Target: t, Categories: []kosr.Category{ma, re, ci}, K: 2}
+	for _, m := range []kosr.Method{kosr.KPNE, kosr.PruningKOSR, kosr.StarKOSR} {
+		_, st, err := sys.Solve(q, kosr.Options{Method: m})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-12v examined %2d routes, %2d NN queries\n", m, st.Examined, st.NNQueries)
+	}
+}

@@ -1,0 +1,62 @@
+package bptree
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+)
+
+func BenchmarkInsert(b *testing.B) {
+	tr, err := Create(filepath.Join(b.TempDir(), "b.bpt"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer tr.Close()
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(rng.Int63n(1<<30), int64(i))
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	tr, err := Create(filepath.Join(b.TempDir(), "b.bpt"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer tr.Close()
+	const n = 100000
+	for i := 0; i < n; i++ {
+		tr.Insert(int64(i), int64(i))
+	}
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok, err := tr.Get(rng.Int63n(n)); err != nil || !ok {
+			b.Fatal("lookup failed")
+		}
+	}
+}
+
+func BenchmarkRangeScan(b *testing.B) {
+	tr, err := Create(filepath.Join(b.TempDir(), "b.bpt"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer tr.Close()
+	const n = 100000
+	for i := 0; i < n; i++ {
+		tr.Insert(int64(i), int64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		count := 0
+		tr.Range(0, n, func(k, v int64) bool {
+			count++
+			return true
+		})
+		if count != n {
+			b.Fatal("short scan")
+		}
+	}
+}

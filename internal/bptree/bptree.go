@@ -1,0 +1,375 @@
+// Package bptree implements a disk-resident B+ tree with int64 keys and
+// int64 values, used by the disk-based query answering mode of Section
+// IV-C to locate the index section of each category (and the label record
+// of each vertex) with O(log n) page reads.
+//
+// The tree is page-based: page 0 is the header, every other page is a
+// leaf or an internal node. Leaves are chained for ordered range scans.
+// Pages are written through an os.File via ReadAt/WriteAt and cached in
+// memory; Sync flushes the file.
+package bptree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"sort"
+)
+
+const (
+	// PageSize is the on-disk page size.
+	PageSize = 4096
+
+	pageHeader   = 0
+	pageLeaf     = 1
+	pageInternal = 2
+
+	// Each leaf entry is key+value (16 bytes); layout:
+	// [type u8][nkeys u16][next i64][entries ...]. One slot of slack is
+	// reserved: a leaf briefly holds cap+1 entries before splitting.
+	leafCap = (PageSize-1-2-8)/16 - 1
+	// Internal layout: [type u8][nkeys u16][child0 i64][key i64 child i64]...
+	// with the same one-slot slack.
+	internalCap = (PageSize-1-2-8)/16 - 2
+)
+
+var magic = [8]byte{'K', 'O', 'S', 'R', 'B', 'P', 'T', '1'}
+
+// Tree is a disk-resident B+ tree. It is not safe for concurrent use.
+type Tree struct {
+	f     *os.File
+	pages map[int64][]byte // page cache (write-through on Sync/Close)
+	dirty map[int64]bool
+	count int64 // number of pages including header
+	root  int64 // root page id
+	size  int64 // number of stored keys
+}
+
+// Create creates (or truncates) a B+ tree file.
+func Create(path string) (*Tree, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("bptree: create: %w", err)
+	}
+	t := &Tree{f: f, pages: make(map[int64][]byte), dirty: make(map[int64]bool)}
+	rootID := t.alloc()
+	root := t.page(rootID)
+	root[0] = pageLeaf
+	putU16(root[1:], 0)
+	putI64(root[3:], -1) // no next leaf
+	t.markDirty(rootID)
+	t.root = rootID
+	if err := t.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return t, nil
+}
+
+// Open opens an existing B+ tree file (read-write) and validates its
+// header.
+func Open(path string) (*Tree, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, fmt.Errorf("bptree: open: %w", err)
+	}
+	t := &Tree{f: f, pages: make(map[int64][]byte), dirty: make(map[int64]bool)}
+	hdr := make([]byte, PageSize)
+	if _, err := f.ReadAt(hdr, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("bptree: reading header: %w", err)
+	}
+	var m [8]byte
+	copy(m[:], hdr)
+	if m != magic {
+		f.Close()
+		return nil, fmt.Errorf("bptree: bad magic %q", m)
+	}
+	t.root = i64(hdr[8:])
+	t.count = i64(hdr[16:])
+	t.size = i64(hdr[24:])
+	if t.root <= 0 || t.root >= t.count {
+		f.Close()
+		return nil, fmt.Errorf("bptree: corrupt header (root=%d count=%d)", t.root, t.count)
+	}
+	t.pages[0] = hdr
+	return t, nil
+}
+
+// Close syncs and closes the underlying file.
+func (t *Tree) Close() error {
+	if err := t.Sync(); err != nil {
+		t.f.Close()
+		return err
+	}
+	return t.f.Close()
+}
+
+// Len returns the number of stored keys.
+func (t *Tree) Len() int64 { return t.size }
+
+// Sync writes dirty pages and the header to disk.
+func (t *Tree) Sync() error {
+	hdr := t.page(0)
+	copy(hdr, magic[:])
+	putI64(hdr[8:], t.root)
+	putI64(hdr[16:], t.count)
+	putI64(hdr[24:], t.size)
+	t.markDirty(0)
+	for id := range t.dirty {
+		if _, err := t.f.WriteAt(t.pages[id], id*PageSize); err != nil {
+			return fmt.Errorf("bptree: writing page %d: %w", id, err)
+		}
+	}
+	t.dirty = make(map[int64]bool)
+	return nil
+}
+
+func (t *Tree) alloc() int64 {
+	if t.count == 0 {
+		t.count = 1 // reserve header
+		t.pages[0] = make([]byte, PageSize)
+		t.dirty[0] = true
+	}
+	id := t.count
+	t.count++
+	t.pages[id] = make([]byte, PageSize)
+	t.dirty[id] = true
+	return id
+}
+
+func (t *Tree) page(id int64) []byte {
+	if p, ok := t.pages[id]; ok {
+		return p
+	}
+	p := make([]byte, PageSize)
+	if _, err := t.f.ReadAt(p, id*PageSize); err != nil {
+		// Reads of pages that were never written mean corruption; return
+		// a zero page, which downstream validation reports.
+		return p
+	}
+	t.pages[id] = p
+	return p
+}
+
+func (t *Tree) markDirty(id int64) { t.dirty[id] = true }
+
+func putU16(b []byte, v uint16) { binary.LittleEndian.PutUint16(b, v) }
+func putI64(b []byte, v int64)  { binary.LittleEndian.PutUint64(b, uint64(v)) }
+func u16(b []byte) uint16       { return binary.LittleEndian.Uint16(b) }
+func i64(b []byte) int64        { return int64(binary.LittleEndian.Uint64(b)) }
+
+// leaf accessors
+func leafN(p []byte) int            { return int(u16(p[1:])) }
+func leafSetN(p []byte, n int)      { putU16(p[1:], uint16(n)) }
+func leafNext(p []byte) int64       { return i64(p[3:]) }
+func leafSetNext(p []byte, v int64) { putI64(p[3:], v) }
+func leafKey(p []byte, i int) int64 {
+	return i64(p[11+16*i:])
+}
+func leafVal(p []byte, i int) int64 {
+	return i64(p[11+16*i+8:])
+}
+func leafSet(p []byte, i int, k, v int64) {
+	putI64(p[11+16*i:], k)
+	putI64(p[11+16*i+8:], v)
+}
+
+// internal accessors: child0 at offset 3, then (key, child) pairs.
+func intN(p []byte) int       { return int(u16(p[1:])) }
+func intSetN(p []byte, n int) { putU16(p[1:], uint16(n)) }
+func intChild(p []byte, i int) int64 {
+	if i == 0 {
+		return i64(p[3:])
+	}
+	return i64(p[3+8+16*(i-1)+8:])
+}
+func intSetChild(p []byte, i int, c int64) {
+	if i == 0 {
+		putI64(p[3:], c)
+		return
+	}
+	putI64(p[3+8+16*(i-1)+8:], c)
+}
+func intKey(p []byte, i int) int64 { return i64(p[3+8+16*i:]) }
+func intSetKey(p []byte, i int, k int64) {
+	putI64(p[3+8+16*i:], k)
+}
+
+// Get returns the value stored for key.
+func (t *Tree) Get(key int64) (int64, bool, error) {
+	id := t.root
+	for {
+		p := t.page(id)
+		switch p[0] {
+		case pageLeaf:
+			n := leafN(p)
+			i := sort.Search(n, func(i int) bool { return leafKey(p, i) >= key })
+			if i < n && leafKey(p, i) == key {
+				return leafVal(p, i), true, nil
+			}
+			return 0, false, nil
+		case pageInternal:
+			n := intN(p)
+			i := sort.Search(n, func(i int) bool { return key < intKey(p, i) })
+			id = intChild(p, i)
+			if id <= 0 || id >= t.count {
+				return 0, false, fmt.Errorf("bptree: corrupt child pointer %d", id)
+			}
+		default:
+			return 0, false, fmt.Errorf("bptree: corrupt page type %d at page %d", p[0], id)
+		}
+	}
+}
+
+// Insert stores (key, value), overwriting an existing key.
+func (t *Tree) Insert(key, val int64) error {
+	sepKey, newChild, err := t.insert(t.root, key, val)
+	if err != nil {
+		return err
+	}
+	if newChild != 0 {
+		// Root split: create a new internal root.
+		rootID := t.alloc()
+		p := t.page(rootID)
+		p[0] = pageInternal
+		intSetN(p, 1)
+		intSetChild(p, 0, t.root)
+		intSetKey(p, 0, sepKey)
+		intSetChild(p, 1, newChild)
+		t.markDirty(rootID)
+		t.root = rootID
+	}
+	return nil
+}
+
+// insert descends to the leaf; on split it returns (separator, new page).
+func (t *Tree) insert(id int64, key, val int64) (int64, int64, error) {
+	p := t.page(id)
+	switch p[0] {
+	case pageLeaf:
+		n := leafN(p)
+		i := sort.Search(n, func(i int) bool { return leafKey(p, i) >= key })
+		if i < n && leafKey(p, i) == key {
+			leafSet(p, i, key, val)
+			t.markDirty(id)
+			return 0, 0, nil
+		}
+		// Shift and insert.
+		for j := n; j > i; j-- {
+			leafSet(p, j, leafKey(p, j-1), leafVal(p, j-1))
+		}
+		leafSet(p, i, key, val)
+		leafSetN(p, n+1)
+		t.size++
+		t.markDirty(id)
+		if n+1 <= leafCap {
+			return 0, 0, nil
+		}
+		// Split the leaf.
+		newID := t.alloc()
+		np := t.page(newID)
+		p = t.page(id) // alloc may grow the cache; re-fetch
+		np[0] = pageLeaf
+		total := leafN(p)
+		half := total / 2
+		for j := half; j < total; j++ {
+			leafSet(np, j-half, leafKey(p, j), leafVal(p, j))
+		}
+		leafSetN(np, total-half)
+		leafSetN(p, half)
+		leafSetNext(np, leafNext(p))
+		leafSetNext(p, newID)
+		t.markDirty(id)
+		t.markDirty(newID)
+		return leafKey(np, 0), newID, nil
+	case pageInternal:
+		n := intN(p)
+		i := sort.Search(n, func(i int) bool { return key < intKey(p, i) })
+		child := intChild(p, i)
+		if child <= 0 || child >= t.count {
+			return 0, 0, fmt.Errorf("bptree: corrupt child pointer %d", child)
+		}
+		sepKey, newChild, err := t.insert(child, key, val)
+		if err != nil || newChild == 0 {
+			return 0, 0, err
+		}
+		p = t.page(id)
+		n = intN(p)
+		// Insert (sepKey, newChild) after position i.
+		for j := n; j > i; j-- {
+			intSetKey(p, j, intKey(p, j-1))
+			intSetChild(p, j+1, intChild(p, j))
+		}
+		intSetKey(p, i, sepKey)
+		intSetChild(p, i+1, newChild)
+		intSetN(p, n+1)
+		t.markDirty(id)
+		if n+1 <= internalCap {
+			return 0, 0, nil
+		}
+		// Split the internal node: middle key moves up.
+		newID := t.alloc()
+		np := t.page(newID)
+		p = t.page(id)
+		np[0] = pageInternal
+		total := intN(p)
+		mid := total / 2
+		upKey := intKey(p, mid)
+		right := total - mid - 1
+		intSetChild(np, 0, intChild(p, mid+1))
+		for j := 0; j < right; j++ {
+			intSetKey(np, j, intKey(p, mid+1+j))
+			intSetChild(np, j+1, intChild(p, mid+2+j))
+		}
+		intSetN(np, right)
+		intSetN(p, mid)
+		t.markDirty(id)
+		t.markDirty(newID)
+		return upKey, newID, nil
+	default:
+		return 0, 0, fmt.Errorf("bptree: corrupt page type %d at page %d", p[0], id)
+	}
+}
+
+// Range calls fn for every (key, value) with from ≤ key ≤ to in ascending
+// key order; fn returning false stops the scan.
+func (t *Tree) Range(from, to int64, fn func(key, val int64) bool) error {
+	id := t.root
+	for {
+		p := t.page(id)
+		if p[0] == pageLeaf {
+			break
+		}
+		if p[0] != pageInternal {
+			return fmt.Errorf("bptree: corrupt page type %d at page %d", p[0], id)
+		}
+		n := intN(p)
+		i := sort.Search(n, func(i int) bool { return from < intKey(p, i) })
+		id = intChild(p, i)
+		if id <= 0 || id >= t.count {
+			return fmt.Errorf("bptree: corrupt child pointer %d", id)
+		}
+	}
+	for id != -1 {
+		p := t.page(id)
+		if p[0] != pageLeaf {
+			return fmt.Errorf("bptree: corrupt leaf chain at page %d", id)
+		}
+		n := leafN(p)
+		for i := 0; i < n; i++ {
+			k := leafKey(p, i)
+			if k < from {
+				continue
+			}
+			if k > to {
+				return nil
+			}
+			if !fn(k, leafVal(p, i)) {
+				return nil
+			}
+		}
+		id = leafNext(p)
+	}
+	return nil
+}

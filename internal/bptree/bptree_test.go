@@ -1,0 +1,209 @@
+package bptree
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func newTree(t *testing.T) (*Tree, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "t.bpt")
+	tr, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, path
+}
+
+func TestBasicInsertGet(t *testing.T) {
+	tr, _ := newTree(t)
+	defer tr.Close()
+	pairs := map[int64]int64{1: 10, 5: 50, 3: 30, -7: 70, 0: 1}
+	for k, v := range pairs {
+		if err := tr.Insert(k, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k, v := range pairs {
+		got, ok, err := tr.Get(k)
+		if err != nil || !ok || got != v {
+			t.Fatalf("Get(%d)=(%d,%v,%v), want %d", k, got, ok, err, v)
+		}
+	}
+	if _, ok, _ := tr.Get(42); ok {
+		t.Fatal("found missing key")
+	}
+	if tr.Len() != int64(len(pairs)) {
+		t.Fatalf("len=%d", tr.Len())
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	tr, _ := newTree(t)
+	defer tr.Close()
+	tr.Insert(9, 1)
+	tr.Insert(9, 2)
+	v, ok, _ := tr.Get(9)
+	if !ok || v != 2 {
+		t.Fatalf("got %d", v)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("len=%d", tr.Len())
+	}
+}
+
+func TestManyKeysWithSplits(t *testing.T) {
+	tr, _ := newTree(t)
+	defer tr.Close()
+	const n = 20000 // forces multiple levels of splits
+	rng := rand.New(rand.NewSource(1))
+	perm := rng.Perm(n)
+	for _, k := range perm {
+		if err := tr.Insert(int64(k), int64(k*2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Len() != n {
+		t.Fatalf("len=%d", tr.Len())
+	}
+	for k := 0; k < n; k++ {
+		v, ok, err := tr.Get(int64(k))
+		if err != nil || !ok || v != int64(k*2) {
+			t.Fatalf("Get(%d)=(%d,%v,%v)", k, v, ok, err)
+		}
+	}
+}
+
+func TestRangeScan(t *testing.T) {
+	tr, _ := newTree(t)
+	defer tr.Close()
+	for k := int64(0); k < 1000; k += 2 {
+		tr.Insert(k, k)
+	}
+	var got []int64
+	err := tr.Range(100, 120, func(k, v int64) bool {
+		got = append(got, k)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{100, 102, 104, 106, 108, 110, 112, 114, 116, 118, 120}
+	if len(got) != len(want) {
+		t.Fatalf("got=%v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got=%v", got)
+		}
+	}
+	// Early stop.
+	count := 0
+	tr.Range(0, 1<<40, func(k, v int64) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Fatalf("count=%d", count)
+	}
+}
+
+func TestPersistence(t *testing.T) {
+	tr, path := newTree(t)
+	const n = 5000
+	for k := 0; k < n; k++ {
+		tr.Insert(int64(k*3), int64(k))
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr2.Close()
+	if tr2.Len() != n {
+		t.Fatalf("len=%d", tr2.Len())
+	}
+	for k := 0; k < n; k++ {
+		v, ok, err := tr2.Get(int64(k * 3))
+		if err != nil || !ok || v != int64(k) {
+			t.Fatalf("Get(%d)=(%d,%v,%v)", k*3, v, ok, err)
+		}
+	}
+	// Insert after reopen must work too.
+	if err := tr2.Insert(999999, 7); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, _ := tr2.Get(999999); !ok || v != 7 {
+		t.Fatal("insert after reopen failed")
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Open(filepath.Join(dir, "missing.bpt")); err == nil {
+		t.Fatal("want error for missing file")
+	}
+	// Corrupt magic.
+	bad := filepath.Join(dir, "bad.bpt")
+	if err := os.WriteFile(bad, make([]byte, PageSize), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(bad); err == nil {
+		t.Fatal("want error for bad magic")
+	}
+	// Truncated file.
+	trunc := filepath.Join(dir, "trunc.bpt")
+	if err := os.WriteFile(trunc, []byte("short"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(trunc); err == nil {
+		t.Fatal("want error for truncated file")
+	}
+}
+
+// Property: the tree agrees with a map oracle and iterates in sorted
+// order, for random workloads.
+func TestAgainstMapOracleQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		path := filepath.Join(t.TempDir(), "q.bpt")
+		tr, err := Create(path)
+		if err != nil {
+			return false
+		}
+		defer tr.Close()
+		oracle := map[int64]int64{}
+		for i := 0; i < 500; i++ {
+			k := int64(rng.Intn(200) - 100)
+			v := int64(rng.Intn(1000))
+			tr.Insert(k, v)
+			oracle[k] = v
+		}
+		for k, v := range oracle {
+			got, ok, err := tr.Get(k)
+			if err != nil || !ok || got != v {
+				return false
+			}
+		}
+		prev := int64(-1 << 62)
+		okScan := true
+		n := 0
+		tr.Range(-1<<62, 1<<62, func(k, v int64) bool {
+			if k <= prev || oracle[k] != v {
+				okScan = false
+			}
+			prev = k
+			n++
+			return true
+		})
+		return okScan && n == len(oracle) && tr.Len() == int64(len(oracle))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,68 @@
+package ch
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dijkstra"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func benchGrid(b *testing.B) *graph.Graph {
+	b.Helper()
+	return gen.GridBuilder(gen.GridOptions{Rows: 40, Cols: 40, Diagonals: true, Seed: 8}).MustBuild()
+}
+
+func BenchmarkBuildGrid1600(b *testing.B) {
+	g := benchGrid(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix := Build(g)
+		if i == 0 {
+			b.ReportMetric(float64(ix.Shortcuts), "shortcuts")
+		}
+	}
+}
+
+// CH point-to-point queries vs plain Dijkstra early-stop searches.
+func BenchmarkDistCH(b *testing.B) {
+	g := benchGrid(b)
+	ix := Build(g)
+	rng := rand.New(rand.NewSource(9))
+	n := g.NumVertices()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ix.Dist(graph.Vertex(rng.Intn(n)), graph.Vertex(rng.Intn(n)))
+	}
+}
+
+func BenchmarkDistDijkstra(b *testing.B) {
+	g := benchGrid(b)
+	s := dijkstra.New(g)
+	rng := rand.New(rand.NewSource(9))
+	n := g.NumVertices()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.ToTarget(graph.Vertex(rng.Intn(n)), graph.Vertex(rng.Intn(n)))
+	}
+}
+
+func BenchmarkTableManyToMany(b *testing.B) {
+	g := benchGrid(b)
+	ix := Build(g)
+	rng := rand.New(rand.NewSource(10))
+	n := g.NumVertices()
+	sources := make([]Seed, 50)
+	for i := range sources {
+		sources[i] = Seed{V: graph.Vertex(rng.Intn(n)), D: float64(rng.Intn(5))}
+	}
+	targets := make([]graph.Vertex, 50)
+	for i := range targets {
+		targets[i] = graph.Vertex(rng.Intn(n))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = ix.Table(sources, targets)
+	}
+}

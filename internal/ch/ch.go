@@ -1,0 +1,329 @@
+// Package ch implements contraction hierarchies (Geisberger et al., WEA
+// 2008), the speed-up technique the paper's GSP baseline is engineered
+// with (Section III-B2). Vertices are contracted in ascending importance
+// order; shortcuts preserve shortest-path distances among the remaining
+// vertices, and queries run as bidirectional Dijkstra searches that only
+// relax arcs toward more important vertices.
+//
+// Besides point-to-point distance queries, the package provides the
+// bucket-based one-to-many evaluation used by the CH variant of GSP
+// (many-to-many distance tables between consecutive category layers).
+package ch
+
+import (
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/pq"
+)
+
+type oarc struct {
+	to int32
+	w  graph.Weight
+}
+
+// Index is a built contraction hierarchy over a fixed graph.
+type Index struct {
+	n    int
+	rank []int32 // contraction order; higher = more important
+
+	// Upward search graphs in CSR form: fwd holds arcs (u, v, w) of the
+	// augmented forward graph with rank[v] > rank[u]; bwd the same for
+	// the reverse graph.
+	fwdOff []int32
+	fwdArc []oarc
+	bwdOff []int32
+	bwdArc []oarc
+
+	// Shortcuts counts the shortcut arcs added during preprocessing.
+	Shortcuts int
+}
+
+// buildState carries the mutable overlay graph during contraction.
+type buildState struct {
+	n          int
+	out        [][]oarc // overlay forward adjacency
+	in         [][]oarc // overlay reverse adjacency
+	contracted []bool
+
+	// witness search workspace
+	dist    []graph.Weight
+	touched []int32
+	heap    *pq.IndexedHeap
+
+	delNeighbors []int32 // contracted-neighbour counts for priorities
+}
+
+// witnessLimit bounds the settles of each witness search; exceeding it
+// conservatively adds the shortcut (correct, possibly redundant).
+const witnessLimit = 64
+
+// Build preprocesses g into a contraction hierarchy.
+func Build(g *graph.Graph) *Index {
+	n := g.NumVertices()
+	st := &buildState{
+		n:            n,
+		out:          make([][]oarc, n),
+		in:           make([][]oarc, n),
+		contracted:   make([]bool, n),
+		dist:         make([]graph.Weight, n),
+		heap:         pq.NewIndexedHeap(n),
+		delNeighbors: make([]int32, n),
+	}
+	for i := range st.dist {
+		st.dist[i] = graph.Inf
+	}
+	for u := 0; u < n; u++ {
+		for _, a := range g.Out(graph.Vertex(u)) {
+			if a.To != graph.Vertex(u) { // self-loops never help
+				addArc(&st.out[u], oarc{to: a.To, w: a.W})
+				addArc(&st.in[a.To], oarc{to: int32(u), w: a.W})
+			}
+		}
+	}
+
+	ix := &Index{n: n, rank: make([]int32, n)}
+	// Lazy priority queue over contraction priorities.
+	order := pq.NewIndexedHeap(n)
+	for v := 0; v < n; v++ {
+		order.PushOrDecrease(int32(v), st.priority(int32(v)))
+	}
+	nextRank := int32(0)
+	for order.Len() > 0 {
+		v, _ := order.PopMin()
+		// Lazy update: recompute and re-queue unless still minimal.
+		p := st.priority(v)
+		if order.Len() > 0 {
+			if _, minKey := peekMin(order); p > minKey {
+				order.PushOrDecrease(v, p)
+				continue
+			}
+		}
+		ix.rank[v] = nextRank
+		nextRank++
+		ix.Shortcuts += st.contract(v, true)
+		st.contracted[v] = true
+		for _, a := range st.out[v] {
+			st.delNeighbors[a.to]++
+		}
+		for _, a := range st.in[v] {
+			st.delNeighbors[a.to]++
+		}
+	}
+
+	// Assemble the upward CSR graphs from the augmented overlay (the
+	// overlay retained every original arc and shortcut).
+	var fwd, bwd []chEdge
+	for u := 0; u < n; u++ {
+		for _, a := range st.out[u] {
+			if ix.rank[a.to] > ix.rank[u] {
+				fwd = append(fwd, chEdge{int32(u), a.to, a.w})
+			}
+		}
+		for _, a := range st.in[u] {
+			if ix.rank[a.to] > ix.rank[u] {
+				bwd = append(bwd, chEdge{int32(u), a.to, a.w})
+			}
+		}
+	}
+	ix.fwdOff, ix.fwdArc = toCSR(n, fwd)
+	ix.bwdOff, ix.bwdArc = toCSR(n, bwd)
+	return ix
+}
+
+type chEdge struct {
+	from, to int32
+	w        graph.Weight
+}
+
+func toCSR(n int, edges []chEdge) ([]int32, []oarc) {
+	off := make([]int32, n+1)
+	for _, e := range edges {
+		off[e.from+1]++
+	}
+	for v := 0; v < n; v++ {
+		off[v+1] += off[v]
+	}
+	arcs := make([]oarc, len(edges))
+	pos := make([]int32, n)
+	for _, e := range edges {
+		arcs[off[e.from]+pos[e.from]] = oarc{to: e.to, w: e.w}
+		pos[e.from]++
+	}
+	return off, arcs
+}
+
+func peekMin(h *pq.IndexedHeap) (int32, float64) {
+	// IndexedHeap has no Peek; emulate with Pop+Push (cheap, n small).
+	id, key := h.PopMin()
+	h.PushOrDecrease(id, key)
+	return id, key
+}
+
+// addArc inserts an arc keeping only the cheapest parallel arc.
+func addArc(list *[]oarc, a oarc) {
+	for i := range *list {
+		if (*list)[i].to == a.to {
+			if a.w < (*list)[i].w {
+				(*list)[i].w = a.w
+			}
+			return
+		}
+	}
+	*list = append(*list, a)
+}
+
+// priority is the standard edge-difference heuristic with a
+// contracted-neighbours term.
+func (st *buildState) priority(v int32) float64 {
+	shortcuts := st.contract(v, false)
+	degree := 0
+	for _, a := range st.in[v] {
+		if !st.contracted[a.to] {
+			degree++
+		}
+	}
+	for _, a := range st.out[v] {
+		if !st.contracted[a.to] {
+			degree++
+		}
+	}
+	return float64(shortcuts-degree) + 2*float64(st.delNeighbors[v])
+}
+
+// contract simulates (apply=false) or performs (apply=true) the
+// contraction of v, returning the number of shortcuts required.
+func (st *buildState) contract(v int32, apply bool) int {
+	count := 0
+	for _, ia := range st.in[v] {
+		u := ia.to
+		if st.contracted[u] || u == v {
+			continue
+		}
+		// Max distance any witness would need to cover.
+		maxD := graph.Inf
+		needed := make([]oarc, 0, len(st.out[v]))
+		for _, oa := range st.out[v] {
+			if st.contracted[oa.to] || oa.to == v || oa.to == u {
+				continue
+			}
+			needed = append(needed, oa)
+		}
+		if len(needed) == 0 {
+			continue
+		}
+		maxD = 0
+		for _, oa := range needed {
+			if d := ia.w + oa.w; d > maxD {
+				maxD = d
+			}
+		}
+		st.witnessSearch(u, v, maxD)
+		for _, oa := range needed {
+			through := ia.w + oa.w
+			if st.dist[oa.to] <= through {
+				continue // witness path exists without v
+			}
+			count++
+			if apply {
+				addArc(&st.out[u], oarc{to: oa.to, w: through})
+				addArc(&st.in[oa.to], oarc{to: u, w: through})
+			}
+		}
+	}
+	return count
+}
+
+// witnessSearch runs a bounded Dijkstra from u on the overlay, skipping v
+// and contracted vertices, leaving distances in st.dist.
+func (st *buildState) witnessSearch(u, v int32, maxD graph.Weight) {
+	for _, x := range st.touched {
+		st.dist[x] = graph.Inf
+	}
+	st.touched = st.touched[:0]
+	st.heap.Reset()
+	st.dist[u] = 0
+	st.touched = append(st.touched, u)
+	st.heap.PushOrDecrease(u, 0)
+	settles := 0
+	for st.heap.Len() > 0 && settles < witnessLimit {
+		x, dx := st.heap.PopMin()
+		if dx > maxD {
+			break
+		}
+		settles++
+		for _, a := range st.out[x] {
+			if a.to == v || st.contracted[a.to] {
+				continue
+			}
+			nd := dx + a.w
+			if nd < st.dist[a.to] {
+				if math.IsInf(st.dist[a.to], 1) {
+					st.touched = append(st.touched, a.to)
+				}
+				st.dist[a.to] = nd
+				st.heap.PushOrDecrease(a.to, nd)
+			}
+		}
+	}
+}
+
+// Rank returns the contraction rank of v.
+func (ix *Index) Rank(v graph.Vertex) int32 { return ix.rank[v] }
+
+func (ix *Index) fwd(u int32) []oarc { return ix.fwdArc[ix.fwdOff[u]:ix.fwdOff[u+1]] }
+func (ix *Index) bwd(u int32) []oarc { return ix.bwdArc[ix.bwdOff[u]:ix.bwdOff[u+1]] }
+
+// Dist returns dis(s, t) via a bidirectional upward search, or +Inf when
+// t is unreachable from s.
+func (ix *Index) Dist(s, t graph.Vertex) graph.Weight {
+	if s == t {
+		return 0
+	}
+	df := make(map[int32]graph.Weight)
+	db := make(map[int32]graph.Weight)
+	hf := pq.NewHeap[oarc](func(a, b oarc) bool { return a.w < b.w })
+	hb := pq.NewHeap[oarc](func(a, b oarc) bool { return a.w < b.w })
+	df[int32(s)] = 0
+	db[int32(t)] = 0
+	hf.Push(oarc{to: int32(s), w: 0})
+	hb.Push(oarc{to: int32(t), w: 0})
+	best := graph.Inf
+
+	relax := func(h *pq.Heap[oarc], dist map[int32]graph.Weight, other map[int32]graph.Weight, arcs func(int32) []oarc) {
+		it := h.Pop()
+		if it.w > dist[it.to] {
+			return // stale
+		}
+		if od, ok := other[it.to]; ok {
+			if c := it.w + od; c < best {
+				best = c
+			}
+		}
+		for _, a := range arcs(it.to) {
+			nd := it.w + a.w
+			if old, ok := dist[a.to]; !ok || nd < old {
+				dist[a.to] = nd
+				h.Push(oarc{to: a.to, w: nd})
+			}
+		}
+	}
+	for hf.Len() > 0 || hb.Len() > 0 {
+		minPending := graph.Inf
+		if hf.Len() > 0 {
+			minPending = hf.Min().w
+		}
+		if hb.Len() > 0 && hb.Min().w < minPending {
+			minPending = hb.Min().w
+		}
+		if minPending >= best {
+			break
+		}
+		if hf.Len() > 0 && (hb.Len() == 0 || hf.Min().w <= hb.Min().w) {
+			relax(hf, df, db, ix.fwd)
+		} else {
+			relax(hb, db, df, ix.bwd)
+		}
+	}
+	return best
+}

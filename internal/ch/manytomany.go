@@ -1,0 +1,110 @@
+package ch
+
+import (
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/pq"
+)
+
+// Seed is a source vertex with an initial cost, exactly like
+// dijkstra.Seed (redeclared here to keep the package self-contained).
+type Seed struct {
+	V graph.Vertex
+	D graph.Weight
+}
+
+type bucketEntry struct {
+	target int32 // index into the targets slice
+	d      graph.Weight
+}
+
+// Table evaluates one layer transition of the GSP dynamic program with
+// the standard CH bucket technique: for every target it runs a backward
+// upward search that deposits (target, distance) entries in per-vertex
+// buckets; one forward multi-source upward search seeded with the sources
+// then combines against the buckets.
+//
+// It returns, for each target, min over sources of (seed cost + distance)
+// and the source vertex realizing the minimum (-1 when unreachable).
+func (ix *Index) Table(sources []Seed, targets []graph.Vertex) ([]graph.Weight, []graph.Vertex) {
+	n := ix.n
+	buckets := make(map[int32][]bucketEntry)
+
+	// Backward upward searches (one per target).
+	dist := make([]graph.Weight, n)
+	for i := range dist {
+		dist[i] = graph.Inf
+	}
+	var touched []int32
+	heap := pq.NewIndexedHeap(n)
+	for ti, t := range targets {
+		for _, v := range touched {
+			dist[v] = graph.Inf
+		}
+		touched = touched[:0]
+		heap.Reset()
+		dist[t] = 0
+		touched = append(touched, int32(t))
+		heap.PushOrDecrease(int32(t), 0)
+		for heap.Len() > 0 {
+			u, du := heap.PopMin()
+			buckets[u] = append(buckets[u], bucketEntry{target: int32(ti), d: du})
+			for _, a := range ix.bwd(u) {
+				nd := du + a.w
+				if nd < dist[a.to] {
+					if math.IsInf(dist[a.to], 1) {
+						touched = append(touched, a.to)
+					}
+					dist[a.to] = nd
+					heap.PushOrDecrease(a.to, nd)
+				}
+			}
+		}
+	}
+
+	// Forward multi-source upward search.
+	for _, v := range touched {
+		dist[v] = graph.Inf
+	}
+	touched = touched[:0]
+	heap.Reset()
+	origin := make([]graph.Vertex, n) // seed that reached each vertex
+	for _, s := range sources {
+		if s.D < dist[s.V] {
+			if math.IsInf(dist[s.V], 1) {
+				touched = append(touched, int32(s.V))
+			}
+			dist[s.V] = s.D
+			origin[s.V] = s.V
+			heap.PushOrDecrease(int32(s.V), s.D)
+		}
+	}
+	outD := make([]graph.Weight, len(targets))
+	outO := make([]graph.Vertex, len(targets))
+	for i := range outD {
+		outD[i] = graph.Inf
+		outO[i] = -1
+	}
+	for heap.Len() > 0 {
+		u, du := heap.PopMin()
+		for _, be := range buckets[u] {
+			if c := du + be.d; c < outD[be.target] {
+				outD[be.target] = c
+				outO[be.target] = origin[u]
+			}
+		}
+		for _, a := range ix.fwd(u) {
+			nd := du + a.w
+			if nd < dist[a.to] {
+				if math.IsInf(dist[a.to], 1) {
+					touched = append(touched, a.to)
+				}
+				dist[a.to] = nd
+				origin[a.to] = origin[u]
+				heap.PushOrDecrease(a.to, nd)
+			}
+		}
+	}
+	return outD, outO
+}

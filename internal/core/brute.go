@@ -1,0 +1,122 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/dijkstra"
+	"repro/internal/graph"
+)
+
+// BruteForce enumerates every witness of the category sequence and
+// returns the q.K cheapest (Definition 5, literally). It is exponential
+// in |C| and exists as the correctness oracle for tests and for the
+// harness's self-check mode; use it only on small graphs.
+func BruteForce(g *graph.Graph, q Query) ([]Route, error) {
+	if err := q.Validate(g); err != nil {
+		return nil, err
+	}
+	j := len(q.Categories)
+
+	// Distance tables from the source and from every category vertex.
+	dist := make(map[graph.Vertex][]float64)
+	ensure := func(v graph.Vertex) []float64 {
+		if d, ok := dist[v]; ok {
+			return d
+		}
+		d := dijkstra.AllDistances(g, v, false)
+		dist[v] = d
+		return d
+	}
+	ensure(q.Source)
+	for _, c := range q.Categories {
+		for _, v := range g.VerticesOf(c) {
+			ensure(v)
+		}
+	}
+
+	var all []Route
+	witness := make([]graph.Vertex, j+2)
+	witness[0] = q.Source
+	witness[j+1] = q.Target
+	var rec func(level int, cost graph.Weight)
+	rec = func(level int, cost graph.Weight) {
+		if math.IsInf(cost, 1) {
+			return
+		}
+		if level == j+1 {
+			d := dist[witness[level-1]][q.Target]
+			if !math.IsInf(d, 1) {
+				all = append(all, Route{
+					Witness: append([]graph.Vertex(nil), witness...),
+					Cost:    cost + d,
+				})
+			}
+			return
+		}
+		prev := witness[level-1]
+		for _, v := range g.VerticesOf(q.Categories[level-1]) {
+			d := dist[prev][v]
+			if math.IsInf(d, 1) {
+				continue
+			}
+			witness[level] = v
+			rec(level+1, cost+d)
+		}
+	}
+	rec(1, 0)
+
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Cost != all[j].Cost {
+			return all[i].Cost < all[j].Cost
+		}
+		return lessWitness(all[i].Witness, all[j].Witness)
+	})
+	if len(all) > q.K {
+		all = all[:q.K]
+	}
+	return all, nil
+}
+
+// allDistances runs one forward SSSP; shared by the brute-force oracles.
+func allDistances(g *graph.Graph, src graph.Vertex) []float64 {
+	return dijkstra.AllDistances(g, src, false)
+}
+
+func lessWitness(a, b []graph.Vertex) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// ExpandWitness expands a witness into an actual route (a vertex walk
+// where consecutive vertices are connected by edges) by concatenating
+// shortest paths between consecutive witness vertices. It returns nil
+// when some leg is unreachable (impossible for witnesses produced by
+// Solve).
+func ExpandWitness(g *graph.Graph, witness []graph.Vertex) []graph.Vertex {
+	if len(witness) == 0 {
+		return nil
+	}
+	s := dijkstra.New(g)
+	route := []graph.Vertex{witness[0]}
+	for i := 0; i+1 < len(witness); i++ {
+		u, v := witness[i], witness[i+1]
+		if u == v {
+			continue // zero-cost self hop: the vertex serves two categories
+		}
+		s.FromSource(u, false)
+		leg := s.Path(v)
+		if leg == nil {
+			return nil
+		}
+		route = append(route, leg[1:]...)
+	}
+	return route
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dijkstra"
+	"repro/internal/graph"
+)
+
+// randomInstance builds a random categorized graph and a random query on
+// it.
+func randomInstance(rng *rand.Rand) (*graph.Graph, Query) {
+	n := 6 + rng.Intn(20)
+	ncats := 2 + rng.Intn(3)
+	b := graph.NewBuilder(n, true)
+	b.EnsureCategories(ncats)
+	m := 3 * n
+	for i := 0; i < m; i++ {
+		b.AddEdge(graph.Vertex(rng.Intn(n)), graph.Vertex(rng.Intn(n)), float64(1+rng.Intn(15)))
+	}
+	for v := 0; v < n; v++ {
+		if rng.Intn(2) == 0 {
+			b.AddCategory(graph.Vertex(v), graph.Category(rng.Intn(ncats)))
+		}
+	}
+	g := b.MustBuild()
+	j := 1 + rng.Intn(3)
+	cats := make([]graph.Category, j)
+	for i := range cats {
+		cats[i] = graph.Category(rng.Intn(ncats))
+	}
+	q := Query{
+		Source:     graph.Vertex(rng.Intn(n)),
+		Target:     graph.Vertex(rng.Intn(n)),
+		Categories: cats,
+		K:          1 + rng.Intn(5),
+	}
+	return g, q
+}
+
+// verifyRoutes checks that every returned route is feasible with a
+// correctly computed cost, that witnesses are pairwise distinct, and that
+// the cost sequence matches the brute-force oracle.
+func verifyRoutes(t *testing.T, g *graph.Graph, q Query, routes []Route, oracle []Route, tag string) {
+	t.Helper()
+	if len(routes) != len(oracle) {
+		t.Fatalf("%s: got %d routes, oracle has %d\n got=%v\nwant=%v",
+			tag, len(routes), len(oracle), routes, oracle)
+	}
+	seen := map[string]bool{}
+	s := dijkstra.New(g)
+	for i, r := range routes {
+		if r.Cost != oracle[i].Cost {
+			t.Fatalf("%s: route %d cost %v, oracle %v\n got=%v\nwant=%v",
+				tag, i, r.Cost, oracle[i].Cost, routes, oracle)
+		}
+		key := r.String()
+		if seen[key] {
+			t.Fatalf("%s: duplicate witness %s", tag, key)
+		}
+		seen[key] = true
+		// Witness structure: s, C1..Cj members, t.
+		if r.Witness[0] != q.Source || r.Witness[len(r.Witness)-1] != q.Target {
+			t.Fatalf("%s: witness endpoints wrong: %v", tag, r.Witness)
+		}
+		if len(r.Witness) != len(q.Categories)+2 {
+			t.Fatalf("%s: witness length %d", tag, len(r.Witness))
+		}
+		for ci, c := range q.Categories {
+			if !g.HasCategory(r.Witness[ci+1], c) {
+				t.Fatalf("%s: witness vertex %d not in category %d", tag, r.Witness[ci+1], c)
+			}
+		}
+		// Recompute the cost independently.
+		var cost float64
+		for i := 0; i+1 < len(r.Witness); i++ {
+			d := s.ToTarget(r.Witness[i], r.Witness[i+1])
+			if math.IsInf(d, 1) {
+				t.Fatalf("%s: witness leg unreachable", tag)
+			}
+			cost += d
+		}
+		if cost != r.Cost {
+			t.Fatalf("%s: recomputed cost %v != reported %v", tag, cost, r.Cost)
+		}
+	}
+}
+
+// TestAllMethodsMatchBruteForce is the central correctness test: on many
+// random instances, every method × every NN provider returns exactly the
+// brute-force top-k cost sequence, and all witnesses are feasible.
+func TestAllMethodsMatchBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 120; trial++ {
+		g, q := randomInstance(rng)
+		oracle, err := BruteForce(g, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		provs := providers(g)
+		for provName, prov := range provs {
+			for _, m := range []Method{MethodKPNE, MethodPK, MethodSK, MethodKStar} {
+				routes, _, err := Solve(g, q, prov, Options{Method: m})
+				if err != nil {
+					t.Fatalf("trial %d %s/%s: %v", trial, provName, m, err)
+				}
+				tag := provName + "/" + m.String()
+				verifyRoutes(t, g, q, routes, oracle, tag)
+			}
+		}
+	}
+}
+
+// Property-style: the same, driven by testing/quick seeds.
+func TestMethodsAgreeQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, q := randomInstance(rng)
+		prov := NewLabelProvider(g, nil)
+		var ref []Route
+		for i, m := range []Method{MethodKPNE, MethodPK, MethodSK} {
+			routes, _, err := Solve(g, q, prov, Options{Method: m})
+			if err != nil {
+				return false
+			}
+			if i == 0 {
+				ref = routes
+				continue
+			}
+			if len(routes) != len(ref) {
+				return false
+			}
+			for k := range routes {
+				if routes[k].Cost != ref[k].Cost {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The A* estimate is admissible, so every method must emit complete
+// routes in nondecreasing cost order, and the generation counters must be
+// self-consistent. (Examined counts are not strictly ordered across
+// methods on tiny instances because park-and-release re-examines routes.)
+func TestStatsOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		g, q := randomInstance(rng)
+		prov := NewLabelProvider(g, nil)
+		for _, m := range []Method{MethodKPNE, MethodPK, MethodSK} {
+			routes, st, err := Solve(g, q, prov, Options{Method: m})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for k := 1; k < len(routes); k++ {
+				if routes[k].Cost < routes[k-1].Cost {
+					t.Fatalf("%s: results out of order", m)
+				}
+			}
+			if st.Generated < st.Examined-st.Released {
+				t.Fatalf("%s: generated %d < examined %d - released %d",
+					m, st.Generated, st.Examined, st.Released)
+			}
+		}
+	}
+}
+
+// Dominance bookkeeping: every parked route is either released or still
+// parked at the end; released ≤ dominated.
+func TestDominanceCounters(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 40; trial++ {
+		g, q := randomInstance(rng)
+		_, st, err := Solve(g, q, NewLabelProvider(g, nil), Options{Method: MethodPK})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Released > st.Dominated {
+			t.Fatalf("released %d > dominated %d", st.Released, st.Dominated)
+		}
+	}
+}

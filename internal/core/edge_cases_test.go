@@ -1,0 +1,160 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+)
+
+func TestSourceEqualsTarget(t *testing.T) {
+	// s == t: the route must leave through the categories and return.
+	g := graph.Figure1()
+	s, _ := g.VertexByName("s")
+	ma, _ := g.CategoryByName("MA")
+	q := Query{Source: s, Target: s, Categories: []graph.Category{ma}, K: 2}
+	oracle, err := BruteForce(g, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for provName, prov := range providers(g) {
+		for _, m := range []Method{MethodKPNE, MethodPK, MethodSK} {
+			routes, _, err := Solve(g, q, prov, Options{Method: m})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", provName, m, err)
+			}
+			verifyRoutes(t, g, q, routes, oracle, provName+"/"+m.String())
+		}
+	}
+	// Best: s→a (8), a→b→s (10) = 18 via a; or s→c (10), c→b→s (10) = 20.
+	if len(oracle) == 0 || oracle[0].Cost != 18 {
+		t.Fatalf("oracle=%v, want best 18", oracle)
+	}
+}
+
+func TestZeroWeightEdgesKOSR(t *testing.T) {
+	// Zero-weight edges (free transfers) must not break anything.
+	b := graph.NewBuilder(5, true)
+	b.AddEdge(0, 1, 0).AddEdge(1, 2, 0).AddEdge(2, 3, 5).AddEdge(3, 4, 0)
+	b.AddEdge(0, 3, 100)
+	b.AddCategory(2, 0)
+	b.AddCategory(3, 1)
+	b.EnsureCategories(2)
+	g := b.MustBuild()
+	q := Query{Source: 0, Target: 4, Categories: []graph.Category{0, 1}, K: 1}
+	oracle, err := BruteForce(g, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for provName, prov := range providers(g) {
+		routes, _, err := Solve(g, q, prov, Options{Method: MethodSK})
+		if err != nil {
+			t.Fatalf("%s: %v", provName, err)
+		}
+		verifyRoutes(t, g, q, routes, oracle, provName)
+		if routes[0].Cost != 5 {
+			t.Fatalf("%s: cost %v, want 5 (0+0+5+0)", provName, routes[0].Cost)
+		}
+	}
+}
+
+func TestCategoryContainingSourceAndTarget(t *testing.T) {
+	// s and t themselves carry the queried category; witnesses may visit
+	// other category vertices or loop back.
+	rng := rand.New(rand.NewSource(31))
+	b := graph.NewBuilder(12, true)
+	b.EnsureCategories(1)
+	for i := 0; i < 40; i++ {
+		b.AddEdge(graph.Vertex(rng.Intn(12)), graph.Vertex(rng.Intn(12)), float64(1+rng.Intn(9)))
+	}
+	b.AddCategory(0, 0)  // source in category
+	b.AddCategory(11, 0) // target in category
+	b.AddCategory(5, 0)
+	g := b.MustBuild()
+	q := Query{Source: 0, Target: 11, Categories: []graph.Category{0, 0}, K: 6}
+	oracle, err := BruteForce(g, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for provName, prov := range providers(g) {
+		for _, m := range []Method{MethodKPNE, MethodPK, MethodSK} {
+			routes, _, err := Solve(g, q, prov, Options{Method: m})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", provName, m, err)
+			}
+			verifyRoutes(t, g, q, routes, oracle, provName+"/"+m.String())
+		}
+	}
+}
+
+func TestMaxDurationBudget(t *testing.T) {
+	g := graph.Figure1()
+	q := fig1Query(t, g, 3)
+	// A zero-duration deadline must trip immediately but still return
+	// cleanly.
+	_, st, err := Solve(g, q, NewLabelProvider(g, nil),
+		Options{Method: MethodKPNE, MaxDuration: time.Nanosecond})
+	if err != ErrBudgetExceeded {
+		t.Fatalf("err=%v", err)
+	}
+	if st == nil || st.Results != 0 {
+		t.Fatalf("stats=%+v", st)
+	}
+}
+
+func TestParallelEdgesAndSelfLoops(t *testing.T) {
+	b := graph.NewBuilder(4, true)
+	b.AddEdge(0, 1, 9).AddEdge(0, 1, 3).AddEdge(0, 1, 7) // parallel edges
+	b.AddEdge(1, 1, 1)                                   // self loop
+	b.AddEdge(1, 2, 2).AddEdge(2, 3, 2)
+	b.AddCategory(1, 0)
+	b.AddCategory(2, 1)
+	b.EnsureCategories(2)
+	g := b.MustBuild()
+	q := Query{Source: 0, Target: 3, Categories: []graph.Category{0, 1}, K: 1}
+	for provName, prov := range providers(g) {
+		routes, _, err := Solve(g, q, prov, Options{Method: MethodSK})
+		if err != nil {
+			t.Fatalf("%s: %v", provName, err)
+		}
+		if len(routes) != 1 || routes[0].Cost != 7 { // 3 + 2 + 2
+			t.Fatalf("%s: routes=%v, want cost 7", provName, routes)
+		}
+	}
+}
+
+func TestLargeKExhaustsAllWitnesses(t *testing.T) {
+	// Dominance release chains must eventually surface every witness.
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 10; trial++ {
+		g, q := randomInstance(rng)
+		q.K = 1000 // far more than exist
+		oracle, err := BruteForce(g, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range []Method{MethodPK, MethodSK} {
+			routes, _, err := Solve(g, q, NewLabelProvider(g, nil), Options{Method: m})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(routes) != len(oracle) {
+				t.Fatalf("trial %d %s: %d routes, oracle %d", trial, m, len(routes), len(oracle))
+			}
+		}
+	}
+}
+
+func TestTraceWithCustomNames(t *testing.T) {
+	g := graph.Figure1()
+	q := fig1Query(t, g, 1)
+	trace := &Trace{Names: func(v graph.Vertex) string { return "X" }}
+	_, _, err := Solve(g, q, NewLabelProvider(g, nil), Options{Method: MethodSK, Trace: trace})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace.Steps) == 0 || trace.Steps[0].Queue[0].Witness != "X" {
+		t.Fatalf("trace=%v", trace.Steps)
+	}
+}

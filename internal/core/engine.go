@@ -1,0 +1,409 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/pq"
+)
+
+// routeNode is one vertex of a partially explored witness. Nodes form a
+// tree rooted at the source, so all partial routes share prefixes.
+type routeNode struct {
+	v      graph.Vertex
+	parent *routeNode
+	size   int32        // number of witness vertices including the source
+	cost   graph.Weight // real witness cost w(p)
+}
+
+// qItem is a queue entry: a route, its priority key (real cost for
+// KPNE/PruningKOSR, estimated total cost for StarKOSR), and the paper's x
+// attribute — the NN index that produced the last vertex (-1 is the
+// paper's '-': no sibling candidate must be generated).
+type qItem struct {
+	node *routeNode
+	key  graph.Weight
+	x    int32
+	seq  int64 // insertion sequence; makes tie-breaking deterministic
+}
+
+type domKey struct {
+	v    graph.Vertex
+	size int32
+}
+
+type engine struct {
+	g      *graph.Graph
+	q      Query
+	opt    Options
+	finder NNFinder // plain NN (KPNE/PK) or FindNEN (SK)
+	distTo func(graph.Vertex) graph.Weight
+
+	heap       *pq.Heap[qItem]
+	seq        int64
+	dominating map[domKey]*routeNode
+	dominated  map[domKey]*pq.Heap[qItem]
+	results    []Route
+	stats      *Stats
+
+	useDominance bool
+	useEstimate  bool
+
+	// roots are the initial route heads for the no-source variant
+	// (Section IV-C): all first-category vertices, possibly none when
+	// the category is empty. Only honoured when rootsSet is true;
+	// otherwise the single query source seeds the search.
+	roots    []graph.Vertex
+	rootsSet bool
+	// noTarget completes routes at the last category instead of closing
+	// them into a destination (Section IV-C).
+	noTarget bool
+
+	deadline time.Time
+	seeded   bool
+
+	pqTime *time.Duration
+}
+
+// Solve answers the KOSR query q on g with the selected method, using
+// prov for nearest-neighbour discovery and distance estimation. It
+// returns up to q.K routes in nondecreasing cost order; fewer routes mean
+// fewer than k feasible routes exist. ErrBudgetExceeded is returned
+// (along with any routes found so far) when Options limits were hit.
+func Solve(g *graph.Graph, q Query, prov Provider, opt Options) ([]Route, *Stats, error) {
+	e, nn, err := newStandardEngine(g, q, prov, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	start := time.Now()
+	runErr := e.run()
+	e.stats.NNQueries = nn.Queries()
+	e.stats.Results = len(e.results)
+	e.stats.Total = time.Since(start)
+	return e.results, e.stats, runErr
+}
+
+// newStandardEngine builds the engine shared by Solve and Searcher.
+func newStandardEngine(g *graph.Graph, q Query, prov Provider, opt Options) (*engine, NNFinder, error) {
+	if err := q.Validate(g); err != nil {
+		return nil, nil, err
+	}
+	st := &Stats{
+		Method:           opt.Method,
+		ExaminedPerLevel: make([]int64, len(q.Categories)+2),
+	}
+	nn := prov.NN()
+	distTo := prov.DistTo(q.Target)
+	if opt.TimeBreakdown {
+		nn = &timedNN{inner: nn, acc: &st.NNTime}
+		inner := distTo
+		distTo = func(v graph.Vertex) graph.Weight {
+			t0 := time.Now()
+			d := inner(v)
+			st.EstTime += time.Since(t0)
+			return d
+		}
+	}
+	e := &engine{
+		g:            g,
+		q:            q,
+		opt:          opt,
+		distTo:       distTo,
+		stats:        st,
+		useDominance: opt.Method == MethodPK || opt.Method == MethodSK,
+		useEstimate:  opt.Method == MethodSK || opt.Method == MethodKStar,
+	}
+	if opt.TimeBreakdown {
+		e.pqTime = &st.PQTime
+	}
+	if e.useEstimate {
+		e.finder = newENFinder(nn, distTo)
+	} else {
+		e.finder = nn
+	}
+	less := func(a, b qItem) bool {
+		if a.key != b.key {
+			return a.key < b.key
+		}
+		return a.seq < b.seq
+	}
+	e.heap = pq.NewHeap[qItem](less)
+	if e.useDominance {
+		e.dominating = make(map[domKey]*routeNode)
+		e.dominated = make(map[domKey]*pq.Heap[qItem])
+	}
+	return e, nn, nil
+}
+
+func (e *engine) push(it qItem) {
+	it.seq = e.seq
+	e.seq++
+	if e.pqTime != nil {
+		t0 := time.Now()
+		e.heap.Push(it)
+		*e.pqTime += time.Since(t0)
+	} else {
+		e.heap.Push(it)
+	}
+	e.stats.Generated++
+	if e.heap.Len() > e.stats.PeakQueue {
+		e.stats.PeakQueue = e.heap.Len()
+	}
+}
+
+func (e *engine) pop() qItem {
+	if e.pqTime != nil {
+		t0 := time.Now()
+		it := e.heap.Pop()
+		*e.pqTime += time.Since(t0)
+		return it
+	}
+	return e.heap.Pop()
+}
+
+// key computes the queue priority of a route ending at v with real cost
+// w: the real cost for KPNE/PruningKOSR, w + dis(v, t) for StarKOSR
+// (Section IV-B).
+func (e *engine) key(v graph.Vertex, cost graph.Weight) graph.Weight {
+	if !e.useEstimate {
+		return cost
+	}
+	return cost + e.distTo(v)
+}
+
+// seed pushes the initial route heads and arms the deadline. It must be
+// called once before nextResult.
+func (e *engine) seed() {
+	roots := e.roots
+	if !e.rootsSet {
+		roots = []graph.Vertex{e.q.Source}
+	}
+	for _, r := range roots {
+		node := &routeNode{v: r, size: 1, cost: 0}
+		// A single initial route is keyed 0 (not its estimate),
+		// matching Table VI step 1 of the paper; multiple roots
+		// (no-source variant) are keyed by their estimates so the
+		// most promising head is examined first.
+		key := graph.Weight(0)
+		if len(roots) > 1 {
+			key = e.key(r, 0)
+			if math.IsInf(key, 1) {
+				continue
+			}
+		}
+		e.push(qItem{node: node, key: key, x: 1})
+	}
+	if e.opt.MaxDuration > 0 {
+		e.deadline = time.Now().Add(e.opt.MaxDuration)
+	}
+	e.seeded = true
+}
+
+func (e *engine) run() error {
+	e.seed()
+	for len(e.results) < e.q.K {
+		_, ok, err := e.nextResult()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+	}
+	return nil
+}
+
+// nextResult resumes the search until the next complete route is found
+// (appending it to results), the queue drains (ok=false), or a budget
+// trips.
+func (e *engine) nextResult() (Route, bool, error) {
+	j := len(e.q.Categories)
+	completeLevel := j + 1
+	if e.noTarget {
+		completeLevel = j
+	}
+	for e.heap.Len() > 0 {
+		if e.opt.MaxExamined > 0 && e.stats.Examined >= e.opt.MaxExamined {
+			return Route{}, false, ErrBudgetExceeded
+		}
+		if !e.deadline.IsZero() && time.Now().After(e.deadline) {
+			return Route{}, false, ErrBudgetExceeded
+		}
+		if e.opt.Trace != nil {
+			e.snapshot()
+		}
+
+		it := e.pop()
+		e.stats.Examined++
+		lvl := int(it.node.size) - 1 // 0 = source, j+1 = destination
+		e.stats.ExaminedPerLevel[lvl]++
+		v := it.node.v
+
+		complete := lvl == completeLevel
+		if complete {
+			e.results = append(e.results, materialize(it.node))
+			if e.useDominance {
+				e.reconsider(it.node)
+			}
+			// In the no-target variant a complete route still generates
+			// its sibling below: its last vertex is a category vertex,
+			// and the (x+1)-th neighbour yields the next candidate
+			// ending at this category.
+		}
+
+		extend := !complete
+		if extend && e.useDominance {
+			key := domKey{v: v, size: it.node.size}
+			if _, occupied := e.dominating[key]; occupied {
+				// Dominated (Definition 6): park in HT≻ until the
+				// dominating route completes (Algorithm 2 line 19).
+				h := e.dominated[key]
+				if h == nil {
+					h = pq.NewHeap[qItem](func(a, b qItem) bool {
+						if a.key != b.key {
+							return a.key < b.key
+						}
+						return a.seq < b.seq
+					})
+					e.dominated[key] = h
+				}
+				h.Push(it)
+				e.stats.Dominated++
+				extend = false
+			} else {
+				e.dominating[key] = it.node
+			}
+		}
+
+		if extend {
+			if lvl < j {
+				// Extend via the 1st (estimated) nearest neighbour in
+				// the next category (Algorithm 2 lines 16–17).
+				if nb, ok := e.finder.Find(v, e.q.Categories[lvl], 1); ok {
+					e.pushChild(it.node, nb, 1)
+				}
+			} else {
+				// lvl == j: close the route into the destination.
+				if d := e.distTo(v); !math.IsInf(d, 1) {
+					e.pushChild(it.node, Neighbor{V: e.q.Target, D: d}, 1)
+				}
+			}
+		}
+
+		// Generate the sibling candidate: replace the last vertex with
+		// the predecessor's (x+1)-th nearest neighbour in the same
+		// category (Algorithm 2 lines 20–22). Routes released from HT≻
+		// carry x = -1 and generate no sibling; routes whose last vertex
+		// is the destination have no sibling either ({t} is a singleton).
+		if lvl >= 1 && lvl <= j && it.x >= 0 {
+			prev := it.node.parent
+			if nb, ok := e.finder.Find(prev.v, e.q.Categories[lvl-1], int(it.x)+1); ok {
+				e.pushChild(prev, nb, it.x+1)
+			}
+		}
+		if complete {
+			return e.results[len(e.results)-1], true, nil
+		}
+	}
+	return Route{}, false, nil
+}
+
+func (e *engine) pushChild(parent *routeNode, nb Neighbor, x int32) {
+	cost := parent.cost + nb.D
+	key := e.key(nb.V, cost)
+	if math.IsInf(key, 1) {
+		// StarKOSR: the destination is unreachable from nb.V, so no
+		// feasible route extends through it.
+		return
+	}
+	child := &routeNode{v: nb.V, parent: parent, size: parent.size + 1, cost: cost}
+	e.push(qItem{node: child, key: key, x: x})
+}
+
+// reconsider releases parked routes after a complete route was emitted
+// (Algorithm 2 lines 8–12): for each proper prefix of the result that is
+// the stored dominator at its vertex, the cheapest parked route of the
+// same size is re-inserted with x='-' and the dominator slot is cleared.
+func (e *engine) reconsider(result *routeNode) {
+	chain := nodesOf(result)
+	// chain[0] is the source, chain[len-1] the destination; prefixes
+	// ending at category vertices are chain[1..j].
+	for i := 1; i < len(chain)-1; i++ {
+		pn := chain[i]
+		key := domKey{v: pn.v, size: pn.size}
+		if e.dominating[key] != pn {
+			continue
+		}
+		delete(e.dominating, key)
+		if h := e.dominated[key]; h != nil && h.Len() > 0 {
+			rit := h.Pop()
+			rit.x = -1
+			e.push(rit)
+			e.stats.Released++
+		}
+	}
+}
+
+func nodesOf(n *routeNode) []*routeNode {
+	chain := make([]*routeNode, n.size)
+	for cur := n; cur != nil; cur = cur.parent {
+		chain[cur.size-1] = cur
+	}
+	return chain
+}
+
+func materialize(n *routeNode) Route {
+	chain := nodesOf(n)
+	w := make([]graph.Vertex, len(chain))
+	for i, c := range chain {
+		w[i] = c.v
+	}
+	return Route{Witness: w, Cost: n.cost}
+}
+
+// snapshot records the queue contents sorted by priority (Tables III/VI).
+func (e *engine) snapshot() {
+	items := append([]qItem(nil), e.heap.Items()...)
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].key != items[j].key {
+			return items[i].key < items[j].key
+		}
+		return items[i].seq < items[j].seq
+	})
+	step := TraceStep{Queue: make([]TraceRoute, len(items))}
+	names := e.opt.Trace.Names
+	if names == nil {
+		g := e.g
+		names = func(v graph.Vertex) string { return g.VertexName(v) }
+	}
+	for i, it := range items {
+		chain := nodesOf(it.node)
+		parts := make([]string, len(chain))
+		for k, c := range chain {
+			parts[k] = names(c.v)
+		}
+		step.Queue[i] = TraceRoute{
+			Witness: strings.Join(parts, ","),
+			Cost:    it.key,
+			X:       int(it.x),
+		}
+	}
+	e.opt.Trace.Steps = append(e.opt.Trace.Steps, step)
+}
+
+type timedNN struct {
+	inner NNFinder
+	acc   *time.Duration
+}
+
+func (t *timedNN) Find(v graph.Vertex, cat graph.Category, x int) (Neighbor, bool) {
+	t0 := time.Now()
+	nb, ok := t.inner.Find(v, cat, x)
+	*t.acc += time.Since(t0)
+	return nb, ok
+}
+
+func (t *timedNN) Queries() int64 { return t.inner.Queries() }

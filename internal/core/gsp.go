@@ -1,0 +1,80 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/dijkstra"
+	"repro/internal/graph"
+)
+
+// GSP answers an OSR query (k = 1) with the dynamic program of Rice &
+// Tsotras (Section III-B2 of the paper):
+//
+//	X[i][v] = min over u ∈ V_C(i-1) of X[i-1][u] + dis(u, v)
+//
+// Each transition is evaluated with one multi-source Dijkstra seeded by
+// the previous layer, which computes the recurrence exactly. (The paper
+// engineers the transitions with contraction hierarchies; GSPCH in this
+// repository does the same — see internal/core/gspch.go.)
+//
+// GSP returns the optimal sequenced route and its witness. ok is false
+// when no feasible route exists.
+func GSP(g *graph.Graph, q Query) (Route, *Stats, bool, error) {
+	q.K = 1
+	if err := q.Validate(g); err != nil {
+		return Route{}, nil, false, err
+	}
+	st := &Stats{Method: -1}
+	start := time.Now()
+
+	j := len(q.Categories)
+	ms := dijkstra.New(g)
+	seeds := []dijkstra.Seed{{V: q.Source, D: 0}}
+	// preds[i][v] is the layer-(i-1) vertex realizing X[i][v].
+	preds := make([]map[graph.Vertex]graph.Vertex, j+1)
+	for i := 0; i < j; i++ {
+		ms.MultiSource(seeds, false)
+		layer := g.VerticesOf(q.Categories[i])
+		next := seeds[:0:0]
+		preds[i] = make(map[graph.Vertex]graph.Vertex, len(layer))
+		for _, v := range layer {
+			d := ms.Dist(v)
+			if math.IsInf(d, 1) {
+				continue
+			}
+			next = append(next, dijkstra.Seed{V: v, D: d})
+			preds[i][v] = ms.Origin(v)
+		}
+		if len(next) == 0 {
+			st.Total = time.Since(start)
+			return Route{}, st, false, nil
+		}
+		seeds = next
+	}
+	ms.MultiSource(seeds, false)
+	cost := ms.Dist(q.Target)
+	if math.IsInf(cost, 1) {
+		st.Total = time.Since(start)
+		return Route{}, st, false, nil
+	}
+	preds[j] = map[graph.Vertex]graph.Vertex{q.Target: ms.Origin(q.Target)}
+
+	// Reconstruct the witness back from the destination.
+	witness := make([]graph.Vertex, j+2)
+	witness[j+1] = q.Target
+	cur := q.Target
+	for i := j; i >= 1; i-- {
+		prev, ok := preds[i][cur]
+		if !ok {
+			return Route{}, nil, false, fmt.Errorf("core: GSP predecessor chain broken at layer %d", i)
+		}
+		witness[i] = prev
+		cur = prev
+	}
+	witness[0] = q.Source
+	st.Total = time.Since(start)
+	st.Results = 1
+	return Route{Witness: witness, Cost: cost}, st, true, nil
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestGSPFigure1(t *testing.T) {
+	g := graph.Figure1()
+	q := fig1Query(t, g, 1)
+	r, st, ok, err := GSP(g, q)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if r.Cost != 20 {
+		t.Fatalf("cost=%v, want 20", r.Cost)
+	}
+	if got := witnessNames(g, r); got != "s,a,b,d,t" {
+		t.Fatalf("witness=%s", got)
+	}
+	if st.Total <= 0 || st.Results != 1 {
+		t.Fatalf("stats=%+v", st)
+	}
+}
+
+// GSP must agree with the brute-force optimum (and hence with all KOSR
+// methods at k=1) on random instances.
+func TestGSPMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	for trial := 0; trial < 80; trial++ {
+		g, q := randomInstance(rng)
+		q.K = 1
+		oracle, err := BruteForce(g, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, _, ok, err := GSP(g, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(oracle) == 0 {
+			if ok {
+				t.Fatalf("trial %d: GSP found %v but no feasible route exists", trial, r)
+			}
+			continue
+		}
+		if !ok {
+			t.Fatalf("trial %d: GSP found nothing, oracle has %v", trial, oracle[0])
+		}
+		if r.Cost != oracle[0].Cost {
+			t.Fatalf("trial %d: GSP cost %v, oracle %v", trial, r.Cost, oracle[0].Cost)
+		}
+		// The witness must be feasible with the reported cost.
+		verifyRoutes(t, g, q, []Route{r}, oracle[:1], "GSP")
+	}
+}
+
+func TestGSPUnreachable(t *testing.T) {
+	b := graph.NewBuilder(3, true)
+	b.AddEdge(0, 1, 1)
+	b.AddCategory(1, 0)
+	b.EnsureCategories(1)
+	g := b.MustBuild()
+	_, _, ok, err := GSP(g, Query{Source: 0, Target: 2, Categories: []graph.Category{0}, K: 1})
+	if err != nil || ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+}
+
+func TestGSPEmptyCategory(t *testing.T) {
+	b := graph.NewBuilder(2, true)
+	b.AddEdge(0, 1, 1)
+	b.EnsureCategories(1)
+	g := b.MustBuild()
+	_, _, ok, err := GSP(g, Query{Source: 0, Target: 1, Categories: []graph.Category{0}, K: 1})
+	if err != nil || ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+}
+
+func TestGSPValidation(t *testing.T) {
+	g := graph.Figure1()
+	if _, _, _, err := GSP(g, Query{Source: -1, Target: 0, K: 1}); err == nil {
+		t.Fatal("want validation error")
+	}
+}
+
+func TestBruteForceValidation(t *testing.T) {
+	g := graph.Figure1()
+	if _, err := BruteForce(g, Query{Source: -1, Target: 0, K: 1}); err == nil {
+		t.Fatal("want validation error")
+	}
+}
+
+func TestBruteForceFigure1(t *testing.T) {
+	g := graph.Figure1()
+	q := fig1Query(t, g, 3)
+	routes, err := BruteForce(g, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{20, 21, 22}
+	if len(routes) != 3 {
+		t.Fatalf("routes=%v", routes)
+	}
+	for i := range want {
+		if routes[i].Cost != want[i] {
+			t.Fatalf("routes=%v", routes)
+		}
+	}
+}

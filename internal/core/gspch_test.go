@@ -1,0 +1,81 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ch"
+	"repro/internal/graph"
+)
+
+func TestGSPCHFigure1(t *testing.T) {
+	g := graph.Figure1()
+	hierarchy := ch.Build(g)
+	q := fig1Query(t, g, 1)
+	r, st, ok, err := GSPCH(g, hierarchy, q)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if r.Cost != 20 {
+		t.Fatalf("cost=%v", r.Cost)
+	}
+	if got := witnessNames(g, r); got != "s,a,b,d,t" {
+		t.Fatalf("witness=%s", got)
+	}
+	if st.Results != 1 {
+		t.Fatalf("stats=%+v", st)
+	}
+}
+
+// GSPCH must agree with plain GSP (and hence the brute-force optimum) on
+// random instances, including the feasibility verdict.
+func TestGSPCHMatchesGSP(t *testing.T) {
+	rng := rand.New(rand.NewSource(909))
+	for trial := 0; trial < 60; trial++ {
+		g, q := randomInstance(rng)
+		q.K = 1
+		hierarchy := ch.Build(g)
+		rd, _, okD, err := GSP(g, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rc, _, okC, err := GSPCH(g, hierarchy, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if okD != okC {
+			t.Fatalf("trial %d: feasibility disagrees: GSP=%v GSPCH=%v", trial, okD, okC)
+		}
+		if okD && rd.Cost != rc.Cost {
+			t.Fatalf("trial %d: GSP cost %v, GSPCH cost %v", trial, rd.Cost, rc.Cost)
+		}
+		if okC {
+			oracle, err := BruteForce(g, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			verifyRoutes(t, g, q, []Route{rc}, oracle[:1], "GSPCH")
+		}
+	}
+}
+
+func TestGSPCHUnreachable(t *testing.T) {
+	b := graph.NewBuilder(3, true)
+	b.AddEdge(0, 1, 1)
+	b.AddCategory(1, 0)
+	b.EnsureCategories(1)
+	g := b.MustBuild()
+	hierarchy := ch.Build(g)
+	_, _, ok, err := GSPCH(g, hierarchy, Query{Source: 0, Target: 2, Categories: []graph.Category{0}, K: 1})
+	if err != nil || ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+}
+
+func TestGSPCHValidation(t *testing.T) {
+	g := graph.Figure1()
+	hierarchy := ch.Build(g)
+	if _, _, _, err := GSPCH(g, hierarchy, Query{Source: -1, Target: 0, K: 1}); err == nil {
+		t.Fatal("want validation error")
+	}
+}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"repro/internal/dijkstra"
+	"repro/internal/graph"
+	"repro/internal/invindex"
+	"repro/internal/label"
+	"repro/internal/pq"
+)
+
+type nnKey struct {
+	v   graph.Vertex
+	cat graph.Category
+}
+
+// LabelProvider backs queries with the 2-hop label index and the inverted
+// label index: FindNN is Algorithm 3, the distance oracle is a label
+// merge join. This is the configuration of the paper's PK / SK methods.
+type LabelProvider struct {
+	Graph  *graph.Graph
+	Labels *label.Index
+	Inv    *invindex.Index
+}
+
+// NewLabelProvider builds the inverted index for g and returns a
+// provider. When lab is nil the label index is built too.
+func NewLabelProvider(g *graph.Graph, lab *label.Index) *LabelProvider {
+	if lab == nil {
+		lab = label.Build(g)
+	}
+	return &LabelProvider{Graph: g, Labels: lab, Inv: invindex.Build(g, lab)}
+}
+
+// NN returns a fresh label-based NNFinder.
+func (p *LabelProvider) NN() NNFinder {
+	return &labelNN{inv: p.Inv, iters: make(map[nnKey]*invindex.NNIterator)}
+}
+
+// DistTo returns the label-based dis(·, t) oracle.
+func (p *LabelProvider) DistTo(t graph.Vertex) func(graph.Vertex) graph.Weight {
+	lab := p.Labels
+	return func(v graph.Vertex) graph.Weight { return lab.Dist(v, t) }
+}
+
+type labelNN struct {
+	inv     *invindex.Index
+	iters   map[nnKey]*invindex.NNIterator
+	queries int64
+}
+
+func (l *labelNN) Find(v graph.Vertex, cat graph.Category, x int) (Neighbor, bool) {
+	key := nnKey{v, cat}
+	it := l.iters[key]
+	if it == nil {
+		it = l.inv.NewNNIterator(v, cat)
+		l.iters[key] = it
+	}
+	if x > it.Found() {
+		l.queries++ // a real FindNN, not an NL hit
+	}
+	nb, ok := it.Get(x)
+	if !ok {
+		return Neighbor{}, false
+	}
+	return Neighbor{V: nb.V, D: nb.D}, true
+}
+
+func (l *labelNN) Queries() int64 { return l.queries }
+
+// DijkstraProvider backs queries with plain graph searches: FindNN is an
+// incremental Dijkstra kNN and the distance-to-target oracle is one full
+// reverse Dijkstra from t. This is the configuration of the paper's
+// KPNE-Dij / PK-Dij / SK-Dij variants.
+type DijkstraProvider struct {
+	Graph *graph.Graph
+}
+
+// NN returns a fresh Dijkstra-based NNFinder.
+func (p *DijkstraProvider) NN() NNFinder {
+	return &dijNN{g: p.Graph, iters: make(map[nnKey]*dijkstra.KNN)}
+}
+
+// DistTo runs one reverse SSSP from t and serves dis(·, t) lookups from
+// the resulting table.
+func (p *DijkstraProvider) DistTo(t graph.Vertex) func(graph.Vertex) graph.Weight {
+	dist := dijkstra.AllDistances(p.Graph, t, true)
+	return func(v graph.Vertex) graph.Weight { return dist[v] }
+}
+
+type dijNN struct {
+	g       *graph.Graph
+	iters   map[nnKey]*dijkstra.KNN
+	queries int64
+}
+
+func (d *dijNN) Find(v graph.Vertex, cat graph.Category, x int) (Neighbor, bool) {
+	key := nnKey{v, cat}
+	it := d.iters[key]
+	if it == nil {
+		it = dijkstra.NewKNN(d.g, v, cat)
+		d.iters[key] = it
+	}
+	if x > it.Found() {
+		d.queries++
+	}
+	nb, ok := it.Get(x)
+	if !ok {
+		return Neighbor{}, false
+	}
+	return Neighbor{V: nb.V, D: nb.D}, true
+}
+
+func (d *dijNN) Queries() int64 { return d.queries }
+
+// enFinder implements FindNEN (Algorithm 4) generically on top of any
+// NNFinder: Find(v, cat, x) returns the category vertex u whose estimated
+// cost dis(v,u) + dis(u,t) is the x-th least. The returned Neighbor.D is
+// the plain distance dis(v,u) (needed to accumulate real route costs);
+// the estimate is recovered by the caller as D + distTo(V).
+type enFinder struct {
+	nn     NNFinder
+	distTo func(graph.Vertex) graph.Weight
+	states map[nnKey]*enState
+	// estTicks accumulates the number of dis(·,t) estimations performed,
+	// letting the engine attribute estimation time (Table X).
+	estCalls int64
+}
+
+type enState struct {
+	enl       []Neighbor // found estimated neighbours; D = plain distance
+	enq       *pq.Heap[enCand]
+	ln        *Neighbor // fetched from FindNN but not yet enqueued
+	fetched   int
+	exhausted bool
+}
+
+type enCand struct {
+	v   graph.Vertex
+	d   graph.Weight // plain dis(v_query, v)
+	est graph.Weight // d + dis(v, t)
+}
+
+func newENFinder(nn NNFinder, distTo func(graph.Vertex) graph.Weight) *enFinder {
+	return &enFinder{nn: nn, distTo: distTo, states: make(map[nnKey]*enState)}
+}
+
+func (e *enFinder) Queries() int64 { return e.nn.Queries() }
+
+func (e *enFinder) Find(v graph.Vertex, cat graph.Category, x int) (Neighbor, bool) {
+	key := nnKey{v, cat}
+	st := e.states[key]
+	if st == nil {
+		st = &enState{enq: pq.NewHeap[enCand](func(a, b enCand) bool {
+			if a.est != b.est {
+				return a.est < b.est
+			}
+			return a.v < b.v
+		})}
+		e.states[key] = st
+	}
+	for len(st.enl) < x {
+		nb, ok := e.next(v, cat, st)
+		if !ok {
+			return Neighbor{}, false
+		}
+		st.enl = append(st.enl, nb)
+	}
+	return st.enl[x-1], true
+}
+
+// next produces the next nearest estimated neighbour, per Algorithm 4:
+// keep fetching plain nearest neighbours while the next one's plain
+// distance could still beat the best enqueued estimate (a plain distance
+// is a lower bound of an estimate); then pop the best candidate.
+func (e *enFinder) next(v graph.Vertex, cat graph.Category, st *enState) (Neighbor, bool) {
+	for {
+		if st.ln == nil && !st.exhausted {
+			nb, ok := e.nn.Find(v, cat, st.fetched+1)
+			st.fetched++
+			if ok {
+				st.ln = &nb
+			} else {
+				st.exhausted = true
+			}
+		}
+		if st.enq.Len() > 0 {
+			top := st.enq.Min()
+			if st.exhausted || st.ln.D >= top.est {
+				c := st.enq.Pop()
+				return Neighbor{V: c.v, D: c.d}, true
+			}
+		} else if st.exhausted {
+			return Neighbor{}, false
+		}
+		// Enqueue the pending nearest neighbour with its estimate and
+		// fetch the next one on the following iteration.
+		if st.ln != nil {
+			e.estCalls++
+			est := st.ln.D + e.distTo(st.ln.V)
+			st.enq.Push(enCand{v: st.ln.V, d: st.ln.D, est: est})
+			st.ln = nil
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/graph"
+)
+
+// Searcher streams sequenced routes one at a time in nondecreasing cost
+// order, without a fixed k: PNE-family searches are inherently
+// progressive, so the (i+1)-th route costs only the additional expansion
+// beyond the i-th. Useful for paginated interfaces ("show me more
+// alternatives") where the final k is unknown up front.
+//
+// A Searcher is single-use and not safe for concurrent use.
+type Searcher struct {
+	e     *engine
+	nn    NNFinder
+	start time.Time
+}
+
+// NewSearcher starts a streaming search for the query. q.K is ignored:
+// routes are produced on demand until the witness space is exhausted or
+// a budget in opt trips.
+func NewSearcher(g *graph.Graph, q Query, prov Provider, opt Options) (*Searcher, error) {
+	q.K = 1 // satisfy validation; the stream is unbounded
+	e, nn, err := newStandardEngine(g, q, prov, opt)
+	if err != nil {
+		return nil, err
+	}
+	e.seed()
+	return &Searcher{e: e, nn: nn, start: time.Now()}, nil
+}
+
+// Next returns the next cheapest route. ok is false when no further
+// feasible route exists. After an ErrBudgetExceeded the stream is
+// exhausted.
+func (s *Searcher) Next() (Route, bool, error) {
+	r, ok, err := s.e.nextResult()
+	s.e.stats.NNQueries = s.nn.Queries()
+	s.e.stats.Results = len(s.e.results)
+	s.e.stats.Total = time.Since(s.start)
+	return r, ok, err
+}
+
+// Stats returns the running search statistics.
+func (s *Searcher) Stats() *Stats { return s.e.stats }

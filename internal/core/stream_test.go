@@ -1,0 +1,93 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestSearcherStreamsAllWitnesses(t *testing.T) {
+	g := graph.Figure1()
+	q := fig1Query(t, g, 1)
+	prov := NewLabelProvider(g, nil)
+	for _, m := range []Method{MethodKPNE, MethodPK, MethodSK} {
+		s, err := NewSearcher(g, q, prov, Options{Method: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var costs []float64
+		for {
+			r, ok, err := s.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			costs = append(costs, r.Cost)
+		}
+		// All 2×2×2 = 8 witnesses, in nondecreasing cost order,
+		// starting 20, 21, 22 (Example 1).
+		if len(costs) != 8 {
+			t.Fatalf("%s: streamed %d routes: %v", m, len(costs), costs)
+		}
+		if costs[0] != 20 || costs[1] != 21 || costs[2] != 22 {
+			t.Fatalf("%s: costs=%v", m, costs)
+		}
+		for i := 1; i < len(costs); i++ {
+			if costs[i] < costs[i-1] {
+				t.Fatalf("%s: out of order: %v", m, costs)
+			}
+		}
+		if s.Stats().Results != 8 {
+			t.Fatalf("%s: stats=%+v", m, s.Stats())
+		}
+	}
+}
+
+func TestSearcherMatchesSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(2025))
+	for trial := 0; trial < 30; trial++ {
+		g, q := randomInstance(rng)
+		prov := NewLabelProvider(g, nil)
+		q.K = 6
+		routes, _, err := Solve(g, q, prov, Options{Method: MethodSK})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := NewSearcher(g, q, prov, Options{Method: MethodSK})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, want := range routes {
+			r, ok, err := s.Next()
+			if err != nil || !ok {
+				t.Fatalf("trial %d: stream ended at %d, want %d routes", trial, i, len(routes))
+			}
+			if r.Cost != want.Cost {
+				t.Fatalf("trial %d route %d: %v vs %v", trial, i, r.Cost, want.Cost)
+			}
+		}
+	}
+}
+
+func TestSearcherBudget(t *testing.T) {
+	g := graph.Figure1()
+	q := fig1Query(t, g, 1)
+	s, err := NewSearcher(g, q, NewLabelProvider(g, nil), Options{Method: MethodKPNE, MaxExamined: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = s.Next()
+	if err != ErrBudgetExceeded {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestSearcherValidation(t *testing.T) {
+	g := graph.Figure1()
+	if _, err := NewSearcher(g, Query{Source: -1}, NewLabelProvider(g, nil), Options{}); err == nil {
+		t.Fatal("want validation error")
+	}
+}

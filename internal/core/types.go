@@ -1,0 +1,205 @@
+// Package core implements the paper's contribution: answering top-k
+// optimal sequenced route (KOSR) queries on general graphs. It provides
+// the baseline KPNE (Algorithm 1 extended to top-k), the dominance-based
+// PruningKOSR (Algorithm 2), the A*-style StarKOSR (Section IV-B), and
+// the GSP dynamic-programming baseline for OSR queries (Section III-B2).
+//
+// All route algorithms operate on witnesses (Definition 4): sequences
+// ⟨s, v1, …, vj, t⟩ with vi ∈ V_Ci whose cost is the sum of shortest-path
+// distances between consecutive vertices. Nearest-neighbour discovery is
+// abstracted behind NNFinder so every algorithm runs both with the
+// inverted-label FindNN (Algorithm 3) and with incremental Dijkstra
+// searches (the paper's -Dij variants).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// Query is a KOSR query (s, t, C, k) — Definition 5.
+type Query struct {
+	Source, Target graph.Vertex
+	// Categories is the category sequence C = ⟨C1, …, Cj⟩ that feasible
+	// routes must visit in order between Source and Target.
+	Categories []graph.Category
+	// K is the number of routes to return.
+	K int
+}
+
+// Validate checks the query against a graph.
+func (q Query) Validate(g *graph.Graph) error {
+	n := graph.Vertex(g.NumVertices())
+	if q.Source < 0 || q.Source >= n {
+		return fmt.Errorf("core: source %d out of range", q.Source)
+	}
+	if q.Target < 0 || q.Target >= n {
+		return fmt.Errorf("core: target %d out of range", q.Target)
+	}
+	if q.K <= 0 {
+		return fmt.Errorf("core: k must be positive, got %d", q.K)
+	}
+	for _, c := range q.Categories {
+		if int(c) < 0 || int(c) >= g.NumCategories() {
+			return fmt.Errorf("core: category %d out of range", c)
+		}
+	}
+	return nil
+}
+
+// Route is one result: a witness and its cost.
+type Route struct {
+	// Witness is ⟨s, v1, …, vj, t⟩.
+	Witness []graph.Vertex
+	// Cost is the witness cost: the sum of shortest-path distances
+	// between consecutive witness vertices.
+	Cost graph.Weight
+}
+
+// String renders the witness with its cost, e.g. "⟨0 3 7⟩(20)".
+func (r Route) String() string {
+	var b strings.Builder
+	b.WriteString("⟨")
+	for i, v := range r.Witness {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d", v)
+	}
+	fmt.Fprintf(&b, "⟩(%g)", r.Cost)
+	return b.String()
+}
+
+// Neighbor is a category vertex at a shortest-path distance from some
+// query vertex.
+type Neighbor struct {
+	V graph.Vertex
+	D graph.Weight
+}
+
+// NNFinder finds the x-th nearest neighbour of a vertex within a
+// category, 1-based, resuming prior work where possible. Implementations
+// are per-query and not safe for concurrent use.
+type NNFinder interface {
+	// Find returns the x-th nearest neighbour of v in cat by plain
+	// shortest-path distance. ok is false when fewer than x vertices of
+	// cat are reachable from v.
+	Find(v graph.Vertex, cat graph.Category, x int) (Neighbor, bool)
+	// Queries returns the number of NN searches that did real work
+	// (cache hits on already-materialized neighbours are not counted,
+	// matching the paper's evaluation criterion).
+	Queries() int64
+}
+
+// Provider supplies the per-query machinery an algorithm needs: an
+// NNFinder and a distance-to-target oracle (the A* heuristic of
+// StarKOSR, also used to close routes into the destination).
+type Provider interface {
+	// NN returns a fresh NNFinder for one query.
+	NN() NNFinder
+	// DistTo returns an oracle for dis(·, t).
+	DistTo(t graph.Vertex) func(graph.Vertex) graph.Weight
+}
+
+// Method selects the route search algorithm.
+type Method int
+
+// The route search algorithms of the paper. StarKOSR — the paper's
+// fastest method — is the zero value, so it is the default everywhere.
+const (
+	// MethodSK is StarKOSR (Section IV-B).
+	MethodSK Method = iota
+	// MethodPK is PruningKOSR (Algorithm 2).
+	MethodPK
+	// MethodKPNE is the baseline: PNE (Algorithm 1) extended to top-k.
+	MethodKPNE
+	// MethodKStar is an ablation not in the paper: KPNE's exhaustive
+	// expansion ordered by the A* estimate of StarKOSR, isolating the
+	// contribution of the estimate from that of the dominance pruning.
+	MethodKStar
+)
+
+func (m Method) String() string {
+	switch m {
+	case MethodKPNE:
+		return "KPNE"
+	case MethodPK:
+		return "PruningKOSR"
+	case MethodSK:
+		return "StarKOSR"
+	case MethodKStar:
+		return "KPNE+A*"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Options tunes a Solve call.
+type Options struct {
+	Method Method
+	// TimeBreakdown enables the Table X wall-clock attribution (NN time,
+	// queue time, estimation time); it adds timer overhead.
+	TimeBreakdown bool
+	// MaxExamined aborts the search after this many examined routes
+	// (0 = unlimited). The harness uses it to report INF entries.
+	MaxExamined int64
+	// MaxDuration aborts the search after this much wall-clock time
+	// (0 = unlimited).
+	MaxDuration time.Duration
+	// Trace records the global queue contents at every step (the
+	// paper's Tables III and VI). Expensive; for tests and demos only.
+	Trace *Trace
+}
+
+// ErrBudgetExceeded is returned when MaxExamined or MaxDuration was hit
+// before k routes were found. The harness renders it as the paper's INF.
+var ErrBudgetExceeded = errors.New("core: search budget exceeded")
+
+// Stats reports the evaluation criteria of Section V-A: run-time, number
+// of examined routes, number of NN queries — plus the Table X wall-clock
+// breakdown and the Figure 5 per-category search-space profile.
+type Stats struct {
+	Method    Method
+	Examined  int64 // routes popped from the global priority queue
+	Generated int64 // routes pushed into the global priority queue
+	Dominated int64 // routes parked in HT≻ (PruningKOSR/StarKOSR)
+	Released  int64 // parked routes re-inserted after a result
+	NNQueries int64 // non-cached FindNN invocations
+	PeakQueue int   // maximum size of the global priority queue
+	Results   int
+
+	// ExaminedPerLevel[i] counts examined routes whose witness size is
+	// i+1, i.e. routes whose last vertex sits at category i (0 = source,
+	// |C|+1 = destination) — Figure 5.
+	ExaminedPerLevel []int64
+
+	Total time.Duration
+	// Breakdown (only populated with Options.TimeBreakdown):
+	NNTime  time.Duration // nearest-neighbour queries
+	PQTime  time.Duration // global priority queue maintenance
+	EstTime time.Duration // cost-to-destination estimation (StarKOSR)
+}
+
+// TraceRoute is one queue entry in a Trace snapshot.
+type TraceRoute struct {
+	Witness string // e.g. "s,a,b"
+	Cost    graph.Weight
+	X       int // NN index of the last vertex; -1 renders as the paper's '-'
+}
+
+// TraceStep is the global queue at the start of one iteration, sorted by
+// priority.
+type TraceStep struct {
+	Queue []TraceRoute
+}
+
+// Trace captures the per-step queue snapshots of Tables III and VI.
+type Trace struct {
+	// Names maps vertices to symbolic names for rendering.
+	Names func(graph.Vertex) string
+	Steps []TraceStep
+}

@@ -1,0 +1,307 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/pq"
+)
+
+// This file implements the query variants of Section IV-C ("Variants of
+// KOSR"):
+//
+//   - no required source: the search starts from every vertex of the
+//     first category instead of a fixed source;
+//   - no required destination: routes are complete once the last
+//     category is reached (only the dominance-based search applies — the
+//     A* estimate needs a destination);
+//   - per-category preferences: a filter restricts which vertices of a
+//     category qualify (the paper's "Italian restaurants in RE" example,
+//     applied at line 15 of Algorithm 3).
+
+// Filters restricts categories to preferred vertices. A nil function (or
+// a missing key) admits every vertex of the category.
+type Filters map[graph.Category]func(graph.Vertex) bool
+
+// filteredNN adapts any NNFinder so that Find(v, cat, x) returns the
+// x-th nearest *admitted* neighbour. The mapping from filtered rank to
+// underlying rank is cached per (vertex, category), so repeated calls
+// resume rather than rescan.
+type filteredNN struct {
+	inner   NNFinder
+	filters Filters
+	state   map[nnKey]*filterState
+}
+
+type filterState struct {
+	kept   []Neighbor
+	innerX int
+	done   bool
+}
+
+func newFilteredNN(inner NNFinder, filters Filters) *filteredNN {
+	return &filteredNN{inner: inner, filters: filters, state: make(map[nnKey]*filterState)}
+}
+
+func (f *filteredNN) Queries() int64 { return f.inner.Queries() }
+
+func (f *filteredNN) Find(v graph.Vertex, cat graph.Category, x int) (Neighbor, bool) {
+	pred := f.filters[cat]
+	if pred == nil {
+		return f.inner.Find(v, cat, x)
+	}
+	key := nnKey{v, cat}
+	st := f.state[key]
+	if st == nil {
+		st = &filterState{}
+		f.state[key] = st
+	}
+	for len(st.kept) < x && !st.done {
+		nb, ok := f.inner.Find(v, cat, st.innerX+1)
+		st.innerX++
+		if !ok {
+			st.done = true
+			break
+		}
+		if pred(nb.V) {
+			st.kept = append(st.kept, nb)
+		}
+	}
+	if len(st.kept) < x {
+		return Neighbor{}, false
+	}
+	return st.kept[x-1], true
+}
+
+// VariantQuery generalizes Query for the Section IV-C variants.
+type VariantQuery struct {
+	// Source is the start vertex; ignored when NoSource is set (the
+	// route may start at any vertex of the first category).
+	Source   graph.Vertex
+	NoSource bool
+	// Target is the destination; ignored when NoTarget is set (the
+	// route ends at the last category).
+	Target   graph.Vertex
+	NoTarget bool
+
+	Categories []graph.Category
+	K          int
+
+	// Filters restricts categories to preferred vertices.
+	Filters Filters
+}
+
+// Validate checks the variant query against a graph.
+func (q VariantQuery) Validate(g *graph.Graph) error {
+	n := graph.Vertex(g.NumVertices())
+	if !q.NoSource && (q.Source < 0 || q.Source >= n) {
+		return fmt.Errorf("core: source %d out of range", q.Source)
+	}
+	if !q.NoTarget && (q.Target < 0 || q.Target >= n) {
+		return fmt.Errorf("core: target %d out of range", q.Target)
+	}
+	if q.K <= 0 {
+		return fmt.Errorf("core: k must be positive, got %d", q.K)
+	}
+	if len(q.Categories) == 0 {
+		return fmt.Errorf("core: variant queries need at least one category")
+	}
+	if q.NoSource && q.NoTarget && len(q.Categories) < 2 {
+		return fmt.Errorf("core: no-source no-target queries need at least two categories")
+	}
+	for _, c := range q.Categories {
+		if int(c) < 0 || int(c) >= g.NumCategories() {
+			return fmt.Errorf("core: category %d out of range", c)
+		}
+	}
+	return nil
+}
+
+// SolveVariant answers a VariantQuery. Witnesses omit the source when
+// NoSource is set (they begin at a vertex of C1) and omit the
+// destination when NoTarget is set (they end at a vertex of Cj).
+// StarKOSR degrades to PruningKOSR when NoTarget disables the estimate,
+// per Section IV-C.
+func SolveVariant(g *graph.Graph, q VariantQuery, prov Provider, opt Options) ([]Route, *Stats, error) {
+	if err := q.Validate(g); err != nil {
+		return nil, nil, err
+	}
+	if q.NoTarget && opt.Method == MethodSK {
+		// "In the case that destination is not required ... the
+		// StarKOSR method will not work, but PruningKOSR still works."
+		opt.Method = MethodPK
+	}
+
+	cats := q.Categories
+	var roots []graph.Vertex
+	if q.NoSource {
+		// Seed the queue with every (admitted) vertex of C1; the
+		// remaining category sequence excludes C1, whose members are
+		// now the route heads.
+		pred := q.Filters[cats[0]]
+		for _, v := range g.VerticesOf(cats[0]) {
+			if pred == nil || pred(v) {
+				roots = append(roots, v)
+			}
+		}
+		cats = cats[1:]
+	} else {
+		roots = []graph.Vertex{q.Source}
+	}
+
+	st := &Stats{
+		Method:           opt.Method,
+		ExaminedPerLevel: make([]int64, len(cats)+2),
+	}
+	start := time.Now()
+	nn := prov.NN()
+	var finder NNFinder = nn
+	if len(q.Filters) > 0 {
+		finder = newFilteredNN(nn, q.Filters)
+	}
+	var distTo func(graph.Vertex) graph.Weight
+	if q.NoTarget {
+		distTo = func(graph.Vertex) graph.Weight { return 0 }
+	} else {
+		distTo = prov.DistTo(q.Target)
+	}
+	e := &engine{
+		g:            g,
+		q:            Query{Source: q.Source, Target: q.Target, Categories: cats, K: q.K},
+		opt:          opt,
+		distTo:       distTo,
+		stats:        st,
+		useDominance: opt.Method == MethodPK || opt.Method == MethodSK,
+		useEstimate:  (opt.Method == MethodSK || opt.Method == MethodKStar) && !q.NoTarget,
+		roots:        roots,
+		rootsSet:     true,
+		noTarget:     q.NoTarget,
+	}
+	if opt.TimeBreakdown {
+		e.pqTime = &st.PQTime
+	}
+	if e.useEstimate {
+		e.finder = newENFinder(finder, distTo)
+	} else {
+		e.finder = finder
+	}
+	e.heap = pq.NewHeap[qItem](func(a, b qItem) bool {
+		if a.key != b.key {
+			return a.key < b.key
+		}
+		return a.seq < b.seq
+	})
+	if e.useDominance {
+		e.dominating = make(map[domKey]*routeNode)
+		e.dominated = make(map[domKey]*pq.Heap[qItem])
+	}
+	err := e.run()
+	st.NNQueries = nn.Queries()
+	st.Results = len(e.results)
+	st.Total = time.Since(start)
+	return e.results, st, err
+}
+
+// BruteForceVariant is the exhaustive oracle for variant queries.
+func BruteForceVariant(g *graph.Graph, q VariantQuery) ([]Route, error) {
+	if err := q.Validate(g); err != nil {
+		return nil, err
+	}
+	admitted := func(c graph.Category) []graph.Vertex {
+		pred := q.Filters[c]
+		if pred == nil {
+			return g.VerticesOf(c)
+		}
+		var out []graph.Vertex
+		for _, v := range g.VerticesOf(c) {
+			if pred(v) {
+				out = append(out, v)
+			}
+		}
+		return out
+	}
+
+	heads := []graph.Vertex{q.Source}
+	cats := q.Categories
+	if q.NoSource {
+		heads = admitted(cats[0])
+		cats = cats[1:]
+	}
+	var all []Route
+	for _, head := range heads {
+		var target *graph.Vertex
+		if !q.NoTarget {
+			t := q.Target
+			target = &t
+		}
+		// bruteEnumerate's leading witness entry is the head itself,
+		// which for the no-source variant is exactly the C1 vertex —
+		// the same witness shape SolveVariant produces.
+		all = append(all, bruteEnumerate(g, head, cats, admitted, target)...)
+	}
+	sortRoutes(all)
+	if len(all) > q.K {
+		all = all[:q.K]
+	}
+	return all, nil
+}
+
+func sortRoutes(rs []Route) {
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0; j-- {
+			if rs[j].Cost < rs[j-1].Cost ||
+				(rs[j].Cost == rs[j-1].Cost && lessWitness(rs[j].Witness, rs[j-1].Witness)) {
+				rs[j], rs[j-1] = rs[j-1], rs[j]
+			} else {
+				break
+			}
+		}
+	}
+}
+
+// bruteEnumerate lists every (filtered) witness; target nil means the
+// route ends at the last category.
+func bruteEnumerate(g *graph.Graph, src graph.Vertex, cats []graph.Category,
+	admitted func(graph.Category) []graph.Vertex, target *graph.Vertex) []Route {
+
+	dist := make(map[graph.Vertex][]float64)
+	ensure := func(v graph.Vertex) []float64 {
+		if d, ok := dist[v]; ok {
+			return d
+		}
+		d := allDistances(g, v)
+		dist[v] = d
+		return d
+	}
+	var all []Route
+	witness := make([]graph.Vertex, 0, len(cats)+2)
+	var rec func(cur graph.Vertex, level int, cost graph.Weight)
+	rec = func(cur graph.Vertex, level int, cost graph.Weight) {
+		if level == len(cats) {
+			if target == nil {
+				all = append(all, Route{Witness: append([]graph.Vertex{src}, witness...), Cost: cost})
+				return
+			}
+			d := ensure(cur)[*target]
+			if !math.IsInf(d, 1) {
+				w := append([]graph.Vertex{src}, witness...)
+				w = append(w, *target)
+				all = append(all, Route{Witness: w, Cost: cost + d})
+			}
+			return
+		}
+		dcur := ensure(cur)
+		for _, v := range admitted(cats[level]) {
+			if math.IsInf(dcur[v], 1) {
+				continue
+			}
+			witness = append(witness, v)
+			rec(v, level+1, cost+dcur[v])
+			witness = witness[:len(witness)-1]
+		}
+	}
+	rec(src, 0, 0)
+	return all
+}

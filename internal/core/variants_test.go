@@ -1,0 +1,209 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// variantInstance draws a random variant query on a random graph.
+func variantInstance(rng *rand.Rand) (*graph.Graph, VariantQuery) {
+	g, base := randomInstance(rng)
+	q := VariantQuery{
+		Source:     base.Source,
+		Target:     base.Target,
+		Categories: base.Categories,
+		K:          base.K,
+	}
+	return g, q
+}
+
+func solveAndCompare(t *testing.T, g *graph.Graph, q VariantQuery, tag string) {
+	t.Helper()
+	oracle, err := BruteForceVariant(g, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for provName, prov := range providers(g) {
+		for _, m := range []Method{MethodKPNE, MethodPK, MethodSK} {
+			routes, _, err := SolveVariant(g, q, prov, Options{Method: m})
+			if err != nil {
+				t.Fatalf("%s/%s/%s: %v", tag, provName, m, err)
+			}
+			if len(routes) != len(oracle) {
+				t.Fatalf("%s/%s/%s: got %d routes, oracle %d\ngot=%v\nwant=%v",
+					tag, provName, m, len(routes), len(oracle), routes, oracle)
+			}
+			for i := range routes {
+				if routes[i].Cost != oracle[i].Cost {
+					t.Fatalf("%s/%s/%s: route %d cost %v, oracle %v\ngot=%v\nwant=%v",
+						tag, provName, m, i, routes[i].Cost, oracle[i].Cost, routes, oracle)
+				}
+			}
+		}
+	}
+}
+
+func TestNoSourceVariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(321))
+	for trial := 0; trial < 50; trial++ {
+		g, q := variantInstance(rng)
+		q.NoSource = true
+		solveAndCompare(t, g, q, "no-source")
+	}
+}
+
+func TestNoTargetVariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(654))
+	for trial := 0; trial < 50; trial++ {
+		g, q := variantInstance(rng)
+		q.NoTarget = true
+		solveAndCompare(t, g, q, "no-target")
+	}
+}
+
+func TestNoSourceNoTargetVariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(987))
+	for trial := 0; trial < 50; trial++ {
+		g, q := variantInstance(rng)
+		if len(q.Categories) < 2 {
+			continue
+		}
+		q.NoSource = true
+		q.NoTarget = true
+		solveAndCompare(t, g, q, "no-source-no-target")
+	}
+}
+
+func TestFilteredVariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(135))
+	for trial := 0; trial < 50; trial++ {
+		g, q := variantInstance(rng)
+		// Admit only even vertices in the first category.
+		q.Filters = Filters{q.Categories[0]: func(v graph.Vertex) bool { return v%2 == 0 }}
+		solveAndCompare(t, g, q, "filtered")
+	}
+}
+
+func TestFilterActuallyFilters(t *testing.T) {
+	// On Figure 1, restrict RE to vertex e only: the best route must use
+	// e (cost 21) instead of b (cost 20).
+	g := graph.Figure1()
+	s, _ := g.VertexByName("s")
+	tv, _ := g.VertexByName("t")
+	e, _ := g.VertexByName("e")
+	ma, _ := g.CategoryByName("MA")
+	re, _ := g.CategoryByName("RE")
+	ci, _ := g.CategoryByName("CI")
+	q := VariantQuery{
+		Source: s, Target: tv,
+		Categories: []graph.Category{ma, re, ci},
+		K:          2,
+		Filters:    Filters{re: func(v graph.Vertex) bool { return v == e }},
+	}
+	routes, _, err := SolveVariant(g, q, NewLabelProvider(g, nil), Options{Method: MethodSK})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(routes) == 0 || routes[0].Cost != 21 {
+		t.Fatalf("routes=%v, want best cost 21 via e", routes)
+	}
+	for _, r := range routes {
+		if r.Witness[2] != e {
+			t.Fatalf("route uses non-admitted restaurant: %v", r)
+		}
+	}
+}
+
+func TestNoSourceFigure1(t *testing.T) {
+	// Without a fixed source, the best ⟨MA,RE,CI⟩ route to t starts at
+	// whichever mall minimizes the remaining trip: c→b→d→t = 5+3+4 = 12.
+	g := graph.Figure1()
+	tv, _ := g.VertexByName("t")
+	c, _ := g.VertexByName("c")
+	ma, _ := g.CategoryByName("MA")
+	re, _ := g.CategoryByName("RE")
+	ci, _ := g.CategoryByName("CI")
+	q := VariantQuery{
+		NoSource: true, Target: tv,
+		Categories: []graph.Category{ma, re, ci}, K: 1,
+	}
+	routes, _, err := SolveVariant(g, q, NewLabelProvider(g, nil), Options{Method: MethodSK})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(routes) != 1 || routes[0].Cost != 12 || routes[0].Witness[0] != c {
+		t.Fatalf("routes=%v, want ⟨c,b,d,t⟩(12)", routes)
+	}
+}
+
+func TestNoTargetFigure1(t *testing.T) {
+	// Without a destination, the best ⟨MA,RE,CI⟩ route from s is
+	// s→a→b→d = 8+5+3 = 16.
+	g := graph.Figure1()
+	s, _ := g.VertexByName("s")
+	ma, _ := g.CategoryByName("MA")
+	re, _ := g.CategoryByName("RE")
+	ci, _ := g.CategoryByName("CI")
+	q := VariantQuery{
+		Source: s, NoTarget: true,
+		Categories: []graph.Category{ma, re, ci}, K: 2,
+	}
+	// StarKOSR silently degrades to PruningKOSR (Section IV-C).
+	routes, st, err := SolveVariant(g, q, NewLabelProvider(g, nil), Options{Method: MethodSK})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Method != MethodPK {
+		t.Fatalf("method=%v, want degradation to PruningKOSR", st.Method)
+	}
+	if len(routes) != 2 || routes[0].Cost != 16 {
+		t.Fatalf("routes=%v, want best ⟨s,a,b,d⟩(16)", routes)
+	}
+}
+
+func TestVariantValidation(t *testing.T) {
+	g := graph.Figure1()
+	prov := NewLabelProvider(g, nil)
+	bad := []VariantQuery{
+		{Source: -1, Target: 0, Categories: []graph.Category{0}, K: 1},
+		{Source: 0, Target: -1, Categories: []graph.Category{0}, K: 1},
+		{Source: 0, Target: 1, Categories: []graph.Category{0}, K: 0},
+		{Source: 0, Target: 1, K: 1},                                            // no categories
+		{NoSource: true, NoTarget: true, Categories: []graph.Category{0}, K: 1}, // too short
+		{Source: 0, Target: 1, Categories: []graph.Category{99}, K: 1},
+	}
+	for i, q := range bad {
+		if _, _, err := SolveVariant(g, q, prov, Options{}); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+}
+
+func TestUnweightedGraphVariant(t *testing.T) {
+	// "For KOSR on unweighted graphs, we simply set the weights of all
+	// edges to 1" (Section IV-C): verify exactness on a unit-weight
+	// small-world-like graph.
+	rng := rand.New(rand.NewSource(42))
+	n := 30
+	b := graph.NewBuilder(n, true)
+	b.EnsureCategories(3)
+	for i := 0; i < 5*n; i++ {
+		b.AddEdge(graph.Vertex(rng.Intn(n)), graph.Vertex(rng.Intn(n)), 1)
+	}
+	for v := 0; v < n; v++ {
+		b.AddCategory(graph.Vertex(v), graph.Category(rng.Intn(3)))
+	}
+	g := b.MustBuild()
+	q := Query{Source: 0, Target: graph.Vertex(n - 1), Categories: []graph.Category{0, 1, 2}, K: 5}
+	oracle, err := BruteForce(g, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	routes, _, err := Solve(g, q, NewLabelProvider(g, nil), Options{Method: MethodSK})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyRoutes(t, g, q, routes, oracle, "unweighted")
+}

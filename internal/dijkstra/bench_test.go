@@ -1,0 +1,33 @@
+package dijkstra
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func BenchmarkSSSPGrid1600(b *testing.B) {
+	g := gen.GridBuilder(gen.GridOptions{Rows: 40, Cols: 40, Diagonals: true, Seed: 11}).MustBuild()
+	s := New(g)
+	rng := rand.New(rand.NewSource(12))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.FromSource(graph.Vertex(rng.Intn(g.NumVertices())), false)
+	}
+}
+
+func BenchmarkMultiSource(b *testing.B) {
+	g := gen.GridBuilder(gen.GridOptions{Rows: 40, Cols: 40, Diagonals: true, Seed: 11}).MustBuild()
+	s := New(g)
+	rng := rand.New(rand.NewSource(13))
+	seeds := make([]Seed, 100)
+	for i := range seeds {
+		seeds[i] = Seed{V: graph.Vertex(rng.Intn(g.NumVertices())), D: float64(rng.Intn(10))}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.MultiSource(seeds, false)
+	}
+}

@@ -1,0 +1,194 @@
+// Package dijkstra implements the shortest-path searches that every other
+// subsystem builds on: single-source (forward or reverse), point-to-point
+// with early termination, multi-source seeded searches (the engine of the
+// GSP dynamic program), and an incremental k-nearest-neighbour iterator
+// (the Dijkstra-based FindNN used by the paper's -Dij method variants).
+package dijkstra
+
+import (
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/pq"
+)
+
+// Search is a reusable single-source shortest path workspace over a fixed
+// graph. A Search is not safe for concurrent use; create one per
+// goroutine.
+type Search struct {
+	g       *graph.Graph
+	dist    []float64
+	parent  []int32
+	heap    *pq.IndexedHeap
+	touched []int32
+	reverse bool
+}
+
+// New returns a Search workspace for g.
+func New(g *graph.Graph) *Search {
+	n := g.NumVertices()
+	s := &Search{
+		g:      g,
+		dist:   make([]float64, n),
+		parent: make([]int32, n),
+		heap:   pq.NewIndexedHeap(n),
+	}
+	for i := range s.dist {
+		s.dist[i] = graph.Inf
+		s.parent[i] = -1
+	}
+	return s
+}
+
+func (s *Search) reset() {
+	for _, v := range s.touched {
+		s.dist[v] = graph.Inf
+		s.parent[v] = -1
+	}
+	s.touched = s.touched[:0]
+	s.heap.Reset()
+}
+
+func (s *Search) arcs(v graph.Vertex) []graph.Arc {
+	if s.reverse {
+		return s.g.In(v)
+	}
+	return s.g.Out(v)
+}
+
+func (s *Search) relax(u graph.Vertex, a graph.Arc, du float64) {
+	nd := du + a.W
+	if nd < s.dist[a.To] {
+		if math.IsInf(s.dist[a.To], 1) {
+			s.touched = append(s.touched, a.To)
+		}
+		s.dist[a.To] = nd
+		s.parent[a.To] = u
+		s.heap.PushOrDecrease(a.To, nd)
+	}
+}
+
+// FromSource runs a complete SSSP from src. With reverse set, it searches
+// the reverse graph, so Dist(v) afterwards is dis(v, src) in the original
+// graph.
+func (s *Search) FromSource(src graph.Vertex, reverse bool) {
+	s.reset()
+	s.reverse = reverse
+	s.dist[src] = 0
+	s.touched = append(s.touched, src)
+	s.heap.PushOrDecrease(src, 0)
+	for s.heap.Len() > 0 {
+		u, du := s.heap.PopMin()
+		for _, a := range s.arcs(u) {
+			s.relax(u, a, du)
+		}
+	}
+}
+
+// MultiSource runs an SSSP seeded with dist[seeds[i].V] = seeds[i].D,
+// computing min_i (seeds[i].D + dis(seeds[i].V, v)) for every v. This is
+// exactly the transition of the GSP dynamic program (Section III-B2).
+type Seed struct {
+	V graph.Vertex
+	D float64
+}
+
+// MultiSource runs the seeded search described on Seed.
+func (s *Search) MultiSource(seeds []Seed, reverse bool) {
+	s.reset()
+	s.reverse = reverse
+	for _, seed := range seeds {
+		if seed.D < s.dist[seed.V] {
+			if math.IsInf(s.dist[seed.V], 1) {
+				s.touched = append(s.touched, seed.V)
+			}
+			s.dist[seed.V] = seed.D
+			s.heap.PushOrDecrease(seed.V, seed.D)
+		}
+	}
+	for s.heap.Len() > 0 {
+		u, du := s.heap.PopMin()
+		for _, a := range s.arcs(u) {
+			s.relax(u, a, du)
+		}
+	}
+}
+
+// ToTarget computes dis(src, dst), stopping as soon as dst is settled.
+// It returns +Inf when dst is unreachable.
+func (s *Search) ToTarget(src, dst graph.Vertex) float64 {
+	s.reset()
+	s.reverse = false
+	s.dist[src] = 0
+	s.touched = append(s.touched, src)
+	s.heap.PushOrDecrease(src, 0)
+	for s.heap.Len() > 0 {
+		u, du := s.heap.PopMin()
+		if u == dst {
+			return du
+		}
+		for _, a := range s.arcs(u) {
+			s.relax(u, a, du)
+		}
+	}
+	return graph.Inf
+}
+
+// Dist returns the distance label of v computed by the last search, or
+// +Inf when v was not reached.
+func (s *Search) Dist(v graph.Vertex) float64 { return s.dist[v] }
+
+// Path reconstructs the vertex sequence of the shortest path found by the
+// last FromSource call, from the source to v (already reoriented for
+// reverse searches). It returns nil when v was not reached.
+func (s *Search) Path(v graph.Vertex) []graph.Vertex {
+	if math.IsInf(s.dist[v], 1) {
+		return nil
+	}
+	var rev []graph.Vertex
+	for u := v; u != -1; u = s.parent[u] {
+		rev = append(rev, u)
+	}
+	if s.reverse {
+		// The reverse search grew from the target; rev is already in
+		// original-graph order (search root last popped first).
+		return rev
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// Parent returns the predecessor of v in the last search's shortest path
+// tree, or -1 for roots/seeds and unreached vertices.
+func (s *Search) Parent(v graph.Vertex) graph.Vertex {
+	if math.IsInf(s.dist[v], 1) {
+		return -1
+	}
+	return graph.Vertex(s.parent[v])
+}
+
+// Origin returns the root (for FromSource) or the seed vertex (for
+// MultiSource) whose search tree contains v, by walking the parent chain.
+// It returns -1 when v was not reached by the last search.
+func (s *Search) Origin(v graph.Vertex) graph.Vertex {
+	if math.IsInf(s.dist[v], 1) {
+		return -1
+	}
+	u := v
+	for s.parent[u] != -1 {
+		u = s.parent[u]
+	}
+	return u
+}
+
+// AllDistances is a convenience wrapper returning a fresh distance slice
+// for one SSSP from src (reverse optionally).
+func AllDistances(g *graph.Graph, src graph.Vertex, reverse bool) []float64 {
+	s := New(g)
+	s.FromSource(src, reverse)
+	out := make([]float64, g.NumVertices())
+	copy(out, s.dist)
+	return out
+}

@@ -1,0 +1,306 @@
+package dijkstra
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+// floydWarshall computes all-pairs shortest distances by dynamic
+// programming; the reference oracle for every search test.
+func floydWarshall(g *graph.Graph) [][]float64 {
+	n := g.NumVertices()
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+		for j := range d[i] {
+			if i != j {
+				d[i][j] = graph.Inf
+			}
+		}
+	}
+	g.Edges(func(e graph.Edge) bool {
+		if e.W < d[e.From][e.To] {
+			d[e.From][e.To] = e.W
+		}
+		return true
+	})
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			if math.IsInf(d[i][k], 1) {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if nd := d[i][k] + d[k][j]; nd < d[i][j] {
+					d[i][j] = nd
+				}
+			}
+		}
+	}
+	return d
+}
+
+func randomGraph(rng *rand.Rand, n, m int) *graph.Graph {
+	b := graph.NewBuilder(n, true)
+	for i := 0; i < m; i++ {
+		u := graph.Vertex(rng.Intn(n))
+		v := graph.Vertex(rng.Intn(n))
+		b.AddEdge(u, v, float64(1+rng.Intn(20)))
+	}
+	return b.MustBuild()
+}
+
+func TestFigure1Distances(t *testing.T) {
+	g := graph.Figure1()
+	name := func(s string) graph.Vertex {
+		v, ok := g.VertexByName(s)
+		if !ok {
+			t.Fatalf("vertex %q missing", s)
+		}
+		return v
+	}
+	s := New(g)
+	// Every distance quoted in the paper (Tables IV/V, Examples 3–6).
+	cases := []struct {
+		from, to string
+		want     float64
+	}{
+		{"s", "a", 8}, {"s", "c", 10}, {"s", "t", 17}, {"s", "e", 14},
+		{"s", "b", 13}, {"s", "d", 13}, {"s", "f", 24},
+		{"a", "c", 20}, {"a", "t", 12}, {"a", "s", 10}, {"a", "b", 5}, {"a", "e", 6},
+		{"b", "t", 7}, {"b", "s", 5},
+		{"c", "t", 7}, {"c", "d", 3}, {"c", "b", 5}, {"c", "e", 17},
+		{"d", "t", 4}, {"e", "t", 7}, {"f", "t", 3},
+		{"t", "s", 25}, {"t", "a", 33}, {"t", "b", 20}, {"t", "c", 15},
+		{"t", "d", 13}, {"t", "e", 10}, {"t", "f", 20},
+		{"e", "f", 10}, {"s", "s", 0},
+	}
+	for _, tc := range cases {
+		got := s.ToTarget(name(tc.from), name(tc.to))
+		if got != tc.want {
+			t.Errorf("dis(%s,%s)=%v, want %v", tc.from, tc.to, got, tc.want)
+		}
+	}
+}
+
+func TestFromSourceMatchesFloydWarshall(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		g := randomGraph(rng, 2+rng.Intn(25), 60)
+		want := floydWarshall(g)
+		s := New(g)
+		for src := 0; src < g.NumVertices(); src++ {
+			s.FromSource(graph.Vertex(src), false)
+			for v := 0; v < g.NumVertices(); v++ {
+				if s.Dist(graph.Vertex(v)) != want[src][v] {
+					t.Fatalf("trial %d: dis(%d,%d)=%v, want %v",
+						trial, src, v, s.Dist(graph.Vertex(v)), want[src][v])
+				}
+			}
+		}
+	}
+}
+
+func TestReverseSearch(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := randomGraph(rng, 20, 50)
+	want := floydWarshall(g)
+	s := New(g)
+	for dst := 0; dst < g.NumVertices(); dst++ {
+		s.FromSource(graph.Vertex(dst), true)
+		for v := 0; v < g.NumVertices(); v++ {
+			if s.Dist(graph.Vertex(v)) != want[v][dst] {
+				t.Fatalf("reverse dis(%d,%d)=%v, want %v",
+					v, dst, s.Dist(graph.Vertex(v)), want[v][dst])
+			}
+		}
+	}
+}
+
+func TestPathReconstruction(t *testing.T) {
+	g := graph.Figure1()
+	sv, _ := g.VertexByName("s")
+	tv, _ := g.VertexByName("t")
+	s := New(g)
+	s.FromSource(sv, false)
+	path := s.Path(tv)
+	// Shortest s->t is s->c->d->t with cost 17.
+	names := make([]string, len(path))
+	for i, v := range path {
+		names[i] = g.VertexName(v)
+	}
+	want := []string{"s", "c", "d", "t"}
+	if len(names) != len(want) {
+		t.Fatalf("path=%v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("path=%v, want %v", names, want)
+		}
+	}
+	// Path cost must equal the distance label.
+	var cost float64
+	for i := 0; i+1 < len(path); i++ {
+		best := graph.Inf
+		for _, a := range g.Out(path[i]) {
+			if a.To == path[i+1] && a.W < best {
+				best = a.W
+			}
+		}
+		cost += best
+	}
+	if cost != s.Dist(tv) {
+		t.Fatalf("path cost %v != dist %v", cost, s.Dist(tv))
+	}
+}
+
+func TestPathUnreachable(t *testing.T) {
+	g := graph.NewBuilder(3, true).AddEdge(0, 1, 1).MustBuild()
+	s := New(g)
+	s.FromSource(0, false)
+	if s.Path(2) != nil {
+		t.Fatal("expected nil path to unreachable vertex")
+	}
+	if !math.IsInf(s.ToTarget(0, 2), 1) {
+		t.Fatal("expected +Inf")
+	}
+}
+
+func TestMultiSource(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := randomGraph(rng, 25, 70)
+	want := floydWarshall(g)
+	seeds := []Seed{{V: 3, D: 5}, {V: 10, D: 0}, {V: 17, D: 2.5}}
+	s := New(g)
+	s.MultiSource(seeds, false)
+	for v := 0; v < g.NumVertices(); v++ {
+		best := graph.Inf
+		for _, seed := range seeds {
+			if d := seed.D + want[seed.V][v]; d < best {
+				best = d
+			}
+		}
+		if s.Dist(graph.Vertex(v)) != best {
+			t.Fatalf("multisource dist(%d)=%v, want %v", v, s.Dist(graph.Vertex(v)), best)
+		}
+	}
+}
+
+func TestSearchReuse(t *testing.T) {
+	g := graph.Figure1()
+	sv, _ := g.VertexByName("s")
+	av, _ := g.VertexByName("a")
+	tv, _ := g.VertexByName("t")
+	s := New(g)
+	for i := 0; i < 3; i++ { // repeated searches must not leak state
+		if got := s.ToTarget(sv, tv); got != 17 {
+			t.Fatalf("iter %d: dis(s,t)=%v", i, got)
+		}
+		if got := s.ToTarget(av, tv); got != 12 {
+			t.Fatalf("iter %d: dis(a,t)=%v", i, got)
+		}
+	}
+}
+
+func TestKNNOrderAndCompleteness(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 20; trial++ {
+		g := randomGraphWithCats(rng, 2+rng.Intn(20), 50, 3)
+		want := floydWarshall(g)
+		cat := graph.Category(rng.Intn(3))
+		src := graph.Vertex(rng.Intn(g.NumVertices()))
+
+		// Reference: category vertices sorted by distance (finite only).
+		type nd struct {
+			v graph.Vertex
+			d float64
+		}
+		var ref []nd
+		for _, v := range g.VerticesOf(cat) {
+			if !math.IsInf(want[src][v], 1) {
+				ref = append(ref, nd{v, want[src][v]})
+			}
+		}
+		sort.Slice(ref, func(i, j int) bool {
+			if ref[i].d != ref[j].d {
+				return ref[i].d < ref[j].d
+			}
+			return ref[i].v < ref[j].v
+		})
+
+		k := NewKNN(g, src, cat)
+		var got []nd
+		for x := 1; ; x++ {
+			nb, ok := k.Get(x)
+			if !ok {
+				break
+			}
+			got = append(got, nd{nb.V, nb.D})
+		}
+		if len(got) != len(ref) {
+			t.Fatalf("trial %d: found %d neighbours, want %d", trial, len(got), len(ref))
+		}
+		for i := range got {
+			if got[i].d != ref[i].d {
+				t.Fatalf("trial %d: %d-th NN dist=%v, want %v", trial, i+1, got[i].d, ref[i].d)
+			}
+		}
+		// Repeat queries must be cached and identical.
+		for x := 1; x <= len(got); x++ {
+			nb, ok := k.Get(x)
+			if !ok || nb.D != got[x-1].d {
+				t.Fatalf("trial %d: cached Get(%d) changed", trial, x)
+			}
+		}
+	}
+}
+
+func randomGraphWithCats(rng *rand.Rand, n, m, ncats int) *graph.Graph {
+	b := graph.NewBuilder(n, true)
+	b.EnsureCategories(ncats)
+	for i := 0; i < m; i++ {
+		b.AddEdge(graph.Vertex(rng.Intn(n)), graph.Vertex(rng.Intn(n)), float64(1+rng.Intn(20)))
+	}
+	for v := 0; v < n; v++ {
+		if rng.Intn(2) == 0 {
+			b.AddCategory(graph.Vertex(v), graph.Category(rng.Intn(ncats)))
+		}
+	}
+	return b.MustBuild()
+}
+
+// Property: ToTarget is symmetric with the reverse-graph search.
+func TestForwardReverseAgreeQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, 2+rng.Intn(15), 40)
+		s := New(g)
+		u := graph.Vertex(rng.Intn(g.NumVertices()))
+		v := graph.Vertex(rng.Intn(g.NumVertices()))
+		fwd := s.ToTarget(u, v)
+		s.FromSource(v, true)
+		rev := s.Dist(u)
+		return fwd == rev || (math.IsInf(fwd, 1) && math.IsInf(rev, 1))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllDistances(t *testing.T) {
+	g := graph.Figure1()
+	sv, _ := g.VertexByName("s")
+	tv, _ := g.VertexByName("t")
+	d := AllDistances(g, sv, false)
+	if d[tv] != 17 {
+		t.Fatalf("AllDistances: d[t]=%v", d[tv])
+	}
+	rd := AllDistances(g, tv, true)
+	if rd[sv] != 17 {
+		t.Fatalf("AllDistances reverse: rd[s]=%v", rd[sv])
+	}
+}

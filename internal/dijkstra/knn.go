@@ -1,0 +1,91 @@
+package dijkstra
+
+import (
+	"repro/internal/graph"
+	"repro/internal/pq"
+)
+
+// KNN is an incremental nearest-neighbour iterator from a fixed source
+// vertex into a fixed category, implemented as a pausable Dijkstra
+// search. Each call to Next resumes the search exactly where the previous
+// call stopped, so finding the (x+1)-th neighbour after the x-th costs
+// only the additional settles — this is the Dijkstra-based FindNN used by
+// the KPNE-Dij / PK-Dij / SK-Dij variants of Section V.
+//
+// State is held in maps rather than dense arrays because route searches
+// keep many KNN iterators alive at once (one per partially explored
+// route tail); dense per-iterator arrays would need O(|V|) memory each.
+type KNN struct {
+	g       *graph.Graph
+	cat     graph.Category
+	settled map[graph.Vertex]bool
+	dist    map[graph.Vertex]float64
+	heap    *pq.Heap[knnItem]
+	found   []Neighbor
+}
+
+type knnItem struct {
+	v graph.Vertex
+	d float64
+}
+
+// Neighbor is a category vertex together with its shortest-path distance
+// from the iterator's source.
+type Neighbor struct {
+	V graph.Vertex
+	D float64
+}
+
+// NewKNN returns an iterator over the vertices of category cat in
+// ascending dis(source, ·) order.
+func NewKNN(g *graph.Graph, source graph.Vertex, cat graph.Category) *KNN {
+	k := &KNN{
+		g:       g,
+		cat:     cat,
+		settled: make(map[graph.Vertex]bool),
+		dist:    map[graph.Vertex]float64{source: 0},
+		heap:    pq.NewHeap[knnItem](func(a, b knnItem) bool { return a.d < b.d }),
+	}
+	k.heap.Push(knnItem{v: source, d: 0})
+	return k
+}
+
+// Found returns the number of neighbours discovered so far.
+func (k *KNN) Found() int { return len(k.found) }
+
+// Get returns the x-th (1-based) nearest neighbour, resuming the
+// underlying search as needed. ok is false when the category has fewer
+// than x reachable vertices.
+func (k *KNN) Get(x int) (Neighbor, bool) {
+	for len(k.found) < x {
+		nb, ok := k.next()
+		if !ok {
+			return Neighbor{}, false
+		}
+		k.found = append(k.found, nb)
+	}
+	return k.found[x-1], true
+}
+
+// next resumes the Dijkstra search until one more category vertex is
+// settled.
+func (k *KNN) next() (Neighbor, bool) {
+	for k.heap.Len() > 0 {
+		it := k.heap.Pop()
+		if k.settled[it.v] {
+			continue // stale heap entry
+		}
+		k.settled[it.v] = true
+		for _, a := range k.g.Out(it.v) {
+			nd := it.d + a.W
+			if old, ok := k.dist[a.To]; !ok || nd < old {
+				k.dist[a.To] = nd
+				k.heap.Push(knnItem{v: a.To, d: nd})
+			}
+		}
+		if k.g.HasCategory(it.v, k.cat) {
+			return Neighbor{V: it.v, D: it.d}, true
+		}
+	}
+	return Neighbor{}, false
+}

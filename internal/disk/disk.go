@@ -1,0 +1,427 @@
+// Package disk implements the disk-based query answering mode of Section
+// IV-C: when the label indexes cannot be kept in memory, they are stored
+// on disk grouped by category — each category section holds its inverted
+// label index IL(Ci) together with the Lout labels of its vertices — and
+// located with a disk-based B+ tree. Answering a KOSR query then loads
+// |C| category sections plus the source's Lout and the destination's Lin,
+// i.e. roughly |C|+4 seeks, exactly as the paper describes. This is the
+// storage engine behind the SK-DB method of the evaluation.
+package disk
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+
+	"repro/internal/bptree"
+	"repro/internal/graph"
+	"repro/internal/invindex"
+	"repro/internal/label"
+)
+
+var metaMagic = [8]byte{'K', 'O', 'S', 'R', 'D', 'S', 'K', '1'}
+
+const (
+	dataFile  = "data.bin"
+	catsFile  = "cats.bpt"
+	vertsFile = "verts.bpt"
+	metaFile  = "meta.bin"
+)
+
+// Write materializes the label index of g into a disk store rooted at
+// dir (created if needed).
+func Write(dir string, g *graph.Graph, lab *label.Index) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("disk: %w", err)
+	}
+	// Meta: magic, n, numCats, rank array.
+	mf, err := os.Create(filepath.Join(dir, metaFile))
+	if err != nil {
+		return fmt.Errorf("disk: %w", err)
+	}
+	mw := bufio.NewWriter(mf)
+	mw.Write(metaMagic[:])
+	binary.Write(mw, binary.LittleEndian, uint32(g.NumVertices()))
+	binary.Write(mw, binary.LittleEndian, uint32(g.NumCategories()))
+	for v := 0; v < g.NumVertices(); v++ {
+		binary.Write(mw, binary.LittleEndian, uint32(lab.Rank(graph.Vertex(v))))
+	}
+	if err := mw.Flush(); err != nil {
+		mf.Close()
+		return fmt.Errorf("disk: %w", err)
+	}
+	if err := mf.Close(); err != nil {
+		return fmt.Errorf("disk: %w", err)
+	}
+
+	df, err := os.Create(filepath.Join(dir, dataFile))
+	if err != nil {
+		return fmt.Errorf("disk: %w", err)
+	}
+	defer df.Close()
+	dw := bufio.NewWriter(df)
+	var offset int64
+
+	writeRecord := func(payload []byte) (int64, error) {
+		at := offset
+		var lenBuf [4]byte
+		binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(payload)))
+		if _, err := dw.Write(lenBuf[:]); err != nil {
+			return 0, err
+		}
+		if _, err := dw.Write(payload); err != nil {
+			return 0, err
+		}
+		offset += int64(4 + len(payload))
+		return at, nil
+	}
+
+	verts, err := bptree.Create(filepath.Join(dir, vertsFile))
+	if err != nil {
+		return err
+	}
+	defer verts.Close()
+	cats, err := bptree.Create(filepath.Join(dir, catsFile))
+	if err != nil {
+		return err
+	}
+	defer cats.Close()
+
+	// Per-vertex records: Lout(v) then Lin(v).
+	for v := 0; v < g.NumVertices(); v++ {
+		payload := encodeLabelPair(lab.Out(graph.Vertex(v)), lab.In(graph.Vertex(v)))
+		at, err := writeRecord(payload)
+		if err != nil {
+			return fmt.Errorf("disk: %w", err)
+		}
+		if err := verts.Insert(int64(v), at); err != nil {
+			return err
+		}
+	}
+
+	// Per-category sections: IL(c) followed by the Lout labels of V_c.
+	inv := invindex.Build(g, lab)
+	for c := 0; c < g.NumCategories(); c++ {
+		payload := encodeCategorySection(g, lab, inv, graph.Category(c))
+		at, err := writeRecord(payload)
+		if err != nil {
+			return fmt.Errorf("disk: %w", err)
+		}
+		if err := cats.Insert(int64(c), at); err != nil {
+			return err
+		}
+	}
+	if err := dw.Flush(); err != nil {
+		return fmt.Errorf("disk: %w", err)
+	}
+	return nil
+}
+
+func encodeLabelPair(out, in []label.Entry) []byte {
+	buf := make([]byte, 0, 8+16*(len(out)+len(in)))
+	buf = appendEntries(buf, out)
+	buf = appendEntries(buf, in)
+	return buf
+}
+
+func appendEntries(buf []byte, list []label.Entry) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(list)))
+	for _, e := range list {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(e.Hub))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64FromFloat(e.D))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(int32(e.Next)))
+	}
+	return buf
+}
+
+func encodeCategorySection(g *graph.Graph, lab *label.Index, inv *invindex.Index, c graph.Category) []byte {
+	var buf []byte
+	// IL(c): the set of hubs with non-empty inverted lists. Hubs are
+	// exactly the hubs appearing in Lin of the category's vertices.
+	hubs := map[graph.Vertex]bool{}
+	for _, v := range g.VerticesOf(c) {
+		for _, e := range lab.In(v) {
+			hubs[e.Hub] = true
+		}
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(hubs)))
+	for hub := range hubs {
+		list := inv.IL(c, hub)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(hub))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(list)))
+		for _, e := range list {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(e.V))
+			buf = binary.LittleEndian.AppendUint64(buf, uint64FromFloat(e.D))
+		}
+	}
+	// Lout of every category vertex.
+	vs := g.VerticesOf(c)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(vs)))
+	for _, v := range vs {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(v))
+		buf = appendEntries(buf, lab.Out(v))
+	}
+	return buf
+}
+
+func uint64FromFloat(f float64) uint64 { return math.Float64bits(f) }
+
+// Store is an opened disk-resident index.
+type Store struct {
+	dir   string
+	data  *os.File
+	verts *bptree.Tree
+	cats  *bptree.Tree
+	rank  []int32
+	nCats int
+
+	// Seeks counts record loads (the paper's "|C|+4 disk seek
+	// operations" claim is observable through it).
+	Seeks int64
+}
+
+// Open opens a store written by Write.
+func Open(dir string) (*Store, error) {
+	mf, err := os.Open(filepath.Join(dir, metaFile))
+	if err != nil {
+		return nil, fmt.Errorf("disk: %w", err)
+	}
+	defer mf.Close()
+	br := bufio.NewReader(mf)
+	var m [8]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("disk: reading meta: %w", err)
+	}
+	if m != metaMagic {
+		return nil, fmt.Errorf("disk: bad meta magic %q", m)
+	}
+	var n, nc uint32
+	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return nil, fmt.Errorf("disk: %w", err)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &nc); err != nil {
+		return nil, fmt.Errorf("disk: %w", err)
+	}
+	if n > 1<<28 {
+		return nil, fmt.Errorf("disk: implausible vertex count %d", n)
+	}
+	rank := make([]int32, n)
+	for i := range rank {
+		var r uint32
+		if err := binary.Read(br, binary.LittleEndian, &r); err != nil {
+			return nil, fmt.Errorf("disk: reading rank: %w", err)
+		}
+		rank[i] = int32(r)
+	}
+	data, err := os.Open(filepath.Join(dir, dataFile))
+	if err != nil {
+		return nil, fmt.Errorf("disk: %w", err)
+	}
+	verts, err := bptree.Open(filepath.Join(dir, vertsFile))
+	if err != nil {
+		data.Close()
+		return nil, err
+	}
+	cats, err := bptree.Open(filepath.Join(dir, catsFile))
+	if err != nil {
+		data.Close()
+		verts.Close()
+		return nil, err
+	}
+	return &Store{dir: dir, data: data, verts: verts, cats: cats, rank: rank, nCats: int(nc)}, nil
+}
+
+// Close releases the underlying files.
+func (s *Store) Close() error {
+	err1 := s.data.Close()
+	err2 := s.verts.Close()
+	err3 := s.cats.Close()
+	if err1 != nil {
+		return err1
+	}
+	if err2 != nil {
+		return err2
+	}
+	return err3
+}
+
+// NumVertices returns the vertex count recorded in the store.
+func (s *Store) NumVertices() int { return len(s.rank) }
+
+// NumCategories returns the category count recorded in the store.
+func (s *Store) NumCategories() int { return s.nCats }
+
+func (s *Store) readRecord(at int64) ([]byte, error) {
+	s.Seeks++
+	var lenBuf [4]byte
+	if _, err := s.data.ReadAt(lenBuf[:], at); err != nil {
+		return nil, fmt.Errorf("disk: reading record header at %d: %w", at, err)
+	}
+	l := binary.LittleEndian.Uint32(lenBuf[:])
+	if l > 1<<30 {
+		return nil, fmt.Errorf("disk: implausible record length %d", l)
+	}
+	payload := make([]byte, l)
+	if _, err := s.data.ReadAt(payload, at+4); err != nil {
+		return nil, fmt.Errorf("disk: reading record at %d: %w", at, err)
+	}
+	return payload, nil
+}
+
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *decoder) u32() uint32 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+4 > len(d.buf) {
+		d.err = fmt.Errorf("disk: truncated record")
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *decoder) f64() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+8 > len(d.buf) {
+		d.err = fmt.Errorf("disk: truncated record")
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.buf[d.off:]))
+	d.off += 8
+	return v
+}
+
+func (d *decoder) entries() []label.Entry {
+	n := d.u32()
+	if d.err != nil || n > uint32(len(d.buf)) {
+		if d.err == nil {
+			d.err = fmt.Errorf("disk: corrupt entry count %d", n)
+		}
+		return nil
+	}
+	list := make([]label.Entry, 0, n)
+	for i := uint32(0); i < n; i++ {
+		hub := graph.Vertex(d.u32())
+		dist := d.f64()
+		next := int32(d.u32())
+		if d.err != nil {
+			return nil
+		}
+		list = append(list, label.Entry{Hub: hub, D: dist, Next: graph.Vertex(next)})
+	}
+	return list
+}
+
+// LoadVertex reads the (Lout, Lin) record of v.
+func (s *Store) LoadVertex(v graph.Vertex) (out, in []label.Entry, err error) {
+	at, ok, err := s.verts.Get(int64(v))
+	if err != nil {
+		return nil, nil, err
+	}
+	if !ok {
+		return nil, nil, fmt.Errorf("disk: vertex %d not in store", v)
+	}
+	payload, err := s.readRecord(at)
+	if err != nil {
+		return nil, nil, err
+	}
+	d := &decoder{buf: payload}
+	out = d.entries()
+	in = d.entries()
+	return out, in, d.err
+}
+
+// catSection is a decoded category section.
+type catSection struct {
+	il   map[graph.Vertex][]invindex.Entry
+	outs map[graph.Vertex][]label.Entry
+}
+
+func (s *Store) loadCategory(c graph.Category) (*catSection, error) {
+	at, ok, err := s.cats.Get(int64(c))
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("disk: category %d not in store", c)
+	}
+	payload, err := s.readRecord(at)
+	if err != nil {
+		return nil, err
+	}
+	d := &decoder{buf: payload}
+	sec := &catSection{
+		il:   make(map[graph.Vertex][]invindex.Entry),
+		outs: make(map[graph.Vertex][]label.Entry),
+	}
+	nHubs := d.u32()
+	for i := uint32(0); i < nHubs && d.err == nil; i++ {
+		hub := graph.Vertex(d.u32())
+		nE := d.u32()
+		if d.err != nil || nE > uint32(len(payload)) {
+			return nil, fmt.Errorf("disk: corrupt category section %d", c)
+		}
+		list := make([]invindex.Entry, 0, nE)
+		for k := uint32(0); k < nE; k++ {
+			v := graph.Vertex(d.u32())
+			dist := d.f64()
+			list = append(list, invindex.Entry{V: v, D: dist})
+		}
+		sec.il[hub] = list
+	}
+	nVerts := d.u32()
+	for i := uint32(0); i < nVerts && d.err == nil; i++ {
+		v := graph.Vertex(d.u32())
+		sec.outs[v] = d.entries()
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	return sec, nil
+}
+
+// LoadQuery materializes the sparse label and inverted indexes a KOSR
+// query needs: the category sections of every category in cats, the
+// source's Lout and the destination's Lin. The result plugs directly
+// into core.LabelProvider.
+func (s *Store) LoadQuery(cats []graph.Category, src, dst graph.Vertex) (*label.Index, *invindex.Index, error) {
+	lab := label.NewSparse(s.rank)
+	loaded := make(map[graph.Category]map[graph.Vertex][]invindex.Entry)
+	for _, c := range cats {
+		if _, done := loaded[c]; done {
+			continue
+		}
+		sec, err := s.loadCategory(c)
+		if err != nil {
+			return nil, nil, err
+		}
+		loaded[c] = sec.il
+		for v, out := range sec.outs {
+			lab.SetOut(v, out)
+		}
+	}
+	srcOut, _, err := s.LoadVertex(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	lab.SetOut(src, srcOut)
+	_, dstIn, err := s.LoadVertex(dst)
+	if err != nil {
+		return nil, nil, err
+	}
+	lab.SetIn(dst, dstIn)
+	return lab, invindex.FromParts(lab, s.nCats, loaded), nil
+}

@@ -1,0 +1,222 @@
+package disk
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/label"
+)
+
+func buildStore(t *testing.T, g *graph.Graph) (*Store, *label.Index) {
+	t.Helper()
+	lab := label.Build(g)
+	dir := filepath.Join(t.TempDir(), "store")
+	if err := Write(dir, g, lab); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st, lab
+}
+
+func TestRoundTripVertexLabels(t *testing.T) {
+	g := graph.Figure1()
+	st, lab := buildStore(t, g)
+	if st.NumVertices() != 8 || st.NumCategories() != 3 {
+		t.Fatalf("n=%d nc=%d", st.NumVertices(), st.NumCategories())
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		out, in, err := st.LoadVertex(graph.Vertex(v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != len(lab.Out(graph.Vertex(v))) || len(in) != len(lab.In(graph.Vertex(v))) {
+			t.Fatalf("vertex %d labels differ", v)
+		}
+		for i, e := range out {
+			if e != lab.Out(graph.Vertex(v))[i] {
+				t.Fatalf("vertex %d out entry %d: %v vs %v", v, i, e, lab.Out(graph.Vertex(v))[i])
+			}
+		}
+	}
+}
+
+func TestLoadQueryAnswersKOSR(t *testing.T) {
+	g := graph.Figure1()
+	st, _ := buildStore(t, g)
+	s, _ := g.VertexByName("s")
+	tv, _ := g.VertexByName("t")
+	ma, _ := g.CategoryByName("MA")
+	re, _ := g.CategoryByName("RE")
+	ci, _ := g.CategoryByName("CI")
+	cats := []graph.Category{ma, re, ci}
+
+	lab, inv, err := st.LoadQuery(cats, s, tv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prov := &core.LabelProvider{Graph: g, Labels: lab, Inv: inv}
+	q := core.Query{Source: s, Target: tv, Categories: cats, K: 3}
+	routes, _, err := core.Solve(g, q, prov, core.Options{Method: core.MethodSK})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{20, 21, 22}
+	if len(routes) != 3 {
+		t.Fatalf("routes=%v", routes)
+	}
+	for i := range want {
+		if routes[i].Cost != want[i] {
+			t.Fatalf("routes=%v", routes)
+		}
+	}
+}
+
+// The paper claims |C|+4 seeks per query; our layout needs one record
+// read per distinct category plus two vertex records.
+func TestSeekCount(t *testing.T) {
+	g := graph.Figure1()
+	st, _ := buildStore(t, g)
+	s, _ := g.VertexByName("s")
+	tv, _ := g.VertexByName("t")
+	ma, _ := g.CategoryByName("MA")
+	re, _ := g.CategoryByName("RE")
+	ci, _ := g.CategoryByName("CI")
+	before := st.Seeks
+	if _, _, err := st.LoadQuery([]graph.Category{ma, re, ci}, s, tv); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Seeks - before; got != 5 { // 3 categories + Lout(s) + Lin(t)
+		t.Fatalf("seeks=%d, want 5", got)
+	}
+}
+
+func TestLoadQueryMatchesInMemoryOnRandomGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 10; trial++ {
+		n := 10 + rng.Intn(20)
+		ncats := 3
+		b := graph.NewBuilder(n, true)
+		b.EnsureCategories(ncats)
+		for i := 0; i < 3*n; i++ {
+			b.AddEdge(graph.Vertex(rng.Intn(n)), graph.Vertex(rng.Intn(n)), float64(1+rng.Intn(9)))
+		}
+		for v := 0; v < n; v++ {
+			b.AddCategory(graph.Vertex(v), graph.Category(rng.Intn(ncats)))
+		}
+		g := b.MustBuild()
+		st, lab := buildStore(t, g)
+
+		q := core.Query{
+			Source:     graph.Vertex(rng.Intn(n)),
+			Target:     graph.Vertex(rng.Intn(n)),
+			Categories: []graph.Category{0, 2},
+			K:          4,
+		}
+		memProv := core.NewLabelProvider(g, lab)
+		memRoutes, _, err := core.Solve(g, q, memProv, core.Options{Method: core.MethodSK})
+		if err != nil {
+			t.Fatal(err)
+		}
+		slab, sinv, err := st.LoadQuery(q.Categories, q.Source, q.Target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diskProv := &core.LabelProvider{Graph: g, Labels: slab, Inv: sinv}
+		diskRoutes, _, err := core.Solve(g, q, diskProv, core.Options{Method: core.MethodSK})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(memRoutes) != len(diskRoutes) {
+			t.Fatalf("trial %d: %d vs %d routes", trial, len(memRoutes), len(diskRoutes))
+		}
+		for i := range memRoutes {
+			if memRoutes[i].Cost != diskRoutes[i].Cost {
+				t.Fatalf("trial %d route %d: %v vs %v", trial, i, memRoutes[i], diskRoutes[i])
+			}
+		}
+	}
+}
+
+func TestSparseDistanceOracle(t *testing.T) {
+	// dis(v, t) through the sparse index must equal the full index for
+	// loaded vertices.
+	g := graph.Figure1()
+	st, lab := buildStore(t, g)
+	s, _ := g.VertexByName("s")
+	tv, _ := g.VertexByName("t")
+	ma, _ := g.CategoryByName("MA")
+	slab, _, err := st.LoadQuery([]graph.Category{ma}, s, tv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"s", "a", "c"} { // s + MA vertices
+		v, _ := g.VertexByName(name)
+		got := slab.Dist(v, tv)
+		want := lab.Dist(v, tv)
+		if got != want && !(math.IsInf(got, 1) && math.IsInf(want, 1)) {
+			t.Fatalf("dis(%s,t)=%v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Open(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("want error for missing store")
+	}
+	// Corrupt meta magic.
+	bad := filepath.Join(dir, "bad")
+	os.MkdirAll(bad, 0o755)
+	os.WriteFile(filepath.Join(bad, metaFile), []byte("NOTMAGICxxxxxxxx"), 0o644)
+	if _, err := Open(bad); err == nil {
+		t.Fatal("want error for bad magic")
+	}
+	// Truncated meta.
+	tr := filepath.Join(dir, "trunc")
+	os.MkdirAll(tr, 0o755)
+	os.WriteFile(filepath.Join(tr, metaFile), metaMagic[:4], 0o644)
+	if _, err := Open(tr); err == nil {
+		t.Fatal("want error for truncated meta")
+	}
+}
+
+func TestCorruptDataRecord(t *testing.T) {
+	g := graph.Figure1()
+	lab := label.Build(g)
+	dir := filepath.Join(t.TempDir(), "store")
+	if err := Write(dir, g, lab); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the data file hard.
+	if err := os.Truncate(filepath.Join(dir, dataFile), 3); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if _, _, err := st.LoadVertex(0); err == nil {
+		t.Fatal("want error reading truncated data")
+	}
+}
+
+func TestUnknownVertexAndCategory(t *testing.T) {
+	g := graph.Figure1()
+	st, _ := buildStore(t, g)
+	if _, _, err := st.LoadVertex(999); err == nil {
+		t.Fatal("want error for unknown vertex")
+	}
+	if _, err := st.loadCategory(99); err == nil {
+		t.Fatal("want error for unknown category")
+	}
+}

@@ -1,0 +1,283 @@
+// Package gen generates the synthetic graphs and category assignments
+// used by the experiment harness. The paper evaluates on four real road
+// networks (CAL, NYC, COL, FLA) and the Google+ social graph (Table VII);
+// those datasets are not available offline, so this package produces
+// deterministic analogues that preserve the properties the evaluation
+// depends on: sparse planar-like road topology vs. low-diameter
+// unit-weight social topology, directedness, and the category-size knobs
+// |Ci|, |C| and the Zipf skew factor f (Section V-A).
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// GridOptions configures a grid road network.
+type GridOptions struct {
+	Rows, Cols int
+	// Directed produces two arcs per road segment with independently
+	// drawn weights (asymmetric travel times, like COL/FLA); otherwise a
+	// single undirected edge (symmetric distances, like CAL/NYC).
+	Directed bool
+	// MaxWeight is the upper bound (inclusive) of integer edge weights;
+	// weights are uniform in [1, MaxWeight]. Defaults to 10.
+	MaxWeight int
+	// Diagonals adds some random diagonal shortcuts (1 per ~8 cells),
+	// making the graph less regular, like a real road network.
+	Diagonals bool
+	Seed      int64
+}
+
+// GridBuilder returns a graph.Builder holding a Rows×Cols grid road
+// network. Vertex (r, c) has index r*Cols + c. Categories can be added to
+// the builder before calling Build.
+func GridBuilder(opt GridOptions) *graph.Builder {
+	if opt.MaxWeight <= 0 {
+		opt.MaxWeight = 10
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	n := opt.Rows * opt.Cols
+	b := graph.NewBuilder(n, opt.Directed)
+	idx := func(r, c int) graph.Vertex { return graph.Vertex(r*opt.Cols + c) }
+	w := func() graph.Weight { return graph.Weight(1 + rng.Intn(opt.MaxWeight)) }
+	addRoad := func(u, v graph.Vertex) {
+		if opt.Directed {
+			b.AddEdge(u, v, w())
+			b.AddEdge(v, u, w())
+		} else {
+			b.AddEdge(u, v, w())
+		}
+	}
+	for r := 0; r < opt.Rows; r++ {
+		for c := 0; c < opt.Cols; c++ {
+			if c+1 < opt.Cols {
+				addRoad(idx(r, c), idx(r, c+1))
+			}
+			if r+1 < opt.Rows {
+				addRoad(idx(r, c), idx(r+1, c))
+			}
+			if opt.Diagonals && r+1 < opt.Rows && c+1 < opt.Cols && rng.Intn(8) == 0 {
+				addRoad(idx(r, c), idx(r+1, c+1))
+			}
+		}
+	}
+	return b
+}
+
+// SmallWorldOptions configures a G+-style social graph: directed, all
+// edge weights 1, low diameter.
+type SmallWorldOptions struct {
+	N int
+	// OutDegree is the number of outgoing arcs attached per vertex
+	// (preferential attachment), defaults to 8.
+	OutDegree int
+	Seed      int64
+}
+
+// SmallWorldBuilder returns a builder holding a preferential-attachment
+// small-world graph with unit edge weights. Every vertex links forward to
+// OutDegree earlier vertices chosen preferentially by degree, and each
+// such link is reciprocated with probability 1/2 (social follow-back),
+// which keeps the graph strongly connected enough for route queries.
+func SmallWorldBuilder(opt SmallWorldOptions) *graph.Builder {
+	if opt.OutDegree <= 0 {
+		opt.OutDegree = 8
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	b := graph.NewBuilder(opt.N, true)
+	// endpoints holds one entry per arc endpoint, so sampling uniformly
+	// from it is degree-preferential.
+	endpoints := make([]graph.Vertex, 0, 2*opt.N*opt.OutDegree)
+	endpoints = append(endpoints, 0)
+	for v := 1; v < opt.N; v++ {
+		deg := opt.OutDegree
+		if v < opt.OutDegree {
+			deg = v
+		}
+		seen := make(map[graph.Vertex]bool, deg)
+		for len(seen) < deg {
+			var u graph.Vertex
+			if rng.Intn(4) == 0 { // occasional uniform pick keeps diameter low
+				u = graph.Vertex(rng.Intn(v))
+			} else {
+				u = endpoints[rng.Intn(len(endpoints))]
+			}
+			if u == graph.Vertex(v) || seen[u] {
+				continue
+			}
+			seen[u] = true
+			b.AddEdge(graph.Vertex(v), u, 1)
+			endpoints = append(endpoints, u, graph.Vertex(v))
+			if rng.Intn(2) == 0 {
+				b.AddEdge(u, graph.Vertex(v), 1)
+			}
+		}
+	}
+	return b
+}
+
+// AssignUniformCategories assigns numCats categories of exactly catSize
+// distinct vertices each, drawn uniformly from [0, n). A vertex may carry
+// several categories. This matches the paper's uniform generator, which
+// fixes |Ci| and assigns categories to vertices uniformly.
+func AssignUniformCategories(b *graph.Builder, n, numCats, catSize int, seed int64) {
+	if catSize > n {
+		catSize = n
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := make([]graph.Vertex, n)
+	for i := range perm {
+		perm[i] = graph.Vertex(i)
+	}
+	b.EnsureCategories(numCats)
+	for c := 0; c < numCats; c++ {
+		// Partial Fisher-Yates: the first catSize entries become V_c.
+		for i := 0; i < catSize; i++ {
+			j := i + rng.Intn(n-i)
+			perm[i], perm[j] = perm[j], perm[i]
+			b.AddCategory(perm[i], graph.Category(c))
+		}
+	}
+}
+
+// AssignZipfCategories assigns exactly one category to every vertex,
+// sampling category c ∈ {1..numCats} with probability proportional to
+// c^(-1/f). Larger f gives a *less* skewed distribution, matching the
+// paper's description of its skew factor (Section V-A). It returns the
+// resulting category sizes.
+func AssignZipfCategories(b *graph.Builder, n, numCats int, f float64, seed int64) []int {
+	if f < 1 {
+		f = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	weights := make([]float64, numCats)
+	var total float64
+	for c := 0; c < numCats; c++ {
+		weights[c] = math.Pow(float64(c+1), -1/f)
+		total += weights[c]
+	}
+	// Cumulative distribution for inverse-transform sampling.
+	cum := make([]float64, numCats)
+	acc := 0.0
+	for c := 0; c < numCats; c++ {
+		acc += weights[c] / total
+		cum[c] = acc
+	}
+	b.EnsureCategories(numCats)
+	sizes := make([]int, numCats)
+	for v := 0; v < n; v++ {
+		u := rng.Float64()
+		// Binary search the CDF.
+		lo, hi := 0, numCats-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] < u {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		b.AddCategory(graph.Vertex(v), graph.Category(lo))
+		sizes[lo]++
+	}
+	return sizes
+}
+
+// Analogue names the five paper graphs this package can approximate.
+type Analogue string
+
+// The five graphs of Table VII.
+const (
+	CAL   Analogue = "CAL"
+	NYC   Analogue = "NYC"
+	COL   Analogue = "COL"
+	FLA   Analogue = "FLA"
+	GPlus Analogue = "G+"
+)
+
+// AllAnalogues lists the analogues in the paper's order.
+var AllAnalogues = []Analogue{CAL, NYC, COL, FLA, GPlus}
+
+// AnalogueOptions scales the synthetic datasets. Scale 1 is the default
+// laptop-scale configuration; the paper's graphs are 10–40× larger, but
+// the evaluation's relative claims depend on |Ci|, |C| and k rather than
+// raw |V| (Lemma 3), which is what the harness verifies.
+type AnalogueOptions struct {
+	Scale   int // multiplies vertex counts, default 1
+	NumCats int // categories |S|, default 24
+	CatSize int // |Ci| per category, default 5% of |V| (capped)
+	Seed    int64
+}
+
+func (o *AnalogueOptions) fill() {
+	if o.Scale <= 0 {
+		o.Scale = 1
+	}
+	if o.NumCats <= 0 {
+		o.NumCats = 24
+	}
+}
+
+// BuildAnalogue generates the named dataset analogue.
+//
+//	CAL → 64×64 undirected grid, distance weights, 63 small categories
+//	NYC → 96×96 undirected grid, distance weights, uniform categories
+//	COL → 96×112 directed grid, travel-time weights, uniform categories
+//	FLA → 112×128 directed grid, travel-time weights, uniform categories
+//	G+  → 8192-vertex unit-weight small-world, uniform categories
+func BuildAnalogue(a Analogue, opt AnalogueOptions) (*graph.Graph, error) {
+	opt.fill()
+	seed := opt.Seed + int64(len(a))*1001
+	var b *graph.Builder
+	var n int
+	switch a {
+	case CAL:
+		r, c := dims(64, 64, opt.Scale)
+		n = r * c
+		b = GridBuilder(GridOptions{Rows: r, Cols: c, MaxWeight: 10, Diagonals: true, Seed: seed})
+	case NYC:
+		r, c := dims(96, 96, opt.Scale)
+		n = r * c
+		b = GridBuilder(GridOptions{Rows: r, Cols: c, MaxWeight: 10, Diagonals: true, Seed: seed})
+	case COL:
+		r, c := dims(96, 112, opt.Scale)
+		n = r * c
+		b = GridBuilder(GridOptions{Rows: r, Cols: c, Directed: true, MaxWeight: 12, Diagonals: true, Seed: seed})
+	case FLA:
+		r, c := dims(112, 128, opt.Scale)
+		n = r * c
+		b = GridBuilder(GridOptions{Rows: r, Cols: c, Directed: true, MaxWeight: 12, Diagonals: true, Seed: seed})
+	case GPlus:
+		n = 8192 * opt.Scale
+		b = SmallWorldBuilder(SmallWorldOptions{N: n, OutDegree: 10, Seed: seed})
+	default:
+		return nil, fmt.Errorf("gen: unknown analogue %q", a)
+	}
+	numCats := opt.NumCats
+	catSize := opt.CatSize
+	if a == CAL {
+		// CAL carries 63 real categories over ~69% of its vertices; keep
+		// many small categories.
+		numCats = 63
+		if catSize <= 0 {
+			catSize = n / 100
+		}
+	}
+	if catSize <= 0 {
+		catSize = n / 20
+	}
+	if catSize < 1 {
+		catSize = 1
+	}
+	AssignUniformCategories(b, n, numCats, catSize, seed+7)
+	return b.Build()
+}
+
+func dims(r, c, scale int) (int, int) {
+	f := math.Sqrt(float64(scale))
+	return int(float64(r) * f), int(float64(c) * f)
+}

@@ -1,0 +1,217 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dijkstra"
+	"repro/internal/graph"
+)
+
+func TestGridShape(t *testing.T) {
+	g := GridBuilder(GridOptions{Rows: 4, Cols: 5, Seed: 1}).MustBuild()
+	if g.NumVertices() != 20 {
+		t.Fatalf("n=%d", g.NumVertices())
+	}
+	// Undirected grid: 4*(5-1) + 5*(4-1) = 31 segments → 62 arcs.
+	if g.NumEdges() != 62 {
+		t.Fatalf("m=%d, want 62", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGridDirectedAsymmetric(t *testing.T) {
+	g := GridBuilder(GridOptions{Rows: 8, Cols: 8, Directed: true, Seed: 2}).MustBuild()
+	if !g.Directed() {
+		t.Fatal("expected directed")
+	}
+	// Both arcs of every segment exist.
+	if g.NumEdges() != 2*(8*7+8*7) {
+		t.Fatalf("m=%d", g.NumEdges())
+	}
+	// Some pair of opposite arcs has different weights.
+	asym := false
+	g.Edges(func(e graph.Edge) bool {
+		for _, back := range g.Out(e.To) {
+			if back.To == e.From && back.W != e.W {
+				asym = true
+				return false
+			}
+		}
+		return true
+	})
+	if !asym {
+		t.Fatal("expected at least one asymmetric pair")
+	}
+}
+
+func TestGridConnectivity(t *testing.T) {
+	for _, directed := range []bool{false, true} {
+		g := GridBuilder(GridOptions{Rows: 10, Cols: 10, Directed: directed, Diagonals: true, Seed: 3}).MustBuild()
+		d := dijkstra.AllDistances(g, 0, false)
+		for v, dv := range d {
+			if math.IsInf(dv, 1) {
+				t.Fatalf("directed=%v: vertex %d unreachable", directed, v)
+			}
+		}
+	}
+}
+
+func TestGridDeterministic(t *testing.T) {
+	a := GridBuilder(GridOptions{Rows: 6, Cols: 6, Seed: 42}).MustBuild()
+	b := GridBuilder(GridOptions{Rows: 6, Cols: 6, Seed: 42}).MustBuild()
+	sum := func(g *graph.Graph) float64 { return g.TotalWeight() }
+	if sum(a) != sum(b) {
+		t.Fatal("same seed produced different graphs")
+	}
+	c := GridBuilder(GridOptions{Rows: 6, Cols: 6, Seed: 43}).MustBuild()
+	if sum(a) == sum(c) {
+		t.Fatal("different seeds produced identical weights (suspicious)")
+	}
+}
+
+func TestSmallWorld(t *testing.T) {
+	g := SmallWorldBuilder(SmallWorldOptions{N: 500, OutDegree: 6, Seed: 5}).MustBuild()
+	if g.NumVertices() != 500 {
+		t.Fatalf("n=%d", g.NumVertices())
+	}
+	// All weights are 1.
+	g.Edges(func(e graph.Edge) bool {
+		if e.W != 1 {
+			t.Fatalf("weight %v != 1", e.W)
+		}
+		return true
+	})
+	// Low diameter from vertex 0 (hub side): max finite distance small.
+	d := dijkstra.AllDistances(g, 0, false)
+	reached, maxd := 0, 0.0
+	for _, dv := range d {
+		if !math.IsInf(dv, 1) {
+			reached++
+			if dv > maxd {
+				maxd = dv
+			}
+		}
+	}
+	if reached < 450 {
+		t.Fatalf("only %d/500 reachable", reached)
+	}
+	if maxd > 12 {
+		t.Fatalf("diameter-ish %v too large for a small world", maxd)
+	}
+}
+
+func TestAssignUniformCategories(t *testing.T) {
+	b := GridBuilder(GridOptions{Rows: 10, Cols: 10, Seed: 1})
+	AssignUniformCategories(b, 100, 5, 17, 9)
+	g := b.MustBuild()
+	if g.NumCategories() != 5 {
+		t.Fatalf("numCats=%d", g.NumCategories())
+	}
+	for c := 0; c < 5; c++ {
+		if got := g.CategorySize(graph.Category(c)); got != 17 {
+			t.Fatalf("|C%d|=%d, want 17", c, got)
+		}
+		seen := map[graph.Vertex]bool{}
+		for _, v := range g.VerticesOf(graph.Category(c)) {
+			if seen[v] {
+				t.Fatalf("category %d has duplicate vertex %d", c, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestAssignUniformCatSizeCapped(t *testing.T) {
+	b := graph.NewBuilder(4, true)
+	b.AddEdge(0, 1, 1)
+	AssignUniformCategories(b, 4, 2, 100, 3)
+	g := b.MustBuild()
+	for c := 0; c < 2; c++ {
+		if g.CategorySize(graph.Category(c)) != 4 {
+			t.Fatalf("|C%d|=%d, want 4", c, g.CategorySize(graph.Category(c)))
+		}
+	}
+}
+
+func TestAssignZipfCategories(t *testing.T) {
+	b := GridBuilder(GridOptions{Rows: 40, Cols: 40, Seed: 1})
+	sizes := AssignZipfCategories(b, 1600, 10, 1.2, 11)
+	g := b.MustBuild()
+	total := 0
+	for _, s := range sizes {
+		total += s
+	}
+	if total != 1600 {
+		t.Fatalf("total=%d", total)
+	}
+	// Every vertex got exactly one category.
+	for v := 0; v < 1600; v++ {
+		if len(g.Categories(graph.Vertex(v))) != 1 {
+			t.Fatalf("vertex %d has %d categories", v, len(g.Categories(graph.Vertex(v))))
+		}
+	}
+	// Skew: first category clearly larger than last.
+	if sizes[0] <= sizes[9] {
+		t.Fatalf("no skew: sizes=%v", sizes)
+	}
+}
+
+// Larger f must yield a less skewed distribution (paper Section V-A).
+func TestZipfSkewMonotoneInF(t *testing.T) {
+	ratio := func(f float64) float64 {
+		b := graph.NewBuilder(20000, true)
+		b.AddEdge(0, 1, 1)
+		sizes := AssignZipfCategories(b, 20000, 20, f, 17)
+		maxS, minS := 0, 1<<30
+		for _, s := range sizes {
+			if s > maxS {
+				maxS = s
+			}
+			if s < minS {
+				minS = s
+			}
+		}
+		if minS == 0 {
+			minS = 1
+		}
+		return float64(maxS) / float64(minS)
+	}
+	r12, r18 := ratio(1.2), ratio(1.8)
+	if r12 <= r18 {
+		t.Fatalf("skew(f=1.2)=%v should exceed skew(f=1.8)=%v", r12, r18)
+	}
+}
+
+func TestBuildAnalogues(t *testing.T) {
+	for _, a := range AllAnalogues {
+		g, err := BuildAnalogue(a, AnalogueOptions{Seed: 1, NumCats: 8, CatSize: 50})
+		if err != nil {
+			t.Fatalf("%s: %v", a, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", a, err)
+		}
+		if g.NumVertices() == 0 || g.NumEdges() == 0 {
+			t.Fatalf("%s: empty graph", a)
+		}
+		if g.NumCategories() == 0 {
+			t.Fatalf("%s: no categories", a)
+		}
+		switch a {
+		case COL, FLA, GPlus:
+			if !g.Directed() {
+				t.Fatalf("%s must be directed", a)
+			}
+		default:
+			if g.Directed() {
+				t.Fatalf("%s must be undirected", a)
+			}
+		}
+	}
+	if _, err := BuildAnalogue("XX", AnalogueOptions{}); err == nil {
+		t.Fatal("unknown analogue must error")
+	}
+}

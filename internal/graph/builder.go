@@ -1,0 +1,242 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates vertices, edges and categories and produces an
+// immutable Graph. A Builder must be created with NewBuilder.
+type Builder struct {
+	n        int
+	directed bool
+	edges    []Edge
+	cats     map[Vertex][]Category
+	numCats  int
+
+	catNames    []string
+	catIndex    map[string]Category
+	vertexNames map[Vertex]string
+	vertexIndex map[string]Vertex
+
+	err error
+}
+
+// NewBuilder returns a Builder for a graph with n vertices. When directed
+// is false, AddEdge inserts both arcs.
+func NewBuilder(n int, directed bool) *Builder {
+	b := &Builder{
+		n:           n,
+		directed:    directed,
+		cats:        make(map[Vertex][]Category),
+		catIndex:    make(map[string]Category),
+		vertexNames: make(map[Vertex]string),
+		vertexIndex: make(map[string]Vertex),
+	}
+	if n < 0 {
+		b.err = fmt.Errorf("graph: negative vertex count %d", n)
+	}
+	return b
+}
+
+func (b *Builder) setErr(err error) {
+	if b.err == nil {
+		b.err = err
+	}
+}
+
+func (b *Builder) checkVertex(v Vertex) bool {
+	if v < 0 || int(v) >= b.n {
+		b.setErr(fmt.Errorf("graph: vertex %d out of range [0,%d)", v, b.n))
+		return false
+	}
+	return true
+}
+
+// AddEdge adds the edge (u, v) with weight w. For undirected builders the
+// reverse arc is added as well. Self-loops are allowed (they never appear
+// on shortest paths when w > 0); negative and NaN weights are rejected.
+func (b *Builder) AddEdge(u, v Vertex, w Weight) *Builder {
+	if !b.checkVertex(u) || !b.checkVertex(v) {
+		return b
+	}
+	if w < 0 || w != w {
+		b.setErr(fmt.Errorf("graph: invalid weight %v on edge (%d,%d)", w, u, v))
+		return b
+	}
+	b.edges = append(b.edges, Edge{From: u, To: v, W: w})
+	if !b.directed && u != v {
+		b.edges = append(b.edges, Edge{From: v, To: u, W: w})
+	}
+	return b
+}
+
+// AddCategory adds category c to F(v). Categories are dense integers; the
+// builder tracks the maximum id seen.
+func (b *Builder) AddCategory(v Vertex, c Category) *Builder {
+	if !b.checkVertex(v) {
+		return b
+	}
+	if c < 0 {
+		b.setErr(fmt.Errorf("graph: negative category %d", c))
+		return b
+	}
+	for _, cc := range b.cats[v] {
+		if cc == c {
+			return b // idempotent
+		}
+	}
+	b.cats[v] = append(b.cats[v], c)
+	if int(c)+1 > b.numCats {
+		b.numCats = int(c) + 1
+	}
+	return b
+}
+
+// NameCategory assigns a symbolic name to category c, creating the id if
+// needed, and returns c for chaining into AddCategory calls.
+func (b *Builder) NameCategory(name string) Category {
+	if c, ok := b.catIndex[name]; ok {
+		return c
+	}
+	c := Category(b.numCats)
+	b.numCats++
+	for len(b.catNames) <= int(c) {
+		b.catNames = append(b.catNames, "")
+	}
+	b.catNames[c] = name
+	b.catIndex[name] = c
+	return c
+}
+
+// SetCategoryName binds a symbolic name to an existing (or future)
+// category id without allocating a new id.
+func (b *Builder) SetCategoryName(c Category, name string) *Builder {
+	if c < 0 {
+		b.setErr(fmt.Errorf("graph: negative category %d", c))
+		return b
+	}
+	if old, ok := b.catIndex[name]; ok && old != c {
+		b.setErr(fmt.Errorf("graph: category name %q already used by %d", name, old))
+		return b
+	}
+	if int(c)+1 > b.numCats {
+		b.numCats = int(c) + 1
+	}
+	for len(b.catNames) <= int(c) {
+		b.catNames = append(b.catNames, "")
+	}
+	b.catNames[c] = name
+	b.catIndex[name] = c
+	return b
+}
+
+// NameVertex assigns a symbolic name to vertex v.
+func (b *Builder) NameVertex(v Vertex, name string) *Builder {
+	if !b.checkVertex(v) {
+		return b
+	}
+	if old, ok := b.vertexIndex[name]; ok && old != v {
+		b.setErr(fmt.Errorf("graph: vertex name %q already used by %d", name, old))
+		return b
+	}
+	b.vertexNames[v] = name
+	b.vertexIndex[name] = v
+	return b
+}
+
+// EnsureCategories reserves category ids up to num-1 even when no vertex
+// carries them (useful for generated workloads with empty categories).
+func (b *Builder) EnsureCategories(num int) *Builder {
+	if num > b.numCats {
+		b.numCats = num
+	}
+	return b
+}
+
+// Build finalizes the graph. It returns the first error recorded while
+// building, if any.
+func (b *Builder) Build() (*Graph, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	g := &Graph{
+		n:        b.n,
+		m:        len(b.edges),
+		directed: b.directed,
+		catIndex: b.catIndex,
+	}
+
+	// Forward CSR via counting sort on From.
+	g.outOff = make([]int32, b.n+1)
+	for _, e := range b.edges {
+		g.outOff[e.From+1]++
+	}
+	for v := 0; v < b.n; v++ {
+		g.outOff[v+1] += g.outOff[v]
+	}
+	g.outArc = make([]Arc, len(b.edges))
+	pos := make([]int32, b.n)
+	for _, e := range b.edges {
+		i := g.outOff[e.From] + pos[e.From]
+		g.outArc[i] = Arc{To: e.To, W: e.W}
+		pos[e.From]++
+	}
+
+	// Reverse CSR via counting sort on To.
+	g.inOff = make([]int32, b.n+1)
+	for _, e := range b.edges {
+		g.inOff[e.To+1]++
+	}
+	for v := 0; v < b.n; v++ {
+		g.inOff[v+1] += g.inOff[v]
+	}
+	g.inArc = make([]Arc, len(b.edges))
+	for i := range pos {
+		pos[i] = 0
+	}
+	for _, e := range b.edges {
+		i := g.inOff[e.To] + pos[e.To]
+		g.inArc[i] = Arc{To: e.From, W: e.W}
+		pos[e.To]++
+	}
+
+	// Categories.
+	g.catOff = make([]int32, b.n+1)
+	for v, cs := range b.cats {
+		g.catOff[v+1] = int32(len(cs))
+	}
+	for v := 0; v < b.n; v++ {
+		g.catOff[v+1] += g.catOff[v]
+	}
+	g.catIDs = make([]Category, g.catOff[b.n])
+	g.byCat = make([][]Vertex, b.numCats)
+	for v := 0; v < b.n; v++ {
+		cs := b.cats[Vertex(v)]
+		sort.Slice(cs, func(i, j int) bool { return cs[i] < cs[j] })
+		copy(g.catIDs[g.catOff[v]:g.catOff[v+1]], cs)
+		for _, c := range cs {
+			g.byCat[c] = append(g.byCat[c], Vertex(v))
+		}
+	}
+
+	g.catNames = b.catNames
+	if len(b.vertexNames) > 0 {
+		g.vertexNames = make([]string, b.n)
+		for v, name := range b.vertexNames {
+			g.vertexNames[v] = name
+		}
+		g.vertexIndex = b.vertexIndex
+	}
+	return g, nil
+}
+
+// MustBuild is Build for tests and fixtures known to be valid; it panics
+// on error.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

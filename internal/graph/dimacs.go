@@ -1,0 +1,92 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadDIMACS parses a graph in the 9th DIMACS Implementation Challenge
+// shortest-path format — the format the paper's COL and FLA road
+// networks are distributed in (http://www.dis.uniroma1.it/challenge9):
+//
+//	c <comment>
+//	p sp <numVertices> <numArcs>
+//	a <from> <to> <weight>     (vertices are 1-based)
+//
+// The result is a directed graph with 0-based vertices and no
+// categories; assign categories afterwards (e.g. with the gen package's
+// uniform or Zipf assigners, as the paper does for COL and FLA).
+func ReadDIMACS(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	var b *Builder
+	lineNo := 0
+	arcs := 0
+	declared := -1
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		switch line[0] {
+		case 'c':
+			continue
+		case 'p':
+			if b != nil {
+				return nil, fmt.Errorf("dimacs: line %d: duplicate problem line", lineNo)
+			}
+			fields := strings.Fields(line)
+			if len(fields) != 4 || fields[1] != "sp" {
+				return nil, fmt.Errorf("dimacs: line %d: want \"p sp <n> <m>\"", lineNo)
+			}
+			n, err := strconv.Atoi(fields[2])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("dimacs: line %d: bad vertex count %q", lineNo, fields[2])
+			}
+			m, err := strconv.Atoi(fields[3])
+			if err != nil || m < 0 {
+				return nil, fmt.Errorf("dimacs: line %d: bad arc count %q", lineNo, fields[3])
+			}
+			declared = m
+			b = NewBuilder(n, true)
+		case 'a':
+			if b == nil {
+				return nil, fmt.Errorf("dimacs: line %d: arc before problem line", lineNo)
+			}
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("dimacs: line %d: want \"a <from> <to> <w>\"", lineNo)
+			}
+			u, err := strconv.Atoi(fields[1])
+			if err != nil || u < 1 {
+				return nil, fmt.Errorf("dimacs: line %d: bad tail %q", lineNo, fields[1])
+			}
+			v, err := strconv.Atoi(fields[2])
+			if err != nil || v < 1 {
+				return nil, fmt.Errorf("dimacs: line %d: bad head %q", lineNo, fields[2])
+			}
+			w, err := strconv.ParseFloat(fields[3], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dimacs: line %d: bad weight %q", lineNo, fields[3])
+			}
+			b.AddEdge(Vertex(u-1), Vertex(v-1), w)
+			arcs++
+		default:
+			return nil, fmt.Errorf("dimacs: line %d: unknown record %q", lineNo, line[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dimacs: read: %w", err)
+	}
+	if b == nil {
+		return nil, fmt.Errorf("dimacs: missing problem line")
+	}
+	if declared >= 0 && arcs != declared {
+		return nil, fmt.Errorf("dimacs: declared %d arcs, found %d", declared, arcs)
+	}
+	return b.Build()
+}

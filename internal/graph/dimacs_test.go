@@ -1,0 +1,72 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleDIMACS = `c 9th DIMACS shortest path sample
+c a triangle plus a pendant vertex
+p sp 4 5
+a 1 2 10
+a 2 3 20
+a 3 1 30
+a 1 3 15
+a 3 4 7
+`
+
+func TestReadDIMACS(t *testing.T) {
+	g, err := ReadDIMACS(strings.NewReader(sampleDIMACS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 4 || g.NumEdges() != 5 || !g.Directed() {
+		t.Fatalf("n=%d m=%d directed=%v", g.NumVertices(), g.NumEdges(), g.Directed())
+	}
+	// Arc 1→2 weight 10 becomes 0→1.
+	found := false
+	for _, a := range g.Out(0) {
+		if a.To == 1 && a.W == 10 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("arc 0->1 (10) missing")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadDIMACSErrors(t *testing.T) {
+	bad := []string{
+		"",                              // no problem line
+		"p sp 2 1\np sp 2 1\na 1 2 1\n", // duplicate problem line
+		"a 1 2 3\n",                     // arc before problem
+		"p tw 2 1\na 1 2 1\n",           // wrong problem type
+		"p sp x 1\n",                    // bad n
+		"p sp 2 1\na 0 2 1\n",           // 0-based vertex
+		"p sp 2 1\na 1 2\n",             // short arc line
+		"p sp 2 1\na 1 2 x\n",           // bad weight
+		"p sp 2 2\na 1 2 1\n",           // arc count mismatch
+		"p sp 2 1\nz nonsense\n",        // unknown record
+		"p sp 2 1\na 1 9 1\n",           // head out of range
+		"p sp 2 1\na 1 2 -5\n",          // negative weight (builder rejects)
+	}
+	for i, s := range bad {
+		if _, err := ReadDIMACS(strings.NewReader(s)); err == nil {
+			t.Errorf("case %d: want error for %q", i, s)
+		}
+	}
+}
+
+func TestReadDIMACSCommentsAndBlanks(t *testing.T) {
+	in := "c hi\n\nc there\np sp 2 1\n\na 1 2 4\nc trailing\n"
+	g, err := ReadDIMACS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("m=%d", g.NumEdges())
+	}
+}

@@ -1,0 +1,102 @@
+package graph
+
+import "fmt"
+
+// Dynamic overlays extra edges on an immutable Graph, supporting the
+// graph-structure updates of Section IV-C without rebuilding the CSR
+// representation. It satisfies the adjacency interface the label
+// package's incremental update routines traverse.
+type Dynamic struct {
+	base     *Graph
+	extraOut map[Vertex][]Arc
+	extraIn  map[Vertex][]Arc
+	extra    int
+}
+
+// NewDynamic wraps g.
+func NewDynamic(g *Graph) *Dynamic {
+	return &Dynamic{
+		base:     g,
+		extraOut: make(map[Vertex][]Arc),
+		extraIn:  make(map[Vertex][]Arc),
+	}
+}
+
+// Base returns the wrapped immutable graph.
+func (d *Dynamic) Base() *Graph { return d.base }
+
+// NumVertices returns |V|.
+func (d *Dynamic) NumVertices() int { return d.base.NumVertices() }
+
+// NumExtraEdges returns the number of overlay arcs.
+func (d *Dynamic) NumExtraEdges() int { return d.extra }
+
+// AddEdge inserts the arc (u, v, w) into the overlay. For undirected
+// base graphs the reverse arc is inserted as well. Lowering the weight
+// of an existing edge is modelled by inserting a cheaper parallel arc.
+func (d *Dynamic) AddEdge(u, v Vertex, w Weight) error {
+	n := Vertex(d.base.NumVertices())
+	if u < 0 || u >= n || v < 0 || v >= n {
+		return fmt.Errorf("graph: dynamic edge (%d,%d) out of range", u, v)
+	}
+	if w < 0 || w != w {
+		return fmt.Errorf("graph: invalid weight %v", w)
+	}
+	d.extraOut[u] = append(d.extraOut[u], Arc{To: v, W: w})
+	d.extraIn[v] = append(d.extraIn[v], Arc{To: u, W: w})
+	d.extra++
+	if !d.base.Directed() && u != v {
+		d.extraOut[v] = append(d.extraOut[v], Arc{To: u, W: w})
+		d.extraIn[u] = append(d.extraIn[u], Arc{To: v, W: w})
+		d.extra++
+	}
+	return nil
+}
+
+// Out returns the combined outgoing arcs of v. When overlay arcs exist
+// for v the result is freshly allocated.
+func (d *Dynamic) Out(v Vertex) []Arc {
+	base := d.base.Out(v)
+	extra := d.extraOut[v]
+	if len(extra) == 0 {
+		return base
+	}
+	out := make([]Arc, 0, len(base)+len(extra))
+	out = append(out, base...)
+	return append(out, extra...)
+}
+
+// In returns the combined incoming arcs of v.
+func (d *Dynamic) In(v Vertex) []Arc {
+	base := d.base.In(v)
+	extra := d.extraIn[v]
+	if len(extra) == 0 {
+		return base
+	}
+	in := make([]Arc, 0, len(base)+len(extra))
+	in = append(in, base...)
+	return append(in, extra...)
+}
+
+// Rebuild materializes the overlay into a fresh immutable Graph
+// (categories and names carry over).
+func (d *Dynamic) Rebuild() (*Graph, error) {
+	g := d.base
+	b := NewBuilder(g.NumVertices(), true) // arcs are added individually
+	b.EnsureCategories(g.NumCategories())
+	g.Edges(func(e Edge) bool {
+		b.AddEdge(e.From, e.To, e.W)
+		return true
+	})
+	for u, arcs := range d.extraOut {
+		for _, a := range arcs {
+			b.AddEdge(u, a.To, a.W)
+		}
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, c := range g.Categories(Vertex(v)) {
+			b.AddCategory(Vertex(v), c)
+		}
+	}
+	return b.Build()
+}

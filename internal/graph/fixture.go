@@ -1,0 +1,51 @@
+package graph
+
+// Figure1 returns the road-network graph of Figure 1 of the paper, the
+// running example behind Tables III–VI. Vertices s,a,b,c,d,e,f,t are named
+// and categorized (MA = shopping mall, RE = restaurant, CI = cinema).
+//
+// The edge list is reverse-engineered from the paper's own numbers and is
+// consistent with every distance the paper states: dis(s,a)=8, dis(s,c)=10,
+// the 2-hop label index of Table IV (e.g. dis(a,c)=20, dis(t,s)=25,
+// dis(b,t)=7), the inverted label index of Table V, and the query results
+// of Examples 1–6 (top-3 costs 20, 21, 22).
+func Figure1() *Graph {
+	b := NewBuilder(8, true)
+	ma := b.NameCategory("MA")
+	re := b.NameCategory("RE")
+	ci := b.NameCategory("CI")
+
+	names := []string{"s", "a", "b", "c", "d", "e", "f", "t"}
+	for v, name := range names {
+		b.NameVertex(Vertex(v), name)
+	}
+	var (
+		s  = Vertex(0)
+		a  = Vertex(1)
+		bb = Vertex(2)
+		c  = Vertex(3)
+		d  = Vertex(4)
+		e  = Vertex(5)
+		f  = Vertex(6)
+		t  = Vertex(7)
+	)
+	b.AddCategory(a, ma).AddCategory(c, ma)
+	b.AddCategory(bb, re).AddCategory(e, re)
+	b.AddCategory(d, ci).AddCategory(f, ci)
+
+	b.AddEdge(s, a, 8)
+	b.AddEdge(s, c, 10)
+	b.AddEdge(a, bb, 5)
+	b.AddEdge(a, e, 6)
+	b.AddEdge(bb, d, 3)
+	b.AddEdge(bb, s, 5)
+	b.AddEdge(c, bb, 5)
+	b.AddEdge(c, d, 3)
+	b.AddEdge(d, t, 4)
+	b.AddEdge(e, d, 3)
+	b.AddEdge(e, f, 10)
+	b.AddEdge(f, t, 3)
+	b.AddEdge(t, c, 15)
+	b.AddEdge(t, e, 10)
+	return b.MustBuild()
+}

@@ -1,0 +1,213 @@
+// Package graph provides the weighted, categorized graph model used by
+// every subsystem of the KOSR reproduction (Definition 1 of the paper):
+// a directed weighted graph G(V, E, F, W) where the category function F
+// maps each vertex to a set of categories and the weight function W maps
+// each edge to a non-negative cost. Edge weights are arbitrary and need
+// not satisfy the triangle inequality.
+//
+// The in-memory representation is a compressed sparse row (CSR) adjacency
+// for both the forward and the reverse direction, so that forward and
+// backward Dijkstra searches (needed by pruned landmark labeling and by
+// contraction hierarchies) are equally cheap.
+package graph
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vertex identifies a vertex; vertices are dense integers in [0, N).
+type Vertex = int32
+
+// Category identifies a vertex category; categories are dense integers in
+// [0, NumCategories).
+type Category = int32
+
+// Weight is a non-negative edge or path cost.
+type Weight = float64
+
+// Inf is the weight of a non-existent path.
+var Inf = math.Inf(1)
+
+// Edge is a single directed edge with its weight.
+type Edge struct {
+	From, To Vertex
+	W        Weight
+}
+
+// Arc is the head of an edge as stored in adjacency lists.
+type Arc struct {
+	To Vertex
+	W  Weight
+}
+
+// Graph is an immutable directed weighted graph with vertex categories.
+// Build one with a Builder. The zero value is an empty graph.
+type Graph struct {
+	n        int
+	m        int
+	directed bool
+
+	// Forward CSR adjacency.
+	outOff []int32
+	outArc []Arc
+	// Reverse CSR adjacency.
+	inOff []int32
+	inArc []Arc
+
+	// Vertex categories: catOff/catIDs is a CSR of F(v); byCat[c] lists
+	// the vertices of category c (the set V_C of Definition 3).
+	catOff []int32
+	catIDs []Category
+	byCat  [][]Vertex
+
+	catNames []string
+	catIndex map[string]Category
+
+	vertexNames []string
+	vertexIndex map[string]Vertex
+}
+
+// NumVertices returns |V|.
+func (g *Graph) NumVertices() int { return g.n }
+
+// NumEdges returns the number of stored directed arcs. For a graph built
+// with Directed(false) each undirected edge counts twice.
+func (g *Graph) NumEdges() int { return g.m }
+
+// Directed reports whether the graph was built as a directed graph.
+func (g *Graph) Directed() bool { return g.directed }
+
+// Out returns the outgoing arcs of v. The returned slice is shared; do
+// not modify it.
+func (g *Graph) Out(v Vertex) []Arc { return g.outArc[g.outOff[v]:g.outOff[v+1]] }
+
+// In returns the incoming arcs of v (as arcs of the reverse graph). The
+// returned slice is shared; do not modify it.
+func (g *Graph) In(v Vertex) []Arc { return g.inArc[g.inOff[v]:g.inOff[v+1]] }
+
+// OutDegree returns the number of outgoing arcs of v.
+func (g *Graph) OutDegree(v Vertex) int { return int(g.outOff[v+1] - g.outOff[v]) }
+
+// InDegree returns the number of incoming arcs of v.
+func (g *Graph) InDegree(v Vertex) int { return int(g.inOff[v+1] - g.inOff[v]) }
+
+// Degree returns the total degree (in + out) of v.
+func (g *Graph) Degree(v Vertex) int { return g.OutDegree(v) + g.InDegree(v) }
+
+// NumCategories returns the number of distinct categories (|S|).
+func (g *Graph) NumCategories() int { return len(g.byCat) }
+
+// Categories returns F(v), the categories of vertex v. The returned slice
+// is shared; do not modify it.
+func (g *Graph) Categories(v Vertex) []Category {
+	return g.catIDs[g.catOff[v]:g.catOff[v+1]]
+}
+
+// HasCategory reports whether c ∈ F(v).
+func (g *Graph) HasCategory(v Vertex, c Category) bool {
+	for _, cc := range g.Categories(v) {
+		if cc == c {
+			return true
+		}
+	}
+	return false
+}
+
+// VerticesOf returns V_c, the vertices belonging to category c, in
+// ascending vertex order. The returned slice is shared; do not modify it.
+func (g *Graph) VerticesOf(c Category) []Vertex {
+	if int(c) < 0 || int(c) >= len(g.byCat) {
+		return nil
+	}
+	return g.byCat[c]
+}
+
+// CategorySize returns |V_c|.
+func (g *Graph) CategorySize(c Category) int { return len(g.VerticesOf(c)) }
+
+// CategoryName returns the symbolic name of category c, or a numeric
+// fallback when the category was never named.
+func (g *Graph) CategoryName(c Category) string {
+	if int(c) < len(g.catNames) && g.catNames[c] != "" {
+		return g.catNames[c]
+	}
+	return fmt.Sprintf("cat%d", c)
+}
+
+// CategoryByName resolves a symbolic category name.
+func (g *Graph) CategoryByName(name string) (Category, bool) {
+	c, ok := g.catIndex[name]
+	return c, ok
+}
+
+// VertexName returns the symbolic name of vertex v, or a numeric fallback.
+func (g *Graph) VertexName(v Vertex) string {
+	if int(v) < len(g.vertexNames) && g.vertexNames[v] != "" {
+		return g.vertexNames[v]
+	}
+	return fmt.Sprintf("v%d", v)
+}
+
+// VertexByName resolves a symbolic vertex name.
+func (g *Graph) VertexByName(name string) (Vertex, bool) {
+	v, ok := g.vertexIndex[name]
+	return v, ok
+}
+
+// Edges calls fn for every stored arc. It stops early if fn returns false.
+func (g *Graph) Edges(fn func(Edge) bool) {
+	for u := 0; u < g.n; u++ {
+		for _, a := range g.Out(Vertex(u)) {
+			if !fn(Edge{From: Vertex(u), To: a.To, W: a.W}) {
+				return
+			}
+		}
+	}
+}
+
+// TotalWeight returns the sum of all arc weights (useful as a finite
+// upper bound on any shortest path cost).
+func (g *Graph) TotalWeight() Weight {
+	var s Weight
+	for _, a := range g.outArc {
+		s += a.W
+	}
+	return s
+}
+
+// Validate checks structural invariants and returns a descriptive error
+// when one is violated. Graphs produced by Builder.Build always validate.
+func (g *Graph) Validate() error {
+	if len(g.outOff) != g.n+1 || len(g.inOff) != g.n+1 {
+		return fmt.Errorf("graph: offset arrays have wrong length (n=%d)", g.n)
+	}
+	if len(g.outArc) != g.m || len(g.inArc) != g.m {
+		return fmt.Errorf("graph: arc arrays have wrong length (m=%d, out=%d, in=%d)",
+			g.m, len(g.outArc), len(g.inArc))
+	}
+	for v := 0; v < g.n; v++ {
+		if g.outOff[v] > g.outOff[v+1] || g.inOff[v] > g.inOff[v+1] {
+			return fmt.Errorf("graph: non-monotone CSR offsets at vertex %d", v)
+		}
+	}
+	for i, a := range g.outArc {
+		if a.To < 0 || int(a.To) >= g.n {
+			return fmt.Errorf("graph: arc %d has out-of-range head %d", i, a.To)
+		}
+		if a.W < 0 || math.IsNaN(a.W) {
+			return fmt.Errorf("graph: arc %d has invalid weight %v", i, a.W)
+		}
+	}
+	for c, vs := range g.byCat {
+		for _, v := range vs {
+			if v < 0 || int(v) >= g.n {
+				return fmt.Errorf("graph: category %d contains out-of-range vertex %d", c, v)
+			}
+			if !g.HasCategory(v, Category(c)) {
+				return fmt.Errorf("graph: category %d lists vertex %d but F(%d) disagrees", c, v, v)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,244 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuilderBasics(t *testing.T) {
+	b := NewBuilder(3, true)
+	b.AddEdge(0, 1, 2.5)
+	b.AddEdge(1, 2, 1)
+	b.AddEdge(0, 2, 10)
+	b.AddCategory(1, 0)
+	b.AddCategory(2, 1)
+	b.AddCategory(2, 0)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("got n=%d m=%d", g.NumVertices(), g.NumEdges())
+	}
+	if got := g.Out(0); len(got) != 2 {
+		t.Fatalf("Out(0)=%v", got)
+	}
+	if got := g.In(2); len(got) != 2 {
+		t.Fatalf("In(2)=%v", got)
+	}
+	if !g.HasCategory(2, 0) || !g.HasCategory(2, 1) || g.HasCategory(0, 0) {
+		t.Fatal("category membership wrong")
+	}
+	if got := g.VerticesOf(0); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("VerticesOf(0)=%v", got)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuilderUndirectedAddsBothArcs(t *testing.T) {
+	g := NewBuilder(2, false).AddEdge(0, 1, 3).MustBuild()
+	if g.NumEdges() != 2 {
+		t.Fatalf("m=%d, want 2", g.NumEdges())
+	}
+	if g.Out(1)[0].To != 0 || g.Out(1)[0].W != 3 {
+		t.Fatalf("reverse arc missing: %v", g.Out(1))
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() (*Graph, error)
+	}{
+		{"vertex out of range", func() (*Graph, error) { return NewBuilder(2, true).AddEdge(0, 5, 1).Build() }},
+		{"negative vertex", func() (*Graph, error) { return NewBuilder(2, true).AddEdge(-1, 0, 1).Build() }},
+		{"negative weight", func() (*Graph, error) { return NewBuilder(2, true).AddEdge(0, 1, -2).Build() }},
+		{"nan weight", func() (*Graph, error) {
+			nan := 0.0
+			nan /= nan
+			return NewBuilder(2, true).AddEdge(0, 1, nan).Build()
+		}},
+		{"negative category", func() (*Graph, error) { return NewBuilder(2, true).AddCategory(0, -1).Build() }},
+		{"negative count", func() (*Graph, error) { return NewBuilder(-1, true).Build() }},
+		{"dup vertex name", func() (*Graph, error) {
+			return NewBuilder(2, true).NameVertex(0, "x").NameVertex(1, "x").Build()
+		}},
+	}
+	for _, tc := range cases {
+		if _, err := tc.build(); err == nil {
+			t.Errorf("%s: want error, got nil", tc.name)
+		}
+	}
+}
+
+func TestAddCategoryIdempotent(t *testing.T) {
+	g := NewBuilder(1, true).AddCategory(0, 3).AddCategory(0, 3).MustBuild()
+	if len(g.Categories(0)) != 1 {
+		t.Fatalf("categories=%v", g.Categories(0))
+	}
+	if g.NumCategories() != 4 {
+		t.Fatalf("numCategories=%d, want 4 (dense ids)", g.NumCategories())
+	}
+}
+
+func TestFigure1Shape(t *testing.T) {
+	g := Figure1()
+	if g.NumVertices() != 8 || g.NumEdges() != 14 {
+		t.Fatalf("n=%d m=%d", g.NumVertices(), g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ma, ok := g.CategoryByName("MA")
+	if !ok {
+		t.Fatal("MA missing")
+	}
+	vs := g.VerticesOf(ma)
+	if len(vs) != 2 {
+		t.Fatalf("|MA|=%d", len(vs))
+	}
+	a, _ := g.VertexByName("a")
+	c, _ := g.VertexByName("c")
+	if vs[0] != a || vs[1] != c {
+		t.Fatalf("MA=%v, want [a c]=[%d %d]", vs, a, c)
+	}
+	s, _ := g.VertexByName("s")
+	// dis(s,a)=8 is a direct edge.
+	found := false
+	for _, arc := range g.Out(s) {
+		if arc.To == a && arc.W == 8 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("edge s->a weight 8 missing")
+	}
+	if g.VertexName(s) != "s" || g.CategoryName(ma) != "MA" {
+		t.Fatal("names not preserved")
+	}
+}
+
+func TestRoundTripFigure1(t *testing.T) {
+	g := Figure1()
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip changed size: %d/%d vs %d/%d",
+			g2.NumVertices(), g2.NumEdges(), g.NumVertices(), g.NumEdges())
+	}
+	for v := Vertex(0); int(v) < g.NumVertices(); v++ {
+		if len(g2.Categories(v)) != len(g.Categories(v)) {
+			t.Fatalf("categories of %d differ", v)
+		}
+	}
+}
+
+func TestRoundTripUndirected(t *testing.T) {
+	g := NewBuilder(4, false).
+		AddEdge(0, 1, 1).AddEdge(1, 2, 2).AddEdge(2, 3, 3).AddEdge(3, 0, 4).
+		MustBuild()
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Each undirected edge written once.
+	if n := strings.Count(buf.String(), "\ne "); n != 4 {
+		t.Fatalf("wrote %d edge lines, want 4:\n%s", n, buf.String())
+	}
+	g2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != 8 || g2.Directed() {
+		t.Fatalf("m=%d directed=%v", g2.NumEdges(), g2.Directed())
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	bad := []string{
+		"",                                 // empty
+		"e 0 1 2\n",                        // edge before header
+		"g directed x 0\n",                 // bad vertex count
+		"g sideways 3 0\n",                 // bad direction
+		"g directed 3 0\ng directed 3 0\n", // duplicate header
+		"g directed 3 0\ne 0 9 1\n",        // vertex out of range
+		"g directed 3 0\ne 0 1\n",          // short edge line
+		"g directed 3 0\nv 0 a\n",          // bad category id
+		"g directed 3 0\nz 1 2\n",          // unknown record
+		"g directed 3 0\ne 0 1 -3\n",       // negative weight
+	}
+	for i, s := range bad {
+		if _, err := Read(strings.NewReader(s)); err == nil {
+			t.Errorf("case %d: want error for %q", i, s)
+		}
+	}
+}
+
+func TestEdgesEarlyStop(t *testing.T) {
+	g := Figure1()
+	count := 0
+	g.Edges(func(Edge) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Fatalf("count=%d", count)
+	}
+}
+
+// Property: CSR round trip — every edge added to the builder appears in
+// both Out of its tail and In of its head.
+func TestCSRConsistencyQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		b := NewBuilder(n, true)
+		type key struct{ u, v Vertex }
+		want := make(map[key]int)
+		for i := 0; i < 3*n; i++ {
+			u := Vertex(rng.Intn(n))
+			v := Vertex(rng.Intn(n))
+			b.AddEdge(u, v, float64(rng.Intn(100)))
+			want[key{u, v}]++
+		}
+		g := b.MustBuild()
+		gotOut := make(map[key]int)
+		g.Edges(func(e Edge) bool {
+			gotOut[key{e.From, e.To}]++
+			return true
+		})
+		gotIn := make(map[key]int)
+		for v := 0; v < n; v++ {
+			for _, a := range g.In(Vertex(v)) {
+				gotIn[key{a.To, Vertex(v)}]++
+			}
+		}
+		for k, c := range want {
+			if gotOut[k] != c || gotIn[k] != c {
+				return false
+			}
+		}
+		return len(gotOut) == len(want) && len(gotIn) == len(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTotalWeight(t *testing.T) {
+	g := NewBuilder(3, true).AddEdge(0, 1, 1.5).AddEdge(1, 2, 2.5).MustBuild()
+	if got := g.TotalWeight(); got != 4 {
+		t.Fatalf("TotalWeight=%v", got)
+	}
+}

@@ -1,0 +1,178 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The text format is line-oriented:
+//
+//	g <directed|undirected> <numVertices> <numCategories>
+//	c <catID> <name>            (optional category names)
+//	v <vertex> <cat>[,<cat>...] (vertices with categories)
+//	e <from> <to> <weight>
+//
+// Lines starting with '#' and blank lines are ignored. For undirected
+// graphs each physical edge is written once.
+
+// WriteTo serializes g in the text format. It returns the number of bytes
+// written.
+func (g *Graph) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	count := func(c int, err error) error {
+		n += int64(c)
+		return err
+	}
+	dir := "directed"
+	if !g.directed {
+		dir = "undirected"
+	}
+	if err := count(fmt.Fprintf(bw, "g %s %d %d\n", dir, g.n, g.NumCategories())); err != nil {
+		return n, err
+	}
+	for c, name := range g.catNames {
+		if name != "" {
+			if err := count(fmt.Fprintf(bw, "c %d %s\n", c, name)); err != nil {
+				return n, err
+			}
+		}
+	}
+	for v := 0; v < g.n; v++ {
+		cs := g.Categories(Vertex(v))
+		if len(cs) == 0 {
+			continue
+		}
+		parts := make([]string, len(cs))
+		for i, c := range cs {
+			parts[i] = strconv.Itoa(int(c))
+		}
+		if err := count(fmt.Fprintf(bw, "v %d %s\n", v, strings.Join(parts, ","))); err != nil {
+			return n, err
+		}
+	}
+	seen := make(map[[2]Vertex]bool)
+	var werr error
+	g.Edges(func(e Edge) bool {
+		if !g.directed {
+			key := [2]Vertex{e.From, e.To}
+			rev := [2]Vertex{e.To, e.From}
+			if seen[rev] {
+				return true // reverse arc of an undirected edge already written
+			}
+			seen[key] = true
+		}
+		werr = count(fmt.Fprintf(bw, "e %d %d %g\n", e.From, e.To, e.W))
+		return werr == nil
+	})
+	if werr != nil {
+		return n, werr
+	}
+	return n, bw.Flush()
+}
+
+// Read parses a graph in the text format produced by WriteTo.
+func Read(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var b *Builder
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "g":
+			if b != nil {
+				return nil, fmt.Errorf("graph: line %d: duplicate header", lineNo)
+			}
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("graph: line %d: header needs 3 fields", lineNo)
+			}
+			var directed bool
+			switch fields[1] {
+			case "directed":
+				directed = true
+			case "undirected":
+				directed = false
+			default:
+				return nil, fmt.Errorf("graph: line %d: bad direction %q", lineNo, fields[1])
+			}
+			n, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad vertex count: %v", lineNo, err)
+			}
+			nc, err := strconv.Atoi(fields[3])
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad category count: %v", lineNo, err)
+			}
+			b = NewBuilder(n, directed)
+			b.EnsureCategories(nc)
+		case "c":
+			if b == nil {
+				return nil, fmt.Errorf("graph: line %d: %q before header", lineNo, fields[0])
+			}
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("graph: line %d: category name needs 2 fields", lineNo)
+			}
+			id, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad category id: %v", lineNo, err)
+			}
+			b.SetCategoryName(Category(id), fields[2])
+		case "v":
+			if b == nil {
+				return nil, fmt.Errorf("graph: line %d: %q before header", lineNo, fields[0])
+			}
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("graph: line %d: vertex line needs 2 fields", lineNo)
+			}
+			v, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad vertex: %v", lineNo, err)
+			}
+			for _, part := range strings.Split(fields[2], ",") {
+				c, err := strconv.Atoi(part)
+				if err != nil {
+					return nil, fmt.Errorf("graph: line %d: bad category: %v", lineNo, err)
+				}
+				b.AddCategory(Vertex(v), Category(c))
+			}
+		case "e":
+			if b == nil {
+				return nil, fmt.Errorf("graph: line %d: %q before header", lineNo, fields[0])
+			}
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("graph: line %d: edge line needs 3 fields", lineNo)
+			}
+			u, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad edge tail: %v", lineNo, err)
+			}
+			v, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad edge head: %v", lineNo, err)
+			}
+			w, err := strconv.ParseFloat(fields[3], 64)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad edge weight: %v", lineNo, err)
+			}
+			b.AddEdge(Vertex(u), Vertex(v), w)
+		default:
+			return nil, fmt.Errorf("graph: line %d: unknown record %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: read: %w", err)
+	}
+	if b == nil {
+		return nil, fmt.Errorf("graph: empty input (missing header)")
+	}
+	return b.Build()
+}

@@ -1,0 +1,63 @@
+package invindex
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dijkstra"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/label"
+)
+
+func benchIndex(b *testing.B) (*graph.Graph, *Index) {
+	b.Helper()
+	gb := gen.GridBuilder(gen.GridOptions{Rows: 40, Cols: 40, Diagonals: true, Seed: 5})
+	gen.AssignUniformCategories(gb, 1600, 8, 100, 6)
+	g := gb.MustBuild()
+	return g, Build(g, label.Build(g))
+}
+
+// BenchmarkFindNN measures the label-based x-th nearest neighbour
+// (Algorithm 3) against the Dijkstra-based alternative below — the
+// paper's core efficiency claim for the inverted label index.
+func BenchmarkFindNNLabel(b *testing.B) {
+	g, ix := benchIndex(b)
+	rng := rand.New(rand.NewSource(7))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := graph.Vertex(rng.Intn(g.NumVertices()))
+		it := ix.NewNNIterator(src, graph.Category(rng.Intn(8)))
+		for x := 1; x <= 10; x++ {
+			if _, ok := it.Get(x); !ok {
+				break
+			}
+		}
+	}
+}
+
+func BenchmarkFindNNDijkstra(b *testing.B) {
+	g, _ := benchIndex(b)
+	rng := rand.New(rand.NewSource(7))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := graph.Vertex(rng.Intn(g.NumVertices()))
+		it := dijkstra.NewKNN(g, src, graph.Category(rng.Intn(8)))
+		for x := 1; x <= 10; x++ {
+			if _, ok := it.Get(x); !ok {
+				break
+			}
+		}
+	}
+}
+
+func BenchmarkBuildInvertedIndex(b *testing.B) {
+	gb := gen.GridBuilder(gen.GridOptions{Rows: 40, Cols: 40, Diagonals: true, Seed: 5})
+	gen.AssignUniformCategories(gb, 1600, 8, 100, 6)
+	g := gb.MustBuild()
+	lab := label.Build(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Build(g, lab)
+	}
+}

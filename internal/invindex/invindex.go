@@ -1,0 +1,369 @@
+// Package invindex implements the inverted label index of Section IV-A:
+// for every category Ci, the label entries of Lin(u) of all u ∈ V_Ci are
+// inverted into per-hub lists IL(v′) sorted by distance, so the x-th
+// nearest neighbour of any vertex inside a category can be found by a
+// k-way merge over the (few) hubs of its Lout label — Algorithm 3
+// (FindNN) — without any graph search. It also supports the dynamic
+// category updates of Section IV-C.
+package invindex
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+	"repro/internal/label"
+	"repro/internal/pq"
+)
+
+// Entry is one inverted label entry: category vertex V at distance D from
+// the hub owning the list.
+type Entry struct {
+	V graph.Vertex
+	D graph.Weight
+}
+
+// Neighbor is a category vertex with its distance from a query vertex.
+type Neighbor struct {
+	V graph.Vertex
+	D graph.Weight
+}
+
+// Index is the inverted label index over all categories of a graph.
+type Index struct {
+	lab *label.Index
+	// cats[c][hub] lists the vertices of category c that carry hub in
+	// their Lin label, sorted ascending by distance from the hub.
+	cats []map[graph.Vertex][]Entry
+}
+
+// Build constructs the inverted label index for every category of g from
+// the 2-hop label index lab. Categories are independent, so they are
+// inverted in parallel across the available CPUs.
+func Build(g *graph.Graph, lab *label.Index) *Index {
+	ix := &Index{
+		lab:  lab,
+		cats: make([]map[graph.Vertex][]Entry, g.NumCategories()),
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(ix.cats) {
+		workers = len(ix.cats)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var next int64 = -1
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(atomic.AddInt64(&next, 1))
+				if c >= len(ix.cats) {
+					return
+				}
+				il := make(map[graph.Vertex][]Entry)
+				for _, u := range g.VerticesOf(graph.Category(c)) {
+					for _, e := range lab.In(u) {
+						il[e.Hub] = append(il[e.Hub], Entry{V: u, D: e.D})
+					}
+				}
+				for hub := range il {
+					list := il[hub]
+					sort.Slice(list, func(i, j int) bool {
+						if list[i].D != list[j].D {
+							return list[i].D < list[j].D
+						}
+						return list[i].V < list[j].V
+					})
+				}
+				ix.cats[c] = il
+			}
+		}()
+	}
+	wg.Wait()
+	return ix
+}
+
+// FromParts assembles an index from a (possibly sparse) label index and
+// pre-built inverted lists for a subset of categories. Lists must be
+// sorted by distance, as produced by Build. The disk-resident store uses
+// this to materialize only the categories a query visits.
+func FromParts(lab *label.Index, numCats int, loaded map[graph.Category]map[graph.Vertex][]Entry) *Index {
+	ix := &Index{lab: lab, cats: make([]map[graph.Vertex][]Entry, numCats)}
+	for c, il := range loaded {
+		if int(c) >= 0 && int(c) < numCats {
+			ix.cats[c] = il
+		}
+	}
+	return ix
+}
+
+// Labels returns the underlying 2-hop label index.
+func (ix *Index) Labels() *label.Index { return ix.lab }
+
+// NumCategories returns the number of categories covered.
+func (ix *Index) NumCategories() int { return len(ix.cats) }
+
+// IL returns the inverted label list of hub within category c (the
+// paper's IL(v′) ∈ IL(Ci)). The slice is shared; do not modify.
+func (ix *Index) IL(c graph.Category, hub graph.Vertex) []Entry {
+	if int(c) < 0 || int(c) >= len(ix.cats) {
+		return nil
+	}
+	return ix.cats[c][hub]
+}
+
+// AddVertexCategory registers that category c was added to F(v)
+// (Section IV-C): for each entry (u, du,v) ∈ Lin(v) the pair (v, du,v) is
+// inserted into IL(u) of category c, keeping the list sorted.
+func (ix *Index) AddVertexCategory(v graph.Vertex, c graph.Category) {
+	if int(c) < 0 {
+		return
+	}
+	for int(c) >= len(ix.cats) {
+		ix.cats = append(ix.cats, make(map[graph.Vertex][]Entry))
+	}
+	il := ix.cats[c]
+	if il == nil {
+		il = make(map[graph.Vertex][]Entry)
+		ix.cats[c] = il
+	}
+	for _, e := range ix.lab.In(v) {
+		list := il[e.Hub]
+		pos := sort.Search(len(list), func(i int) bool {
+			if list[i].D != e.D {
+				return list[i].D > e.D
+			}
+			return list[i].V >= v
+		})
+		if pos < len(list) && list[pos].V == v && list[pos].D == e.D {
+			continue // already present
+		}
+		list = append(list, Entry{})
+		copy(list[pos+1:], list[pos:])
+		list[pos] = Entry{V: v, D: e.D}
+		il[e.Hub] = list
+	}
+}
+
+// RemoveVertexCategory undoes AddVertexCategory (Section IV-C).
+func (ix *Index) RemoveVertexCategory(v graph.Vertex, c graph.Category) {
+	if int(c) < 0 || int(c) >= len(ix.cats) {
+		return
+	}
+	il := ix.cats[c]
+	for _, e := range ix.lab.In(v) {
+		list := il[e.Hub]
+		pos := sort.Search(len(list), func(i int) bool {
+			if list[i].D != e.D {
+				return list[i].D > e.D
+			}
+			return list[i].V >= v
+		})
+		if pos < len(list) && list[pos].V == v && list[pos].D == e.D {
+			list = append(list[:pos], list[pos+1:]...)
+			if len(list) == 0 {
+				delete(il, e.Hub)
+			} else {
+				il[e.Hub] = list
+			}
+		}
+	}
+}
+
+// Refresh applies Lin label changes produced by label.(*Index).InsertEdge
+// (Section IV-C graph-structure updates): for every changed label of a
+// categorized vertex, the stale inverted entry is removed and the new one
+// inserted in distance order.
+func (ix *Index) Refresh(g *graph.Graph, updates []label.LinUpdate) {
+	for _, u := range updates {
+		for _, c := range g.Categories(u.V) {
+			if int(c) < 0 || int(c) >= len(ix.cats) {
+				continue
+			}
+			il := ix.cats[c]
+			if il == nil {
+				continue
+			}
+			if u.HadOld {
+				removeEntry(il, u.Hub, u.V, u.OldD)
+			}
+			insertEntry(il, u.Hub, u.V, u.D)
+		}
+	}
+}
+
+func removeEntry(il map[graph.Vertex][]Entry, hub, v graph.Vertex, d graph.Weight) {
+	list := il[hub]
+	pos := sort.Search(len(list), func(i int) bool {
+		if list[i].D != d {
+			return list[i].D > d
+		}
+		return list[i].V >= v
+	})
+	if pos < len(list) && list[pos].V == v && list[pos].D == d {
+		il[hub] = append(list[:pos], list[pos+1:]...)
+	}
+}
+
+func insertEntry(il map[graph.Vertex][]Entry, hub, v graph.Vertex, d graph.Weight) {
+	list := il[hub]
+	pos := sort.Search(len(list), func(i int) bool {
+		if list[i].D != d {
+			return list[i].D > d
+		}
+		return list[i].V >= v
+	})
+	if pos < len(list) && list[pos].V == v && list[pos].D == d {
+		return
+	}
+	list = append(list, Entry{})
+	copy(list[pos+1:], list[pos:])
+	list[pos] = Entry{V: v, D: d}
+	il[hub] = list
+}
+
+// Stats summarizes the inverted index (Table IX, lower half).
+type Stats struct {
+	Categories int
+	// AvgPerCategory is the average total number of entries of IL(Ci).
+	AvgPerCategory float64
+	// AvgPerList is the average length of a single inverted label IL(v′).
+	AvgPerList float64
+	Entries    int64
+	SizeBytes  int64
+}
+
+// Stats computes summary statistics.
+func (ix *Index) Stats() Stats {
+	var st Stats
+	st.Categories = len(ix.cats)
+	var lists int64
+	for _, il := range ix.cats {
+		for _, list := range il {
+			lists++
+			st.Entries += int64(len(list))
+		}
+	}
+	if st.Categories > 0 {
+		st.AvgPerCategory = float64(st.Entries) / float64(st.Categories)
+	}
+	if lists > 0 {
+		st.AvgPerList = float64(st.Entries) / float64(lists)
+	}
+	st.SizeBytes = st.Entries * 12 // vertex (4) + distance (8)
+	return st
+}
+
+// NNIterator finds the x-th nearest neighbour of a fixed vertex in a
+// fixed category (Algorithm 3, FindNN). It keeps the paper's NL / NQ / KV
+// state across calls, so successive calls never repeat work: finding the
+// (x+1)-th neighbour after the x-th costs O(log |Lout|).
+type NNIterator struct {
+	ix  *Index
+	v   graph.Vertex
+	cat graph.Category
+
+	nl     []Neighbor // NL: neighbours found, ascending distance
+	inNL   map[graph.Vertex]bool
+	nq     *pq.Heap[nnCand]       // NQ: one candidate per hub list
+	pos    map[graph.Vertex]int32 // KV: next unread position per hub list
+	primed bool
+}
+
+type nnCand struct {
+	target graph.Vertex
+	d      graph.Weight // dis(v, hub) + dis(hub, target)
+	hub    graph.Vertex
+	base   graph.Weight // dis(v, hub)
+}
+
+// NewNNIterator returns a FindNN iterator for (v, cat).
+func (ix *Index) NewNNIterator(v graph.Vertex, cat graph.Category) *NNIterator {
+	return &NNIterator{
+		ix:   ix,
+		v:    v,
+		cat:  cat,
+		inNL: make(map[graph.Vertex]bool),
+		nq: pq.NewHeap[nnCand](func(a, b nnCand) bool {
+			if a.d != b.d {
+				return a.d < b.d
+			}
+			return a.target < b.target
+		}),
+		pos: make(map[graph.Vertex]int32),
+	}
+}
+
+// Found returns the number of neighbours materialized in NL so far.
+func (it *NNIterator) Found() int { return len(it.nl) }
+
+// Get returns the x-th (1-based) nearest neighbour of v in the category.
+// ok is false when fewer than x vertices of the category are reachable.
+// Calls with x ≤ Found() are NL cache hits and cost O(1).
+func (it *NNIterator) Get(x int) (Neighbor, bool) {
+	for len(it.nl) < x {
+		nb, ok := it.next()
+		if !ok {
+			return Neighbor{}, false
+		}
+		it.nl = append(it.nl, nb)
+		it.inNL[nb.V] = true
+	}
+	return it.nl[x-1], true
+}
+
+func (it *NNIterator) prime() {
+	it.primed = true
+	if int(it.cat) < 0 || int(it.cat) >= len(it.ix.cats) {
+		return
+	}
+	il := it.ix.cats[it.cat]
+	for _, e := range it.ix.lab.Out(it.v) {
+		list := il[e.Hub]
+		if len(list) == 0 {
+			continue
+		}
+		it.nq.Push(nnCand{target: list[0].V, d: e.D + list[0].D, hub: e.Hub, base: e.D})
+		it.pos[e.Hub] = 1
+	}
+}
+
+// advance pushes the next unseen entry of the popped candidate's hub list
+// into NQ (lines 12–16 of Algorithm 3).
+func (it *NNIterator) advance(hub graph.Vertex, base graph.Weight) {
+	list := it.ix.cats[it.cat][hub]
+	p := it.pos[hub]
+	for int(p) < len(list) && it.inNL[list[p].V] {
+		p++
+	}
+	if int(p) < len(list) {
+		it.nq.Push(nnCand{target: list[p].V, d: base + list[p].D, hub: hub, base: base})
+		it.pos[hub] = p + 1
+	} else {
+		it.pos[hub] = int32(len(list))
+	}
+}
+
+func (it *NNIterator) next() (Neighbor, bool) {
+	if !it.primed {
+		it.prime()
+	}
+	for it.nq.Len() > 0 {
+		c := it.nq.Pop()
+		it.advance(c.hub, c.base)
+		if it.inNL[c.target] {
+			// The same target was already returned through another hub
+			// with a smaller (or equal) combined distance.
+			continue
+		}
+		// First occurrence in the ascending merge: by the 2-hop cover
+		// property c.d equals dis(v, target).
+		return Neighbor{V: c.target, D: c.d}, true
+	}
+	return Neighbor{}, false
+}

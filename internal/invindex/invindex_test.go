@@ -1,0 +1,277 @@
+package invindex
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dijkstra"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/label"
+)
+
+func randomCatGraph(rng *rand.Rand, n, m, ncats int) *graph.Graph {
+	b := graph.NewBuilder(n, true)
+	b.EnsureCategories(ncats)
+	for i := 0; i < m; i++ {
+		b.AddEdge(graph.Vertex(rng.Intn(n)), graph.Vertex(rng.Intn(n)), float64(1+rng.Intn(20)))
+	}
+	for v := 0; v < n; v++ {
+		if rng.Intn(3) != 0 {
+			b.AddCategory(graph.Vertex(v), graph.Category(rng.Intn(ncats)))
+		}
+	}
+	return b.MustBuild()
+}
+
+// nnReference returns the category's reachable vertices sorted by
+// distance from src (ties by vertex id), computed with Dijkstra.
+func nnReference(g *graph.Graph, src graph.Vertex, cat graph.Category) []Neighbor {
+	d := dijkstra.AllDistances(g, src, false)
+	var out []Neighbor
+	for _, v := range g.VerticesOf(cat) {
+		if !math.IsInf(d[v], 1) {
+			out = append(out, Neighbor{V: v, D: d[v]})
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && (out[j].D < out[j-1].D || (out[j].D == out[j-1].D && out[j].V < out[j-1].V)); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func TestPaperExample4And5(t *testing.T) {
+	// Example 4: nearest neighbour of s in MA is a with cost 8.
+	// Example 5: the 2nd nearest neighbour of s in MA is c with cost 10.
+	g := graph.Figure1()
+	ix := Build(g, label.Build(g))
+	s, _ := g.VertexByName("s")
+	a, _ := g.VertexByName("a")
+	c, _ := g.VertexByName("c")
+	ma, _ := g.CategoryByName("MA")
+	it := ix.NewNNIterator(s, ma)
+	nb1, ok := it.Get(1)
+	if !ok || nb1.V != a || nb1.D != 8 {
+		t.Fatalf("1st NN = %+v ok=%v, want (a, 8)", nb1, ok)
+	}
+	nb2, ok := it.Get(2)
+	if !ok || nb2.V != c || nb2.D != 10 {
+		t.Fatalf("2nd NN = %+v ok=%v, want (c, 10)", nb2, ok)
+	}
+	if _, ok := it.Get(3); ok {
+		t.Fatal("MA has only two vertices")
+	}
+	// NL cache hit path.
+	again, ok := it.Get(1)
+	if !ok || again != nb1 {
+		t.Fatal("cached Get(1) changed")
+	}
+}
+
+func TestFindNNMatchesDijkstra(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 25; trial++ {
+		g := randomCatGraph(rng, 2+rng.Intn(30), 90, 4)
+		lab := label.Build(g)
+		ix := Build(g, lab)
+		for src := 0; src < g.NumVertices(); src += 3 {
+			for cat := 0; cat < g.NumCategories(); cat++ {
+				ref := nnReference(g, graph.Vertex(src), graph.Category(cat))
+				it := ix.NewNNIterator(graph.Vertex(src), graph.Category(cat))
+				for x := 1; x <= len(ref); x++ {
+					nb, ok := it.Get(x)
+					if !ok {
+						t.Fatalf("trial %d: Get(%d) failed, ref has %d", trial, x, len(ref))
+					}
+					if nb.D != ref[x-1].D {
+						t.Fatalf("trial %d: src=%d cat=%d x=%d: dist %v, want %v",
+							trial, src, cat, x, nb.D, ref[x-1].D)
+					}
+				}
+				if _, ok := it.Get(len(ref) + 1); ok {
+					t.Fatalf("trial %d: Get past end succeeded", trial)
+				}
+			}
+		}
+	}
+}
+
+func TestFindNNNoDuplicates(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := randomCatGraph(rng, 40, 150, 2)
+	ix := Build(g, label.Build(g))
+	it := ix.NewNNIterator(0, 0)
+	seen := map[graph.Vertex]bool{}
+	prev := -1.0
+	for x := 1; ; x++ {
+		nb, ok := it.Get(x)
+		if !ok {
+			break
+		}
+		if seen[nb.V] {
+			t.Fatalf("duplicate neighbour %d", nb.V)
+		}
+		if nb.D < prev {
+			t.Fatalf("distances not monotone: %v after %v", nb.D, prev)
+		}
+		if !g.HasCategory(nb.V, 0) {
+			t.Fatalf("neighbour %d not in category", nb.V)
+		}
+		seen[nb.V] = true
+		prev = nb.D
+	}
+}
+
+func TestEmptyAndInvalidCategory(t *testing.T) {
+	g := graph.NewBuilder(3, true).AddEdge(0, 1, 1).EnsureCategories(2).MustBuild()
+	ix := Build(g, label.Build(g))
+	it := ix.NewNNIterator(0, 0) // category 0 is empty
+	if _, ok := it.Get(1); ok {
+		t.Fatal("empty category returned a neighbour")
+	}
+	it2 := ix.NewNNIterator(0, 99) // out of range
+	if _, ok := it2.Get(1); ok {
+		t.Fatal("invalid category returned a neighbour")
+	}
+}
+
+func TestDynamicCategoryUpdates(t *testing.T) {
+	g := graph.Figure1()
+	ix := Build(g, label.Build(g))
+	s, _ := g.VertexByName("s")
+	b, _ := g.VertexByName("b")
+	ma, _ := g.CategoryByName("MA")
+
+	// Add b to MA: dis(s,b)=13 puts it behind a (8) and c (10).
+	ix.AddVertexCategory(b, ma)
+	it := ix.NewNNIterator(s, ma)
+	nb3, ok := it.Get(3)
+	if !ok || nb3.V != b || nb3.D != 13 {
+		t.Fatalf("3rd NN after add = %+v ok=%v, want (b, 13)", nb3, ok)
+	}
+
+	// Remove it again: only two MA vertices remain.
+	ix.RemoveVertexCategory(b, ma)
+	it2 := ix.NewNNIterator(s, ma)
+	if _, ok := it2.Get(3); ok {
+		t.Fatal("b still present after removal")
+	}
+	two, ok := it2.Get(2)
+	if !ok || two.D != 10 {
+		t.Fatalf("2nd NN after removal = %+v", two)
+	}
+}
+
+func TestAddVertexCategoryIdempotent(t *testing.T) {
+	g := graph.Figure1()
+	ix := Build(g, label.Build(g))
+	b, _ := g.VertexByName("b")
+	ma, _ := g.CategoryByName("MA")
+	ix.AddVertexCategory(b, ma)
+	ix.AddVertexCategory(b, ma) // duplicate insert must be a no-op
+	s, _ := g.VertexByName("s")
+	it := ix.NewNNIterator(s, ma)
+	if _, ok := it.Get(4); ok {
+		t.Fatal("duplicate insert created a 4th neighbour")
+	}
+}
+
+func TestAddCategoryBeyondRange(t *testing.T) {
+	g := graph.Figure1()
+	ix := Build(g, label.Build(g))
+	s, _ := g.VertexByName("s")
+	d, _ := g.VertexByName("d")
+	// Category 7 did not exist at build time.
+	ix.AddVertexCategory(d, 7)
+	it := ix.NewNNIterator(s, 7)
+	nb, ok := it.Get(1)
+	if !ok || nb.V != d || nb.D != 13 {
+		t.Fatalf("NN in new category = %+v ok=%v, want (d, 13)", nb, ok)
+	}
+}
+
+func TestStats(t *testing.T) {
+	g := graph.Figure1()
+	ix := Build(g, label.Build(g))
+	st := ix.Stats()
+	if st.Categories != 3 || st.Entries <= 0 {
+		t.Fatalf("stats=%+v", st)
+	}
+	if st.AvgPerCategory <= 0 || st.AvgPerList <= 0 || st.SizeBytes != st.Entries*12 {
+		t.Fatalf("stats=%+v", st)
+	}
+}
+
+func TestILAccessor(t *testing.T) {
+	// Table V of the paper: IL(MA) has IL(s) = [(a,8),(c,10)].
+	g := graph.Figure1()
+	ix := Build(g, label.Build(g))
+	s, _ := g.VertexByName("s")
+	ma, _ := g.CategoryByName("MA")
+	list := ix.IL(ma, s)
+	// The exact hub set depends on the landmark order, so only check
+	// soundness: entries sorted, all in MA, distances correct.
+	prev := -1.0
+	for _, e := range list {
+		if e.D < prev {
+			t.Fatal("IL list not sorted")
+		}
+		prev = e.D
+		if !g.HasCategory(e.V, ma) {
+			t.Fatalf("IL entry %v not in MA", e)
+		}
+	}
+	if ix.IL(99, s) != nil {
+		t.Fatal("out-of-range category should return nil")
+	}
+}
+
+// Property: on random graphs FindNN enumerates exactly the reachable
+// category vertices, in nondecreasing distance order.
+func TestFindNNCompleteQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomCatGraph(rng, 2+rng.Intn(25), 70, 3)
+		ix := Build(g, label.Build(g))
+		src := graph.Vertex(rng.Intn(g.NumVertices()))
+		cat := graph.Category(rng.Intn(3))
+		ref := nnReference(g, src, cat)
+		it := ix.NewNNIterator(src, cat)
+		got := map[graph.Vertex]bool{}
+		for x := 1; ; x++ {
+			nb, ok := it.Get(x)
+			if !ok {
+				break
+			}
+			if nb.D != ref[x-1].D {
+				return false
+			}
+			got[nb.V] = true
+		}
+		return len(got) == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOnGridGraph(t *testing.T) {
+	b := gen.GridBuilder(gen.GridOptions{Rows: 8, Cols: 8, Seed: 9})
+	gen.AssignUniformCategories(b, 64, 3, 10, 4)
+	g := b.MustBuild()
+	ix := Build(g, label.Build(g))
+	for cat := 0; cat < 3; cat++ {
+		ref := nnReference(g, 0, graph.Category(cat))
+		it := ix.NewNNIterator(0, graph.Category(cat))
+		for x := 1; x <= len(ref); x++ {
+			nb, ok := it.Get(x)
+			if !ok || nb.D != ref[x-1].D {
+				t.Fatalf("cat %d x=%d: got %+v ok=%v want %v", cat, x, nb, ok, ref[x-1])
+			}
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package label
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func benchGraph(b *testing.B) *graph.Graph {
+	b.Helper()
+	return gen.GridBuilder(gen.GridOptions{Rows: 40, Cols: 40, Diagonals: true, Seed: 1}).MustBuild()
+}
+
+func BenchmarkBuildGrid1600(b *testing.B) {
+	g := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix := Build(g)
+		if i == 0 {
+			st := ix.Stats()
+			b.ReportMetric(st.AvgOut, "avgLout")
+		}
+	}
+}
+
+// Ordering ablation: build time and index size per landmark ordering.
+func BenchmarkBuildOrderings(b *testing.B) {
+	g := benchGraph(b)
+	for _, tc := range []struct {
+		name string
+		ord  Order
+	}{
+		{"degree", OrderDegree},
+		{"pathsample", OrderPathSample},
+		{"random", OrderRandom},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var entries int64
+			for i := 0; i < b.N; i++ {
+				ix := BuildWithOptions(g, BuildOptions{Order: tc.ord, Seed: 1})
+				entries = ix.Stats().Entries
+			}
+			b.ReportMetric(float64(entries), "entries")
+		})
+	}
+}
+
+func BenchmarkDist(b *testing.B) {
+	g := benchGraph(b)
+	ix := Build(g)
+	rng := rand.New(rand.NewSource(2))
+	n := g.NumVertices()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := graph.Vertex(rng.Intn(n))
+		v := graph.Vertex(rng.Intn(n))
+		_ = ix.Dist(u, v)
+	}
+}
+
+func BenchmarkPath(b *testing.B) {
+	g := benchGraph(b)
+	ix := Build(g)
+	rng := rand.New(rand.NewSource(3))
+	n := g.NumVertices()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := graph.Vertex(rng.Intn(n))
+		v := graph.Vertex(rng.Intn(n))
+		_ = ix.Path(u, v)
+	}
+}
+
+func BenchmarkInsertEdge(b *testing.B) {
+	g := benchGraph(b)
+	rng := rand.New(rand.NewSource(4))
+	n := g.NumVertices()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		ix := Build(g) // fresh index per insertion batch
+		dyn := graph.NewDynamic(g)
+		b.StartTimer()
+		u := graph.Vertex(rng.Intn(n))
+		v := graph.Vertex(rng.Intn(n))
+		dyn.AddEdge(u, v, 1)
+		ix.InsertEdge(dyn, u, v, 1)
+	}
+}

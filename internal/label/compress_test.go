@@ -1,0 +1,107 @@
+package label
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func roundTripCompressed(t *testing.T, g *graph.Graph, ix *Index) *Index {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := ix.WriteCompressed(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ix2, err := ReadCompressed(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < g.NumVertices(); u++ {
+		for v := 0; v < g.NumVertices(); v++ {
+			a := ix.Dist(graph.Vertex(u), graph.Vertex(v))
+			b := ix2.Dist(graph.Vertex(u), graph.Vertex(v))
+			if a != b && !(math.IsInf(a, 1) && math.IsInf(b, 1)) {
+				t.Fatalf("compressed round trip changed dis(%d,%d): %v vs %v", u, v, a, b)
+			}
+		}
+	}
+	return ix2
+}
+
+func TestCompressedRoundTripIntegral(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	g := randomGraph(rng, 30, 90)
+	ix := Build(g)
+	ix2 := roundTripCompressed(t, g, ix)
+	// Path reconstruction must survive (Next pointers preserved).
+	for i := 0; i < 20; i++ {
+		u := graph.Vertex(rng.Intn(30))
+		v := graph.Vertex(rng.Intn(30))
+		p1 := ix.Path(u, v)
+		p2 := ix2.Path(u, v)
+		if len(p1) != len(p2) {
+			t.Fatalf("paths differ: %v vs %v", p1, p2)
+		}
+	}
+}
+
+func TestCompressedRoundTripFractional(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	b := graph.NewBuilder(20, true)
+	for i := 0; i < 60; i++ {
+		b.AddEdge(graph.Vertex(rng.Intn(20)), graph.Vertex(rng.Intn(20)), rng.Float64()*10)
+	}
+	g := b.MustBuild()
+	roundTripCompressed(t, g, Build(g))
+}
+
+func TestCompressedSmaller(t *testing.T) {
+	g := gen.GridBuilder(gen.GridOptions{Rows: 20, Cols: 20, Diagonals: true, Seed: 3}).MustBuild()
+	ix := Build(g)
+	var plain, comp bytes.Buffer
+	if _, err := ix.WriteTo(&plain); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.WriteCompressed(&comp); err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(plain.Len()) / float64(comp.Len())
+	if ratio < 1.8 {
+		t.Fatalf("compression ratio %.2f (plain %d, compressed %d), want ≥ 1.8",
+			ratio, plain.Len(), comp.Len())
+	}
+	t.Logf("compression: plain %d bytes, compressed %d bytes (%.2fx)", plain.Len(), comp.Len(), ratio)
+}
+
+func TestCompressedCorrupt(t *testing.T) {
+	g := graph.Figure1()
+	ix := Build(g)
+	var buf bytes.Buffer
+	if _, err := ix.WriteCompressed(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": append([]byte("NOTMAGIC"), full[8:]...),
+		"truncated": full[:len(full)/3],
+	}
+	for name, data := range cases {
+		if _, err := ReadCompressed(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+	// Plain format must reject compressed data and vice versa.
+	if _, err := Read(bytes.NewReader(full)); err == nil {
+		t.Error("plain Read accepted compressed data")
+	}
+	var plain bytes.Buffer
+	ix.WriteTo(&plain)
+	if _, err := ReadCompressed(bytes.NewReader(plain.Bytes())); err == nil {
+		t.Error("ReadCompressed accepted plain data")
+	}
+}

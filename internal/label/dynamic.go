@@ -1,0 +1,131 @@
+package label
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/pq"
+)
+
+// This file implements incremental label maintenance for graph-structure
+// updates (Section IV-C), following the resumed-pruned-search technique
+// of Akiba, Iwata and Yoshida (WWW 2014), generalized from BFS to
+// weighted Dijkstra. Edge insertions (including weight decreases modelled
+// as cheaper parallel arcs) are supported; entries whose distances become
+// stale are either overwritten by cheaper ones or harmlessly dominated in
+// the min-merge of Dist, so queries stay exact.
+
+// Adjacency is the graph view the update routines traverse; both
+// *graph.Graph and *graph.Dynamic satisfy it.
+type Adjacency interface {
+	NumVertices() int
+	Out(v graph.Vertex) []graph.Arc
+	In(v graph.Vertex) []graph.Arc
+}
+
+// LinUpdate records one Lin label change made by InsertEdge, so that
+// dependent structures (the inverted label index) can be refreshed.
+type LinUpdate struct {
+	V      graph.Vertex // vertex whose Lin changed
+	Hub    graph.Vertex
+	D      graph.Weight // new distance dis(Hub, V)
+	OldD   graph.Weight // previous distance, when HadOld
+	HadOld bool
+}
+
+// InsertEdge incrementally updates the index for a new arc (a, b, w).
+// adj must already contain the arc. It returns the Lin changes for
+// downstream refresh (see invindex.Refresh). For undirected graphs call
+// it once per direction.
+func (ix *Index) InsertEdge(adj Adjacency, a, b graph.Vertex, w graph.Weight) []LinUpdate {
+	var updates []LinUpdate
+	// Hubs that reach a may now reach further through b: resume their
+	// forward searches seeded at b.
+	for _, e := range ix.in[a] {
+		updates = ix.resume(adj, e.Hub, b, a, e.D+w, false, updates)
+	}
+	// Hubs reached from b may now be reached from a's side: resume
+	// their backward searches seeded at a.
+	for _, e := range ix.out[b] {
+		ix.resume(adj, e.Hub, a, b, e.D+w, true, nil)
+	}
+	return updates
+}
+
+// resume runs a pruned Dijkstra for hub root seeded at start with
+// distance d0 (the first parent is via). With reverse=false it updates
+// Lin labels over forward arcs; with reverse=true, Lout labels over
+// reverse arcs.
+func (ix *Index) resume(adj Adjacency, root, start, via graph.Vertex, d0 graph.Weight,
+	reverse bool, updates []LinUpdate) []LinUpdate {
+
+	type item struct {
+		v graph.Vertex
+		d graph.Weight
+	}
+	dist := map[graph.Vertex]graph.Weight{start: d0}
+	parent := map[graph.Vertex]graph.Vertex{start: via}
+	h := pq.NewHeap[item](func(x, y item) bool { return x.d < y.d })
+	h.Push(item{v: start, d: d0})
+	for h.Len() > 0 {
+		it := h.Pop()
+		if it.d > dist[it.v] {
+			continue // stale entry
+		}
+		// Prune when the current labels already cover (root, v) at
+		// least as cheaply.
+		var covered graph.Weight
+		if reverse {
+			covered = ix.distMerge(it.v, root)
+		} else {
+			covered = ix.distMerge(root, it.v)
+		}
+		if covered <= it.d {
+			continue
+		}
+		upd := ix.upsert(it.v, root, it.d, parent[it.v], reverse)
+		if !reverse {
+			updates = append(updates, upd)
+		}
+		var arcs []graph.Arc
+		if reverse {
+			arcs = adj.In(it.v)
+		} else {
+			arcs = adj.Out(it.v)
+		}
+		for _, a := range arcs {
+			nd := it.d + a.W
+			if old, ok := dist[a.To]; !ok || nd < old {
+				dist[a.To] = nd
+				parent[a.To] = it.v
+				h.Push(item{v: a.To, d: nd})
+			}
+		}
+	}
+	return updates
+}
+
+// upsert inserts or improves the (hub, d) entry of v's Lin (or Lout)
+// list, keeping the list rank-ordered.
+func (ix *Index) upsert(v, hub graph.Vertex, d graph.Weight, next graph.Vertex, reverse bool) LinUpdate {
+	lists := ix.in
+	if reverse {
+		lists = ix.out
+	}
+	list := lists[v]
+	r := ix.rank[hub]
+	pos := sort.Search(len(list), func(i int) bool { return ix.rank[list[i].Hub] >= r })
+	upd := LinUpdate{V: v, Hub: hub, D: d}
+	if pos < len(list) && list[pos].Hub == hub {
+		upd.HadOld = true
+		upd.OldD = list[pos].D
+		list[pos].D = d
+		list[pos].Next = next
+		return upd
+	}
+	list = append(list, Entry{})
+	copy(list[pos+1:], list[pos:])
+	list[pos] = Entry{Hub: hub, D: d, Next: next}
+	lists[v] = list
+	return upd
+}

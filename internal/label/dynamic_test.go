@@ -1,0 +1,199 @@
+package label
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dijkstra"
+	"repro/internal/graph"
+)
+
+// checkDynamicAllPairs verifies that after incremental insertions, label
+// distances equal Dijkstra distances on the rebuilt graph.
+func checkDynamicAllPairs(t *testing.T, dyn *graph.Dynamic, ix *Index) {
+	t.Helper()
+	full, err := dyn.Rebuild()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := dijkstra.New(full)
+	for u := 0; u < full.NumVertices(); u++ {
+		s.FromSource(graph.Vertex(u), false)
+		for v := 0; v < full.NumVertices(); v++ {
+			want := s.Dist(graph.Vertex(v))
+			got := ix.Dist(graph.Vertex(u), graph.Vertex(v))
+			if got != want && !(math.IsInf(got, 1) && math.IsInf(want, 1)) {
+				t.Fatalf("after update: dis(%d,%d)=%v, want %v", u, v, got, want)
+			}
+		}
+	}
+}
+
+func TestInsertEdgeSimple(t *testing.T) {
+	// Path 0→1→2 (cost 10 each); insert shortcut 0→2 (cost 3).
+	g := graph.NewBuilder(3, true).AddEdge(0, 1, 10).AddEdge(1, 2, 10).MustBuild()
+	ix := Build(g)
+	if ix.Dist(0, 2) != 20 {
+		t.Fatalf("pre: %v", ix.Dist(0, 2))
+	}
+	dyn := graph.NewDynamic(g)
+	if err := dyn.AddEdge(0, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	ix.InsertEdge(dyn, 0, 2, 3)
+	if got := ix.Dist(0, 2); got != 3 {
+		t.Fatalf("post: dis(0,2)=%v, want 3", got)
+	}
+	checkDynamicAllPairs(t, dyn, ix)
+}
+
+func TestInsertEdgeConnectsComponents(t *testing.T) {
+	g := graph.NewBuilder(4, true).AddEdge(0, 1, 2).AddEdge(2, 3, 2).MustBuild()
+	ix := Build(g)
+	if !math.IsInf(ix.Dist(0, 3), 1) {
+		t.Fatal("pre: components connected?")
+	}
+	dyn := graph.NewDynamic(g)
+	dyn.AddEdge(1, 2, 5)
+	ix.InsertEdge(dyn, 1, 2, 5)
+	if got := ix.Dist(0, 3); got != 9 {
+		t.Fatalf("post: dis(0,3)=%v, want 9", got)
+	}
+	checkDynamicAllPairs(t, dyn, ix)
+}
+
+func TestInsertEdgeRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 20; trial++ {
+		n := 5 + rng.Intn(25)
+		g := randomGraph(rng, n, 3*n)
+		ix := Build(g)
+		dyn := graph.NewDynamic(g)
+		for i := 0; i < 5; i++ {
+			u := graph.Vertex(rng.Intn(n))
+			v := graph.Vertex(rng.Intn(n))
+			w := float64(1 + rng.Intn(10))
+			if err := dyn.AddEdge(u, v, w); err != nil {
+				t.Fatal(err)
+			}
+			ix.InsertEdge(dyn, u, v, w)
+		}
+		checkDynamicAllPairs(t, dyn, ix)
+	}
+}
+
+func TestInsertEdgeUndirected(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	b := graph.NewBuilder(15, false)
+	for i := 0; i < 25; i++ {
+		b.AddEdge(graph.Vertex(rng.Intn(15)), graph.Vertex(rng.Intn(15)), float64(1+rng.Intn(9)))
+	}
+	g := b.MustBuild()
+	ix := Build(g)
+	dyn := graph.NewDynamic(g)
+	// For undirected graphs insert both directions.
+	u, v, w := graph.Vertex(0), graph.Vertex(14), 1.0
+	dyn.AddEdge(u, v, w) // Dynamic adds both arcs for undirected bases
+	ix.InsertEdge(dyn, u, v, w)
+	ix.InsertEdge(dyn, v, u, w)
+	checkDynamicAllPairs(t, dyn, ix)
+}
+
+func TestInsertEdgeWeightDecrease(t *testing.T) {
+	g := graph.NewBuilder(2, true).AddEdge(0, 1, 100).MustBuild()
+	ix := Build(g)
+	dyn := graph.NewDynamic(g)
+	dyn.AddEdge(0, 1, 7) // cheaper parallel arc = weight decrease
+	ix.InsertEdge(dyn, 0, 1, 7)
+	if got := ix.Dist(0, 1); got != 7 {
+		t.Fatalf("dis(0,1)=%v, want 7", got)
+	}
+}
+
+func TestPathAfterInsert(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for trial := 0; trial < 10; trial++ {
+		n := 5 + rng.Intn(15)
+		g := randomGraph(rng, n, 2*n)
+		ix := Build(g)
+		dyn := graph.NewDynamic(g)
+		for i := 0; i < 3; i++ {
+			u := graph.Vertex(rng.Intn(n))
+			v := graph.Vertex(rng.Intn(n))
+			w := float64(1 + rng.Intn(5))
+			dyn.AddEdge(u, v, w)
+			ix.InsertEdge(dyn, u, v, w)
+		}
+		full, err := dyn.Rebuild()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				d := ix.Dist(graph.Vertex(u), graph.Vertex(v))
+				path := ix.Path(graph.Vertex(u), graph.Vertex(v))
+				if math.IsInf(d, 1) {
+					continue
+				}
+				if path == nil {
+					t.Fatalf("no path %d->%d despite finite dist %v", u, v, d)
+				}
+				if got := pathCost(t, full, path); got != d {
+					t.Fatalf("path cost %v != dist %v (%d->%d)", got, d, u, v)
+				}
+			}
+		}
+	}
+}
+
+// Property: random insertions never break exactness.
+func TestInsertEdgeQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(15)
+		g := randomGraph(rng, n, 2*n)
+		ix := Build(g)
+		dyn := graph.NewDynamic(g)
+		for i := 0; i < 3; i++ {
+			u := graph.Vertex(rng.Intn(n))
+			v := graph.Vertex(rng.Intn(n))
+			w := float64(1 + rng.Intn(8))
+			dyn.AddEdge(u, v, w)
+			ix.InsertEdge(dyn, u, v, w)
+		}
+		full, err := dyn.Rebuild()
+		if err != nil {
+			return false
+		}
+		s := dijkstra.New(full)
+		for i := 0; i < 10; i++ {
+			u := graph.Vertex(rng.Intn(n))
+			v := graph.Vertex(rng.Intn(n))
+			want := s.ToTarget(u, v)
+			got := ix.Dist(u, v)
+			if got != want && !(math.IsInf(got, 1) && math.IsInf(want, 1)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDynamicOverlayErrors(t *testing.T) {
+	g := graph.Figure1()
+	dyn := graph.NewDynamic(g)
+	if err := dyn.AddEdge(-1, 0, 1); err == nil {
+		t.Fatal("want error for bad vertex")
+	}
+	if err := dyn.AddEdge(0, 1, -3); err == nil {
+		t.Fatal("want error for negative weight")
+	}
+	if dyn.NumExtraEdges() != 0 {
+		t.Fatal("failed inserts must not count")
+	}
+}

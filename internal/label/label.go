@@ -1,0 +1,429 @@
+// Package label implements 2-hop labeling for exact shortest-path
+// distance queries on directed weighted graphs, built with the Pruned
+// Landmark Labeling algorithm of Akiba, Iwata and Yoshida (SIGMOD 2013),
+// the method the paper adopts for its label index (Section V-A).
+//
+// Every vertex v carries two label sets (Section IV-A of the paper):
+// Lin(v) with entries (u, dis(u,v)) and Lout(v) with entries
+// (u, dis(v,u)), satisfying the 2-hop cover property: for any s, t some
+// vertex on a shortest s→t path appears in both Lout(s) and Lin(t), so
+//
+//	dis(s,t) = min { ds,h + dh,t | (h,ds,h) ∈ Lout(s), (h,dh,t) ∈ Lin(t) }.
+//
+// Each entry additionally records the neighbouring vertex toward the hub,
+// which lets the index reconstruct actual shortest paths (the paper's
+// "parent vertex" remark at the end of Section IV-A).
+package label
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/dijkstra"
+	"repro/internal/graph"
+	"repro/internal/pq"
+)
+
+// Entry is one label entry. For an entry in Lin(v), Hub reaches v and
+// Next is the predecessor of v on the shortest Hub→v path. For an entry
+// in Lout(v), v reaches Hub and Next is the successor of v on the
+// shortest v→Hub path. Next is -1 when v == Hub.
+type Entry struct {
+	Hub  graph.Vertex
+	D    graph.Weight
+	Next graph.Vertex
+}
+
+// Index is an immutable 2-hop label index. Build one with Build or load
+// one with Read. Label lists are stored in hub-rank order (the pruned
+// landmark ordering), which both distance queries and the inverted label
+// index rely on.
+type Index struct {
+	n    int
+	in   [][]Entry
+	out  [][]Entry
+	rank []int32 // rank[v] = position of v in the landmark order
+}
+
+// Order selects the landmark (hub) ordering heuristic. Ordering quality
+// drives both label size and build time: better orderings prune more.
+type Order int
+
+// The available orderings.
+const (
+	// OrderDegree ranks vertices by total degree, descending — the
+	// classic pruned-landmark-labeling default.
+	OrderDegree Order = iota
+	// OrderPathSample estimates vertex centrality by sampling shortest
+	// path trees from random roots and counting how often each vertex
+	// appears on sampled root-to-vertex paths; high-coverage vertices
+	// become early hubs. Slower to compute, usually smaller labels on
+	// road networks.
+	OrderPathSample
+	// OrderRandom is the ablation baseline: a random permutation.
+	OrderRandom
+)
+
+// BuildOptions tunes Build.
+type BuildOptions struct {
+	Order Order
+	// Seed drives OrderRandom and OrderPathSample.
+	Seed int64
+	// SampleRoots is the number of shortest path trees sampled by
+	// OrderPathSample (default 16).
+	SampleRoots int
+}
+
+// Build constructs the index for g using degree-descending landmark
+// ordering.
+func Build(g *graph.Graph) *Index {
+	return BuildWithOptions(g, BuildOptions{})
+}
+
+// BuildWithOptions constructs the index with an explicit ordering
+// heuristic.
+func BuildWithOptions(g *graph.Graph, opt BuildOptions) *Index {
+	order := landmarkOrder(g, opt)
+	n := g.NumVertices()
+	ix := &Index{
+		n:    n,
+		in:   make([][]Entry, n),
+		out:  make([][]Entry, n),
+		rank: make([]int32, n),
+	}
+	for r, v := range order {
+		ix.rank[v] = int32(r)
+	}
+
+	b := &builder{g: g, ix: ix,
+		dist:   make([]graph.Weight, n),
+		parent: make([]int32, n),
+		heap:   pq.NewIndexedHeap(n),
+	}
+	for i := range b.dist {
+		b.dist[i] = graph.Inf
+	}
+	for _, root := range order {
+		b.prunedSearch(root, false) // labels Lin of reached vertices
+		b.prunedSearch(root, true)  // labels Lout of reaching vertices
+	}
+	return ix
+}
+
+// landmarkOrder computes the hub order for the selected heuristic.
+func landmarkOrder(g *graph.Graph, opt BuildOptions) []graph.Vertex {
+	n := g.NumVertices()
+	order := make([]graph.Vertex, n)
+	for i := range order {
+		order[i] = graph.Vertex(i)
+	}
+	switch opt.Order {
+	case OrderRandom:
+		rng := rand.New(rand.NewSource(opt.Seed))
+		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+	case OrderPathSample:
+		score := samplePathCoverage(g, opt)
+		sort.Slice(order, func(i, j int) bool {
+			si, sj := score[order[i]], score[order[j]]
+			if si != sj {
+				return si > sj
+			}
+			return order[i] < order[j]
+		})
+	default: // OrderDegree
+		sort.Slice(order, func(i, j int) bool {
+			di, dj := g.Degree(order[i]), g.Degree(order[j])
+			if di != dj {
+				return di > dj
+			}
+			return order[i] < order[j]
+		})
+	}
+	return order
+}
+
+// samplePathCoverage runs full Dijkstra trees from sampled roots and
+// counts, for each vertex, how many sampled root→vertex shortest paths
+// pass through it (computed bottom-up over each tree).
+func samplePathCoverage(g *graph.Graph, opt BuildOptions) []int64 {
+	n := g.NumVertices()
+	roots := opt.SampleRoots
+	if roots <= 0 {
+		roots = 16
+	}
+	if roots > n {
+		roots = n
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	score := make([]int64, n)
+	s := dijkstra.New(g)
+	for i := 0; i < roots; i++ {
+		root := graph.Vertex(rng.Intn(n))
+		s.FromSource(root, i%2 == 1) // alternate directions
+		// Count subtree sizes: process vertices in descending distance.
+		type vd struct {
+			v graph.Vertex
+			d graph.Weight
+		}
+		var reached []vd
+		sub := make([]int64, n)
+		for v := 0; v < n; v++ {
+			if d := s.Dist(graph.Vertex(v)); !math.IsInf(d, 1) {
+				reached = append(reached, vd{graph.Vertex(v), d})
+				sub[v] = 1
+			}
+		}
+		sort.Slice(reached, func(a, b int) bool { return reached[a].d > reached[b].d })
+		for _, x := range reached {
+			score[x.v] += sub[x.v]
+			if p := s.Parent(x.v); p >= 0 {
+				sub[p] += sub[x.v]
+			}
+		}
+	}
+	return score
+}
+
+type builder struct {
+	g      *graph.Graph
+	ix     *Index
+	dist   []graph.Weight
+	parent []int32
+	heap   *pq.IndexedHeap
+	touch  []int32
+}
+
+// prunedSearch runs a pruned Dijkstra from root. With reverse=false it
+// explores forward arcs and appends (root, d, parent) to Lin(u) of every
+// non-pruned settled u; with reverse=true it explores reverse arcs and
+// appends to Lout(u).
+func (b *builder) prunedSearch(root graph.Vertex, reverse bool) {
+	for _, v := range b.touch {
+		b.dist[v] = graph.Inf
+	}
+	b.touch = b.touch[:0]
+	b.heap.Reset()
+
+	b.dist[root] = 0
+	b.parent[root] = -1
+	b.touch = append(b.touch, root)
+	b.heap.PushOrDecrease(root, 0)
+
+	for b.heap.Len() > 0 {
+		u, du := b.heap.PopMin()
+		// Prune when the labels built so far already cover (root,u) at
+		// cost ≤ du.
+		var covered graph.Weight
+		if reverse {
+			covered = b.ix.distMerge(graph.Vertex(u), root)
+		} else {
+			covered = b.ix.distMerge(root, graph.Vertex(u))
+		}
+		if covered <= du {
+			continue
+		}
+		e := Entry{Hub: root, D: du, Next: graph.Vertex(b.parent[u])}
+		if reverse {
+			b.ix.out[u] = append(b.ix.out[u], e)
+		} else {
+			b.ix.in[u] = append(b.ix.in[u], e)
+		}
+		var arcs []graph.Arc
+		if reverse {
+			arcs = b.g.In(graph.Vertex(u))
+		} else {
+			arcs = b.g.Out(graph.Vertex(u))
+		}
+		for _, a := range arcs {
+			nd := du + a.W
+			if nd < b.dist[a.To] {
+				if math.IsInf(b.dist[a.To], 1) {
+					b.touch = append(b.touch, a.To)
+				}
+				b.dist[a.To] = nd
+				b.parent[a.To] = u
+				b.heap.PushOrDecrease(a.To, nd)
+			}
+		}
+	}
+}
+
+// NewSparse returns an index shell with the given landmark ranks and no
+// label lists. Labels are attached with SetIn/SetOut; entries must be in
+// ascending rank order, as produced by Build. The disk-resident store
+// (Section IV-C) uses this to materialize only the labels a query needs.
+func NewSparse(rank []int32) *Index {
+	n := len(rank)
+	return &Index{
+		n:    n,
+		in:   make([][]Entry, n),
+		out:  make([][]Entry, n),
+		rank: append([]int32(nil), rank...),
+	}
+}
+
+// SetIn attaches Lin(v). The entries must be rank-ordered.
+func (ix *Index) SetIn(v graph.Vertex, entries []Entry) { ix.in[v] = entries }
+
+// SetOut attaches Lout(v). The entries must be rank-ordered.
+func (ix *Index) SetOut(v graph.Vertex, entries []Entry) { ix.out[v] = entries }
+
+// Ranks returns the landmark rank array (shared; do not modify).
+func (ix *Index) Ranks() []int32 { return ix.rank }
+
+// NumVertices returns the number of vertices the index covers.
+func (ix *Index) NumVertices() int { return ix.n }
+
+// In returns Lin(v). The slice is shared; do not modify.
+func (ix *Index) In(v graph.Vertex) []Entry { return ix.in[v] }
+
+// Out returns Lout(v). The slice is shared; do not modify.
+func (ix *Index) Out(v graph.Vertex) []Entry { return ix.out[v] }
+
+// Rank returns the landmark rank of v (0 = highest priority hub).
+func (ix *Index) Rank(v graph.Vertex) int32 { return ix.rank[v] }
+
+// Dist returns dis(s, t), or +Inf when t is unreachable from s. It is a
+// merge join of Lout(s) and Lin(t) in hub-rank order. dis(v, v) is 0 by
+// definition (the empty path), which also keeps sparse indexes — where a
+// vertex may carry only one of its two labels — exact.
+func (ix *Index) Dist(s, t graph.Vertex) graph.Weight {
+	if s == t {
+		return 0
+	}
+	return ix.distMerge(s, t)
+}
+
+// distMerge is the raw label merge join, without the s == t shortcut.
+// The builder's prune test must use it: during the root's own search the
+// shortcut would make the root prune itself.
+func (ix *Index) distMerge(s, t graph.Vertex) graph.Weight {
+	best := graph.Inf
+	ls, lt := ix.out[s], ix.in[t]
+	i, j := 0, 0
+	for i < len(ls) && j < len(lt) {
+		ri, rj := ix.rank[ls[i].Hub], ix.rank[lt[j].Hub]
+		switch {
+		case ri == rj:
+			if d := ls[i].D + lt[j].D; d < best {
+				best = d
+			}
+			i++
+			j++
+		case ri < rj:
+			i++
+		default:
+			j++
+		}
+	}
+	return best
+}
+
+// BestHub returns the hub minimizing ds,h + dh,t together with that
+// distance; ok is false when t is unreachable from s.
+func (ix *Index) BestHub(s, t graph.Vertex) (hub graph.Vertex, d graph.Weight, ok bool) {
+	best := graph.Inf
+	var bestHub graph.Vertex = -1
+	ls, lt := ix.out[s], ix.in[t]
+	i, j := 0, 0
+	for i < len(ls) && j < len(lt) {
+		ri, rj := ix.rank[ls[i].Hub], ix.rank[lt[j].Hub]
+		switch {
+		case ri == rj:
+			if d := ls[i].D + lt[j].D; d < best {
+				best = d
+				bestHub = ls[i].Hub
+			}
+			i++
+			j++
+		case ri < rj:
+			i++
+		default:
+			j++
+		}
+	}
+	return bestHub, best, bestHub >= 0
+}
+
+// lookup finds the entry with the given hub in a rank-ordered label list.
+func (ix *Index) lookup(list []Entry, hub graph.Vertex) (Entry, bool) {
+	r := ix.rank[hub]
+	lo, hi := 0, len(list)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ix.rank[list[mid].Hub] < r {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(list) && list[lo].Hub == hub {
+		return list[lo], true
+	}
+	return Entry{}, false
+}
+
+// Path reconstructs a shortest path from s to t as a vertex sequence
+// (inclusive of both endpoints), or nil when t is unreachable. The path
+// is assembled from the per-entry Next pointers: s→hub via Lout
+// successors, hub→t via Lin predecessors.
+func (ix *Index) Path(s, t graph.Vertex) []graph.Vertex {
+	if s == t {
+		return []graph.Vertex{s}
+	}
+	hub, _, ok := ix.BestHub(s, t)
+	if !ok {
+		return nil
+	}
+	path := []graph.Vertex{s}
+	for cur := s; cur != hub; {
+		e, ok := ix.lookup(ix.out[cur], hub)
+		if !ok || e.Next < 0 {
+			return nil // index corrupted
+		}
+		cur = e.Next
+		path = append(path, cur)
+	}
+	var back []graph.Vertex
+	for cur := t; cur != hub; {
+		e, ok := ix.lookup(ix.in[cur], hub)
+		if !ok || e.Next < 0 {
+			return nil // index corrupted
+		}
+		back = append(back, cur)
+		cur = e.Next
+	}
+	for i := len(back) - 1; i >= 0; i-- {
+		path = append(path, back[i])
+	}
+	return path
+}
+
+// Stats summarizes the index (the paper's Table IX columns).
+type Stats struct {
+	Vertices  int
+	AvgIn     float64
+	AvgOut    float64
+	Entries   int64
+	SizeBytes int64
+}
+
+// Stats computes summary statistics.
+func (ix *Index) Stats() Stats {
+	var st Stats
+	st.Vertices = ix.n
+	var in, out int64
+	for v := 0; v < ix.n; v++ {
+		in += int64(len(ix.in[v]))
+		out += int64(len(ix.out[v]))
+	}
+	st.Entries = in + out
+	if ix.n > 0 {
+		st.AvgIn = float64(in) / float64(ix.n)
+		st.AvgOut = float64(out) / float64(ix.n)
+	}
+	// Hub (4) + distance (8) + next (4) bytes per entry.
+	st.SizeBytes = st.Entries * 16
+	return st
+}

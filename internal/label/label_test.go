@@ -1,0 +1,251 @@
+package label
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dijkstra"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func randomGraph(rng *rand.Rand, n, m int) *graph.Graph {
+	b := graph.NewBuilder(n, true)
+	for i := 0; i < m; i++ {
+		b.AddEdge(graph.Vertex(rng.Intn(n)), graph.Vertex(rng.Intn(n)), float64(1+rng.Intn(20)))
+	}
+	return b.MustBuild()
+}
+
+// checkAllPairs verifies label distances against Dijkstra for every pair.
+func checkAllPairs(t *testing.T, g *graph.Graph, ix *Index) {
+	t.Helper()
+	s := dijkstra.New(g)
+	for u := 0; u < g.NumVertices(); u++ {
+		s.FromSource(graph.Vertex(u), false)
+		for v := 0; v < g.NumVertices(); v++ {
+			want := s.Dist(graph.Vertex(v))
+			got := ix.Dist(graph.Vertex(u), graph.Vertex(v))
+			if got != want && !(math.IsInf(got, 1) && math.IsInf(want, 1)) {
+				t.Fatalf("dis(%d,%d)=%v, want %v", u, v, got, want)
+			}
+		}
+	}
+}
+
+func TestFigure1AllPairs(t *testing.T) {
+	g := graph.Figure1()
+	ix := Build(g)
+	checkAllPairs(t, g, ix)
+}
+
+func TestFigure1KnownDistances(t *testing.T) {
+	g := graph.Figure1()
+	ix := Build(g)
+	name := func(s string) graph.Vertex { v, _ := g.VertexByName(s); return v }
+	// Example 3 of the paper: dis(a,c) = 20.
+	if got := ix.Dist(name("a"), name("c")); got != 20 {
+		t.Fatalf("dis(a,c)=%v, want 20", got)
+	}
+	if got := ix.Dist(name("s"), name("t")); got != 17 {
+		t.Fatalf("dis(s,t)=%v, want 17", got)
+	}
+}
+
+func TestRandomGraphsAllPairs(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 15; trial++ {
+		g := randomGraph(rng, 2+rng.Intn(30), 80)
+		checkAllPairs(t, g, Build(g))
+	}
+}
+
+func TestUndirectedGridAllPairs(t *testing.T) {
+	g := gen.GridBuilder(gen.GridOptions{Rows: 6, Cols: 7, Seed: 4, Diagonals: true}).MustBuild()
+	checkAllPairs(t, g, Build(g))
+}
+
+func TestDirectedGridAllPairs(t *testing.T) {
+	g := gen.GridBuilder(gen.GridOptions{Rows: 5, Cols: 6, Directed: true, Seed: 5}).MustBuild()
+	checkAllPairs(t, g, Build(g))
+}
+
+func TestDisconnected(t *testing.T) {
+	g := graph.NewBuilder(4, true).AddEdge(0, 1, 1).AddEdge(2, 3, 1).MustBuild()
+	ix := Build(g)
+	if !math.IsInf(ix.Dist(0, 3), 1) {
+		t.Fatal("expected +Inf across components")
+	}
+	if ix.Path(0, 3) != nil {
+		t.Fatal("expected nil path")
+	}
+	if ix.Dist(2, 3) != 1 {
+		t.Fatal("within-component distance wrong")
+	}
+}
+
+func pathCost(t *testing.T, g *graph.Graph, path []graph.Vertex) float64 {
+	t.Helper()
+	var cost float64
+	for i := 0; i+1 < len(path); i++ {
+		best := graph.Inf
+		for _, a := range g.Out(path[i]) {
+			if a.To == path[i+1] && a.W < best {
+				best = a.W
+			}
+		}
+		if math.IsInf(best, 1) {
+			t.Fatalf("path uses non-edge %d->%d", path[i], path[i+1])
+		}
+		cost += best
+	}
+	return cost
+}
+
+func TestPathReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 10; trial++ {
+		g := randomGraph(rng, 2+rng.Intn(25), 70)
+		ix := Build(g)
+		for u := 0; u < g.NumVertices(); u++ {
+			for v := 0; v < g.NumVertices(); v++ {
+				d := ix.Dist(graph.Vertex(u), graph.Vertex(v))
+				path := ix.Path(graph.Vertex(u), graph.Vertex(v))
+				if math.IsInf(d, 1) {
+					if path != nil {
+						t.Fatalf("path to unreachable %d->%d", u, v)
+					}
+					continue
+				}
+				if len(path) == 0 || path[0] != graph.Vertex(u) || path[len(path)-1] != graph.Vertex(v) {
+					t.Fatalf("path endpoints wrong: %v (%d->%d)", path, u, v)
+				}
+				if got := pathCost(t, g, path); got != d {
+					t.Fatalf("path cost %v != dist %v (%d->%d, path %v)", got, d, u, v, path)
+				}
+			}
+		}
+	}
+}
+
+func TestPathSelf(t *testing.T) {
+	g := graph.Figure1()
+	ix := Build(g)
+	p := ix.Path(3, 3)
+	if len(p) != 1 || p[0] != 3 {
+		t.Fatalf("self path=%v", p)
+	}
+}
+
+func TestLabelListsRankOrdered(t *testing.T) {
+	g := gen.GridBuilder(gen.GridOptions{Rows: 5, Cols: 5, Seed: 6}).MustBuild()
+	ix := Build(g)
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, list := range [][]Entry{ix.In(graph.Vertex(v)), ix.Out(graph.Vertex(v))} {
+			for i := 1; i < len(list); i++ {
+				if ix.Rank(list[i-1].Hub) >= ix.Rank(list[i].Hub) {
+					t.Fatalf("label list of %d not strictly rank-ordered", v)
+				}
+			}
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	g := graph.Figure1()
+	ix := Build(g)
+	st := ix.Stats()
+	if st.Vertices != 8 || st.Entries <= 0 || st.SizeBytes != st.Entries*16 {
+		t.Fatalf("stats=%+v", st)
+	}
+	if st.AvgIn <= 0 || st.AvgOut <= 0 {
+		t.Fatalf("stats=%+v", st)
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g := randomGraph(rng, 25, 70)
+	ix := Build(g)
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ix2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < g.NumVertices(); u++ {
+		for v := 0; v < g.NumVertices(); v++ {
+			a := ix.Dist(graph.Vertex(u), graph.Vertex(v))
+			b := ix2.Dist(graph.Vertex(u), graph.Vertex(v))
+			if a != b && !(math.IsInf(a, 1) && math.IsInf(b, 1)) {
+				t.Fatalf("round trip changed dis(%d,%d): %v vs %v", u, v, a, b)
+			}
+		}
+	}
+	// Path reconstruction also survives.
+	p1 := ix.Path(0, 10)
+	p2 := ix2.Path(0, 10)
+	if len(p1) != len(p2) {
+		t.Fatalf("paths differ after round trip: %v vs %v", p1, p2)
+	}
+}
+
+func TestReadCorrupt(t *testing.T) {
+	g := graph.Figure1()
+	ix := Build(g)
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	cases := map[string][]byte{
+		"empty":       {},
+		"bad magic":   append([]byte("NOTMAGIC"), full[8:]...),
+		"truncated":   full[:len(full)/2],
+		"short magic": full[:4],
+	}
+	for name, data := range cases {
+		if _, err := Read(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+// Property: on random graphs, label distance equals Dijkstra distance for
+// random pairs (complements the exhaustive small tests above).
+func TestDistMatchesDijkstraQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, 2+rng.Intn(40), 120)
+		ix := Build(g)
+		s := dijkstra.New(g)
+		for i := 0; i < 10; i++ {
+			u := graph.Vertex(rng.Intn(g.NumVertices()))
+			v := graph.Vertex(rng.Intn(g.NumVertices()))
+			want := s.ToTarget(u, v)
+			got := ix.Dist(u, v)
+			if got != want && !(math.IsInf(got, 1) && math.IsInf(want, 1)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroWeightEdges(t *testing.T) {
+	g := graph.NewBuilder(3, true).
+		AddEdge(0, 1, 0).AddEdge(1, 2, 0).AddEdge(0, 2, 5).
+		MustBuild()
+	ix := Build(g)
+	if got := ix.Dist(0, 2); got != 0 {
+		t.Fatalf("dis(0,2)=%v, want 0", got)
+	}
+}

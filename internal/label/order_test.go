@@ -1,0 +1,61 @@
+package label
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dijkstra"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// Every ordering must produce an exact index.
+func TestAllOrdersExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 8; trial++ {
+		g := randomGraph(rng, 2+rng.Intn(25), 70)
+		for _, ord := range []Order{OrderDegree, OrderPathSample, OrderRandom} {
+			ix := BuildWithOptions(g, BuildOptions{Order: ord, Seed: int64(trial)})
+			s := dijkstra.New(g)
+			for u := 0; u < g.NumVertices(); u++ {
+				s.FromSource(graph.Vertex(u), false)
+				for v := 0; v < g.NumVertices(); v++ {
+					want := s.Dist(graph.Vertex(v))
+					got := ix.Dist(graph.Vertex(u), graph.Vertex(v))
+					if got != want && !(math.IsInf(got, 1) && math.IsInf(want, 1)) {
+						t.Fatalf("order %d: dis(%d,%d)=%v, want %v", ord, u, v, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// On a road-like grid, informed orderings must beat the random baseline
+// on label size (the whole point of landmark ordering).
+func TestOrderingQuality(t *testing.T) {
+	g := gen.GridBuilder(gen.GridOptions{Rows: 16, Cols: 16, Diagonals: true, Seed: 4}).MustBuild()
+	entries := func(ord Order) int64 {
+		return BuildWithOptions(g, BuildOptions{Order: ord, Seed: 5}).Stats().Entries
+	}
+	degree := entries(OrderDegree)
+	sampled := entries(OrderPathSample)
+	random := entries(OrderRandom)
+	if degree >= random {
+		t.Errorf("degree ordering (%d entries) not better than random (%d)", degree, random)
+	}
+	if sampled >= random {
+		t.Errorf("sampled ordering (%d entries) not better than random (%d)", sampled, random)
+	}
+	t.Logf("label entries: degree=%d sampled=%d random=%d", degree, sampled, random)
+}
+
+func TestOrderPathSampleDeterministic(t *testing.T) {
+	g := gen.GridBuilder(gen.GridOptions{Rows: 8, Cols: 8, Seed: 2}).MustBuild()
+	a := BuildWithOptions(g, BuildOptions{Order: OrderPathSample, Seed: 9}).Stats()
+	b := BuildWithOptions(g, BuildOptions{Order: OrderPathSample, Seed: 9}).Stats()
+	if a.Entries != b.Entries {
+		t.Fatalf("same seed produced different indexes: %d vs %d", a.Entries, b.Entries)
+	}
+}

@@ -1,0 +1,149 @@
+package label
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/graph"
+)
+
+// Binary index format (little endian):
+//
+//	magic   [8]byte  "KOSRLBL1"
+//	n       uint32
+//	rank    n × uint32
+//	per vertex v in [0, n):
+//	    lenIn  uint32, lenIn entries
+//	    lenOut uint32, lenOut entries
+//	entry: hub uint32, d float64, next int32
+var magic = [8]byte{'K', 'O', 'S', 'R', 'L', 'B', 'L', '1'}
+
+// WriteTo serializes the index.
+func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	write := func(v any) error {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		n += int64(binary.Size(v))
+		return nil
+	}
+	if err := write(magic); err != nil {
+		return n, err
+	}
+	if err := write(uint32(ix.n)); err != nil {
+		return n, err
+	}
+	for _, r := range ix.rank {
+		if err := write(uint32(r)); err != nil {
+			return n, err
+		}
+	}
+	writeList := func(list []Entry) error {
+		if err := write(uint32(len(list))); err != nil {
+			return err
+		}
+		for _, e := range list {
+			if err := write(uint32(e.Hub)); err != nil {
+				return err
+			}
+			if err := write(e.D); err != nil {
+				return err
+			}
+			if err := write(int32(e.Next)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for v := 0; v < ix.n; v++ {
+		if err := writeList(ix.in[v]); err != nil {
+			return n, err
+		}
+		if err := writeList(ix.out[v]); err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// Read deserializes an index written by WriteTo. It validates the header
+// and entry bounds and fails with a descriptive error on corrupt input.
+func Read(r io.Reader) (*Index, error) {
+	br := bufio.NewReader(r)
+	var m [8]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("label: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("label: bad magic %q", m)
+	}
+	var n32 uint32
+	if err := binary.Read(br, binary.LittleEndian, &n32); err != nil {
+		return nil, fmt.Errorf("label: reading size: %w", err)
+	}
+	n := int(n32)
+	if n < 0 || n > 1<<28 {
+		return nil, fmt.Errorf("label: implausible vertex count %d", n)
+	}
+	ix := &Index{
+		n:    n,
+		in:   make([][]Entry, n),
+		out:  make([][]Entry, n),
+		rank: make([]int32, n),
+	}
+	seen := make([]bool, n)
+	for v := 0; v < n; v++ {
+		var r uint32
+		if err := binary.Read(br, binary.LittleEndian, &r); err != nil {
+			return nil, fmt.Errorf("label: reading rank: %w", err)
+		}
+		if int(r) >= n || seen[r] {
+			return nil, fmt.Errorf("label: invalid rank %d for vertex %d", r, v)
+		}
+		seen[r] = true
+		ix.rank[v] = int32(r)
+	}
+	readList := func() ([]Entry, error) {
+		var l uint32
+		if err := binary.Read(br, binary.LittleEndian, &l); err != nil {
+			return nil, fmt.Errorf("label: reading list length: %w", err)
+		}
+		if int(l) > n {
+			return nil, fmt.Errorf("label: list length %d exceeds vertex count %d", l, n)
+		}
+		list := make([]Entry, l)
+		for i := range list {
+			var hub uint32
+			var d float64
+			var next int32
+			if err := binary.Read(br, binary.LittleEndian, &hub); err != nil {
+				return nil, fmt.Errorf("label: reading entry: %w", err)
+			}
+			if err := binary.Read(br, binary.LittleEndian, &d); err != nil {
+				return nil, fmt.Errorf("label: reading entry: %w", err)
+			}
+			if err := binary.Read(br, binary.LittleEndian, &next); err != nil {
+				return nil, fmt.Errorf("label: reading entry: %w", err)
+			}
+			if int(hub) >= n || int(next) >= n || d < 0 {
+				return nil, fmt.Errorf("label: corrupt entry (hub=%d next=%d d=%v)", hub, next, d)
+			}
+			list[i] = Entry{Hub: graph.Vertex(hub), D: d, Next: graph.Vertex(next)}
+		}
+		return list, nil
+	}
+	for v := 0; v < n; v++ {
+		var err error
+		if ix.in[v], err = readList(); err != nil {
+			return nil, err
+		}
+		if ix.out[v], err = readList(); err != nil {
+			return nil, err
+		}
+	}
+	return ix, nil
+}

@@ -1,0 +1,35 @@
+package pq
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkHeapPushPop(b *testing.B) {
+	h := NewHeap[float64](func(a, b float64) bool { return a < b })
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Push(rng.Float64())
+		if h.Len() > 1024 {
+			for h.Len() > 0 {
+				h.Pop()
+			}
+		}
+	}
+}
+
+func BenchmarkIndexedHeapDijkstraPattern(b *testing.B) {
+	const n = 4096
+	h := NewIndexedHeap(n)
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.PushOrDecrease(int32(rng.Intn(n)), rng.Float64()*1000)
+		if h.Len() > n/2 {
+			for h.Len() > 0 {
+				h.PopMin()
+			}
+		}
+	}
+}

@@ -1,0 +1,200 @@
+// Package pq provides the priority queues used throughout the KOSR
+// reproduction: a generic binary min-heap (for route queues and k-way
+// merges) and an indexed min-heap with decrease-key (for Dijkstra-style
+// searches over dense integer keys).
+package pq
+
+// Heap is a binary min-heap over elements of type T ordered by a
+// caller-supplied less function. The zero value is not usable; create one
+// with NewHeap.
+type Heap[T any] struct {
+	items []T
+	less  func(a, b T) bool
+}
+
+// NewHeap returns an empty heap ordered by less.
+func NewHeap[T any](less func(a, b T) bool) *Heap[T] {
+	return &Heap[T]{less: less}
+}
+
+// Len returns the number of queued elements.
+func (h *Heap[T]) Len() int { return len(h.items) }
+
+// Push inserts x.
+func (h *Heap[T]) Push(x T) {
+	h.items = append(h.items, x)
+	h.up(len(h.items) - 1)
+}
+
+// Min returns the smallest element without removing it. It panics on an
+// empty heap.
+func (h *Heap[T]) Min() T { return h.items[0] }
+
+// Pop removes and returns the smallest element. It panics on an empty
+// heap.
+func (h *Heap[T]) Pop() T {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	var zero T
+	h.items[last] = zero // release references held by the slice
+	h.items = h.items[:last]
+	if last > 0 {
+		h.down(0)
+	}
+	return top
+}
+
+// Clear removes all elements, keeping the allocated capacity.
+func (h *Heap[T]) Clear() {
+	var zero T
+	for i := range h.items {
+		h.items[i] = zero
+	}
+	h.items = h.items[:0]
+}
+
+// Items returns the underlying slice in heap order (not sorted order).
+// The caller must not modify it.
+func (h *Heap[T]) Items() []T { return h.items }
+
+func (h *Heap[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.items[i], h.items[parent]) {
+			return
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *Heap[T]) down(i int) {
+	n := len(h.items)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		smallest := left
+		if right := left + 1; right < n && h.less(h.items[right], h.items[left]) {
+			smallest = right
+		}
+		if !h.less(h.items[smallest], h.items[i]) {
+			return
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+}
+
+// IndexedHeap is a min-heap over integer ids in [0, n) keyed by float64
+// priorities, with decrease-key. It is the workhorse of every Dijkstra
+// search in this repository. Ids absent from the heap have position -1.
+type IndexedHeap struct {
+	ids  []int32   // heap array of ids
+	keys []float64 // key per id
+	pos  []int32   // position of id in ids, or -1
+}
+
+// NewIndexedHeap returns an empty indexed heap over ids [0, n).
+func NewIndexedHeap(n int) *IndexedHeap {
+	h := &IndexedHeap{
+		keys: make([]float64, n),
+		pos:  make([]int32, n),
+	}
+	for i := range h.pos {
+		h.pos[i] = -1
+	}
+	return h
+}
+
+// Len returns the number of queued ids.
+func (h *IndexedHeap) Len() int { return len(h.ids) }
+
+// Contains reports whether id is queued.
+func (h *IndexedHeap) Contains(id int32) bool { return h.pos[id] >= 0 }
+
+// Key returns the current key of a queued id (undefined for ids not
+// queued).
+func (h *IndexedHeap) Key(id int32) float64 { return h.keys[id] }
+
+// PushOrDecrease inserts id with the given key, or lowers its key if id
+// is already queued with a larger key. It reports whether the heap
+// changed.
+func (h *IndexedHeap) PushOrDecrease(id int32, key float64) bool {
+	if p := h.pos[id]; p >= 0 {
+		if key >= h.keys[id] {
+			return false
+		}
+		h.keys[id] = key
+		h.up(int(p))
+		return true
+	}
+	h.keys[id] = key
+	h.pos[id] = int32(len(h.ids))
+	h.ids = append(h.ids, id)
+	h.up(len(h.ids) - 1)
+	return true
+}
+
+// PopMin removes and returns the id with the smallest key and that key.
+// It panics on an empty heap.
+func (h *IndexedHeap) PopMin() (int32, float64) {
+	id := h.ids[0]
+	key := h.keys[id]
+	last := len(h.ids) - 1
+	h.ids[0] = h.ids[last]
+	h.pos[h.ids[0]] = 0
+	h.ids = h.ids[:last]
+	h.pos[id] = -1
+	if last > 0 {
+		h.down(0)
+	}
+	return id, key
+}
+
+// Reset empties the heap, keeping its capacity. Cost is proportional to
+// the number of queued ids, not n.
+func (h *IndexedHeap) Reset() {
+	for _, id := range h.ids {
+		h.pos[id] = -1
+	}
+	h.ids = h.ids[:0]
+}
+
+func (h *IndexedHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.keys[h.ids[i]] >= h.keys[h.ids[parent]] {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *IndexedHeap) down(i int) {
+	n := len(h.ids)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		smallest := left
+		if right := left + 1; right < n && h.keys[h.ids[right]] < h.keys[h.ids[left]] {
+			smallest = right
+		}
+		if h.keys[h.ids[smallest]] >= h.keys[h.ids[i]] {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}
+
+func (h *IndexedHeap) swap(i, j int) {
+	h.ids[i], h.ids[j] = h.ids[j], h.ids[i]
+	h.pos[h.ids[i]] = int32(i)
+	h.pos[h.ids[j]] = int32(j)
+}

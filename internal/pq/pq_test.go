@@ -1,0 +1,149 @@
+package pq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestHeapOrdering(t *testing.T) {
+	h := NewHeap[int](func(a, b int) bool { return a < b })
+	in := []int{5, 3, 8, 1, 9, 2, 7, 2}
+	for _, x := range in {
+		h.Push(x)
+	}
+	if h.Len() != len(in) {
+		t.Fatalf("len=%d", h.Len())
+	}
+	if h.Min() != 1 {
+		t.Fatalf("min=%d", h.Min())
+	}
+	want := append([]int(nil), in...)
+	sort.Ints(want)
+	for i, w := range want {
+		if got := h.Pop(); got != w {
+			t.Fatalf("pop %d = %d, want %d", i, got, w)
+		}
+	}
+	if h.Len() != 0 {
+		t.Fatalf("len after drain=%d", h.Len())
+	}
+}
+
+func TestHeapClear(t *testing.T) {
+	h := NewHeap[string](func(a, b string) bool { return a < b })
+	h.Push("b")
+	h.Push("a")
+	h.Clear()
+	if h.Len() != 0 {
+		t.Fatal("clear failed")
+	}
+	h.Push("z")
+	if h.Pop() != "z" {
+		t.Fatal("heap unusable after clear")
+	}
+}
+
+// Property: heap sort equals sort.Float64s on random inputs.
+func TestHeapSortsQuick(t *testing.T) {
+	f := func(xs []float64) bool {
+		for _, x := range xs {
+			if x != x { // quick may generate NaN, which has no total order
+				return true
+			}
+		}
+		h := NewHeap[float64](func(a, b float64) bool { return a < b })
+		for _, x := range xs {
+			h.Push(x)
+		}
+		want := append([]float64(nil), xs...)
+		sort.Float64s(want)
+		for _, w := range want {
+			if h.Pop() != w {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndexedHeapBasics(t *testing.T) {
+	h := NewIndexedHeap(10)
+	h.PushOrDecrease(3, 5)
+	h.PushOrDecrease(7, 2)
+	h.PushOrDecrease(1, 9)
+	if !h.Contains(3) || h.Contains(0) {
+		t.Fatal("contains wrong")
+	}
+	if id, k := h.PopMin(); id != 7 || k != 2 {
+		t.Fatalf("pop=(%d,%v)", id, k)
+	}
+	// Decrease key of 1 below 3's key.
+	if !h.PushOrDecrease(1, 1) {
+		t.Fatal("decrease rejected")
+	}
+	// Increase attempt must be ignored.
+	if h.PushOrDecrease(1, 100) {
+		t.Fatal("increase accepted")
+	}
+	if id, k := h.PopMin(); id != 1 || k != 1 {
+		t.Fatalf("pop=(%d,%v)", id, k)
+	}
+	if id, k := h.PopMin(); id != 3 || k != 5 {
+		t.Fatalf("pop=(%d,%v)", id, k)
+	}
+	if h.Len() != 0 {
+		t.Fatal("not empty")
+	}
+}
+
+func TestIndexedHeapReset(t *testing.T) {
+	h := NewIndexedHeap(5)
+	h.PushOrDecrease(0, 1)
+	h.PushOrDecrease(4, 2)
+	h.Reset()
+	if h.Len() != 0 || h.Contains(0) || h.Contains(4) {
+		t.Fatal("reset failed")
+	}
+	h.PushOrDecrease(4, 7)
+	if id, k := h.PopMin(); id != 4 || k != 7 {
+		t.Fatalf("pop=(%d,%v)", id, k)
+	}
+}
+
+// Property: indexed heap with random decrease-keys pops in nondecreasing
+// key order and yields each id at most once.
+func TestIndexedHeapQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		h := NewIndexedHeap(n)
+		final := make(map[int32]float64)
+		for i := 0; i < 4*n; i++ {
+			id := int32(rng.Intn(n))
+			key := float64(rng.Intn(1000))
+			h.PushOrDecrease(id, key)
+			if old, ok := final[id]; !ok || key < old {
+				final[id] = key
+			}
+		}
+		prev := -1.0
+		seen := make(map[int32]bool)
+		for h.Len() > 0 {
+			id, k := h.PopMin()
+			if k < prev || seen[id] || final[id] != k {
+				return false
+			}
+			prev = k
+			seen[id] = true
+		}
+		return len(seen) == len(final)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

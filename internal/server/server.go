@@ -1,0 +1,238 @@
+// Package server exposes a System over HTTP with a small JSON API, so
+// the KOSR engine can back a routing service:
+//
+//	GET  /health          liveness and index statistics
+//	POST /query           answer a KOSR query
+//	POST /expand          expand a witness into a full route
+//
+// The handler is safe for concurrent use: the underlying indexes are
+// immutable and every query builds its own search state.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	kosr "repro"
+	"repro/internal/core"
+)
+
+// Server wires a System into an http.Handler.
+type Server struct {
+	sys *kosr.System
+	mux *http.ServeMux
+	// MaxExamined bounds each query's search (0 = unlimited); a routing
+	// service should always set it.
+	MaxExamined int64
+}
+
+// New returns a Server for sys.
+func New(sys *kosr.System) *Server {
+	s := &Server{sys: sys, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/health", s.handleHealth)
+	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/expand", s.handleExpand)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// HealthResponse is the /health payload.
+type HealthResponse struct {
+	Status     string  `json:"status"`
+	Vertices   int     `json:"vertices"`
+	Edges      int     `json:"edges"`
+	Categories int     `json:"categories"`
+	AvgLin     float64 `json:"avgLin,omitempty"`
+	AvgLout    float64 `json:"avgLout,omitempty"`
+	IndexBytes int64   `json:"indexBytes,omitempty"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	resp := HealthResponse{
+		Status:     "ok",
+		Vertices:   s.sys.Graph.NumVertices(),
+		Edges:      s.sys.Graph.NumEdges(),
+		Categories: s.sys.Graph.NumCategories(),
+	}
+	if s.sys.Labels != nil {
+		st := s.sys.Labels.Stats()
+		resp.AvgLin = st.AvgIn
+		resp.AvgLout = st.AvgOut
+		resp.IndexBytes = st.SizeBytes
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// QueryRequest is the /query payload. Vertices and categories may be
+// given as numeric ids or symbolic names.
+type QueryRequest struct {
+	Source     string   `json:"source"`
+	Target     string   `json:"target"`
+	Categories []string `json:"categories"`
+	K          int      `json:"k"`
+	// Method is "SK" (default), "PK" or "KPNE".
+	Method string `json:"method,omitempty"`
+	// Expand additionally returns the full vertex walk of each route.
+	Expand bool `json:"expand,omitempty"`
+}
+
+// RouteJSON is one result route.
+type RouteJSON struct {
+	Witness []int32  `json:"witness"`
+	Names   []string `json:"names,omitempty"`
+	Cost    float64  `json:"cost"`
+	Route   []int32  `json:"route,omitempty"`
+}
+
+// QueryResponse is the /query result.
+type QueryResponse struct {
+	Routes    []RouteJSON `json:"routes"`
+	Examined  int64       `json:"examined"`
+	NNQueries int64       `json:"nnQueries"`
+	Millis    float64     `json:"millis"`
+}
+
+func (s *Server) resolveVertex(spec string) (kosr.Vertex, error) {
+	if v, ok := s.sys.Graph.VertexByName(spec); ok {
+		return v, nil
+	}
+	var id int32
+	if _, err := fmt.Sscanf(spec, "%d", &id); err != nil {
+		return 0, fmt.Errorf("unknown vertex %q", spec)
+	}
+	return id, nil
+}
+
+func (s *Server) resolveCategory(spec string) (kosr.Category, error) {
+	if c, ok := s.sys.Graph.CategoryByName(spec); ok {
+		return c, nil
+	}
+	var id int32
+	if _, err := fmt.Sscanf(spec, "%d", &id); err != nil {
+		return 0, fmt.Errorf("unknown category %q", spec)
+	}
+	return id, nil
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	src, err := s.resolveVertex(req.Source)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "source: %v", err)
+		return
+	}
+	dst, err := s.resolveVertex(req.Target)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "target: %v", err)
+		return
+	}
+	cats := make([]kosr.Category, len(req.Categories))
+	for i, cs := range req.Categories {
+		if cats[i], err = s.resolveCategory(cs); err != nil {
+			writeError(w, http.StatusBadRequest, "category %d: %v", i, err)
+			return
+		}
+	}
+	var method kosr.Method
+	switch req.Method {
+	case "", "SK":
+		method = kosr.StarKOSR
+	case "PK":
+		method = kosr.PruningKOSR
+	case "KPNE":
+		method = kosr.KPNE
+	default:
+		writeError(w, http.StatusBadRequest, "unknown method %q", req.Method)
+		return
+	}
+	k := req.K
+	if k <= 0 {
+		k = 1
+	}
+	start := time.Now()
+	routes, st, err := s.sys.Solve(
+		kosr.Query{Source: src, Target: dst, Categories: cats, K: k},
+		kosr.Options{Method: method, MaxExamined: s.MaxExamined})
+	if err == core.ErrBudgetExceeded {
+		writeError(w, http.StatusServiceUnavailable, "query exceeded the search budget")
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp := QueryResponse{
+		Routes:    make([]RouteJSON, len(routes)),
+		Examined:  st.Examined,
+		NNQueries: st.NNQueries,
+		Millis:    float64(time.Since(start).Microseconds()) / 1000,
+	}
+	for i, rt := range routes {
+		rj := RouteJSON{Witness: rt.Witness, Cost: rt.Cost}
+		rj.Names = make([]string, len(rt.Witness))
+		for k, v := range rt.Witness {
+			rj.Names[k] = s.sys.Graph.VertexName(v)
+		}
+		if req.Expand {
+			rj.Route = s.sys.ExpandWitness(rt.Witness)
+		}
+		resp.Routes[i] = rj
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ExpandRequest is the /expand payload.
+type ExpandRequest struct {
+	Witness []int32 `json:"witness"`
+}
+
+func (s *Server) handleExpand(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var req ExpandRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	n := int32(s.sys.Graph.NumVertices())
+	for _, v := range req.Witness {
+		if v < 0 || v >= n {
+			writeError(w, http.StatusBadRequest, "vertex %d out of range", v)
+			return
+		}
+	}
+	route := s.sys.ExpandWitness(req.Witness)
+	if route == nil {
+		writeError(w, http.StatusUnprocessableEntity, "witness has an unreachable leg")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string][]int32{"route": route})
+}

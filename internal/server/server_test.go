@@ -1,0 +1,198 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	kosr "repro"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *kosr.Graph) {
+	t.Helper()
+	g := kosr.Figure1()
+	srv := New(kosr.NewSystem(g))
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts, g
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func TestHealth(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status=%d", resp.StatusCode)
+	}
+	var h HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Vertices != 8 || h.Categories != 3 || h.AvgLin <= 0 {
+		t.Fatalf("health=%+v", h)
+	}
+}
+
+func TestQueryByNames(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp := postJSON(t, ts.URL+"/query", QueryRequest{
+		Source: "s", Target: "t",
+		Categories: []string{"MA", "RE", "CI"},
+		K:          3, Expand: true,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status=%d", resp.StatusCode)
+	}
+	var qr QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	if len(qr.Routes) != 3 {
+		t.Fatalf("routes=%v", qr.Routes)
+	}
+	want := []float64{20, 21, 22}
+	for i, r := range qr.Routes {
+		if r.Cost != want[i] {
+			t.Fatalf("route %d cost %v", i, r.Cost)
+		}
+		if len(r.Route) == 0 || len(r.Names) != len(r.Witness) {
+			t.Fatalf("route %d not expanded/named: %+v", i, r)
+		}
+	}
+	if qr.Examined == 0 || qr.Millis < 0 {
+		t.Fatalf("stats missing: %+v", qr)
+	}
+}
+
+func TestQueryByIDsAndMethods(t *testing.T) {
+	ts, _ := newTestServer(t)
+	for _, method := range []string{"", "SK", "PK", "KPNE"} {
+		resp := postJSON(t, ts.URL+"/query", QueryRequest{
+			Source: "0", Target: "7",
+			Categories: []string{"0", "1", "2"},
+			K:          1, Method: method,
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("method %q: status=%d", method, resp.StatusCode)
+		}
+		var qr QueryResponse
+		json.NewDecoder(resp.Body).Decode(&qr)
+		if len(qr.Routes) != 1 || qr.Routes[0].Cost != 20 {
+			t.Fatalf("method %q: %+v", method, qr)
+		}
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	ts, _ := newTestServer(t)
+	cases := []struct {
+		req  QueryRequest
+		want int
+	}{
+		{QueryRequest{Source: "nope", Target: "t", K: 1}, http.StatusBadRequest},
+		{QueryRequest{Source: "s", Target: "nope", K: 1}, http.StatusBadRequest},
+		{QueryRequest{Source: "s", Target: "t", Categories: []string{"XX"}, K: 1}, http.StatusBadRequest},
+		{QueryRequest{Source: "s", Target: "t", Method: "BOGUS", K: 1}, http.StatusBadRequest},
+	}
+	for i, tc := range cases {
+		resp := postJSON(t, ts.URL+"/query", tc.req)
+		if resp.StatusCode != tc.want {
+			t.Errorf("case %d: status=%d, want %d", i, resp.StatusCode, tc.want)
+		}
+	}
+	// Malformed JSON.
+	resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader([]byte("{")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed JSON: status=%d", resp.StatusCode)
+	}
+	// Wrong verb.
+	get, err := http.Get(ts.URL + "/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	get.Body.Close()
+	if get.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /query: status=%d", get.StatusCode)
+	}
+}
+
+func TestQueryBudget(t *testing.T) {
+	g := kosr.Figure1()
+	srv := New(kosr.NewSystem(g))
+	srv.MaxExamined = 1
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	resp := postJSON(t, ts.URL+"/query", QueryRequest{
+		Source: "s", Target: "t", Categories: []string{"MA", "RE", "CI"}, K: 3,
+	})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status=%d, want 503", resp.StatusCode)
+	}
+}
+
+func TestExpand(t *testing.T) {
+	ts, g := newTestServer(t)
+	s, _ := g.VertexByName("s")
+	a, _ := g.VertexByName("a")
+	tv, _ := g.VertexByName("t")
+	resp := postJSON(t, ts.URL+"/expand", ExpandRequest{Witness: []int32{s, a, tv}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status=%d", resp.StatusCode)
+	}
+	var out map[string][]int32
+	json.NewDecoder(resp.Body).Decode(&out)
+	if len(out["route"]) < 3 {
+		t.Fatalf("route=%v", out)
+	}
+	// Out-of-range witness.
+	bad := postJSON(t, ts.URL+"/expand", ExpandRequest{Witness: []int32{99}})
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status=%d", bad.StatusCode)
+	}
+}
+
+func TestConcurrentHTTPQueries(t *testing.T) {
+	ts, _ := newTestServer(t)
+	var wg sync.WaitGroup
+	for w := 0; w < 12; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				resp := postJSON(t, ts.URL+"/query", QueryRequest{
+					Source: "s", Target: "t",
+					Categories: []string{"MA", "RE", "CI"}, K: 2,
+				})
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("status=%d", resp.StatusCode)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,543 @@
+package workload
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/ch"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// Experiment regenerates one table or figure of the paper.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(cfg Config, w io.Writer) error
+}
+
+// Experiments lists every reproducible artifact of the evaluation, keyed
+// by the ids used in DESIGN.md and EXPERIMENTS.md.
+var Experiments = []Experiment{
+	{"t7", "Table VII: dataset inventory (synthetic analogues)", runTable7},
+	{"t9", "Table IX: preprocessing results (label + inverted indexes)", runTable9},
+	{"t10", "Table X: query time distribution, PK vs SK", runTable10},
+	{"f3a", "Figure 3(a–c): per-graph run-time, examined routes, NN queries", runFig3},
+	{"f3b", "Figure 3(a–c): per-graph run-time, examined routes, NN queries", runFig3},
+	{"f3c", "Figure 3(a–c): per-graph run-time, examined routes, NN queries", runFig3},
+	{"f3d", "Figure 3(d): effect of k (FLA analogue)", runFig3d},
+	{"f3e", "Figure 3(e): effect of k (CAL analogue)", runFig3e},
+	{"f3f", "Figure 3(f): effect of |C| (FLA analogue)", runFig3f},
+	{"f3g", "Figure 3(g): effect of |C| (CAL analogue)", runFig3g},
+	{"f3h", "Figure 3(h): effect of |Ci| (FLA analogue)", runFig3h},
+	{"f4", "Figure 4: small k", runFig4},
+	{"f5", "Figure 5: searching space of SK per category", runFig5},
+	{"f6", "Figure 6: Zipfian category distributions (FLA analogue)", runFig6},
+	{"f7", "Figure 7: OSR queries (k = 1) incl. GSP", runFig7},
+	{"ablation", "Ablation: dominance vs A* estimate in isolation", runAblation},
+	{"scaling", "Scaling probe: SK vs GSP as |V| grows (Figure 7 crossover)", runScaling},
+}
+
+// Get returns the experiment with the given id.
+func Get(id string) (Experiment, bool) {
+	for _, e := range Experiments {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+func fmtMS(ms float64, inf bool) string {
+	if inf {
+		return "INF"
+	}
+	return fmt.Sprintf("%.2f", ms)
+}
+
+func fmtCount(c float64, inf bool) string {
+	if inf {
+		return "INF"
+	}
+	return fmt.Sprintf("%.0f", c)
+}
+
+func runTable7(cfg Config, w io.Writer) error {
+	cfg.Fill()
+	fmt.Fprintf(w, "Table VII analogue inventory (scale=%d)\n", cfg.Scale)
+	fmt.Fprintf(w, "%-6s %10s %10s %9s %6s %9s\n", "graph", "|V|", "|E|", "directed", "|S|", "avg|Ci|")
+	for _, a := range gen.AllAnalogues {
+		g, err := gen.BuildAnalogue(a, gen.AnalogueOptions{
+			Scale: cfg.Scale, NumCats: cfg.NumCats, CatSize: cfg.CatSize, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return err
+		}
+		var total int
+		for c := 0; c < g.NumCategories(); c++ {
+			total += g.CategorySize(graph.Category(c))
+		}
+		avg := 0.0
+		if g.NumCategories() > 0 {
+			avg = float64(total) / float64(g.NumCategories())
+		}
+		fmt.Fprintf(w, "%-6s %10d %10d %9v %6d %9.1f\n",
+			a, g.NumVertices(), g.NumEdges(), g.Directed(), g.NumCategories(), avg)
+	}
+	return nil
+}
+
+func runTable9(cfg Config, w io.Writer) error {
+	cfg.Fill()
+	fmt.Fprintln(w, "Table IX preprocessing results")
+	fmt.Fprintf(w, "%-6s %10s %9s %9s %10s | %10s %12s %10s %10s\n",
+		"graph", "build", "avg|Lin|", "avg|Lout|", "labelMB",
+		"invBuild", "avg|IL(Ci)|", "avg|IL(v)|", "invMB")
+	for _, a := range gen.AllAnalogues {
+		d, err := Prepare(a, cfg)
+		if err != nil {
+			return err
+		}
+		ls := d.Lab.Stats()
+		is := d.Inv.Stats()
+		fmt.Fprintf(w, "%-6s %10s %9.2f %9.2f %10.2f | %10s %12.1f %10.2f %10.2f\n",
+			d.Name, d.LabelBuildTime.Round(time.Millisecond), ls.AvgIn, ls.AvgOut,
+			float64(ls.SizeBytes)/(1<<20),
+			d.InvBuildTime.Round(time.Millisecond), is.AvgPerCategory, is.AvgPerList,
+			float64(is.SizeBytes)/(1<<20))
+	}
+	return nil
+}
+
+func runTable10(cfg Config, w io.Writer) error {
+	cfg.Fill()
+	d, err := Prepare(gen.FLA, cfg)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	queries := RandomQueries(d.G, cfg.NumQueries, cfg.LenC, cfg.K, cfg.Seed+1)
+	fmt.Fprintf(w, "Table X query time distribution on %s (ms, avg over %d queries)\n", d.Name, len(queries))
+	fmt.Fprintf(w, "%-10s %12s %12s %12s %12s %12s\n", "method", "overall", "NN", "queue", "estimate", "other")
+	for _, m := range []MethodID{MPK, MSK} {
+		r, err := d.RunMethod(m, queries, cfg, true)
+		if err != nil {
+			return err
+		}
+		other := r.AvgTimeMS - r.AvgNNTimeMS - r.AvgPQTimeMS - r.AvgEstTimeMS
+		if other < 0 {
+			other = 0
+		}
+		fmt.Fprintf(w, "%-10s %12s %12.3f %12.3f %12.3f %12.3f\n",
+			m, fmtMS(r.AvgTimeMS, r.INF), r.AvgNNTimeMS, r.AvgPQTimeMS, r.AvgEstTimeMS, other)
+	}
+	return nil
+}
+
+func runFig3(cfg Config, w io.Writer) error {
+	cfg.Fill()
+	type cell struct{ res Result }
+	rows := map[gen.Analogue]map[MethodID]Result{}
+	for _, a := range gen.AllAnalogues {
+		d, err := Prepare(a, cfg)
+		if err != nil {
+			return err
+		}
+		queries := RandomQueries(d.G, cfg.NumQueries, cfg.LenC, cfg.K, cfg.Seed+2)
+		rows[a] = map[MethodID]Result{}
+		for _, m := range AllKOSRMethods {
+			r, err := d.RunMethod(m, queries, cfg, false)
+			if err != nil {
+				return err
+			}
+			rows[a][m] = r
+		}
+		d.Close()
+	}
+	print := func(title string, get func(Result) string) {
+		fmt.Fprintln(w, title)
+		fmt.Fprintf(w, "%-6s", "graph")
+		for _, m := range AllKOSRMethods {
+			fmt.Fprintf(w, " %12s", m)
+		}
+		fmt.Fprintln(w)
+		for _, a := range gen.AllAnalogues {
+			fmt.Fprintf(w, "%-6s", a)
+			for _, m := range AllKOSRMethods {
+				fmt.Fprintf(w, " %12s", get(rows[a][m]))
+			}
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintln(w)
+	}
+	print("Figure 3(a): query run-time (ms)", func(r Result) string { return fmtMS(r.AvgTimeMS, r.INF) })
+	print("Figure 3(b): # examined routes", func(r Result) string { return fmtCount(r.AvgExamined, r.INF) })
+	print("Figure 3(c): # NN queries", func(r Result) string { return fmtCount(r.AvgNN, r.INF) })
+	return nil
+}
+
+// sweep renders one "effect of <param>" figure: a time series per method.
+func sweep(cfg Config, w io.Writer, a gen.Analogue, title, param string,
+	values []int, mk func(base Config, v int) (Config, []core.Query, *Dataset, error)) error {
+	fmt.Fprintf(w, "%s on the %s analogue (query time, ms)\n", title, a)
+	fmt.Fprintf(w, "%-8s", param)
+	for _, m := range AllKOSRMethods {
+		fmt.Fprintf(w, " %12s", m)
+	}
+	fmt.Fprintln(w)
+	for _, v := range values {
+		c2, queries, d, err := mk(cfg, v)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-8d", v)
+		for _, m := range AllKOSRMethods {
+			r, err := d.RunMethod(m, queries, c2, false)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, " %12s", fmtMS(r.AvgTimeMS, r.INF))
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+func runEffectOfK(cfg Config, w io.Writer, a gen.Analogue, ks []int, figure string) error {
+	cfg.Fill()
+	d, err := Prepare(a, cfg)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return sweep(cfg, w, a, figure, "k", ks,
+		func(base Config, k int) (Config, []core.Query, *Dataset, error) {
+			qs := RandomQueries(d.G, base.NumQueries, base.LenC, k, base.Seed+3)
+			return base, qs, d, nil
+		})
+}
+
+func runFig3d(cfg Config, w io.Writer) error {
+	return runEffectOfK(cfg, w, gen.FLA, []int{10, 20, 30, 40, 50}, "Figure 3(d): effect of k")
+}
+
+func runFig3e(cfg Config, w io.Writer) error {
+	return runEffectOfK(cfg, w, gen.CAL, []int{10, 20, 30, 40, 50}, "Figure 3(e): effect of k")
+}
+
+func runEffectOfC(cfg Config, w io.Writer, a gen.Analogue, figure string) error {
+	cfg.Fill()
+	d, err := Prepare(a, cfg)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return sweep(cfg, w, a, figure, "|C|", []int{2, 4, 6, 8, 10},
+		func(base Config, lenC int) (Config, []core.Query, *Dataset, error) {
+			qs := RandomQueries(d.G, base.NumQueries, lenC, base.K, base.Seed+4)
+			return base, qs, d, nil
+		})
+}
+
+func runFig3f(cfg Config, w io.Writer) error {
+	return runEffectOfC(cfg, w, gen.FLA, "Figure 3(f): effect of |C|")
+}
+
+func runFig3g(cfg Config, w io.Writer) error {
+	return runEffectOfC(cfg, w, gen.CAL, "Figure 3(g): effect of |C|")
+}
+
+func runFig3h(cfg Config, w io.Writer) error {
+	cfg.Fill()
+	// |Ci| sweep as per-mille of |V| (the paper sweeps 5k–20k of ~1.07M).
+	base, err := gen.BuildAnalogue(gen.FLA, gen.AnalogueOptions{Scale: cfg.Scale, Seed: cfg.Seed})
+	if err != nil {
+		return err
+	}
+	n := base.NumVertices()
+	sizes := []int{n / 80, n / 40, n / 20, n / 10}
+	fmt.Fprintf(w, "Figure 3(h): effect of |Ci| on the FLA analogue (query time, ms)\n")
+	fmt.Fprintf(w, "%-8s", "|Ci|")
+	for _, m := range AllKOSRMethods {
+		fmt.Fprintf(w, " %12s", m)
+	}
+	fmt.Fprintln(w)
+	// The grid topology is identical across |Ci| values (category
+	// assignment draws from an independent RNG stream), so the 2-hop
+	// labels are built once and shared.
+	var shared *Dataset
+	for _, size := range sizes {
+		c2 := cfg
+		c2.CatSize = size
+		g, err := gen.BuildAnalogue(gen.FLA, gen.AnalogueOptions{
+			Scale: c2.Scale, NumCats: c2.NumCats, CatSize: size, Seed: c2.Seed,
+		})
+		if err != nil {
+			return err
+		}
+		var d *Dataset
+		if shared == nil {
+			if d, err = PrepareGraph(string(gen.FLA), g); err != nil {
+				return err
+			}
+			shared = d
+		} else if d, err = PrepareReusingLabels(string(gen.FLA), g, shared.Lab); err != nil {
+			return err
+		}
+		queries := RandomQueries(d.G, cfg.NumQueries, cfg.LenC, cfg.K, cfg.Seed+5)
+		fmt.Fprintf(w, "%-8d", size)
+		for _, m := range AllKOSRMethods {
+			r, err := d.RunMethod(m, queries, c2, false)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, " %12s", fmtMS(r.AvgTimeMS, r.INF))
+		}
+		fmt.Fprintln(w)
+		d.Close()
+	}
+	return nil
+}
+
+func runFig4(cfg Config, w io.Writer) error {
+	cfg.Fill()
+	for _, a := range []gen.Analogue{gen.CAL, gen.FLA} {
+		if err := runEffectOfK(cfg, w, a, []int{1, 2, 3, 4, 5, 10}, "Figure 4: small k"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runFig5(cfg Config, w io.Writer) error {
+	cfg.Fill()
+	fmt.Fprintf(w, "Figure 5: searching space of SK at each category (avg # examined routes)\n")
+	fmt.Fprintf(w, "%-6s", "graph")
+	for i := 0; i <= cfg.LenC+1; i++ {
+		fmt.Fprintf(w, " %10s", fmt.Sprintf("cat %d", i))
+	}
+	fmt.Fprintln(w)
+	for _, a := range gen.AllAnalogues {
+		d, err := Prepare(a, cfg)
+		if err != nil {
+			return err
+		}
+		queries := RandomQueries(d.G, cfg.NumQueries, cfg.LenC, cfg.K, cfg.Seed+6)
+		r, err := d.RunMethod(MSK, queries, cfg, false)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-6s", a)
+		for _, c := range r.ExaminedPerLevel {
+			fmt.Fprintf(w, " %10.1f", c)
+		}
+		fmt.Fprintln(w)
+		d.Close()
+	}
+	return nil
+}
+
+func runFig6(cfg Config, w io.Writer) error {
+	cfg.Fill()
+	fmt.Fprintf(w, "Figure 6: Zipfian category skew factor f on the FLA analogue (query time, ms; |C|=%d, k=%d)\n", cfg.LenC, cfg.K)
+	methods := []MethodID{MKPNE, MPK, MSK}
+	fmt.Fprintf(w, "%-6s", "f")
+	for _, m := range methods {
+		fmt.Fprintf(w, " %12s", m)
+	}
+	fmt.Fprintln(w)
+	var shared *Dataset
+	for _, f := range []float64{1.2, 1.4, 1.6, 1.8} {
+		g, err := buildZipfFLA(cfg, f)
+		if err != nil {
+			return err
+		}
+		var d *Dataset
+		if shared == nil {
+			if d, err = PrepareGraph(fmt.Sprintf("FLA-z%.1f", f), g); err != nil {
+				return err
+			}
+			shared = d
+		} else if d, err = PrepareReusingLabels(fmt.Sprintf("FLA-z%.1f", f), g, shared.Lab); err != nil {
+			return err
+		}
+		queries := RandomQueries(d.G, cfg.NumQueries, cfg.LenC, cfg.K, cfg.Seed+7)
+		fmt.Fprintf(w, "%-6.1f", f)
+		for _, m := range methods {
+			r, err := d.RunMethod(m, queries, cfg, false)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, " %12s", fmtMS(r.AvgTimeMS, r.INF))
+		}
+		fmt.Fprintln(w)
+		d.Close()
+	}
+	return nil
+}
+
+// buildZipfFLA rebuilds the FLA grid with Zipf-distributed categories.
+func buildZipfFLA(cfg Config, f float64) (*graph.Graph, error) {
+	cfg.Fill()
+	rows, cols := 112, 128 // mirrors gen.BuildAnalogue's FLA dimensions
+	b := gen.GridBuilder(gen.GridOptions{
+		Rows: rows, Cols: cols, Directed: true, MaxWeight: 12, Diagonals: true, Seed: cfg.Seed,
+	})
+	gen.AssignZipfCategories(b, rows*cols, cfg.NumCats, f, cfg.Seed+8)
+	return b.Build()
+}
+
+func runFig7(cfg Config, w io.Writer) error {
+	cfg.Fill()
+	methods := append(append([]MethodID(nil), AllKOSRMethods...), MGSP, MGSPCH)
+	fmt.Fprintln(w, "Figure 7: OSR queries (k = 1), query run-time (ms)")
+	fmt.Fprintf(w, "%-6s", "graph")
+	for _, m := range methods {
+		fmt.Fprintf(w, " %12s", m)
+	}
+	fmt.Fprintln(w)
+	for _, a := range gen.AllAnalogues {
+		d, err := Prepare(a, cfg)
+		if err != nil {
+			return err
+		}
+		queries := RandomQueries(d.G, cfg.NumQueries, cfg.LenC, 1, cfg.Seed+9)
+		fmt.Fprintf(w, "%-6s", a)
+		var hierarchy *ch.Index
+		for _, m := range methods {
+			switch m {
+			case MGSP:
+				start := time.Now()
+				for _, q := range queries {
+					if _, _, _, err := core.GSP(d.G, q); err != nil {
+						return err
+					}
+				}
+				ms := float64(time.Since(start).Microseconds()) / 1000 / float64(len(queries))
+				fmt.Fprintf(w, " %12.2f", ms)
+			case MGSPCH:
+				if a == gen.GPlus {
+					// The paper could not build the contraction
+					// hierarchy for GSP on G+ within 3 days; CH on a
+					// dense small-world graph degenerates the same way
+					// here, so the cell is reported as INF.
+					fmt.Fprintf(w, " %12s", "INF")
+					continue
+				}
+				if hierarchy == nil {
+					hierarchy = ch.Build(d.G)
+				}
+				start := time.Now()
+				for _, q := range queries {
+					if _, _, _, err := core.GSPCH(d.G, hierarchy, q); err != nil {
+						return err
+					}
+				}
+				ms := float64(time.Since(start).Microseconds()) / 1000 / float64(len(queries))
+				fmt.Fprintf(w, " %12.2f", ms)
+			default:
+				r, err := d.RunMethod(m, queries, cfg, false)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(w, " %12s", fmtMS(r.AvgTimeMS, r.INF))
+			}
+		}
+		fmt.Fprintln(w)
+		d.Close()
+	}
+	return nil
+}
+
+func runAblation(cfg Config, w io.Writer) error {
+	cfg.Fill()
+	d, err := Prepare(gen.FLA, cfg)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	queries := RandomQueries(d.G, cfg.NumQueries, cfg.LenC, cfg.K, cfg.Seed+10)
+	fmt.Fprintln(w, "Ablation on the FLA analogue: dominance pruning vs A* estimation")
+	fmt.Fprintf(w, "%-22s %12s %14s %12s\n", "variant", "time (ms)", "examined", "NN queries")
+	rows := []struct {
+		name string
+		m    MethodID
+	}{
+		{"neither (KPNE)", MKPNE},
+		{"dominance only (PK)", MPK},
+		{"estimate only", MKStar},
+		{"both (SK)", MSK},
+	}
+	for _, row := range rows {
+		r, err := d.RunMethod(row.m, queries, cfg, false)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-22s %12s %14s %12s\n", row.name,
+			fmtMS(r.AvgTimeMS, r.INF), fmtCount(r.AvgExamined, r.INF), fmtCount(r.AvgNN, r.INF))
+	}
+	return nil
+}
+
+// runScaling measures SK, PK and GSP (k=1) on FLA analogues of growing
+// size. The paper reports SK beating GSP on 10⁶-vertex graphs; at laptop
+// scale GSP's O(|C|) graph-wide Dijkstra sweeps are cheap, so this probe
+// shows how the gap moves with |V| (GSP grows with the graph, SK with
+// the category size and label size).
+func runScaling(cfg Config, w io.Writer) error {
+	cfg.Fill()
+	// Hold |Ci| fixed while |V| grows, as the paper does (|Ci|=10,000 on
+	// every graph size); otherwise SK's |Ci|-driven work grows together
+	// with GSP's |V|-driven work and the crossover is masked.
+	if cfg.CatSize <= 0 {
+		cfg.CatSize = 716 // the scale-1 FLA default (5% of 14,336)
+	}
+	fmt.Fprintf(w, "Scaling probe on FLA analogues (k = 1, |Ci|=%d fixed, query time in ms)\n", cfg.CatSize)
+	fmt.Fprintf(w, "%-8s %10s %12s %12s %12s %12s\n", "scale", "|V|", "PK", "SK", "GSP", "SK/GSP")
+	for _, scale := range []int{1, 2, 4} {
+		c2 := cfg
+		c2.Scale = scale
+		d, err := Prepare(gen.FLA, c2)
+		if err != nil {
+			return err
+		}
+		queries := RandomQueries(d.G, cfg.NumQueries, cfg.LenC, 1, cfg.Seed+11)
+		pk, err := d.RunMethod(MPK, queries, c2, false)
+		if err != nil {
+			return err
+		}
+		sk, err := d.RunMethod(MSK, queries, c2, false)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		for _, q := range queries {
+			if _, _, _, err := core.GSP(d.G, q); err != nil {
+				return err
+			}
+		}
+		gspMS := float64(time.Since(start).Microseconds()) / 1000 / float64(len(queries))
+		ratio := sk.AvgTimeMS / gspMS
+		fmt.Fprintf(w, "%-8d %10d %12s %12s %12.2f %12.2f\n",
+			scale, d.G.NumVertices(), fmtMS(pk.AvgTimeMS, pk.INF), fmtMS(sk.AvgTimeMS, sk.INF), gspMS, ratio)
+		d.Close()
+	}
+	return nil
+}
+
+// IDs returns all experiment ids in order (deduplicated).
+func IDs() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, e := range Experiments {
+		if !seen[e.ID] {
+			seen[e.ID] = true
+			out = append(out, e.ID)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

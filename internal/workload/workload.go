@@ -1,0 +1,313 @@
+// Package workload is the experiment harness: it prepares the synthetic
+// dataset analogues, generates random KOSR queries with the paper's
+// parameter grid (Table VIII), runs every method and prints the rows and
+// series of each table and figure of the evaluation (Section V).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/invindex"
+	"repro/internal/label"
+)
+
+// Config scales the experiments. The zero value is filled with defaults
+// mirroring Table VIII at laptop scale.
+type Config struct {
+	Scale      int   // dataset scale factor (1 = default sizes)
+	Seed       int64 // RNG seed for datasets and queries
+	NumQueries int   // random query instances per data point (paper: 50)
+
+	K       int // default k (paper: 30)
+	LenC    int // default |C| (paper: 6)
+	NumCats int // number of categories |S| for synthetic assignments
+	CatSize int // default |Ci| (0 = 5% of |V|)
+
+	// Budgets after which a method is reported as the paper's INF.
+	MaxExamined int64
+	MaxDuration time.Duration
+}
+
+// Fill populates defaults.
+func (c *Config) Fill() {
+	if c.Scale <= 0 {
+		c.Scale = 1
+	}
+	if c.NumQueries <= 0 {
+		c.NumQueries = 10
+	}
+	if c.K <= 0 {
+		c.K = 30
+	}
+	if c.LenC <= 0 {
+		c.LenC = 6
+	}
+	if c.NumCats <= 0 {
+		c.NumCats = 24
+	}
+	if c.MaxExamined <= 0 {
+		c.MaxExamined = 3_000_000
+	}
+	if c.MaxDuration <= 0 {
+		c.MaxDuration = 15 * time.Second
+	}
+}
+
+// Dataset is a prepared graph with its indexes.
+type Dataset struct {
+	Name string
+	G    *graph.Graph
+	Lab  *label.Index
+	Inv  *invindex.Index
+
+	LabelBuildTime time.Duration
+	InvBuildTime   time.Duration
+
+	diskDir   string
+	diskStore *disk.Store
+}
+
+// Prepare builds the named analogue and its in-memory indexes.
+func Prepare(a gen.Analogue, cfg Config) (*Dataset, error) {
+	cfg.Fill()
+	g, err := gen.BuildAnalogue(a, gen.AnalogueOptions{
+		Scale:   cfg.Scale,
+		NumCats: cfg.NumCats,
+		CatSize: cfg.CatSize,
+		Seed:    cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return PrepareGraph(string(a), g)
+}
+
+// PrepareGraph builds indexes for an arbitrary graph.
+func PrepareGraph(name string, g *graph.Graph) (*Dataset, error) {
+	d := &Dataset{Name: name, G: g}
+	t0 := time.Now()
+	d.Lab = label.Build(g)
+	d.LabelBuildTime = time.Since(t0)
+	t0 = time.Now()
+	d.Inv = invindex.Build(g, d.Lab)
+	d.InvBuildTime = time.Since(t0)
+	return d, nil
+}
+
+// PrepareReusingLabels builds only the inverted index, reusing a label
+// index built for a graph with identical topology. Category sweeps (the
+// |Ci| and Zipf experiments) regenerate the same grid with different
+// category assignments, so the expensive 2-hop labels can be shared.
+// The caller must guarantee that lab was built on the same edge set.
+func PrepareReusingLabels(name string, g *graph.Graph, lab *label.Index) (*Dataset, error) {
+	d := &Dataset{Name: name, G: g, Lab: lab}
+	t0 := time.Now()
+	d.Inv = invindex.Build(g, lab)
+	d.InvBuildTime = time.Since(t0)
+	return d, nil
+}
+
+// EnsureDiskStore materializes the dataset's disk store (for SK-DB) in a
+// temporary directory, reusing it across queries.
+func (d *Dataset) EnsureDiskStore() error {
+	if d.diskStore != nil {
+		return nil
+	}
+	dir, err := os.MkdirTemp("", "kosr-store-*")
+	if err != nil {
+		return err
+	}
+	if err := disk.Write(dir, d.G, d.Lab); err != nil {
+		return err
+	}
+	st, err := disk.Open(dir)
+	if err != nil {
+		return err
+	}
+	d.diskDir = dir
+	d.diskStore = st
+	return nil
+}
+
+// Close releases the disk store, if any.
+func (d *Dataset) Close() {
+	if d.diskStore != nil {
+		d.diskStore.Close()
+		os.RemoveAll(d.diskDir)
+		d.diskStore = nil
+	}
+}
+
+// RandomQueries draws query instances: random source/destination, a
+// random category sequence of length lenC, and the given k.
+func RandomQueries(g *graph.Graph, num, lenC, k int, seed int64) []core.Query {
+	rng := rand.New(rand.NewSource(seed))
+	n := g.NumVertices()
+	nc := g.NumCategories()
+	out := make([]core.Query, num)
+	for i := range out {
+		cats := make([]graph.Category, lenC)
+		for j := range cats {
+			// Draw only non-empty categories so queries are feasible on
+			// CAL-like datasets where some category ids may be sparse.
+			for {
+				c := graph.Category(rng.Intn(nc))
+				if g.CategorySize(c) > 0 {
+					cats[j] = c
+					break
+				}
+			}
+		}
+		out[i] = core.Query{
+			Source:     graph.Vertex(rng.Intn(n)),
+			Target:     graph.Vertex(rng.Intn(n)),
+			Categories: cats,
+			K:          k,
+		}
+	}
+	return out
+}
+
+// MethodID names a method column of the evaluation.
+type MethodID string
+
+// The methods of Section V-A plus the GSP baselines and the KPNE+A*
+// ablation.
+const (
+	MKPNE    MethodID = "KPNE"
+	MPK      MethodID = "PK"
+	MSK      MethodID = "SK"
+	MSKDB    MethodID = "SK-DB"
+	MKPNEDij MethodID = "KPNE-Dij"
+	MPKDij   MethodID = "PK-Dij"
+	MSKDij   MethodID = "SK-Dij"
+	MKStar   MethodID = "KPNE+A*"
+	MGSP     MethodID = "GSP"
+	MGSPCH   MethodID = "GSP-CH"
+)
+
+// AllKOSRMethods is the method set of Figure 3.
+var AllKOSRMethods = []MethodID{MKPNEDij, MPKDij, MSKDij, MKPNE, MPK, MSK, MSKDB}
+
+// Result aggregates one (dataset, method) cell.
+type Result struct {
+	Graph  string
+	Method MethodID
+	// INF marks that some query exceeded the budget (the paper's INF).
+	INF bool
+
+	AvgTimeMS   float64
+	AvgExamined float64
+	AvgNN       float64
+	AvgPeakQ    float64
+
+	// Breakdown (Table X), populated when collectBreakdown is set.
+	AvgNNTimeMS  float64
+	AvgPQTimeMS  float64
+	AvgEstTimeMS float64
+
+	// ExaminedPerLevel sums the Figure 5 per-category counts.
+	ExaminedPerLevel []float64
+}
+
+func (m MethodID) coreMethod() (core.Method, bool) {
+	switch m {
+	case MKPNE, MKPNEDij:
+		return core.MethodKPNE, true
+	case MPK, MPKDij:
+		return core.MethodPK, true
+	case MSK, MSKDij, MSKDB:
+		return core.MethodSK, true
+	case MKStar:
+		return core.MethodKStar, true
+	}
+	return 0, false
+}
+
+func (m MethodID) usesDijkstra() bool {
+	return m == MKPNEDij || m == MPKDij || m == MSKDij
+}
+
+// RunMethod executes the queries with one method and aggregates stats.
+// Budget overruns mark the result INF, matching the paper's reporting.
+func (d *Dataset) RunMethod(m MethodID, queries []core.Query, cfg Config, breakdown bool) (Result, error) {
+	cfg.Fill()
+	res := Result{Graph: d.Name, Method: m}
+	cm, ok := m.coreMethod()
+	if !ok {
+		return res, fmt.Errorf("workload: %q is not a KOSR method", m)
+	}
+	opts := core.Options{
+		Method:        cm,
+		MaxExamined:   cfg.MaxExamined,
+		MaxDuration:   cfg.MaxDuration,
+		TimeBreakdown: breakdown,
+	}
+	var perLevel []float64
+	for _, q := range queries {
+		var prov core.Provider
+		var loadStart time.Time
+		switch {
+		case m.usesDijkstra():
+			prov = &core.DijkstraProvider{Graph: d.G}
+		case m == MSKDB:
+			if err := d.EnsureDiskStore(); err != nil {
+				return res, err
+			}
+			loadStart = time.Now()
+			lab, inv, err := d.diskStore.LoadQuery(q.Categories, q.Source, q.Target)
+			if err != nil {
+				return res, err
+			}
+			res.AvgTimeMS += float64(time.Since(loadStart).Microseconds()) / 1000
+			prov = &core.LabelProvider{Graph: d.G, Labels: lab, Inv: inv}
+		default:
+			prov = &core.LabelProvider{Graph: d.G, Labels: d.Lab, Inv: d.Inv}
+		}
+		_, st, err := core.Solve(d.G, q, prov, opts)
+		if err == core.ErrBudgetExceeded {
+			res.INF = true
+			return res, nil
+		}
+		if err != nil {
+			return res, err
+		}
+		res.AvgTimeMS += float64(st.Total.Microseconds()) / 1000
+		res.AvgExamined += float64(st.Examined)
+		res.AvgNN += float64(st.NNQueries)
+		res.AvgPeakQ += float64(st.PeakQueue)
+		if breakdown {
+			res.AvgNNTimeMS += float64(st.NNTime.Microseconds()) / 1000
+			res.AvgPQTimeMS += float64(st.PQTime.Microseconds()) / 1000
+			res.AvgEstTimeMS += float64(st.EstTime.Microseconds()) / 1000
+		}
+		if perLevel == nil {
+			perLevel = make([]float64, len(st.ExaminedPerLevel))
+		}
+		for i, c := range st.ExaminedPerLevel {
+			if i < len(perLevel) {
+				perLevel[i] += float64(c)
+			}
+		}
+	}
+	n := float64(len(queries))
+	res.AvgTimeMS /= n
+	res.AvgExamined /= n
+	res.AvgNN /= n
+	res.AvgPeakQ /= n
+	res.AvgNNTimeMS /= n
+	res.AvgPQTimeMS /= n
+	res.AvgEstTimeMS /= n
+	for i := range perLevel {
+		perLevel[i] /= n
+	}
+	res.ExaminedPerLevel = perLevel
+	return res, nil
+}

@@ -1,0 +1,201 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// tinyDataset builds a small grid dataset quickly.
+func tinyDataset(t *testing.T) *Dataset {
+	t.Helper()
+	b := gen.GridBuilder(gen.GridOptions{Rows: 12, Cols: 12, Seed: 3, Diagonals: true})
+	gen.AssignUniformCategories(b, 144, 5, 20, 7)
+	g := b.MustBuild()
+	d, err := PrepareGraph("tiny", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+	return d
+}
+
+func TestConfigFill(t *testing.T) {
+	var c Config
+	c.Fill()
+	if c.K != 30 || c.LenC != 6 || c.NumQueries <= 0 || c.MaxExamined <= 0 {
+		t.Fatalf("defaults: %+v", c)
+	}
+}
+
+func TestRandomQueries(t *testing.T) {
+	d := tinyDataset(t)
+	qs := RandomQueries(d.G, 20, 4, 7, 11)
+	if len(qs) != 20 {
+		t.Fatalf("len=%d", len(qs))
+	}
+	for _, q := range qs {
+		if q.K != 7 || len(q.Categories) != 4 {
+			t.Fatalf("query=%+v", q)
+		}
+		if err := q.Validate(d.G); err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range q.Categories {
+			if d.G.CategorySize(c) == 0 {
+				t.Fatal("empty category drawn")
+			}
+		}
+	}
+	// Determinism.
+	qs2 := RandomQueries(d.G, 20, 4, 7, 11)
+	for i := range qs {
+		if qs[i].Source != qs2[i].Source || qs[i].Target != qs2[i].Target {
+			t.Fatal("queries not deterministic")
+		}
+	}
+}
+
+func TestRunMethodAllVariants(t *testing.T) {
+	d := tinyDataset(t)
+	cfg := Config{NumQueries: 3}
+	cfg.Fill()
+	qs := RandomQueries(d.G, 3, 3, 5, 13)
+	var ref Result
+	for i, m := range []MethodID{MSK, MPK, MKPNE, MSKDij, MPKDij, MKPNEDij, MSKDB, MKStar} {
+		r, err := d.RunMethod(m, qs, cfg, false)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if r.INF {
+			t.Fatalf("%s: unexpected INF on tiny dataset", m)
+		}
+		if r.AvgExamined <= 0 {
+			t.Fatalf("%s: no work recorded: %+v", m, r)
+		}
+		if i == 0 {
+			ref = r
+			continue
+		}
+		// All methods search the same instance; examined counts differ
+		// but every method must have found the same number of levels.
+		if len(r.ExaminedPerLevel) != len(ref.ExaminedPerLevel) {
+			t.Fatalf("%s: levels %d vs %d", m, len(r.ExaminedPerLevel), len(ref.ExaminedPerLevel))
+		}
+	}
+}
+
+func TestRunMethodUnknown(t *testing.T) {
+	d := tinyDataset(t)
+	cfg := Config{}
+	cfg.Fill()
+	if _, err := d.RunMethod(MGSP, RandomQueries(d.G, 1, 2, 1, 1), cfg, false); err == nil {
+		t.Fatal("GSP is not a KOSR method; want error")
+	}
+}
+
+func TestINFReporting(t *testing.T) {
+	d := tinyDataset(t)
+	cfg := Config{NumQueries: 2, MaxExamined: 3}
+	cfg.Fill()
+	cfg.MaxExamined = 3 // Fill would raise it
+	qs := RandomQueries(d.G, 2, 4, 10, 17)
+	r, err := d.RunMethod(MKPNE, qs, cfg, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.INF {
+		t.Fatal("expected INF with a 3-route budget")
+	}
+}
+
+func TestBreakdownCollected(t *testing.T) {
+	d := tinyDataset(t)
+	cfg := Config{NumQueries: 2}
+	cfg.Fill()
+	qs := RandomQueries(d.G, 2, 3, 5, 19)
+	r, err := d.RunMethod(MSK, qs, cfg, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.AvgTimeMS <= 0 {
+		t.Fatalf("no time recorded: %+v", r)
+	}
+}
+
+func TestDiskStoreReuse(t *testing.T) {
+	d := tinyDataset(t)
+	if err := d.EnsureDiskStore(); err != nil {
+		t.Fatal(err)
+	}
+	first := d.diskStore
+	if err := d.EnsureDiskStore(); err != nil {
+		t.Fatal(err)
+	}
+	if d.diskStore != first {
+		t.Fatal("disk store rebuilt instead of reused")
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	ids := IDs()
+	if len(ids) < 10 {
+		t.Fatalf("ids=%v", ids)
+	}
+	for _, id := range ids {
+		if _, ok := Get(id); !ok {
+			t.Fatalf("id %s not resolvable", id)
+		}
+	}
+	if _, ok := Get("nope"); ok {
+		t.Fatal("bogus id resolved")
+	}
+}
+
+// Table VII only builds graphs (no label indexes), so it is fast enough
+// to run end to end in a unit test.
+func TestRunTable7(t *testing.T) {
+	var buf bytes.Buffer
+	e, _ := Get("t7")
+	cfg := Config{NumQueries: 1}
+	if err := e.Run(cfg, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, a := range gen.AllAnalogues {
+		if !strings.Contains(out, string(a)) {
+			t.Fatalf("output missing %s:\n%s", a, out)
+		}
+	}
+}
+
+func TestPrepareAnalogueCAL(t *testing.T) {
+	// CAL is the cheapest analogue to index; exercise Prepare end-to-end.
+	if testing.Short() {
+		t.Skip("indexing in short mode")
+	}
+	cfg := Config{NumQueries: 1, CatSize: 100}
+	d, err := Prepare(gen.CAL, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if d.LabelBuildTime <= 0 || d.Lab.Stats().Entries == 0 {
+		t.Fatal("label index not built")
+	}
+	qs := RandomQueries(d.G, 1, 3, 5, 23)
+	cfg.Fill()
+	cfg.MaxDuration = 30 * time.Second
+	r, err := d.RunMethod(MSK, qs, cfg, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.INF {
+		t.Fatal("SK INF on CAL analogue")
+	}
+	_ = graph.Vertex(0)
+}

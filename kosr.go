@@ -1,0 +1,344 @@
+// Package kosr answers top-k optimal sequenced route (KOSR) queries on
+// general directed weighted graphs, reproducing "Finding Top-k Optimal
+// Sequenced Routes" (Liu, Jin, Yang, Zhou — ICDE 2018, arXiv:1802.08014).
+//
+// A KOSR query (s, t, C, k) asks for the k cheapest routes from s to t
+// that pass through the vertex categories C = ⟨C1, …, Cj⟩ in order (e.g.
+// a shopping mall, then a restaurant, then a cinema). Edge weights are
+// arbitrary non-negative costs; the triangle inequality is not assumed.
+//
+// # Quick start
+//
+//	g := kosr.Figure1()                     // the paper's example graph
+//	sys := kosr.NewSystem(g)                // builds the 2-hop label indexes
+//	s, _ := g.VertexByName("s")
+//	t, _ := g.VertexByName("t")
+//	ma, _ := g.CategoryByName("MA")
+//	re, _ := g.CategoryByName("RE")
+//	ci, _ := g.CategoryByName("CI")
+//	routes, _ := sys.TopK(s, t, []kosr.Category{ma, re, ci}, 3)
+//	// routes[0].Cost == 20, routes[1].Cost == 21, routes[2].Cost == 22
+//
+// The default solver is StarKOSR (the paper's fastest method); Options
+// selects PruningKOSR, the KPNE baseline, or Dijkstra-based
+// nearest-neighbour discovery instead of the label indexes.
+package kosr
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/graph"
+	"repro/internal/invindex"
+	"repro/internal/label"
+)
+
+// Re-exported graph types: the full graph API (builders, IO, categories)
+// lives on these types.
+type (
+	// Graph is a directed weighted graph with vertex categories.
+	Graph = graph.Graph
+	// Builder accumulates vertices, edges, and categories.
+	Builder = graph.Builder
+	// Vertex identifies a vertex (dense integers in [0, N)).
+	Vertex = graph.Vertex
+	// Category identifies a vertex category.
+	Category = graph.Category
+	// Weight is a non-negative edge or path cost.
+	Weight = graph.Weight
+
+	// Query is a KOSR query (s, t, C, k).
+	Query = core.Query
+	// Route is a witness with its cost.
+	Route = core.Route
+	// Stats reports search statistics (examined routes, NN queries,
+	// time breakdown).
+	Stats = core.Stats
+	// Method selects the route search algorithm.
+	Method = core.Method
+	// VariantQuery is a KOSR query with the Section IV-C variants:
+	// optional source, optional destination, per-category filters.
+	VariantQuery = core.VariantQuery
+	// Filters restricts categories to preferred vertices.
+	Filters = core.Filters
+)
+
+// The route search algorithms.
+const (
+	// KPNE is the baseline (Algorithm 1 extended to top-k).
+	KPNE = core.MethodKPNE
+	// PruningKOSR is the dominance-based algorithm (Algorithm 2).
+	PruningKOSR = core.MethodPK
+	// StarKOSR is the A*-style algorithm (Section IV-B); the default.
+	StarKOSR = core.MethodSK
+)
+
+// NewBuilder returns a graph builder for n vertices.
+func NewBuilder(n int, directed bool) *Builder { return graph.NewBuilder(n, directed) }
+
+// ReadGraph parses a graph in the text format produced by Graph.WriteTo.
+func ReadGraph(r io.Reader) (*Graph, error) { return graph.Read(r) }
+
+// ReadDIMACS parses a road network in the 9th DIMACS Challenge
+// shortest-path format (the distribution format of the paper's COL and
+// FLA datasets). Categories must be assigned separately.
+func ReadDIMACS(r io.Reader) (*Graph, error) { return graph.ReadDIMACS(r) }
+
+// Figure1 returns the running-example graph of the paper.
+func Figure1() *Graph { return graph.Figure1() }
+
+// Options tunes a query.
+type Options struct {
+	// Method selects the algorithm; the zero value selects StarKOSR.
+	Method Method
+	// UseDijkstraNN replaces the inverted-label FindNN with incremental
+	// Dijkstra searches (the paper's -Dij variants). Works even on a
+	// System built with NewSystemWithoutIndex.
+	UseDijkstraNN bool
+	// MaxExamined and TimeBreakdown are forwarded to the engine; see
+	// the core package documentation.
+	MaxExamined   int64
+	TimeBreakdown bool
+}
+
+// System bundles a graph with the indexes needed to answer queries.
+type System struct {
+	Graph *Graph
+	// Labels is the 2-hop label index (nil when the system was created
+	// with NewSystemWithoutIndex).
+	Labels *label.Index
+	// Inverted is the per-category inverted label index.
+	Inverted *invindex.Index
+}
+
+// NewSystem builds the 2-hop label index and the inverted label index
+// for g. Preprocessing is O(|V|) pruned Dijkstra searches; see
+// Labels.Stats for the resulting sizes.
+func NewSystem(g *Graph) *System {
+	lab := label.Build(g)
+	return &System{Graph: g, Labels: lab, Inverted: invindex.Build(g, lab)}
+}
+
+// NewSystemWithoutIndex returns a System that answers every query with
+// Dijkstra-based nearest-neighbour discovery (no preprocessing).
+func NewSystemWithoutIndex(g *Graph) *System { return &System{Graph: g} }
+
+func (s *System) provider(opt Options) (core.Provider, error) {
+	if opt.UseDijkstraNN || s.Labels == nil {
+		return &core.DijkstraProvider{Graph: s.Graph}, nil
+	}
+	return &core.LabelProvider{Graph: s.Graph, Labels: s.Labels, Inv: s.Inverted}, nil
+}
+
+// TopK answers the KOSR query (src, dst, cats, k) with StarKOSR. Fewer
+// than k routes are returned when fewer feasible routes exist.
+func (s *System) TopK(src, dst Vertex, cats []Category, k int) ([]Route, error) {
+	routes, _, err := s.Solve(Query{Source: src, Target: dst, Categories: cats, K: k}, Options{})
+	return routes, err
+}
+
+// Solve answers a query with full control over the algorithm and limits.
+func (s *System) Solve(q Query, opt Options) ([]Route, *Stats, error) {
+	prov, err := s.provider(opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	return core.Solve(s.Graph, q, prov, core.Options{
+		Method:        opt.Method,
+		MaxExamined:   opt.MaxExamined,
+		TimeBreakdown: opt.TimeBreakdown,
+	})
+}
+
+// SolveVariant answers a query variant of Section IV-C: no required
+// source (routes start at any vertex of the first category), no required
+// destination (routes end at the last category; StarKOSR degrades to
+// PruningKOSR), and per-category preference filters.
+func (s *System) SolveVariant(q VariantQuery, opt Options) ([]Route, *Stats, error) {
+	prov, err := s.provider(opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	return core.SolveVariant(s.Graph, q, prov, core.Options{
+		Method:        opt.Method,
+		MaxExamined:   opt.MaxExamined,
+		TimeBreakdown: opt.TimeBreakdown,
+	})
+}
+
+// Stream starts a progressive search that yields routes one at a time in
+// nondecreasing cost order (q.K is ignored): call Next on the returned
+// Searcher until ok is false. Useful when the final k is unknown, e.g.
+// "show more alternatives" interfaces.
+func (s *System) Stream(q Query, opt Options) (*core.Searcher, error) {
+	prov, err := s.provider(opt)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewSearcher(s.Graph, q, prov, core.Options{
+		Method:        opt.Method,
+		MaxExamined:   opt.MaxExamined,
+		TimeBreakdown: opt.TimeBreakdown,
+	})
+}
+
+// OptimalRoute answers an OSR query (k = 1). ok is false when no
+// feasible route exists.
+func (s *System) OptimalRoute(src, dst Vertex, cats []Category) (Route, bool, error) {
+	routes, _, err := s.Solve(Query{Source: src, Target: dst, Categories: cats, K: 1}, Options{})
+	if err != nil || len(routes) == 0 {
+		return Route{}, false, err
+	}
+	return routes[0], true, nil
+}
+
+// GSP answers an OSR query with the dynamic-programming baseline of Rice
+// & Tsotras (the paper's state-of-the-art OSR comparator).
+func (s *System) GSP(src, dst Vertex, cats []Category) (Route, bool, error) {
+	r, _, ok, err := core.GSP(s.Graph, Query{Source: src, Target: dst, Categories: cats, K: 1})
+	return r, ok, err
+}
+
+// ExpandWitness expands a witness into an actual route: a vertex walk in
+// which consecutive vertices are joined by edges.
+func (s *System) ExpandWitness(witness []Vertex) []Vertex {
+	return core.ExpandWitness(s.Graph, witness)
+}
+
+// ShortestPath returns the exact shortest-path distance dis(u, v),
+// answered from the label index when available.
+func (s *System) ShortestPath(u, v Vertex) Weight {
+	if s.Labels != nil {
+		return s.Labels.Dist(u, v)
+	}
+	prov := &core.DijkstraProvider{Graph: s.Graph}
+	return prov.DistTo(v)(u)
+}
+
+// AddVertexCategory registers category c on vertex v in the inverted
+// label index (the dynamic category update of Section IV-C). Queries
+// issued after the call see the new membership; the underlying Graph is
+// immutable and unaffected.
+func (s *System) AddVertexCategory(v Vertex, c Category) error {
+	if s.Inverted == nil {
+		return fmt.Errorf("kosr: dynamic updates require a label index")
+	}
+	s.Inverted.AddVertexCategory(v, c)
+	return nil
+}
+
+// RemoveVertexCategory undoes AddVertexCategory.
+func (s *System) RemoveVertexCategory(v Vertex, c Category) error {
+	if s.Inverted == nil {
+		return fmt.Errorf("kosr: dynamic updates require a label index")
+	}
+	s.Inverted.RemoveVertexCategory(v, c)
+	return nil
+}
+
+// InsertEdge applies a graph-structure update (Section IV-C): a new arc
+// (u, v, w) — or a cheaper parallel arc, modelling a weight decrease —
+// is folded into the 2-hop labels incrementally and the inverted label
+// index is refreshed. The overlay dyn must be created once per System
+// with NewDynamic(sys.Graph) and shared across calls.
+//
+// Label-based queries issued after the call observe the new edge.
+// Dijkstra-based queries (UseDijkstraNN) and GSP traverse the immutable
+// base graph and do not; rebuild the graph with dyn.Rebuild() and a new
+// System for those.
+func (s *System) InsertEdge(dyn *graph.Dynamic, u, v Vertex, w Weight) error {
+	if s.Labels == nil {
+		return fmt.Errorf("kosr: dynamic updates require a label index")
+	}
+	if err := dyn.AddEdge(u, v, w); err != nil {
+		return err
+	}
+	updates := s.Labels.InsertEdge(dyn, u, v, w)
+	if !s.Graph.Directed() && u != v {
+		updates = append(updates, s.Labels.InsertEdge(dyn, v, u, w)...)
+	}
+	s.Inverted.Refresh(s.Graph, updates)
+	return nil
+}
+
+// NewDynamic returns the edge overlay used with InsertEdge.
+func (s *System) NewDynamic() *graph.Dynamic { return graph.NewDynamic(s.Graph) }
+
+// SaveIndex serializes the label index (rebuild the inverted index with
+// LoadSystem after reading it back).
+func (s *System) SaveIndex(w io.Writer) error {
+	if s.Labels == nil {
+		return fmt.Errorf("kosr: no label index to save")
+	}
+	_, err := s.Labels.WriteTo(w)
+	return err
+}
+
+// LoadSystem reconstructs a System from a graph and a label index
+// serialized with SaveIndex.
+func LoadSystem(g *Graph, r io.Reader) (*System, error) {
+	lab, err := label.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	if lab.NumVertices() != g.NumVertices() {
+		return nil, fmt.Errorf("kosr: index covers %d vertices, graph has %d",
+			lab.NumVertices(), g.NumVertices())
+	}
+	return &System{Graph: g, Labels: lab, Inverted: invindex.Build(g, lab)}, nil
+}
+
+// SaveDiskStore materializes the index as the on-disk store of Section
+// IV-C (per-category sections located through a B+ tree).
+func (s *System) SaveDiskStore(dir string) error {
+	if s.Labels == nil {
+		return fmt.Errorf("kosr: no label index to save")
+	}
+	return disk.Write(dir, s.Graph, s.Labels)
+}
+
+// DiskSystem answers queries from a disk store, loading only the
+// sections each query touches (the paper's SK-DB method).
+type DiskSystem struct {
+	Graph *Graph
+	Store *disk.Store
+}
+
+// OpenDiskSystem opens a store written by SaveDiskStore.
+func OpenDiskSystem(g *Graph, dir string) (*DiskSystem, error) {
+	st, err := disk.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	if st.NumVertices() != g.NumVertices() {
+		st.Close()
+		return nil, fmt.Errorf("kosr: store covers %d vertices, graph has %d",
+			st.NumVertices(), g.NumVertices())
+	}
+	return &DiskSystem{Graph: g, Store: st}, nil
+}
+
+// Close releases the store's files.
+func (d *DiskSystem) Close() error { return d.Store.Close() }
+
+// Solve answers a query, loading roughly |C|+4 records from disk.
+func (d *DiskSystem) Solve(q Query, opt Options) ([]Route, *Stats, error) {
+	lab, inv, err := d.Store.LoadQuery(q.Categories, q.Source, q.Target)
+	if err != nil {
+		return nil, nil, err
+	}
+	prov := &core.LabelProvider{Graph: d.Graph, Labels: lab, Inv: inv}
+	return core.Solve(d.Graph, q, prov, core.Options{
+		Method:        opt.Method,
+		MaxExamined:   opt.MaxExamined,
+		TimeBreakdown: opt.TimeBreakdown,
+	})
+}
+
+// TopK answers the query with StarKOSR from disk.
+func (d *DiskSystem) TopK(src, dst Vertex, cats []Category, k int) ([]Route, error) {
+	routes, _, err := d.Solve(Query{Source: src, Target: dst, Categories: cats, K: k}, Options{})
+	return routes, err
+}

@@ -1,0 +1,80 @@
+package kosr
+
+import "testing"
+
+func TestStreamFacade(t *testing.T) {
+	g := Figure1()
+	sys := NewSystem(g)
+	s, _ := g.VertexByName("s")
+	tv, _ := g.VertexByName("t")
+	ma, _ := g.CategoryByName("MA")
+	re, _ := g.CategoryByName("RE")
+	ci, _ := g.CategoryByName("CI")
+	it, err := sys.Stream(Query{Source: s, Target: tv, Categories: []Category{ma, re, ci}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Weight{20, 21, 22}
+	for _, w := range want {
+		r, ok, err := it.Next()
+		if err != nil || !ok || r.Cost != w {
+			t.Fatalf("next=%v ok=%v err=%v, want cost %v", r, ok, err, w)
+		}
+	}
+	count := 3
+	for {
+		_, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		count++
+	}
+	if count != 8 {
+		t.Fatalf("streamed %d routes, want all 8", count)
+	}
+}
+
+func TestSolveVariantFacade(t *testing.T) {
+	g := Figure1()
+	sys := NewSystem(g)
+	tv, _ := g.VertexByName("t")
+	s, _ := g.VertexByName("s")
+	e, _ := g.VertexByName("e")
+	ma, _ := g.CategoryByName("MA")
+	re, _ := g.CategoryByName("RE")
+	ci, _ := g.CategoryByName("CI")
+
+	// No-source: best mall-to-t chain is c→b→d→t = 12.
+	routes, _, err := sys.SolveVariant(VariantQuery{
+		NoSource: true, Target: tv,
+		Categories: []Category{ma, re, ci}, K: 1,
+	}, Options{})
+	if err != nil || len(routes) != 1 || routes[0].Cost != 12 {
+		t.Fatalf("no-source: %v err=%v", routes, err)
+	}
+
+	// Preference filter: only restaurant e is acceptable.
+	routes, _, err = sys.SolveVariant(VariantQuery{
+		Source: s, Target: tv,
+		Categories: []Category{ma, re, ci}, K: 1,
+		Filters: Filters{re: func(v Vertex) bool { return v == e }},
+	}, Options{})
+	if err != nil || len(routes) != 1 || routes[0].Cost != 21 {
+		t.Fatalf("filtered: %v err=%v", routes, err)
+	}
+
+	// No-target through the Dijkstra provider.
+	routes, st, err := sys.SolveVariant(VariantQuery{
+		Source: s, NoTarget: true,
+		Categories: []Category{ma, re, ci}, K: 1,
+	}, Options{UseDijkstraNN: true})
+	if err != nil || len(routes) != 1 || routes[0].Cost != 16 {
+		t.Fatalf("no-target: %v err=%v", routes, err)
+	}
+	if st.Method != PruningKOSR {
+		t.Fatalf("method=%v, want PruningKOSR degradation", st.Method)
+	}
+}
