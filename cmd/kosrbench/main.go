@@ -1,0 +1,229 @@
+// Command kosrbench establishes the performance trajectory of the
+// reproduction: it builds the synthetic dataset analogues, measures
+// sequential vs. parallel index construction, runs a fixed KOSR query
+// mix through the label-backed methods, and writes a machine-readable
+// JSON report (BENCH_PR<n>.json at the repo root, one per PR) so that
+// successive PRs can be compared number-for-number.
+//
+//	go run ./cmd/kosrbench                      # all analogues, default mix
+//	go run ./cmd/kosrbench -quick               # FLA only, 3 queries (CI smoke)
+//	go run ./cmd/kosrbench -scale 2 -queries 10 # bigger graphs, more samples
+//	go run ./cmd/kosrbench -out BENCH_PR1.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/invindex"
+	"repro/internal/label"
+	"repro/internal/workload"
+)
+
+// MethodResult is one (dataset, method) cell of the report.
+type MethodResult struct {
+	Method         string  `json:"method"`
+	AvgMS          float64 `json:"avg_ms"`
+	QPS            float64 `json:"queries_per_sec"`
+	AvgExamined    float64 `json:"avg_examined_routes"`
+	AvgNNQueries   float64 `json:"avg_nn_queries"`
+	AllocsPerQuery float64 `json:"allocs_per_query"`
+	INF            bool    `json:"inf,omitempty"`
+}
+
+// DatasetResult reports preprocessing and query numbers for one graph.
+type DatasetResult struct {
+	Name         string  `json:"name"`
+	Vertices     int     `json:"vertices"`
+	Edges        int     `json:"edges"`
+	SeqBuildMS   float64 `json:"label_build_sequential_ms"`
+	ParBuildMS   float64 `json:"label_build_parallel_ms"`
+	BuildSpeedup float64 `json:"label_build_speedup"`
+	Identical    bool    `json:"parallel_identical_to_sequential"`
+	LabelEntries int64   `json:"label_entries"`
+	LabelMB      float64 `json:"label_mb"`
+	InvBuildMS   float64 `json:"invindex_build_ms"`
+
+	Methods []MethodResult `json:"methods"`
+}
+
+// Report is the top-level JSON document.
+type Report struct {
+	PR         string          `json:"pr"`
+	Date       string          `json:"date"`
+	GoVersion  string          `json:"go_version"`
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	NumCPU     int             `json:"num_cpu"`
+	Scale      int             `json:"scale"`
+	NumQueries int             `json:"num_queries"`
+	Notes      string          `json:"notes"`
+	Datasets   []DatasetResult `json:"datasets"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_PR1.json", "output JSON path")
+	pr := flag.String("pr", "PR1", "PR tag recorded in the report")
+	scale := flag.Int("scale", 1, "dataset scale factor")
+	queries := flag.Int("queries", 5, "query instances per (dataset, method) cell")
+	quick := flag.Bool("quick", false, "smoke mode: FLA analogue only, 3 queries")
+	analogues := flag.String("analogues", "", "comma-separated analogue subset (default: all)")
+	flag.Parse()
+
+	sel := gen.AllAnalogues
+	if *quick {
+		sel = []gen.Analogue{gen.FLA}
+		if *queries > 3 {
+			*queries = 3
+		}
+	}
+	if *analogues != "" {
+		sel = nil
+		for _, name := range strings.Split(*analogues, ",") {
+			sel = append(sel, gen.Analogue(strings.TrimSpace(name)))
+		}
+	}
+
+	cfg := workload.Config{Scale: *scale, NumQueries: *queries, Seed: 42}
+	cfg.Fill()
+
+	rep := Report{
+		PR:         *pr,
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Scale:      cfg.Scale,
+		NumQueries: cfg.NumQueries, // the effective count (Fill defaults non-positive values)
+		Notes: "label_build_speedup compares the Workers=1 reference build against " +
+			"the concurrent per-root forward/reverse build; the two searches of each " +
+			"root run in parallel, so the expected ceiling is 2x on >=2 cores " +
+			"(1x on a single-core runner). allocs_per_query counts heap objects " +
+			"for one full Solve, measured with runtime.ReadMemStats.",
+	}
+
+	for _, a := range sel {
+		ds, err := benchDataset(a, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kosrbench: %s: %v\n", a, err)
+			os.Exit(1)
+		}
+		rep.Datasets = append(rep.Datasets, ds)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kosrbench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "kosrbench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d datasets, %d queries each)\n", *out, len(rep.Datasets), cfg.NumQueries)
+}
+
+func benchDataset(a gen.Analogue, cfg workload.Config) (DatasetResult, error) {
+	g, err := gen.BuildAnalogue(a, gen.AnalogueOptions{
+		Scale: cfg.Scale, NumCats: cfg.NumCats, CatSize: cfg.CatSize, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return DatasetResult{}, err
+	}
+	ds := DatasetResult{Name: string(a), Vertices: g.NumVertices(), Edges: g.NumEdges()}
+
+	t0 := time.Now()
+	seq := label.BuildWithOptions(g, label.BuildOptions{Workers: 1})
+	ds.SeqBuildMS = msSince(t0)
+
+	t0 = time.Now()
+	par := label.BuildWithOptions(g, label.BuildOptions{})
+	ds.ParBuildMS = msSince(t0)
+	if ds.ParBuildMS > 0 {
+		ds.BuildSpeedup = ds.SeqBuildMS / ds.ParBuildMS
+	}
+	ds.Identical = sameIndex(g, seq, par)
+	seq = nil //nolint:ineffassign // release the reference build before timing downstream phases
+	runtime.GC()
+
+	st := par.Stats()
+	ds.LabelEntries = st.Entries
+	ds.LabelMB = float64(st.SizeBytes) / (1 << 20)
+
+	t0 = time.Now()
+	inv := invindex.Build(g, par)
+	ds.InvBuildMS = msSince(t0)
+
+	data := &workload.Dataset{Name: string(a), G: g, Lab: par, Inv: inv}
+	qs := workload.RandomQueries(g, cfg.NumQueries, cfg.LenC, cfg.K, cfg.Seed+1)
+	for _, m := range []workload.MethodID{workload.MKPNE, workload.MPK, workload.MSK} {
+		mr, err := runMethod(data, m, qs, cfg)
+		if err != nil {
+			return ds, err
+		}
+		ds.Methods = append(ds.Methods, mr)
+	}
+	fmt.Printf("%-4s |V|=%d seq=%.0fms par=%.0fms (%.2fx, identical=%v) inv=%.0fms\n",
+		a, ds.Vertices, ds.SeqBuildMS, ds.ParBuildMS, ds.BuildSpeedup, ds.Identical, ds.InvBuildMS)
+	return ds, nil
+}
+
+func runMethod(d *workload.Dataset, m workload.MethodID, qs []core.Query, cfg workload.Config) (MethodResult, error) {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	r, err := d.RunMethod(m, qs, cfg, false)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return MethodResult{}, err
+	}
+	mr := MethodResult{
+		Method:         string(m),
+		AvgMS:          r.AvgTimeMS,
+		AvgExamined:    r.AvgExamined,
+		AvgNNQueries:   r.AvgNN,
+		AllocsPerQuery: float64(after.Mallocs-before.Mallocs) / float64(len(qs)),
+		INF:            r.INF,
+	}
+	if r.AvgTimeMS > 0 {
+		mr.QPS = 1000 / r.AvgTimeMS
+	}
+	return mr, nil
+}
+
+func msSince(t0 time.Time) float64 {
+	return float64(time.Since(t0).Microseconds()) / 1000
+}
+
+// sameIndex verifies the determinism claim on the live build (the unit
+// test asserts it on small graphs; this checks it on every benchmarked
+// graph too).
+func sameIndex(g *graph.Graph, a, b *label.Index) bool {
+	for v := 0; v < g.NumVertices(); v++ {
+		if !sameEntries(a.In(graph.Vertex(v)), b.In(graph.Vertex(v))) ||
+			!sameEntries(a.Out(graph.Vertex(v)), b.Out(graph.Vertex(v))) {
+			return false
+		}
+	}
+	return true
+}
+
+func sameEntries(a, b []label.Entry) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -11,12 +11,34 @@ import (
 )
 
 // routeNode is one vertex of a partially explored witness. Nodes form a
-// tree rooted at the source, so all partial routes share prefixes.
+// tree rooted at the source, so all partial routes share prefixes. Nodes
+// are allocated from the engine's arena, never individually.
 type routeNode struct {
 	v      graph.Vertex
 	parent *routeNode
 	size   int32        // number of witness vertices including the source
 	cost   graph.Weight // real witness cost w(p)
+}
+
+// nodeArena hands out routeNodes from fixed-size chunks, so the query
+// loop stops paying one heap allocation (and later one GC scan object)
+// per queue push — the dominant allocation of the engine's hot path.
+// Nodes live as long as the engine; none are freed individually.
+type nodeArena struct {
+	chunks [][]routeNode
+	used   int // occupied slots of the last chunk
+}
+
+const arenaChunkSize = 512
+
+func (a *nodeArena) alloc() *routeNode {
+	if len(a.chunks) == 0 || a.used == arenaChunkSize {
+		a.chunks = append(a.chunks, make([]routeNode, arenaChunkSize))
+		a.used = 0
+	}
+	n := &a.chunks[len(a.chunks)-1][a.used]
+	a.used++
+	return n
 }
 
 // qItem is a queue entry: a route, its priority key (real cost for
@@ -30,9 +52,14 @@ type qItem struct {
 	seq  int64 // insertion sequence; makes tie-breaking deterministic
 }
 
-type domKey struct {
-	v    graph.Vertex
-	size int32
+// lessQItem orders queue entries by priority key, breaking ties by
+// insertion sequence for determinism. The global queue, the parked-route
+// heaps of HT≻, and trace snapshots all share it.
+func lessQItem(a, b qItem) bool {
+	if a.key != b.key {
+		return a.key < b.key
+	}
+	return a.seq < b.seq
 }
 
 type engine struct {
@@ -42,12 +69,20 @@ type engine struct {
 	finder NNFinder // plain NN (KPNE/PK) or FindNEN (SK)
 	distTo func(graph.Vertex) graph.Weight
 
-	heap       *pq.Heap[qItem]
-	seq        int64
-	dominating map[domKey]*routeNode
-	dominated  map[domKey]*pq.Heap[qItem]
-	results    []Route
-	stats      *Stats
+	heap    *pq.Heap[qItem]
+	seq     int64
+	nVerts  int
+	arena   nodeArena
+	results []Route
+	stats   *Stats
+
+	// Dominance state (Definition 6), dense instead of map-keyed: slot
+	// [size-1][v] holds the route dominating (v, size), and the parked
+	// routes it dominates. Witness sizes are bounded by |C|+2, so the
+	// tables are at most (|C|+2)·|V| slots; per-level slices are
+	// allocated on first touch.
+	dominating [][]*routeNode
+	dominated  [][]*pq.Heap[qItem]
 
 	useDominance bool
 	useEstimate  bool
@@ -66,6 +101,19 @@ type engine struct {
 	seeded   bool
 
 	pqTime *time.Duration
+}
+
+// initSearchState sets up the global queue and, when dominance pruning is
+// on, the dense HT≺/HT≻ tables. It must run after q and useDominance are
+// final.
+func (e *engine) initSearchState() {
+	e.nVerts = e.g.NumVertices()
+	e.heap = pq.NewHeap[qItem](lessQItem)
+	if e.useDominance {
+		levels := len(e.q.Categories) + 2
+		e.dominating = make([][]*routeNode, levels)
+		e.dominated = make([][]*pq.Heap[qItem], levels)
+	}
 }
 
 // Solve answers the KOSR query q on g with the selected method, using
@@ -120,21 +168,11 @@ func newStandardEngine(g *graph.Graph, q Query, prov Provider, opt Options) (*en
 		e.pqTime = &st.PQTime
 	}
 	if e.useEstimate {
-		e.finder = newENFinder(nn, distTo)
+		e.finder = newENFinder(nn, distTo, g.NumVertices(), g.NumCategories())
 	} else {
 		e.finder = nn
 	}
-	less := func(a, b qItem) bool {
-		if a.key != b.key {
-			return a.key < b.key
-		}
-		return a.seq < b.seq
-	}
-	e.heap = pq.NewHeap[qItem](less)
-	if e.useDominance {
-		e.dominating = make(map[domKey]*routeNode)
-		e.dominated = make(map[domKey]*pq.Heap[qItem])
-	}
+	e.initSearchState()
 	return e, nn, nil
 }
 
@@ -182,7 +220,6 @@ func (e *engine) seed() {
 		roots = []graph.Vertex{e.q.Source}
 	}
 	for _, r := range roots {
-		node := &routeNode{v: r, size: 1, cost: 0}
 		// A single initial route is keyed 0 (not its estimate),
 		// matching Table VI step 1 of the paper; multiple roots
 		// (no-source variant) are keyed by their estimates so the
@@ -194,6 +231,8 @@ func (e *engine) seed() {
 				continue
 			}
 		}
+		node := e.arena.alloc()
+		*node = routeNode{v: r, size: 1, cost: 0}
 		e.push(qItem{node: node, key: key, x: 1})
 	}
 	if e.opt.MaxDuration > 0 {
@@ -256,25 +295,29 @@ func (e *engine) nextResult() (Route, bool, error) {
 
 		extend := !complete
 		if extend && e.useDominance {
-			key := domKey{v: v, size: it.node.size}
-			if _, occupied := e.dominating[key]; occupied {
+			tab := e.dominating[lvl]
+			if tab == nil {
+				tab = make([]*routeNode, e.nVerts)
+				e.dominating[lvl] = tab
+			}
+			if tab[v] != nil {
 				// Dominated (Definition 6): park in HT≻ until the
 				// dominating route completes (Algorithm 2 line 19).
-				h := e.dominated[key]
+				heaps := e.dominated[lvl]
+				if heaps == nil {
+					heaps = make([]*pq.Heap[qItem], e.nVerts)
+					e.dominated[lvl] = heaps
+				}
+				h := heaps[v]
 				if h == nil {
-					h = pq.NewHeap[qItem](func(a, b qItem) bool {
-						if a.key != b.key {
-							return a.key < b.key
-						}
-						return a.seq < b.seq
-					})
-					e.dominated[key] = h
+					h = pq.NewHeap[qItem](lessQItem)
+					heaps[v] = h
 				}
 				h.Push(it)
 				e.stats.Dominated++
 				extend = false
 			} else {
-				e.dominating[key] = it.node
+				tab[v] = it.node
 			}
 		}
 
@@ -319,13 +362,14 @@ func (e *engine) pushChild(parent *routeNode, nb Neighbor, x int32) {
 		// feasible route extends through it.
 		return
 	}
-	child := &routeNode{v: nb.V, parent: parent, size: parent.size + 1, cost: cost}
+	child := e.arena.alloc()
+	*child = routeNode{v: nb.V, parent: parent, size: parent.size + 1, cost: cost}
 	e.push(qItem{node: child, key: key, x: x})
 }
 
 // reconsider releases parked routes after a complete route was emitted
 // (Algorithm 2 lines 8–12): for each proper prefix of the result that is
-// the stored dominator at its vertex, the cheapest parked route of the
+// the stored dominator at its slot, the cheapest parked route of the
 // same size is re-inserted with x='-' and the dominator slot is cleared.
 func (e *engine) reconsider(result *routeNode) {
 	chain := nodesOf(result)
@@ -333,16 +377,19 @@ func (e *engine) reconsider(result *routeNode) {
 	// ending at category vertices are chain[1..j].
 	for i := 1; i < len(chain)-1; i++ {
 		pn := chain[i]
-		key := domKey{v: pn.v, size: pn.size}
-		if e.dominating[key] != pn {
+		lvl := int(pn.size) - 1
+		tab := e.dominating[lvl]
+		if tab == nil || tab[pn.v] != pn {
 			continue
 		}
-		delete(e.dominating, key)
-		if h := e.dominated[key]; h != nil && h.Len() > 0 {
-			rit := h.Pop()
-			rit.x = -1
-			e.push(rit)
-			e.stats.Released++
+		tab[pn.v] = nil
+		if heaps := e.dominated[lvl]; heaps != nil {
+			if h := heaps[pn.v]; h != nil && h.Len() > 0 {
+				rit := h.Pop()
+				rit.x = -1
+				e.push(rit)
+				e.stats.Released++
+			}
 		}
 	}
 }
@@ -367,12 +414,7 @@ func materialize(n *routeNode) Route {
 // snapshot records the queue contents sorted by priority (Tables III/VI).
 func (e *engine) snapshot() {
 	items := append([]qItem(nil), e.heap.Items()...)
-	sort.Slice(items, func(i, j int) bool {
-		if items[i].key != items[j].key {
-			return items[i].key < items[j].key
-		}
-		return items[i].seq < items[j].seq
-	})
+	sort.Slice(items, func(i, j int) bool { return lessQItem(items[i], items[j]) })
 	step := TraceStep{Queue: make([]TraceRoute, len(items))}
 	names := e.opt.Trace.Names
 	if names == nil {

@@ -8,9 +8,46 @@ import (
 	"repro/internal/pq"
 )
 
+// nnKey keys the (vertex, category) caches of the variant adapters (the
+// hot-path finders below use dense per-category tables instead).
 type nnKey struct {
 	v   graph.Vertex
 	cat graph.Category
+}
+
+// catTable is a dense per-(category, vertex) cache: slot [cat][v] holds
+// the iterator state of Find(v, cat, ·). Keying by category (not by
+// route level) preserves the paper's NL-sharing semantics — two levels
+// visiting the same category share one iterator — while replacing the
+// seed's map lookup with two array indexes on the query hot path.
+// Per-category rows are allocated on first touch; rows grow on demand so
+// categories added dynamically (Section IV-C) stay addressable.
+type catTable[T any] struct {
+	n    int
+	rows [][]*T
+}
+
+func newCatTable[T any](nVerts, nCats int) catTable[T] {
+	return catTable[T]{n: nVerts, rows: make([][]*T, nCats)}
+}
+
+// slot returns the address of entry (cat, v), or nil when cat is
+// negative.
+func (t *catTable[T]) slot(v graph.Vertex, cat graph.Category) **T {
+	if cat < 0 {
+		return nil
+	}
+	if int(cat) >= len(t.rows) {
+		grown := make([][]*T, int(cat)+1)
+		copy(grown, t.rows)
+		t.rows = grown
+	}
+	row := t.rows[cat]
+	if row == nil {
+		row = make([]*T, t.n)
+		t.rows[cat] = row
+	}
+	return &row[v]
 }
 
 // LabelProvider backs queries with the 2-hop label index and the inverted
@@ -33,7 +70,10 @@ func NewLabelProvider(g *graph.Graph, lab *label.Index) *LabelProvider {
 
 // NN returns a fresh label-based NNFinder.
 func (p *LabelProvider) NN() NNFinder {
-	return &labelNN{inv: p.Inv, iters: make(map[nnKey]*invindex.NNIterator)}
+	return &labelNN{
+		inv:   p.Inv,
+		iters: newCatTable[invindex.NNIterator](p.Graph.NumVertices(), p.Graph.NumCategories()),
+	}
 }
 
 // DistTo returns the label-based dis(·, t) oracle.
@@ -44,16 +84,19 @@ func (p *LabelProvider) DistTo(t graph.Vertex) func(graph.Vertex) graph.Weight {
 
 type labelNN struct {
 	inv     *invindex.Index
-	iters   map[nnKey]*invindex.NNIterator
+	iters   catTable[invindex.NNIterator]
 	queries int64
 }
 
 func (l *labelNN) Find(v graph.Vertex, cat graph.Category, x int) (Neighbor, bool) {
-	key := nnKey{v, cat}
-	it := l.iters[key]
+	slot := l.iters.slot(v, cat)
+	if slot == nil {
+		return Neighbor{}, false
+	}
+	it := *slot
 	if it == nil {
 		it = l.inv.NewNNIterator(v, cat)
-		l.iters[key] = it
+		*slot = it
 	}
 	if x > it.Found() {
 		l.queries++ // a real FindNN, not an NL hit
@@ -77,7 +120,10 @@ type DijkstraProvider struct {
 
 // NN returns a fresh Dijkstra-based NNFinder.
 func (p *DijkstraProvider) NN() NNFinder {
-	return &dijNN{g: p.Graph, iters: make(map[nnKey]*dijkstra.KNN)}
+	return &dijNN{
+		g:     p.Graph,
+		iters: newCatTable[dijkstra.KNN](p.Graph.NumVertices(), p.Graph.NumCategories()),
+	}
 }
 
 // DistTo runs one reverse SSSP from t and serves dis(·, t) lookups from
@@ -89,16 +135,19 @@ func (p *DijkstraProvider) DistTo(t graph.Vertex) func(graph.Vertex) graph.Weigh
 
 type dijNN struct {
 	g       *graph.Graph
-	iters   map[nnKey]*dijkstra.KNN
+	iters   catTable[dijkstra.KNN]
 	queries int64
 }
 
 func (d *dijNN) Find(v graph.Vertex, cat graph.Category, x int) (Neighbor, bool) {
-	key := nnKey{v, cat}
-	it := d.iters[key]
+	slot := d.iters.slot(v, cat)
+	if slot == nil {
+		return Neighbor{}, false
+	}
+	it := *slot
 	if it == nil {
 		it = dijkstra.NewKNN(d.g, v, cat)
-		d.iters[key] = it
+		*slot = it
 	}
 	if x > it.Found() {
 		d.queries++
@@ -120,7 +169,7 @@ func (d *dijNN) Queries() int64 { return d.queries }
 type enFinder struct {
 	nn     NNFinder
 	distTo func(graph.Vertex) graph.Weight
-	states map[nnKey]*enState
+	states catTable[enState]
 	// estTicks accumulates the number of dis(·,t) estimations performed,
 	// letting the engine attribute estimation time (Table X).
 	estCalls int64
@@ -140,23 +189,28 @@ type enCand struct {
 	est graph.Weight // d + dis(v, t)
 }
 
-func newENFinder(nn NNFinder, distTo func(graph.Vertex) graph.Weight) *enFinder {
-	return &enFinder{nn: nn, distTo: distTo, states: make(map[nnKey]*enState)}
+func lessENCand(a, b enCand) bool {
+	if a.est != b.est {
+		return a.est < b.est
+	}
+	return a.v < b.v
+}
+
+func newENFinder(nn NNFinder, distTo func(graph.Vertex) graph.Weight, nVerts, nCats int) *enFinder {
+	return &enFinder{nn: nn, distTo: distTo, states: newCatTable[enState](nVerts, nCats)}
 }
 
 func (e *enFinder) Queries() int64 { return e.nn.Queries() }
 
 func (e *enFinder) Find(v graph.Vertex, cat graph.Category, x int) (Neighbor, bool) {
-	key := nnKey{v, cat}
-	st := e.states[key]
+	slot := e.states.slot(v, cat)
+	if slot == nil {
+		return Neighbor{}, false
+	}
+	st := *slot
 	if st == nil {
-		st = &enState{enq: pq.NewHeap[enCand](func(a, b enCand) bool {
-			if a.est != b.est {
-				return a.est < b.est
-			}
-			return a.v < b.v
-		})}
-		e.states[key] = st
+		st = &enState{enq: pq.NewHeap[enCand](lessENCand)}
+		*slot = st
 	}
 	for len(st.enl) < x {
 		nb, ok := e.next(v, cat, st)

@@ -6,7 +6,6 @@ import (
 	"time"
 
 	"repro/internal/graph"
-	"repro/internal/pq"
 )
 
 // This file implements the query variants of Section IV-C ("Variants of
@@ -183,20 +182,11 @@ func SolveVariant(g *graph.Graph, q VariantQuery, prov Provider, opt Options) ([
 		e.pqTime = &st.PQTime
 	}
 	if e.useEstimate {
-		e.finder = newENFinder(finder, distTo)
+		e.finder = newENFinder(finder, distTo, g.NumVertices(), g.NumCategories())
 	} else {
 		e.finder = finder
 	}
-	e.heap = pq.NewHeap[qItem](func(a, b qItem) bool {
-		if a.key != b.key {
-			return a.key < b.key
-		}
-		return a.seq < b.seq
-	})
-	if e.useDominance {
-		e.dominating = make(map[domKey]*routeNode)
-		e.dominated = make(map[domKey]*pq.Heap[qItem])
-	}
+	e.initSearchState()
 	err := e.run()
 	st.NNQueries = nn.Queries()
 	st.Results = len(e.results)

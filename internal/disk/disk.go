@@ -273,9 +273,10 @@ func (s *Store) readRecord(at int64) ([]byte, error) {
 }
 
 type decoder struct {
-	buf []byte
-	off int
-	err error
+	buf  []byte
+	off  int
+	err  error
+	rank []int32 // fills label.Entry.R; hub ranks are derived, not stored
 }
 
 func (d *decoder) u32() uint32 {
@@ -320,7 +321,11 @@ func (d *decoder) entries() []label.Entry {
 		if d.err != nil {
 			return nil
 		}
-		list = append(list, label.Entry{Hub: hub, D: dist, Next: graph.Vertex(next)})
+		if int(hub) < 0 || int(hub) >= len(d.rank) {
+			d.err = fmt.Errorf("disk: corrupt hub %d", hub)
+			return nil
+		}
+		list = append(list, label.Entry{Hub: hub, R: d.rank[hub], D: dist, Next: graph.Vertex(next)})
 	}
 	return list
 }
@@ -338,7 +343,7 @@ func (s *Store) LoadVertex(v graph.Vertex) (out, in []label.Entry, err error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	d := &decoder{buf: payload}
+	d := &decoder{buf: payload, rank: s.rank}
 	out = d.entries()
 	in = d.entries()
 	return out, in, d.err
@@ -362,7 +367,7 @@ func (s *Store) loadCategory(c graph.Category) (*catSection, error) {
 	if err != nil {
 		return nil, err
 	}
-	d := &decoder{buf: payload}
+	d := &decoder{buf: payload, rank: s.rank}
 	sec := &catSection{
 		il:   make(map[graph.Vertex][]invindex.Entry),
 		outs: make(map[graph.Vertex][]label.Entry),

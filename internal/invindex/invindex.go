@@ -40,20 +40,56 @@ type Index struct {
 }
 
 // Build constructs the inverted label index for every category of g from
-// the 2-hop label index lab. Categories are independent, so they are
-// inverted in parallel across the available CPUs.
+// the 2-hop label index lab. The work is split into (category,
+// vertex-chunk) tasks so the build saturates every core even when one
+// large category dominates (or when there are fewer categories than
+// CPUs): chunks are inverted independently, then each category's chunk
+// maps are concatenated in chunk order and every hub list is sorted by
+// (distance, vertex) — a total order, so the result is identical for any
+// worker count.
 func Build(g *graph.Graph, lab *label.Index) *Index {
+	nc := g.NumCategories()
 	ix := &Index{
 		lab:  lab,
-		cats: make([]map[graph.Vertex][]Entry, g.NumCategories()),
+		cats: make([]map[graph.Vertex][]Entry, nc),
+	}
+	if nc == 0 {
+		return ix
 	}
 	workers := runtime.GOMAXPROCS(0)
-	if workers > len(ix.cats) {
-		workers = len(ix.cats)
-	}
 	if workers < 1 {
 		workers = 1
 	}
+
+	type task struct {
+		cat    int
+		lo, hi int // slice bounds within VerticesOf(cat)
+		chunk  int // chunk ordinal within the category
+	}
+	total := 0
+	for c := 0; c < nc; c++ {
+		total += len(g.VerticesOf(graph.Category(c)))
+	}
+	chunkSize := total/(workers*4) + 1
+	if chunkSize < 256 {
+		chunkSize = 256
+	}
+	var tasks []task
+	partial := make([][]map[graph.Vertex][]Entry, nc)
+	for c := 0; c < nc; c++ {
+		vs := g.VerticesOf(graph.Category(c))
+		nChunks := (len(vs) + chunkSize - 1) / chunkSize
+		partial[c] = make([]map[graph.Vertex][]Entry, nChunks)
+		for k := 0; k < nChunks; k++ {
+			hi := (k + 1) * chunkSize
+			if hi > len(vs) {
+				hi = len(vs)
+			}
+			tasks = append(tasks, task{cat: c, lo: k * chunkSize, hi: hi, chunk: k})
+		}
+	}
+
+	// Phase 1: invert every chunk independently.
 	var next int64 = -1
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -61,16 +97,47 @@ func Build(g *graph.Graph, lab *label.Index) *Index {
 		go func() {
 			defer wg.Done()
 			for {
-				c := int(atomic.AddInt64(&next, 1))
-				if c >= len(ix.cats) {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(tasks) {
 					return
 				}
+				t := tasks[i]
 				il := make(map[graph.Vertex][]Entry)
-				for _, u := range g.VerticesOf(graph.Category(c)) {
+				vs := g.VerticesOf(graph.Category(t.cat))
+				for _, u := range vs[t.lo:t.hi] {
 					for _, e := range lab.In(u) {
 						il[e.Hub] = append(il[e.Hub], Entry{V: u, D: e.D})
 					}
 				}
+				partial[t.cat][t.chunk] = il
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Phase 2: merge each category's chunks and sort its hub lists.
+	next = -1
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(atomic.AddInt64(&next, 1))
+				if c >= nc {
+					return
+				}
+				var il map[graph.Vertex][]Entry
+				if len(partial[c]) == 1 {
+					il = partial[c][0]
+				} else {
+					il = make(map[graph.Vertex][]Entry)
+					for _, p := range partial[c] {
+						for hub, list := range p {
+							il[hub] = append(il[hub], list...)
+						}
+					}
+				}
+				partial[c] = nil // release the chunk maps as categories merge
 				for hub := range il {
 					list := il[hub]
 					sort.Slice(list, func(i, j int) bool {

@@ -1,0 +1,47 @@
+package invindex
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/label"
+)
+
+// TestBuildMatchesSequentialReference checks that the chunked parallel
+// build produces exactly the lists of a straightforward sequential
+// inversion, for every category and hub.
+func TestBuildMatchesSequentialReference(t *testing.T) {
+	b := gen.GridBuilder(gen.GridOptions{Rows: 20, Cols: 20, Directed: true, Seed: 9})
+	gen.AssignUniformCategories(b, 400, 5, 60, 10)
+	g := b.MustBuild()
+	lab := label.Build(g)
+	ix := Build(g, lab)
+
+	for c := 0; c < g.NumCategories(); c++ {
+		want := make(map[graph.Vertex][]Entry)
+		for _, u := range g.VerticesOf(graph.Category(c)) {
+			for _, e := range lab.In(u) {
+				want[e.Hub] = append(want[e.Hub], Entry{V: u, D: e.D})
+			}
+		}
+		for hub := range want {
+			list := want[hub]
+			sort.Slice(list, func(i, j int) bool {
+				if list[i].D != list[j].D {
+					return list[i].D < list[j].D
+				}
+				return list[i].V < list[j].V
+			})
+			got := ix.IL(graph.Category(c), hub)
+			if !reflect.DeepEqual(got, list) {
+				t.Fatalf("cat %d hub %d: got %v want %v", c, hub, got, list)
+			}
+		}
+		if got := len(ix.cats[c]); got != len(want) {
+			t.Fatalf("cat %d: %d hub lists, want %d", c, got, len(want))
+		}
+	}
+}

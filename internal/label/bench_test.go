@@ -25,6 +25,28 @@ func BenchmarkBuildGrid1600(b *testing.B) {
 	}
 }
 
+// BenchmarkBuildSequentialVsParallel compares the Workers=1 reference
+// build against the concurrent per-root forward/reverse build. On a
+// multi-core runner the parallel build approaches 2× (the two searches
+// of each root run concurrently); on one core it measures the channel
+// hand-off overhead.
+func BenchmarkBuildSequentialVsParallel(b *testing.B) {
+	g := benchGraph(b)
+	for _, tc := range []struct {
+		name    string
+		workers int
+	}{
+		{"sequential", 1},
+		{"parallel", 0},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				BuildWithOptions(g, BuildOptions{Workers: tc.workers})
+			}
+		})
+	}
+}
+
 // Ordering ablation: build time and index size per landmark ordering.
 func BenchmarkBuildOrderings(b *testing.B) {
 	g := benchGraph(b)

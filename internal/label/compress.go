@@ -175,6 +175,7 @@ func ReadCompressed(r io.Reader) (*Index, error) {
 			}
 			list = append(list, Entry{
 				Hub:  byRank[rank],
+				R:    int32(rank),
 				D:    d,
 				Next: graph.Vertex(int32(nx) - 1),
 			})

@@ -114,7 +114,7 @@ func (ix *Index) upsert(v, hub graph.Vertex, d graph.Weight, next graph.Vertex, 
 	}
 	list := lists[v]
 	r := ix.rank[hub]
-	pos := sort.Search(len(list), func(i int) bool { return ix.rank[list[i].Hub] >= r })
+	pos := sort.Search(len(list), func(i int) bool { return list[i].R >= r })
 	upd := LinUpdate{V: v, Hub: hub, D: d}
 	if pos < len(list) && list[pos].Hub == hub {
 		upd.HadOld = true
@@ -125,7 +125,7 @@ func (ix *Index) upsert(v, hub graph.Vertex, d graph.Weight, next graph.Vertex, 
 	}
 	list = append(list, Entry{})
 	copy(list[pos+1:], list[pos:])
-	list[pos] = Entry{Hub: hub, D: d, Next: next}
+	list[pos] = Entry{Hub: hub, R: r, D: d, Next: next}
 	lists[v] = list
 	return upd
 }

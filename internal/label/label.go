@@ -18,7 +18,10 @@ package label
 import (
 	"math"
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/dijkstra"
 	"repro/internal/graph"
@@ -29,8 +32,14 @@ import (
 // Next is the predecessor of v on the shortest Hub→v path. For an entry
 // in Lout(v), v reaches Hub and Next is the successor of v on the
 // shortest v→Hub path. Next is -1 when v == Hub.
+//
+// R caches the landmark rank of Hub so the merge joins of Dist/BestHub
+// read it without an indirect rank-array load per entry. The label
+// package maintains it everywhere it constructs entries; externally
+// built lists are normalized by SetIn/SetOut.
 type Entry struct {
 	Hub  graph.Vertex
+	R    int32
 	D    graph.Weight
 	Next graph.Vertex
 }
@@ -73,16 +82,39 @@ type BuildOptions struct {
 	// SampleRoots is the number of shortest path trees sampled by
 	// OrderPathSample (default 16).
 	SampleRoots int
+	// Workers caps the build parallelism. 0 means GOMAXPROCS; 1 forces
+	// the sequential reference build. The produced index is byte-identical
+	// regardless of the worker count.
+	Workers int
+}
+
+func (opt BuildOptions) workers() int {
+	if opt.Workers > 0 {
+		return opt.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Build constructs the index for g using degree-descending landmark
-// ordering.
+// ordering and all available cores.
 func Build(g *graph.Graph) *Index {
 	return BuildWithOptions(g, BuildOptions{})
 }
 
 // BuildWithOptions constructs the index with an explicit ordering
 // heuristic.
+//
+// Pruned landmark labeling is inherently sequential across roots (each
+// root's searches prune against the labels of all higher-ranked roots),
+// but within one root the forward search (which only appends Lin entries)
+// and the reverse search (which only appends Lout entries) never observe
+// each other's output: the prune test of either search can only pair a
+// current-root entry in one list with a current-root entry in the other,
+// and neither entry exists before the vertex under test is settled. Both
+// searches therefore run concurrently against the snapshot of previously
+// built labels, each buffering its appends into per-worker scratch, and
+// the buffers are applied in the sequential order afterwards — so the
+// result is byte-identical to the Workers=1 build.
 func BuildWithOptions(g *graph.Graph, opt BuildOptions) *Index {
 	order := landmarkOrder(g, opt)
 	n := g.NumVertices()
@@ -96,18 +128,36 @@ func BuildWithOptions(g *graph.Graph, opt BuildOptions) *Index {
 		ix.rank[v] = int32(r)
 	}
 
-	b := &builder{g: g, ix: ix,
-		dist:   make([]graph.Weight, n),
-		parent: make([]int32, n),
-		heap:   pq.NewIndexedHeap(n),
+	fwd := newBuilder(g, ix)
+	if opt.workers() == 1 {
+		for _, root := range order {
+			fwd.prunedSearch(root, false)
+			fwd.flush(false)
+			fwd.prunedSearch(root, true)
+			fwd.flush(true)
+		}
+		return ix
 	}
-	for i := range b.dist {
-		b.dist[i] = graph.Inf
-	}
+
+	// One persistent worker owns the reverse search scratch; the calling
+	// goroutine runs the forward search of the same root concurrently.
+	rev := newBuilder(g, ix)
+	roots := make(chan graph.Vertex)
+	done := make(chan struct{})
+	go func() {
+		for root := range roots {
+			rev.prunedSearch(root, true)
+			done <- struct{}{}
+		}
+	}()
 	for _, root := range order {
-		b.prunedSearch(root, false) // labels Lin of reached vertices
-		b.prunedSearch(root, true)  // labels Lout of reaching vertices
+		roots <- root
+		fwd.prunedSearch(root, false)
+		<-done
+		fwd.flush(false)
+		rev.flush(true)
 	}
+	close(roots)
 	return ix
 }
 
@@ -145,7 +195,11 @@ func landmarkOrder(g *graph.Graph, opt BuildOptions) []graph.Vertex {
 
 // samplePathCoverage runs full Dijkstra trees from sampled roots and
 // counts, for each vertex, how many sampled root→vertex shortest paths
-// pass through it (computed bottom-up over each tree).
+// pass through it (computed bottom-up over each tree). The root sequence
+// is drawn up front from the seeded RNG; the trees themselves are
+// embarrassingly parallel, and the per-worker partial scores are reduced
+// by integer addition, so the result is deterministic for any worker
+// count.
 func samplePathCoverage(g *graph.Graph, opt BuildOptions) []int64 {
 	n := g.NumVertices()
 	roots := opt.SampleRoots
@@ -155,36 +209,74 @@ func samplePathCoverage(g *graph.Graph, opt BuildOptions) []int64 {
 	if roots > n {
 		roots = n
 	}
+	if roots == 0 { // empty graph: nothing to sample
+		return make([]int64, n)
+	}
 	rng := rand.New(rand.NewSource(opt.Seed))
-	score := make([]int64, n)
-	s := dijkstra.New(g)
-	for i := 0; i < roots; i++ {
-		root := graph.Vertex(rng.Intn(n))
-		s.FromSource(root, i%2 == 1) // alternate directions
-		// Count subtree sizes: process vertices in descending distance.
-		type vd struct {
-			v graph.Vertex
-			d graph.Weight
-		}
-		var reached []vd
-		sub := make([]int64, n)
-		for v := 0; v < n; v++ {
-			if d := s.Dist(graph.Vertex(v)); !math.IsInf(d, 1) {
-				reached = append(reached, vd{graph.Vertex(v), d})
-				sub[v] = 1
+	type sample struct {
+		root    graph.Vertex
+		reverse bool
+	}
+	samples := make([]sample, roots)
+	for i := range samples {
+		samples[i] = sample{root: graph.Vertex(rng.Intn(n)), reverse: i%2 == 1} // alternate directions
+	}
+
+	workers := opt.workers()
+	if workers > roots {
+		workers = roots
+	}
+	partial := make([][]int64, workers)
+	var next int64 = -1
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			score := make([]int64, n)
+			partial[w] = score
+			s := dijkstra.New(g)
+			type vd struct {
+				v graph.Vertex
+				d graph.Weight
 			}
-		}
-		sort.Slice(reached, func(a, b int) bool { return reached[a].d > reached[b].d })
-		for _, x := range reached {
-			score[x.v] += sub[x.v]
-			if p := s.Parent(x.v); p >= 0 {
-				sub[p] += sub[x.v]
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= roots {
+					return
+				}
+				s.FromSource(samples[i].root, samples[i].reverse)
+				// Count subtree sizes: process vertices in descending
+				// distance.
+				var reached []vd
+				sub := make([]int64, n)
+				for v := 0; v < n; v++ {
+					if d := s.Dist(graph.Vertex(v)); !math.IsInf(d, 1) {
+						reached = append(reached, vd{graph.Vertex(v), d})
+						sub[v] = 1
+					}
+				}
+				sort.Slice(reached, func(a, b int) bool { return reached[a].d > reached[b].d })
+				for _, x := range reached {
+					score[x.v] += sub[x.v]
+					if p := s.Parent(x.v); p >= 0 {
+						sub[p] += sub[x.v]
+					}
+				}
 			}
+		}(w)
+	}
+	wg.Wait()
+	score := partial[0]
+	for _, p := range partial[1:] {
+		for v, s := range p {
+			score[v] += s
 		}
 	}
 	return score
 }
 
+// builder is the per-search scratch state of one pruned Dijkstra worker.
 type builder struct {
 	g      *graph.Graph
 	ix     *Index
@@ -192,12 +284,30 @@ type builder struct {
 	parent []int32
 	heap   *pq.IndexedHeap
 	touch  []int32
+	// Label appends are buffered per search (bufV[i] receives bufE[i])
+	// and applied by flush, so concurrent forward/reverse searches never
+	// mutate the index they prune against.
+	bufV []int32
+	bufE []Entry
+}
+
+func newBuilder(g *graph.Graph, ix *Index) *builder {
+	n := g.NumVertices()
+	b := &builder{g: g, ix: ix,
+		dist:   make([]graph.Weight, n),
+		parent: make([]int32, n),
+		heap:   pq.NewIndexedHeap(n),
+	}
+	for i := range b.dist {
+		b.dist[i] = graph.Inf
+	}
+	return b
 }
 
 // prunedSearch runs a pruned Dijkstra from root. With reverse=false it
-// explores forward arcs and appends (root, d, parent) to Lin(u) of every
-// non-pruned settled u; with reverse=true it explores reverse arcs and
-// appends to Lout(u).
+// explores forward arcs and buffers (root, d, parent) appends for Lin(u)
+// of every non-pruned settled u; with reverse=true it explores reverse
+// arcs and buffers appends for Lout(u).
 func (b *builder) prunedSearch(root graph.Vertex, reverse bool) {
 	for _, v := range b.touch {
 		b.dist[v] = graph.Inf
@@ -209,6 +319,7 @@ func (b *builder) prunedSearch(root graph.Vertex, reverse bool) {
 	b.parent[root] = -1
 	b.touch = append(b.touch, root)
 	b.heap.PushOrDecrease(root, 0)
+	rootRank := b.ix.rank[root]
 
 	for b.heap.Len() > 0 {
 		u, du := b.heap.PopMin()
@@ -223,12 +334,8 @@ func (b *builder) prunedSearch(root graph.Vertex, reverse bool) {
 		if covered <= du {
 			continue
 		}
-		e := Entry{Hub: root, D: du, Next: graph.Vertex(b.parent[u])}
-		if reverse {
-			b.ix.out[u] = append(b.ix.out[u], e)
-		} else {
-			b.ix.in[u] = append(b.ix.in[u], e)
-		}
+		b.bufV = append(b.bufV, u)
+		b.bufE = append(b.bufE, Entry{Hub: root, R: rootRank, D: du, Next: graph.Vertex(b.parent[u])})
 		var arcs []graph.Arc
 		if reverse {
 			arcs = b.g.In(graph.Vertex(u))
@@ -249,6 +356,20 @@ func (b *builder) prunedSearch(root graph.Vertex, reverse bool) {
 	}
 }
 
+// flush applies the buffered appends in settle order, reproducing exactly
+// the sequential build's list contents.
+func (b *builder) flush(reverse bool) {
+	lists := b.ix.in
+	if reverse {
+		lists = b.ix.out
+	}
+	for i, v := range b.bufV {
+		lists[v] = append(lists[v], b.bufE[i])
+	}
+	b.bufV = b.bufV[:0]
+	b.bufE = b.bufE[:0]
+}
+
 // NewSparse returns an index shell with the given landmark ranks and no
 // label lists. Labels are attached with SetIn/SetOut; entries must be in
 // ascending rank order, as produced by Build. The disk-resident store
@@ -263,11 +384,23 @@ func NewSparse(rank []int32) *Index {
 	}
 }
 
-// SetIn attaches Lin(v). The entries must be rank-ordered.
-func (ix *Index) SetIn(v graph.Vertex, entries []Entry) { ix.in[v] = entries }
+// SetIn attaches Lin(v). The entries must be rank-ordered; their R fields
+// are filled in from the index's rank array.
+func (ix *Index) SetIn(v graph.Vertex, entries []Entry) {
+	for i := range entries {
+		entries[i].R = ix.rank[entries[i].Hub]
+	}
+	ix.in[v] = entries
+}
 
-// SetOut attaches Lout(v). The entries must be rank-ordered.
-func (ix *Index) SetOut(v graph.Vertex, entries []Entry) { ix.out[v] = entries }
+// SetOut attaches Lout(v). The entries must be rank-ordered; their R
+// fields are filled in from the index's rank array.
+func (ix *Index) SetOut(v graph.Vertex, entries []Entry) {
+	for i := range entries {
+		entries[i].R = ix.rank[entries[i].Hub]
+	}
+	ix.out[v] = entries
+}
 
 // Ranks returns the landmark rank array (shared; do not modify).
 func (ix *Index) Ranks() []int32 { return ix.rank }
@@ -303,7 +436,7 @@ func (ix *Index) distMerge(s, t graph.Vertex) graph.Weight {
 	ls, lt := ix.out[s], ix.in[t]
 	i, j := 0, 0
 	for i < len(ls) && j < len(lt) {
-		ri, rj := ix.rank[ls[i].Hub], ix.rank[lt[j].Hub]
+		ri, rj := ls[i].R, lt[j].R
 		switch {
 		case ri == rj:
 			if d := ls[i].D + lt[j].D; d < best {
@@ -328,7 +461,7 @@ func (ix *Index) BestHub(s, t graph.Vertex) (hub graph.Vertex, d graph.Weight, o
 	ls, lt := ix.out[s], ix.in[t]
 	i, j := 0, 0
 	for i < len(ls) && j < len(lt) {
-		ri, rj := ix.rank[ls[i].Hub], ix.rank[lt[j].Hub]
+		ri, rj := ls[i].R, lt[j].R
 		switch {
 		case ri == rj:
 			if d := ls[i].D + lt[j].D; d < best {
@@ -352,7 +485,7 @@ func (ix *Index) lookup(list []Entry, hub graph.Vertex) (Entry, bool) {
 	lo, hi := 0, len(list)
 	for lo < hi {
 		mid := (lo + hi) / 2
-		if ix.rank[list[mid].Hub] < r {
+		if list[mid].R < r {
 			lo = mid + 1
 		} else {
 			hi = mid

@@ -1,0 +1,109 @@
+package label
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// TestParallelBuildDeterminism asserts the tentpole invariant of the
+// parallel builder: for every ordering heuristic and worker count, the
+// produced index is byte-identical to the sequential (Workers=1) build.
+func TestParallelBuildDeterminism(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"figure1": graph.Figure1(),
+		"grid": gen.GridBuilder(gen.GridOptions{
+			Rows: 24, Cols: 24, Directed: true, Diagonals: true, MaxWeight: 9, Seed: 7,
+		}).MustBuild(),
+		"smallworld": gen.SmallWorldBuilder(gen.SmallWorldOptions{
+			N: 300, OutDegree: 6, Seed: 3,
+		}).MustBuild(),
+	}
+	orders := map[string]Order{
+		"degree":     OrderDegree,
+		"pathsample": OrderPathSample,
+		"random":     OrderRandom,
+	}
+	for gname, g := range graphs {
+		for oname, ord := range orders {
+			t.Run(gname+"/"+oname, func(t *testing.T) {
+				seq := BuildWithOptions(g, BuildOptions{Order: ord, Seed: 11, Workers: 1})
+				for _, workers := range []int{2, 4, 8} {
+					par := BuildWithOptions(g, BuildOptions{Order: ord, Seed: 11, Workers: workers})
+					if !reflect.DeepEqual(seq.rank, par.rank) {
+						t.Fatalf("workers=%d: ranks differ", workers)
+					}
+					for v := 0; v < g.NumVertices(); v++ {
+						if !reflect.DeepEqual(seq.In(graph.Vertex(v)), par.In(graph.Vertex(v))) {
+							t.Fatalf("workers=%d: Lin(%d) differs:\nseq %v\npar %v",
+								workers, v, seq.In(graph.Vertex(v)), par.In(graph.Vertex(v)))
+						}
+						if !reflect.DeepEqual(seq.Out(graph.Vertex(v)), par.Out(graph.Vertex(v))) {
+							t.Fatalf("workers=%d: Lout(%d) differs:\nseq %v\npar %v",
+								workers, v, seq.Out(graph.Vertex(v)), par.Out(graph.Vertex(v)))
+						}
+					}
+					// Byte-identical in the strict sense: identical
+					// serialized form.
+					var sb, pb bytes.Buffer
+					if _, err := seq.WriteTo(&sb); err != nil {
+						t.Fatal(err)
+					}
+					if _, err := par.WriteTo(&pb); err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(sb.Bytes(), pb.Bytes()) {
+						t.Fatalf("workers=%d: serialized indexes differ", workers)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestBuildEmptyGraph guards the degenerate input: every ordering must
+// build a valid empty index on a 0-vertex graph (OrderPathSample used to
+// panic indexing the per-worker partial scores).
+func TestBuildEmptyGraph(t *testing.T) {
+	g := graph.NewBuilder(0, true).MustBuild()
+	for _, ord := range []Order{OrderDegree, OrderPathSample, OrderRandom} {
+		ix := BuildWithOptions(g, BuildOptions{Order: ord})
+		if ix.NumVertices() != 0 {
+			t.Fatalf("order %v: got %d vertices", ord, ix.NumVertices())
+		}
+	}
+}
+
+// TestEntryRankCache asserts that every entry of a built index carries
+// the rank of its hub, whichever construction path produced it.
+func TestEntryRankCache(t *testing.T) {
+	g := gen.GridBuilder(gen.GridOptions{Rows: 12, Cols: 12, Seed: 5}).MustBuild()
+	ix := Build(g)
+	check := func(list []Entry, kind string, v int) {
+		for _, e := range list {
+			if e.R != ix.Rank(e.Hub) {
+				t.Fatalf("%s(%d): entry hub %d has R=%d, rank is %d", kind, v, e.Hub, e.R, ix.Rank(e.Hub))
+			}
+		}
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		check(ix.In(graph.Vertex(v)), "Lin", v)
+		check(ix.Out(graph.Vertex(v)), "Lout", v)
+	}
+
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rt, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		check(rt.In(graph.Vertex(v)), "roundtrip Lin", v)
+		check(rt.Out(graph.Vertex(v)), "roundtrip Lout", v)
+	}
+}

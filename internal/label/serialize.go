@@ -132,7 +132,7 @@ func Read(r io.Reader) (*Index, error) {
 			if int(hub) >= n || int(next) >= n || d < 0 {
 				return nil, fmt.Errorf("label: corrupt entry (hub=%d next=%d d=%v)", hub, next, d)
 			}
-			list[i] = Entry{Hub: graph.Vertex(hub), D: d, Next: graph.Vertex(next)}
+			list[i] = Entry{Hub: graph.Vertex(hub), R: ix.rank[hub], D: d, Next: graph.Vertex(next)}
 		}
 		return list, nil
 	}
