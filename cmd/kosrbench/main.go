@@ -9,15 +9,23 @@
 //	go run ./cmd/kosrbench -quick               # FLA only, 3 queries (CI smoke)
 //	go run ./cmd/kosrbench -scale 2 -queries 10 # bigger graphs, more samples
 //	go run ./cmd/kosrbench -out BENCH_PR1.json
+//
+// The diff subcommand compares two reports and fails on gross
+// regressions, so CI can guard the trajectory:
+//
+//	go run ./cmd/kosrbench diff BENCH_PR1.json BENCH_PR2.json
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -39,6 +47,18 @@ type MethodResult struct {
 	INF            bool    `json:"inf,omitempty"`
 }
 
+// ConcurrencyResult is one point of the concurrent-throughput scan: a
+// fixed query mix answered by W workers sharing one read-only index and
+// one scratch pool.
+type ConcurrencyResult struct {
+	Workers      int     `json:"workers"`
+	TotalQueries int     `json:"total_queries"`
+	QPS          float64 `json:"qps"`
+	// SpeedupVs1 is QPS relative to the 1-worker run of the same scan
+	// (≈1.0 on a single-core runner by construction).
+	SpeedupVs1 float64 `json:"speedup_vs_1_worker"`
+}
+
 // DatasetResult reports preprocessing and query numbers for one graph.
 type DatasetResult struct {
 	Name         string  `json:"name"`
@@ -53,6 +73,8 @@ type DatasetResult struct {
 	InvBuildMS   float64 `json:"invindex_build_ms"`
 
 	Methods []MethodResult `json:"methods"`
+	// Concurrency is the StarKOSR throughput scan at 1/2/4/8 workers.
+	Concurrency []ConcurrencyResult `json:"concurrency,omitempty"`
 }
 
 // Report is the top-level JSON document.
@@ -69,6 +91,9 @@ type Report struct {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "diff" {
+		os.Exit(runDiff(os.Args[2:]))
+	}
 	out := flag.String("out", "BENCH_PR1.json", "output JSON path")
 	pr := flag.String("pr", "PR1", "PR tag recorded in the report")
 	scale := flag.Int("scale", 1, "dataset scale factor")
@@ -106,7 +131,12 @@ func main() {
 			"the concurrent per-root forward/reverse build; the two searches of each " +
 			"root run in parallel, so the expected ceiling is 2x on >=2 cores " +
 			"(1x on a single-core runner). allocs_per_query counts heap objects " +
-			"for one full Solve, measured with runtime.ReadMemStats.",
+			"for one full Solve, measured with runtime.ReadMemStats. " +
+			"concurrency scans StarKOSR throughput with N workers sharing one " +
+			"read-only index and one scratch pool; speedup_vs_1_worker is pinned " +
+			"near 1.0 on a single-core runner by construction and is expected to " +
+			"scale near-linearly with cores on a multi-core runner (queries are " +
+			"share-nothing once the scratch pool is warm).",
 	}
 
 	for _, a := range sel {
@@ -171,9 +201,227 @@ func benchDataset(a gen.Analogue, cfg workload.Config) (DatasetResult, error) {
 		}
 		ds.Methods = append(ds.Methods, mr)
 	}
-	fmt.Printf("%-4s |V|=%d seq=%.0fms par=%.0fms (%.2fx, identical=%v) inv=%.0fms\n",
+	ds.Concurrency = benchConcurrency(data, qs, cfg)
+	fmt.Printf("%-4s |V|=%d seq=%.0fms par=%.0fms (%.2fx, identical=%v) inv=%.0fms",
 		a, ds.Vertices, ds.SeqBuildMS, ds.ParBuildMS, ds.BuildSpeedup, ds.Identical, ds.InvBuildMS)
+	for _, cr := range ds.Concurrency {
+		fmt.Printf(" w%d=%.0fqps", cr.Workers, cr.QPS)
+	}
+	fmt.Println()
 	return ds, nil
+}
+
+// benchConcurrency measures StarKOSR throughput with 1/2/4/8 workers
+// pulling queries from a shared counter against one read-only index.
+// One LabelProvider (hence one scratch pool) serves every worker, so
+// after the warm-up pass the steady state allocates no per-vertex
+// search state regardless of worker count.
+func benchConcurrency(d *workload.Dataset, qs []core.Query, cfg workload.Config) []ConcurrencyResult {
+	if len(qs) == 0 {
+		return nil
+	}
+	prov := &core.LabelProvider{Graph: d.G, Labels: d.Lab, Inv: d.Inv}
+	opts := core.Options{
+		Method:      core.MethodSK,
+		MaxExamined: cfg.MaxExamined,
+		MaxDuration: cfg.MaxDuration,
+	}
+	solve := func(q core.Query) {
+		// Budget errors count as served requests (the server returns
+		// truncated results for them), so they stay in the mix.
+		_, _, _ = core.Solve(d.G, q, prov, opts)
+	}
+	for _, q := range qs { // warm the scratch pool and the NN caches
+		solve(q)
+	}
+	total := 16 * len(qs)
+	var out []ConcurrencyResult
+	var base float64
+	for _, workers := range []int{1, 2, 4, 8} {
+		var next int64 = -1
+		var wg sync.WaitGroup
+		start := time.Now()
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(atomic.AddInt64(&next, 1))
+					if i >= total {
+						return
+					}
+					solve(qs[i%len(qs)])
+				}
+			}()
+		}
+		wg.Wait()
+		elapsed := time.Since(start).Seconds()
+		cr := ConcurrencyResult{Workers: workers, TotalQueries: total}
+		if elapsed > 0 {
+			cr.QPS = float64(total) / elapsed
+		}
+		if workers == 1 {
+			base = cr.QPS
+		}
+		if base > 0 {
+			cr.SpeedupVs1 = cr.QPS / base
+		}
+		out = append(out, cr)
+	}
+	return out
+}
+
+// runDiff implements `kosrbench diff OLD.json NEW.json`: it compares
+// the per-(dataset, method) query times and allocation counts of two
+// reports and fails when the new report regresses by more than the
+// threshold factor. Build times are printed for context but do not
+// fail the diff (they are too machine-sensitive for a hard gate).
+func runDiff(args []string) int {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	threshold := fs.Float64("threshold", 2.0, "fail when a new value exceeds the old by this factor")
+	allowMissing := fs.Bool("allow-missing", false, "do not fail when the new report lacks datasets/methods the old one has (e.g. diffing a -quick run)")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: kosrbench diff [-threshold 2.0] OLD.json NEW.json")
+		return 2
+	}
+	oldRep, err := readReport(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kosrbench diff:", err)
+		return 2
+	}
+	newRep, err := readReport(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kosrbench diff:", err)
+		return 2
+	}
+	fmt.Printf("%s (%s) -> %s (%s), threshold %.2fx\n",
+		oldRep.PR, oldRep.Date, newRep.PR, newRep.Date, *threshold)
+	if oldRep.NumCPU != newRep.NumCPU || oldRep.GOMAXPROCS != newRep.GOMAXPROCS {
+		fmt.Printf("note: reports come from different machines (%d/%d vs %d/%d cpus); timings are indicative only\n",
+			oldRep.NumCPU, oldRep.GOMAXPROCS, newRep.NumCPU, newRep.GOMAXPROCS)
+	}
+
+	var regressions []string
+	fmt.Printf("%-6s %-8s %12s %12s %8s %14s %14s %8s\n",
+		"graph", "method", "old_ms", "new_ms", "ratio", "old_allocs", "new_allocs", "ratio")
+	for _, nds := range newRep.Datasets {
+		ods, ok := findDataset(oldRep, nds.Name)
+		if !ok {
+			fmt.Printf("%-6s (new dataset, no baseline)\n", nds.Name)
+			continue
+		}
+		for _, nm := range nds.Methods {
+			om, ok := findMethod(ods, nm.Method)
+			if !ok {
+				fmt.Printf("%-6s %-8s (new method, no baseline)\n", nds.Name, nm.Method)
+				continue
+			}
+			cell := fmt.Sprintf("%s/%s", nds.Name, nm.Method)
+			switch {
+			case om.INF && nm.INF:
+				fmt.Printf("%-6s %-8s %12s %12s\n", nds.Name, nm.Method, "INF", "INF")
+				continue
+			case !om.INF && nm.INF:
+				regressions = append(regressions, cell+": was finite, now INF")
+				fmt.Printf("%-6s %-8s %12.3f %12s\n", nds.Name, nm.Method, om.AvgMS, "INF")
+				continue
+			case om.INF && !nm.INF:
+				fmt.Printf("%-6s %-8s %12s %12.3f   (fixed INF)\n", nds.Name, nm.Method, "INF", nm.AvgMS)
+				continue
+			}
+			msRatio := ratio(nm.AvgMS, om.AvgMS)
+			allocRatio := ratio(nm.AllocsPerQuery, om.AllocsPerQuery)
+			fmt.Printf("%-6s %-8s %12.3f %12.3f %7.2fx %14.1f %14.1f %7.2fx\n",
+				nds.Name, nm.Method, om.AvgMS, nm.AvgMS, msRatio,
+				om.AllocsPerQuery, nm.AllocsPerQuery, allocRatio)
+			if msRatio > *threshold {
+				regressions = append(regressions,
+					fmt.Sprintf("%s: avg_ms %.3f -> %.3f (%.2fx)", cell, om.AvgMS, nm.AvgMS, msRatio))
+			}
+			if allocRatio > *threshold {
+				regressions = append(regressions,
+					fmt.Sprintf("%s: allocs/query %.1f -> %.1f (%.2fx)", cell, om.AllocsPerQuery, nm.AllocsPerQuery, allocRatio))
+			}
+		}
+		fmt.Printf("%-6s build: par %.0fms -> %.0fms, label %.1fMB -> %.1fMB (informational)\n",
+			nds.Name, ods.ParBuildMS, nds.ParBuildMS, ods.LabelMB, nds.LabelMB)
+	}
+	// Coverage check: a cell that silently vanishes from the new report
+	// would otherwise dodge the gate entirely.
+	for _, ods := range oldRep.Datasets {
+		nds, ok := findDataset(newRep, ods.Name)
+		if !ok {
+			msg := fmt.Sprintf("%s: dataset missing from new report", ods.Name)
+			fmt.Println(msg)
+			if !*allowMissing {
+				regressions = append(regressions, msg)
+			}
+			continue
+		}
+		for _, om := range ods.Methods {
+			if _, ok := findMethod(nds, om.Method); !ok {
+				msg := fmt.Sprintf("%s/%s: method missing from new report", ods.Name, om.Method)
+				fmt.Println(msg)
+				if !*allowMissing {
+					regressions = append(regressions, msg)
+				}
+			}
+		}
+	}
+	if len(regressions) > 0 {
+		fmt.Printf("\n%d regression(s) beyond %.2fx:\n", len(regressions), *threshold)
+		for _, r := range regressions {
+			fmt.Println("  " + r)
+		}
+		return 1
+	}
+	fmt.Println("\nno regressions beyond threshold")
+	return 0
+}
+
+func readReport(path string) (Report, error) {
+	var rep Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+func findDataset(rep Report, name string) (DatasetResult, bool) {
+	for _, ds := range rep.Datasets {
+		if ds.Name == name {
+			return ds, true
+		}
+	}
+	return DatasetResult{}, false
+}
+
+func findMethod(ds DatasetResult, method string) (MethodResult, bool) {
+	for _, m := range ds.Methods {
+		if m.Method == method {
+			return m, true
+		}
+	}
+	return MethodResult{}, false
+}
+
+// ratio compares a new metric against its baseline. A zero baseline
+// with a now-positive value is an unbounded regression (the trajectory
+// drives allocations toward zero, so 0 -> anything must not pass
+// silently); both-zero compares equal.
+func ratio(newV, oldV float64) float64 {
+	if oldV <= 0 {
+		if newV <= 0 {
+			return 1
+		}
+		return math.Inf(1)
+	}
+	return newV / oldV
 }
 
 func runMethod(d *workload.Dataset, m workload.MethodID, qs []core.Query, cfg workload.Config) (MethodResult, error) {

@@ -1,20 +1,31 @@
 // Command kosrd serves KOSR queries over HTTP.
 //
 //	kosrd -graph city.graph [-index city.idx] [-addr :8080] [-budget 5000000]
+//	      [-workers 8] [-query-timeout 10s]
 //
 // Endpoints:
 //
 //	GET  /health
 //	POST /query   {"source":"s","target":"t","categories":["MA","RE","CI"],"k":3}
 //	POST /expand  {"witness":[0,1,2,4,7]}
+//
+// Queries run on a bounded worker pool over the shared read-only index;
+// each worker reuses a warm per-query scratch. SIGINT/SIGTERM trigger a
+// graceful shutdown: listeners close, in-flight queries finish, the
+// pool drains.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	kosr "repro"
 	"repro/internal/server"
@@ -25,6 +36,9 @@ func main() {
 	indexPath := flag.String("index", "", "label index file (optional; built at startup otherwise)")
 	addr := flag.String("addr", ":8080", "listen address")
 	budget := flag.Int64("budget", 5_000_000, "max examined routes per query (0 = unlimited)")
+	workers := flag.Int("workers", 0, "query worker pool size (0 = GOMAXPROCS)")
+	queryTimeout := flag.Duration("query-timeout", 10*time.Second, "per-query wall-clock budget, queueing included (0 = none)")
+	shutdownGrace := flag.Duration("shutdown-grace", 15*time.Second, "how long to wait for in-flight requests on shutdown")
 	flag.Parse()
 	if *graphPath == "" {
 		fmt.Fprintln(os.Stderr, "kosrd: -graph is required")
@@ -55,9 +69,56 @@ func main() {
 		log.Printf("building label index for %d vertices ...", g.NumVertices())
 		sys = kosr.NewSystem(g)
 	}
-	srv := server.New(sys)
-	srv.MaxExamined = *budget
+	srv := server.NewWithConfig(sys, server.Config{
+		Workers:      *workers,
+		MaxExamined:  *budget,
+		QueryTimeout: *queryTimeout,
+	})
+
+	// With -query-timeout 0 (no per-query limit) the write timeout must
+	// stay unset too, or it would silently cut off legitimately long
+	// responses.
+	writeTimeout := time.Duration(0)
+	if *queryTimeout > 0 {
+		writeTimeout = *queryTimeout + 30*time.Second
+	}
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      writeTimeout,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
 	log.Printf("kosrd listening on %s (|V|=%d |E|=%d |S|=%d)",
 		*addr, g.NumVertices(), g.NumEdges(), g.NumCategories())
-	log.Fatal(http.ListenAndServe(*addr, srv))
+
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Printf("shutting down (grace %v) ...", *shutdownGrace)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("shutdown: %v", err)
+	}
+	// Drain the query worker pool after HTTP handlers return — but not
+	// forever: with -query-timeout 0 a stuck query would otherwise pin
+	// the process past any supervisor's patience.
+	drained := make(chan struct{})
+	go func() { srv.Close(); close(drained) }()
+	select {
+	case <-drained:
+		log.Printf("kosrd stopped")
+	case <-time.After(*shutdownGrace):
+		log.Printf("kosrd stopped with queries still in flight (worker pool did not drain in %v)", *shutdownGrace)
+	}
 }

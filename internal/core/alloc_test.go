@@ -27,13 +27,13 @@ func TestSteadyStatePopPushAllocs(t *testing.T) {
 	// Warm the queue so pops never drain it.
 	root := e.heap.Min().node
 	for i := 0; i < 64; i++ {
-		child := e.arena.alloc()
+		child := e.scratch.arena.alloc()
 		*child = routeNode{v: root.v, parent: root, size: root.size + 1, cost: graph.Weight(i)}
 		e.push(qItem{node: child, key: graph.Weight(i), x: 1})
 	}
 	avg := testing.AllocsPerRun(4096, func() {
 		it := e.pop()
-		child := e.arena.alloc()
+		child := e.scratch.arena.alloc()
 		*child = routeNode{v: it.node.v, parent: it.node, size: it.node.size, cost: it.node.cost}
 		e.push(qItem{node: child, key: it.key + 1, x: 1})
 	})

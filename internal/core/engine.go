@@ -23,23 +23,34 @@ type routeNode struct {
 // nodeArena hands out routeNodes from fixed-size chunks, so the query
 // loop stops paying one heap allocation (and later one GC scan object)
 // per queue push — the dominant allocation of the engine's hot path.
-// Nodes live as long as the engine; none are freed individually.
+// Nodes live as long as the owning scratch; none are freed individually,
+// and reset() rewinds the arena so the next query reuses the chunks.
 type nodeArena struct {
 	chunks [][]routeNode
-	used   int // occupied slots of the last chunk
+	cur    int // index of the active chunk
+	used   int // occupied slots of the active chunk
 }
 
 const arenaChunkSize = 512
 
 func (a *nodeArena) alloc() *routeNode {
-	if len(a.chunks) == 0 || a.used == arenaChunkSize {
+	if len(a.chunks) == 0 {
 		a.chunks = append(a.chunks, make([]routeNode, arenaChunkSize))
+	}
+	if a.used == arenaChunkSize {
+		a.cur++
+		if a.cur == len(a.chunks) {
+			a.chunks = append(a.chunks, make([]routeNode, arenaChunkSize))
+		}
 		a.used = 0
 	}
-	n := &a.chunks[len(a.chunks)-1][a.used]
+	n := &a.chunks[a.cur][a.used]
 	a.used++
 	return n
 }
+
+// reset rewinds the arena; every node handed out so far is reused.
+func (a *nodeArena) reset() { a.cur, a.used = 0, 0 }
 
 // qItem is a queue entry: a route, its priority key (real cost for
 // KPNE/PruningKOSR, estimated total cost for StarKOSR), and the paper's x
@@ -72,17 +83,15 @@ type engine struct {
 	heap    *pq.Heap[qItem]
 	seq     int64
 	nVerts  int
-	arena   nodeArena
 	results []Route
 	stats   *Stats
 
-	// Dominance state (Definition 6), dense instead of map-keyed: slot
-	// [size-1][v] holds the route dominating (v, size), and the parked
-	// routes it dominates. Witness sizes are bounded by |C|+2, so the
-	// tables are at most (|C|+2)·|V| slots; per-level slices are
-	// allocated on first touch.
-	dominating [][]*routeNode
-	dominated  [][]*pq.Heap[qItem]
+	// scratch holds the arena, the queue, the dense dominance tables
+	// (Definition 6) and the NN caches. It is checked out of the
+	// provider's pool for the duration of the query (scratchOwner nil
+	// means a throwaway scratch that the GC reclaims).
+	scratch      *Scratch
+	scratchOwner ScratchProvider
 
 	useDominance bool
 	useEstimate  bool
@@ -103,17 +112,30 @@ type engine struct {
 	pqTime *time.Duration
 }
 
-// initSearchState sets up the global queue and, when dominance pruning is
-// on, the dense HT≺/HT≻ tables. It must run after q and useDominance are
-// final.
+// initSearchState points the engine at its scratch's queue and, when
+// dominance pruning is on, sizes the dense HT≺/HT≻ tables. It must run
+// after q, useDominance, and scratch are final.
 func (e *engine) initSearchState() {
 	e.nVerts = e.g.NumVertices()
-	e.heap = pq.NewHeap[qItem](lessQItem)
+	e.heap = e.scratch.heap
 	if e.useDominance {
-		levels := len(e.q.Categories) + 2
-		e.dominating = make([][]*routeNode, levels)
-		e.dominated = make([][]*pq.Heap[qItem], levels)
+		e.scratch.ensureLevels(len(e.q.Categories) + 2)
 	}
+}
+
+// releaseScratch returns the scratch to its owning pool (or abandons a
+// throwaway one). Safe to call more than once; the engine must not
+// search again afterwards.
+func (e *engine) releaseScratch() {
+	if e.scratch == nil {
+		return
+	}
+	if e.scratchOwner != nil {
+		e.scratchOwner.ReleaseScratch(e.scratch)
+	}
+	e.scratch = nil
+	e.scratchOwner = nil
+	e.heap = nil
 }
 
 // Solve answers the KOSR query q on g with the selected method, using
@@ -126,6 +148,7 @@ func Solve(g *graph.Graph, q Query, prov Provider, opt Options) ([]Route, *Stats
 	if err != nil {
 		return nil, nil, err
 	}
+	defer e.releaseScratch()
 	start := time.Now()
 	runErr := e.run()
 	e.stats.NNQueries = nn.Queries()
@@ -134,7 +157,9 @@ func Solve(g *graph.Graph, q Query, prov Provider, opt Options) ([]Route, *Stats
 	return e.results, e.stats, runErr
 }
 
-// newStandardEngine builds the engine shared by Solve and Searcher.
+// newStandardEngine builds the engine shared by Solve and Searcher. On
+// success the engine holds a checked-out scratch; the caller must
+// arrange for releaseScratch once the search is over.
 func newStandardEngine(g *graph.Graph, q Query, prov Provider, opt Options) (*engine, NNFinder, error) {
 	if err := q.Validate(g); err != nil {
 		return nil, nil, err
@@ -143,7 +168,11 @@ func newStandardEngine(g *graph.Graph, q Query, prov Provider, opt Options) (*en
 		Method:           opt.Method,
 		ExaminedPerLevel: make([]int64, len(q.Categories)+2),
 	}
+	scratch, owner := acquireScratch(prov, g.NumVertices())
 	nn := prov.NN()
+	if su, ok := nn.(scratchUser); ok {
+		su.bindScratch(scratch)
+	}
 	distTo := prov.DistTo(q.Target)
 	if opt.TimeBreakdown {
 		nn = &timedNN{inner: nn, acc: &st.NNTime}
@@ -161,6 +190,8 @@ func newStandardEngine(g *graph.Graph, q Query, prov Provider, opt Options) (*en
 		opt:          opt,
 		distTo:       distTo,
 		stats:        st,
+		scratch:      scratch,
+		scratchOwner: owner,
 		useDominance: opt.Method == MethodPK || opt.Method == MethodSK,
 		useEstimate:  opt.Method == MethodSK || opt.Method == MethodKStar,
 	}
@@ -168,7 +199,7 @@ func newStandardEngine(g *graph.Graph, q Query, prov Provider, opt Options) (*en
 		e.pqTime = &st.PQTime
 	}
 	if e.useEstimate {
-		e.finder = newENFinder(nn, distTo, g.NumVertices(), g.NumCategories())
+		e.finder = newENFinder(nn, distTo, scratch)
 	} else {
 		e.finder = nn
 	}
@@ -231,7 +262,7 @@ func (e *engine) seed() {
 				continue
 			}
 		}
-		node := e.arena.alloc()
+		node := e.scratch.arena.alloc()
 		*node = routeNode{v: r, size: 1, cost: 0}
 		e.push(qItem{node: node, key: key, x: 1})
 	}
@@ -295,29 +326,14 @@ func (e *engine) nextResult() (Route, bool, error) {
 
 		extend := !complete
 		if extend && e.useDominance {
-			tab := e.dominating[lvl]
-			if tab == nil {
-				tab = make([]*routeNode, e.nVerts)
-				e.dominating[lvl] = tab
-			}
-			if tab[v] != nil {
+			if e.scratch.dominatingNode(lvl, v) != nil {
 				// Dominated (Definition 6): park in HT≻ until the
 				// dominating route completes (Algorithm 2 line 19).
-				heaps := e.dominated[lvl]
-				if heaps == nil {
-					heaps = make([]*pq.Heap[qItem], e.nVerts)
-					e.dominated[lvl] = heaps
-				}
-				h := heaps[v]
-				if h == nil {
-					h = pq.NewHeap[qItem](lessQItem)
-					heaps[v] = h
-				}
-				h.Push(it)
+				e.scratch.parkHeap(lvl, v).Push(it)
 				e.stats.Dominated++
 				extend = false
 			} else {
-				tab[v] = it.node
+				e.scratch.setDominatingNode(lvl, v, it.node)
 			}
 		}
 
@@ -362,7 +378,7 @@ func (e *engine) pushChild(parent *routeNode, nb Neighbor, x int32) {
 		// feasible route extends through it.
 		return
 	}
-	child := e.arena.alloc()
+	child := e.scratch.arena.alloc()
 	*child = routeNode{v: nb.V, parent: parent, size: parent.size + 1, cost: cost}
 	e.push(qItem{node: child, key: key, x: x})
 }
@@ -378,18 +394,15 @@ func (e *engine) reconsider(result *routeNode) {
 	for i := 1; i < len(chain)-1; i++ {
 		pn := chain[i]
 		lvl := int(pn.size) - 1
-		tab := e.dominating[lvl]
-		if tab == nil || tab[pn.v] != pn {
+		if e.scratch.dominatingNode(lvl, pn.v) != pn {
 			continue
 		}
-		tab[pn.v] = nil
-		if heaps := e.dominated[lvl]; heaps != nil {
-			if h := heaps[pn.v]; h != nil && h.Len() > 0 {
-				rit := h.Pop()
-				rit.x = -1
-				e.push(rit)
-				e.stats.Released++
-			}
+		e.scratch.setDominatingNode(lvl, pn.v, nil)
+		if h := e.scratch.peekParkHeap(lvl, pn.v); h != nil && h.Len() > 0 {
+			rit := h.Pop()
+			rit.x = -1
+			e.push(rit)
+			e.stats.Released++
 		}
 	}
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync"
+
 	"repro/internal/dijkstra"
 	"repro/internal/graph"
 	"repro/internal/invindex"
@@ -13,6 +15,13 @@ import (
 type nnKey struct {
 	v   graph.Vertex
 	cat graph.Category
+}
+
+// scratchUser is implemented by finders whose per-query caches live in
+// the engine's scratch. The engine binds the scratch right after
+// checking it out, before the first Find call.
+type scratchUser interface {
+	bindScratch(*Scratch)
 }
 
 // catTable is a dense per-(category, vertex) cache: slot [cat][v] holds
@@ -53,10 +62,18 @@ func (t *catTable[T]) slot(v graph.Vertex, cat graph.Category) **T {
 // LabelProvider backs queries with the 2-hop label index and the inverted
 // label index: FindNN is Algorithm 3, the distance oracle is a label
 // merge join. This is the configuration of the paper's PK / SK methods.
+//
+// The provider owns a pool of query scratches: a long-lived provider
+// serving many queries (the server's workers, the bench harness) hands
+// each query a warm scratch, so steady-state queries allocate no O(|V|)
+// state. The zero pool is valid — construct LabelProvider as a literal
+// and share one instance across queries to benefit.
 type LabelProvider struct {
 	Graph  *graph.Graph
 	Labels *label.Index
 	Inv    *invindex.Index
+
+	pool sync.Pool // *Scratch
 }
 
 // NewLabelProvider builds the inverted index for g and returns a
@@ -70,10 +87,7 @@ func NewLabelProvider(g *graph.Graph, lab *label.Index) *LabelProvider {
 
 // NN returns a fresh label-based NNFinder.
 func (p *LabelProvider) NN() NNFinder {
-	return &labelNN{
-		inv:   p.Inv,
-		iters: newCatTable[invindex.NNIterator](p.Graph.NumVertices(), p.Graph.NumCategories()),
-	}
+	return &labelNN{inv: p.Inv}
 }
 
 // DistTo returns the label-based dis(·, t) oracle.
@@ -82,22 +96,44 @@ func (p *LabelProvider) DistTo(t graph.Vertex) func(graph.Vertex) graph.Weight {
 	return func(v graph.Vertex) graph.Weight { return lab.Dist(v, t) }
 }
 
+// AcquireScratch implements ScratchProvider.
+func (p *LabelProvider) AcquireScratch() *Scratch {
+	s, _ := p.pool.Get().(*Scratch)
+	if s == nil || s.nVerts != p.Graph.NumVertices() {
+		s = NewScratch(p.Graph.NumVertices())
+	}
+	s.begin()
+	return s
+}
+
+// ReleaseScratch implements ScratchProvider.
+func (p *LabelProvider) ReleaseScratch(s *Scratch) {
+	if s == nil {
+		return
+	}
+	s.release()
+	p.pool.Put(s)
+}
+
 type labelNN struct {
 	inv     *invindex.Index
-	iters   catTable[invindex.NNIterator]
+	scr     *Scratch
 	queries int64
 }
 
+func (l *labelNN) bindScratch(s *Scratch) { l.scr = s }
+
 func (l *labelNN) Find(v graph.Vertex, cat graph.Category, x int) (Neighbor, bool) {
-	slot := l.iters.slot(v, cat)
-	if slot == nil {
+	if cat < 0 {
 		return Neighbor{}, false
 	}
-	it := *slot
-	if it == nil {
-		it = l.inv.NewNNIterator(v, cat)
-		*slot = it
+	if l.scr == nil {
+		// Used outside an engine (tests, ad-hoc callers): fall back to a
+		// private throwaway scratch.
+		l.scr = NewScratch(l.inv.Labels().NumVertices())
+		l.scr.begin()
 	}
+	it := l.scr.nnIter(l.inv, v, cat)
 	if x > it.Found() {
 		l.queries++ // a real FindNN, not an NL hit
 	}
@@ -114,8 +150,33 @@ func (l *labelNN) Queries() int64 { return l.queries }
 // incremental Dijkstra kNN and the distance-to-target oracle is one full
 // reverse Dijkstra from t. This is the configuration of the paper's
 // KPNE-Dij / PK-Dij / SK-Dij variants.
+//
+// Like LabelProvider it pools query scratches, so the engine-side state
+// (dominance tables, arena, queue) is reused across queries; the
+// Dijkstra iterators themselves remain per-query.
 type DijkstraProvider struct {
 	Graph *graph.Graph
+
+	pool sync.Pool // *Scratch
+}
+
+// AcquireScratch implements ScratchProvider.
+func (p *DijkstraProvider) AcquireScratch() *Scratch {
+	s, _ := p.pool.Get().(*Scratch)
+	if s == nil || s.nVerts != p.Graph.NumVertices() {
+		s = NewScratch(p.Graph.NumVertices())
+	}
+	s.begin()
+	return s
+}
+
+// ReleaseScratch implements ScratchProvider.
+func (p *DijkstraProvider) ReleaseScratch(s *Scratch) {
+	if s == nil {
+		return
+	}
+	s.release()
+	p.pool.Put(s)
 }
 
 // NN returns a fresh Dijkstra-based NNFinder.
@@ -165,12 +226,14 @@ func (d *dijNN) Queries() int64 { return d.queries }
 // NNFinder: Find(v, cat, x) returns the category vertex u whose estimated
 // cost dis(v,u) + dis(u,t) is the x-th least. The returned Neighbor.D is
 // the plain distance dis(v,u) (needed to accumulate real route costs);
-// the estimate is recovered by the caller as D + distTo(V).
+// the estimate is recovered by the caller as D + distTo(V). Per-(vertex,
+// category) states live in the engine's scratch and are recycled across
+// queries.
 type enFinder struct {
 	nn     NNFinder
 	distTo func(graph.Vertex) graph.Weight
-	states catTable[enState]
-	// estTicks accumulates the number of dis(·,t) estimations performed,
+	scr    *Scratch
+	// estCalls accumulates the number of dis(·,t) estimations performed,
 	// letting the engine attribute estimation time (Table X).
 	estCalls int64
 }
@@ -178,9 +241,19 @@ type enFinder struct {
 type enState struct {
 	enl       []Neighbor // found estimated neighbours; D = plain distance
 	enq       *pq.Heap[enCand]
-	ln        *Neighbor // fetched from FindNN but not yet enqueued
+	ln        Neighbor // fetched from FindNN but not yet enqueued
+	hasLN     bool
 	fetched   int
 	exhausted bool
+}
+
+// reset readies a state for recycling, keeping the backing buffers.
+func (st *enState) reset() {
+	st.enl = st.enl[:0]
+	st.enq.Clear()
+	st.hasLN = false
+	st.fetched = 0
+	st.exhausted = false
 }
 
 type enCand struct {
@@ -196,22 +269,17 @@ func lessENCand(a, b enCand) bool {
 	return a.v < b.v
 }
 
-func newENFinder(nn NNFinder, distTo func(graph.Vertex) graph.Weight, nVerts, nCats int) *enFinder {
-	return &enFinder{nn: nn, distTo: distTo, states: newCatTable[enState](nVerts, nCats)}
+func newENFinder(nn NNFinder, distTo func(graph.Vertex) graph.Weight, scr *Scratch) *enFinder {
+	return &enFinder{nn: nn, distTo: distTo, scr: scr}
 }
 
 func (e *enFinder) Queries() int64 { return e.nn.Queries() }
 
 func (e *enFinder) Find(v graph.Vertex, cat graph.Category, x int) (Neighbor, bool) {
-	slot := e.states.slot(v, cat)
-	if slot == nil {
+	if cat < 0 {
 		return Neighbor{}, false
 	}
-	st := *slot
-	if st == nil {
-		st = &enState{enq: pq.NewHeap[enCand](lessENCand)}
-		*slot = st
-	}
+	st := e.scr.enStateFor(v, cat)
 	for len(st.enl) < x {
 		nb, ok := e.next(v, cat, st)
 		if !ok {
@@ -228,11 +296,11 @@ func (e *enFinder) Find(v graph.Vertex, cat graph.Category, x int) (Neighbor, bo
 // is a lower bound of an estimate); then pop the best candidate.
 func (e *enFinder) next(v graph.Vertex, cat graph.Category, st *enState) (Neighbor, bool) {
 	for {
-		if st.ln == nil && !st.exhausted {
+		if !st.hasLN && !st.exhausted {
 			nb, ok := e.nn.Find(v, cat, st.fetched+1)
 			st.fetched++
 			if ok {
-				st.ln = &nb
+				st.ln, st.hasLN = nb, true
 			} else {
 				st.exhausted = true
 			}
@@ -248,11 +316,11 @@ func (e *enFinder) next(v graph.Vertex, cat graph.Category, st *enState) (Neighb
 		}
 		// Enqueue the pending nearest neighbour with its estimate and
 		// fetch the next one on the following iteration.
-		if st.ln != nil {
+		if st.hasLN {
 			e.estCalls++
 			est := st.ln.D + e.distTo(st.ln.V)
 			st.enq.Push(enCand{v: st.ln.V, d: st.ln.D, est: est})
-			st.ln = nil
+			st.hasLN = false
 		}
 	}
 }

@@ -1,0 +1,9 @@
+//go:build race
+
+package core
+
+// raceEnabled reports that this test binary runs under the race
+// detector, where sync.Pool deliberately drops items at random and the
+// instrumentation itself allocates — allocation regression tests are
+// meaningless there and skip themselves.
+const raceEnabled = true

@@ -1,0 +1,345 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/invindex"
+	"repro/internal/pq"
+)
+
+// Scratch is the reusable per-query search state of one engine run: the
+// route-node arena, the global queue, the dense HT≺/HT≻ dominance tables
+// (Definition 6), and the nearest-neighbour iterator caches of the
+// label-backed finders. All of it is O(|V|)-sized, which is why the seed
+// allocated (and zeroed) tens of megabytes per query at country scale.
+//
+// A Scratch is reused across queries through epoch stamping: every slot
+// of the dense tables carries the epoch of the query that last wrote it,
+// and begin() bumps the scratch epoch, so stale slots read as empty
+// without any O(|V|) zeroing. Objects parked in slots (parked-route
+// heaps, NN iterators, estimated-NN states) are journaled on first touch
+// and recycled into free lists when the query releases the scratch, so
+// steady-state queries perform no O(|V|) allocation at all.
+//
+// A Scratch serves one query at a time; concurrent queries each check
+// one out of the owning provider's pool (see ScratchProvider), giving
+// every server worker its own scratch.
+type Scratch struct {
+	nVerts int
+	epoch  uint32
+
+	arena nodeArena
+	heap  *pq.Heap[qItem] // the engine's global route queue
+
+	// Dominance state, one level per witness size.
+	dom        []domLevel
+	domHeapLog []slotRef
+	freeHeaps  []*pq.Heap[qItem]
+
+	// FindNN iterator cache rows, one per distinct query category.
+	invIx     *invindex.Index
+	nnIdx     rowIndex
+	nnRows    [][]iterSlot
+	nnLog     []slotRef
+	freeIters []*invindex.NNIterator
+
+	// FindNEN state rows (StarKOSR), one per distinct query category.
+	enIdx   rowIndex
+	enRows  [][]enSlot
+	enLog   []slotRef
+	freeENs []*enState
+}
+
+// rowIndex assigns the distinct categories of the current query to row
+// ordinals. Keying rows by the query's categories (at most |C| of them)
+// rather than by global category id keeps the scratch footprint
+// (|C|+2)·|V|, not |S|·|V|; the linear scan is shorter than one hash
+// lookup. Both the FindNN and FindNEN tables share this logic.
+type rowIndex struct {
+	cats []graph.Category
+	used int
+}
+
+func (ri *rowIndex) reset() { ri.used = 0 }
+
+// claim returns the ordinal of the row serving cat, assigning the next
+// unused row on first sight.
+func (ri *rowIndex) claim(cat graph.Category) int {
+	for i := 0; i < ri.used; i++ {
+		if ri.cats[i] == cat {
+			return i
+		}
+	}
+	if ri.used == len(ri.cats) {
+		ri.cats = append(ri.cats, cat)
+	} else {
+		ri.cats[ri.used] = cat
+	}
+	ri.used++
+	return ri.used - 1
+}
+
+type domNodeSlot struct {
+	node  *routeNode
+	epoch uint32
+}
+
+type domHeapSlot struct {
+	h     *pq.Heap[qItem]
+	epoch uint32
+}
+
+// domLevel is the dominance state of one witness size: slot v of nodes
+// holds the route dominating (v, size) and slot v of heaps the routes it
+// dominates (HT≺ and HT≻). Slices are allocated on first touch and kept.
+type domLevel struct {
+	nodes []domNodeSlot
+	heaps []domHeapSlot
+}
+
+// slotRef journals one touched slot of a row-indexed table so release()
+// can recycle the object parked there without an O(|V|) sweep.
+type slotRef struct {
+	row int32
+	v   graph.Vertex
+}
+
+// iterSlot caches the FindNN iterator of (v, row category).
+type iterSlot struct {
+	it    *invindex.NNIterator
+	epoch uint32
+}
+
+// enSlot caches the FindNEN state of (v, row category).
+type enSlot struct {
+	st    *enState
+	epoch uint32
+}
+
+// NewScratch returns an empty scratch for graphs of nVerts vertices.
+// Engines allocate one internally when the provider does not pool them.
+func NewScratch(nVerts int) *Scratch {
+	return &Scratch{nVerts: nVerts, heap: pq.NewHeap[qItem](lessQItem)}
+}
+
+// ScratchProvider is implemented by providers that own a pool of
+// reusable scratches. Engines check one out per query and return it when
+// the query completes, so a bounded set of workers converges on one
+// warm scratch each.
+type ScratchProvider interface {
+	Provider
+	// AcquireScratch checks a scratch out of the pool, ready for one
+	// query (its epoch already advanced).
+	AcquireScratch() *Scratch
+	// ReleaseScratch cleans the scratch and returns it to the pool. It
+	// must be called exactly once per acquire, after which the caller
+	// must not touch the scratch again.
+	ReleaseScratch(*Scratch)
+}
+
+// begin readies the scratch for one query: the epoch advances so every
+// dense slot written by earlier queries reads as empty.
+func (s *Scratch) begin() {
+	if s.epoch == math.MaxUint32 {
+		// Epoch wrap (once per 2^32 queries): stale slots from 4 billion
+		// queries ago would read as current, so pay one full clear.
+		s.hardReset()
+	}
+	s.epoch++
+	s.nnIdx.reset()
+	s.enIdx.reset()
+}
+
+// release cleans up after a query: parked objects return to their free
+// lists, the queue and arena reset. Dense table slots keep their stale
+// contents — the next begin()'s epoch bump invalidates them for free.
+func (s *Scratch) release() {
+	for _, ref := range s.domHeapLog {
+		sl := &s.dom[ref.row].heaps[ref.v]
+		sl.h.Clear()
+		s.freeHeaps = append(s.freeHeaps, sl.h)
+		sl.h = nil
+	}
+	s.domHeapLog = s.domHeapLog[:0]
+	for _, ref := range s.nnLog {
+		sl := &s.nnRows[ref.row][ref.v]
+		s.freeIters = append(s.freeIters, sl.it)
+		sl.it = nil
+	}
+	s.nnLog = s.nnLog[:0]
+	for _, ref := range s.enLog {
+		sl := &s.enRows[ref.row][ref.v]
+		sl.st.reset()
+		s.freeENs = append(s.freeENs, sl.st)
+		sl.st = nil
+	}
+	s.enLog = s.enLog[:0]
+	s.heap.Clear()
+	s.arena.reset()
+}
+
+// hardReset zeroes every dense slot; only needed at epoch wrap.
+func (s *Scratch) hardReset() {
+	for i := range s.dom {
+		clearSlice(s.dom[i].nodes)
+		clearSlice(s.dom[i].heaps)
+	}
+	for i := range s.nnRows {
+		clearSlice(s.nnRows[i])
+	}
+	for i := range s.enRows {
+		clearSlice(s.enRows[i])
+	}
+	s.epoch = 0
+}
+
+func clearSlice[T any](sl []T) {
+	var zero T
+	for i := range sl {
+		sl[i] = zero
+	}
+}
+
+// ensureLevels grows the dominance table to at least n levels.
+func (s *Scratch) ensureLevels(n int) {
+	for len(s.dom) < n {
+		s.dom = append(s.dom, domLevel{})
+	}
+}
+
+// dominatingNode returns the route dominating (v, lvl+1) in the current
+// query, or nil.
+func (s *Scratch) dominatingNode(lvl int, v graph.Vertex) *routeNode {
+	L := &s.dom[lvl]
+	if L.nodes == nil {
+		return nil
+	}
+	sl := L.nodes[v]
+	if sl.epoch != s.epoch {
+		return nil
+	}
+	return sl.node
+}
+
+// setDominatingNode stores (or, with nil, clears) the dominator of
+// (v, lvl+1).
+func (s *Scratch) setDominatingNode(lvl int, v graph.Vertex, n *routeNode) {
+	L := &s.dom[lvl]
+	if L.nodes == nil {
+		L.nodes = make([]domNodeSlot, s.nVerts)
+	}
+	L.nodes[v] = domNodeSlot{node: n, epoch: s.epoch}
+}
+
+// parkHeap returns the HT≻ heap of slot (lvl, v), creating (or
+// recycling) one when the slot is empty this query.
+func (s *Scratch) parkHeap(lvl int, v graph.Vertex) *pq.Heap[qItem] {
+	L := &s.dom[lvl]
+	if L.heaps == nil {
+		L.heaps = make([]domHeapSlot, s.nVerts)
+	}
+	sl := &L.heaps[v]
+	if sl.epoch != s.epoch || sl.h == nil {
+		var h *pq.Heap[qItem]
+		if n := len(s.freeHeaps); n > 0 {
+			h = s.freeHeaps[n-1]
+			s.freeHeaps[n-1] = nil
+			s.freeHeaps = s.freeHeaps[:n-1]
+		} else {
+			h = pq.NewHeap[qItem](lessQItem)
+		}
+		*sl = domHeapSlot{h: h, epoch: s.epoch}
+		s.domHeapLog = append(s.domHeapLog, slotRef{row: int32(lvl), v: v})
+	}
+	return sl.h
+}
+
+// peekParkHeap returns the HT≻ heap of slot (lvl, v) if the current
+// query created one, else nil.
+func (s *Scratch) peekParkHeap(lvl int, v graph.Vertex) *pq.Heap[qItem] {
+	L := &s.dom[lvl]
+	if L.heaps == nil {
+		return nil
+	}
+	sl := L.heaps[v]
+	if sl.epoch != s.epoch {
+		return nil
+	}
+	return sl.h
+}
+
+// nnIter returns the FindNN iterator of (v, cat), reusing the one the
+// current query already opened (the paper's NL-sharing semantics: two
+// levels visiting the same category share one iterator) or recycling a
+// released iterator. cat must be non-negative.
+func (s *Scratch) nnIter(ix *invindex.Index, v graph.Vertex, cat graph.Category) *invindex.NNIterator {
+	if s.invIx != ix {
+		// The provider's index changed (or this is the first query):
+		// recycled iterators hold references into the old index.
+		s.invIx = ix
+		s.freeIters = s.freeIters[:0]
+	}
+	row := s.nnIdx.claim(cat)
+	if row == len(s.nnRows) {
+		s.nnRows = append(s.nnRows, nil)
+	}
+	if s.nnRows[row] == nil {
+		s.nnRows[row] = make([]iterSlot, s.nVerts)
+	}
+	sl := &s.nnRows[row][v]
+	if sl.epoch == s.epoch && sl.it != nil {
+		return sl.it
+	}
+	var it *invindex.NNIterator
+	if n := len(s.freeIters); n > 0 {
+		it = s.freeIters[n-1]
+		s.freeIters[n-1] = nil
+		s.freeIters = s.freeIters[:n-1]
+		it.Reset(v, cat)
+	} else {
+		it = ix.NewNNIterator(v, cat)
+	}
+	*sl = iterSlot{it: it, epoch: s.epoch}
+	s.nnLog = append(s.nnLog, slotRef{row: int32(row), v: v})
+	return it
+}
+
+// enStateFor returns the FindNEN state of (v, cat), creating or
+// recycling one on first touch. cat must be non-negative.
+func (s *Scratch) enStateFor(v graph.Vertex, cat graph.Category) *enState {
+	row := s.enIdx.claim(cat)
+	if row == len(s.enRows) {
+		s.enRows = append(s.enRows, nil)
+	}
+	if s.enRows[row] == nil {
+		s.enRows[row] = make([]enSlot, s.nVerts)
+	}
+	sl := &s.enRows[row][v]
+	if sl.epoch == s.epoch && sl.st != nil {
+		return sl.st
+	}
+	var st *enState
+	if n := len(s.freeENs); n > 0 {
+		st = s.freeENs[n-1]
+		s.freeENs[n-1] = nil
+		s.freeENs = s.freeENs[:n-1]
+	} else {
+		st = &enState{enq: pq.NewHeap[enCand](lessENCand)}
+	}
+	*sl = enSlot{st: st, epoch: s.epoch}
+	s.enLog = append(s.enLog, slotRef{row: int32(row), v: v})
+	return st
+}
+
+// acquireScratch checks a scratch out of prov's pool when it owns one,
+// or builds a throwaway scratch otherwise (per-query providers, e.g. the
+// disk-resident store). The returned owner is nil for throwaways.
+func acquireScratch(prov Provider, nVerts int) (*Scratch, ScratchProvider) {
+	if sp, ok := prov.(ScratchProvider); ok {
+		return sp.AcquireScratch(), sp
+	}
+	s := NewScratch(nVerts)
+	s.begin()
+	return s, nil
+}

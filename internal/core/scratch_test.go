@@ -1,0 +1,241 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// scratchTestGraph builds a deterministic grid road network with
+// categories, big enough that O(|V|) per-query state would dominate the
+// allocation profile (|V| = rows*cols).
+func scratchTestGraph(rows, cols, ncats int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	n := rows * cols
+	b := graph.NewBuilder(n, true)
+	b.EnsureCategories(ncats)
+	idx := func(r, c int) graph.Vertex { return graph.Vertex(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				b.AddEdge(idx(r, c), idx(r, c+1), float64(1+rng.Intn(10)))
+				b.AddEdge(idx(r, c+1), idx(r, c), float64(1+rng.Intn(10)))
+			}
+			if r+1 < rows {
+				b.AddEdge(idx(r, c), idx(r+1, c), float64(1+rng.Intn(10)))
+				b.AddEdge(idx(r+1, c), idx(r, c), float64(1+rng.Intn(10)))
+			}
+		}
+	}
+	for i := 0; i < n/10; i++ {
+		b.AddCategory(graph.Vertex(rng.Intn(n)), graph.Category(rng.Intn(ncats)))
+	}
+	return b.MustBuild()
+}
+
+func scratchTestQueries(g *graph.Graph, num int, seed int64) []Query {
+	rng := rand.New(rand.NewSource(seed))
+	n := g.NumVertices()
+	nc := g.NumCategories()
+	qs := make([]Query, num)
+	for i := range qs {
+		cats := make([]graph.Category, 2+rng.Intn(3))
+		for j := range cats {
+			cats[j] = graph.Category(rng.Intn(nc))
+		}
+		qs[i] = Query{
+			Source:     graph.Vertex(rng.Intn(n)),
+			Target:     graph.Vertex(rng.Intn(n)),
+			Categories: cats,
+			K:          1 + rng.Intn(4),
+		}
+	}
+	return qs
+}
+
+func routesEqual(a, b []Route) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Cost != b[i].Cost || len(a[i].Witness) != len(b[i].Witness) {
+			return false
+		}
+		for j := range a[i].Witness {
+			if a[i].Witness[j] != b[i].Witness[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestScratchReuseByteIdentical is the semantic guard of the scratch
+// subsystem: a warm provider whose scratch has served many earlier
+// queries must produce exactly the routes — and exactly the search
+// trajectory (examined / generated / dominated / released counters) — of
+// a cold provider that allocates everything fresh.
+func TestScratchReuseByteIdentical(t *testing.T) {
+	g := scratchTestGraph(24, 24, 5, 7)
+	warm := NewLabelProvider(g, nil)
+	queries := scratchTestQueries(g, 40, 11)
+	methods := []Method{MethodSK, MethodPK, MethodKPNE, MethodKStar}
+	for qi, q := range queries {
+		for _, m := range methods {
+			opt := Options{Method: m}
+			if qi%5 == 0 {
+				opt.MaxExamined = 50 // exercise budget-truncated queries too
+			}
+			gotRoutes, gotStats, gotErr := Solve(g, q, warm, opt)
+			cold := &LabelProvider{Graph: g, Labels: warm.Labels, Inv: warm.Inv}
+			wantRoutes, wantStats, wantErr := Solve(g, q, cold, opt)
+			if (gotErr == nil) != (wantErr == nil) {
+				t.Fatalf("q%d %v: err=%v, want %v", qi, m, gotErr, wantErr)
+			}
+			if !routesEqual(gotRoutes, wantRoutes) {
+				t.Fatalf("q%d %v: routes diverge\nwarm: %v\ncold: %v", qi, m, gotRoutes, wantRoutes)
+			}
+			if gotStats.Examined != wantStats.Examined ||
+				gotStats.Generated != wantStats.Generated ||
+				gotStats.Dominated != wantStats.Dominated ||
+				gotStats.Released != wantStats.Released ||
+				gotStats.NNQueries != wantStats.NNQueries {
+				t.Fatalf("q%d %v: trajectory diverges\nwarm: %+v\ncold: %+v", qi, m, gotStats, wantStats)
+			}
+		}
+	}
+}
+
+// TestSolveSteadyStateNoPerVertexAllocs is the PR's allocation
+// regression guard: once the provider's scratch is warm, a Solve call
+// must not allocate any O(|V|) state. The seed built (and zeroed)
+// (|C|+2)·|V| dominance slots plus per-category |V|-sized iterator rows
+// per query — hundreds of kilobytes on this 4096-vertex grid; with the
+// scratch pool the steady-state footprint is a few kilobytes of
+// per-query bookkeeping (stats, finders, result routes), independent of
+// |V|.
+func TestSolveSteadyStateNoPerVertexAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is unreliable under the race detector (sync.Pool drops items)")
+	}
+	g := scratchTestGraph(32, 32, 6, 3) // |V| = 1024
+	prov := NewLabelProvider(g, nil)
+	queries := scratchTestQueries(g, 6, 5)
+	methods := []Method{MethodSK, MethodPK, MethodKPNE}
+	solveAll := func() {
+		for _, q := range queries {
+			for _, m := range methods {
+				// Budget-capped so the exhaustive KPNE baseline stays
+				// cheap; truncated queries exercise the same scratch
+				// setup/teardown path.
+				opt := Options{Method: m, MaxExamined: 20000}
+				if _, _, err := Solve(g, q, prov, opt); err != nil && err != ErrBudgetExceeded {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	solveAll() // warm the scratch pool
+	solveAll() // and the retained buffer capacities
+
+	const rounds = 4
+	perRound := float64(len(queries) * len(methods))
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	for i := 0; i < rounds; i++ {
+		solveAll()
+	}
+	runtime.ReadMemStats(&after)
+
+	bytesPerQuery := float64(after.TotalAlloc-before.TotalAlloc) / (rounds * perRound)
+	allocsPerQuery := float64(after.Mallocs-before.Mallocs) / (rounds * perRound)
+	t.Logf("steady state: %.0f bytes/query, %.1f objects/query", bytesPerQuery, allocsPerQuery)
+
+	// One dominance level alone is |V|·16 B = 16 KiB on this graph and a
+	// single iterator row |V|·12 B = 12 KiB; a query that rebuilt any
+	// per-vertex table would blow past this.
+	if bytesPerQuery > 6*1024 {
+		t.Fatalf("steady-state Solve allocates %.0f bytes/query; want < 6KiB (O(|V|) state is being rebuilt)", bytesPerQuery)
+	}
+	if allocsPerQuery > 64 {
+		t.Fatalf("steady-state Solve allocates %.1f objects/query; want ≤ 64", allocsPerQuery)
+	}
+}
+
+// TestScratchEpochWrap drives a scratch across the uint32 epoch
+// boundary: the wrap must trigger a hard reset rather than letting
+// 4-billion-query-old slots read as current.
+func TestScratchEpochWrap(t *testing.T) {
+	g := scratchTestGraph(12, 12, 4, 9)
+	prov := NewLabelProvider(g, nil)
+	queries := scratchTestQueries(g, 6, 13)
+
+	want := make([][]Route, len(queries))
+	for i, q := range queries {
+		r, _, err := Solve(g, q, prov, Options{Method: MethodSK})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = r
+	}
+
+	// Fast-forward the pooled scratch to the edge of the epoch space.
+	s := prov.AcquireScratch()
+	s.epoch = math.MaxUint32 - 3
+	prov.ReleaseScratch(s)
+
+	for round := 0; round < 8; round++ { // crosses the wrap mid-loop
+		for i, q := range queries {
+			r, _, err := Solve(g, q, prov, Options{Method: MethodSK})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !routesEqual(r, want[i]) {
+				t.Fatalf("round %d q%d: routes diverge after epoch wrap: %v want %v", round, i, r, want[i])
+			}
+		}
+	}
+}
+
+// TestSearcherReleasesScratch covers the streaming API: a stream closed
+// early and a stream run to exhaustion must both hand their scratch back
+// to the pool, and a recycled scratch must reproduce the same stream.
+func TestSearcherReleasesScratch(t *testing.T) {
+	g := scratchTestGraph(12, 12, 4, 21)
+	prov := NewLabelProvider(g, nil)
+	q := scratchTestQueries(g, 1, 3)[0]
+
+	collect := func() []Route {
+		s, err := NewSearcher(g, q, prov, Options{Method: MethodSK})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []Route
+		for len(out) < 5 {
+			r, ok, err := s.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			out = append(out, r)
+		}
+		s.Close()
+		// After Close the stream must stay exhausted.
+		if _, ok, _ := s.Next(); ok {
+			t.Fatal("Next returned a route after Close")
+		}
+		return out
+	}
+	first := collect()
+	for i := 0; i < 3; i++ {
+		if again := collect(); !routesEqual(first, again) {
+			t.Fatalf("stream %d diverges: %v want %v", i, again, first)
+		}
+	}
+}

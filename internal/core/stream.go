@@ -12,11 +12,16 @@ import (
 // beyond the i-th. Useful for paginated interfaces ("show me more
 // alternatives") where the final k is unknown up front.
 //
-// A Searcher is single-use and not safe for concurrent use.
+// A Searcher is single-use and not safe for concurrent use. It holds a
+// query scratch checked out of the provider's pool for its whole
+// lifetime; the scratch is returned when the stream ends (exhaustion or
+// budget error) or when Close is called on an abandoned stream.
 type Searcher struct {
-	e     *engine
-	nn    NNFinder
-	start time.Time
+	e       *engine
+	nn      NNFinder
+	start   time.Time
+	done    bool
+	doneErr error
 }
 
 // NewSearcher starts a streaming search for the query. q.K is ignored:
@@ -36,11 +41,28 @@ func NewSearcher(g *graph.Graph, q Query, prov Provider, opt Options) (*Searcher
 // feasible route exists. After an ErrBudgetExceeded the stream is
 // exhausted.
 func (s *Searcher) Next() (Route, bool, error) {
+	if s.done {
+		return Route{}, false, s.doneErr
+	}
 	r, ok, err := s.e.nextResult()
 	s.e.stats.NNQueries = s.nn.Queries()
 	s.e.stats.Results = len(s.e.results)
 	s.e.stats.Total = time.Since(s.start)
+	if !ok || err != nil {
+		s.done, s.doneErr = true, err
+		s.e.releaseScratch()
+	}
 	return r, ok, err
+}
+
+// Close releases the search state of a stream abandoned before
+// exhaustion. It is safe to call multiple times and after exhaustion;
+// Next returns no further routes afterwards.
+func (s *Searcher) Close() {
+	if !s.done {
+		s.done = true
+		s.e.releaseScratch()
+	}
 }
 
 // Stats returns the running search statistics.

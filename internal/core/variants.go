@@ -155,7 +155,11 @@ func SolveVariant(g *graph.Graph, q VariantQuery, prov Provider, opt Options) ([
 		ExaminedPerLevel: make([]int64, len(cats)+2),
 	}
 	start := time.Now()
+	scratch, owner := acquireScratch(prov, g.NumVertices())
 	nn := prov.NN()
+	if su, ok := nn.(scratchUser); ok {
+		su.bindScratch(scratch)
+	}
 	var finder NNFinder = nn
 	if len(q.Filters) > 0 {
 		finder = newFilteredNN(nn, q.Filters)
@@ -172,6 +176,8 @@ func SolveVariant(g *graph.Graph, q VariantQuery, prov Provider, opt Options) ([
 		opt:          opt,
 		distTo:       distTo,
 		stats:        st,
+		scratch:      scratch,
+		scratchOwner: owner,
 		useDominance: opt.Method == MethodPK || opt.Method == MethodSK,
 		useEstimate:  (opt.Method == MethodSK || opt.Method == MethodKStar) && !q.NoTarget,
 		roots:        roots,
@@ -182,12 +188,13 @@ func SolveVariant(g *graph.Graph, q VariantQuery, prov Provider, opt Options) ([
 		e.pqTime = &st.PQTime
 	}
 	if e.useEstimate {
-		e.finder = newENFinder(finder, distTo, g.NumVertices(), g.NumCategories())
+		e.finder = newENFinder(finder, distTo, scratch)
 	} else {
 		e.finder = finder
 	}
 	e.initSearchState()
 	err := e.run()
+	e.releaseScratch()
 	st.NNQueries = nn.Queries()
 	st.Results = len(e.results)
 	st.Total = time.Since(start)

@@ -326,44 +326,128 @@ func (ix *Index) Stats() Stats {
 	return st
 }
 
+// vset is a small open-addressing hash set of vertices. It replaces the
+// map[graph.Vertex]bool the seed iterator used for NL membership: the
+// probing table is a single flat slice, so recycled iterators reuse its
+// backing array and steady-state inserts allocate nothing.
+type vset struct {
+	tab []int32 // vertex+1 per slot; 0 = empty
+	n   int
+}
+
+func (s *vset) reset() {
+	for i := range s.tab {
+		s.tab[i] = 0
+	}
+	s.n = 0
+}
+
+func (s *vset) has(v graph.Vertex) bool {
+	if len(s.tab) == 0 {
+		return false
+	}
+	mask := uint32(len(s.tab) - 1)
+	for i := (uint32(v) * 2654435761) & mask; ; i = (i + 1) & mask {
+		switch s.tab[i] {
+		case 0:
+			return false
+		case int32(v) + 1:
+			return true
+		}
+	}
+}
+
+func (s *vset) add(v graph.Vertex) {
+	if 4*(s.n+1) >= 3*len(s.tab) {
+		s.grow()
+	}
+	mask := uint32(len(s.tab) - 1)
+	for i := (uint32(v) * 2654435761) & mask; ; i = (i + 1) & mask {
+		switch s.tab[i] {
+		case 0:
+			s.tab[i] = int32(v) + 1
+			s.n++
+			return
+		case int32(v) + 1:
+			return
+		}
+	}
+}
+
+func (s *vset) grow() {
+	old := s.tab
+	size := 2 * len(old)
+	if size < 16 {
+		size = 16
+	}
+	s.tab = make([]int32, size)
+	s.n = 0
+	for _, e := range old {
+		if e != 0 {
+			s.add(graph.Vertex(e - 1))
+		}
+	}
+}
+
 // NNIterator finds the x-th nearest neighbour of a fixed vertex in a
 // fixed category (Algorithm 3, FindNN). It keeps the paper's NL / NQ / KV
 // state across calls, so successive calls never repeat work: finding the
 // (x+1)-th neighbour after the x-th costs O(log |Lout|).
+//
+// The seed kept NL membership and the per-hub read positions in hash
+// maps; both are now flat slices (a probing set and a hub-ordinal indexed
+// position array), so an iterator recycled through Reset performs no
+// steady-state allocation.
 type NNIterator struct {
 	ix  *Index
 	v   graph.Vertex
 	cat graph.Category
 
-	nl     []Neighbor // NL: neighbours found, ascending distance
-	inNL   map[graph.Vertex]bool
-	nq     *pq.Heap[nnCand]       // NQ: one candidate per hub list
-	pos    map[graph.Vertex]int32 // KV: next unread position per hub list
+	nl     []Neighbor       // NL: neighbours found, ascending distance
+	seen   vset             // NL membership
+	nq     *pq.Heap[nnCand] // NQ: one candidate per hub list
+	out    []label.Entry    // Lout(v), shared with the label index
+	lists  [][]Entry        // inverted list per hub, parallel to out
+	pos    []int32          // KV: next unread position, parallel to out
 	primed bool
 }
 
 type nnCand struct {
 	target graph.Vertex
 	d      graph.Weight // dis(v, hub) + dis(hub, target)
-	hub    graph.Vertex
-	base   graph.Weight // dis(v, hub)
+	ord    int32        // ordinal of the hub in Lout(v)
+}
+
+func lessNNCand(a, b nnCand) bool {
+	if a.d != b.d {
+		return a.d < b.d
+	}
+	return a.target < b.target
 }
 
 // NewNNIterator returns a FindNN iterator for (v, cat).
 func (ix *Index) NewNNIterator(v graph.Vertex, cat graph.Category) *NNIterator {
 	return &NNIterator{
-		ix:   ix,
-		v:    v,
-		cat:  cat,
-		inNL: make(map[graph.Vertex]bool),
-		nq: pq.NewHeap[nnCand](func(a, b nnCand) bool {
-			if a.d != b.d {
-				return a.d < b.d
-			}
-			return a.target < b.target
-		}),
-		pos: make(map[graph.Vertex]int32),
+		ix:  ix,
+		v:   v,
+		cat: cat,
+		nq:  pq.NewHeap[nnCand](lessNNCand),
 	}
+}
+
+// Reset retargets a used iterator at (v, cat), keeping every backing
+// buffer (NL, probing set, candidate heap, position array) so recycled
+// iterators run allocation-free. The iterator must belong to the same
+// index it was created on.
+func (it *NNIterator) Reset(v graph.Vertex, cat graph.Category) {
+	it.v, it.cat = v, cat
+	it.nl = it.nl[:0]
+	it.seen.reset()
+	it.nq.Clear()
+	it.out = nil
+	it.lists = it.lists[:0]
+	it.pos = it.pos[:0]
+	it.primed = false
 }
 
 // Found returns the number of neighbours materialized in NL so far.
@@ -379,7 +463,7 @@ func (it *NNIterator) Get(x int) (Neighbor, bool) {
 			return Neighbor{}, false
 		}
 		it.nl = append(it.nl, nb)
-		it.inNL[nb.V] = true
+		it.seen.add(nb.V)
 	}
 	return it.nl[x-1], true
 }
@@ -390,29 +474,32 @@ func (it *NNIterator) prime() {
 		return
 	}
 	il := it.ix.cats[it.cat]
-	for _, e := range it.ix.lab.Out(it.v) {
+	it.out = it.ix.lab.Out(it.v)
+	for i, e := range it.out {
 		list := il[e.Hub]
+		it.lists = append(it.lists, list)
 		if len(list) == 0 {
+			it.pos = append(it.pos, 0)
 			continue
 		}
-		it.nq.Push(nnCand{target: list[0].V, d: e.D + list[0].D, hub: e.Hub, base: e.D})
-		it.pos[e.Hub] = 1
+		it.nq.Push(nnCand{target: list[0].V, d: e.D + list[0].D, ord: int32(i)})
+		it.pos = append(it.pos, 1)
 	}
 }
 
 // advance pushes the next unseen entry of the popped candidate's hub list
 // into NQ (lines 12–16 of Algorithm 3).
-func (it *NNIterator) advance(hub graph.Vertex, base graph.Weight) {
-	list := it.ix.cats[it.cat][hub]
-	p := it.pos[hub]
-	for int(p) < len(list) && it.inNL[list[p].V] {
+func (it *NNIterator) advance(ord int32) {
+	list := it.lists[ord]
+	p := it.pos[ord]
+	for int(p) < len(list) && it.seen.has(list[p].V) {
 		p++
 	}
 	if int(p) < len(list) {
-		it.nq.Push(nnCand{target: list[p].V, d: base + list[p].D, hub: hub, base: base})
-		it.pos[hub] = p + 1
+		it.nq.Push(nnCand{target: list[p].V, d: it.out[ord].D + list[p].D, ord: ord})
+		it.pos[ord] = p + 1
 	} else {
-		it.pos[hub] = int32(len(list))
+		it.pos[ord] = int32(len(list))
 	}
 }
 
@@ -422,8 +509,8 @@ func (it *NNIterator) next() (Neighbor, bool) {
 	}
 	for it.nq.Len() > 0 {
 		c := it.nq.Pop()
-		it.advance(c.hub, c.base)
-		if it.inNL[c.target] {
+		it.advance(c.ord)
+		if it.seen.has(c.target) {
 			// The same target was already returned through another hub
 			// with a smaller (or equal) combined distance.
 			continue

@@ -5,36 +5,154 @@
 //	POST /query           answer a KOSR query
 //	POST /expand          expand a witness into a full route
 //
-// The handler is safe for concurrent use: the underlying indexes are
-// immutable and every query builds its own search state.
+// Queries execute on a bounded worker pool over the shared read-only
+// index: each worker reuses a warm query scratch from the provider's
+// pool, so steady-state queries allocate no per-vertex state, and the
+// pool bounds how many engines run at once no matter how many HTTP
+// connections are open. Requests that cannot be scheduled before their
+// timeout are rejected rather than queued without bound, and Close
+// drains the pool for graceful shutdown.
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
 	"time"
 
 	kosr "repro"
 	"repro/internal/core"
 )
 
-// Server wires a System into an http.Handler.
+// maxBodyBytes bounds request bodies; KOSR queries are tiny, so
+// anything larger is hostile or confused.
+const maxBodyBytes = 1 << 20
+
+// Config tunes a Server. The zero value picks sane defaults.
+type Config struct {
+	// Workers bounds how many queries execute concurrently
+	// (default: GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds how many accepted requests may wait for a
+	// worker (default: 4×Workers). Beyond it, requests block until
+	// their timeout and are rejected.
+	QueueDepth int
+	// MaxExamined bounds each query's search (0 = unlimited); a routing
+	// service should always set it. Queries over budget return their
+	// partial results marked "truncated".
+	MaxExamined int64
+	// QueryTimeout bounds each query's wall-clock time, queueing
+	// included (0 = no limit).
+	QueryTimeout time.Duration
+}
+
+// Server wires a System into an http.Handler backed by a worker pool.
+// Create one with New or NewWithConfig and Close it on shutdown.
 type Server struct {
 	sys *kosr.System
 	mux *http.ServeMux
-	// MaxExamined bounds each query's search (0 = unlimited); a routing
-	// service should always set it.
+	// MaxExamined bounds each query's search (0 = unlimited); it may be
+	// adjusted between requests.
 	MaxExamined int64
+	// QueryTimeout bounds each query's wall-clock time (0 = no limit).
+	QueryTimeout time.Duration
+
+	jobs     chan *task
+	workerWG sync.WaitGroup
+
+	mu       sync.Mutex
+	closed   bool
+	inflight sync.WaitGroup
 }
 
-// New returns a Server for sys.
-func New(sys *kosr.System) *Server {
-	s := &Server{sys: sys, mux: http.NewServeMux()}
+type task struct {
+	run  func()
+	done chan struct{}
+}
+
+// New returns a Server for sys with default Config.
+func New(sys *kosr.System) *Server { return NewWithConfig(sys, Config{}) }
+
+// NewWithConfig returns a Server for sys and starts its worker pool.
+func NewWithConfig(sys *kosr.System, cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 4 * cfg.Workers
+	}
+	s := &Server{
+		sys:          sys,
+		mux:          http.NewServeMux(),
+		MaxExamined:  cfg.MaxExamined,
+		QueryTimeout: cfg.QueryTimeout,
+		jobs:         make(chan *task, cfg.QueueDepth),
+	}
 	s.mux.HandleFunc("/health", s.handleHealth)
 	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.HandleFunc("/expand", s.handleExpand)
+	for i := 0; i < cfg.Workers; i++ {
+		s.workerWG.Add(1)
+		go s.worker()
+	}
 	return s
+}
+
+func (s *Server) worker() {
+	defer s.workerWG.Done()
+	for t := range s.jobs {
+		t.run()
+		close(t.done)
+	}
+}
+
+// Close stops accepting work, waits for queued and running queries to
+// finish, and stops the workers. Safe to call more than once. When the
+// Server sits behind an http.Server, call its Shutdown first so no
+// handler is mid-dispatch.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.inflight.Wait() // no dispatcher past the closed check
+	close(s.jobs)     // lets workers drain the queue and exit
+	s.workerWG.Wait()
+}
+
+var errShuttingDown = errors.New("server shutting down")
+
+// dispatch runs fn on the worker pool, blocking until it completes.
+// It fails without running fn when the server is closing or ctx expires
+// before a worker picks the task up.
+func (s *Server) dispatch(ctx context.Context, fn func()) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errShuttingDown
+	}
+	s.inflight.Add(1)
+	s.mu.Unlock()
+	defer s.inflight.Done()
+	t := &task{run: fn, done: make(chan struct{})}
+	select {
+	case s.jobs <- t:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	// Once scheduled the task will run; the engine's own MaxDuration
+	// budget bounds how long (responding early would race the worker's
+	// writes into the handler's response).
+	<-t.done
+	return nil
 }
 
 // ServeHTTP implements http.Handler.
@@ -108,28 +226,41 @@ type QueryResponse struct {
 	Examined  int64       `json:"examined"`
 	NNQueries int64       `json:"nnQueries"`
 	Millis    float64     `json:"millis"`
+	// Truncated marks that the search budget tripped before k routes
+	// were found; Routes holds the (possibly empty) partial result.
+	Truncated bool `json:"truncated,omitempty"`
 }
 
+// resolveVertex maps a symbolic name or a decimal id to a vertex,
+// rejecting ids with trailing garbage and ids outside [0, |V|).
 func (s *Server) resolveVertex(spec string) (kosr.Vertex, error) {
 	if v, ok := s.sys.Graph.VertexByName(spec); ok {
 		return v, nil
 	}
-	var id int32
-	if _, err := fmt.Sscanf(spec, "%d", &id); err != nil {
+	id, err := strconv.Atoi(spec)
+	if err != nil {
 		return 0, fmt.Errorf("unknown vertex %q", spec)
 	}
-	return id, nil
+	if id < 0 || id >= s.sys.Graph.NumVertices() {
+		return 0, fmt.Errorf("vertex id %d out of range [0, %d)", id, s.sys.Graph.NumVertices())
+	}
+	return kosr.Vertex(id), nil
 }
 
+// resolveCategory maps a symbolic name or a decimal id to a category,
+// rejecting ids with trailing garbage and ids outside [0, |S|).
 func (s *Server) resolveCategory(spec string) (kosr.Category, error) {
 	if c, ok := s.sys.Graph.CategoryByName(spec); ok {
 		return c, nil
 	}
-	var id int32
-	if _, err := fmt.Sscanf(spec, "%d", &id); err != nil {
+	id, err := strconv.Atoi(spec)
+	if err != nil {
 		return 0, fmt.Errorf("unknown category %q", spec)
 	}
-	return id, nil
+	if id < 0 || id >= s.sys.Graph.NumCategories() {
+		return 0, fmt.Errorf("category id %d out of range [0, %d)", id, s.sys.Graph.NumCategories())
+	}
+	return kosr.Category(id), nil
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -138,7 +269,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req QueryRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "bad JSON: %v", err)
 		return
 	}
@@ -175,16 +306,56 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if k <= 0 {
 		k = 1
 	}
+
+	ctx := r.Context()
+	if s.QueryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.QueryTimeout)
+		defer cancel()
+	}
+
 	start := time.Now()
-	routes, st, err := s.sys.Solve(
-		kosr.Query{Source: src, Target: dst, Categories: cats, K: k},
-		kosr.Options{Method: method, MaxExamined: s.MaxExamined})
-	if err == core.ErrBudgetExceeded {
-		writeError(w, http.StatusServiceUnavailable, "query exceeded the search budget")
+	var routes []kosr.Route
+	var expanded [][]int32
+	var st *kosr.Stats
+	var solveErr error
+	if err := s.dispatch(ctx, func() {
+		opts := kosr.Options{Method: method, MaxExamined: s.MaxExamined}
+		if deadline, ok := ctx.Deadline(); ok {
+			// The budget is the time left when the worker picks the
+			// query up (queueing already spent part of it), so a
+			// scheduled query never overstays the request timeout.
+			remaining := time.Until(deadline)
+			if remaining <= 0 {
+				solveErr = context.DeadlineExceeded
+				return
+			}
+			opts.MaxDuration = remaining
+		}
+		routes, st, solveErr = s.sys.Solve(
+			kosr.Query{Source: src, Target: dst, Categories: cats, K: k}, opts)
+		if req.Expand {
+			// Expansion is Dijkstra work too; it runs here on the
+			// worker so the pool bounds all engine CPU, not just Solve.
+			expanded = make([][]int32, len(routes))
+			for i, rt := range routes {
+				expanded[i] = s.sys.ExpandWitness(rt.Witness)
+			}
+		}
+	}); err != nil {
+		writeDispatchError(w, err)
 		return
 	}
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+	truncated := false
+	if errors.Is(solveErr, core.ErrBudgetExceeded) {
+		// The budget tripping is not a failure: return the routes found
+		// so far, marked truncated, so clients can degrade gracefully.
+		truncated = true
+	} else if errors.Is(solveErr, context.DeadlineExceeded) {
+		writeError(w, http.StatusServiceUnavailable, "query timed out before a worker could start it")
+		return
+	} else if solveErr != nil {
+		writeError(w, http.StatusBadRequest, "%v", solveErr)
 		return
 	}
 	resp := QueryResponse{
@@ -192,6 +363,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Examined:  st.Examined,
 		NNQueries: st.NNQueries,
 		Millis:    float64(time.Since(start).Microseconds()) / 1000,
+		Truncated: truncated,
 	}
 	for i, rt := range routes {
 		rj := RouteJSON{Witness: rt.Witness, Cost: rt.Cost}
@@ -199,12 +371,23 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		for k, v := range rt.Witness {
 			rj.Names[k] = s.sys.Graph.VertexName(v)
 		}
-		if req.Expand {
-			rj.Route = s.sys.ExpandWitness(rt.Witness)
+		if expanded != nil {
+			rj.Route = expanded[i]
 		}
 		resp.Routes[i] = rj
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+func writeDispatchError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, errShuttingDown):
+		writeError(w, http.StatusServiceUnavailable, "server shutting down")
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusServiceUnavailable, "no worker available before the query timeout")
+	default:
+		writeError(w, http.StatusServiceUnavailable, "request cancelled: %v", err)
+	}
 }
 
 // ExpandRequest is the /expand payload.
@@ -218,7 +401,7 @@ func (s *Server) handleExpand(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req ExpandRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "bad JSON: %v", err)
 		return
 	}
@@ -229,7 +412,19 @@ func (s *Server) handleExpand(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	route := s.sys.ExpandWitness(req.Witness)
+	ctx := r.Context()
+	if s.QueryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.QueryTimeout)
+		defer cancel()
+	}
+	var route []int32
+	if err := s.dispatch(ctx, func() {
+		route = s.sys.ExpandWitness(req.Witness)
+	}); err != nil {
+		writeDispatchError(w, err)
+		return
+	}
 	if route == nil {
 		writeError(w, http.StatusUnprocessableEntity, "witness has an unreachable leg")
 		return

@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"sync"
 	"testing"
+	"time"
 
 	kosr "repro"
 )
@@ -16,6 +17,7 @@ func newTestServer(t *testing.T) (*httptest.Server, *kosr.Graph) {
 	g := kosr.Figure1()
 	srv := New(kosr.NewSystem(g))
 	ts := httptest.NewServer(srv)
+	t.Cleanup(srv.Close)
 	t.Cleanup(ts.Close)
 	return ts, g
 }
@@ -113,6 +115,15 @@ func TestQueryErrors(t *testing.T) {
 		{QueryRequest{Source: "s", Target: "nope", K: 1}, http.StatusBadRequest},
 		{QueryRequest{Source: "s", Target: "t", Categories: []string{"XX"}, K: 1}, http.StatusBadRequest},
 		{QueryRequest{Source: "s", Target: "t", Method: "BOGUS", K: 1}, http.StatusBadRequest},
+		// Numeric ids must be pure decimals within range: the seed's
+		// fmt.Sscanf parser accepted trailing garbage and never
+		// bounds-checked, letting out-of-range ids reach the engine.
+		{QueryRequest{Source: "12abc", Target: "t", K: 1}, http.StatusBadRequest},
+		{QueryRequest{Source: "99", Target: "t", Categories: []string{"MA"}, K: 1}, http.StatusBadRequest},
+		{QueryRequest{Source: "-3", Target: "t", Categories: []string{"MA"}, K: 1}, http.StatusBadRequest},
+		{QueryRequest{Source: "s", Target: "t", Categories: []string{"7"}, K: 1}, http.StatusBadRequest},
+		{QueryRequest{Source: "s", Target: "t", Categories: []string{"1junk"}, K: 1}, http.StatusBadRequest},
+		{QueryRequest{Source: "s", Target: "t", Categories: []string{"-1"}, K: 1}, http.StatusBadRequest},
 	}
 	for i, tc := range cases {
 		resp := postJSON(t, ts.URL+"/query", tc.req)
@@ -140,17 +151,39 @@ func TestQueryErrors(t *testing.T) {
 	}
 }
 
+// TestQueryBudget pins the truncation contract: a query whose search
+// budget trips is not an error — the routes found so far come back with
+// truncated=true (the seed discarded them and returned a bare 503).
 func TestQueryBudget(t *testing.T) {
 	g := kosr.Figure1()
 	srv := New(kosr.NewSystem(g))
-	srv.MaxExamined = 1
+	defer srv.Close()
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
-	resp := postJSON(t, ts.URL+"/query", QueryRequest{
-		Source: "s", Target: "t", Categories: []string{"MA", "RE", "CI"}, K: 3,
-	})
-	if resp.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("status=%d, want 503", resp.StatusCode)
+
+	for _, budget := range []int64{1, 12} {
+		srv.MaxExamined = budget
+		resp := postJSON(t, ts.URL+"/query", QueryRequest{
+			Source: "s", Target: "t", Categories: []string{"MA", "RE", "CI"}, K: 30,
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("budget %d: status=%d, want 200", budget, resp.StatusCode)
+		}
+		var qr QueryResponse
+		if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+			t.Fatal(err)
+		}
+		if !qr.Truncated {
+			t.Fatalf("budget %d: response not marked truncated: %+v", budget, qr)
+		}
+		if budget == 12 && len(qr.Routes) == 0 {
+			t.Fatalf("budget %d: partial routes discarded: %+v", budget, qr)
+		}
+		for _, r := range qr.Routes {
+			if len(r.Witness) == 0 {
+				t.Fatalf("budget %d: empty witness in partial result", budget)
+			}
+		}
 	}
 }
 
@@ -175,24 +208,114 @@ func TestExpand(t *testing.T) {
 	}
 }
 
+// TestConcurrentHTTPQueries is the scratch-reuse race guard (run with
+// -race): many goroutines fire mixed SK/PK/KPNE queries — some
+// budget-limited, some expanded — against one shared index, so the
+// worker pool recycles scratches across methods and budget outcomes
+// while answers stay exact.
 func TestConcurrentHTTPQueries(t *testing.T) {
-	ts, _ := newTestServer(t)
+	g := kosr.Figure1()
+	sys := kosr.NewSystem(g)
+	srv := NewWithConfig(sys, Config{Workers: 4, QueryTimeout: 30 * time.Second})
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	methods := []string{"SK", "PK", "KPNE"}
 	var wg sync.WaitGroup
 	for w := 0; w < 12; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
-			for i := 0; i < 10; i++ {
-				resp := postJSON(t, ts.URL+"/query", QueryRequest{
+			for i := 0; i < 15; i++ {
+				req := QueryRequest{
 					Source: "s", Target: "t",
-					Categories: []string{"MA", "RE", "CI"}, K: 2,
-				})
+					Categories: []string{"MA", "RE", "CI"},
+					K:          2 + (worker+i)%2,
+					Method:     methods[(worker+i)%len(methods)],
+					Expand:     i%3 == 0,
+				}
+				resp := postJSON(t, ts.URL+"/query", req)
 				if resp.StatusCode != http.StatusOK {
-					t.Errorf("status=%d", resp.StatusCode)
+					t.Errorf("worker %d: status=%d", worker, resp.StatusCode)
+					return
+				}
+				var qr QueryResponse
+				if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+					t.Errorf("worker %d: %v", worker, err)
+					return
+				}
+				if len(qr.Routes) == 0 || qr.Routes[0].Cost != 20 {
+					t.Errorf("worker %d: routes=%+v", worker, qr.Routes)
 					return
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
+}
+
+// TestConcurrentBudgetLimitedQueries races budget-truncated queries
+// (partial results, early engine exit) against each other on a shared
+// pool, covering the scratch release path after ErrBudgetExceeded.
+func TestConcurrentBudgetLimitedQueries(t *testing.T) {
+	g := kosr.Figure1()
+	srv := NewWithConfig(kosr.NewSystem(g), Config{Workers: 3, MaxExamined: 20})
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for i := 0; i < 15; i++ {
+				resp := postJSON(t, ts.URL+"/query", QueryRequest{
+					Source: "s", Target: "t",
+					Categories: []string{"MA", "RE", "CI"},
+					K:          30,
+					Method:     []string{"SK", "PK", "KPNE"}[(worker+i)%3],
+				})
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("worker %d: status=%d", worker, resp.StatusCode)
+					return
+				}
+				var qr QueryResponse
+				if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+					t.Errorf("worker %d: %v", worker, err)
+					return
+				}
+				if !qr.Truncated {
+					t.Errorf("worker %d: expected truncated response, got %+v", worker, qr)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestGracefulClose verifies shutdown semantics: Close drains queued
+// work, and requests arriving afterwards get a clean 503.
+func TestGracefulClose(t *testing.T) {
+	g := kosr.Figure1()
+	srv := New(kosr.NewSystem(g))
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	resp := postJSON(t, ts.URL+"/query", QueryRequest{
+		Source: "s", Target: "t", Categories: []string{"MA"}, K: 1,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pre-close status=%d", resp.StatusCode)
+	}
+	srv.Close()
+	srv.Close() // idempotent
+	after := postJSON(t, ts.URL+"/query", QueryRequest{
+		Source: "s", Target: "t", Categories: []string{"MA"}, K: 1,
+	})
+	if after.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-close status=%d, want 503", after.StatusCode)
+	}
 }

@@ -27,6 +27,8 @@ package kosr
 import (
 	"fmt"
 	"io"
+	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/disk"
@@ -97,13 +99,20 @@ type Options struct {
 	// Dijkstra searches (the paper's -Dij variants). Works even on a
 	// System built with NewSystemWithoutIndex.
 	UseDijkstraNN bool
-	// MaxExamined and TimeBreakdown are forwarded to the engine; see
-	// the core package documentation.
+	// MaxExamined, MaxDuration and TimeBreakdown are forwarded to the
+	// engine; see the core package documentation.
 	MaxExamined   int64
+	MaxDuration   time.Duration
 	TimeBreakdown bool
 }
 
 // System bundles a graph with the indexes needed to answer queries.
+// Concurrent queries are safe: the indexes are read-only during query
+// answering and every query checks its mutable search state out of a
+// per-provider scratch pool. Share one System across workers —
+// per-query Systems defeat the pool. The Section IV-C dynamic updates
+// (AddVertexCategory, InsertEdge, …) mutate the indexes and need
+// external synchronization against in-flight queries, as before.
 type System struct {
 	Graph *Graph
 	// Labels is the 2-hop label index (nil when the system was created
@@ -111,6 +120,12 @@ type System struct {
 	Labels *label.Index
 	// Inverted is the per-category inverted label index.
 	Inverted *invindex.Index
+
+	// Long-lived providers: each owns the sync.Pool of query scratches,
+	// so they must be shared across queries rather than rebuilt.
+	provMu    sync.Mutex
+	labelProv *core.LabelProvider
+	dijProv   *core.DijkstraProvider
 }
 
 // NewSystem builds the 2-hop label index and the inverted label index
@@ -126,10 +141,19 @@ func NewSystem(g *Graph) *System {
 func NewSystemWithoutIndex(g *Graph) *System { return &System{Graph: g} }
 
 func (s *System) provider(opt Options) (core.Provider, error) {
+	s.provMu.Lock()
+	defer s.provMu.Unlock()
 	if opt.UseDijkstraNN || s.Labels == nil {
-		return &core.DijkstraProvider{Graph: s.Graph}, nil
+		if s.dijProv == nil || s.dijProv.Graph != s.Graph {
+			s.dijProv = &core.DijkstraProvider{Graph: s.Graph}
+		}
+		return s.dijProv, nil
 	}
-	return &core.LabelProvider{Graph: s.Graph, Labels: s.Labels, Inv: s.Inverted}, nil
+	if s.labelProv == nil || s.labelProv.Graph != s.Graph ||
+		s.labelProv.Labels != s.Labels || s.labelProv.Inv != s.Inverted {
+		s.labelProv = &core.LabelProvider{Graph: s.Graph, Labels: s.Labels, Inv: s.Inverted}
+	}
+	return s.labelProv, nil
 }
 
 // TopK answers the KOSR query (src, dst, cats, k) with StarKOSR. Fewer
@@ -148,6 +172,7 @@ func (s *System) Solve(q Query, opt Options) ([]Route, *Stats, error) {
 	return core.Solve(s.Graph, q, prov, core.Options{
 		Method:        opt.Method,
 		MaxExamined:   opt.MaxExamined,
+		MaxDuration:   opt.MaxDuration,
 		TimeBreakdown: opt.TimeBreakdown,
 	})
 }
@@ -164,6 +189,7 @@ func (s *System) SolveVariant(q VariantQuery, opt Options) ([]Route, *Stats, err
 	return core.SolveVariant(s.Graph, q, prov, core.Options{
 		Method:        opt.Method,
 		MaxExamined:   opt.MaxExamined,
+		MaxDuration:   opt.MaxDuration,
 		TimeBreakdown: opt.TimeBreakdown,
 	})
 }
@@ -180,6 +206,7 @@ func (s *System) Stream(q Query, opt Options) (*core.Searcher, error) {
 	return core.NewSearcher(s.Graph, q, prov, core.Options{
 		Method:        opt.Method,
 		MaxExamined:   opt.MaxExamined,
+		MaxDuration:   opt.MaxDuration,
 		TimeBreakdown: opt.TimeBreakdown,
 	})
 }
@@ -333,6 +360,7 @@ func (d *DiskSystem) Solve(q Query, opt Options) ([]Route, *Stats, error) {
 	return core.Solve(d.Graph, q, prov, core.Options{
 		Method:        opt.Method,
 		MaxExamined:   opt.MaxExamined,
+		MaxDuration:   opt.MaxDuration,
 		TimeBreakdown: opt.TimeBreakdown,
 	})
 }
