@@ -12,6 +12,7 @@
 package kosr
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -106,7 +107,7 @@ func BenchmarkTable3PruningKOSRTrace(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		trace := &core.Trace{}
-		if _, _, err := core.Solve(g, q, prov, core.Options{Method: core.MethodPK, Trace: trace}); err != nil {
+		if _, _, err := core.Solve(context.Background(), g, q, prov, core.Options{Method: core.MethodPK, Trace: trace}); err != nil {
 			b.Fatal(err)
 		}
 		if len(trace.Steps) != 13 {
@@ -125,7 +126,7 @@ func BenchmarkTable6StarKOSRTrace(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		trace := &core.Trace{}
-		if _, _, err := core.Solve(g, q, prov, core.Options{Method: core.MethodSK, Trace: trace}); err != nil {
+		if _, _, err := core.Solve(context.Background(), g, q, prov, core.Options{Method: core.MethodSK, Trace: trace}); err != nil {
 			b.Fatal(err)
 		}
 		if len(trace.Steps) != 9 {

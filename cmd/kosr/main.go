@@ -11,9 +11,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
@@ -189,6 +191,7 @@ func cmdQuery(args []string) error {
 	method := fs.String("method", "SK", "SK | PK | KPNE")
 	dij := fs.Bool("dij", false, "use Dijkstra nearest neighbours instead of the label index")
 	expand := fs.Bool("expand", false, "expand witnesses into full routes")
+	stream := fs.Bool("stream", false, "stream routes as they are found (progressive search)")
 	fs.Parse(args)
 	if *graphPath == "" || *source == "" || *target == "" {
 		return fmt.Errorf("query: -graph, -source, -target are required")
@@ -236,13 +239,18 @@ func cmdQuery(args []string) error {
 	default:
 		return fmt.Errorf("unknown method %q", *method)
 	}
-	routes, st, err := sys.Solve(
-		kosr.Query{Source: src, Target: dst, Categories: cats, K: *k},
-		kosr.Options{Method: m, UseDijkstraNN: *dij})
-	if err != nil {
-		return err
+
+	// Ctrl-C cancels the request context, which aborts an in-flight
+	// search within one engine check interval instead of leaving a
+	// runaway FLA-scale query behind.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	req := kosr.Request{
+		Source: src, Target: dst, Categories: cats, K: *k,
+		Method: m, UseDijkstraNN: *dij,
 	}
-	for i, r := range routes {
+
+	printRoute := func(i int, r kosr.Route) {
 		fmt.Printf("%2d. cost=%-8g witness:", i+1, r.Cost)
 		for _, v := range r.Witness {
 			fmt.Printf(" %s", g.VertexName(v))
@@ -257,8 +265,29 @@ func cmdQuery(args []string) error {
 			fmt.Println()
 		}
 	}
+
+	if *stream {
+		n := 0
+		for r, err := range sys.DoStream(ctx, req) {
+			if err != nil {
+				return err
+			}
+			printRoute(n, r)
+			n++
+		}
+		fmt.Printf("%s: %d routes (streamed)\n", m, n)
+		return nil
+	}
+
+	res, err := sys.Do(ctx, req)
+	if err != nil {
+		return err
+	}
+	for i, r := range res.Routes {
+		printRoute(i, r)
+	}
 	fmt.Printf("%s: %d routes, %v, %d examined routes, %d NN queries\n",
-		m, len(routes), st.Total.Round(1000), st.Examined, st.NNQueries)
+		m, len(res.Routes), res.Stats.Total.Round(1000), res.Stats.Examined, res.Stats.NNQueries)
 	return nil
 }
 
@@ -327,7 +356,7 @@ func cmdVerify(args []string) error {
 		}
 		for _, m := range methods {
 			for pi, p := range []core.Provider{prov, dij} {
-				routes, _, err := core.Solve(g, q, p, core.Options{Method: m})
+				routes, _, err := core.Solve(context.Background(), g, q, p, core.Options{Method: m})
 				if err != nil {
 					return err
 				}
@@ -376,7 +405,7 @@ func cmdDemo(args []string) error {
 	}
 	trace := &core.Trace{}
 	prov := &core.LabelProvider{Graph: g, Labels: sys.Labels, Inv: sys.Inverted}
-	routes, st, err := core.Solve(g, q, prov, core.Options{Method: m, Trace: trace})
+	routes, st, err := core.Solve(context.Background(), g, q, prov, core.Options{Method: m, Trace: trace})
 	if err != nil {
 		return err
 	}

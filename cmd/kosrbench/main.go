@@ -11,28 +11,38 @@
 //	go run ./cmd/kosrbench -out BENCH_PR1.json
 //
 // The diff subcommand compares two reports and fails on gross
-// regressions, so CI can guard the trajectory:
+// regressions, so CI can guard the trajectory; the plot subcommand
+// renders the whole BENCH_PR*.json trajectory as a markdown trend
+// table:
 //
 //	go run ./cmd/kosrbench diff BENCH_PR1.json BENCH_PR2.json
+//	go run ./cmd/kosrbench plot BENCH_PR*.json
 package main
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	kosr "repro"
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/invindex"
 	"repro/internal/label"
+	"repro/internal/server"
 	"repro/internal/workload"
 )
 
@@ -59,6 +69,25 @@ type ConcurrencyResult struct {
 	SpeedupVs1 float64 `json:"speedup_vs_1_worker"`
 }
 
+// ServerScanResult is the HTTP serving cell: the query mix pushed
+// through /v1/query in batches against a live server (worker pool +
+// result cache), once cold and once over identical repeated traffic.
+type ServerScanResult struct {
+	// BatchSize is how many queries each /v1/query request carried.
+	BatchSize int `json:"batch_size"`
+	// ColdQueries/ColdQPS cover the first pass: every query misses the
+	// result cache, so this is end-to-end batch throughput (HTTP + JSON
+	// + engine) with cache bookkeeping overhead included.
+	ColdQueries int     `json:"cold_queries"`
+	ColdQPS     float64 `json:"batch_qps"`
+	// CachedQueries/CachedQPS cover the repeat passes over the same
+	// mix: skewed-traffic throughput where the cache answers.
+	CachedQueries int     `json:"cached_queries"`
+	CachedQPS     float64 `json:"cached_qps"`
+	// CacheHitRate is hits/(hits+misses) across the whole scan.
+	CacheHitRate float64 `json:"cache_hit_rate"`
+}
+
 // DatasetResult reports preprocessing and query numbers for one graph.
 type DatasetResult struct {
 	Name         string  `json:"name"`
@@ -75,6 +104,8 @@ type DatasetResult struct {
 	Methods []MethodResult `json:"methods"`
 	// Concurrency is the StarKOSR throughput scan at 1/2/4/8 workers.
 	Concurrency []ConcurrencyResult `json:"concurrency,omitempty"`
+	// Server is the /v1/query batch + cache scan.
+	Server *ServerScanResult `json:"server,omitempty"`
 }
 
 // Report is the top-level JSON document.
@@ -93,6 +124,9 @@ type Report struct {
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "diff" {
 		os.Exit(runDiff(os.Args[2:]))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "plot" {
+		os.Exit(runPlot(os.Args[2:]))
 	}
 	out := flag.String("out", "BENCH_PR1.json", "output JSON path")
 	pr := flag.String("pr", "PR1", "PR tag recorded in the report")
@@ -202,13 +236,107 @@ func benchDataset(a gen.Analogue, cfg workload.Config) (DatasetResult, error) {
 		ds.Methods = append(ds.Methods, mr)
 	}
 	ds.Concurrency = benchConcurrency(data, qs, cfg)
+	ds.Server = benchServer(data, qs, cfg)
 	fmt.Printf("%-4s |V|=%d seq=%.0fms par=%.0fms (%.2fx, identical=%v) inv=%.0fms",
 		a, ds.Vertices, ds.SeqBuildMS, ds.ParBuildMS, ds.BuildSpeedup, ds.Identical, ds.InvBuildMS)
 	for _, cr := range ds.Concurrency {
 		fmt.Printf(" w%d=%.0fqps", cr.Workers, cr.QPS)
 	}
+	if ds.Server != nil {
+		fmt.Printf(" batch=%.0fqps cached=%.0fqps hit=%.0f%%",
+			ds.Server.ColdQPS, ds.Server.CachedQPS, 100*ds.Server.CacheHitRate)
+	}
 	fmt.Println()
 	return ds, nil
+}
+
+// benchServer pushes the query mix through a live HTTP server's
+// /v1/query endpoint in batches: one cold pass (every query misses the
+// result cache — end-to-end batch throughput) and repeat passes over
+// the identical mix (skewed-traffic throughput where the single-flight
+// LRU answers). This measures the full serving stack: JSON decode,
+// worker-pool dispatch, engine, cache, JSON encode.
+func benchServer(d *workload.Dataset, qs []core.Query, cfg workload.Config) *ServerScanResult {
+	if len(qs) == 0 {
+		return nil
+	}
+	sys := &kosr.System{Graph: d.G, Labels: d.Lab, Inverted: d.Inv}
+	srv := server.NewWithConfig(sys, server.Config{
+		MaxExamined: cfg.MaxExamined,
+		CacheSize:   4096,
+	})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	wire := make([]server.QueryRequest, len(qs))
+	for i, q := range qs {
+		cats := make([]string, len(q.Categories))
+		for j, c := range q.Categories {
+			cats[j] = strconv.Itoa(int(c))
+		}
+		wire[i] = server.QueryRequest{
+			Source:     strconv.Itoa(int(q.Source)),
+			Target:     strconv.Itoa(int(q.Target)),
+			Categories: cats,
+			K:          q.K,
+		}
+	}
+
+	const batchSize = 8
+	postAll := func(rounds int) (int, float64) {
+		total := 0
+		start := time.Now()
+		for r := 0; r < rounds; r++ {
+			for off := 0; off < len(wire); off += batchSize {
+				end := off + batchSize
+				if end > len(wire) {
+					end = len(wire)
+				}
+				body, err := json.Marshal(server.BatchRequest{Queries: wire[off:end]})
+				if err != nil {
+					return total, time.Since(start).Seconds()
+				}
+				resp, err := http.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader(body))
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "kosrbench: server scan:", err)
+					return total, time.Since(start).Seconds()
+				}
+				var br server.BatchResponse
+				json.NewDecoder(resp.Body).Decode(&br)
+				resp.Body.Close()
+				total += len(br.Results)
+			}
+		}
+		return total, time.Since(start).Seconds()
+	}
+
+	// Warm the engine (the System's scratch pool, NN caches) outside
+	// the timed passes so the cold pass measures the serving stack, not
+	// first-touch scratch growth. Direct Do calls bypass the server's
+	// result cache, so the cold pass below still misses every query.
+	for _, q := range qs {
+		_, _ = sys.Do(context.Background(), kosr.Request{
+			Source: q.Source, Target: q.Target, Categories: q.Categories,
+			K: q.K, MaxExamined: cfg.MaxExamined,
+		})
+	}
+
+	res := &ServerScanResult{BatchSize: batchSize}
+	var elapsed float64
+	res.ColdQueries, elapsed = postAll(1) // every query misses the cache
+	if elapsed > 0 {
+		res.ColdQPS = float64(res.ColdQueries) / elapsed
+	}
+	res.CachedQueries, elapsed = postAll(8) // identical traffic: all hits
+	if elapsed > 0 {
+		res.CachedQPS = float64(res.CachedQueries) / elapsed
+	}
+	hits, misses, _, _ := srv.CacheStats()
+	if hits+misses > 0 {
+		res.CacheHitRate = float64(hits) / float64(hits+misses)
+	}
+	return res
 }
 
 // benchConcurrency measures StarKOSR throughput with 1/2/4/8 workers
@@ -229,7 +357,7 @@ func benchConcurrency(d *workload.Dataset, qs []core.Query, cfg workload.Config)
 	solve := func(q core.Query) {
 		// Budget errors count as served requests (the server returns
 		// truncated results for them), so they stay in the mix.
-		_, _, _ = core.Solve(d.G, q, prov, opts)
+		_, _, _ = core.Solve(context.Background(), d.G, q, prov, opts)
 	}
 	for _, q := range qs { // warm the scratch pool and the NN caches
 		solve(q)
@@ -377,6 +505,139 @@ func runDiff(args []string) int {
 		return 1
 	}
 	fmt.Println("\nno regressions beyond threshold")
+	return 0
+}
+
+// runPlot implements `kosrbench plot REPORT.json...`: it renders the
+// per-(dataset, method) query-time and allocation trajectory across the
+// given reports as a markdown trend table, one column per report. INF
+// cells render as INF; cells absent from a report render as a dash.
+func runPlot(args []string) int {
+	fs := flag.NewFlagSet("plot", flag.ExitOnError)
+	metrics := fs.String("metrics", "avg_ms,allocs", "comma-separated metrics: avg_ms, allocs, qps, examined")
+	fs.Parse(args)
+	if fs.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: kosrbench plot [-metrics avg_ms,allocs] REPORT.json...")
+		return 2
+	}
+	var reps []Report
+	for _, path := range fs.Args() {
+		rep, err := readReport(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kosrbench plot:", err)
+			return 2
+		}
+		reps = append(reps, rep)
+	}
+
+	metric := func(m MethodResult, name string) string {
+		if m.INF && (name == "avg_ms" || name == "qps") {
+			return "INF"
+		}
+		switch name {
+		case "avg_ms":
+			return fmt.Sprintf("%.3f", m.AvgMS)
+		case "allocs":
+			return fmt.Sprintf("%.0f", m.AllocsPerQuery)
+		case "qps":
+			return fmt.Sprintf("%.1f", m.QPS)
+		case "examined":
+			return fmt.Sprintf("%.0f", m.AvgExamined)
+		default:
+			return "?"
+		}
+	}
+
+	// Row universe: every (dataset, method) seen in any report, in
+	// first-seen order, so new datasets/methods append cleanly.
+	type rowKey struct{ ds, method string }
+	var rows []rowKey
+	seen := map[rowKey]bool{}
+	for _, rep := range reps {
+		for _, ds := range rep.Datasets {
+			for _, m := range ds.Methods {
+				k := rowKey{ds.Name, m.Method}
+				if !seen[k] {
+					seen[k] = true
+					rows = append(rows, k)
+				}
+			}
+		}
+	}
+
+	header := "| dataset | method | metric |"
+	rule := "|---|---|---|"
+	for _, rep := range reps {
+		header += fmt.Sprintf(" %s |", rep.PR)
+		rule += "---|"
+	}
+	fmt.Println(header)
+	fmt.Println(rule)
+	for _, k := range rows {
+		for _, name := range strings.Split(*metrics, ",") {
+			name = strings.TrimSpace(name)
+			line := fmt.Sprintf("| %s | %s | %s |", k.ds, k.method, name)
+			for _, rep := range reps {
+				cell := "–"
+				if ds, ok := findDataset(rep, k.ds); ok {
+					if m, ok := findMethod(ds, k.method); ok {
+						cell = metric(m, name)
+					}
+				}
+				line += fmt.Sprintf(" %s |", cell)
+			}
+			fmt.Println(line)
+		}
+	}
+
+	// Build times and the serving cells ride along as context rows.
+	var dsNames []string
+	seenDS := map[string]bool{}
+	for _, rep := range reps {
+		for _, ds := range rep.Datasets {
+			if !seenDS[ds.Name] {
+				seenDS[ds.Name] = true
+				dsNames = append(dsNames, ds.Name)
+			}
+		}
+	}
+	for _, name := range dsNames {
+		for _, row := range []struct {
+			label string
+			cell  func(DatasetResult) string
+		}{
+			{"build_par_ms", func(d DatasetResult) string { return fmt.Sprintf("%.0f", d.ParBuildMS) }},
+			{"label_mb", func(d DatasetResult) string { return fmt.Sprintf("%.1f", d.LabelMB) }},
+			{"batch_qps", func(d DatasetResult) string {
+				if d.Server == nil {
+					return "–"
+				}
+				return fmt.Sprintf("%.0f", d.Server.ColdQPS)
+			}},
+			{"cached_qps", func(d DatasetResult) string {
+				if d.Server == nil {
+					return "–"
+				}
+				return fmt.Sprintf("%.0f", d.Server.CachedQPS)
+			}},
+			{"cache_hit_rate", func(d DatasetResult) string {
+				if d.Server == nil {
+					return "–"
+				}
+				return fmt.Sprintf("%.2f", d.Server.CacheHitRate)
+			}},
+		} {
+			line := fmt.Sprintf("| %s | – | %s |", name, row.label)
+			for _, rep := range reps {
+				cell := "–"
+				if ds, ok := findDataset(rep, name); ok {
+					cell = row.cell(ds)
+				}
+				line += fmt.Sprintf(" %s |", cell)
+			}
+			fmt.Println(line)
+		}
+	}
 	return 0
 }
 

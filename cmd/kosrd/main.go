@@ -1,18 +1,23 @@
 // Command kosrd serves KOSR queries over HTTP.
 //
 //	kosrd -graph city.graph [-index city.idx] [-addr :8080] [-budget 5000000]
-//	      [-workers 8] [-query-timeout 10s]
+//	      [-workers 8] [-query-timeout 10s] [-cache 4096] [-max-batch 64]
 //
 // Endpoints:
 //
 //	GET  /health
-//	POST /query   {"source":"s","target":"t","categories":["MA","RE","CI"],"k":3}
-//	POST /expand  {"witness":[0,1,2,4,7]}
+//	POST /v1/query   {"queries":[{"source":"s","target":"t","categories":["MA","RE","CI"],"k":3}, …]}
+//	POST /v1/stream  {"source":"s","target":"t","categories":["MA","RE","CI"]}  (NDJSON)
+//	POST /expand     {"witness":[0,1,2,4,7]}
+//	POST /query      deprecated single-query endpoint
 //
 // Queries run on a bounded worker pool over the shared read-only index;
-// each worker reuses a warm per-query scratch. SIGINT/SIGTERM trigger a
-// graceful shutdown: listeners close, in-flight queries finish, the
-// pool drains.
+// each worker reuses a warm per-query scratch, and every request's
+// context is threaded into the engine, so disconnected clients abort
+// their in-flight searches. /v1/query batches fan out across the pool
+// and pass through an LRU result cache with single-flight deduplication
+// (-cache entries; 0 disables). SIGINT/SIGTERM trigger a graceful
+// shutdown: listeners close, in-flight queries finish, the pool drains.
 package main
 
 import (
@@ -37,6 +42,8 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	budget := flag.Int64("budget", 5_000_000, "max examined routes per query (0 = unlimited)")
 	workers := flag.Int("workers", 0, "query worker pool size (0 = GOMAXPROCS)")
+	cacheSize := flag.Int("cache", 4096, "result cache entries for /v1/query (0 = disabled)")
+	maxBatch := flag.Int("max-batch", 64, "max queries per /v1/query batch")
 	queryTimeout := flag.Duration("query-timeout", 10*time.Second, "per-query wall-clock budget, queueing included (0 = none)")
 	shutdownGrace := flag.Duration("shutdown-grace", 15*time.Second, "how long to wait for in-flight requests on shutdown")
 	flag.Parse()
@@ -73,6 +80,8 @@ func main() {
 		Workers:      *workers,
 		MaxExamined:  *budget,
 		QueryTimeout: *queryTimeout,
+		CacheSize:    *cacheSize,
+		MaxBatch:     *maxBatch,
 	})
 
 	// With -query-timeout 0 (no per-query limit) the write timeout must

@@ -1,10 +1,62 @@
 package kosr_test
 
 import (
+	"context"
 	"fmt"
 
 	kosr "repro"
 )
+
+// The paper's running example through the context-first Request API:
+// Alice travels from s to t via a shopping mall, a restaurant, and a
+// cinema (Example 1). Cancelling the context would abort the search.
+func ExampleSystem_Do() {
+	g := kosr.Figure1()
+	sys := kosr.NewSystem(g)
+
+	s, _ := g.VertexByName("s")
+	t, _ := g.VertexByName("t")
+	ma, _ := g.CategoryByName("MA")
+	re, _ := g.CategoryByName("RE")
+	ci, _ := g.CategoryByName("CI")
+
+	res, _ := sys.Do(context.Background(), kosr.Request{
+		Source: s, Target: t, Categories: []kosr.Category{ma, re, ci}, K: 3,
+	})
+	for i, r := range res.Routes {
+		fmt.Printf("%d: cost %g\n", i+1, r.Cost)
+	}
+	// Output:
+	// 1: cost 20
+	// 2: cost 21
+	// 3: cost 22
+}
+
+// Progressive search: DoStream computes routes one at a time, so "show
+// me more alternatives" interfaces never pick k up front. Breaking out
+// of the loop releases the search state.
+func ExampleSystem_DoStream() {
+	g := kosr.Figure1()
+	sys := kosr.NewSystem(g)
+
+	s, _ := g.VertexByName("s")
+	t, _ := g.VertexByName("t")
+	ma, _ := g.CategoryByName("MA")
+	re, _ := g.CategoryByName("RE")
+	ci, _ := g.CategoryByName("CI")
+
+	for r, err := range sys.DoStream(context.Background(), kosr.Request{
+		Source: s, Target: t, Categories: []kosr.Category{ma, re, ci},
+	}) {
+		if err != nil || r.Cost > 21 {
+			break
+		}
+		fmt.Printf("cost %g\n", r.Cost)
+	}
+	// Output:
+	// cost 20
+	// cost 21
+}
 
 // The paper's running example: Alice travels from s to t via a shopping
 // mall, a restaurant, and a cinema (Example 1).

@@ -10,9 +10,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
+	"time"
 
 	kosr "repro"
 	"repro/internal/gen"
@@ -46,13 +48,24 @@ func main() {
 	depot := kosr.Vertex(3)
 	port := kosr.Vertex(rows*cols - 5)
 	chain := []kosr.Category{warehouse, fuel, customs}
+	ctx := context.Background()
 
+	// A dispatch service answers with an SLA: the request carries both
+	// a wall-clock budget and an examined-routes budget, and a tripped
+	// budget returns the partial plan marked truncated instead of
+	// failing the dispatch.
 	fmt.Println("Dispatch plan: depot → warehouse → fuel → customs → port")
-	routes, err := sys.TopK(depot, port, chain, 4)
+	res, err := sys.Do(ctx, kosr.Request{
+		Source: depot, Target: port, Categories: chain, K: 4,
+		MaxExamined: 500_000, MaxDuration: 2 * time.Second,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	for i, r := range routes {
+	if res.Truncated {
+		fmt.Println("(budget tripped — partial plan)")
+	}
+	for i, r := range res.Routes {
 		fmt.Printf("%d. travel time %-5g via warehouse %d, fuel %d, customs %d\n",
 			i+1, r.Cost, r.Witness[1], r.Witness[2], r.Witness[3])
 	}
@@ -64,22 +77,25 @@ func main() {
 
 	// Compare the three algorithms' search effort on this query.
 	fmt.Println("\nSearch effort (k=4):")
-	q := kosr.Query{Source: depot, Target: port, Categories: chain, K: 4}
+	req := kosr.Request{Source: depot, Target: port, Categories: chain, K: 4}
 	for _, m := range []kosr.Method{kosr.KPNE, kosr.PruningKOSR, kosr.StarKOSR} {
-		_, st, err := sys.Solve(q, kosr.Options{Method: m})
+		req.Method = m
+		mres, err := sys.Do(ctx, req)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("  %-12v %6d examined, %6d NN queries, %v\n",
-			m, st.Examined, st.NNQueries, st.Total.Round(1000))
+			m, mres.Stats.Examined, mres.Stats.NNQueries, mres.Stats.Total.Round(1000))
 	}
 
 	// Dijkstra-based nearest neighbours (no index) give the same routes,
 	// slower — the paper's -Dij variants.
-	noIdx, _, err := sys.Solve(q, kosr.Options{UseDijkstraNN: true})
+	req.Method = kosr.StarKOSR
+	req.UseDijkstraNN = true
+	noIdx, err := sys.Do(ctx, req)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nIndex-free cross-check: top-1 cost %g (matches: %v)\n",
-		noIdx[0].Cost, noIdx[0].Cost == routes[0].Cost)
+		noIdx.Routes[0].Cost, noIdx.Routes[0].Cost == res.Routes[0].Cost)
 }

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -58,34 +59,38 @@ func main() {
 
 	rider := kosr.Vertex(17)
 	office := kosr.Vertex(rows*cols - 2)
+	ctx := context.Background()
 	fmt.Println("EV trip: charge, grab a coffee, get to the office (top-3, from disk)")
-	routes, err := ds.TopK(rider, office, []kosr.Category{charger, cafe}, 3)
+	req := kosr.Request{
+		Source: rider, Target: office, Categories: []kosr.Category{charger, cafe}, K: 3,
+	}
+	res, err := ds.Do(ctx, req)
 	if err != nil {
 		log.Fatal(err)
 	}
-	for i, r := range routes {
+	for i, r := range res.Routes {
 		fmt.Printf("%d. cost %-5g charger@%d cafe@%d\n", i+1, r.Cost, r.Witness[1], r.Witness[2])
 	}
 	fmt.Printf("disk records loaded so far: %d (≈|C|+2 per query)\n", ds.Store.Seeks)
 
 	// A new charging station comes online next to the rider. The
 	// in-memory system applies the Section IV-C dynamic update to its
-	// inverted index — no label rebuild — and answers change.
+	// inverted index — no label rebuild — and answers change. (A result
+	// cache in front, like the server's, must be purged on such
+	// updates.)
 	newStation := kosr.Vertex(18)
 	if err := sys.AddVertexCategory(newStation, charger); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nnew charging station online at vertex %d\n", newStation)
-	updated, _, err := sys.Solve(
-		kosr.Query{Source: rider, Target: office, Categories: []kosr.Category{charger, cafe}, K: 3},
-		kosr.Options{})
+	updated, err := sys.Do(ctx, req)
 	if err != nil {
 		log.Fatal(err)
 	}
-	for i, r := range updated {
+	for i, r := range updated.Routes {
 		fmt.Printf("%d. cost %-5g charger@%d cafe@%d\n", i+1, r.Cost, r.Witness[1], r.Witness[2])
 	}
-	if updated[0].Cost <= routes[0].Cost {
+	if updated.Routes[0].Cost <= res.Routes[0].Cost {
 		fmt.Println("the new station improved (or matched) the best trip")
 	}
 }

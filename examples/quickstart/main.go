@@ -1,4 +1,5 @@
-// Quickstart: answer the paper's running example (Figure 1).
+// Quickstart: answer the paper's running example (Figure 1) through
+// the context-first Request API.
 //
 // Alice starts at s, wants to visit a shopping mall (MA), then a
 // restaurant (RE), then a cinema (CI), and end at t. The top-3 optimal
@@ -8,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -17,6 +19,7 @@ import (
 func main() {
 	g := kosr.Figure1()
 	sys := kosr.NewSystem(g) // builds the 2-hop label + inverted indexes
+	ctx := context.Background()
 
 	s, _ := g.VertexByName("s")
 	t, _ := g.VertexByName("t")
@@ -24,13 +27,17 @@ func main() {
 	re, _ := g.CategoryByName("RE")
 	ci, _ := g.CategoryByName("CI")
 
-	routes, err := sys.TopK(s, t, []kosr.Category{ma, re, ci}, 3)
+	// Every query is a Request answered by Do; cancelling ctx would
+	// abort the search mid-flight.
+	res, err := sys.Do(ctx, kosr.Request{
+		Source: s, Target: t, Categories: []kosr.Category{ma, re, ci}, K: 3,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Println("Top-3 optimal sequenced routes for ⟨MA, RE, CI⟩ from s to t:")
-	for i, r := range routes {
+	for i, r := range res.Routes {
 		fmt.Printf("%d. cost %-3g witness:", i+1, r.Cost)
 		for _, v := range r.Witness {
 			fmt.Printf(" %s", g.VertexName(v))
@@ -45,14 +52,32 @@ func main() {
 		fmt.Println(")")
 	}
 
-	// Compare the three algorithms on the same query.
-	fmt.Println("\nAlgorithm comparison (same query, k=2):")
-	q := kosr.Query{Source: s, Target: t, Categories: []kosr.Category{ma, re, ci}, K: 2}
-	for _, m := range []kosr.Method{kosr.KPNE, kosr.PruningKOSR, kosr.StarKOSR} {
-		_, st, err := sys.Solve(q, kosr.Options{Method: m})
+	// DoStream produces the same routes lazily — the second route is
+	// only computed if the loop asks for it. Breaking out releases the
+	// search state immediately.
+	fmt.Println("\nStreaming until the cost exceeds 21:")
+	for r, err := range sys.DoStream(ctx, kosr.Request{
+		Source: s, Target: t, Categories: []kosr.Category{ma, re, ci},
+	}) {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("  %-12v examined %2d routes, %2d NN queries\n", m, st.Examined, st.NNQueries)
+		if r.Cost > 21 {
+			break
+		}
+		fmt.Printf("  cost %g via %d stops\n", r.Cost, len(r.Witness)-2)
+	}
+
+	// Compare the three algorithms on the same query.
+	fmt.Println("\nAlgorithm comparison (same query, k=2):")
+	req := kosr.Request{Source: s, Target: t, Categories: []kosr.Category{ma, re, ci}, K: 2}
+	for _, m := range []kosr.Method{kosr.KPNE, kosr.PruningKOSR, kosr.StarKOSR} {
+		req.Method = m
+		res, err := sys.Do(ctx, req)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-12v examined %2d routes, %2d NN queries\n",
+			m, res.Stats.Examined, res.Stats.NNQueries)
 	}
 }

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -48,42 +49,58 @@ func main() {
 
 	home := kosr.Vertex(0)              // north-west corner
 	hotel := kosr.Vertex(rows*cols - 1) // south-east corner
+	ctx := context.Background()
 
-	fmt.Println("Evening plan: mall → restaurant → cinema, top-5 alternatives")
-	routes, err := sys.TopK(home, hotel, []kosr.Category{mall, restaurant, cinema}, 5)
-	if err != nil {
-		log.Fatal(err)
-	}
-	for i, r := range routes {
+	// "Show more alternatives" is exactly what DoStream models: the
+	// search is progressive, so each further route costs only the extra
+	// expansion beyond the previous one. Stream until the detour grows
+	// past 10% of the optimum — the final k is never chosen up front.
+	fmt.Println("Evening plan: mall → restaurant → cinema, alternatives within 10%")
+	var best kosr.Weight
+	n := 0
+	for r, err := range sys.DoStream(ctx, kosr.Request{
+		Source: home, Target: hotel,
+		Categories: []kosr.Category{mall, restaurant, cinema},
+	}) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		if n == 0 {
+			best = r.Cost
+		} else if r.Cost > best*1.10 {
+			break
+		}
+		n++
 		fmt.Printf("%d. cost %-5g stops: mall@%d restaurant@%d cinema@%d\n",
-			i+1, r.Cost, r.Witness[1], r.Witness[2], r.Witness[3])
+			n, r.Cost, r.Witness[1], r.Witness[2], r.Witness[3])
 	}
 
 	// A longer errand chain exercises the A* search harder: fuel first,
 	// a park stroll, then dinner.
 	fmt.Println("\nErrand chain: fuel → park → restaurant, top-3")
-	q := kosr.Query{
-		Source:     home,
-		Target:     hotel,
-		Categories: []kosr.Category{fuel, park, restaurant},
-		K:          3,
+	req := kosr.Request{
+		Source:        home,
+		Target:        hotel,
+		Categories:    []kosr.Category{fuel, park, restaurant},
+		K:             3,
+		TimeBreakdown: true,
 	}
-	routes2, st, err := sys.Solve(q, kosr.Options{TimeBreakdown: true})
+	res, err := sys.Do(ctx, req)
 	if err != nil {
 		log.Fatal(err)
 	}
-	for i, r := range routes2 {
+	for i, r := range res.Routes {
 		fmt.Printf("%d. cost %-5g witness %v\n", i+1, r.Cost, r.Witness)
 	}
 	fmt.Printf("StarKOSR examined %d routes with %d NN queries in %v\n",
-		st.Examined, st.NNQueries, st.Total.Round(1000))
+		res.Stats.Examined, res.Stats.NNQueries, res.Stats.Total.Round(1000))
 
 	// The single optimum agrees with the GSP dynamic-programming
 	// baseline — a useful online sanity check.
-	best, ok, err := sys.GSP(home, hotel, q.Categories)
+	opt, ok, err := sys.GSP(home, hotel, req.Categories)
 	if err != nil || !ok {
 		log.Fatal("GSP failed")
 	}
 	fmt.Printf("GSP cross-check: optimal cost %g (matches: %v)\n",
-		best.Cost, best.Cost == routes2[0].Cost)
+		opt.Cost, opt.Cost == res.Routes[0].Cost)
 }

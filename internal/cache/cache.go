@@ -1,0 +1,155 @@
+// Package cache provides the single-flight LRU result cache behind the
+// query server: identical requests arriving concurrently compute once
+// (the followers wait for the leader's result), and completed results
+// are kept in an LRU so skewed traffic stops recomputing its hot set.
+//
+// The cache is value-agnostic: the server stores fully serialized
+// response bytes, which makes cached and freshly computed responses
+// byte-identical by construction.
+package cache
+
+import (
+	"container/list"
+	"context"
+	"sync"
+)
+
+// Cache is a bounded LRU keyed by string with single-flight
+// deduplication of concurrent misses. The zero value is not usable;
+// create one with New.
+type Cache[V any] struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[string]*list.Element // -> *entry[V]
+	order    *list.List               // front = most recently used
+	inflight map[string]*call[V]
+
+	hits, misses, coalesced int64
+}
+
+type entry[V any] struct {
+	key string
+	val V
+}
+
+// call is one in-flight computation; followers block on done.
+type call[V any] struct {
+	done  chan struct{}
+	val   V
+	err   error
+	store bool
+}
+
+// New returns a cache holding at most capacity entries. capacity <= 0
+// disables storage entirely (Do still deduplicates concurrent calls).
+func New[V any](capacity int) *Cache[V] {
+	return &Cache[V]{
+		capacity: capacity,
+		entries:  make(map[string]*list.Element),
+		order:    list.New(),
+		inflight: make(map[string]*call[V]),
+	}
+}
+
+// Do returns the cached value for key, or runs compute to produce it.
+// Concurrent Do calls with the same key run compute once: the leader
+// executes, the followers wait and share the leader's result. compute
+// reports whether its value may be stored — a false store (e.g. a
+// truncated search, which depends on the leader's wall-clock budget)
+// is neither cached nor shared: followers observing one run their own
+// compute, since the leader's partial answer is specific to its budget.
+//
+// A follower that has its own deadline does not outwait it: when ctx
+// expires while the leader is still computing, Do returns ctx.Err().
+// A nil ctx behaves like context.Background().
+//
+// hit reports whether the value came from the cache or from another
+// caller's in-flight computation rather than from this call's compute.
+func (c *Cache[V]) Do(ctx context.Context, key string, compute func() (V, bool, error)) (v V, hit bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		c.hits++
+		c.mu.Unlock()
+		return el.Value.(*entry[V]).val, true, nil
+	}
+	if cl, ok := c.inflight[key]; ok {
+		c.coalesced++
+		c.mu.Unlock()
+		if ctx != nil {
+			select {
+			case <-cl.done:
+			case <-ctx.Done():
+				var zero V
+				return zero, false, ctx.Err()
+			}
+		} else {
+			<-cl.done
+		}
+		if cl.err != nil || cl.store {
+			return cl.val, true, cl.err
+		}
+		// The leader's result was not shareable (e.g. truncated by its
+		// own budget): answer this caller from its own computation.
+		c.mu.Lock()
+		c.coalesced--
+		c.misses++
+		c.mu.Unlock()
+		val, _, err := compute()
+		return val, false, err
+	}
+	cl := &call[V]{done: make(chan struct{})}
+	c.inflight[key] = cl
+	c.misses++
+	c.mu.Unlock()
+
+	val, store, err := compute()
+	cl.val, cl.err, cl.store = val, err, store
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if err == nil && store && c.capacity > 0 {
+		if el, ok := c.entries[key]; ok {
+			// A racing leader for the same key stored first (possible
+			// when this leader started before that entry was evicted);
+			// refresh recency rather than duplicating.
+			el.Value.(*entry[V]).val = val
+			c.order.MoveToFront(el)
+		} else {
+			c.entries[key] = c.order.PushFront(&entry[V]{key: key, val: val})
+			for len(c.entries) > c.capacity {
+				oldest := c.order.Back()
+				c.order.Remove(oldest)
+				delete(c.entries, oldest.Value.(*entry[V]).key)
+			}
+		}
+	}
+	c.mu.Unlock()
+	close(cl.done)
+	return val, false, err
+}
+
+// Stats reports cumulative cache behaviour: stored-entry hits,
+// leader computations, and calls coalesced onto another caller's
+// in-flight computation.
+func (c *Cache[V]) Stats() (hits, misses, coalesced int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.coalesced
+}
+
+// Len returns the number of stored entries.
+func (c *Cache[V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Purge drops every stored entry (in-flight computations finish
+// normally). Used when the underlying index mutates.
+func (c *Cache[V]) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[string]*list.Element)
+	c.order.Init()
+}

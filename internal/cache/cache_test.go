@@ -1,0 +1,215 @@
+package cache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestHitMissAndLRUEviction(t *testing.T) {
+	c := New[int](2)
+	compute := func(v int) func() (int, bool, error) {
+		return func() (int, bool, error) { return v, true, nil }
+	}
+	if v, hit, err := c.Do(t.Context(), "a", compute(1)); v != 1 || hit || err != nil {
+		t.Fatalf("first a: v=%d hit=%v err=%v", v, hit, err)
+	}
+	if v, hit, _ := c.Do(t.Context(), "a", compute(99)); v != 1 || !hit {
+		t.Fatalf("second a must hit with the stored value, got v=%d hit=%v", v, hit)
+	}
+	c.Do(t.Context(), "b", compute(2))
+	c.Do(t.Context(), "a", compute(1)) // refresh a's recency
+	c.Do(t.Context(), "c", compute(3)) // evicts b, the least recently used
+	if v, hit, _ := c.Do(t.Context(), "a", compute(99)); v != 1 || !hit {
+		t.Fatalf("a must have survived the eviction: v=%d hit=%v", v, hit)
+	}
+	if v, hit, _ := c.Do(t.Context(), "b", compute(42)); hit || v != 42 {
+		t.Fatalf("b must have been evicted: v=%d hit=%v", v, hit)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len=%d, want 2", c.Len())
+	}
+}
+
+func TestNoStoreAndErrorsNotCached(t *testing.T) {
+	c := New[int](4)
+	calls := 0
+	truncated := func() (int, bool, error) { calls++; return 7, false, nil }
+	for i := 0; i < 3; i++ {
+		if v, hit, err := c.Do(t.Context(), "t", truncated); v != 7 || hit || err != nil {
+			t.Fatalf("truncated call %d: v=%d hit=%v err=%v", i, v, hit, err)
+		}
+	}
+	if calls != 3 {
+		t.Fatalf("no-store results must recompute: %d calls", calls)
+	}
+	boom := errors.New("boom")
+	fails := func() (int, bool, error) { return 0, true, boom }
+	if _, _, err := c.Do(t.Context(), "e", fails); !errors.Is(err, boom) {
+		t.Fatal("error not propagated")
+	}
+	if _, hit, _ := c.Do(t.Context(), "e", func() (int, bool, error) { return 1, true, nil }); hit {
+		t.Fatal("errored computation must not be cached")
+	}
+}
+
+// TestSingleFlight pins the deduplication contract: N concurrent Do
+// calls for one cold key run compute exactly once, and every caller
+// gets the leader's value.
+func TestSingleFlight(t *testing.T) {
+	c := New[int](4)
+	var computes atomic.Int64
+	gate := make(chan struct{})
+	const workers = 16
+	var wg sync.WaitGroup
+	var hits atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, hit, err := c.Do(t.Context(), "k", func() (int, bool, error) {
+				computes.Add(1)
+				<-gate // hold the computation open so followers pile up
+				return 11, true, nil
+			})
+			if err != nil || v != 11 {
+				t.Errorf("v=%d err=%v", v, err)
+			}
+			if hit {
+				hits.Add(1)
+			}
+		}()
+	}
+	close(gate)
+	wg.Wait()
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("compute ran %d times, want 1", got)
+	}
+	if hits.Load() != workers-1 {
+		t.Fatalf("hits=%d, want %d (every follower shares the leader's result)", hits.Load(), workers-1)
+	}
+	h, m, co := c.Stats()
+	if m != 1 || h+co != workers-1 {
+		t.Fatalf("stats hits=%d misses=%d coalesced=%d", h, m, co)
+	}
+}
+
+// TestFollowerDoesNotShareNonStorableResult pins the truncation
+// contract: a leader whose result may not be stored (budget-truncated)
+// must not hand it to coalesced followers — each follower computes
+// independently, since the partial answer reflects the leader's budget.
+func TestFollowerDoesNotShareNonStorableResult(t *testing.T) {
+	c := New[int](4)
+	gate := make(chan struct{})
+	leaderIn := make(chan struct{})
+	var followerV atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // leader: truncated result, storable=false
+		defer wg.Done()
+		v, hit, err := c.Do(t.Context(), "k", func() (int, bool, error) {
+			close(leaderIn)
+			<-gate
+			return 1, false, nil
+		})
+		if v != 1 || hit || err != nil {
+			t.Errorf("leader: v=%d hit=%v err=%v", v, hit, err)
+		}
+	}()
+	go func() { // follower: must run its own compute, seeing the full value
+		defer wg.Done()
+		<-leaderIn
+		v, hit, err := c.Do(t.Context(), "k", func() (int, bool, error) {
+			return 2, true, nil
+		})
+		if err != nil {
+			t.Errorf("follower: %v", err)
+		}
+		if hit && v == 1 {
+			t.Error("follower was served the leader's non-storable result")
+		}
+		followerV.Store(int64(v))
+	}()
+	<-leaderIn
+	close(gate)
+	wg.Wait()
+	if v := followerV.Load(); v != 2 {
+		t.Fatalf("follower got %d, want its own computation (2)", v)
+	}
+}
+
+// TestFollowerHonoursOwnContext: a follower with an expired context
+// must not outwait a slow leader.
+func TestFollowerHonoursOwnContext(t *testing.T) {
+	c := New[int](4)
+	gate := make(chan struct{})
+	leaderIn := make(chan struct{})
+	go c.Do(context.Background(), "k", func() (int, bool, error) {
+		close(leaderIn)
+		<-gate
+		return 1, true, nil
+	})
+	<-leaderIn
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := c.Do(ctx, "k", func() (int, bool, error) { return 2, true, nil })
+	close(gate)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("follower err=%v, want context.Canceled", err)
+	}
+}
+
+func TestZeroCapacityStillDedups(t *testing.T) {
+	c := New[string](0)
+	if v, hit, err := c.Do(t.Context(), "x", func() (string, bool, error) { return "v", true, nil }); v != "v" || hit || err != nil {
+		t.Fatalf("v=%q hit=%v err=%v", v, hit, err)
+	}
+	if _, hit, _ := c.Do(t.Context(), "x", func() (string, bool, error) { return "w", true, nil }); hit {
+		t.Fatal("zero-capacity cache must not store")
+	}
+}
+
+func TestPurge(t *testing.T) {
+	c := New[int](8)
+	for i := 0; i < 5; i++ {
+		k := fmt.Sprintf("k%d", i)
+		c.Do(t.Context(), k, func() (int, bool, error) { return i, true, nil })
+	}
+	if c.Len() != 5 {
+		t.Fatalf("len=%d", c.Len())
+	}
+	c.Purge()
+	if c.Len() != 0 {
+		t.Fatalf("len after purge=%d", c.Len())
+	}
+	if _, hit, _ := c.Do(t.Context(), "k1", func() (int, bool, error) { return 9, true, nil }); hit {
+		t.Fatal("purged entry must miss")
+	}
+}
+
+// TestConcurrentMixedKeys hammers the cache from many goroutines (run
+// with -race) across a small key space so hits, misses, coalescing and
+// eviction all interleave.
+func TestConcurrentMixedKeys(t *testing.T) {
+	c := New[int](4)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := fmt.Sprintf("k%d", (w+i)%6)
+				want := (w + i) % 6
+				v, _, err := c.Do(t.Context(), k, func() (int, bool, error) { return want, true, nil })
+				if err != nil || v != want {
+					t.Errorf("k=%s v=%d want %d err=%v", k, v, want, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/graph"
@@ -19,7 +20,7 @@ func TestSteadyStatePopPushAllocs(t *testing.T) {
 	tv, _ := g.VertexByName("t")
 	ma, _ := g.CategoryByName("MA")
 	q := Query{Source: s, Target: tv, Categories: []graph.Category{ma}, K: 1}
-	e, _, err := newStandardEngine(g, q, prov, Options{Method: MethodSK})
+	e, _, err := newStandardEngine(context.Background(), g, q, prov, Options{Method: MethodSK})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +59,7 @@ func TestSolveMatchesAfterHotPathRewrite(t *testing.T) {
 	q := Query{Source: s, Target: tv, Categories: []graph.Category{ma, re, ci}, K: 3}
 	want := []graph.Weight{20, 21, 22} // Table II of the paper
 	for _, m := range []Method{MethodKPNE, MethodPK, MethodSK, MethodKStar} {
-		routes, _, err := Solve(g, q, prov, Options{Method: m})
+		routes, _, err := Solve(context.Background(), g, q, prov, Options{Method: m})
 		if err != nil {
 			t.Fatalf("%v: %v", m, err)
 		}

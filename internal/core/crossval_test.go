@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -103,7 +104,7 @@ func TestAllMethodsMatchBruteForce(t *testing.T) {
 		provs := providers(g)
 		for provName, prov := range provs {
 			for _, m := range []Method{MethodKPNE, MethodPK, MethodSK, MethodKStar} {
-				routes, _, err := Solve(g, q, prov, Options{Method: m})
+				routes, _, err := Solve(context.Background(), g, q, prov, Options{Method: m})
 				if err != nil {
 					t.Fatalf("trial %d %s/%s: %v", trial, provName, m, err)
 				}
@@ -122,7 +123,7 @@ func TestMethodsAgreeQuick(t *testing.T) {
 		prov := NewLabelProvider(g, nil)
 		var ref []Route
 		for i, m := range []Method{MethodKPNE, MethodPK, MethodSK} {
-			routes, _, err := Solve(g, q, prov, Options{Method: m})
+			routes, _, err := Solve(context.Background(), g, q, prov, Options{Method: m})
 			if err != nil {
 				return false
 			}
@@ -156,7 +157,7 @@ func TestStatsOrdering(t *testing.T) {
 		g, q := randomInstance(rng)
 		prov := NewLabelProvider(g, nil)
 		for _, m := range []Method{MethodKPNE, MethodPK, MethodSK} {
-			routes, st, err := Solve(g, q, prov, Options{Method: m})
+			routes, st, err := Solve(context.Background(), g, q, prov, Options{Method: m})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -179,7 +180,7 @@ func TestDominanceCounters(t *testing.T) {
 	rng := rand.New(rand.NewSource(77))
 	for trial := 0; trial < 40; trial++ {
 		g, q := randomInstance(rng)
-		_, st, err := Solve(g, q, NewLabelProvider(g, nil), Options{Method: MethodPK})
+		_, st, err := Solve(context.Background(), g, q, NewLabelProvider(g, nil), Options{Method: MethodPK})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// TestSolveCtxCancelReleasesScratch pins the cancellation contract on
+// the blocking path: a Solve whose context is already cancelled must
+// abort at the first pop-loop check, report ctx.Err(), and hand its
+// scratch back to the provider's pool (asserted by pointer-identical
+// pool reuse).
+func TestSolveCtxCancelReleasesScratch(t *testing.T) {
+	g := scratchTestGraph(16, 16, 4, 7)
+	prov := NewLabelProvider(g, nil)
+	q := scratchTestQueries(g, 1, 3)[0]
+
+	// Seed the pool with exactly one scratch so we can observe reuse.
+	s0 := prov.AcquireScratch()
+	prov.ReleaseScratch(s0)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	routes, _, err := Solve(ctx, g, q, prov, Options{Method: MethodSK})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v, want context.Canceled", err)
+	}
+	if len(routes) != 0 {
+		t.Fatalf("cancelled before the first pop, got routes %v", routes)
+	}
+	if !raceEnabled { // sync.Pool drops items at random under -race
+		if s1 := prov.AcquireScratch(); s1 != s0 {
+			t.Error("scratch was not returned to the pool after cancellation")
+		} else {
+			prov.ReleaseScratch(s1)
+		}
+	}
+
+	// A live context must leave results untouched.
+	want, _, err := Solve(context.Background(), g, q, prov, Options{Method: MethodSK})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("control query found no routes")
+	}
+}
+
+// TestSolveCtxCancelMidSearch cancels a context while an effectively
+// unbounded KPNE enumeration is running and requires the engine to
+// return promptly — within one pop-loop check interval, far below the
+// 30s backstop — rather than draining the witness space.
+func TestSolveCtxCancelMidSearch(t *testing.T) {
+	g := scratchTestGraph(32, 32, 5, 11)
+	prov := NewLabelProvider(g, nil)
+	q := scratchTestQueries(g, 1, 5)[0]
+	// Exhaustive: KPNE enumerates the whole witness space of a long
+	// category sequence (~20 vertices per category, 8 levels), which
+	// takes far longer than the cancellation latency under test.
+	q.Categories = []graph.Category{0, 1, 2, 3, 0, 1, 2, 3}
+	q.K = 1 << 30
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, _, err := Solve(ctx, g, q, prov, Options{Method: MethodKPNE, MaxDuration: 30 * time.Second})
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v after %v, want context.Canceled", err, elapsed)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v; the pop loop is not polling the context", elapsed)
+	}
+}
+
+// TestSolveCtxDeadline covers the deadline flavour: a context deadline
+// acts as a wall-clock budget, so the search degrades to a truncated
+// result (ErrBudgetExceeded, partial routes preserved) rather than
+// surfacing DeadlineExceeded — only explicit cancellation does that.
+func TestSolveCtxDeadline(t *testing.T) {
+	g := scratchTestGraph(32, 32, 5, 9)
+	prov := NewLabelProvider(g, nil)
+	q := scratchTestQueries(g, 1, 5)[0]
+	q.Categories = []graph.Category{0, 1, 2, 3, 0, 1, 2, 3}
+	q.K = 1 << 30
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, _, err := Solve(ctx, g, q, prov, Options{Method: MethodKPNE})
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("err=%v, want ErrBudgetExceeded (ctx deadline = wall-clock budget)", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("deadline abort took %v", elapsed)
+	}
+}
+
+// TestSearcherCtxCancelReleasesScratch is the streaming half of the
+// cancellation contract: cancelling mid-stream makes the pending Next
+// return ctx.Err(), marks the stream exhausted, and releases the
+// scratch back to the pool exactly once.
+func TestSearcherCtxCancelReleasesScratch(t *testing.T) {
+	g := scratchTestGraph(16, 16, 4, 21)
+	prov := NewLabelProvider(g, nil)
+	q := scratchTestQueries(g, 1, 3)[0]
+
+	s0 := prov.AcquireScratch()
+	prov.ReleaseScratch(s0)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	sr, err := NewSearcher(ctx, g, q, prov, Options{Method: MethodSK})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := sr.Next(); err != nil || !ok {
+		t.Fatalf("first Next: ok=%v err=%v", ok, err)
+	}
+	cancel()
+	if _, ok, err := sr.Next(); ok || !errors.Is(err, context.Canceled) {
+		t.Fatalf("post-cancel Next: ok=%v err=%v, want context.Canceled", ok, err)
+	}
+	// The stream must stay exhausted, and Close must stay a no-op.
+	if _, ok, _ := sr.Next(); ok {
+		t.Fatal("Next yielded a route after cancellation")
+	}
+	sr.Close()
+	if !raceEnabled { // sync.Pool drops items at random under -race
+		if s1 := prov.AcquireScratch(); s1 != s0 {
+			t.Error("scratch was not returned to the pool after stream cancellation")
+		} else {
+			prov.ReleaseScratch(s1)
+		}
+	}
+}
+
+// TestVariantSearcherMatchesSolveVariant pins the new streaming variant
+// path: a no-source stream must reproduce SolveVariant's routes in
+// order, and cancelling it must release the scratch like the standard
+// stream.
+func TestVariantSearcherMatchesSolveVariant(t *testing.T) {
+	g := scratchTestGraph(16, 16, 4, 5)
+	prov := NewLabelProvider(g, nil)
+	base := scratchTestQueries(g, 1, 3)[0]
+	vq := VariantQuery{
+		NoSource:   true,
+		Target:     base.Target,
+		Categories: base.Categories,
+		K:          5,
+	}
+	want, _, err := SolveVariant(context.Background(), g, vq, prov, Options{Method: MethodSK})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := NewVariantSearcher(context.Background(), g, vq, prov, Options{Method: MethodSK})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Route
+	for len(got) < len(want) {
+		r, ok, err := sr.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		got = append(got, r)
+	}
+	sr.Close()
+	if !routesEqual(got, want) {
+		t.Fatalf("variant stream diverges from SolveVariant:\nstream: %v\nsolve:  %v", got, want)
+	}
+}

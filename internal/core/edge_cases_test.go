@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"time"
@@ -20,7 +21,7 @@ func TestSourceEqualsTarget(t *testing.T) {
 	}
 	for provName, prov := range providers(g) {
 		for _, m := range []Method{MethodKPNE, MethodPK, MethodSK} {
-			routes, _, err := Solve(g, q, prov, Options{Method: m})
+			routes, _, err := Solve(context.Background(), g, q, prov, Options{Method: m})
 			if err != nil {
 				t.Fatalf("%s/%s: %v", provName, m, err)
 			}
@@ -48,7 +49,7 @@ func TestZeroWeightEdgesKOSR(t *testing.T) {
 		t.Fatal(err)
 	}
 	for provName, prov := range providers(g) {
-		routes, _, err := Solve(g, q, prov, Options{Method: MethodSK})
+		routes, _, err := Solve(context.Background(), g, q, prov, Options{Method: MethodSK})
 		if err != nil {
 			t.Fatalf("%s: %v", provName, err)
 		}
@@ -79,7 +80,7 @@ func TestCategoryContainingSourceAndTarget(t *testing.T) {
 	}
 	for provName, prov := range providers(g) {
 		for _, m := range []Method{MethodKPNE, MethodPK, MethodSK} {
-			routes, _, err := Solve(g, q, prov, Options{Method: m})
+			routes, _, err := Solve(context.Background(), g, q, prov, Options{Method: m})
 			if err != nil {
 				t.Fatalf("%s/%s: %v", provName, m, err)
 			}
@@ -93,7 +94,7 @@ func TestMaxDurationBudget(t *testing.T) {
 	q := fig1Query(t, g, 3)
 	// A zero-duration deadline must trip immediately but still return
 	// cleanly.
-	_, st, err := Solve(g, q, NewLabelProvider(g, nil),
+	_, st, err := Solve(context.Background(), g, q, NewLabelProvider(g, nil),
 		Options{Method: MethodKPNE, MaxDuration: time.Nanosecond})
 	if err != ErrBudgetExceeded {
 		t.Fatalf("err=%v", err)
@@ -114,7 +115,7 @@ func TestParallelEdgesAndSelfLoops(t *testing.T) {
 	g := b.MustBuild()
 	q := Query{Source: 0, Target: 3, Categories: []graph.Category{0, 1}, K: 1}
 	for provName, prov := range providers(g) {
-		routes, _, err := Solve(g, q, prov, Options{Method: MethodSK})
+		routes, _, err := Solve(context.Background(), g, q, prov, Options{Method: MethodSK})
 		if err != nil {
 			t.Fatalf("%s: %v", provName, err)
 		}
@@ -135,7 +136,7 @@ func TestLargeKExhaustsAllWitnesses(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, m := range []Method{MethodPK, MethodSK} {
-			routes, _, err := Solve(g, q, NewLabelProvider(g, nil), Options{Method: m})
+			routes, _, err := Solve(context.Background(), g, q, NewLabelProvider(g, nil), Options{Method: m})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -150,7 +151,7 @@ func TestTraceWithCustomNames(t *testing.T) {
 	g := graph.Figure1()
 	q := fig1Query(t, g, 1)
 	trace := &Trace{Names: func(v graph.Vertex) string { return "X" }}
-	_, _, err := Solve(g, q, NewLabelProvider(g, nil), Options{Method: MethodSK, Trace: trace})
+	_, _, err := Solve(context.Background(), g, q, NewLabelProvider(g, nil), Options{Method: MethodSK, Trace: trace})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"sort"
 	"strings"
@@ -73,10 +74,18 @@ func lessQItem(a, b qItem) bool {
 	return a.seq < b.seq
 }
 
+// ctxCheckInterval is how many pop-loop iterations may pass between two
+// polls of the request context. Cancellation is therefore observed
+// within one check interval of engine work — small enough to abort an
+// abandoned FLA-scale search promptly, large enough that ctx.Err()'s
+// atomic load stays invisible on the hot path.
+const ctxCheckInterval = 64
+
 type engine struct {
 	g      *graph.Graph
 	q      Query
 	opt    Options
+	ctx    context.Context
 	finder NNFinder // plain NN (KPNE/PK) or FindNEN (SK)
 	distTo func(graph.Vertex) graph.Weight
 
@@ -108,6 +117,7 @@ type engine struct {
 
 	deadline time.Time
 	seeded   bool
+	ctxCheck int // pops until the next ctx poll
 
 	pqTime *time.Duration
 }
@@ -143,8 +153,15 @@ func (e *engine) releaseScratch() {
 // returns up to q.K routes in nondecreasing cost order; fewer routes mean
 // fewer than k feasible routes exist. ErrBudgetExceeded is returned
 // (along with any routes found so far) when Options limits were hit.
-func Solve(g *graph.Graph, q Query, prov Provider, opt Options) ([]Route, *Stats, error) {
-	e, nn, err := newStandardEngine(g, q, prov, opt)
+//
+// Cancelling ctx aborts the search within one pop-loop check interval;
+// the routes found so far are returned together with ctx.Err(), and the
+// query scratch goes back to the provider's pool. A ctx *deadline* is
+// treated as a wall-clock budget like MaxDuration: expiry produces
+// ErrBudgetExceeded with the partial routes rather than an error. A nil
+// ctx behaves like context.Background().
+func Solve(ctx context.Context, g *graph.Graph, q Query, prov Provider, opt Options) ([]Route, *Stats, error) {
+	e, nn, err := newStandardEngine(ctx, g, q, prov, opt)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -160,7 +177,7 @@ func Solve(g *graph.Graph, q Query, prov Provider, opt Options) ([]Route, *Stats
 // newStandardEngine builds the engine shared by Solve and Searcher. On
 // success the engine holds a checked-out scratch; the caller must
 // arrange for releaseScratch once the search is over.
-func newStandardEngine(g *graph.Graph, q Query, prov Provider, opt Options) (*engine, NNFinder, error) {
+func newStandardEngine(ctx context.Context, g *graph.Graph, q Query, prov Provider, opt Options) (*engine, NNFinder, error) {
 	if err := q.Validate(g); err != nil {
 		return nil, nil, err
 	}
@@ -188,6 +205,7 @@ func newStandardEngine(g *graph.Graph, q Query, prov Provider, opt Options) (*en
 		g:            g,
 		q:            q,
 		opt:          opt,
+		ctx:          ctx,
 		distTo:       distTo,
 		stats:        st,
 		scratch:      scratch,
@@ -269,6 +287,17 @@ func (e *engine) seed() {
 	if e.opt.MaxDuration > 0 {
 		e.deadline = time.Now().Add(e.opt.MaxDuration)
 	}
+	// A context deadline is a wall-clock budget too: arming it here
+	// makes the per-pop deadline check (which returns ErrBudgetExceeded
+	// and keeps the partial routes) fire at or before the ctx poll
+	// would observe DeadlineExceeded — so a timed-out query degrades to
+	// a truncated result instead of an error. Explicit cancellation
+	// still surfaces as ctx.Err().
+	if e.ctx != nil {
+		if d, ok := e.ctx.Deadline(); ok && (e.deadline.IsZero() || d.Before(e.deadline)) {
+			e.deadline = d
+		}
+	}
 	e.seeded = true
 }
 
@@ -286,6 +315,14 @@ func (e *engine) run() error {
 	return nil
 }
 
+// ctxErr reports the engine context's error, tolerating a nil context.
+func (e *engine) ctxErr() error {
+	if e.ctx == nil {
+		return nil
+	}
+	return e.ctx.Err()
+}
+
 // nextResult resumes the search until the next complete route is found
 // (appending it to results), the queue drains (ok=false), or a budget
 // trips.
@@ -301,6 +338,15 @@ func (e *engine) nextResult() (Route, bool, error) {
 		}
 		if !e.deadline.IsZero() && time.Now().After(e.deadline) {
 			return Route{}, false, ErrBudgetExceeded
+		}
+		if e.ctx != nil {
+			e.ctxCheck--
+			if e.ctxCheck <= 0 {
+				e.ctxCheck = ctxCheckInterval
+				if err := e.ctx.Err(); err != nil {
+					return Route{}, false, err
+				}
+			}
 		}
 		if e.opt.Trace != nil {
 			e.snapshot()

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -45,7 +46,7 @@ func TestPaperExample1(t *testing.T) {
 	wantC := []float64{20, 21, 22}
 	for provName, prov := range providers(g) {
 		for _, m := range []Method{MethodKPNE, MethodPK, MethodSK} {
-			routes, st, err := Solve(g, q, prov, Options{Method: m})
+			routes, st, err := Solve(context.Background(), g, q, prov, Options{Method: m})
 			if err != nil {
 				t.Fatalf("%s/%s: %v", provName, m, err)
 			}
@@ -78,7 +79,7 @@ func TestSearchSpaceShrinks(t *testing.T) {
 	prov := NewLabelProvider(g, nil)
 	examined := map[Method]int64{}
 	for _, m := range []Method{MethodKPNE, MethodPK, MethodSK} {
-		_, st, err := Solve(g, q, prov, Options{Method: m})
+		_, st, err := Solve(context.Background(), g, q, prov, Options{Method: m})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -142,7 +143,7 @@ func TestPaperTableIII(t *testing.T) {
 	g := graph.Figure1()
 	q := fig1Query(t, g, 2)
 	trace := &Trace{}
-	routes, _, err := Solve(g, q, NewLabelProvider(g, nil), Options{Method: MethodPK, Trace: trace})
+	routes, _, err := Solve(context.Background(), g, q, NewLabelProvider(g, nil), Options{Method: MethodPK, Trace: trace})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +178,7 @@ func TestPaperTableVI(t *testing.T) {
 	g := graph.Figure1()
 	q := fig1Query(t, g, 2)
 	trace := &Trace{}
-	routes, _, err := Solve(g, q, NewLabelProvider(g, nil), Options{Method: MethodSK, Trace: trace})
+	routes, _, err := Solve(context.Background(), g, q, NewLabelProvider(g, nil), Options{Method: MethodSK, Trace: trace})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,7 +209,7 @@ func TestQueryValidation(t *testing.T) {
 		{Source: 0, Target: 1, K: 1, Categories: []graph.Category{99}},
 	}
 	for i, q := range bad {
-		if _, _, err := Solve(g, q, prov, Options{}); err == nil {
+		if _, _, err := Solve(context.Background(), g, q, prov, Options{}); err == nil {
 			t.Errorf("case %d: want error", i)
 		}
 	}
@@ -222,7 +223,7 @@ func TestEmptyCategorySequence(t *testing.T) {
 	q := Query{Source: s, Target: tv, K: 3}
 	for provName, prov := range providers(g) {
 		for _, m := range []Method{MethodKPNE, MethodPK, MethodSK} {
-			routes, _, err := Solve(g, q, prov, Options{Method: m})
+			routes, _, err := Solve(context.Background(), g, q, prov, Options{Method: m})
 			if err != nil {
 				t.Fatalf("%s/%s: %v", provName, m, err)
 			}
@@ -238,7 +239,7 @@ func TestFewerThanKRoutes(t *testing.T) {
 	g := graph.Figure1()
 	q := fig1Query(t, g, 100)
 	for _, m := range []Method{MethodKPNE, MethodPK, MethodSK} {
-		routes, _, err := Solve(g, q, NewLabelProvider(g, nil), Options{Method: m})
+		routes, _, err := Solve(context.Background(), g, q, NewLabelProvider(g, nil), Options{Method: m})
 		if err != nil {
 			t.Fatalf("%s: %v", m, err)
 		}
@@ -264,7 +265,7 @@ func TestUnreachableTarget(t *testing.T) {
 	q := Query{Source: 0, Target: 2, Categories: []graph.Category{0}, K: 1}
 	for provName, prov := range providers(g) {
 		for _, m := range []Method{MethodKPNE, MethodPK, MethodSK} {
-			routes, _, err := Solve(g, q, prov, Options{Method: m})
+			routes, _, err := Solve(context.Background(), g, q, prov, Options{Method: m})
 			if err != nil {
 				t.Fatalf("%s/%s: %v", provName, m, err)
 			}
@@ -281,7 +282,7 @@ func TestEmptyCategory(t *testing.T) {
 	b.EnsureCategories(1) // category 0 has no vertices
 	g := b.MustBuild()
 	q := Query{Source: 0, Target: 2, Categories: []graph.Category{0}, K: 1}
-	routes, _, err := Solve(g, q, NewLabelProvider(g, nil), Options{Method: MethodSK})
+	routes, _, err := Solve(context.Background(), g, q, NewLabelProvider(g, nil), Options{Method: MethodSK})
 	if err != nil || len(routes) != 0 {
 		t.Fatalf("routes=%v err=%v", routes, err)
 	}
@@ -290,7 +291,7 @@ func TestEmptyCategory(t *testing.T) {
 func TestBudgetExceeded(t *testing.T) {
 	g := graph.Figure1()
 	q := fig1Query(t, g, 3)
-	_, st, err := Solve(g, q, NewLabelProvider(g, nil), Options{Method: MethodKPNE, MaxExamined: 2})
+	_, st, err := Solve(context.Background(), g, q, NewLabelProvider(g, nil), Options{Method: MethodKPNE, MaxExamined: 2})
 	if err != ErrBudgetExceeded {
 		t.Fatalf("err=%v, want ErrBudgetExceeded", err)
 	}
@@ -302,7 +303,7 @@ func TestBudgetExceeded(t *testing.T) {
 func TestTimeBreakdown(t *testing.T) {
 	g := graph.Figure1()
 	q := fig1Query(t, g, 2)
-	_, st, err := Solve(g, q, NewLabelProvider(g, nil), Options{Method: MethodSK, TimeBreakdown: true})
+	_, st, err := Solve(context.Background(), g, q, NewLabelProvider(g, nil), Options{Method: MethodSK, TimeBreakdown: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -320,7 +321,7 @@ func TestTimeBreakdown(t *testing.T) {
 func TestExaminedPerLevel(t *testing.T) {
 	g := graph.Figure1()
 	q := fig1Query(t, g, 2)
-	_, st, err := Solve(g, q, NewLabelProvider(g, nil), Options{Method: MethodSK})
+	_, st, err := Solve(context.Background(), g, q, NewLabelProvider(g, nil), Options{Method: MethodSK})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -348,7 +349,7 @@ func TestRepeatedCategory(t *testing.T) {
 	q := Query{Source: s, Target: tv, Categories: []graph.Category{ma, ma}, K: 2}
 	var costs [][]float64
 	for _, m := range []Method{MethodKPNE, MethodPK, MethodSK} {
-		routes, _, err := Solve(g, q, NewLabelProvider(g, nil), Options{Method: m})
+		routes, _, err := Solve(context.Background(), g, q, NewLabelProvider(g, nil), Options{Method: m})
 		if err != nil {
 			t.Fatalf("%s: %v", m, err)
 		}
@@ -372,7 +373,7 @@ func TestRepeatedCategory(t *testing.T) {
 func TestExpandWitness(t *testing.T) {
 	g := graph.Figure1()
 	q := fig1Query(t, g, 1)
-	routes, _, err := Solve(g, q, NewLabelProvider(g, nil), Options{Method: MethodSK})
+	routes, _, err := Solve(context.Background(), g, q, NewLabelProvider(g, nil), Options{Method: MethodSK})
 	if err != nil {
 		t.Fatal(err)
 	}

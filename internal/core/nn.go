@@ -73,6 +73,13 @@ type LabelProvider struct {
 	Labels *label.Index
 	Inv    *invindex.Index
 
+	// MaxScratchBytes caps the retained footprint of each pooled scratch:
+	// a query that grew its scratch beyond the cap gets it dropped on
+	// release instead of pooled, so a burst of wide queries cannot pin
+	// worst-case O(|V|) tables in every pool slot forever. Zero applies
+	// DefaultMaxScratchBytes; negative disables the cap.
+	MaxScratchBytes int64
+
 	pool sync.Pool // *Scratch
 }
 
@@ -106,13 +113,14 @@ func (p *LabelProvider) AcquireScratch() *Scratch {
 	return s
 }
 
-// ReleaseScratch implements ScratchProvider.
+// ReleaseScratch implements ScratchProvider. Scratches whose retained
+// footprint exceeds MaxScratchBytes are dropped instead of pooled.
 func (p *LabelProvider) ReleaseScratch(s *Scratch) {
 	if s == nil {
 		return
 	}
 	s.release()
-	p.pool.Put(s)
+	poolScratch(&p.pool, s, p.MaxScratchBytes)
 }
 
 type labelNN struct {
@@ -157,6 +165,10 @@ func (l *labelNN) Queries() int64 { return l.queries }
 type DijkstraProvider struct {
 	Graph *graph.Graph
 
+	// MaxScratchBytes caps the retained footprint of pooled scratches;
+	// see LabelProvider.MaxScratchBytes.
+	MaxScratchBytes int64
+
 	pool sync.Pool // *Scratch
 }
 
@@ -170,13 +182,14 @@ func (p *DijkstraProvider) AcquireScratch() *Scratch {
 	return s
 }
 
-// ReleaseScratch implements ScratchProvider.
+// ReleaseScratch implements ScratchProvider. Scratches whose retained
+// footprint exceeds MaxScratchBytes are dropped instead of pooled.
 func (p *DijkstraProvider) ReleaseScratch(s *Scratch) {
 	if s == nil {
 		return
 	}
 	s.release()
-	p.pool.Put(s)
+	poolScratch(&p.pool, s, p.MaxScratchBytes)
 }
 
 // NN returns a fresh Dijkstra-based NNFinder.

@@ -2,6 +2,8 @@ package core
 
 import (
 	"math"
+	"sync"
+	"unsafe"
 
 	"repro/internal/graph"
 	"repro/internal/invindex"
@@ -177,6 +179,62 @@ func (s *Scratch) release() {
 	s.enLog = s.enLog[:0]
 	s.heap.Clear()
 	s.arena.reset()
+}
+
+// DefaultMaxScratchBytes is the per-scratch retained-footprint ceiling
+// applied by the providers' pools when MaxScratchBytes is zero. A warm
+// scratch keeps its high-water footprint — touched dominance levels plus
+// per-category iterator rows, each O(|V|) — so without a ceiling a burst
+// of wide queries would pin that worst case in every pooled scratch
+// forever. 256 MiB comfortably holds country-scale road networks
+// (|V| ≈ 10⁷ costs ~40 MiB per dominance level) while bounding
+// pool growth at millions of vertices.
+const DefaultMaxScratchBytes = 256 << 20
+
+// FootprintBytes estimates the bytes the scratch retains between
+// queries: the dense dominance tables, the NN/EN iterator rows, the
+// route-node arena, the global queue, and the recycled objects parked on
+// the free lists. The estimate intentionally counts capacities, not
+// lengths — a released scratch is empty but keeps its backing arrays.
+func (s *Scratch) FootprintBytes() int64 {
+	var b int64
+	for i := range s.dom {
+		b += int64(cap(s.dom[i].nodes)) * int64(unsafe.Sizeof(domNodeSlot{}))
+		b += int64(cap(s.dom[i].heaps)) * int64(unsafe.Sizeof(domHeapSlot{}))
+	}
+	for i := range s.nnRows {
+		b += int64(cap(s.nnRows[i])) * int64(unsafe.Sizeof(iterSlot{}))
+	}
+	for i := range s.enRows {
+		b += int64(cap(s.enRows[i])) * int64(unsafe.Sizeof(enSlot{}))
+	}
+	b += int64(len(s.arena.chunks)) * arenaChunkSize * int64(unsafe.Sizeof(routeNode{}))
+	b += int64(s.heap.Cap()) * int64(unsafe.Sizeof(qItem{}))
+	for _, h := range s.freeHeaps {
+		b += int64(h.Cap()) * int64(unsafe.Sizeof(qItem{}))
+	}
+	for _, it := range s.freeIters {
+		b += it.MemFootprint()
+	}
+	for _, st := range s.freeENs {
+		b += int64(cap(st.enl))*int64(unsafe.Sizeof(Neighbor{})) +
+			int64(st.enq.Cap())*int64(unsafe.Sizeof(enCand{}))
+	}
+	return b
+}
+
+// poolScratch returns s to pool unless its retained footprint exceeds
+// budget (0 = DefaultMaxScratchBytes, negative = unlimited), in which
+// case s is dropped for the GC so the pool converges back to lean
+// scratches after a burst of wide queries.
+func poolScratch(pool *sync.Pool, s *Scratch, budget int64) {
+	if budget == 0 {
+		budget = DefaultMaxScratchBytes
+	}
+	if budget > 0 && s.FootprintBytes() > budget {
+		return
+	}
+	pool.Put(s)
 }
 
 // hardReset zeroes every dense slot; only needed at epoch wrap.

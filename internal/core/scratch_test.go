@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"runtime"
@@ -89,9 +90,9 @@ func TestScratchReuseByteIdentical(t *testing.T) {
 			if qi%5 == 0 {
 				opt.MaxExamined = 50 // exercise budget-truncated queries too
 			}
-			gotRoutes, gotStats, gotErr := Solve(g, q, warm, opt)
+			gotRoutes, gotStats, gotErr := Solve(context.Background(), g, q, warm, opt)
 			cold := &LabelProvider{Graph: g, Labels: warm.Labels, Inv: warm.Inv}
-			wantRoutes, wantStats, wantErr := Solve(g, q, cold, opt)
+			wantRoutes, wantStats, wantErr := Solve(context.Background(), g, q, cold, opt)
 			if (gotErr == nil) != (wantErr == nil) {
 				t.Fatalf("q%d %v: err=%v, want %v", qi, m, gotErr, wantErr)
 			}
@@ -132,7 +133,7 @@ func TestSolveSteadyStateNoPerVertexAllocs(t *testing.T) {
 				// cheap; truncated queries exercise the same scratch
 				// setup/teardown path.
 				opt := Options{Method: m, MaxExamined: 20000}
-				if _, _, err := Solve(g, q, prov, opt); err != nil && err != ErrBudgetExceeded {
+				if _, _, err := Solve(context.Background(), g, q, prov, opt); err != nil && err != ErrBudgetExceeded {
 					t.Fatal(err)
 				}
 			}
@@ -176,7 +177,7 @@ func TestScratchEpochWrap(t *testing.T) {
 
 	want := make([][]Route, len(queries))
 	for i, q := range queries {
-		r, _, err := Solve(g, q, prov, Options{Method: MethodSK})
+		r, _, err := Solve(context.Background(), g, q, prov, Options{Method: MethodSK})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -190,7 +191,7 @@ func TestScratchEpochWrap(t *testing.T) {
 
 	for round := 0; round < 8; round++ { // crosses the wrap mid-loop
 		for i, q := range queries {
-			r, _, err := Solve(g, q, prov, Options{Method: MethodSK})
+			r, _, err := Solve(context.Background(), g, q, prov, Options{Method: MethodSK})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -198,6 +199,65 @@ func TestScratchEpochWrap(t *testing.T) {
 				t.Fatalf("round %d q%d: routes diverge after epoch wrap: %v want %v", round, i, r, want[i])
 			}
 		}
+	}
+}
+
+// TestScratchPoolByteBudget pins the pool's release policy: a scratch
+// whose retained footprint exceeds the provider's byte budget must be
+// dropped on release (the next acquire builds a fresh, lean scratch)
+// while a generous budget keeps recycling the warm scratch.
+func TestScratchPoolByteBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("pool-identity assertions are unreliable under the race detector (sync.Pool drops items)")
+	}
+	g := scratchTestGraph(24, 24, 5, 7) // |V| = 576
+	prov := NewLabelProvider(g, nil)
+	q := scratchTestQueries(g, 1, 11)[0]
+
+	// Warm path: run a dominance-pruned query (twice, so the retained
+	// capacities converge) and verify the accounting sees the dense
+	// per-vertex tables the scratch grew.
+	for i := 0; i < 2; i++ {
+		if _, _, err := Solve(context.Background(), g, q, prov, Options{Method: MethodPK}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	warm := prov.AcquireScratch()
+	foot := warm.FootprintBytes()
+	// One touched dominance-node level alone is |V|·16 bytes.
+	if min := int64(g.NumVertices()) * 16; foot < min {
+		t.Fatalf("footprint %d bytes does not cover the dominance tables (want ≥ %d)", foot, min)
+	}
+	prov.ReleaseScratch(warm)
+
+	// Within budget: the same scratch keeps coming back.
+	prov.MaxScratchBytes = foot + 4096
+	if _, _, err := Solve(context.Background(), g, q, prov, Options{Method: MethodPK}); err != nil {
+		t.Fatal(err)
+	}
+	if s := prov.AcquireScratch(); s != warm {
+		t.Error("scratch within budget was not recycled")
+	} else {
+		prov.ReleaseScratch(s)
+	}
+
+	// Over budget: release drops the warm scratch, so the next acquire
+	// starts lean again.
+	prov.MaxScratchBytes = 1
+	if _, _, err := Solve(context.Background(), g, q, prov, Options{Method: MethodPK}); err != nil {
+		t.Fatal(err)
+	}
+	fresh := prov.AcquireScratch()
+	if fresh == warm {
+		t.Fatal("scratch over the byte budget was pooled instead of dropped")
+	}
+	if f := fresh.FootprintBytes(); f >= foot {
+		t.Fatalf("replacement scratch retained %d bytes; want a lean scratch (< %d)", f, foot)
+	}
+	prov.MaxScratchBytes = -1 // unlimited: even the huge scratch pools
+	prov.ReleaseScratch(fresh)
+	if s := prov.AcquireScratch(); s != fresh {
+		t.Error("negative budget must disable the cap")
 	}
 }
 
@@ -210,7 +270,7 @@ func TestSearcherReleasesScratch(t *testing.T) {
 	q := scratchTestQueries(g, 1, 3)[0]
 
 	collect := func() []Route {
-		s, err := NewSearcher(g, q, prov, Options{Method: MethodSK})
+		s, err := NewSearcher(context.Background(), g, q, prov, Options{Method: MethodSK})
 		if err != nil {
 			t.Fatal(err)
 		}

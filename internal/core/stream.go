@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/graph"
@@ -26,10 +27,25 @@ type Searcher struct {
 
 // NewSearcher starts a streaming search for the query. q.K is ignored:
 // routes are produced on demand until the witness space is exhausted or
-// a budget in opt trips.
-func NewSearcher(g *graph.Graph, q Query, prov Provider, opt Options) (*Searcher, error) {
+// a budget in opt trips. Cancelling ctx ends the stream: the pending
+// Next returns ctx.Err() within one pop-loop check interval and the
+// scratch goes back to the provider's pool.
+func NewSearcher(ctx context.Context, g *graph.Graph, q Query, prov Provider, opt Options) (*Searcher, error) {
 	q.K = 1 // satisfy validation; the stream is unbounded
-	e, nn, err := newStandardEngine(g, q, prov, opt)
+	e, nn, err := newStandardEngine(ctx, g, q, prov, opt)
+	if err != nil {
+		return nil, err
+	}
+	e.seed()
+	return &Searcher{e: e, nn: nn, start: time.Now()}, nil
+}
+
+// NewVariantSearcher starts a streaming search for a Section IV-C
+// variant query. q.K is ignored, as with NewSearcher; StarKOSR degrades
+// to PruningKOSR when NoTarget disables the estimate.
+func NewVariantSearcher(ctx context.Context, g *graph.Graph, q VariantQuery, prov Provider, opt Options) (*Searcher, error) {
+	q.K = 1 // satisfy validation; the stream is unbounded
+	e, nn, err := newVariantEngine(ctx, g, q, prov, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -38,13 +54,21 @@ func NewSearcher(g *graph.Graph, q Query, prov Provider, opt Options) (*Searcher
 }
 
 // Next returns the next cheapest route. ok is false when no further
-// feasible route exists. After an ErrBudgetExceeded the stream is
-// exhausted.
+// feasible route exists. After an ErrBudgetExceeded or a context error
+// the stream is exhausted.
 func (s *Searcher) Next() (Route, bool, error) {
 	if s.done {
 		return Route{}, false, s.doneErr
 	}
-	r, ok, err := s.e.nextResult()
+	// Poll the context at result granularity too: a cancelled stream
+	// must not hand out routes that were computed before the
+	// cancellation was observed by the pop loop.
+	var r Route
+	var ok bool
+	err := s.e.ctxErr()
+	if err == nil {
+		r, ok, err = s.e.nextResult()
+	}
 	s.e.stats.NNQueries = s.nn.Queries()
 	s.e.stats.Results = len(s.e.results)
 	s.e.stats.Total = time.Since(s.start)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -12,7 +13,7 @@ func TestSearcherStreamsAllWitnesses(t *testing.T) {
 	q := fig1Query(t, g, 1)
 	prov := NewLabelProvider(g, nil)
 	for _, m := range []Method{MethodKPNE, MethodPK, MethodSK} {
-		s, err := NewSearcher(g, q, prov, Options{Method: m})
+		s, err := NewSearcher(context.Background(), g, q, prov, Options{Method: m})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -52,11 +53,11 @@ func TestSearcherMatchesSolve(t *testing.T) {
 		g, q := randomInstance(rng)
 		prov := NewLabelProvider(g, nil)
 		q.K = 6
-		routes, _, err := Solve(g, q, prov, Options{Method: MethodSK})
+		routes, _, err := Solve(context.Background(), g, q, prov, Options{Method: MethodSK})
 		if err != nil {
 			t.Fatal(err)
 		}
-		s, err := NewSearcher(g, q, prov, Options{Method: MethodSK})
+		s, err := NewSearcher(context.Background(), g, q, prov, Options{Method: MethodSK})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -75,7 +76,7 @@ func TestSearcherMatchesSolve(t *testing.T) {
 func TestSearcherBudget(t *testing.T) {
 	g := graph.Figure1()
 	q := fig1Query(t, g, 1)
-	s, err := NewSearcher(g, q, NewLabelProvider(g, nil), Options{Method: MethodKPNE, MaxExamined: 2})
+	s, err := NewSearcher(context.Background(), g, q, NewLabelProvider(g, nil), Options{Method: MethodKPNE, MaxExamined: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +88,7 @@ func TestSearcherBudget(t *testing.T) {
 
 func TestSearcherValidation(t *testing.T) {
 	g := graph.Figure1()
-	if _, err := NewSearcher(g, Query{Source: -1}, NewLabelProvider(g, nil), Options{}); err == nil {
+	if _, err := NewSearcher(context.Background(), g, Query{Source: -1}, NewLabelProvider(g, nil), Options{}); err == nil {
 		t.Fatal("want validation error")
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -122,8 +123,25 @@ func (q VariantQuery) Validate(g *graph.Graph) error {
 // NoSource is set (they begin at a vertex of C1) and omit the
 // destination when NoTarget is set (they end at a vertex of Cj).
 // StarKOSR degrades to PruningKOSR when NoTarget disables the estimate,
-// per Section IV-C.
-func SolveVariant(g *graph.Graph, q VariantQuery, prov Provider, opt Options) ([]Route, *Stats, error) {
+// per Section IV-C. Cancelling ctx aborts the search like Solve.
+func SolveVariant(ctx context.Context, g *graph.Graph, q VariantQuery, prov Provider, opt Options) ([]Route, *Stats, error) {
+	e, nn, err := newVariantEngine(ctx, g, q, prov, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer e.releaseScratch()
+	start := time.Now()
+	runErr := e.run()
+	e.stats.NNQueries = nn.Queries()
+	e.stats.Results = len(e.results)
+	e.stats.Total = time.Since(start)
+	return e.results, e.stats, runErr
+}
+
+// newVariantEngine builds the engine shared by SolveVariant and
+// NewVariantSearcher. On success the engine holds a checked-out scratch;
+// the caller must arrange for releaseScratch once the search is over.
+func newVariantEngine(ctx context.Context, g *graph.Graph, q VariantQuery, prov Provider, opt Options) (*engine, NNFinder, error) {
 	if err := q.Validate(g); err != nil {
 		return nil, nil, err
 	}
@@ -154,7 +172,6 @@ func SolveVariant(g *graph.Graph, q VariantQuery, prov Provider, opt Options) ([
 		Method:           opt.Method,
 		ExaminedPerLevel: make([]int64, len(cats)+2),
 	}
-	start := time.Now()
 	scratch, owner := acquireScratch(prov, g.NumVertices())
 	nn := prov.NN()
 	if su, ok := nn.(scratchUser); ok {
@@ -174,6 +191,7 @@ func SolveVariant(g *graph.Graph, q VariantQuery, prov Provider, opt Options) ([
 		g:            g,
 		q:            Query{Source: q.Source, Target: q.Target, Categories: cats, K: q.K},
 		opt:          opt,
+		ctx:          ctx,
 		distTo:       distTo,
 		stats:        st,
 		scratch:      scratch,
@@ -193,12 +211,7 @@ func SolveVariant(g *graph.Graph, q VariantQuery, prov Provider, opt Options) ([
 		e.finder = finder
 	}
 	e.initSearchState()
-	err := e.run()
-	e.releaseScratch()
-	st.NNQueries = nn.Queries()
-	st.Results = len(e.results)
-	st.Total = time.Since(start)
-	return e.results, st, err
+	return e, nn, nil
 }
 
 // BruteForceVariant is the exhaustive oracle for variant queries.

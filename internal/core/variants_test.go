@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -27,7 +28,7 @@ func solveAndCompare(t *testing.T, g *graph.Graph, q VariantQuery, tag string) {
 	}
 	for provName, prov := range providers(g) {
 		for _, m := range []Method{MethodKPNE, MethodPK, MethodSK} {
-			routes, _, err := SolveVariant(g, q, prov, Options{Method: m})
+			routes, _, err := SolveVariant(context.Background(), g, q, prov, Options{Method: m})
 			if err != nil {
 				t.Fatalf("%s/%s/%s: %v", tag, provName, m, err)
 			}
@@ -102,7 +103,7 @@ func TestFilterActuallyFilters(t *testing.T) {
 		K:          2,
 		Filters:    Filters{re: func(v graph.Vertex) bool { return v == e }},
 	}
-	routes, _, err := SolveVariant(g, q, NewLabelProvider(g, nil), Options{Method: MethodSK})
+	routes, _, err := SolveVariant(context.Background(), g, q, NewLabelProvider(g, nil), Options{Method: MethodSK})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +130,7 @@ func TestNoSourceFigure1(t *testing.T) {
 		NoSource: true, Target: tv,
 		Categories: []graph.Category{ma, re, ci}, K: 1,
 	}
-	routes, _, err := SolveVariant(g, q, NewLabelProvider(g, nil), Options{Method: MethodSK})
+	routes, _, err := SolveVariant(context.Background(), g, q, NewLabelProvider(g, nil), Options{Method: MethodSK})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +152,7 @@ func TestNoTargetFigure1(t *testing.T) {
 		Categories: []graph.Category{ma, re, ci}, K: 2,
 	}
 	// StarKOSR silently degrades to PruningKOSR (Section IV-C).
-	routes, st, err := SolveVariant(g, q, NewLabelProvider(g, nil), Options{Method: MethodSK})
+	routes, st, err := SolveVariant(context.Background(), g, q, NewLabelProvider(g, nil), Options{Method: MethodSK})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +176,7 @@ func TestVariantValidation(t *testing.T) {
 		{Source: 0, Target: 1, Categories: []graph.Category{99}, K: 1},
 	}
 	for i, q := range bad {
-		if _, _, err := SolveVariant(g, q, prov, Options{}); err == nil {
+		if _, _, err := SolveVariant(context.Background(), g, q, prov, Options{}); err == nil {
 			t.Errorf("case %d: want error", i)
 		}
 	}
@@ -201,7 +202,7 @@ func TestUnweightedGraphVariant(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	routes, _, err := Solve(g, q, NewLabelProvider(g, nil), Options{Method: MethodSK})
+	routes, _, err := Solve(context.Background(), g, q, NewLabelProvider(g, nil), Options{Method: MethodSK})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package disk
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"os"
@@ -65,7 +66,7 @@ func TestLoadQueryAnswersKOSR(t *testing.T) {
 	}
 	prov := &core.LabelProvider{Graph: g, Labels: lab, Inv: inv}
 	q := core.Query{Source: s, Target: tv, Categories: cats, K: 3}
-	routes, _, err := core.Solve(g, q, prov, core.Options{Method: core.MethodSK})
+	routes, _, err := core.Solve(context.Background(), g, q, prov, core.Options{Method: core.MethodSK})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +123,7 @@ func TestLoadQueryMatchesInMemoryOnRandomGraphs(t *testing.T) {
 			K:          4,
 		}
 		memProv := core.NewLabelProvider(g, lab)
-		memRoutes, _, err := core.Solve(g, q, memProv, core.Options{Method: core.MethodSK})
+		memRoutes, _, err := core.Solve(context.Background(), g, q, memProv, core.Options{Method: core.MethodSK})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -131,7 +132,7 @@ func TestLoadQueryMatchesInMemoryOnRandomGraphs(t *testing.T) {
 			t.Fatal(err)
 		}
 		diskProv := &core.LabelProvider{Graph: g, Labels: slab, Inv: sinv}
-		diskRoutes, _, err := core.Solve(g, q, diskProv, core.Options{Method: core.MethodSK})
+		diskRoutes, _, err := core.Solve(context.Background(), g, q, diskProv, core.Options{Method: core.MethodSK})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -12,6 +12,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 
 	"repro/internal/graph"
 	"repro/internal/label"
@@ -452,6 +453,17 @@ func (it *NNIterator) Reset(v graph.Vertex, cat graph.Category) {
 
 // Found returns the number of neighbours materialized in NL so far.
 func (it *NNIterator) Found() int { return len(it.nl) }
+
+// MemFootprint estimates the bytes this iterator retains across Reset
+// calls: the NL cache, the probing set, the candidate heap, and the
+// per-hub read positions. Used by the query-scratch release policy.
+func (it *NNIterator) MemFootprint() int64 {
+	return int64(cap(it.nl))*int64(unsafe.Sizeof(Neighbor{})) +
+		int64(cap(it.seen.tab))*int64(unsafe.Sizeof(int32(0))) +
+		int64(it.nq.Cap())*int64(unsafe.Sizeof(nnCand{})) +
+		int64(cap(it.lists))*int64(unsafe.Sizeof([]Entry(nil))) +
+		int64(cap(it.pos))*int64(unsafe.Sizeof(int32(0)))
+}
 
 // Get returns the x-th (1-based) nearest neighbour of v in the category.
 // ok is false when fewer than x vertices of the category are reachable.

@@ -58,6 +58,10 @@ func (h *Heap[T]) Clear() {
 // The caller must not modify it.
 func (h *Heap[T]) Items() []T { return h.items }
 
+// Cap returns the capacity of the backing array — the footprint a
+// cleared heap retains for reuse.
+func (h *Heap[T]) Cap() int { return cap(h.items) }
+
 func (h *Heap[T]) up(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2

@@ -1,17 +1,21 @@
-// Package server exposes a System over HTTP with a small JSON API, so
-// the KOSR engine can back a routing service:
+// Package server exposes a System over HTTP, so the KOSR engine can
+// back a routing service:
 //
-//	GET  /health          liveness and index statistics
-//	POST /query           answer a KOSR query
+//	GET  /health          liveness, index and cache statistics
+//	POST /v1/query        answer a batch of KOSR queries
+//	POST /v1/stream       stream one query's routes as NDJSON
 //	POST /expand          expand a witness into a full route
+//	POST /query           deprecated single-query endpoint
 //
-// Queries execute on a bounded worker pool over the shared read-only
-// index: each worker reuses a warm query scratch from the provider's
-// pool, so steady-state queries allocate no per-vertex state, and the
-// pool bounds how many engines run at once no matter how many HTTP
-// connections are open. Requests that cannot be scheduled before their
-// timeout are rejected rather than queued without bound, and Close
-// drains the pool for graceful shutdown.
+// Everything enters through the context-first Request path: queries
+// execute on a bounded worker pool over the shared read-only index, the
+// request context is threaded into the engine so a disconnected client
+// aborts its in-flight search (and its scratch returns to the pool),
+// and /v1/query results pass through an LRU cache with single-flight
+// deduplication — concurrent identical queries compute once, and skewed
+// traffic stops recomputing its hot set. Cached entries store the
+// serialized response bytes, so cached and freshly computed responses
+// are byte-identical by construction.
 package server
 
 import (
@@ -19,6 +23,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"mime"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -26,7 +31,7 @@ import (
 	"time"
 
 	kosr "repro"
-	"repro/internal/core"
+	"repro/internal/cache"
 )
 
 // maxBodyBytes bounds request bodies; KOSR queries are tiny, so
@@ -49,6 +54,15 @@ type Config struct {
 	// QueryTimeout bounds each query's wall-clock time, queueing
 	// included (0 = no limit).
 	QueryTimeout time.Duration
+	// CacheSize bounds the /v1/query result cache in entries
+	// (0 = caching disabled). Only complete results are stored:
+	// truncation depends on wall-clock budgets, so partial results are
+	// recomputed. Dynamic index updates require a new Server (or an
+	// explicit cache purge) — the cache assumes an immutable index.
+	CacheSize int
+	// MaxBatch bounds how many queries one /v1/query request may carry
+	// (default 64).
+	MaxBatch int
 }
 
 // Server wires a System into an http.Handler backed by a worker pool.
@@ -61,6 +75,9 @@ type Server struct {
 	MaxExamined int64
 	// QueryTimeout bounds each query's wall-clock time (0 = no limit).
 	QueryTimeout time.Duration
+
+	cache    *cache.Cache[[]byte] // nil when CacheSize == 0
+	maxBatch int
 
 	jobs     chan *task
 	workerWG sync.WaitGroup
@@ -86,16 +103,25 @@ func NewWithConfig(sys *kosr.System, cfg Config) *Server {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 4 * cfg.Workers
 	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 64
+	}
 	s := &Server{
 		sys:          sys,
 		mux:          http.NewServeMux(),
 		MaxExamined:  cfg.MaxExamined,
 		QueryTimeout: cfg.QueryTimeout,
+		maxBatch:     cfg.MaxBatch,
 		jobs:         make(chan *task, cfg.QueueDepth),
 	}
-	s.mux.HandleFunc("/health", s.handleHealth)
-	s.mux.HandleFunc("/query", s.handleQuery)
-	s.mux.HandleFunc("/expand", s.handleExpand)
+	if cfg.CacheSize > 0 {
+		s.cache = cache.New[[]byte](cfg.CacheSize)
+	}
+	s.mux.HandleFunc("/health", methodOnly(http.MethodGet, s.handleHealth))
+	s.mux.HandleFunc("/v1/query", methodOnly(http.MethodPost, s.handleBatchQuery))
+	s.mux.HandleFunc("/v1/stream", methodOnly(http.MethodPost, s.handleStream))
+	s.mux.HandleFunc("/query", methodOnly(http.MethodPost, s.handleQuery))
+	s.mux.HandleFunc("/expand", methodOnly(http.MethodPost, s.handleExpand))
 	for i := 0; i < cfg.Workers; i++ {
 		s.workerWG.Add(1)
 		go s.worker()
@@ -128,6 +154,16 @@ func (s *Server) Close() {
 	s.workerWG.Wait()
 }
 
+// CacheStats reports the result cache's cumulative behaviour (all zero
+// when caching is disabled). entries is the current stored count.
+func (s *Server) CacheStats() (hits, misses, coalesced int64, entries int) {
+	if s.cache == nil {
+		return 0, 0, 0, 0
+	}
+	h, m, c := s.cache.Stats()
+	return h, m, c, s.cache.Len()
+}
+
 var errShuttingDown = errors.New("server shutting down")
 
 // dispatch runs fn on the worker pool, blocking until it completes.
@@ -148,15 +184,49 @@ func (s *Server) dispatch(ctx context.Context, fn func()) error {
 	case <-ctx.Done():
 		return ctx.Err()
 	}
-	// Once scheduled the task will run; the engine's own MaxDuration
-	// budget bounds how long (responding early would race the worker's
-	// writes into the handler's response).
+	// Once scheduled the task will run; the request context threaded
+	// into the engine bounds how long (responding early would race the
+	// worker's writes into the handler's response).
 	<-t.done
 	return nil
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// methodOnly rejects every verb but the given one with a 405 carrying
+// the mandatory Allow header.
+func methodOnly(method string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != method {
+			w.Header().Set("Allow", method)
+			writeError(w, http.StatusMethodNotAllowed, "use %s", method)
+			return
+		}
+		h(w, r)
+	}
+}
+
+// decodeJSON parses a JSON request body strictly: the Content-Type (when
+// present) must be a JSON media type, unknown fields are rejected, and
+// the body is capped at maxBodyBytes. It writes the error response
+// itself and reports whether decoding succeeded.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		mt, _, err := mime.ParseMediaType(ct)
+		if err != nil || (mt != "application/json" && mt != "text/json") {
+			writeError(w, http.StatusUnsupportedMediaType, "Content-Type %q is not JSON", ct)
+			return false
+		}
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return false
+	}
+	return true
+}
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -177,13 +247,20 @@ type HealthResponse struct {
 	AvgLin     float64 `json:"avgLin,omitempty"`
 	AvgLout    float64 `json:"avgLout,omitempty"`
 	IndexBytes int64   `json:"indexBytes,omitempty"`
+
+	// Result cache counters (absent when caching is disabled).
+	Cache *CacheHealth `json:"cache,omitempty"`
+}
+
+// CacheHealth is the /health view of the result cache.
+type CacheHealth struct {
+	Entries   int   `json:"entries"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Coalesced int64 `json:"coalesced"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "use GET")
-		return
-	}
 	resp := HealthResponse{
 		Status:     "ok",
 		Vertices:   s.sys.Graph.NumVertices(),
@@ -196,11 +273,15 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		resp.AvgLout = st.AvgOut
 		resp.IndexBytes = st.SizeBytes
 	}
+	if s.cache != nil {
+		h, m, c := s.cache.Stats()
+		resp.Cache = &CacheHealth{Entries: s.cache.Len(), Hits: h, Misses: m, Coalesced: c}
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// QueryRequest is the /query payload. Vertices and categories may be
-// given as numeric ids or symbolic names.
+// QueryRequest is one KOSR query on the wire. Vertices and categories
+// may be given as numeric ids or symbolic names.
 type QueryRequest struct {
 	Source     string   `json:"source"`
 	Target     string   `json:"target"`
@@ -220,15 +301,41 @@ type RouteJSON struct {
 	Route   []int32  `json:"route,omitempty"`
 }
 
-// QueryResponse is the /query result.
+// QueryResult is one query's answer inside a /v1/query batch response.
+// Every field is deterministic for a given index, which is what makes
+// cached results byte-identical to freshly computed ones (wall-clock
+// timing travels in the X-Query-Millis response header instead).
+type QueryResult struct {
+	Routes    []RouteJSON `json:"routes"`
+	Examined  int64       `json:"examined"`
+	NNQueries int64       `json:"nnQueries"`
+	// Truncated marks that the search budget tripped before k routes
+	// were found; Routes holds the (possibly empty) partial result.
+	Truncated bool `json:"truncated,omitempty"`
+	// Error reports a per-query failure (unknown vertex, bad method,
+	// …); the surrounding batch still answers its other queries.
+	Error string `json:"error,omitempty"`
+}
+
+// BatchRequest is the /v1/query payload: a batch of queries answered
+// concurrently on the worker pool.
+type BatchRequest struct {
+	Queries []QueryRequest `json:"queries"`
+}
+
+// BatchResponse is the /v1/query result; Results is parallel to the
+// request's Queries.
+type BatchResponse struct {
+	Results []json.RawMessage `json:"results"`
+}
+
+// QueryResponse is the deprecated /query result.
 type QueryResponse struct {
 	Routes    []RouteJSON `json:"routes"`
 	Examined  int64       `json:"examined"`
 	NNQueries int64       `json:"nnQueries"`
 	Millis    float64     `json:"millis"`
-	// Truncated marks that the search budget tripped before k routes
-	// were found; Routes holds the (possibly empty) partial result.
-	Truncated bool `json:"truncated,omitempty"`
+	Truncated bool        `json:"truncated,omitempty"`
 }
 
 // resolveVertex maps a symbolic name or a decimal id to a vertex,
@@ -263,35 +370,25 @@ func (s *Server) resolveCategory(spec string) (kosr.Category, error) {
 	return kosr.Category(id), nil
 }
 
-func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "use POST")
-		return
-	}
-	var req QueryRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad JSON: %v", err)
-		return
-	}
-	src, err := s.resolveVertex(req.Source)
+// buildRequest resolves a wire query into an engine Request.
+func (s *Server) buildRequest(qr QueryRequest) (kosr.Request, error) {
+	var req kosr.Request
+	src, err := s.resolveVertex(qr.Source)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "source: %v", err)
-		return
+		return req, fmt.Errorf("source: %w", err)
 	}
-	dst, err := s.resolveVertex(req.Target)
+	dst, err := s.resolveVertex(qr.Target)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "target: %v", err)
-		return
+		return req, fmt.Errorf("target: %w", err)
 	}
-	cats := make([]kosr.Category, len(req.Categories))
-	for i, cs := range req.Categories {
+	cats := make([]kosr.Category, len(qr.Categories))
+	for i, cs := range qr.Categories {
 		if cats[i], err = s.resolveCategory(cs); err != nil {
-			writeError(w, http.StatusBadRequest, "category %d: %v", i, err)
-			return
+			return req, fmt.Errorf("category %d: %w", i, err)
 		}
 	}
 	var method kosr.Method
-	switch req.Method {
+	switch qr.Method {
 	case "", "SK":
 		method = kosr.StarKOSR
 	case "PK":
@@ -299,72 +396,82 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	case "KPNE":
 		method = kosr.KPNE
 	default:
-		writeError(w, http.StatusBadRequest, "unknown method %q", req.Method)
-		return
+		return req, fmt.Errorf("unknown method %q", qr.Method)
 	}
-	k := req.K
+	k := qr.K
 	if k <= 0 {
 		k = 1
 	}
+	return kosr.Request{
+		Source: src, Target: dst, Categories: cats, K: k,
+		Method: method, MaxExamined: s.MaxExamined,
+	}, nil
+}
 
-	ctx := r.Context()
+// queryCtx derives the per-query context from the request context and
+// the configured timeout.
+func (s *Server) queryCtx(r *http.Request) (context.Context, context.CancelFunc) {
 	if s.QueryTimeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, s.QueryTimeout)
-		defer cancel()
+		return context.WithTimeout(r.Context(), s.QueryTimeout)
 	}
+	return r.Context(), func() {}
+}
 
-	start := time.Now()
-	var routes []kosr.Route
-	var expanded [][]int32
-	var st *kosr.Stats
-	var solveErr error
+// runQuery answers one Request on the worker pool: the shared
+// worker-side body of /v1/query, /v1/stream's sibling handlers and the
+// deprecated /query. The engine honours the context itself, but
+// MaxDuration additionally caps the search at the time left when the
+// worker picks the query up, so queueing cannot extend the request's
+// stay. Expansion runs on the worker too, so the pool bounds all
+// engine CPU, not just Do.
+func (s *Server) runQuery(ctx context.Context, req kosr.Request, expand bool) (res *kosr.Result, expanded [][]int32, err error) {
+	var doErr error
 	if err := s.dispatch(ctx, func() {
-		opts := kosr.Options{Method: method, MaxExamined: s.MaxExamined}
 		if deadline, ok := ctx.Deadline(); ok {
-			// The budget is the time left when the worker picks the
-			// query up (queueing already spent part of it), so a
-			// scheduled query never overstays the request timeout.
 			remaining := time.Until(deadline)
 			if remaining <= 0 {
-				solveErr = context.DeadlineExceeded
+				doErr = context.DeadlineExceeded
 				return
 			}
-			opts.MaxDuration = remaining
+			req.MaxDuration = remaining
 		}
-		routes, st, solveErr = s.sys.Solve(
-			kosr.Query{Source: src, Target: dst, Categories: cats, K: k}, opts)
-		if req.Expand {
-			// Expansion is Dijkstra work too; it runs here on the
-			// worker so the pool bounds all engine CPU, not just Solve.
-			expanded = make([][]int32, len(routes))
-			for i, rt := range routes {
+		res, doErr = s.sys.Do(ctx, req)
+		if doErr == nil && expand {
+			expanded = make([][]int32, len(res.Routes))
+			for i, rt := range res.Routes {
 				expanded[i] = s.sys.ExpandWitness(rt.Witness)
 			}
 		}
 	}); err != nil {
-		writeDispatchError(w, err)
-		return
+		return nil, nil, err
 	}
-	truncated := false
-	if errors.Is(solveErr, core.ErrBudgetExceeded) {
-		// The budget tripping is not a failure: return the routes found
-		// so far, marked truncated, so clients can degrade gracefully.
-		truncated = true
-	} else if errors.Is(solveErr, context.DeadlineExceeded) {
-		writeError(w, http.StatusServiceUnavailable, "query timed out before a worker could start it")
-		return
-	} else if solveErr != nil {
-		writeError(w, http.StatusBadRequest, "%v", solveErr)
-		return
+	return res, expanded, doErr
+}
+
+// compute answers one Request on the worker pool and serializes the
+// deterministic QueryResult. storable is false for truncated results
+// (truncation depends on wall-clock budgets, so caching one would serve
+// stale partial answers to requests with healthier budgets).
+func (s *Server) compute(ctx context.Context, req kosr.Request, expand bool) (body []byte, storable bool, err error) {
+	res, expanded, err := s.runQuery(ctx, req, expand)
+	if err != nil {
+		return nil, false, err
 	}
-	resp := QueryResponse{
-		Routes:    make([]RouteJSON, len(routes)),
-		Examined:  st.Examined,
-		NNQueries: st.NNQueries,
-		Millis:    float64(time.Since(start).Microseconds()) / 1000,
-		Truncated: truncated,
+	qr := QueryResult{
+		Routes:    s.routesJSON(res.Routes, expanded),
+		Examined:  res.Stats.Examined,
+		NNQueries: res.Stats.NNQueries,
+		Truncated: res.Truncated,
 	}
+	b, err := json.Marshal(qr)
+	if err != nil {
+		return nil, false, err
+	}
+	return b, !res.Truncated, nil
+}
+
+func (s *Server) routesJSON(routes []kosr.Route, expanded [][]int32) []RouteJSON {
+	out := make([]RouteJSON, len(routes))
 	for i, rt := range routes {
 		rj := RouteJSON{Witness: rt.Witness, Cost: rt.Cost}
 		rj.Names = make([]string, len(rt.Witness))
@@ -374,9 +481,219 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		if expanded != nil {
 			rj.Route = expanded[i]
 		}
-		resp.Routes[i] = rj
+		out[i] = rj
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return out
+}
+
+// answerOne resolves and answers one batch entry, going through the
+// result cache when the query is cacheable. The returned bytes are a
+// serialized QueryResult; per-query failures become the Error field so
+// the batch's other queries still answer. hit reports a cache hit (or a
+// coalesced in-flight computation).
+func (s *Server) answerOne(ctx context.Context, qr QueryRequest) (body json.RawMessage, hit bool) {
+	req, err := s.buildRequest(qr)
+	if err != nil {
+		return errResult(err), false
+	}
+	key, cacheable := req.CanonicalKey()
+	if qr.Expand {
+		key = "e|" + key
+	}
+	if s.cache == nil || !cacheable {
+		b, _, err := s.compute(ctx, req, qr.Expand)
+		if err != nil {
+			return errResult(err), false
+		}
+		return b, false
+	}
+	b, hit, err := s.cache.Do(ctx, key, func() ([]byte, bool, error) {
+		return s.compute(ctx, req, qr.Expand)
+	})
+	if err != nil && hit {
+		// The leader we coalesced onto failed (most likely its client
+		// disconnected, cancelling its context). Its failure is not
+		// ours: compute independently.
+		b, _, err = s.compute(ctx, req, qr.Expand)
+		hit = false
+	}
+	if err != nil {
+		return errResult(err), false
+	}
+	return b, hit
+}
+
+func errResult(err error) json.RawMessage {
+	b, mErr := json.Marshal(QueryResult{Error: err.Error()})
+	if mErr != nil {
+		return json.RawMessage(`{"error":"internal error"}`)
+	}
+	return b
+}
+
+// handleBatchQuery answers POST /v1/query: a batch of queries fanned
+// out across the worker pool, each passing through the result cache.
+func (s *Server) handleBatchQuery(w http.ResponseWriter, r *http.Request) {
+	var batch BatchRequest
+	if !decodeJSON(w, r, &batch) {
+		return
+	}
+	if len(batch.Queries) == 0 {
+		writeError(w, http.StatusBadRequest, "empty batch: provide at least one query")
+		return
+	}
+	if len(batch.Queries) > s.maxBatch {
+		writeError(w, http.StatusBadRequest, "batch of %d queries exceeds the limit of %d", len(batch.Queries), s.maxBatch)
+		return
+	}
+	ctx, cancel := s.queryCtx(r)
+	defer cancel()
+
+	start := time.Now()
+	results := make([]json.RawMessage, len(batch.Queries))
+	hits := make([]bool, len(batch.Queries))
+	var wg sync.WaitGroup
+	for i, q := range batch.Queries {
+		wg.Add(1)
+		go func(i int, q QueryRequest) {
+			defer wg.Done()
+			results[i], hits[i] = s.answerOne(ctx, q)
+		}(i, q)
+	}
+	wg.Wait()
+
+	nHits := 0
+	for _, h := range hits {
+		if h {
+			nHits++
+		}
+	}
+	// Timing and cache outcome travel as headers: the body stays
+	// deterministic, so cached and uncached responses are byte-identical.
+	w.Header().Set("X-Cache", fmt.Sprintf("hits=%d misses=%d", nHits, len(results)-nHits))
+	w.Header().Set("X-Query-Millis",
+		strconv.FormatFloat(float64(time.Since(start).Microseconds())/1000, 'f', 3, 64))
+	writeJSON(w, http.StatusOK, BatchResponse{Results: results})
+}
+
+// handleStream answers POST /v1/stream: the query's routes stream back
+// as NDJSON (one RouteJSON per line) in nondecreasing cost order,
+// produced lazily by the progressive searcher. K caps the stream when
+// positive. A client that disconnects cancels the request context,
+// which aborts the in-flight search within one engine check interval
+// and returns its scratch to the pool. The final line is a summary:
+// {"done":true, ...} — its absence means the stream was cut short.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	var qr QueryRequest
+	if !decodeJSON(w, r, &qr) {
+		return
+	}
+	req, err := s.buildRequest(qr)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	req.K = qr.K // DoStream treats K<=0 as unbounded; don't default to 1
+	ctx, cancel := s.queryCtx(r)
+	defer cancel()
+
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	// The whole stream runs on one pool worker, so the pool bounds all
+	// engine CPU; the context threading above keeps a dead client from
+	// pinning the worker.
+	expired := false
+	started := false
+	if err := s.dispatch(ctx, func() {
+		if deadline, ok := ctx.Deadline(); ok {
+			remaining := time.Until(deadline)
+			if remaining <= 0 {
+				expired = true // queueing ate the whole budget
+				return
+			}
+			req.MaxDuration = remaining
+		}
+		// Headers go out only once the stream really starts, so the
+		// expired path below can still answer with a proper status.
+		started = true
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		n := 0
+		truncated := false
+		for rt, err := range s.sys.DoStream(ctx, req) {
+			if err != nil {
+				// Budget exhaustion ends the stream gracefully;
+				// cancellation means nobody is reading anymore.
+				truncated = errors.Is(err, kosr.ErrBudgetExceeded)
+				if !truncated {
+					return
+				}
+				break
+			}
+			line := RouteJSON{Witness: rt.Witness, Cost: rt.Cost}
+			line.Names = make([]string, len(rt.Witness))
+			for k, v := range rt.Witness {
+				line.Names[k] = s.sys.Graph.VertexName(v)
+			}
+			if qr.Expand {
+				line.Route = s.sys.ExpandWitness(rt.Witness)
+			}
+			if enc.Encode(line) != nil {
+				return // client gone; ctx cancellation tears down the engine
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			n++
+		}
+		enc.Encode(map[string]any{"done": true, "results": n, "truncated": truncated})
+	}); err != nil {
+		// Nothing was written yet (dispatch failed before the worker
+		// ran), so a proper error status is still possible.
+		writeDispatchError(w, err)
+		return
+	}
+	if expired && !started {
+		writeError(w, http.StatusServiceUnavailable, "no worker available before the query timeout")
+	}
+}
+
+// handleQuery answers POST /query, the deprecated single-query
+// endpoint. It rides the same Request path (context threading included)
+// but keeps the historical response shape with inline timing, and
+// bypasses the result cache.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var qr QueryRequest
+	if !decodeJSON(w, r, &qr) {
+		return
+	}
+	req, err := s.buildRequest(qr)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ctx, cancel := s.queryCtx(r)
+	defer cancel()
+
+	start := time.Now()
+	res, expanded, err := s.runQuery(ctx, req, qr.Expand)
+	if errors.Is(err, errShuttingDown) || errors.Is(err, context.Canceled) {
+		writeDispatchError(w, err)
+		return
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		writeError(w, http.StatusServiceUnavailable, "query timed out before a worker could start it")
+		return
+	} else if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, QueryResponse{
+		Routes:    s.routesJSON(res.Routes, expanded),
+		Examined:  res.Stats.Examined,
+		NNQueries: res.Stats.NNQueries,
+		Millis:    float64(time.Since(start).Microseconds()) / 1000,
+		Truncated: res.Truncated,
+	})
 }
 
 func writeDispatchError(w http.ResponseWriter, err error) {
@@ -396,13 +713,8 @@ type ExpandRequest struct {
 }
 
 func (s *Server) handleExpand(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "use POST")
-		return
-	}
 	var req ExpandRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad JSON: %v", err)
+	if !decodeJSON(w, r, &req) {
 		return
 	}
 	n := int32(s.sys.Graph.NumVertices())
@@ -412,12 +724,8 @@ func (s *Server) handleExpand(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	ctx := r.Context()
-	if s.QueryTimeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, s.QueryTimeout)
-		defer cancel()
-	}
+	ctx, cancel := s.queryCtx(r)
+	defer cancel()
 	var route []int32
 	if err := s.dispatch(ctx, func() {
 		route = s.sys.ExpandWitness(req.Witness)

@@ -1,0 +1,443 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	kosr "repro"
+	"repro/internal/gen"
+)
+
+func postBatch(t *testing.T, url string, batch BatchRequest) (*http.Response, BatchResponse) {
+	t.Helper()
+	resp := postJSON(t, url+"/v1/query", batch)
+	var br BatchResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp, br
+}
+
+func decodeResult(t *testing.T, raw json.RawMessage) QueryResult {
+	t.Helper()
+	var qr QueryResult
+	if err := json.Unmarshal(raw, &qr); err != nil {
+		t.Fatal(err)
+	}
+	return qr
+}
+
+func TestBatchQuery(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, br := postBatch(t, ts.URL, BatchRequest{Queries: []QueryRequest{
+		{Source: "s", Target: "t", Categories: []string{"MA", "RE", "CI"}, K: 3},
+		{Source: "nope", Target: "t", K: 1},
+		{Source: "0", Target: "7", Categories: []string{"0", "1", "2"}, K: 1, Method: "PK", Expand: true},
+	}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status=%d", resp.StatusCode)
+	}
+	if len(br.Results) != 3 {
+		t.Fatalf("results=%d, want 3", len(br.Results))
+	}
+	r0 := decodeResult(t, br.Results[0])
+	if r0.Error != "" || len(r0.Routes) != 3 || r0.Routes[0].Cost != 20 || r0.Routes[2].Cost != 22 {
+		t.Fatalf("result 0: %+v", r0)
+	}
+	r1 := decodeResult(t, br.Results[1])
+	if !strings.Contains(r1.Error, "unknown vertex") {
+		t.Fatalf("result 1 must carry the per-query error, got %+v", r1)
+	}
+	r2 := decodeResult(t, br.Results[2])
+	if r2.Error != "" || len(r2.Routes) != 1 || r2.Routes[0].Cost != 20 || len(r2.Routes[0].Route) == 0 {
+		t.Fatalf("result 2: %+v", r2)
+	}
+	if resp.Header.Get("X-Query-Millis") == "" {
+		t.Error("missing X-Query-Millis header")
+	}
+}
+
+func TestBatchQueryLimits(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, _ := postBatch(t, ts.URL, BatchRequest{})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty batch: status=%d", resp.StatusCode)
+	}
+	big := BatchRequest{Queries: make([]QueryRequest, 65)}
+	for i := range big.Queries {
+		big.Queries[i] = QueryRequest{Source: "s", Target: "t", Categories: []string{"MA"}, K: 1}
+	}
+	resp, _ = postBatch(t, ts.URL, big)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized batch: status=%d", resp.StatusCode)
+	}
+}
+
+// TestCacheByteIdentity is the cache-correctness gate wired into CI: a
+// /v1/query response served from the result cache must be byte-for-byte
+// identical to the same batch computed fresh — both against the cold
+// run of the same server and against a server with caching disabled.
+func TestCacheByteIdentity(t *testing.T) {
+	g := kosr.Figure1()
+	sys := kosr.NewSystem(g)
+	cached := NewWithConfig(sys, Config{Workers: 2, CacheSize: 64})
+	t.Cleanup(cached.Close)
+	tsCached := httptest.NewServer(cached)
+	t.Cleanup(tsCached.Close)
+	uncached := NewWithConfig(sys, Config{Workers: 2})
+	t.Cleanup(uncached.Close)
+	tsUncached := httptest.NewServer(uncached)
+	t.Cleanup(tsUncached.Close)
+
+	batch := BatchRequest{Queries: []QueryRequest{
+		{Source: "s", Target: "t", Categories: []string{"MA", "RE", "CI"}, K: 3},
+		{Source: "s", Target: "t", Categories: []string{"MA", "RE", "CI"}, K: 3, Method: "PK"},
+		{Source: "0", Target: "7", Categories: []string{"0"}, K: 2, Expand: true},
+	}}
+	read := func(url string) (string, string) {
+		resp := postJSON(t, url+"/v1/query", batch)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status=%d", resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), resp.Header.Get("X-Cache")
+	}
+
+	cold, coldHdr := read(tsCached.URL)
+	warm, warmHdr := read(tsCached.URL)
+	plain, _ := read(tsUncached.URL)
+	if cold != warm {
+		t.Errorf("cached response diverges from cold response:\ncold: %s\nwarm: %s", cold, warm)
+	}
+	if cold != plain {
+		t.Errorf("cached server diverges from uncached server:\ncached:   %s\nuncached: %s", cold, plain)
+	}
+	if coldHdr != "hits=0 misses=3" {
+		t.Errorf("cold X-Cache=%q", coldHdr)
+	}
+	if warmHdr != "hits=3 misses=0" {
+		t.Errorf("warm X-Cache=%q", warmHdr)
+	}
+	if hits, misses, _, entries := cached.CacheStats(); hits != 3 || misses != 3 || entries != 3 {
+		t.Errorf("cache stats: hits=%d misses=%d entries=%d", hits, misses, entries)
+	}
+}
+
+// TestCacheSingleFlight fires many concurrent identical queries at a
+// cached server and checks that they collapsed onto few computations
+// (leaders) while every caller got the full answer.
+func TestCacheSingleFlight(t *testing.T) {
+	g := kosr.Figure1()
+	srv := NewWithConfig(kosr.NewSystem(g), Config{Workers: 4, CacheSize: 64})
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	const callers = 24
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, br := postBatch(t, ts.URL, BatchRequest{Queries: []QueryRequest{
+				{Source: "s", Target: "t", Categories: []string{"MA", "RE", "CI"}, K: 3},
+			}})
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("status=%d", resp.StatusCode)
+				return
+			}
+			if r := decodeResult(t, br.Results[0]); len(r.Routes) != 3 || r.Routes[0].Cost != 20 {
+				t.Errorf("routes=%+v", r)
+			}
+		}()
+	}
+	wg.Wait()
+	hits, misses, coalesced, _ := srv.CacheStats()
+	if hits+misses+coalesced != callers {
+		t.Fatalf("accounting: hits=%d misses=%d coalesced=%d, want sum %d", hits, misses, coalesced, callers)
+	}
+	if misses != 1 {
+		t.Fatalf("identical concurrent queries computed %d times, want 1 (single-flight)", misses)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	ts, _ := newTestServer(t)
+	for _, path := range []string{"/v1/query", "/v1/stream", "/query", "/expand"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("GET %s: status=%d, want 405", path, resp.StatusCode)
+		}
+		if allow := resp.Header.Get("Allow"); allow != "POST" {
+			t.Errorf("GET %s: Allow=%q, want POST", path, allow)
+		}
+	}
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/health", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed || resp.Header.Get("Allow") != "GET" {
+		t.Errorf("POST /health: status=%d Allow=%q", resp.StatusCode, resp.Header.Get("Allow"))
+	}
+}
+
+func TestUnknownFieldsRejected(t *testing.T) {
+	ts, _ := newTestServer(t)
+	for _, tc := range []struct{ path, body string }{
+		{"/query", `{"source":"s","target":"t","categories":["MA"],"k":1,"bogus":true}`},
+		{"/v1/query", `{"queries":[{"source":"s","target":"t","k":1,"wat":1}]}`},
+		{"/v1/query", `{"quieries":[]}`},
+		{"/v1/stream", `{"source":"s","target":"t","stream":true}`},
+		{"/expand", `{"witness":[0,1],"extra":"x"}`},
+	} {
+		resp, err := http.Post(ts.URL+tc.path, "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s with unknown field: status=%d, want 400", tc.path, resp.StatusCode)
+		}
+	}
+}
+
+func TestContentTypeRejected(t *testing.T) {
+	ts, _ := newTestServer(t)
+	body := `{"queries":[{"source":"s","target":"t","categories":["MA"],"k":1}]}`
+	resp, err := http.Post(ts.URL+"/v1/query", "text/plain", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnsupportedMediaType {
+		t.Fatalf("text/plain: status=%d, want 415", resp.StatusCode)
+	}
+	// Empty Content-Type is tolerated (curl-less clients, tests).
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/query", strings.NewReader(body))
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("no Content-Type: status=%d, want 200", resp2.StatusCode)
+	}
+}
+
+func TestStreamNDJSON(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp := postJSON(t, ts.URL+"/v1/stream", QueryRequest{
+		Source: "s", Target: "t", Categories: []string{"MA", "RE", "CI"}, K: 3,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status=%d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type=%q", ct)
+	}
+	var costs []float64
+	var done bool
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var line map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		if d, ok := line["done"].(bool); ok && d {
+			done = true
+			if n, _ := line["results"].(float64); int(n) != len(costs) {
+				t.Errorf("summary results=%v, streamed %d", line["results"], len(costs))
+			}
+			continue
+		}
+		costs = append(costs, line["cost"].(float64))
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Error("stream ended without a done summary line")
+	}
+	want := []float64{20, 21, 22}
+	if len(costs) != 3 || costs[0] != want[0] || costs[1] != want[1] || costs[2] != want[2] {
+		t.Fatalf("streamed costs=%v, want %v", costs, want)
+	}
+}
+
+// streamTestSystem builds a grid city whose unbounded streams yield
+// thousands of routes — enough NDJSON to outlast any socket buffer, so
+// a disconnecting client is guaranteed to abandon a live engine.
+func streamTestSystem(t *testing.T) *kosr.System {
+	t.Helper()
+	const rows, cols = 24, 24
+	b := gen.GridBuilder(gen.GridOptions{Rows: rows, Cols: cols, Seed: 3, Diagonals: true})
+	poi := b.NameCategory("poi")
+	cafe := b.NameCategory("cafe")
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 60; i++ {
+		b.AddCategory(kosr.Vertex(rng.Intn(rows*cols)), poi)
+		b.AddCategory(kosr.Vertex(rng.Intn(rows*cols)), cafe)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return kosr.NewSystem(g)
+}
+
+// TestStreamClientDisconnect is the abandoned-stream regression test: a
+// client that walks away mid-NDJSON must cancel the engine (freeing the
+// worker and its scratch) and leave no goroutines behind. The server
+// runs a single worker, so a leaked engine would deadlock the follow-up
+// query outright.
+func TestStreamClientDisconnect(t *testing.T) {
+	sys := streamTestSystem(t)
+	srv := NewWithConfig(sys, Config{Workers: 1, QueryTimeout: 30 * time.Second})
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	before := runtime.NumGoroutine()
+	for i := 0; i < 3; i++ {
+		body, _ := json.Marshal(QueryRequest{Source: "0", Target: "575", Categories: []string{"poi", "cafe"}})
+		resp, err := http.Post(ts.URL+"/v1/stream", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Read one route, then hang up mid-stream.
+		if _, err := bufio.NewReader(resp.Body).ReadString('\n'); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+
+	// The disconnects must free the single worker: a normal query now
+	// has to come back with routes, not a queue timeout. (Drain and
+	// close each poll response so its connection goes idle and the
+	// goroutine check below sees only real leaks.)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		body, _ := json.Marshal(QueryRequest{
+			Source: "0", Target: "575", Categories: []string{"poi"}, K: 1,
+		})
+		resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("worker still pinned by abandoned streams: status=%d", resp.StatusCode)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// And the stream goroutines must unwind (allow the HTTP machinery a
+	// moment to notice the closed connections; drop the client's idle
+	// keep-alive connections so only real leaks remain).
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		http.DefaultClient.CloseIdleConnections()
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked by abandoned streams: before=%d now=%d", before, n)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestStreamBudgetTruncation pins the graceful end of a budget-limited
+// stream: the summary line reports truncated=true.
+func TestStreamBudgetTruncation(t *testing.T) {
+	g := kosr.Figure1()
+	srv := NewWithConfig(kosr.NewSystem(g), Config{MaxExamined: 5})
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	resp := postJSON(t, ts.URL+"/v1/stream", QueryRequest{
+		Source: "s", Target: "t", Categories: []string{"MA", "RE", "CI"}, K: 30,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status=%d", resp.StatusCode)
+	}
+	var sawTruncated bool
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var line map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatal(err)
+		}
+		if d, ok := line["done"].(bool); ok && d {
+			sawTruncated, _ = line["truncated"].(bool)
+		}
+	}
+	if !sawTruncated {
+		t.Fatal("budget-limited stream did not report truncated=true in its summary")
+	}
+}
+
+// TestBatchConcurrentMixed hammers /v1/query from many goroutines with
+// overlapping cacheable queries (run with -race): the single-flight
+// cache, the worker pool, and the scratch pool all interleave.
+func TestBatchConcurrentMixed(t *testing.T) {
+	g := kosr.Figure1()
+	srv := NewWithConfig(kosr.NewSystem(g), Config{Workers: 4, CacheSize: 8})
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	methods := []string{"SK", "PK", "KPNE"}
+	var wg sync.WaitGroup
+	for w := 0; w < 10; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				batch := BatchRequest{Queries: []QueryRequest{
+					{Source: "s", Target: "t", Categories: []string{"MA", "RE", "CI"},
+						K: 2 + (worker+i)%2, Method: methods[(worker+i)%3]},
+					{Source: "s", Target: "t", Categories: []string{"MA"}, K: 1},
+				}}
+				resp, br := postBatch(t, ts.URL, batch)
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("worker %d: status=%d", worker, resp.StatusCode)
+					return
+				}
+				r0 := decodeResult(t, br.Results[0])
+				if r0.Error != "" || len(r0.Routes) == 0 || r0.Routes[0].Cost != 20 {
+					t.Errorf("worker %d: %+v", worker, r0)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -5,6 +5,7 @@
 package workload
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
@@ -283,7 +284,7 @@ func (d *Dataset) RunMethod(m MethodID, queries []core.Query, cfg Config, breakd
 			}
 			prov = labelProv
 		}
-		_, st, err := core.Solve(d.G, q, prov, opts)
+		_, st, err := core.Solve(context.Background(), d.G, q, prov, opts)
 		if err == core.ErrBudgetExceeded {
 			res.INF = true
 			return res, nil

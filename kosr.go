@@ -16,17 +16,28 @@
 //	ma, _ := g.CategoryByName("MA")
 //	re, _ := g.CategoryByName("RE")
 //	ci, _ := g.CategoryByName("CI")
-//	routes, _ := sys.TopK(s, t, []kosr.Category{ma, re, ci}, 3)
-//	// routes[0].Cost == 20, routes[1].Cost == 21, routes[2].Cost == 22
+//	res, _ := sys.Do(ctx, kosr.Request{
+//		Source: s, Target: t, Categories: []kosr.Category{ma, re, ci}, K: 3,
+//	})
+//	// res.Routes[0].Cost == 20, …[1].Cost == 21, …[2].Cost == 22
 //
-// The default solver is StarKOSR (the paper's fastest method); Options
-// selects PruningKOSR, the KPNE baseline, or Dijkstra-based
-// nearest-neighbour discovery instead of the label indexes.
+// Every query enters the system as a Request answered by System.Do (all
+// routes at once) or System.DoStream (routes one at a time, lazily).
+// Both honour context cancellation: an abandoned request aborts its
+// in-flight search within one engine check interval. The default solver
+// is StarKOSR (the paper's fastest method); Request fields select
+// PruningKOSR, the KPNE baseline, Dijkstra-based nearest-neighbour
+// discovery, the Section IV-C variants, and the search budgets.
 package kosr
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
+	"iter"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -91,7 +102,8 @@ func ReadDIMACS(r io.Reader) (*Graph, error) { return graph.ReadDIMACS(r) }
 // Figure1 returns the running-example graph of the paper.
 func Figure1() *Graph { return graph.Figure1() }
 
-// Options tunes a query.
+// Options tunes a query made through the deprecated Solve/SolveVariant/
+// Stream entry points. New code should set the same fields on Request.
 type Options struct {
 	// Method selects the algorithm; the zero value selects StarKOSR.
 	Method Method
@@ -104,6 +116,134 @@ type Options struct {
 	MaxExamined   int64
 	MaxDuration   time.Duration
 	TimeBreakdown bool
+}
+
+// ErrBudgetExceeded is returned by the deprecated Solve-family wrappers
+// when MaxExamined or MaxDuration tripped before k routes were found.
+// System.Do reports the same condition as Result.Truncated instead.
+var ErrBudgetExceeded = core.ErrBudgetExceeded
+
+// Request is the single query surface of the system: a KOSR query
+// (s, t, C, k), the Section IV-C variant switches, the algorithm
+// selection, and the search budgets — everything that used to be spread
+// across Query, VariantQuery and Options. Answer it with System.Do or
+// System.DoStream.
+type Request struct {
+	// Source is the start vertex; ignored when NoSource is set (the
+	// route may then start at any vertex of the first category).
+	Source Vertex
+	// Target is the destination; ignored when NoTarget is set (the
+	// route then ends at the last category).
+	Target Vertex
+	// Categories is the category sequence C = ⟨C1, …, Cj⟩ that feasible
+	// routes must visit in order.
+	Categories []Category
+	// K is the number of routes Do returns. DoStream treats K as an
+	// optional cap: zero streams until the witness space is exhausted.
+	K int
+
+	// NoSource and NoTarget select the Section IV-C variants. StarKOSR
+	// degrades to PruningKOSR when NoTarget disables the A* estimate.
+	NoSource bool
+	NoTarget bool
+	// Filters restricts categories to preferred vertices (the paper's
+	// "Italian restaurants" example). Requests with filters are not
+	// cacheable — see CanonicalKey.
+	Filters Filters
+
+	// Method selects the algorithm; the zero value selects StarKOSR.
+	Method Method
+	// UseDijkstraNN replaces the inverted-label FindNN with incremental
+	// Dijkstra searches (the paper's -Dij variants).
+	UseDijkstraNN bool
+
+	// MaxExamined aborts the search after this many examined routes
+	// (0 = unlimited); Do reports the trip as Result.Truncated.
+	MaxExamined int64
+	// MaxDuration aborts the search after this much wall-clock time
+	// (0 = unlimited). Prefer a context deadline where possible; both
+	// are honoured.
+	MaxDuration time.Duration
+	// TimeBreakdown enables the Table X wall-clock attribution in
+	// Result.Stats; it adds timer overhead.
+	TimeBreakdown bool
+}
+
+// variant reports whether the request needs the Section IV-C engine.
+func (r Request) variant() bool {
+	return r.NoSource || r.NoTarget || len(r.Filters) > 0
+}
+
+func (r Request) coreOptions() core.Options {
+	return core.Options{
+		Method:        r.Method,
+		MaxExamined:   r.MaxExamined,
+		MaxDuration:   r.MaxDuration,
+		TimeBreakdown: r.TimeBreakdown,
+	}
+}
+
+// CanonicalKey renders the request as a canonical string so that any
+// two requests answered by the same search share one key — the cache
+// key of the server's result cache. ok is false when the request cannot
+// be keyed (per-category filter functions have no canonical form);
+// such requests must bypass result caches.
+//
+// The key covers everything that changes the routes or the truncation
+// behaviour (method, NN backend, endpoints, variant switches, category
+// sequence, k, MaxExamined). It deliberately excludes MaxDuration and
+// TimeBreakdown: wall-clock budgets are nondeterministic, so cache
+// users must only store results that completed without tripping one —
+// those are byte-identical regardless of either field.
+func (r Request) CanonicalKey() (key string, ok bool) {
+	if len(r.Filters) > 0 {
+		return "", false
+	}
+	var b strings.Builder
+	b.Grow(64)
+	b.WriteString("m")
+	b.WriteString(strconv.Itoa(int(r.Method)))
+	if r.UseDijkstraNN {
+		b.WriteString("d")
+	}
+	b.WriteString("|s")
+	if r.NoSource {
+		b.WriteString("*")
+	} else {
+		b.WriteString(strconv.Itoa(int(r.Source)))
+	}
+	b.WriteString("|t")
+	if r.NoTarget {
+		b.WriteString("*")
+	} else {
+		b.WriteString(strconv.Itoa(int(r.Target)))
+	}
+	b.WriteString("|k")
+	b.WriteString(strconv.Itoa(r.K))
+	b.WriteString("|x")
+	b.WriteString(strconv.FormatInt(r.MaxExamined, 10))
+	b.WriteString("|c")
+	for i, c := range r.Categories {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		b.WriteString(strconv.Itoa(int(c)))
+	}
+	return b.String(), true
+}
+
+// Result is a Do answer: the routes, the search statistics, and whether
+// a budget truncated the search before K routes were found.
+type Result struct {
+	// Routes holds up to K routes in nondecreasing cost order; fewer
+	// routes mean fewer feasible routes exist (or Truncated is set).
+	Routes []Route
+	// Stats reports the search effort (examined routes, NN queries,
+	// time breakdown when requested).
+	Stats *Stats
+	// Truncated marks that MaxExamined or MaxDuration tripped first;
+	// Routes holds the (possibly empty) partial result.
+	Truncated bool
 }
 
 // System bundles a graph with the indexes needed to answer queries.
@@ -156,23 +296,120 @@ func (s *System) provider(opt Options) (core.Provider, error) {
 	return s.labelProv, nil
 }
 
+// Do answers a Request: up to req.K routes in nondecreasing cost order,
+// with the search statistics. A search that trips req.MaxExamined or
+// req.MaxDuration is not an error — the routes found so far come back
+// with Result.Truncated set, so callers can degrade gracefully.
+//
+// Cancelling ctx aborts an in-flight search within one engine pop-loop
+// check interval, returns the query scratch to the provider's pool, and
+// reports ctx.Err(). A ctx deadline, by contrast, acts as a wall-clock
+// budget like MaxDuration: expiry yields a Truncated result with the
+// routes found so far. A nil ctx behaves like context.Background().
+func (s *System) Do(ctx context.Context, req Request) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	prov, err := s.provider(Options{UseDijkstraNN: req.UseDijkstraNN})
+	if err != nil {
+		return nil, err
+	}
+	var routes []Route
+	var st *Stats
+	if req.variant() {
+		routes, st, err = core.SolveVariant(ctx, s.Graph, VariantQuery{
+			Source: req.Source, NoSource: req.NoSource,
+			Target: req.Target, NoTarget: req.NoTarget,
+			Categories: req.Categories, K: req.K,
+			Filters: req.Filters,
+		}, prov, req.coreOptions())
+	} else {
+		routes, st, err = core.Solve(ctx, s.Graph,
+			Query{Source: req.Source, Target: req.Target, Categories: req.Categories, K: req.K},
+			prov, req.coreOptions())
+	}
+	if errors.Is(err, core.ErrBudgetExceeded) {
+		return &Result{Routes: routes, Stats: st, Truncated: true}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Routes: routes, Stats: st}, nil
+}
+
+// DoStream answers a Request progressively: the returned iterator
+// yields routes one at a time in nondecreasing cost order, computing
+// each only when asked for — PNE-family searches are inherently
+// progressive, so the (i+1)-th route costs only the extra expansion
+// beyond the i-th. req.K caps the stream when positive; zero streams
+// until the witness space is exhausted.
+//
+// The search state is released as soon as the iteration ends — by
+// exhaustion, by breaking out of the range loop, or by ctx being
+// cancelled (the pending step then yields ctx.Err()). A budget trip
+// yields ErrBudgetExceeded as the final element.
+func (s *System) DoStream(ctx context.Context, req Request) iter.Seq2[Route, error] {
+	return func(yield func(Route, error) bool) {
+		sr, err := s.openSearcher(ctx, req)
+		if err != nil {
+			yield(Route{}, err)
+			return
+		}
+		defer sr.Close()
+		for n := 0; req.K <= 0 || n < req.K; n++ {
+			r, ok, err := sr.Next()
+			if err != nil {
+				yield(Route{}, err)
+				return
+			}
+			if !ok || !yield(r, nil) {
+				return
+			}
+		}
+	}
+}
+
+// openSearcher builds the progressive searcher behind DoStream and the
+// deprecated Stream entry point.
+func (s *System) openSearcher(ctx context.Context, req Request) (*core.Searcher, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	prov, err := s.provider(Options{UseDijkstraNN: req.UseDijkstraNN})
+	if err != nil {
+		return nil, err
+	}
+	if req.variant() {
+		return core.NewVariantSearcher(ctx, s.Graph, VariantQuery{
+			Source: req.Source, NoSource: req.NoSource,
+			Target: req.Target, NoTarget: req.NoTarget,
+			Categories: req.Categories, K: req.K,
+			Filters: req.Filters,
+		}, prov, req.coreOptions())
+	}
+	return core.NewSearcher(ctx, s.Graph,
+		Query{Source: req.Source, Target: req.Target, Categories: req.Categories, K: req.K},
+		prov, req.coreOptions())
+}
+
 // TopK answers the KOSR query (src, dst, cats, k) with StarKOSR. Fewer
 // than k routes are returned when fewer feasible routes exist.
+//
+// Deprecated: use Do, which adds cancellation.
 func (s *System) TopK(src, dst Vertex, cats []Category, k int) ([]Route, error) {
 	routes, _, err := s.Solve(Query{Source: src, Target: dst, Categories: cats, K: k}, Options{})
 	return routes, err
 }
 
 // Solve answers a query with full control over the algorithm and limits.
+//
+// Deprecated: use Do. Solve is a thin wrapper that rebuilds the old
+// contract (routes + ErrBudgetExceeded on truncation) from a Result.
 func (s *System) Solve(q Query, opt Options) ([]Route, *Stats, error) {
-	prov, err := s.provider(opt)
-	if err != nil {
-		return nil, nil, err
-	}
-	return core.Solve(s.Graph, q, prov, core.Options{
-		Method:        opt.Method,
-		MaxExamined:   opt.MaxExamined,
-		MaxDuration:   opt.MaxDuration,
+	return s.doCompat(Request{
+		Source: q.Source, Target: q.Target, Categories: q.Categories, K: q.K,
+		Method: opt.Method, UseDijkstraNN: opt.UseDijkstraNN,
+		MaxExamined: opt.MaxExamined, MaxDuration: opt.MaxDuration,
 		TimeBreakdown: opt.TimeBreakdown,
 	})
 }
@@ -181,38 +418,51 @@ func (s *System) Solve(q Query, opt Options) ([]Route, *Stats, error) {
 // source (routes start at any vertex of the first category), no required
 // destination (routes end at the last category; StarKOSR degrades to
 // PruningKOSR), and per-category preference filters.
+//
+// Deprecated: use Do with the NoSource/NoTarget/Filters fields set.
 func (s *System) SolveVariant(q VariantQuery, opt Options) ([]Route, *Stats, error) {
-	prov, err := s.provider(opt)
-	if err != nil {
-		return nil, nil, err
-	}
-	return core.SolveVariant(s.Graph, q, prov, core.Options{
-		Method:        opt.Method,
-		MaxExamined:   opt.MaxExamined,
-		MaxDuration:   opt.MaxDuration,
+	return s.doCompat(Request{
+		Source: q.Source, NoSource: q.NoSource,
+		Target: q.Target, NoTarget: q.NoTarget,
+		Categories: q.Categories, K: q.K, Filters: q.Filters,
+		Method: opt.Method, UseDijkstraNN: opt.UseDijkstraNN,
+		MaxExamined: opt.MaxExamined, MaxDuration: opt.MaxDuration,
 		TimeBreakdown: opt.TimeBreakdown,
 	})
 }
 
+// doCompat adapts Do back to the historical (routes, stats, error)
+// contract of the deprecated wrappers.
+func (s *System) doCompat(req Request) ([]Route, *Stats, error) {
+	res, err := s.Do(context.Background(), req)
+	if err != nil {
+		return nil, nil, err
+	}
+	if res.Truncated {
+		return res.Routes, res.Stats, core.ErrBudgetExceeded
+	}
+	return res.Routes, res.Stats, nil
+}
+
 // Stream starts a progressive search that yields routes one at a time in
 // nondecreasing cost order (q.K is ignored): call Next on the returned
-// Searcher until ok is false. Useful when the final k is unknown, e.g.
-// "show more alternatives" interfaces.
+// Searcher until ok is false.
+//
+// Deprecated: use DoStream, which adds cancellation and releases the
+// search state automatically when the iteration ends.
 func (s *System) Stream(q Query, opt Options) (*core.Searcher, error) {
-	prov, err := s.provider(opt)
-	if err != nil {
-		return nil, err
-	}
-	return core.NewSearcher(s.Graph, q, prov, core.Options{
-		Method:        opt.Method,
-		MaxExamined:   opt.MaxExamined,
-		MaxDuration:   opt.MaxDuration,
+	return s.openSearcher(context.Background(), Request{
+		Source: q.Source, Target: q.Target, Categories: q.Categories,
+		Method: opt.Method, UseDijkstraNN: opt.UseDijkstraNN,
+		MaxExamined: opt.MaxExamined, MaxDuration: opt.MaxDuration,
 		TimeBreakdown: opt.TimeBreakdown,
 	})
 }
 
 // OptimalRoute answers an OSR query (k = 1). ok is false when no
 // feasible route exists.
+//
+// Deprecated: use Do with K = 1.
 func (s *System) OptimalRoute(src, dst Vertex, cats []Category) (Route, bool, error) {
 	routes, _, err := s.Solve(Query{Source: src, Target: dst, Categories: cats, K: 1}, Options{})
 	if err != nil || len(routes) == 0 {
@@ -350,19 +600,45 @@ func OpenDiskSystem(g *Graph, dir string) (*DiskSystem, error) {
 // Close releases the store's files.
 func (d *DiskSystem) Close() error { return d.Store.Close() }
 
+// Do answers a Request from disk, loading roughly |C|+4 records.
+// Variant requests are not supported by the disk store.
+func (d *DiskSystem) Do(ctx context.Context, req Request) (*Result, error) {
+	if req.variant() {
+		return nil, fmt.Errorf("kosr: disk stores do not answer variant requests")
+	}
+	lab, inv, err := d.Store.LoadQuery(req.Categories, req.Source, req.Target)
+	if err != nil {
+		return nil, err
+	}
+	prov := &core.LabelProvider{Graph: d.Graph, Labels: lab, Inv: inv}
+	routes, st, err := core.Solve(ctx, d.Graph,
+		Query{Source: req.Source, Target: req.Target, Categories: req.Categories, K: req.K},
+		prov, req.coreOptions())
+	if errors.Is(err, core.ErrBudgetExceeded) {
+		return &Result{Routes: routes, Stats: st, Truncated: true}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Routes: routes, Stats: st}, nil
+}
+
 // Solve answers a query, loading roughly |C|+4 records from disk.
+//
+// Deprecated: use Do, which adds cancellation.
 func (d *DiskSystem) Solve(q Query, opt Options) ([]Route, *Stats, error) {
-	lab, inv, err := d.Store.LoadQuery(q.Categories, q.Source, q.Target)
+	res, err := d.Do(context.Background(), Request{
+		Source: q.Source, Target: q.Target, Categories: q.Categories, K: q.K,
+		Method: opt.Method, MaxExamined: opt.MaxExamined,
+		MaxDuration: opt.MaxDuration, TimeBreakdown: opt.TimeBreakdown,
+	})
 	if err != nil {
 		return nil, nil, err
 	}
-	prov := &core.LabelProvider{Graph: d.Graph, Labels: lab, Inv: inv}
-	return core.Solve(d.Graph, q, prov, core.Options{
-		Method:        opt.Method,
-		MaxExamined:   opt.MaxExamined,
-		MaxDuration:   opt.MaxDuration,
-		TimeBreakdown: opt.TimeBreakdown,
-	})
+	if res.Truncated {
+		return res.Routes, res.Stats, core.ErrBudgetExceeded
+	}
+	return res.Routes, res.Stats, nil
 }
 
 // TopK answers the query with StarKOSR from disk.

@@ -1,0 +1,231 @@
+package kosr
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestDoMatchesDeprecatedSolve pins the migration contract: Do must
+// reproduce exactly what the deprecated Solve surface returned, for
+// every method, with truncation folded into Result.Truncated.
+func TestDoMatchesDeprecatedSolve(t *testing.T) {
+	g, s, tv, cats := fig1(t)
+	sys := NewSystem(g)
+	for _, m := range []Method{StarKOSR, PruningKOSR, KPNE} {
+		req := Request{Source: s, Target: tv, Categories: cats, K: 3, Method: m}
+		res, err := sys.Do(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		routes, _, err := sys.Solve(
+			Query{Source: s, Target: tv, Categories: cats, K: 3}, Options{Method: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Routes) != len(routes) {
+			t.Fatalf("%v: Do %d routes, Solve %d", m, len(res.Routes), len(routes))
+		}
+		for i := range routes {
+			if res.Routes[i].Cost != routes[i].Cost {
+				t.Fatalf("%v route %d: Do cost %g, Solve %g", m, i, res.Routes[i].Cost, routes[i].Cost)
+			}
+		}
+		if res.Truncated || res.Stats == nil || res.Stats.Examined == 0 {
+			t.Fatalf("%v: res=%+v", m, res)
+		}
+	}
+}
+
+func TestDoTruncation(t *testing.T) {
+	g, s, tv, cats := fig1(t)
+	sys := NewSystem(g)
+	res, err := sys.Do(context.Background(), Request{
+		Source: s, Target: tv, Categories: cats, K: 30, MaxExamined: 12,
+	})
+	if err != nil {
+		t.Fatalf("budget trips must not be errors under Do: %v", err)
+	}
+	if !res.Truncated {
+		t.Fatalf("res=%+v, want Truncated", res)
+	}
+	if len(res.Routes) == 0 {
+		t.Fatal("partial routes discarded")
+	}
+	// The deprecated wrapper must keep the historical error contract.
+	_, _, err = sys.Solve(Query{Source: s, Target: tv, Categories: cats, K: 30},
+		Options{MaxExamined: 12})
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("Solve err=%v, want ErrBudgetExceeded", err)
+	}
+}
+
+func TestDoVariantRequest(t *testing.T) {
+	g, _, tv, cats := fig1(t)
+	sys := NewSystem(g)
+	req := Request{NoSource: true, Target: tv, Categories: cats, K: 2}
+	res, err := sys.Do(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := sys.SolveVariant(VariantQuery{
+		NoSource: true, Target: tv, Categories: cats, K: 2}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Routes) != len(want) {
+		t.Fatalf("Do %d routes, SolveVariant %d", len(res.Routes), len(want))
+	}
+	for i := range want {
+		if res.Routes[i].Cost != want[i].Cost {
+			t.Fatalf("route %d: %g vs %g", i, res.Routes[i].Cost, want[i].Cost)
+		}
+	}
+}
+
+func TestDoCancelled(t *testing.T) {
+	g, s, tv, cats := fig1(t)
+	sys := NewSystem(g)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sys.Do(ctx, Request{Source: s, Target: tv, Categories: cats, K: 3}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v, want context.Canceled", err)
+	}
+}
+
+func TestDoStream(t *testing.T) {
+	g, s, tv, cats := fig1(t)
+	sys := NewSystem(g)
+
+	// A capped stream matches Do's routes in order.
+	var got []Route
+	for r, err := range sys.DoStream(context.Background(), Request{
+		Source: s, Target: tv, Categories: cats, K: 3,
+	}) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, r)
+	}
+	want := []Weight{20, 21, 22}
+	if len(got) != 3 {
+		t.Fatalf("streamed %d routes, want 3", len(got))
+	}
+	for i, w := range want {
+		if got[i].Cost != w {
+			t.Fatalf("route %d cost %g, want %g", i, got[i].Cost, w)
+		}
+	}
+
+	// Breaking out of the loop early must be safe (the searcher is
+	// closed by the iterator) and repeatable.
+	for i := 0; i < 3; i++ {
+		for r, err := range sys.DoStream(context.Background(), Request{
+			Source: s, Target: tv, Categories: cats,
+		}) {
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Cost != 20 {
+				t.Fatalf("first route cost %g", r.Cost)
+			}
+			break
+		}
+	}
+
+	// An unbounded stream (K=0) drains the witness space.
+	n := 0
+	for _, err := range sys.DoStream(context.Background(), Request{
+		Source: s, Target: tv, Categories: cats,
+	}) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n < 3 {
+		t.Fatalf("unbounded stream yielded %d routes", n)
+	}
+}
+
+func TestDoStreamCancelled(t *testing.T) {
+	g, s, tv, cats := fig1(t)
+	sys := NewSystem(g)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	got := 0
+	var lastErr error
+	for _, err := range sys.DoStream(ctx, Request{Source: s, Target: tv, Categories: cats}) {
+		if err != nil {
+			lastErr = err
+			break
+		}
+		got++
+		cancel() // abandon after the first route
+	}
+	if got != 1 || !errors.Is(lastErr, context.Canceled) {
+		t.Fatalf("got=%d lastErr=%v, want 1 route then context.Canceled", got, lastErr)
+	}
+}
+
+func TestDoStreamVariant(t *testing.T) {
+	g, _, tv, cats := fig1(t)
+	sys := NewSystem(g)
+	want, _, err := sys.SolveVariant(VariantQuery{
+		NoSource: true, Target: tv, Categories: cats, K: 2}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Route
+	for r, err := range sys.DoStream(context.Background(), Request{
+		NoSource: true, Target: tv, Categories: cats, K: 2,
+	}) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, r)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("streamed %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Cost != want[i].Cost {
+			t.Fatalf("route %d: %g vs %g", i, got[i].Cost, want[i].Cost)
+		}
+	}
+}
+
+func TestCanonicalKey(t *testing.T) {
+	base := Request{Source: 1, Target: 2, Categories: []Category{3, 4}, K: 5}
+	k1, ok := base.CanonicalKey()
+	if !ok || k1 == "" {
+		t.Fatalf("key=%q ok=%v", k1, ok)
+	}
+	same := Request{Source: 1, Target: 2, Categories: []Category{3, 4}, K: 5,
+		MaxDuration: 1000, TimeBreakdown: true}
+	if k2, ok := same.CanonicalKey(); !ok || k2 != k1 {
+		t.Fatalf("wall-clock fields must not change the key: %q vs %q", k2, k1)
+	}
+	for name, r := range map[string]Request{
+		"method":   {Source: 1, Target: 2, Categories: []Category{3, 4}, K: 5, Method: PruningKOSR},
+		"dij":      {Source: 1, Target: 2, Categories: []Category{3, 4}, K: 5, UseDijkstraNN: true},
+		"source":   {Source: 9, Target: 2, Categories: []Category{3, 4}, K: 5},
+		"target":   {Source: 1, Target: 9, Categories: []Category{3, 4}, K: 5},
+		"k":        {Source: 1, Target: 2, Categories: []Category{3, 4}, K: 6},
+		"cats":     {Source: 1, Target: 2, Categories: []Category{4, 3}, K: 5},
+		"noSource": {NoSource: true, Target: 2, Categories: []Category{3, 4}, K: 5},
+		"noTarget": {Source: 1, NoTarget: true, Categories: []Category{3, 4}, K: 5},
+		"budget":   {Source: 1, Target: 2, Categories: []Category{3, 4}, K: 5, MaxExamined: 7},
+	} {
+		if k, ok := r.CanonicalKey(); !ok {
+			t.Errorf("%s: not cacheable", name)
+		} else if k == k1 {
+			t.Errorf("%s: key collision with base: %q", name, k)
+		}
+	}
+	filtered := Request{Source: 1, Target: 2, Categories: []Category{3}, K: 1,
+		Filters: Filters{3: func(Vertex) bool { return true }}}
+	if _, ok := filtered.CanonicalKey(); ok {
+		t.Error("filtered requests must not be cacheable")
+	}
+}
