@@ -136,7 +136,7 @@ func cmdIndex(args []string) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	st := sys.Labels.Stats()
+	st := sys.Labels().Stats()
 	fmt.Fprintf(os.Stderr, "label index: avg|Lin|=%.1f avg|Lout|=%.1f size=%.1fMB\n",
 		st.AvgIn, st.AvgOut, float64(st.SizeBytes)/(1<<20))
 	if *diskDir != "" {
@@ -404,7 +404,7 @@ func cmdDemo(args []string) error {
 		return fmt.Errorf("unknown method %q", *method)
 	}
 	trace := &core.Trace{}
-	prov := &core.LabelProvider{Graph: g, Labels: sys.Labels, Inv: sys.Inverted}
+	prov := &core.LabelProvider{Graph: g, Labels: sys.Labels(), Inv: sys.Inverted()}
 	routes, st, err := core.Solve(context.Background(), g, q, prov, core.Options{Method: m, Trace: trace})
 	if err != nil {
 		return err

@@ -26,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"math"
+	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -42,6 +43,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/invindex"
 	"repro/internal/label"
+	"repro/internal/pq"
 	"repro/internal/server"
 	"repro/internal/workload"
 )
@@ -88,6 +90,33 @@ type ServerScanResult struct {
 	CacheHitRate float64 `json:"cache_hit_rate"`
 }
 
+// UpdateScanResult is the live-update cell: a stream of dynamic edge
+// updates applied through System.Apply (each publishing a new index
+// epoch) while query workers keep hammering the same System — the
+// workload the epoch-versioned snapshot design exists for.
+type UpdateScanResult struct {
+	// Updates is how many single-mutation batches were applied; each
+	// inserts a cheaper parallel arc for a sampled existing edge (the
+	// paper's weight-decrease model).
+	Updates       int     `json:"updates"`
+	UpdatesPerSec float64 `json:"updates_per_sec"`
+	AvgUpdateMS   float64 `json:"avg_update_ms"`
+	// QPSDuringUpdates is the concurrent query throughput sustained
+	// while the updater was publishing epochs.
+	QPSDuringUpdates float64 `json:"qps_during_updates"`
+	FinalEpoch       uint64  `json:"final_epoch"`
+}
+
+// PQPopCost is the queue microbench cell: steady-state pop cost of the
+// engine's global route queue at KPNE-like sizes, binary vs the 4-ary
+// layout the engine now uses (ROADMAP "KPNE queue growth").
+type PQPopCost struct {
+	QueueSize          int     `json:"queue_size"`
+	BinaryNsPerPop     float64 `json:"binary_ns_per_pop"`
+	QuaternaryNsPerPop float64 `json:"quaternary_ns_per_pop"`
+	Speedup4aryVs2ary  float64 `json:"speedup_4ary_vs_binary"`
+}
+
 // DatasetResult reports preprocessing and query numbers for one graph.
 type DatasetResult struct {
 	Name         string  `json:"name"`
@@ -106,6 +135,9 @@ type DatasetResult struct {
 	Concurrency []ConcurrencyResult `json:"concurrency,omitempty"`
 	// Server is the /v1/query batch + cache scan.
 	Server *ServerScanResult `json:"server,omitempty"`
+	// Updates is the live-update scan (dynamic edge updates under
+	// concurrent query traffic).
+	Updates *UpdateScanResult `json:"updates,omitempty"`
 }
 
 // Report is the top-level JSON document.
@@ -118,6 +150,7 @@ type Report struct {
 	Scale      int             `json:"scale"`
 	NumQueries int             `json:"num_queries"`
 	Notes      string          `json:"notes"`
+	PQ         *PQPopCost      `json:"pq_pop_cost,omitempty"`
 	Datasets   []DatasetResult `json:"datasets"`
 }
 
@@ -170,8 +203,15 @@ func main() {
 			"read-only index and one scratch pool; speedup_vs_1_worker is pinned " +
 			"near 1.0 on a single-core runner by construction and is expected to " +
 			"scale near-linearly with cores on a multi-core runner (queries are " +
-			"share-nothing once the scratch pool is warm).",
+			"share-nothing once the scratch pool is warm). pq_pop_cost is the " +
+			"engine global-queue microbench behind the 4-ary switch (PR 4); " +
+			"updates is the live-update scan: single-edge Apply batches " +
+			"publishing snapshot epochs under concurrent query traffic.",
 	}
+
+	rep.PQ = benchPQPopCost()
+	fmt.Printf("pq   pop@%d: binary=%.1fns 4ary=%.1fns (%.2fx)\n",
+		rep.PQ.QueueSize, rep.PQ.BinaryNsPerPop, rep.PQ.QuaternaryNsPerPop, rep.PQ.Speedup4aryVs2ary)
 
 	for _, a := range sel {
 		ds, err := benchDataset(a, cfg)
@@ -237,6 +277,7 @@ func benchDataset(a gen.Analogue, cfg workload.Config) (DatasetResult, error) {
 	}
 	ds.Concurrency = benchConcurrency(data, qs, cfg)
 	ds.Server = benchServer(data, qs, cfg)
+	ds.Updates = benchUpdates(data, qs, cfg)
 	fmt.Printf("%-4s |V|=%d seq=%.0fms par=%.0fms (%.2fx, identical=%v) inv=%.0fms",
 		a, ds.Vertices, ds.SeqBuildMS, ds.ParBuildMS, ds.BuildSpeedup, ds.Identical, ds.InvBuildMS)
 	for _, cr := range ds.Concurrency {
@@ -246,8 +287,118 @@ func benchDataset(a gen.Analogue, cfg workload.Config) (DatasetResult, error) {
 		fmt.Printf(" batch=%.0fqps cached=%.0fqps hit=%.0f%%",
 			ds.Server.ColdQPS, ds.Server.CachedQPS, 100*ds.Server.CacheHitRate)
 	}
+	if ds.Updates != nil {
+		fmt.Printf(" upd=%.0f/s(q=%.0fqps)", ds.Updates.UpdatesPerSec, ds.Updates.QPSDuringUpdates)
+	}
 	fmt.Println()
 	return ds, nil
+}
+
+// benchPQPopCost measures the steady-state pop cost of the engine's
+// global route queue shape at KPNE-like sizes: fill to size, then
+// alternate pop/push so every iteration pays one full-depth sift-down.
+func benchPQPopCost() *PQPopCost {
+	const size = 1 << 16
+	const iters = 1 << 18
+	type routeLike struct {
+		key float64
+		seq int64
+		pad [2]int64 // approximate the engine's qItem width
+	}
+	less := func(a, b routeLike) bool {
+		if a.key != b.key {
+			return a.key < b.key
+		}
+		return a.seq < b.seq
+	}
+	measure := func(arity int) float64 {
+		h := pq.NewHeapD[routeLike](less, arity)
+		rng := rand.New(rand.NewSource(11))
+		for i := 0; i < size; i++ {
+			h.Push(routeLike{key: rng.Float64() * 1000, seq: int64(i)})
+		}
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			h.Pop()
+			h.Push(routeLike{key: rng.Float64() * 1000, seq: int64(size + i)})
+		}
+		return float64(time.Since(start).Nanoseconds()) / iters
+	}
+	res := &PQPopCost{QueueSize: size}
+	res.BinaryNsPerPop = measure(2)
+	res.QuaternaryNsPerPop = measure(4)
+	if res.QuaternaryNsPerPop > 0 {
+		res.Speedup4aryVs2ary = res.BinaryNsPerPop / res.QuaternaryNsPerPop
+	}
+	return res
+}
+
+// benchUpdates measures the live-update workload the snapshot design
+// opens: one updater publishing single-edge epochs through System.Apply
+// while two query workers keep answering from whatever snapshot they
+// pin. Sampled existing edges get cheaper parallel arcs (the paper's
+// weight-decrease model), so each update stays incremental.
+func benchUpdates(d *workload.Dataset, qs []core.Query, cfg workload.Config) *UpdateScanResult {
+	if len(qs) == 0 {
+		return nil
+	}
+	const updates = 32
+	sys := kosr.NewSystemFromParts(d.G, d.Lab, d.Inv)
+
+	var edges []graph.Edge
+	d.G.Edges(func(e graph.Edge) bool {
+		edges = append(edges, e)
+		return true
+	})
+	if len(edges) == 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(13))
+
+	stop := make(chan struct{})
+	var served int64
+	var qwg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		qwg.Add(1)
+		go func() {
+			defer qwg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := qs[i%len(qs)]
+				_, _ = sys.Do(context.Background(), kosr.Request{
+					Source: q.Source, Target: q.Target, Categories: q.Categories,
+					K: q.K, MaxExamined: cfg.MaxExamined,
+				})
+				atomic.AddInt64(&served, 1)
+			}
+		}()
+	}
+
+	start := time.Now()
+	for i := 0; i < updates; i++ {
+		e := edges[rng.Intn(len(edges))]
+		if _, err := sys.Apply(kosr.Update{
+			Op: kosr.OpInsertEdge, From: e.From, To: e.To, Weight: e.W * 0.9,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "kosrbench: update scan:", err)
+			break
+		}
+	}
+	elapsed := time.Since(start).Seconds()
+	close(stop)
+	qwg.Wait()
+
+	res := &UpdateScanResult{Updates: updates, FinalEpoch: sys.Epoch()}
+	if elapsed > 0 {
+		res.UpdatesPerSec = float64(updates) / elapsed
+		res.AvgUpdateMS = elapsed * 1000 / updates
+		res.QPSDuringUpdates = float64(atomic.LoadInt64(&served)) / elapsed
+	}
+	return res
 }
 
 // benchServer pushes the query mix through a live HTTP server's
@@ -260,7 +411,7 @@ func benchServer(d *workload.Dataset, qs []core.Query, cfg workload.Config) *Ser
 	if len(qs) == 0 {
 		return nil
 	}
-	sys := &kosr.System{Graph: d.G, Labels: d.Lab, Inverted: d.Inv}
+	sys := kosr.NewSystemFromParts(d.G, d.Lab, d.Inv)
 	srv := server.NewWithConfig(sys, server.Config{
 		MaxExamined: cfg.MaxExamined,
 		CacheSize:   4096,
@@ -625,6 +776,18 @@ func runPlot(args []string) int {
 					return "–"
 				}
 				return fmt.Sprintf("%.2f", d.Server.CacheHitRate)
+			}},
+			{"updates_per_sec", func(d DatasetResult) string {
+				if d.Updates == nil {
+					return "–"
+				}
+				return fmt.Sprintf("%.0f", d.Updates.UpdatesPerSec)
+			}},
+			{"qps_during_updates", func(d DatasetResult) string {
+				if d.Updates == nil {
+					return "–"
+				}
+				return fmt.Sprintf("%.0f", d.Updates.QPSDuringUpdates)
 			}},
 		} {
 			line := fmt.Sprintf("| %s | – | %s |", name, row.label)

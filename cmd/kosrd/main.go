@@ -2,22 +2,30 @@
 //
 //	kosrd -graph city.graph [-index city.idx] [-addr :8080] [-budget 5000000]
 //	      [-workers 8] [-query-timeout 10s] [-cache 4096] [-max-batch 64]
+//	      [-stream-write-timeout 30s]
 //
 // Endpoints:
 //
 //	GET  /health
-//	POST /v1/query   {"queries":[{"source":"s","target":"t","categories":["MA","RE","CI"],"k":3}, …]}
-//	POST /v1/stream  {"source":"s","target":"t","categories":["MA","RE","CI"]}  (NDJSON)
-//	POST /expand     {"witness":[0,1,2,4,7]}
-//	POST /query      deprecated single-query endpoint
+//	POST /v1/query         {"queries":[{"source":"s","target":"t","categories":["MA","RE","CI"],"k":3}, …]}
+//	POST /v1/stream        {"source":"s","target":"t","categories":["MA","RE","CI"]}  (NDJSON)
+//	POST /v1/admin/update  {"updates":[{"op":"insert-edge","from":"a","to":"b","weight":3}, …]}
+//	POST /expand           {"witness":[0,1,2,4,7]}
+//	POST /query            deprecated single-query endpoint
 //
-// Queries run on a bounded worker pool over the shared read-only index;
+// Queries run on a bounded worker pool over a shared index snapshot;
 // each worker reuses a warm per-query scratch, and every request's
 // context is threaded into the engine, so disconnected clients abort
-// their in-flight searches. /v1/query batches fan out across the pool
-// and pass through an LRU result cache with single-flight deduplication
-// (-cache entries; 0 disables). SIGINT/SIGTERM trigger a graceful
-// shutdown: listeners close, in-flight queries finish, the pool drains.
+// their in-flight searches (a stalled /v1/stream reader additionally
+// trips the per-line write deadline). /v1/query batches fan out across
+// the pool and pass through an LRU result cache with single-flight
+// deduplication (-cache entries; 0 disables) keyed by index epoch.
+// /v1/admin/update applies dynamic map updates (edge insertions,
+// category changes) at full query throughput: each batch publishes a
+// new immutable snapshot, reported in every X-Index-Epoch response
+// header. The endpoint is unauthenticated — front it with your own
+// admin trust boundary. SIGINT/SIGTERM trigger a graceful shutdown:
+// listeners close, in-flight queries finish, the pool drains.
 package main
 
 import (
@@ -45,6 +53,8 @@ func main() {
 	cacheSize := flag.Int("cache", 4096, "result cache entries for /v1/query (0 = disabled)")
 	maxBatch := flag.Int("max-batch", 64, "max queries per /v1/query batch")
 	queryTimeout := flag.Duration("query-timeout", 10*time.Second, "per-query wall-clock budget, queueing included (0 = none)")
+	streamWriteTimeout := flag.Duration("stream-write-timeout", server.DefaultStreamWriteTimeout,
+		"per-line write deadline on /v1/stream so stalled readers release their worker (negative = none)")
 	shutdownGrace := flag.Duration("shutdown-grace", 15*time.Second, "how long to wait for in-flight requests on shutdown")
 	flag.Parse()
 	if *graphPath == "" {
@@ -77,11 +87,12 @@ func main() {
 		sys = kosr.NewSystem(g)
 	}
 	srv := server.NewWithConfig(sys, server.Config{
-		Workers:      *workers,
-		MaxExamined:  *budget,
-		QueryTimeout: *queryTimeout,
-		CacheSize:    *cacheSize,
-		MaxBatch:     *maxBatch,
+		Workers:            *workers,
+		MaxExamined:        *budget,
+		QueryTimeout:       *queryTimeout,
+		CacheSize:          *cacheSize,
+		MaxBatch:           *maxBatch,
+		StreamWriteTimeout: *streamWriteTimeout,
 	})
 
 	// With -query-timeout 0 (no per-query limit) the write timeout must

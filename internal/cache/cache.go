@@ -23,13 +23,15 @@ type Cache[V any] struct {
 	entries  map[string]*list.Element // -> *entry[V]
 	order    *list.List               // front = most recently used
 	inflight map[string]*call[V]
+	epoch    uint64 // current index epoch; entries remember theirs
 
 	hits, misses, coalesced int64
 }
 
 type entry[V any] struct {
-	key string
-	val V
+	key   string
+	val   V
+	epoch uint64 // index epoch the value was computed on
 }
 
 // call is one in-flight computation; followers block on done.
@@ -65,7 +67,22 @@ func New[V any](capacity int) *Cache[V] {
 //
 // hit reports whether the value came from the cache or from another
 // caller's in-flight computation rather than from this call's compute.
+//
+// The stored entry is tagged with the epoch last passed to SetEpoch;
+// callers that know the exact index epoch their compute runs against
+// should use DoAt instead.
 func (c *Cache[V]) Do(ctx context.Context, key string, compute func() (V, bool, error)) (v V, hit bool, err error) {
+	c.mu.Lock()
+	epoch := c.epoch
+	c.mu.Unlock()
+	return c.DoAt(ctx, key, epoch, compute)
+}
+
+// DoAt is Do with an explicit epoch tag for the stored entry: the epoch
+// of the index snapshot compute answers from. Tagging at the call site
+// keeps the fresh/stale accounting exact even when updates publish
+// while older-epoch computations are still in flight.
+func (c *Cache[V]) DoAt(ctx context.Context, key string, epoch uint64, compute func() (V, bool, error)) (v V, hit bool, err error) {
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
 		c.order.MoveToFront(el)
@@ -113,10 +130,11 @@ func (c *Cache[V]) Do(ctx context.Context, key string, compute func() (V, bool, 
 			// A racing leader for the same key stored first (possible
 			// when this leader started before that entry was evicted);
 			// refresh recency rather than duplicating.
-			el.Value.(*entry[V]).val = val
+			ent := el.Value.(*entry[V])
+			ent.val, ent.epoch = val, epoch
 			c.order.MoveToFront(el)
 		} else {
-			c.entries[key] = c.order.PushFront(&entry[V]{key: key, val: val})
+			c.entries[key] = c.order.PushFront(&entry[V]{key: key, val: val, epoch: epoch})
 			for len(c.entries) > c.capacity {
 				oldest := c.order.Back()
 				c.order.Remove(oldest)
@@ -143,6 +161,41 @@ func (c *Cache[V]) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.entries)
+}
+
+// SetEpoch records the current index epoch: the default tag for Do
+// stores and the reference EpochLens counts freshness against. It is
+// monotonic — a lower value is ignored, so concurrent updaters racing
+// their SetEpoch calls cannot regress the tag. Callers that key entries
+// by epoch (the server prefixes every cache key with the snapshot
+// epoch) do not need a purge when the index mutates — superseded
+// entries stop being requested and age out of the LRU — but the tags
+// let EpochLens report how much of the cache is stale at any moment.
+func (c *Cache[V]) SetEpoch(epoch uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if epoch > c.epoch {
+		c.epoch = epoch
+	}
+}
+
+// EpochLens reports how many stored entries were computed on the
+// current epoch or later (fresh) versus an earlier one (stale, aging
+// out of the LRU after an index update). Entries tagged ahead of the
+// SetEpoch watermark — stored via DoAt before anyone told the cache
+// about the new epoch — count as fresh. The scan is O(entries); it
+// backs the /health cache metrics, not any hot path.
+func (c *Cache[V]) EpochLens() (fresh, stale int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		if el.Value.(*entry[V]).epoch >= c.epoch {
+			fresh++
+		} else {
+			stale++
+		}
+	}
+	return fresh, stale
 }
 
 // Purge drops every stored entry (in-flight computations finish

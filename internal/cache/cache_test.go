@@ -213,3 +213,44 @@ func TestConcurrentMixedKeys(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestEpochLens pins the stale-entry accounting behind /health: entries
+// stored before a SetEpoch are counted stale afterwards (their keys
+// embed the old epoch, so they can only age out), entries stored after
+// are fresh, and a racing re-store refreshes the tag.
+func TestEpochLens(t *testing.T) {
+	c := New[int](8)
+	c.SetEpoch(1)
+	store := func(key string, v int) {
+		t.Helper()
+		if _, _, err := c.Do(context.Background(), key, func() (int, bool, error) {
+			return v, true, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	store("v1|a", 1)
+	store("v1|b", 2)
+	if fresh, stale := c.EpochLens(); fresh != 2 || stale != 0 {
+		t.Fatalf("fresh=%d stale=%d, want 2/0", fresh, stale)
+	}
+
+	c.SetEpoch(2)
+	store("v2|a", 3)
+	if fresh, stale := c.EpochLens(); fresh != 1 || stale != 2 {
+		t.Fatalf("after epoch bump: fresh=%d stale=%d, want 1/2", fresh, stale)
+	}
+	if c.Len() != 3 {
+		t.Fatalf("len=%d, want 3 (no purge on epoch change)", c.Len())
+	}
+
+	// Old-epoch entries still answer their own keys (they are correct
+	// for the epoch embedded in the key) until the LRU evicts them.
+	v, hit, err := c.Do(context.Background(), "v1|a", func() (int, bool, error) {
+		t.Fatal("must not recompute a stored entry")
+		return 0, false, nil
+	})
+	if err != nil || !hit || v != 1 {
+		t.Fatalf("v=%d hit=%v err=%v", v, hit, err)
+	}
+}

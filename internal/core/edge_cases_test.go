@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"math/rand"
 	"testing"
 	"time"
@@ -96,8 +97,8 @@ func TestMaxDurationBudget(t *testing.T) {
 	// cleanly.
 	_, st, err := Solve(context.Background(), g, q, NewLabelProvider(g, nil),
 		Options{Method: MethodKPNE, MaxDuration: time.Nanosecond})
-	if err != ErrBudgetExceeded {
-		t.Fatalf("err=%v", err)
+	if !errors.Is(err, ErrBudgetExceeded) || errors.Is(err, ErrExaminedExceeded) {
+		t.Fatalf("err=%v, want the wall-clock ErrBudgetExceeded", err)
 	}
 	if st == nil || st.Results != 0 {
 		t.Fatalf("stats=%+v", st)

@@ -178,7 +178,7 @@ func Solve(ctx context.Context, g *graph.Graph, q Query, prov Provider, opt Opti
 // success the engine holds a checked-out scratch; the caller must
 // arrange for releaseScratch once the search is over.
 func newStandardEngine(ctx context.Context, g *graph.Graph, q Query, prov Provider, opt Options) (*engine, NNFinder, error) {
-	if err := q.Validate(g); err != nil {
+	if err := q.ValidateN(g, opt.numCategories(g)); err != nil {
 		return nil, nil, err
 	}
 	st := &Stats{
@@ -334,7 +334,7 @@ func (e *engine) nextResult() (Route, bool, error) {
 	}
 	for e.heap.Len() > 0 {
 		if e.opt.MaxExamined > 0 && e.stats.Examined >= e.opt.MaxExamined {
-			return Route{}, false, ErrBudgetExceeded
+			return Route{}, false, ErrExaminedExceeded
 		}
 		if !e.deadline.IsZero() && time.Now().After(e.deadline) {
 			return Route{}, false, ErrBudgetExceeded

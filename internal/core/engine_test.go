@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"testing"
 
@@ -292,8 +293,8 @@ func TestBudgetExceeded(t *testing.T) {
 	g := graph.Figure1()
 	q := fig1Query(t, g, 3)
 	_, st, err := Solve(context.Background(), g, q, NewLabelProvider(g, nil), Options{Method: MethodKPNE, MaxExamined: 2})
-	if err != ErrBudgetExceeded {
-		t.Fatalf("err=%v, want ErrBudgetExceeded", err)
+	if !errors.Is(err, ErrExaminedExceeded) || !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("err=%v, want ErrExaminedExceeded matching ErrBudgetExceeded", err)
 	}
 	if st.Examined != 2 {
 		t.Fatalf("examined=%d", st.Examined)

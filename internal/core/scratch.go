@@ -119,10 +119,20 @@ type enSlot struct {
 	epoch uint32
 }
 
+// globalQueueArity is the arity of the engine's global route queue. The
+// queue is the KPNE bottleneck (exhaustive expansion grows it to
+// millions of entries at FLA scale), and every pop pays one sift-down
+// over the full depth: a 4-ary heap halves that depth, trading one
+// extra comparison per level for about half the cache misses. lessQItem
+// is a total order (ties break on insertion sequence), so the pop
+// sequence — and therefore every result — is identical to the binary
+// heap's. The pop-cost delta is recorded in BENCH_PR4.json.
+const globalQueueArity = 4
+
 // NewScratch returns an empty scratch for graphs of nVerts vertices.
 // Engines allocate one internally when the provider does not pool them.
 func NewScratch(nVerts int) *Scratch {
-	return &Scratch{nVerts: nVerts, heap: pq.NewHeap[qItem](lessQItem)}
+	return &Scratch{nVerts: nVerts, heap: pq.NewHeapD[qItem](lessQItem, globalQueueArity)}
 }
 
 // ScratchProvider is implemented by providers that own a pool of

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"runtime"
@@ -133,7 +134,7 @@ func TestSolveSteadyStateNoPerVertexAllocs(t *testing.T) {
 				// cheap; truncated queries exercise the same scratch
 				// setup/teardown path.
 				opt := Options{Method: m, MaxExamined: 20000}
-				if _, _, err := Solve(context.Background(), g, q, prov, opt); err != nil && err != ErrBudgetExceeded {
+				if _, _, err := Solve(context.Background(), g, q, prov, opt); err != nil && !errors.Is(err, ErrBudgetExceeded) {
 					t.Fatal(err)
 				}
 			}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -81,7 +82,7 @@ func TestSearcherBudget(t *testing.T) {
 		t.Fatal(err)
 	}
 	_, _, err = s.Next()
-	if err != ErrBudgetExceeded {
+	if !errors.Is(err, ErrBudgetExceeded) {
 		t.Fatalf("err=%v", err)
 	}
 }

@@ -33,6 +33,14 @@ type Query struct {
 
 // Validate checks the query against a graph.
 func (q Query) Validate(g *graph.Graph) error {
+	return q.ValidateN(g, g.NumCategories())
+}
+
+// ValidateN checks the query against a graph whose effective category
+// space has numCats ids — larger than g.NumCategories() when categories
+// were added dynamically (the snapshot layer passes its own bound via
+// Options.NumCategories).
+func (q Query) ValidateN(g *graph.Graph, numCats int) error {
 	n := graph.Vertex(g.NumVertices())
 	if q.Source < 0 || q.Source >= n {
 		return fmt.Errorf("core: source %d out of range", q.Source)
@@ -44,7 +52,7 @@ func (q Query) Validate(g *graph.Graph) error {
 		return fmt.Errorf("core: k must be positive, got %d", q.K)
 	}
 	for _, c := range q.Categories {
-		if int(c) < 0 || int(c) >= g.NumCategories() {
+		if int(c) < 0 || int(c) >= numCats {
 			return fmt.Errorf("core: category %d out of range", c)
 		}
 	}
@@ -141,6 +149,13 @@ func (m Method) String() string {
 // Options tunes a Solve call.
 type Options struct {
 	Method Method
+	// NumCategories overrides the category-id validation bound
+	// (0 = g.NumCategories()). Systems serving epoch-versioned
+	// snapshots pass the snapshot's effective category count, so
+	// categories added dynamically beyond the graph's static set are
+	// queryable; the engine itself treats an id with no members as an
+	// empty category (no feasible routes).
+	NumCategories int
 	// TimeBreakdown enables the Table X wall-clock attribution (NN time,
 	// queue time, estimation time); it adds timer overhead.
 	TimeBreakdown bool
@@ -155,9 +170,26 @@ type Options struct {
 	Trace *Trace
 }
 
+// numCategories resolves the category validation bound for g.
+func (o Options) numCategories(g *graph.Graph) int {
+	if o.NumCategories > 0 {
+		return o.NumCategories
+	}
+	return g.NumCategories()
+}
+
 // ErrBudgetExceeded is returned when MaxExamined or MaxDuration was hit
 // before k routes were found. The harness renders it as the paper's INF.
 var ErrBudgetExceeded = errors.New("core: search budget exceeded")
+
+// ErrExaminedExceeded is the specific ErrBudgetExceeded returned when
+// MaxExamined tripped (it matches ErrBudgetExceeded under errors.Is, so
+// generic budget handling is unaffected). Unlike a wall-clock budget,
+// the examined-routes budget is deterministic: two runs of the same
+// query with the same limit truncate identically, which is what lets
+// the server's result cache admit such partial answers keyed on the
+// budget.
+var ErrExaminedExceeded = fmt.Errorf("%w (examined-routes limit)", ErrBudgetExceeded)
 
 // Stats reports the evaluation criteria of Section V-A: run-time, number
 // of examined routes, number of NN queries — plus the Table X wall-clock

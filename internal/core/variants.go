@@ -95,6 +95,12 @@ type VariantQuery struct {
 
 // Validate checks the variant query against a graph.
 func (q VariantQuery) Validate(g *graph.Graph) error {
+	return q.ValidateN(g, g.NumCategories())
+}
+
+// ValidateN checks the variant query against a graph whose effective
+// category space has numCats ids (see Query.ValidateN).
+func (q VariantQuery) ValidateN(g *graph.Graph, numCats int) error {
 	n := graph.Vertex(g.NumVertices())
 	if !q.NoSource && (q.Source < 0 || q.Source >= n) {
 		return fmt.Errorf("core: source %d out of range", q.Source)
@@ -112,7 +118,7 @@ func (q VariantQuery) Validate(g *graph.Graph) error {
 		return fmt.Errorf("core: no-source no-target queries need at least two categories")
 	}
 	for _, c := range q.Categories {
-		if int(c) < 0 || int(c) >= g.NumCategories() {
+		if int(c) < 0 || int(c) >= numCats {
 			return fmt.Errorf("core: category %d out of range", c)
 		}
 	}
@@ -142,7 +148,7 @@ func SolveVariant(ctx context.Context, g *graph.Graph, q VariantQuery, prov Prov
 // NewVariantSearcher. On success the engine holds a checked-out scratch;
 // the caller must arrange for releaseScratch once the search is over.
 func newVariantEngine(ctx context.Context, g *graph.Graph, q VariantQuery, prov Provider, opt Options) (*engine, NNFinder, error) {
-	if err := q.Validate(g); err != nil {
+	if err := q.ValidateN(g, opt.numCategories(g)); err != nil {
 		return nil, nil, err
 	}
 	if q.NoTarget && opt.Method == MethodSK {

@@ -25,6 +25,29 @@ func NewDynamic(g *Graph) *Dynamic {
 // Base returns the wrapped immutable graph.
 func (d *Dynamic) Base() *Graph { return d.base }
 
+// Clone returns an overlay that shares d's arc slices but owns its own
+// adjacency maps, so AddEdge on the clone never changes what d's Out/In
+// return. Together with the fact that AddEdge only ever appends — it
+// never rewrites an existing slice element — a chain of clones forms a
+// copy-on-write history: snapshot N keeps reading its frozen overlay
+// while snapshot N+1 is built from a clone. Cost is O(#touched
+// vertices), independent of |V| and of the base graph size.
+func (d *Dynamic) Clone() *Dynamic {
+	c := &Dynamic{
+		base:     d.base,
+		extraOut: make(map[Vertex][]Arc, len(d.extraOut)),
+		extraIn:  make(map[Vertex][]Arc, len(d.extraIn)),
+		extra:    d.extra,
+	}
+	for v, arcs := range d.extraOut {
+		c.extraOut[v] = arcs[:len(arcs):len(arcs)]
+	}
+	for v, arcs := range d.extraIn {
+		c.extraIn[v] = arcs[:len(arcs):len(arcs)]
+	}
+	return c
+}
+
 // NumVertices returns |V|.
 func (d *Dynamic) NumVertices() int { return d.base.NumVertices() }
 

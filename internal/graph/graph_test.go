@@ -242,3 +242,55 @@ func TestTotalWeight(t *testing.T) {
 		t.Fatalf("TotalWeight=%v", got)
 	}
 }
+
+// TestDynamicClone pins the overlay's copy-on-write contract: AddEdge
+// on a clone never changes what the parent's Out/In return, so a
+// snapshot chain can keep the parent frozen while the next version
+// grows.
+func TestDynamicClone(t *testing.T) {
+	g := NewBuilder(4, true).AddEdge(0, 1, 1).MustBuild()
+	parent := NewDynamic(g)
+	if err := parent.AddEdge(1, 2, 5); err != nil {
+		t.Fatal(err)
+	}
+
+	child := parent.Clone()
+	if err := child.AddEdge(1, 3, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := child.AddEdge(2, 3, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	if n := parent.NumExtraEdges(); n != 1 {
+		t.Fatalf("parent extra=%d, want 1", n)
+	}
+	if n := child.NumExtraEdges(); n != 3 {
+		t.Fatalf("child extra=%d, want 3", n)
+	}
+	if out := parent.Out(1); len(out) != 1 || out[0].To != 2 {
+		t.Fatalf("parent.Out(1)=%v, want only the (1,2) overlay arc", out)
+	}
+	if out := parent.Out(2); len(out) != 0 {
+		t.Fatalf("parent.Out(2)=%v, want empty", out)
+	}
+	if out := child.Out(1); len(out) != 2 {
+		t.Fatalf("child.Out(1)=%v, want 2 arcs", out)
+	}
+	if in := parent.In(3); len(in) != 0 {
+		t.Fatalf("parent.In(3)=%v, want empty", in)
+	}
+	if in := child.In(3); len(in) != 2 {
+		t.Fatalf("child.In(3)=%v, want 2 arcs", in)
+	}
+
+	// A grandchild keeps extending without disturbing either ancestor.
+	grand := child.Clone()
+	if err := grand.AddEdge(1, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if len(parent.Out(1)) != 1 || len(child.Out(1)) != 2 || len(grand.Out(1)) != 3 {
+		t.Fatalf("chain lengths: parent=%d child=%d grand=%d",
+			len(parent.Out(1)), len(child.Out(1)), len(grand.Out(1)))
+	}
+}

@@ -38,6 +38,13 @@ type Index struct {
 	// cats[c][hub] lists the vertices of category c that carry hub in
 	// their Lin label, sorted ascending by distance from the hub.
 	cats []map[graph.Vertex][]Entry
+	// shared[c] marks that cats[c] is still the parent's map after a
+	// Clone: the first mutation of category c copies the map (hub→list
+	// headers only) before writing. nil means every map is owned (the
+	// index was built, not cloned). Entry lists are never written in
+	// place by any mutation — see mutableIL — so they are always safe
+	// to share across clones.
+	shared []bool
 }
 
 // Build constructs the inverted label index for every category of g from
@@ -170,6 +177,55 @@ func FromParts(lab *label.Index, numCats int, loaded map[graph.Category]map[grap
 	return ix
 }
 
+// Clone returns a copy-on-write clone backed by lab (the label index of
+// the new snapshot — pass ix.Labels() when the labels did not change).
+// The per-category map headers are copied; the maps themselves and every
+// entry list stay shared until a mutation touches them, so cloning costs
+// O(|S|), not O(|V|·|C|). All mutating methods (AddVertexCategory,
+// RemoveVertexCategory, Refresh) copy the touched category's map once
+// per clone and replace entry lists wholesale, so the original index —
+// typically pinned by a published snapshot's in-flight queries — is
+// never written.
+func (ix *Index) Clone(lab *label.Index) *Index {
+	c := &Index{
+		lab:    lab,
+		cats:   make([]map[graph.Vertex][]Entry, len(ix.cats)),
+		shared: make([]bool, len(ix.cats)),
+	}
+	copy(c.cats, ix.cats)
+	for i := range c.shared {
+		c.shared[i] = c.cats[i] != nil
+	}
+	return c
+}
+
+// mutableIL returns a map for category c that this index owns and may
+// add/replace hub lists in. It copies a map still shared with a clone
+// parent (hub→list headers only) and allocates missing maps. Callers
+// must replace entry lists wholesale (never write list elements in
+// place): shared lists may be concurrently read through older clones.
+func (ix *Index) mutableIL(c graph.Category) map[graph.Vertex][]Entry {
+	il := ix.cats[c]
+	if il == nil {
+		il = make(map[graph.Vertex][]Entry)
+		ix.cats[c] = il
+		if ix.shared != nil {
+			ix.shared[c] = false
+		}
+		return il
+	}
+	if ix.shared != nil && ix.shared[c] {
+		owned := make(map[graph.Vertex][]Entry, len(il))
+		for hub, list := range il {
+			owned[hub] = list
+		}
+		ix.cats[c] = owned
+		ix.shared[c] = false
+		return owned
+	}
+	return il
+}
+
 // Labels returns the underlying 2-hop label index.
 func (ix *Index) Labels() *label.Index { return ix.lab }
 
@@ -193,70 +249,42 @@ func (ix *Index) AddVertexCategory(v graph.Vertex, c graph.Category) {
 		return
 	}
 	for int(c) >= len(ix.cats) {
-		ix.cats = append(ix.cats, make(map[graph.Vertex][]Entry))
-	}
-	il := ix.cats[c]
-	if il == nil {
-		il = make(map[graph.Vertex][]Entry)
-		ix.cats[c] = il
-	}
-	for _, e := range ix.lab.In(v) {
-		list := il[e.Hub]
-		pos := sort.Search(len(list), func(i int) bool {
-			if list[i].D != e.D {
-				return list[i].D > e.D
-			}
-			return list[i].V >= v
-		})
-		if pos < len(list) && list[pos].V == v && list[pos].D == e.D {
-			continue // already present
+		ix.cats = append(ix.cats, nil)
+		if ix.shared != nil {
+			ix.shared = append(ix.shared, false)
 		}
-		list = append(list, Entry{})
-		copy(list[pos+1:], list[pos:])
-		list[pos] = Entry{V: v, D: e.D}
-		il[e.Hub] = list
+	}
+	il := ix.mutableIL(c)
+	for _, e := range ix.lab.In(v) {
+		insertEntry(il, e.Hub, v, e.D)
 	}
 }
 
 // RemoveVertexCategory undoes AddVertexCategory (Section IV-C).
 func (ix *Index) RemoveVertexCategory(v graph.Vertex, c graph.Category) {
-	if int(c) < 0 || int(c) >= len(ix.cats) {
+	if int(c) < 0 || int(c) >= len(ix.cats) || ix.cats[c] == nil {
 		return
 	}
-	il := ix.cats[c]
+	il := ix.mutableIL(c)
 	for _, e := range ix.lab.In(v) {
-		list := il[e.Hub]
-		pos := sort.Search(len(list), func(i int) bool {
-			if list[i].D != e.D {
-				return list[i].D > e.D
-			}
-			return list[i].V >= v
-		})
-		if pos < len(list) && list[pos].V == v && list[pos].D == e.D {
-			list = append(list[:pos], list[pos+1:]...)
-			if len(list) == 0 {
-				delete(il, e.Hub)
-			} else {
-				il[e.Hub] = list
-			}
-		}
+		removeEntry(il, e.Hub, v, e.D)
 	}
 }
 
 // Refresh applies Lin label changes produced by label.(*Index).InsertEdge
 // (Section IV-C graph-structure updates): for every changed label of a
 // categorized vertex, the stale inverted entry is removed and the new one
-// inserted in distance order.
-func (ix *Index) Refresh(g *graph.Graph, updates []label.LinUpdate) {
+// inserted in distance order. cats reports the category memberships of a
+// vertex — pass g.Categories for a plain graph, or a closure folding in
+// dynamically added/removed categories so vertices recategorized at run
+// time keep their inverted lists exact across edge insertions.
+func (ix *Index) Refresh(cats func(graph.Vertex) []graph.Category, updates []label.LinUpdate) {
 	for _, u := range updates {
-		for _, c := range g.Categories(u.V) {
-			if int(c) < 0 || int(c) >= len(ix.cats) {
+		for _, c := range cats(u.V) {
+			if int(c) < 0 || int(c) >= len(ix.cats) || ix.cats[c] == nil {
 				continue
 			}
-			il := ix.cats[c]
-			if il == nil {
-				continue
-			}
+			il := ix.mutableIL(c)
 			if u.HadOld {
 				removeEntry(il, u.Hub, u.V, u.OldD)
 			}
@@ -265,6 +293,8 @@ func (ix *Index) Refresh(g *graph.Graph, updates []label.LinUpdate) {
 	}
 }
 
+// removeEntry deletes (v, d) from the hub's list. The shrunken list is
+// freshly allocated — mutations never write a shared backing array.
 func removeEntry(il map[graph.Vertex][]Entry, hub, v graph.Vertex, d graph.Weight) {
 	list := il[hub]
 	pos := sort.Search(len(list), func(i int) bool {
@@ -274,10 +304,19 @@ func removeEntry(il map[graph.Vertex][]Entry, hub, v graph.Vertex, d graph.Weigh
 		return list[i].V >= v
 	})
 	if pos < len(list) && list[pos].V == v && list[pos].D == d {
-		il[hub] = append(list[:pos], list[pos+1:]...)
+		if len(list) == 1 {
+			delete(il, hub)
+			return
+		}
+		fresh := make([]Entry, len(list)-1)
+		copy(fresh, list[:pos])
+		copy(fresh[pos:], list[pos+1:])
+		il[hub] = fresh
 	}
 }
 
+// insertEntry inserts (v, d) into the hub's list in (distance, vertex)
+// order, skipping exact duplicates. The grown list is freshly allocated.
 func insertEntry(il map[graph.Vertex][]Entry, hub, v graph.Vertex, d graph.Weight) {
 	list := il[hub]
 	pos := sort.Search(len(list), func(i int) bool {
@@ -289,10 +328,11 @@ func insertEntry(il map[graph.Vertex][]Entry, hub, v graph.Vertex, d graph.Weigh
 	if pos < len(list) && list[pos].V == v && list[pos].D == d {
 		return
 	}
-	list = append(list, Entry{})
-	copy(list[pos+1:], list[pos:])
-	list[pos] = Entry{V: v, D: d}
-	il[hub] = list
+	fresh := make([]Entry, len(list)+1)
+	copy(fresh, list[:pos])
+	fresh[pos] = Entry{V: v, D: d}
+	copy(fresh[pos+1:], list[pos:])
+	il[hub] = fresh
 }
 
 // Stats summarizes the inverted index (Table IX, lower half).

@@ -275,3 +275,99 @@ func TestOnGridGraph(t *testing.T) {
 		}
 	}
 }
+
+// ilSnapshot deep-copies every inverted list of ix for later comparison.
+func ilSnapshot(g *graph.Graph, ix *Index) map[graph.Category]map[graph.Vertex][]Entry {
+	snap := make(map[graph.Category]map[graph.Vertex][]Entry)
+	for c := 0; c < ix.NumCategories(); c++ {
+		lists := make(map[graph.Vertex][]Entry)
+		for v := 0; v < g.NumVertices(); v++ {
+			if l := ix.IL(graph.Category(c), graph.Vertex(v)); len(l) > 0 {
+				lists[graph.Vertex(v)] = append([]Entry(nil), l...)
+			}
+		}
+		snap[graph.Category(c)] = lists
+	}
+	return snap
+}
+
+func sameILSnapshot(a, b map[graph.Category]map[graph.Vertex][]Entry) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for c, la := range a {
+		lb := b[c]
+		if len(la) != len(lb) {
+			return false
+		}
+		for hub, ea := range la {
+			eb := lb[hub]
+			if len(ea) != len(eb) {
+				return false
+			}
+			for i := range ea {
+				if ea[i] != eb[i] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// TestCloneCopyOnWrite pins the snapshot-chain contract: every mutation
+// applied to a clone (category add/remove, Refresh after an edge
+// insertion) must leave the original's inverted lists untouched, while
+// the clone reflects the mutation.
+func TestCloneCopyOnWrite(t *testing.T) {
+	g := graph.Figure1()
+	lab := label.Build(g)
+	orig := Build(g, lab)
+	before := ilSnapshot(g, orig)
+
+	s, _ := g.VertexByName("s")
+	b, _ := g.VertexByName("b")
+	ma, _ := g.CategoryByName("MA")
+	re, _ := g.CategoryByName("RE")
+
+	clone := orig.Clone(lab)
+	clone.AddVertexCategory(b, ma)
+	clone.RemoveVertexCategory(b, re)
+	clone.AddVertexCategory(b, 9) // grow path
+
+	// The clone sees all three changes.
+	if nb, ok := clone.NewNNIterator(s, ma).Get(3); !ok || nb.V != b {
+		t.Fatalf("clone: 3rd MA neighbour = %+v ok=%v, want b", nb, ok)
+	}
+	if nb, ok := clone.NewNNIterator(s, 9).Get(1); !ok || nb.V != b {
+		t.Fatalf("clone: neighbour in grown category = %+v ok=%v", nb, ok)
+	}
+
+	// The original saw none of them.
+	if !sameILSnapshot(before, ilSnapshot(g, orig)) {
+		t.Fatal("clone mutations leaked into the original index")
+	}
+	if _, ok := orig.NewNNIterator(s, ma).Get(3); ok {
+		t.Fatal("original gained the clone's MA membership")
+	}
+
+	// Refresh on a second-generation clone: an edge insertion that
+	// rewrites labels must not disturb either ancestor.
+	cloneBefore := ilSnapshot(g, clone)
+	lab2 := lab.Clone()
+	clone2 := clone.Clone(lab2)
+	dyn := graph.NewDynamic(g)
+	d, _ := g.VertexByName("d")
+	tv, _ := g.VertexByName("t")
+	if err := dyn.AddEdge(d, tv, 1); err != nil {
+		t.Fatal(err)
+	}
+	updates := lab2.InsertEdge(dyn, d, tv, 1)
+	clone2.Refresh(g.Categories, updates)
+	if !sameILSnapshot(before, ilSnapshot(g, orig)) {
+		t.Fatal("Refresh on grandchild leaked into the original")
+	}
+	if !sameILSnapshot(cloneBefore, ilSnapshot(g, clone)) {
+		t.Fatal("Refresh on child clone leaked into its parent")
+	}
+}

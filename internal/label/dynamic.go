@@ -107,6 +107,12 @@ func (ix *Index) resume(adj Adjacency, root, start, via graph.Vertex, d0 graph.W
 
 // upsert inserts or improves the (hub, d) entry of v's Lin (or Lout)
 // list, keeping the list rank-ordered.
+//
+// The modified list is always freshly allocated — the previous backing
+// array is never written. Combined with Clone (which copies only the
+// per-vertex list headers), this makes updates copy-on-write: an index
+// cloned from a snapshot can absorb InsertEdge while queries keep
+// reading the original's lists concurrently, without locks.
 func (ix *Index) upsert(v, hub graph.Vertex, d graph.Weight, next graph.Vertex, reverse bool) LinUpdate {
 	lists := ix.in
 	if reverse {
@@ -119,13 +125,34 @@ func (ix *Index) upsert(v, hub graph.Vertex, d graph.Weight, next graph.Vertex, 
 	if pos < len(list) && list[pos].Hub == hub {
 		upd.HadOld = true
 		upd.OldD = list[pos].D
-		list[pos].D = d
-		list[pos].Next = next
+		fresh := make([]Entry, len(list))
+		copy(fresh, list)
+		fresh[pos].D = d
+		fresh[pos].Next = next
+		lists[v] = fresh
 		return upd
 	}
-	list = append(list, Entry{})
-	copy(list[pos+1:], list[pos:])
-	list[pos] = Entry{Hub: hub, R: r, D: d, Next: next}
-	lists[v] = list
+	fresh := make([]Entry, len(list)+1)
+	copy(fresh, list[:pos])
+	fresh[pos] = Entry{Hub: hub, R: r, D: d, Next: next}
+	copy(fresh[pos+1:], list[pos:])
+	lists[v] = fresh
 	return upd
+}
+
+// Clone returns a copy-on-write clone: the per-vertex list headers are
+// copied (O(|V|)), the entry lists themselves and the rank array are
+// shared. Every mutation made through InsertEdge replaces whole lists
+// (see upsert), so the original index — typically the one a published
+// snapshot's in-flight queries are still reading — is never written.
+func (ix *Index) Clone() *Index {
+	c := &Index{
+		n:    ix.n,
+		in:   make([][]Entry, len(ix.in)),
+		out:  make([][]Entry, len(ix.out)),
+		rank: ix.rank,
+	}
+	copy(c.in, ix.in)
+	copy(c.out, ix.out)
+	return c
 }

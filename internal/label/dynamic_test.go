@@ -197,3 +197,66 @@ func TestDynamicOverlayErrors(t *testing.T) {
 		t.Fatal("failed inserts must not count")
 	}
 }
+
+// snapshotLists deep-copies every label list of ix for later comparison.
+func snapshotLists(g *graph.Graph, ix *Index) (in, out [][]Entry) {
+	n := g.NumVertices()
+	in, out = make([][]Entry, n), make([][]Entry, n)
+	for v := 0; v < n; v++ {
+		in[v] = append([]Entry(nil), ix.In(graph.Vertex(v))...)
+		out[v] = append([]Entry(nil), ix.Out(graph.Vertex(v))...)
+	}
+	return in, out
+}
+
+// TestCloneCopyOnWrite pins the snapshot-chain contract: InsertEdge on
+// a clone must leave the original index bit-for-bit untouched (its
+// in-flight readers depend on it), while the clone absorbs the update
+// exactly.
+func TestCloneCopyOnWrite(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 10; trial++ {
+		n := 8 + rng.Intn(12)
+		b := graph.NewBuilder(n, true)
+		for i := 0; i < 3*n; i++ {
+			b.AddEdge(graph.Vertex(rng.Intn(n)), graph.Vertex(rng.Intn(n)), float64(1+rng.Intn(9)))
+		}
+		g := b.MustBuild()
+		orig := Build(g)
+		wantIn, wantOut := snapshotLists(g, orig)
+
+		clone := orig.Clone()
+		dyn := graph.NewDynamic(g)
+		for i := 0; i < 3; i++ {
+			u, v := graph.Vertex(rng.Intn(n)), graph.Vertex(rng.Intn(n))
+			w := float64(1 + rng.Intn(4))
+			if err := dyn.AddEdge(u, v, w); err != nil {
+				t.Fatal(err)
+			}
+			clone.InsertEdge(dyn, u, v, w)
+		}
+
+		// The clone is exact on the updated graph.
+		checkDynamicAllPairs(t, dyn, clone)
+
+		// The original never changed: same lists, element for element.
+		gotIn, gotOut := snapshotLists(g, orig)
+		for v := 0; v < n; v++ {
+			if !sameEntrySlices(wantIn[v], gotIn[v]) || !sameEntrySlices(wantOut[v], gotOut[v]) {
+				t.Fatalf("trial %d: original labels of vertex %d mutated by clone update", trial, v)
+			}
+		}
+	}
+}
+
+func sameEntrySlices(a, b []Entry) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -33,3 +33,34 @@ func BenchmarkIndexedHeapDijkstraPattern(b *testing.B) {
 		}
 	}
 }
+
+// benchHeapArity measures the steady-state pop cost of a d-ary heap at
+// KPNE-like queue sizes: fill to size, then alternate push/pop so every
+// iteration pays one full-depth sift-down. This is the pop-cost cell
+// kosrbench records as the binary-vs-4-ary delta in BENCH_PR4.json.
+func benchHeapArity(b *testing.B, d, size int) {
+	type routeLike struct {
+		key float64
+		seq int64
+		pad [2]int64 // approximate the engine's qItem width
+	}
+	less := func(a, b routeLike) bool {
+		if a.key != b.key {
+			return a.key < b.key
+		}
+		return a.seq < b.seq
+	}
+	h := NewHeapD[routeLike](less, d)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < size; i++ {
+		h.Push(routeLike{key: rng.Float64() * 1000, seq: int64(i)})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Pop()
+		h.Push(routeLike{key: rng.Float64() * 1000, seq: int64(size + i)})
+	}
+}
+
+func BenchmarkHeapPop2ary64k(b *testing.B) { benchHeapArity(b, 2, 1<<16) }
+func BenchmarkHeapPop4ary64k(b *testing.B) { benchHeapArity(b, 4, 1<<16) }

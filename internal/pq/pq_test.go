@@ -147,3 +147,70 @@ func TestIndexedHeapQuick(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Every arity must produce the same pop sequence when less is a total
+// order (the engine relies on this: switching the global route queue to
+// a 4-ary heap must not change results).
+func TestHeapAritiesAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(500)
+		in := make([]int, n)
+		for i := range in {
+			in[i] = rng.Intn(50) // plenty of duplicates
+		}
+		// Total order: value, then original index.
+		type item struct{ v, seq int }
+		less := func(a, b item) bool {
+			if a.v != b.v {
+				return a.v < b.v
+			}
+			return a.seq < b.seq
+		}
+		var ref []item
+		for _, d := range []int{2, 3, 4, 8} {
+			h := NewHeapD[item](less, d)
+			for i, v := range in {
+				h.Push(item{v, i})
+			}
+			var got []item
+			for h.Len() > 0 {
+				got = append(got, h.Pop())
+			}
+			if d == 2 {
+				ref = got
+				for i := 1; i < len(ref); i++ {
+					if less(ref[i], ref[i-1]) {
+						t.Fatalf("binary pop sequence unsorted at %d", i)
+					}
+				}
+				continue
+			}
+			for i := range ref {
+				if got[i] != ref[i] {
+					t.Fatalf("arity %d: pop %d = %v, want %v", d, i, got[i], ref[i])
+				}
+			}
+		}
+	}
+}
+
+func TestHeapDSortsQuick(t *testing.T) {
+	f := func(xs []float64) bool {
+		h := NewHeapD[float64](func(a, b float64) bool { return a < b }, 4)
+		for _, x := range xs {
+			h.Push(x)
+		}
+		want := append([]float64(nil), xs...)
+		sort.Float64s(want)
+		for _, w := range want {
+			if got := h.Pop(); got != w && !(got != got && w != w) { // NaN-tolerant
+				return false
+			}
+		}
+		return h.Len() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,195 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+
+	kosr "repro"
+)
+
+// TestAdminUpdateEpochCacheInvalidation is the end-to-end stale-cache
+// regression test wired into CI: /v1/query (cached) → /v1/admin/update
+// → /v1/query must return the post-update answer, never the pre-update
+// cache entry, with the served epoch visible in X-Index-Epoch.
+func TestAdminUpdateEpochCacheInvalidation(t *testing.T) {
+	g := kosr.Figure1()
+	sys := kosr.NewSystem(g)
+	srv := NewWithConfig(sys, Config{Workers: 2, CacheSize: 64})
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	batch := BatchRequest{Queries: []QueryRequest{
+		{Source: "s", Target: "t", Categories: []string{"MA", "RE", "CI"}, K: 1},
+	}}
+	ask := func(wantCost float64, wantEpoch string) *http.Response {
+		t.Helper()
+		resp, br := postBatch(t, ts.URL, batch)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status=%d", resp.StatusCode)
+		}
+		qr := decodeResult(t, br.Results[0])
+		if qr.Error != "" || len(qr.Routes) != 1 || qr.Routes[0].Cost != wantCost {
+			t.Fatalf("result=%+v, want cost %g", qr, wantCost)
+		}
+		if e := resp.Header.Get("X-Index-Epoch"); e != wantEpoch {
+			t.Fatalf("X-Index-Epoch=%q, want %q", e, wantEpoch)
+		}
+		return resp
+	}
+
+	ask(20, "1")
+	resp := ask(20, "1")
+	if resp.Header.Get("X-Cache") != "hits=1 misses=0" {
+		t.Fatalf("second identical query must hit: X-Cache=%q", resp.Header.Get("X-Cache"))
+	}
+
+	// Publish epoch 2: the d→t expressway lowers the optimum 20 → 17.
+	uResp := postJSON(t, ts.URL+"/v1/admin/update", AdminUpdateRequest{Updates: []UpdateJSON{
+		{Op: "insert-edge", From: "d", To: "t", Weight: 1},
+	}})
+	if uResp.StatusCode != http.StatusOK {
+		t.Fatalf("admin update status=%d", uResp.StatusCode)
+	}
+	var ur AdminUpdateResponse
+	if err := json.NewDecoder(uResp.Body).Decode(&ur); err != nil {
+		t.Fatal(err)
+	}
+	if ur.Epoch != 2 || ur.Applied != 1 {
+		t.Fatalf("update response=%+v", ur)
+	}
+	if e := uResp.Header.Get("X-Index-Epoch"); e != "2" {
+		t.Fatalf("update X-Index-Epoch=%q", e)
+	}
+
+	// The same query now keys to epoch 2: it must recompute (miss) and
+	// see the new answer — the old entry is unreachable, not served.
+	resp = ask(17, "2")
+	if resp.Header.Get("X-Cache") != "hits=0 misses=1" {
+		t.Fatalf("post-update query served stale cache: X-Cache=%q", resp.Header.Get("X-Cache"))
+	}
+	resp = ask(17, "2")
+	if resp.Header.Get("X-Cache") != "hits=1 misses=0" {
+		t.Fatalf("post-update repeat must hit the fresh entry: X-Cache=%q", resp.Header.Get("X-Cache"))
+	}
+
+	// /health reports the epoch and counts the superseded entry stale.
+	hResp, err := http.Get(ts.URL + "/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hResp.Body.Close()
+	var h HealthResponse
+	if err := json.NewDecoder(hResp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Epoch != 2 {
+		t.Fatalf("health epoch=%d, want 2", h.Epoch)
+	}
+	if h.Cache == nil || h.Cache.Stale < 1 {
+		t.Fatalf("health cache=%+v, want at least one stale entry", h.Cache)
+	}
+}
+
+func TestAdminUpdateCategoryOps(t *testing.T) {
+	ts, g := newTestServer(t)
+	// Adding b to MA makes a third MA stop reachable; removing it
+	// restores the original two. Symbolic names resolve like queries.
+	for _, step := range []struct {
+		op   string
+		want int
+	}{
+		{"add-category", http.StatusOK},
+		{"remove-category", http.StatusOK},
+	} {
+		resp := postJSON(t, ts.URL+"/v1/admin/update", AdminUpdateRequest{Updates: []UpdateJSON{
+			{Op: step.op, Vertex: "b", Category: "MA"},
+		}})
+		if resp.StatusCode != step.want {
+			t.Fatalf("%s: status=%d, want %d", step.op, resp.StatusCode, step.want)
+		}
+	}
+
+	// A brand-new numeric category id (beyond the static set) can be
+	// introduced through the endpoint and then queried over the wire.
+	grown := strconv.Itoa(g.NumCategories())
+	resp := postJSON(t, ts.URL+"/v1/admin/update", AdminUpdateRequest{Updates: []UpdateJSON{
+		{Op: "add-category", Vertex: "b", Category: grown},
+	}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("grown category add: status=%d", resp.StatusCode)
+	}
+	qResp, br := postBatch(t, ts.URL, BatchRequest{Queries: []QueryRequest{
+		{Source: "s", Target: "t", Categories: []string{grown}, K: 1},
+	}})
+	if qResp.StatusCode != http.StatusOK {
+		t.Fatalf("grown category query: status=%d", qResp.StatusCode)
+	}
+	qr := decodeResult(t, br.Results[0])
+	if qr.Error != "" || len(qr.Routes) != 1 {
+		t.Fatalf("grown category result=%+v, want one route through b", qr)
+	}
+}
+
+func TestAdminUpdateValidation(t *testing.T) {
+	ts, _ := newTestServer(t)
+	for name, req := range map[string]AdminUpdateRequest{
+		"empty batch":      {},
+		"unknown op":       {Updates: []UpdateJSON{{Op: "drop-table"}}},
+		"unknown vertex":   {Updates: []UpdateJSON{{Op: "insert-edge", From: "nope", To: "t", Weight: 1}}},
+		"unknown category": {Updates: []UpdateJSON{{Op: "add-category", Vertex: "b", Category: "nope"}}},
+		"negative weight":  {Updates: []UpdateJSON{{Op: "insert-edge", From: "s", To: "t", Weight: -3}}},
+	} {
+		resp := postJSON(t, ts.URL+"/v1/admin/update", req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status=%d, want 400", name, resp.StatusCode)
+		}
+	}
+
+	// A system without a label index rejects updates at apply time.
+	srv := New(kosr.NewSystemWithoutIndex(kosr.Figure1()))
+	t.Cleanup(srv.Close)
+	ts2 := httptest.NewServer(srv)
+	t.Cleanup(ts2.Close)
+	resp := postJSON(t, ts2.URL+"/v1/admin/update", AdminUpdateRequest{Updates: []UpdateJSON{
+		{Op: "insert-edge", From: "s", To: "t", Weight: 1},
+	}})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("no-index update: status=%d, want 422", resp.StatusCode)
+	}
+}
+
+// TestExaminedTruncationCached pins the new cache-admission rule:
+// MaxExamined truncation is deterministic, so the truncated partial
+// result is cached (keyed on the budget) instead of recomputed per
+// request.
+func TestExaminedTruncationCached(t *testing.T) {
+	g := kosr.Figure1()
+	srv := NewWithConfig(kosr.NewSystem(g), Config{Workers: 2, CacheSize: 64, MaxExamined: 5})
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	batch := BatchRequest{Queries: []QueryRequest{
+		{Source: "s", Target: "t", Categories: []string{"MA", "RE", "CI"}, K: 30},
+	}}
+	resp, br := postBatch(t, ts.URL, batch)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status=%d", resp.StatusCode)
+	}
+	first := decodeResult(t, br.Results[0])
+	if !first.Truncated {
+		t.Fatalf("want truncated result with MaxExamined=5, got %+v", first)
+	}
+	resp, br = postBatch(t, ts.URL, batch)
+	if resp.Header.Get("X-Cache") != "hits=1 misses=0" {
+		t.Fatalf("deterministic truncation must be cached: X-Cache=%q", resp.Header.Get("X-Cache"))
+	}
+	second := decodeResult(t, br.Results[0])
+	if !second.Truncated || len(second.Routes) != len(first.Routes) {
+		t.Fatalf("cached truncation differs: %+v vs %+v", second, first)
+	}
+}

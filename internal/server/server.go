@@ -1,11 +1,12 @@
 // Package server exposes a System over HTTP, so the KOSR engine can
 // back a routing service:
 //
-//	GET  /health          liveness, index and cache statistics
-//	POST /v1/query        answer a batch of KOSR queries
-//	POST /v1/stream       stream one query's routes as NDJSON
-//	POST /expand          expand a witness into a full route
-//	POST /query           deprecated single-query endpoint
+//	GET  /health           liveness, index epoch, index and cache statistics
+//	POST /v1/query         answer a batch of KOSR queries
+//	POST /v1/stream        stream one query's routes as NDJSON
+//	POST /v1/admin/update  apply a batch of dynamic index updates
+//	POST /expand           expand a witness into a full route
+//	POST /query            deprecated single-query endpoint
 //
 // Everything enters through the context-first Request path: queries
 // execute on a bounded worker pool over the shared read-only index, the
@@ -16,6 +17,14 @@
 // traffic stops recomputing its hot set. Cached entries store the
 // serialized response bytes, so cached and freshly computed responses
 // are byte-identical by construction.
+//
+// Dynamic updates are safe under live traffic: every query handler pins
+// one index Snapshot for the request's lifetime (a wait-free atomic
+// load) and reports its version in the X-Index-Epoch response header,
+// while /v1/admin/update applies its batch to a copy-on-write clone and
+// publishes atomically. Cache keys embed the pinned epoch, so an update
+// invalidates cached answers without a purge — superseded entries age
+// out of the LRU, and /health reports how many remain.
 package server
 
 import (
@@ -55,15 +64,31 @@ type Config struct {
 	// included (0 = no limit).
 	QueryTimeout time.Duration
 	// CacheSize bounds the /v1/query result cache in entries
-	// (0 = caching disabled). Only complete results are stored:
-	// truncation depends on wall-clock budgets, so partial results are
-	// recomputed. Dynamic index updates require a new Server (or an
-	// explicit cache purge) — the cache assumes an immutable index.
+	// (0 = caching disabled). Complete results are stored, as are
+	// results truncated by the deterministic MaxExamined budget (keyed
+	// on that budget); wall-clock truncations are recomputed. Cache
+	// keys embed the index epoch the query was answered on, so
+	// /v1/admin/update invalidates without a purge: entries from
+	// superseded epochs age out of the LRU.
 	CacheSize int
 	// MaxBatch bounds how many queries one /v1/query request may carry
 	// (default 64).
 	MaxBatch int
+	// StreamWriteTimeout bounds how long one /v1/stream NDJSON line may
+	// take to reach the client before the stream is torn down, so a
+	// stalled reader cannot pin a pool worker forever (0 applies
+	// DefaultStreamWriteTimeout; negative disables the deadline).
+	StreamWriteTimeout time.Duration
+	// MaxUpdateBatch bounds how many mutations one /v1/admin/update
+	// request may carry (default 1024).
+	MaxUpdateBatch int
 }
+
+// DefaultStreamWriteTimeout is the per-line write deadline applied to
+// /v1/stream when Config.StreamWriteTimeout is zero. A healthy client
+// drains a line in microseconds; 30 seconds distinguishes slow links
+// from dead ones without cutting either off aggressively.
+const DefaultStreamWriteTimeout = 30 * time.Second
 
 // Server wires a System into an http.Handler backed by a worker pool.
 // Create one with New or NewWithConfig and Close it on shutdown.
@@ -76,8 +101,10 @@ type Server struct {
 	// QueryTimeout bounds each query's wall-clock time (0 = no limit).
 	QueryTimeout time.Duration
 
-	cache    *cache.Cache[[]byte] // nil when CacheSize == 0
-	maxBatch int
+	cache          *cache.Cache[[]byte] // nil when CacheSize == 0
+	maxBatch       int
+	maxUpdateBatch int
+	streamTimeout  time.Duration // per-line /v1/stream write deadline; <0 = none
 
 	jobs     chan *task
 	workerWG sync.WaitGroup
@@ -106,20 +133,30 @@ func NewWithConfig(sys *kosr.System, cfg Config) *Server {
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = 64
 	}
+	if cfg.MaxUpdateBatch <= 0 {
+		cfg.MaxUpdateBatch = 1024
+	}
+	if cfg.StreamWriteTimeout == 0 {
+		cfg.StreamWriteTimeout = DefaultStreamWriteTimeout
+	}
 	s := &Server{
-		sys:          sys,
-		mux:          http.NewServeMux(),
-		MaxExamined:  cfg.MaxExamined,
-		QueryTimeout: cfg.QueryTimeout,
-		maxBatch:     cfg.MaxBatch,
-		jobs:         make(chan *task, cfg.QueueDepth),
+		sys:            sys,
+		mux:            http.NewServeMux(),
+		MaxExamined:    cfg.MaxExamined,
+		QueryTimeout:   cfg.QueryTimeout,
+		maxBatch:       cfg.MaxBatch,
+		maxUpdateBatch: cfg.MaxUpdateBatch,
+		streamTimeout:  cfg.StreamWriteTimeout,
+		jobs:           make(chan *task, cfg.QueueDepth),
 	}
 	if cfg.CacheSize > 0 {
 		s.cache = cache.New[[]byte](cfg.CacheSize)
+		s.cache.SetEpoch(sys.Epoch())
 	}
 	s.mux.HandleFunc("/health", methodOnly(http.MethodGet, s.handleHealth))
 	s.mux.HandleFunc("/v1/query", methodOnly(http.MethodPost, s.handleBatchQuery))
 	s.mux.HandleFunc("/v1/stream", methodOnly(http.MethodPost, s.handleStream))
+	s.mux.HandleFunc("/v1/admin/update", methodOnly(http.MethodPost, s.handleAdminUpdate))
 	s.mux.HandleFunc("/query", methodOnly(http.MethodPost, s.handleQuery))
 	s.mux.HandleFunc("/expand", methodOnly(http.MethodPost, s.handleExpand))
 	for i := 0; i < cfg.Workers; i++ {
@@ -241,6 +278,7 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 // HealthResponse is the /health payload.
 type HealthResponse struct {
 	Status     string  `json:"status"`
+	Epoch      uint64  `json:"epoch"`
 	Vertices   int     `json:"vertices"`
 	Edges      int     `json:"edges"`
 	Categories int     `json:"categories"`
@@ -254,29 +292,41 @@ type HealthResponse struct {
 
 // CacheHealth is the /health view of the result cache.
 type CacheHealth struct {
-	Entries   int   `json:"entries"`
+	Entries int `json:"entries"`
+	// Stale counts entries computed on a superseded index epoch; they
+	// can no longer be hit (keys embed the epoch) and age out of the
+	// LRU as fresh traffic displaces them.
+	Stale     int   `json:"stale"`
 	Hits      int64 `json:"hits"`
 	Misses    int64 `json:"misses"`
 	Coalesced int64 `json:"coalesced"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	snap := s.sys.Snapshot()
 	resp := HealthResponse{
 		Status:     "ok",
-		Vertices:   s.sys.Graph.NumVertices(),
-		Edges:      s.sys.Graph.NumEdges(),
-		Categories: s.sys.Graph.NumCategories(),
+		Epoch:      snap.Epoch,
+		Vertices:   snap.Graph.NumVertices(),
+		Edges:      snap.Graph.NumEdges(),
+		Categories: snap.Graph.NumCategories(),
 	}
-	if s.sys.Labels != nil {
-		st := s.sys.Labels.Stats()
+	if snap.Labels != nil {
+		st := snap.Labels.Stats()
 		resp.AvgLin = st.AvgIn
 		resp.AvgLout = st.AvgOut
 		resp.IndexBytes = st.SizeBytes
 	}
 	if s.cache != nil {
+		// Refresh the freshness watermark from the snapshot, so the
+		// stale count stays right even when an embedder publishes
+		// updates through System.Apply without touching this server.
+		s.cache.SetEpoch(snap.Epoch)
 		h, m, c := s.cache.Stats()
-		resp.Cache = &CacheHealth{Entries: s.cache.Len(), Hits: h, Misses: m, Coalesced: c}
+		_, stale := s.cache.EpochLens()
+		resp.Cache = &CacheHealth{Entries: s.cache.Len(), Stale: stale, Hits: h, Misses: m, Coalesced: c}
 	}
+	w.Header().Set("X-Index-Epoch", strconv.FormatUint(snap.Epoch, 10))
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -355,8 +405,11 @@ func (s *Server) resolveVertex(spec string) (kosr.Vertex, error) {
 }
 
 // resolveCategory maps a symbolic name or a decimal id to a category,
-// rejecting ids with trailing garbage and ids outside [0, |S|).
-func (s *Server) resolveCategory(spec string) (kosr.Category, error) {
+// rejecting ids with trailing garbage and ids outside the snapshot's
+// effective category space [0, snap.NumCategories()) — which includes
+// ids grown dynamically via /v1/admin/update, not just the base
+// graph's static set.
+func (s *Server) resolveCategory(snap *kosr.Snapshot, spec string) (kosr.Category, error) {
 	if c, ok := s.sys.Graph.CategoryByName(spec); ok {
 		return c, nil
 	}
@@ -364,14 +417,15 @@ func (s *Server) resolveCategory(spec string) (kosr.Category, error) {
 	if err != nil {
 		return 0, fmt.Errorf("unknown category %q", spec)
 	}
-	if id < 0 || id >= s.sys.Graph.NumCategories() {
-		return 0, fmt.Errorf("category id %d out of range [0, %d)", id, s.sys.Graph.NumCategories())
+	if id < 0 || id >= snap.NumCategories() {
+		return 0, fmt.Errorf("category id %d out of range [0, %d)", id, snap.NumCategories())
 	}
 	return kosr.Category(id), nil
 }
 
-// buildRequest resolves a wire query into an engine Request.
-func (s *Server) buildRequest(qr QueryRequest) (kosr.Request, error) {
+// buildRequest resolves a wire query into an engine Request against the
+// pinned snapshot's id spaces.
+func (s *Server) buildRequest(snap *kosr.Snapshot, qr QueryRequest) (kosr.Request, error) {
 	var req kosr.Request
 	src, err := s.resolveVertex(qr.Source)
 	if err != nil {
@@ -383,7 +437,7 @@ func (s *Server) buildRequest(qr QueryRequest) (kosr.Request, error) {
 	}
 	cats := make([]kosr.Category, len(qr.Categories))
 	for i, cs := range qr.Categories {
-		if cats[i], err = s.resolveCategory(cs); err != nil {
+		if cats[i], err = s.resolveCategory(snap, cs); err != nil {
 			return req, fmt.Errorf("category %d: %w", i, err)
 		}
 	}
@@ -417,14 +471,14 @@ func (s *Server) queryCtx(r *http.Request) (context.Context, context.CancelFunc)
 	return r.Context(), func() {}
 }
 
-// runQuery answers one Request on the worker pool: the shared
-// worker-side body of /v1/query, /v1/stream's sibling handlers and the
-// deprecated /query. The engine honours the context itself, but
-// MaxDuration additionally caps the search at the time left when the
-// worker picks the query up, so queueing cannot extend the request's
-// stay. Expansion runs on the worker too, so the pool bounds all
-// engine CPU, not just Do.
-func (s *Server) runQuery(ctx context.Context, req kosr.Request, expand bool) (res *kosr.Result, expanded [][]int32, err error) {
+// runQuery answers one Request on the worker pool against the pinned
+// snapshot: the shared worker-side body of /v1/query, /v1/stream's
+// sibling handlers and the deprecated /query. The engine honours the
+// context itself, but MaxDuration additionally caps the search at the
+// time left when the worker picks the query up, so queueing cannot
+// extend the request's stay. Expansion runs on the worker too, so the
+// pool bounds all engine CPU, not just Do.
+func (s *Server) runQuery(ctx context.Context, snap *kosr.Snapshot, req kosr.Request, expand bool) (res *kosr.Result, expanded [][]int32, err error) {
 	var doErr error
 	if err := s.dispatch(ctx, func() {
 		if deadline, ok := ctx.Deadline(); ok {
@@ -435,11 +489,11 @@ func (s *Server) runQuery(ctx context.Context, req kosr.Request, expand bool) (r
 			}
 			req.MaxDuration = remaining
 		}
-		res, doErr = s.sys.Do(ctx, req)
+		res, doErr = snap.Do(ctx, req)
 		if doErr == nil && expand {
 			expanded = make([][]int32, len(res.Routes))
 			for i, rt := range res.Routes {
-				expanded[i] = s.sys.ExpandWitness(rt.Witness)
+				expanded[i] = snap.ExpandWitness(rt.Witness)
 			}
 		}
 	}); err != nil {
@@ -449,11 +503,14 @@ func (s *Server) runQuery(ctx context.Context, req kosr.Request, expand bool) (r
 }
 
 // compute answers one Request on the worker pool and serializes the
-// deterministic QueryResult. storable is false for truncated results
-// (truncation depends on wall-clock budgets, so caching one would serve
-// stale partial answers to requests with healthier budgets).
-func (s *Server) compute(ctx context.Context, req kosr.Request, expand bool) (body []byte, storable bool, err error) {
-	res, expanded, err := s.runQuery(ctx, req, expand)
+// deterministic QueryResult. storable is false for wall-clock-truncated
+// results (they depend on the leader's budget, so caching one would
+// serve stale partial answers to requests with healthier budgets);
+// results truncated by the deterministic MaxExamined budget are
+// storable — the cache key covers the budget, so every request sharing
+// the key truncates identically.
+func (s *Server) compute(ctx context.Context, snap *kosr.Snapshot, req kosr.Request, expand bool) (body []byte, storable bool, err error) {
+	res, expanded, err := s.runQuery(ctx, snap, req, expand)
 	if err != nil {
 		return nil, false, err
 	}
@@ -467,7 +524,7 @@ func (s *Server) compute(ctx context.Context, req kosr.Request, expand bool) (bo
 	if err != nil {
 		return nil, false, err
 	}
-	return b, !res.Truncated, nil
+	return b, !res.Truncated || res.TruncatedByExamined, nil
 }
 
 func (s *Server) routesJSON(routes []kosr.Route, expanded [][]int32) []RouteJSON {
@@ -486,35 +543,39 @@ func (s *Server) routesJSON(routes []kosr.Route, expanded [][]int32) []RouteJSON
 	return out
 }
 
-// answerOne resolves and answers one batch entry, going through the
-// result cache when the query is cacheable. The returned bytes are a
-// serialized QueryResult; per-query failures become the Error field so
-// the batch's other queries still answer. hit reports a cache hit (or a
-// coalesced in-flight computation).
-func (s *Server) answerOne(ctx context.Context, qr QueryRequest) (body json.RawMessage, hit bool) {
-	req, err := s.buildRequest(qr)
+// answerOne resolves and answers one batch entry against the pinned
+// snapshot, going through the result cache when the query is cacheable.
+// The cache key embeds the snapshot epoch (via Request.IndexEpoch), so
+// answers computed on different index versions never collide and an
+// update needs no purge. The returned bytes are a serialized
+// QueryResult; per-query failures become the Error field so the batch's
+// other queries still answer. hit reports a cache hit (or a coalesced
+// in-flight computation).
+func (s *Server) answerOne(ctx context.Context, snap *kosr.Snapshot, qr QueryRequest) (body json.RawMessage, hit bool) {
+	req, err := s.buildRequest(snap, qr)
 	if err != nil {
 		return errResult(err), false
 	}
+	req.IndexEpoch = snap.Epoch
 	key, cacheable := req.CanonicalKey()
 	if qr.Expand {
 		key = "e|" + key
 	}
 	if s.cache == nil || !cacheable {
-		b, _, err := s.compute(ctx, req, qr.Expand)
+		b, _, err := s.compute(ctx, snap, req, qr.Expand)
 		if err != nil {
 			return errResult(err), false
 		}
 		return b, false
 	}
-	b, hit, err := s.cache.Do(ctx, key, func() ([]byte, bool, error) {
-		return s.compute(ctx, req, qr.Expand)
+	b, hit, err := s.cache.DoAt(ctx, key, snap.Epoch, func() ([]byte, bool, error) {
+		return s.compute(ctx, snap, req, qr.Expand)
 	})
 	if err != nil && hit {
 		// The leader we coalesced onto failed (most likely its client
 		// disconnected, cancelling its context). Its failure is not
 		// ours: compute independently.
-		b, _, err = s.compute(ctx, req, qr.Expand)
+		b, _, err = s.compute(ctx, snap, req, qr.Expand)
 		hit = false
 	}
 	if err != nil {
@@ -549,6 +610,10 @@ func (s *Server) handleBatchQuery(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.queryCtx(r)
 	defer cancel()
 
+	// One snapshot pin serves the whole batch: every query of the batch
+	// is answered on the same index version, even if an update publishes
+	// mid-flight.
+	snap := s.sys.Snapshot()
 	start := time.Now()
 	results := make([]json.RawMessage, len(batch.Queries))
 	hits := make([]bool, len(batch.Queries))
@@ -557,7 +622,7 @@ func (s *Server) handleBatchQuery(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(i int, q QueryRequest) {
 			defer wg.Done()
-			results[i], hits[i] = s.answerOne(ctx, q)
+			results[i], hits[i] = s.answerOne(ctx, snap, q)
 		}(i, q)
 	}
 	wg.Wait()
@@ -570,6 +635,7 @@ func (s *Server) handleBatchQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	// Timing and cache outcome travel as headers: the body stays
 	// deterministic, so cached and uncached responses are byte-identical.
+	w.Header().Set("X-Index-Epoch", strconv.FormatUint(snap.Epoch, 10))
 	w.Header().Set("X-Cache", fmt.Sprintf("hits=%d misses=%d", nHits, len(results)-nHits))
 	w.Header().Set("X-Query-Millis",
 		strconv.FormatFloat(float64(time.Since(start).Microseconds())/1000, 'f', 3, 64))
@@ -581,14 +647,18 @@ func (s *Server) handleBatchQuery(w http.ResponseWriter, r *http.Request) {
 // produced lazily by the progressive searcher. K caps the stream when
 // positive. A client that disconnects cancels the request context,
 // which aborts the in-flight search within one engine check interval
-// and returns its scratch to the pool. The final line is a summary:
-// {"done":true, ...} — its absence means the stream was cut short.
+// and returns its scratch to the pool; a client that stays connected
+// but stops reading trips the per-line write deadline instead, so a
+// stalled NDJSON reader cannot pin a pool worker forever. The final
+// line is a summary: {"done":true, ...} — its absence means the stream
+// was cut short.
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	var qr QueryRequest
 	if !decodeJSON(w, r, &qr) {
 		return
 	}
-	req, err := s.buildRequest(qr)
+	snap := s.sys.Snapshot() // the whole stream reads one index version
+	req, err := s.buildRequest(snap, qr)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -596,15 +666,35 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	req.K = qr.K // DoStream treats K<=0 as unbounded; don't default to 1
 	ctx, cancel := s.queryCtx(r)
 	defer cancel()
+	req.IndexEpoch = snap.Epoch
 
 	flusher, _ := w.(http.Flusher)
+	rc := http.NewResponseController(w)
 	enc := json.NewEncoder(w)
+	// armWriteDeadline gives the next NDJSON line s.streamTimeout to
+	// reach the client. ErrNotSupported (recorders, exotic wrappers)
+	// quietly disables the guard rather than the stream.
+	armWriteDeadline := func() {
+		if s.streamTimeout > 0 {
+			rc.SetWriteDeadline(time.Now().Add(s.streamTimeout))
+		}
+	}
 	// The whole stream runs on one pool worker, so the pool bounds all
 	// engine CPU; the context threading above keeps a dead client from
-	// pinning the worker.
+	// pinning the worker, and the write deadline keeps a stalled one
+	// from doing so.
 	expired := false
 	started := false
 	if err := s.dispatch(ctx, func() {
+		// The deadline is a property of the connection, not the request:
+		// clear it on the way out or a later keep-alive request on the
+		// same connection would inherit it (http.Server only re-arms
+		// per request when WriteTimeout is set).
+		defer func() {
+			if s.streamTimeout > 0 {
+				rc.SetWriteDeadline(time.Time{})
+			}
+		}()
 		if deadline, ok := ctx.Deadline(); ok {
 			remaining := time.Until(deadline)
 			if remaining <= 0 {
@@ -617,9 +707,10 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		// expired path below can still answer with a proper status.
 		started = true
 		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.Header().Set("X-Index-Epoch", strconv.FormatUint(snap.Epoch, 10))
 		n := 0
 		truncated := false
-		for rt, err := range s.sys.DoStream(ctx, req) {
+		for rt, err := range snap.DoStream(ctx, req) {
 			if err != nil {
 				// Budget exhaustion ends the stream gracefully;
 				// cancellation means nobody is reading anymore.
@@ -635,16 +726,20 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 				line.Names[k] = s.sys.Graph.VertexName(v)
 			}
 			if qr.Expand {
-				line.Route = s.sys.ExpandWitness(rt.Witness)
+				line.Route = snap.ExpandWitness(rt.Witness)
 			}
+			armWriteDeadline()
 			if enc.Encode(line) != nil {
-				return // client gone; ctx cancellation tears down the engine
+				// Client gone or its socket write blocked past the
+				// deadline; ctx cancellation tears down the engine.
+				return
 			}
 			if flusher != nil {
 				flusher.Flush()
 			}
 			n++
 		}
+		armWriteDeadline()
 		enc.Encode(map[string]any{"done": true, "results": n, "truncated": truncated})
 	}); err != nil {
 		// Nothing was written yet (dispatch failed before the worker
@@ -666,16 +761,18 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &qr) {
 		return
 	}
-	req, err := s.buildRequest(qr)
+	snap := s.sys.Snapshot()
+	req, err := s.buildRequest(snap, qr)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	ctx, cancel := s.queryCtx(r)
 	defer cancel()
+	req.IndexEpoch = snap.Epoch
 
 	start := time.Now()
-	res, expanded, err := s.runQuery(ctx, req, qr.Expand)
+	res, expanded, err := s.runQuery(ctx, snap, req, qr.Expand)
 	if errors.Is(err, errShuttingDown) || errors.Is(err, context.Canceled) {
 		writeDispatchError(w, err)
 		return
@@ -687,6 +784,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	w.Header().Set("X-Index-Epoch", strconv.FormatUint(snap.Epoch, 10))
 	writeJSON(w, http.StatusOK, QueryResponse{
 		Routes:    s.routesJSON(res.Routes, expanded),
 		Examined:  res.Stats.Examined,
@@ -705,6 +803,133 @@ func writeDispatchError(w http.ResponseWriter, err error) {
 	default:
 		writeError(w, http.StatusServiceUnavailable, "request cancelled: %v", err)
 	}
+}
+
+// UpdateJSON is one mutation of a /v1/admin/update batch. Vertices and
+// categories may be given as numeric ids or symbolic names, exactly
+// like query endpoints.
+type UpdateJSON struct {
+	// Op is "insert-edge", "add-category" or "remove-category".
+	Op string `json:"op"`
+	// From, To, Weight describe the new arc for insert-edge.
+	From   string  `json:"from,omitempty"`
+	To     string  `json:"to,omitempty"`
+	Weight float64 `json:"weight,omitempty"`
+	// Vertex, Category identify the membership change for
+	// add-category / remove-category.
+	Vertex   string `json:"vertex,omitempty"`
+	Category string `json:"category,omitempty"`
+}
+
+// AdminUpdateRequest is the /v1/admin/update payload: an ordered batch
+// of mutations applied atomically as one new index epoch.
+type AdminUpdateRequest struct {
+	Updates []UpdateJSON `json:"updates"`
+}
+
+// AdminUpdateResponse reports the published epoch.
+type AdminUpdateResponse struct {
+	// Epoch is the index version now serving queries; every /v1/query
+	// response issued after this call reports it (or a later one) in
+	// X-Index-Epoch.
+	Epoch   uint64 `json:"epoch"`
+	Applied int    `json:"applied"`
+}
+
+// handleAdminUpdate answers POST /v1/admin/update: the batch is
+// resolved, applied to a copy-on-write clone of the current snapshot by
+// the system's serialized updater, and published atomically. In-flight
+// queries finish on the snapshot they pinned; queries arriving after
+// the response see the new epoch, and the result cache switches its
+// epoch tag so superseded entries are counted stale (they age out of
+// the LRU — no purge). The endpoint carries no authentication; deploy
+// it behind the same trust boundary as your other mutating admin
+// surfaces.
+func (s *Server) handleAdminUpdate(w http.ResponseWriter, r *http.Request) {
+	var req AdminUpdateRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if len(req.Updates) == 0 {
+		writeError(w, http.StatusBadRequest, "empty batch: provide at least one update")
+		return
+	}
+	if len(req.Updates) > s.maxUpdateBatch {
+		writeError(w, http.StatusBadRequest, "batch of %d updates exceeds the limit of %d", len(req.Updates), s.maxUpdateBatch)
+		return
+	}
+	updates := make([]kosr.Update, len(req.Updates))
+	for i, u := range req.Updates {
+		var err error
+		if updates[i], err = s.buildUpdate(u); err != nil {
+			writeError(w, http.StatusBadRequest, "update %d: %v", i, err)
+			return
+		}
+	}
+	epoch, err := s.sys.Apply(updates...)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	if s.cache != nil {
+		s.cache.SetEpoch(epoch)
+	}
+	w.Header().Set("X-Index-Epoch", strconv.FormatUint(epoch, 10))
+	writeJSON(w, http.StatusOK, AdminUpdateResponse{Epoch: epoch, Applied: len(updates)})
+}
+
+// buildUpdate resolves one wire mutation into an engine Update.
+func (s *Server) buildUpdate(u UpdateJSON) (kosr.Update, error) {
+	switch u.Op {
+	case "insert-edge":
+		from, err := s.resolveVertex(u.From)
+		if err != nil {
+			return kosr.Update{}, fmt.Errorf("from: %w", err)
+		}
+		to, err := s.resolveVertex(u.To)
+		if err != nil {
+			return kosr.Update{}, fmt.Errorf("to: %w", err)
+		}
+		if u.Weight < 0 || u.Weight != u.Weight {
+			return kosr.Update{}, fmt.Errorf("invalid weight %v", u.Weight)
+		}
+		return kosr.Update{Op: kosr.OpInsertEdge, From: from, To: to, Weight: u.Weight}, nil
+	case "add-category", "remove-category":
+		v, err := s.resolveVertex(u.Vertex)
+		if err != nil {
+			return kosr.Update{}, fmt.Errorf("vertex: %w", err)
+		}
+		c, err := s.resolveUpdateCategory(u.Category)
+		if err != nil {
+			return kosr.Update{}, fmt.Errorf("category: %w", err)
+		}
+		op := kosr.OpAddCategory
+		if u.Op == "remove-category" {
+			op = kosr.OpRemoveCategory
+		}
+		return kosr.Update{Op: op, Vertex: v, Category: c}, nil
+	default:
+		return kosr.Update{}, fmt.Errorf("unknown op %q (want insert-edge, add-category or remove-category)", u.Op)
+	}
+}
+
+// resolveUpdateCategory resolves a category for an admin mutation.
+// Unlike query resolution it accepts numeric ids beyond the current
+// category space, up to the growth bound System.Apply enforces —
+// OpAddCategory is exactly how new ids come into existence.
+func (s *Server) resolveUpdateCategory(spec string) (kosr.Category, error) {
+	if c, ok := s.sys.Graph.CategoryByName(spec); ok {
+		return c, nil
+	}
+	id, err := strconv.Atoi(spec)
+	if err != nil {
+		return 0, fmt.Errorf("unknown category %q", spec)
+	}
+	max := s.sys.Graph.NumCategories() + kosr.MaxDynamicCategoryGrowth
+	if id < 0 || id >= max {
+		return 0, fmt.Errorf("category id %d out of range [0, %d)", id, max)
+	}
+	return kosr.Category(id), nil
 }
 
 // ExpandRequest is the /expand payload.
@@ -726,9 +951,10 @@ func (s *Server) handleExpand(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.queryCtx(r)
 	defer cancel()
+	snap := s.sys.Snapshot()
 	var route []int32
 	if err := s.dispatch(ctx, func() {
-		route = s.sys.ExpandWitness(req.Witness)
+		route = snap.ExpandWitness(req.Witness)
 	}); err != nil {
 		writeDispatchError(w, err)
 		return

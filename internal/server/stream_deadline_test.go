@@ -1,0 +1,144 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	kosr "repro"
+)
+
+// stallingWriter is a ResponseWriter standing in for a client that
+// stops reading: it supports per-write deadlines (so the handler's
+// http.ResponseController finds them) and fails every Write after the
+// first maxWrites with the same error a real conn returns when a write
+// blocks past its deadline.
+type stallingWriter struct {
+	mu        sync.Mutex
+	header    http.Header
+	writes    int
+	maxWrites int
+	deadlines []time.Time
+}
+
+func newStallingWriter(maxWrites int) *stallingWriter {
+	return &stallingWriter{header: make(http.Header), maxWrites: maxWrites}
+}
+
+func (w *stallingWriter) Header() http.Header { return w.header }
+func (w *stallingWriter) WriteHeader(int)     {}
+
+func (w *stallingWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.writes++
+	if w.writes > w.maxWrites {
+		return 0, os.ErrDeadlineExceeded
+	}
+	return len(p), nil
+}
+
+func (w *stallingWriter) SetWriteDeadline(d time.Time) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.deadlines = append(w.deadlines, d)
+	return nil
+}
+
+func (w *stallingWriter) stats() (writes int, deadlines []time.Time) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.writes, append([]time.Time(nil), w.deadlines...)
+}
+
+func streamRequest(t *testing.T) *http.Request {
+	t.Helper()
+	body, err := json.Marshal(QueryRequest{
+		Source: "s", Target: "t", Categories: []string{"MA", "RE", "CI"}, K: 0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/v1/stream", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	return req
+}
+
+// TestStreamWriteDeadline pins the stalled-reader guard: when a write
+// trips its deadline mid-stream, the handler must return promptly
+// (freeing its pool worker) instead of pushing the rest of the stream,
+// and each line must have been armed with the configured deadline.
+func TestStreamWriteDeadline(t *testing.T) {
+	srv := NewWithConfig(kosr.NewSystem(kosr.Figure1()),
+		Config{Workers: 1, StreamWriteTimeout: 250 * time.Millisecond})
+	t.Cleanup(srv.Close)
+
+	w := newStallingWriter(2) // first line goes out, then the "client" stalls
+	start := time.Now()
+	done := make(chan struct{})
+	go func() {
+		srv.ServeHTTP(w, streamRequest(t))
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("stream handler did not return after the write deadline tripped")
+	}
+
+	writes, deadlines := w.stats()
+	if writes != w.maxWrites+1 {
+		t.Fatalf("writes=%d, want exactly %d (stream must stop at the failed write)", writes, w.maxWrites+1)
+	}
+	if len(deadlines) < 2 {
+		t.Fatalf("deadlines=%v, want per-line arms plus the final clear", deadlines)
+	}
+	// Every line was armed with a future deadline; the handler cleared
+	// it on the way out (the connection outlives the request).
+	last := deadlines[len(deadlines)-1]
+	if !last.IsZero() {
+		t.Fatalf("final deadline %v, want the zero-time clear", last)
+	}
+	for i, d := range deadlines[:len(deadlines)-1] {
+		lead := d.Sub(start)
+		if lead <= 0 || lead > time.Minute {
+			t.Fatalf("deadline %d armed %v from start, want ≈ the 250ms stream timeout", i, lead)
+		}
+	}
+
+	// The single pool worker must be free again: a normal query runs.
+	rec := httptest.NewRecorder()
+	body, _ := json.Marshal(BatchRequest{Queries: []QueryRequest{
+		{Source: "s", Target: "t", Categories: []string{"MA"}, K: 1},
+	}})
+	req := httptest.NewRequest(http.MethodPost, "/v1/query", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("follow-up query status=%d: worker still pinned?", rec.Code)
+	}
+}
+
+// TestStreamWriteDeadlineDisabled pins the opt-out: a negative
+// StreamWriteTimeout must never arm a deadline (recorders and healthy
+// streams behave as before).
+func TestStreamWriteDeadlineDisabled(t *testing.T) {
+	srv := NewWithConfig(kosr.NewSystem(kosr.Figure1()),
+		Config{Workers: 1, StreamWriteTimeout: -1})
+	t.Cleanup(srv.Close)
+
+	w := newStallingWriter(1 << 30) // healthy reader
+	srv.ServeHTTP(w, streamRequest(t))
+	writes, deadlines := w.stats()
+	if len(deadlines) != 0 {
+		t.Fatalf("deadlines armed with StreamWriteTimeout<0: %v", deadlines)
+	}
+	if writes < 2 {
+		t.Fatalf("stream produced %d writes, want the full route stream", writes)
+	}
+}

@@ -6,6 +6,7 @@ package workload
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"os"
@@ -285,7 +286,7 @@ func (d *Dataset) RunMethod(m MethodID, queries []core.Query, cfg Config, breakd
 			prov = labelProv
 		}
 		_, st, err := core.Solve(context.Background(), d.G, q, prov, opts)
-		if err == core.ErrBudgetExceeded {
+		if errors.Is(err, core.ErrBudgetExceeded) {
 			res.INF = true
 			return res, nil
 		}

@@ -28,6 +28,14 @@
 // is StarKOSR (the paper's fastest method); Request fields select
 // PruningKOSR, the KPNE baseline, Dijkstra-based nearest-neighbour
 // discovery, the Section IV-C variants, and the search budgets.
+//
+// A System serves queries from an immutable, epoch-versioned Snapshot
+// published through an atomic pointer, so the Section IV-C dynamic
+// updates (System.Apply: edge insertions, category changes) are safe
+// under live traffic: queries pin the snapshot they start on, the
+// serialized updater publishes a copy-on-write clone with Epoch+1, and
+// result caches key on the epoch (Request.IndexEpoch) instead of being
+// purged.
 package kosr
 
 import (
@@ -39,6 +47,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -167,6 +176,16 @@ type Request struct {
 	// TimeBreakdown enables the Table X wall-clock attribution in
 	// Result.Stats; it adds timer overhead.
 	TimeBreakdown bool
+
+	// IndexEpoch optionally records the Snapshot.Epoch the request is
+	// answered against. It never influences the search — Do always
+	// answers from the snapshot it pinned — but CanonicalKey folds it
+	// into the cache key, so results computed on different index
+	// versions can never collide in a result cache: entries keyed to a
+	// superseded epoch simply stop being requested and age out of the
+	// LRU (no global purge on update). Servers set it from the snapshot
+	// they pin; leave it zero when no caching is involved.
+	IndexEpoch uint64
 }
 
 // variant reports whether the request needs the Section IV-C engine.
@@ -190,10 +209,11 @@ func (r Request) coreOptions() core.Options {
 // such requests must bypass result caches.
 //
 // The key covers everything that changes the routes or the truncation
-// behaviour (method, NN backend, endpoints, variant switches, category
-// sequence, k, MaxExamined). It deliberately excludes MaxDuration and
-// TimeBreakdown: wall-clock budgets are nondeterministic, so cache
-// users must only store results that completed without tripping one —
+// behaviour (index epoch, method, NN backend, endpoints, variant
+// switches, category sequence, k, MaxExamined). It deliberately
+// excludes MaxDuration and TimeBreakdown: wall-clock budgets are
+// nondeterministic, so cache users must only store results whose
+// truncation (if any) came from the deterministic MaxExamined budget —
 // those are byte-identical regardless of either field.
 func (r Request) CanonicalKey() (key string, ok bool) {
 	if len(r.Filters) > 0 {
@@ -201,7 +221,9 @@ func (r Request) CanonicalKey() (key string, ok bool) {
 	}
 	var b strings.Builder
 	b.Grow(64)
-	b.WriteString("m")
+	b.WriteString("v")
+	b.WriteString(strconv.FormatUint(r.IndexEpoch, 10))
+	b.WriteString("|m")
 	b.WriteString(strconv.Itoa(int(r.Method)))
 	if r.UseDijkstraNN {
 		b.WriteString("d")
@@ -244,56 +266,239 @@ type Result struct {
 	// Truncated marks that MaxExamined or MaxDuration tripped first;
 	// Routes holds the (possibly empty) partial result.
 	Truncated bool
+	// TruncatedByExamined narrows Truncated: the trip was specifically
+	// the examined-routes budget, which is deterministic — rerunning
+	// the same request with the same MaxExamined truncates identically.
+	// Result caches may therefore store such partial answers (keyed on
+	// the budget, which CanonicalKey already covers), unlike wall-clock
+	// truncations.
+	TruncatedByExamined bool
 }
 
-// System bundles a graph with the indexes needed to answer queries.
-// Concurrent queries are safe: the indexes are read-only during query
-// answering and every query checks its mutable search state out of a
-// per-provider scratch pool. Share one System across workers —
-// per-query Systems defeat the pool. The Section IV-C dynamic updates
-// (AddVertexCategory, InsertEdge, …) mutate the indexes and need
-// external synchronization against in-flight queries, as before.
-type System struct {
+// Snapshot is one immutable, atomically-published version of a System's
+// index: the base graph, the 2-hop label index, the inverted label
+// index, the frozen dynamic overlays, and the query providers (each
+// owning a scratch pool) that answer from them. Do and DoStream pin the
+// snapshot they start on for the query's whole lifetime, so a
+// concurrent update can never change the data a running search reads;
+// System.Apply publishes a new snapshot with Epoch+1 instead of
+// mutating this one. The exported fields are read-only.
+type Snapshot struct {
+	// Epoch is the index version: 1 for the freshly built index, +1 per
+	// applied update batch. Servers fold it into result-cache keys (see
+	// Request.IndexEpoch), which is what invalidates cached answers
+	// after an update without any global purge.
+	Epoch uint64
+	// Graph is the immutable base graph. Dynamically inserted edges
+	// live in the label index and the edge overlay, not here.
 	Graph *Graph
-	// Labels is the 2-hop label index (nil when the system was created
-	// with NewSystemWithoutIndex).
+	// Labels is this version's 2-hop label index (nil when the system
+	// was created with NewSystemWithoutIndex).
 	Labels *label.Index
-	// Inverted is the per-category inverted label index.
+	// Inverted is this version's per-category inverted label index.
 	Inverted *invindex.Index
 
-	// Long-lived providers: each owns the sync.Pool of query scratches,
-	// so they must be shared across queries rather than rebuilt.
-	provMu    sync.Mutex
+	// dyn is the frozen dynamic-edge overlay holding every edge
+	// inserted up to this epoch; the updater traverses it when resuming
+	// pruned searches for later insertions. Queries never read it — the
+	// labels already cover the extra edges.
+	dyn *graph.Dynamic
+	// catAdd/catDel record the dynamic category-membership changes
+	// applied so far on top of the base graph, so invindex.Refresh can
+	// keep the inverted lists of recategorized vertices exact across
+	// subsequent edge insertions.
+	catAdd map[Vertex][]Category
+	catDel map[Vertex][]Category
+
+	// The long-lived providers of this version. Each owns the
+	// sync.Pool of query scratches; they are created with the snapshot
+	// so the query path never takes a lock to look one up.
 	labelProv *core.LabelProvider
 	dijProv   *core.DijkstraProvider
+
+	// expandOnce/expandGraph lazily materialize base graph + edge
+	// overlay for witness expansion, so expanded walks stay consistent
+	// with label distances after dynamic edge insertions. Built at most
+	// once per snapshot, and only when expansion is actually requested
+	// on a snapshot that carries dynamic edges.
+	expandOnce  sync.Once
+	expandGraph *graph.Graph
+}
+
+func newSnapshot(epoch uint64, g *Graph, lab *label.Index, inv *invindex.Index,
+	dyn *graph.Dynamic, catAdd, catDel map[Vertex][]Category) *Snapshot {
+	sn := &Snapshot{
+		Epoch: epoch, Graph: g, Labels: lab, Inverted: inv,
+		dyn: dyn, catAdd: catAdd, catDel: catDel,
+		dijProv: &core.DijkstraProvider{Graph: g},
+	}
+	if lab != nil {
+		sn.labelProv = &core.LabelProvider{Graph: g, Labels: lab, Inv: inv}
+	}
+	return sn
+}
+
+// provider picks the snapshot's provider for the request: both exist
+// for the snapshot's lifetime, so this is a branch, not a lock.
+func (sn *Snapshot) provider(useDijkstraNN bool) core.Provider {
+	if useDijkstraNN || sn.labelProv == nil {
+		return sn.dijProv
+	}
+	return sn.labelProv
+}
+
+// NumCategories returns the size of this snapshot's effective category
+// id space: the base graph's static count, extended by any ids grown
+// dynamically through OpAddCategory. Requests may use any id below it;
+// an id with no member vertices is simply an empty category (no
+// feasible routes).
+func (sn *Snapshot) NumCategories() int {
+	n := sn.Graph.NumCategories()
+	if sn.Inverted != nil {
+		if nc := sn.Inverted.NumCategories(); nc > n {
+			n = nc
+		}
+	}
+	return n
+}
+
+// CategoriesOf returns the effective category memberships of v at this
+// epoch: the base graph's, minus dynamically removed ones, plus
+// dynamically added ones.
+func (sn *Snapshot) CategoriesOf(v Vertex) []Category {
+	base := sn.Graph.Categories(v)
+	add, del := sn.catAdd[v], sn.catDel[v]
+	if len(add) == 0 && len(del) == 0 {
+		return base
+	}
+	out := make([]Category, 0, len(base)+len(add))
+	for _, c := range base {
+		if !containsCat(del, c) {
+			out = append(out, c)
+		}
+	}
+	for _, c := range add {
+		if !containsCat(out, c) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func containsCat(cs []Category, c Category) bool {
+	for _, x := range cs {
+		if x == c {
+			return true
+		}
+	}
+	return false
+}
+
+// System bundles a graph with the indexes needed to answer queries and
+// absorb dynamic updates under live traffic. Reads are wait-free: the
+// index lives in an immutable Snapshot published through an atomic
+// pointer, every query pins the snapshot it starts on, and concurrent
+// queries check their mutable search state out of per-provider scratch
+// pools. Share one System across workers — per-query Systems defeat
+// the pools.
+//
+// The Section IV-C dynamic updates (Apply, or the AddVertexCategory /
+// InsertEdge wrappers) are safe against in-flight queries: one
+// serialized updater applies the incremental label and inverted-index
+// deltas to a copy-on-write clone, bumps the epoch, and publishes the
+// clone atomically. Queries that pinned the old snapshot finish on it;
+// queries arriving after publication see the new one.
+type System struct {
+	// Graph is the immutable base graph shared by every snapshot.
+	Graph *Graph
+
+	snap atomic.Pointer[Snapshot]
+	// updateMu serializes Apply: one updater at a time clones the
+	// current snapshot, applies its batch, and publishes. Queries never
+	// take it.
+	updateMu sync.Mutex
 }
 
 // NewSystem builds the 2-hop label index and the inverted label index
 // for g. Preprocessing is O(|V|) pruned Dijkstra searches; see
-// Labels.Stats for the resulting sizes.
+// Labels().Stats for the resulting sizes.
 func NewSystem(g *Graph) *System {
 	lab := label.Build(g)
-	return &System{Graph: g, Labels: lab, Inverted: invindex.Build(g, lab)}
+	return NewSystemFromParts(g, lab, invindex.Build(g, lab))
+}
+
+// NewSystemFromParts assembles a System from a prebuilt label index and
+// inverted label index (as produced by label.Build and invindex.Build,
+// or loaded from disk). The indexes become epoch 1 of the system; the
+// caller must not mutate them afterwards.
+func NewSystemFromParts(g *Graph, lab *label.Index, inv *invindex.Index) *System {
+	s := &System{Graph: g}
+	s.snap.Store(newSnapshot(1, g, lab, inv, graph.NewDynamic(g), nil, nil))
+	return s
 }
 
 // NewSystemWithoutIndex returns a System that answers every query with
 // Dijkstra-based nearest-neighbour discovery (no preprocessing).
-func NewSystemWithoutIndex(g *Graph) *System { return &System{Graph: g} }
+// Dynamic updates require a label index and are rejected.
+func NewSystemWithoutIndex(g *Graph) *System {
+	s := &System{Graph: g}
+	s.snap.Store(newSnapshot(1, g, nil, nil, graph.NewDynamic(g), nil, nil))
+	return s
+}
 
-func (s *System) provider(opt Options) (core.Provider, error) {
-	s.provMu.Lock()
-	defer s.provMu.Unlock()
-	if opt.UseDijkstraNN || s.Labels == nil {
-		if s.dijProv == nil || s.dijProv.Graph != s.Graph {
-			s.dijProv = &core.DijkstraProvider{Graph: s.Graph}
-		}
-		return s.dijProv, nil
+// Snapshot returns the current published index version — a single
+// wait-free atomic load. Use it to pin one version across several
+// operations (a batch of queries, a query plus its cache-key epoch):
+// methods on the returned Snapshot always answer from exactly that
+// version, while System.Do re-pins the newest version per call.
+func (s *System) Snapshot() *Snapshot { return s.snap.Load() }
+
+// Epoch returns the current index version number (1 = as built;
+// incremented by every applied update batch).
+func (s *System) Epoch() uint64 { return s.Snapshot().Epoch }
+
+// Labels returns the current snapshot's 2-hop label index (nil when
+// the system was created with NewSystemWithoutIndex).
+func (s *System) Labels() *label.Index { return s.Snapshot().Labels }
+
+// Inverted returns the current snapshot's inverted label index.
+func (s *System) Inverted() *invindex.Index { return s.Snapshot().Inverted }
+
+// Do answers a Request on this snapshot: up to req.K routes in
+// nondecreasing cost order, with the search statistics. See System.Do
+// for the budget and cancellation contract; answering on an explicitly
+// pinned snapshot additionally guarantees that a concurrent
+// System.Apply cannot move the index under a multi-query sequence.
+func (sn *Snapshot) Do(ctx context.Context, req Request) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	if s.labelProv == nil || s.labelProv.Graph != s.Graph ||
-		s.labelProv.Labels != s.Labels || s.labelProv.Inv != s.Inverted {
-		s.labelProv = &core.LabelProvider{Graph: s.Graph, Labels: s.Labels, Inv: s.Inverted}
+	prov := sn.provider(req.UseDijkstraNN)
+	opts := req.coreOptions()
+	opts.NumCategories = sn.NumCategories()
+	var routes []Route
+	var st *Stats
+	var err error
+	if req.variant() {
+		routes, st, err = core.SolveVariant(ctx, sn.Graph, VariantQuery{
+			Source: req.Source, NoSource: req.NoSource,
+			Target: req.Target, NoTarget: req.NoTarget,
+			Categories: req.Categories, K: req.K,
+			Filters: req.Filters,
+		}, prov, opts)
+	} else {
+		routes, st, err = core.Solve(ctx, sn.Graph,
+			Query{Source: req.Source, Target: req.Target, Categories: req.Categories, K: req.K},
+			prov, opts)
 	}
-	return s.labelProv, nil
+	if errors.Is(err, core.ErrBudgetExceeded) {
+		return &Result{Routes: routes, Stats: st, Truncated: true,
+			TruncatedByExamined: errors.Is(err, core.ErrExaminedExceeded)}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Routes: routes, Stats: st}, nil
 }
 
 // Do answers a Request: up to req.K routes in nondecreasing cost order,
@@ -306,35 +511,12 @@ func (s *System) provider(opt Options) (core.Provider, error) {
 // reports ctx.Err(). A ctx deadline, by contrast, acts as a wall-clock
 // budget like MaxDuration: expiry yields a Truncated result with the
 // routes found so far. A nil ctx behaves like context.Background().
+//
+// Do pins the current Snapshot for the query's lifetime — one wait-free
+// atomic load, no lock — so concurrent Apply calls never change the
+// index mid-search.
 func (s *System) Do(ctx context.Context, req Request) (*Result, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	prov, err := s.provider(Options{UseDijkstraNN: req.UseDijkstraNN})
-	if err != nil {
-		return nil, err
-	}
-	var routes []Route
-	var st *Stats
-	if req.variant() {
-		routes, st, err = core.SolveVariant(ctx, s.Graph, VariantQuery{
-			Source: req.Source, NoSource: req.NoSource,
-			Target: req.Target, NoTarget: req.NoTarget,
-			Categories: req.Categories, K: req.K,
-			Filters: req.Filters,
-		}, prov, req.coreOptions())
-	} else {
-		routes, st, err = core.Solve(ctx, s.Graph,
-			Query{Source: req.Source, Target: req.Target, Categories: req.Categories, K: req.K},
-			prov, req.coreOptions())
-	}
-	if errors.Is(err, core.ErrBudgetExceeded) {
-		return &Result{Routes: routes, Stats: st, Truncated: true}, nil
-	}
-	if err != nil {
-		return nil, err
-	}
-	return &Result{Routes: routes, Stats: st}, nil
+	return s.Snapshot().Do(ctx, req)
 }
 
 // DoStream answers a Request progressively: the returned iterator
@@ -349,8 +531,15 @@ func (s *System) Do(ctx context.Context, req Request) (*Result, error) {
 // cancelled (the pending step then yields ctx.Err()). A budget trip
 // yields ErrBudgetExceeded as the final element.
 func (s *System) DoStream(ctx context.Context, req Request) iter.Seq2[Route, error] {
+	return s.Snapshot().DoStream(ctx, req)
+}
+
+// DoStream answers a Request progressively on this snapshot; see
+// System.DoStream. The whole stream reads the pinned version even when
+// updates are published mid-iteration.
+func (sn *Snapshot) DoStream(ctx context.Context, req Request) iter.Seq2[Route, error] {
 	return func(yield func(Route, error) bool) {
-		sr, err := s.openSearcher(ctx, req)
+		sr, err := sn.openSearcher(ctx, req)
 		if err != nil {
 			yield(Route{}, err)
 			return
@@ -371,25 +560,24 @@ func (s *System) DoStream(ctx context.Context, req Request) iter.Seq2[Route, err
 
 // openSearcher builds the progressive searcher behind DoStream and the
 // deprecated Stream entry point.
-func (s *System) openSearcher(ctx context.Context, req Request) (*core.Searcher, error) {
+func (sn *Snapshot) openSearcher(ctx context.Context, req Request) (*core.Searcher, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	prov, err := s.provider(Options{UseDijkstraNN: req.UseDijkstraNN})
-	if err != nil {
-		return nil, err
-	}
+	prov := sn.provider(req.UseDijkstraNN)
+	opts := req.coreOptions()
+	opts.NumCategories = sn.NumCategories()
 	if req.variant() {
-		return core.NewVariantSearcher(ctx, s.Graph, VariantQuery{
+		return core.NewVariantSearcher(ctx, sn.Graph, VariantQuery{
 			Source: req.Source, NoSource: req.NoSource,
 			Target: req.Target, NoTarget: req.NoTarget,
 			Categories: req.Categories, K: req.K,
 			Filters: req.Filters,
-		}, prov, req.coreOptions())
+		}, prov, opts)
 	}
-	return core.NewSearcher(ctx, s.Graph,
+	return core.NewSearcher(ctx, sn.Graph,
 		Query{Source: req.Source, Target: req.Target, Categories: req.Categories, K: req.K},
-		prov, req.coreOptions())
+		prov, opts)
 }
 
 // TopK answers the KOSR query (src, dst, cats, k) with StarKOSR. Fewer
@@ -451,7 +639,7 @@ func (s *System) doCompat(req Request) ([]Route, *Stats, error) {
 // Deprecated: use DoStream, which adds cancellation and releases the
 // search state automatically when the iteration ends.
 func (s *System) Stream(q Query, opt Options) (*core.Searcher, error) {
-	return s.openSearcher(context.Background(), Request{
+	return s.Snapshot().openSearcher(context.Background(), Request{
 		Source: q.Source, Target: q.Target, Categories: q.Categories,
 		Method: opt.Method, UseDijkstraNN: opt.UseDijkstraNN,
 		MaxExamined: opt.MaxExamined, MaxDuration: opt.MaxDuration,
@@ -478,78 +666,283 @@ func (s *System) GSP(src, dst Vertex, cats []Category) (Route, bool, error) {
 	return r, ok, err
 }
 
+// ExpandWitness expands a witness into an actual route on this
+// snapshot's effective graph (base graph plus the edges inserted up to
+// this epoch): a vertex walk in which consecutive vertices are joined
+// by edges. Returns nil when a leg is unreachable.
+func (sn *Snapshot) ExpandWitness(witness []Vertex) []Vertex {
+	return core.ExpandWitness(sn.expansionGraph(), witness)
+}
+
+// expansionGraph returns the graph witness expansion walks: the base
+// graph when no dynamic edges exist, otherwise the overlay
+// materialized once per snapshot. Without this, a route whose cost
+// uses a dynamically inserted arc would expand into a walk that
+// contradicts it.
+func (sn *Snapshot) expansionGraph() *Graph {
+	if sn.dyn == nil || sn.dyn.NumExtraEdges() == 0 {
+		return sn.Graph
+	}
+	sn.expandOnce.Do(func() {
+		g, err := sn.dyn.Rebuild()
+		if err != nil {
+			g = sn.Graph // unreachable: overlay edges were validated
+		}
+		sn.expandGraph = g
+	})
+	return sn.expandGraph
+}
+
 // ExpandWitness expands a witness into an actual route: a vertex walk in
-// which consecutive vertices are joined by edges.
+// which consecutive vertices are joined by edges. It answers from the
+// current snapshot, so dynamically inserted edges participate.
 func (s *System) ExpandWitness(witness []Vertex) []Vertex {
-	return core.ExpandWitness(s.Graph, witness)
+	return s.Snapshot().ExpandWitness(witness)
 }
 
 // ShortestPath returns the exact shortest-path distance dis(u, v),
 // answered from the label index when available.
 func (s *System) ShortestPath(u, v Vertex) Weight {
-	if s.Labels != nil {
-		return s.Labels.Dist(u, v)
+	sn := s.Snapshot()
+	if sn.Labels != nil {
+		return sn.Labels.Dist(u, v)
 	}
-	prov := &core.DijkstraProvider{Graph: s.Graph}
-	return prov.DistTo(v)(u)
+	return sn.dijProv.DistTo(v)(u)
 }
 
-// AddVertexCategory registers category c on vertex v in the inverted
-// label index (the dynamic category update of Section IV-C). Queries
-// issued after the call see the new membership; the underlying Graph is
-// immutable and unaffected.
-func (s *System) AddVertexCategory(v Vertex, c Category) error {
-	if s.Inverted == nil {
-		return fmt.Errorf("kosr: dynamic updates require a label index")
+// UpdateOp names one dynamic-update operation of Section IV-C.
+type UpdateOp string
+
+// The update operations accepted by Apply.
+const (
+	// OpInsertEdge inserts the arc (From, To) with the given Weight — or
+	// a cheaper parallel arc, modelling a weight decrease. The edge is
+	// folded into the 2-hop labels incrementally (resumed pruned
+	// searches) and the inverted label index is refreshed.
+	OpInsertEdge UpdateOp = "insert-edge"
+	// OpAddCategory registers Category on Vertex in the inverted label
+	// index, so subsequent FindNN queries see the new membership.
+	OpAddCategory UpdateOp = "add-category"
+	// OpRemoveCategory undoes OpAddCategory (or hides a base-graph
+	// membership).
+	OpRemoveCategory UpdateOp = "remove-category"
+)
+
+// MaxDynamicCategoryGrowth bounds how far beyond the graph's static
+// category set a dynamic OpAddCategory may extend the id space. The
+// inverted index and the engine's per-category tables are dense in the
+// maximum id, so an unbounded id would be a memory footgun rather than
+// a feature.
+const MaxDynamicCategoryGrowth = 1 << 16
+
+// Update is one mutation of an Apply batch.
+type Update struct {
+	// Op selects the operation; the fields it reads follow.
+	Op UpdateOp
+	// From, To, Weight describe the new arc for OpInsertEdge.
+	From, To Vertex
+	Weight   Weight
+	// Vertex, Category identify the membership change for
+	// OpAddCategory / OpRemoveCategory.
+	Vertex   Vertex
+	Category Category
+}
+
+// Apply atomically applies a batch of dynamic updates (Section IV-C)
+// and returns the epoch of the snapshot that now carries them.
+//
+// Apply is the only writer: batches are serialized, each one validated
+// up front (an invalid batch is rejected whole, leaving the published
+// snapshot untouched), then applied to a copy-on-write clone of the
+// current snapshot — unchanged label columns and inverted lists stay
+// shared, so an update costs the incremental delta, not O(|V|·|C|).
+// Publication is one atomic pointer store: queries in flight finish on
+// the snapshot they pinned, queries arriving after Apply returns see
+// the new epoch. Concurrent queries are therefore always answered from
+// a consistent index version, with no reader-side locking.
+//
+// Label-based queries observe inserted edges and category changes.
+// Dijkstra-based queries (UseDijkstraNN) and GSP traverse the immutable
+// base graph and do not — rebuild a System from the updated graph for
+// those. Variant requests with NoSource seed their roots from the base
+// graph's category lists, which dynamic category updates do not change.
+func (s *System) Apply(updates ...Update) (epoch uint64, err error) {
+	s.updateMu.Lock()
+	defer s.updateMu.Unlock()
+	cur := s.Snapshot()
+	if cur.Labels == nil {
+		return cur.Epoch, fmt.Errorf("kosr: dynamic updates require a label index")
 	}
-	s.Inverted.AddVertexCategory(v, c)
-	return nil
+	if len(updates) == 0 {
+		return cur.Epoch, nil
+	}
+	n := Vertex(s.Graph.NumVertices())
+	for i, u := range updates {
+		switch u.Op {
+		case OpInsertEdge:
+			if u.From < 0 || u.From >= n || u.To < 0 || u.To >= n {
+				return cur.Epoch, fmt.Errorf("kosr: update %d: edge (%d,%d) out of range [0,%d)", i, u.From, u.To, n)
+			}
+			if u.Weight < 0 || u.Weight != u.Weight {
+				return cur.Epoch, fmt.Errorf("kosr: update %d: invalid weight %v", i, u.Weight)
+			}
+		case OpAddCategory, OpRemoveCategory:
+			if u.Vertex < 0 || u.Vertex >= n {
+				return cur.Epoch, fmt.Errorf("kosr: update %d: vertex %d out of range [0,%d)", i, u.Vertex, n)
+			}
+			// Dynamic categories may extend beyond the graph's static
+			// set (the inverted index grows), but the per-category
+			// tables are dense in the max id — bound it.
+			if maxCat := Category(s.Graph.NumCategories() + MaxDynamicCategoryGrowth); u.Category < 0 || u.Category >= maxCat {
+				return cur.Epoch, fmt.Errorf("kosr: update %d: category %d out of range [0,%d)", i, u.Category, maxCat)
+			}
+		default:
+			return cur.Epoch, fmt.Errorf("kosr: update %d: unknown op %q", i, u.Op)
+		}
+	}
+	next := cur.cowClone()
+	for _, u := range updates {
+		switch u.Op {
+		case OpInsertEdge:
+			next.insertEdge(u.From, u.To, u.Weight)
+		case OpAddCategory:
+			next.addCategory(u.Vertex, u.Category)
+		case OpRemoveCategory:
+			next.removeCategory(u.Vertex, u.Category)
+		}
+	}
+	s.snap.Store(next)
+	return next.Epoch, nil
+}
+
+// cowClone prepares the next epoch's snapshot: the label index, the
+// inverted index and the edge overlay are cloned copy-on-write (list
+// headers copied, contents shared until touched), the small category
+// overlays are copied outright, and fresh providers (with empty scratch
+// pools) are attached. Only the serialized updater calls it.
+func (sn *Snapshot) cowClone() *Snapshot {
+	lab := sn.Labels.Clone()
+	return newSnapshot(sn.Epoch+1, sn.Graph, lab, sn.Inverted.Clone(lab),
+		sn.dyn.Clone(), cloneCatOverlay(sn.catAdd), cloneCatOverlay(sn.catDel))
+}
+
+func cloneCatOverlay(m map[Vertex][]Category) map[Vertex][]Category {
+	if len(m) == 0 {
+		return nil
+	}
+	c := make(map[Vertex][]Category, len(m))
+	for v, cats := range m {
+		c[v] = append([]Category(nil), cats...)
+	}
+	return c
+}
+
+// insertEdge applies OpInsertEdge to an unpublished clone. Arguments
+// are pre-validated.
+func (sn *Snapshot) insertEdge(u, v Vertex, w Weight) {
+	if err := sn.dyn.AddEdge(u, v, w); err != nil {
+		return // unreachable: Apply validated range and weight
+	}
+	updates := sn.Labels.InsertEdge(sn.dyn, u, v, w)
+	if !sn.Graph.Directed() && u != v {
+		updates = append(updates, sn.Labels.InsertEdge(sn.dyn, v, u, w)...)
+	}
+	sn.Inverted.Refresh(sn.CategoriesOf, updates)
+}
+
+// addCategory applies OpAddCategory to an unpublished clone.
+func (sn *Snapshot) addCategory(v Vertex, c Category) {
+	sn.Inverted.AddVertexCategory(v, c)
+	if i := indexOfCat(sn.catDel[v], c); i >= 0 {
+		sn.catDel[v] = append(sn.catDel[v][:i], sn.catDel[v][i+1:]...)
+		return
+	}
+	if !sn.Graph.HasCategory(v, c) && !containsCat(sn.catAdd[v], c) {
+		if sn.catAdd == nil {
+			sn.catAdd = make(map[Vertex][]Category)
+		}
+		sn.catAdd[v] = append(sn.catAdd[v], c)
+	}
+}
+
+// removeCategory applies OpRemoveCategory to an unpublished clone.
+func (sn *Snapshot) removeCategory(v Vertex, c Category) {
+	sn.Inverted.RemoveVertexCategory(v, c)
+	if i := indexOfCat(sn.catAdd[v], c); i >= 0 {
+		sn.catAdd[v] = append(sn.catAdd[v][:i], sn.catAdd[v][i+1:]...)
+		return
+	}
+	if sn.Graph.HasCategory(v, c) && !containsCat(sn.catDel[v], c) {
+		if sn.catDel == nil {
+			sn.catDel = make(map[Vertex][]Category)
+		}
+		sn.catDel[v] = append(sn.catDel[v], c)
+	}
+}
+
+func indexOfCat(cs []Category, c Category) int {
+	for i, x := range cs {
+		if x == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// AddVertexCategory registers category c on vertex v (the dynamic
+// category update of Section IV-C). Queries issued after the call see
+// the new membership; the underlying Graph is immutable and unaffected.
+//
+// Deprecated: use Apply with OpAddCategory, which batches mutations
+// into one published epoch.
+func (s *System) AddVertexCategory(v Vertex, c Category) error {
+	_, err := s.Apply(Update{Op: OpAddCategory, Vertex: v, Category: c})
+	return err
 }
 
 // RemoveVertexCategory undoes AddVertexCategory.
+//
+// Deprecated: use Apply with OpRemoveCategory.
 func (s *System) RemoveVertexCategory(v Vertex, c Category) error {
-	if s.Inverted == nil {
-		return fmt.Errorf("kosr: dynamic updates require a label index")
-	}
-	s.Inverted.RemoveVertexCategory(v, c)
-	return nil
+	_, err := s.Apply(Update{Op: OpRemoveCategory, Vertex: v, Category: c})
+	return err
 }
 
 // InsertEdge applies a graph-structure update (Section IV-C): a new arc
-// (u, v, w) — or a cheaper parallel arc, modelling a weight decrease —
-// is folded into the 2-hop labels incrementally and the inverted label
-// index is refreshed. The overlay dyn must be created once per System
-// with NewDynamic(sys.Graph) and shared across calls.
+// (u, v, w) — or a cheaper parallel arc, modelling a weight decrease.
+// When dyn is non-nil the arc is mirrored into it, preserving the
+// historical workflow where dyn.Rebuild() materializes the updated
+// graph; the system itself now tracks its own overlay inside the
+// snapshot chain, so dyn no longer participates in the index update.
 //
-// Label-based queries issued after the call observe the new edge.
-// Dijkstra-based queries (UseDijkstraNN) and GSP traverse the immutable
-// base graph and do not; rebuild the graph with dyn.Rebuild() and a new
-// System for those.
+// Deprecated: use Apply with OpInsertEdge, which batches mutations into
+// one published epoch and needs no caller-managed overlay.
 func (s *System) InsertEdge(dyn *graph.Dynamic, u, v Vertex, w Weight) error {
-	if s.Labels == nil {
-		return fmt.Errorf("kosr: dynamic updates require a label index")
+	if dyn != nil {
+		if err := dyn.AddEdge(u, v, w); err != nil {
+			return err
+		}
 	}
-	if err := dyn.AddEdge(u, v, w); err != nil {
-		return err
-	}
-	updates := s.Labels.InsertEdge(dyn, u, v, w)
-	if !s.Graph.Directed() && u != v {
-		updates = append(updates, s.Labels.InsertEdge(dyn, v, u, w)...)
-	}
-	s.Inverted.Refresh(s.Graph, updates)
-	return nil
+	_, err := s.Apply(Update{Op: OpInsertEdge, From: u, To: v, Weight: w})
+	return err
 }
 
-// NewDynamic returns the edge overlay used with InsertEdge.
+// NewDynamic returns an edge overlay over the base graph.
+//
+// Deprecated: Apply tracks the system's own overlay; NewDynamic remains
+// for callers that want dyn.Rebuild() to materialize an updated graph.
 func (s *System) NewDynamic() *graph.Dynamic { return graph.NewDynamic(s.Graph) }
 
-// SaveIndex serializes the label index (rebuild the inverted index with
-// LoadSystem after reading it back).
+// SaveIndex serializes the current snapshot's label index (rebuild the
+// inverted index with LoadSystem after reading it back). Labels folded
+// in by dynamic edge insertions are included; dynamic category changes
+// live in the inverted index and are not.
 func (s *System) SaveIndex(w io.Writer) error {
-	if s.Labels == nil {
+	lab := s.Labels()
+	if lab == nil {
 		return fmt.Errorf("kosr: no label index to save")
 	}
-	_, err := s.Labels.WriteTo(w)
+	_, err := lab.WriteTo(w)
 	return err
 }
 
@@ -564,16 +957,18 @@ func LoadSystem(g *Graph, r io.Reader) (*System, error) {
 		return nil, fmt.Errorf("kosr: index covers %d vertices, graph has %d",
 			lab.NumVertices(), g.NumVertices())
 	}
-	return &System{Graph: g, Labels: lab, Inverted: invindex.Build(g, lab)}, nil
+	return NewSystemFromParts(g, lab, invindex.Build(g, lab)), nil
 }
 
-// SaveDiskStore materializes the index as the on-disk store of Section
-// IV-C (per-category sections located through a B+ tree).
+// SaveDiskStore materializes the current snapshot's index as the
+// on-disk store of Section IV-C (per-category sections located through
+// a B+ tree).
 func (s *System) SaveDiskStore(dir string) error {
-	if s.Labels == nil {
+	lab := s.Labels()
+	if lab == nil {
 		return fmt.Errorf("kosr: no label index to save")
 	}
-	return disk.Write(dir, s.Graph, s.Labels)
+	return disk.Write(dir, s.Graph, lab)
 }
 
 // DiskSystem answers queries from a disk store, loading only the

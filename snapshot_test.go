@@ -1,0 +1,389 @@
+package kosr
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// fig1Request returns the canonical Figure 1 top-1 request.
+func fig1Request(t *testing.T, g *Graph) Request {
+	t.Helper()
+	s, _ := g.VertexByName("s")
+	tv, _ := g.VertexByName("t")
+	ma, _ := g.CategoryByName("MA")
+	re, _ := g.CategoryByName("RE")
+	ci, _ := g.CategoryByName("CI")
+	return Request{Source: s, Target: tv, Categories: []Category{ma, re, ci}, K: 1}
+}
+
+func topCost(t *testing.T, sn *Snapshot, req Request) Weight {
+	t.Helper()
+	res, err := sn.Do(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Routes) == 0 {
+		t.Fatal("no routes")
+	}
+	return res.Routes[0].Cost
+}
+
+// TestApplyPublishesNewEpoch pins the snapshot contract: Apply bumps
+// the epoch and publishes a new index version, queries issued after it
+// see the updated answers, and a snapshot pinned before the update
+// keeps answering from the old version.
+func TestApplyPublishesNewEpoch(t *testing.T) {
+	g := Figure1()
+	sys := NewSystem(g)
+	req := fig1Request(t, g)
+	d, _ := g.VertexByName("d")
+	tv, _ := g.VertexByName("t")
+
+	if e := sys.Epoch(); e != 1 {
+		t.Fatalf("fresh epoch=%d, want 1", e)
+	}
+	old := sys.Snapshot()
+	if c := topCost(t, old, req); c != 20 {
+		t.Fatalf("pre-update cost=%g, want 20", c)
+	}
+
+	epoch, err := sys.Apply(Update{Op: OpInsertEdge, From: d, To: tv, Weight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 2 || sys.Epoch() != 2 {
+		t.Fatalf("epoch=%d sys.Epoch()=%d, want 2", epoch, sys.Epoch())
+	}
+	if c := topCost(t, sys.Snapshot(), req); c != 17 {
+		t.Fatalf("post-update cost=%g, want 17", c)
+	}
+	// The pinned pre-update snapshot is immutable: same answer as before.
+	if c := topCost(t, old, req); c != 20 {
+		t.Fatalf("pinned old snapshot cost=%g, want 20 (snapshot mutated!)", c)
+	}
+	if old.Epoch != 1 {
+		t.Fatalf("old snapshot epoch=%d, want 1", old.Epoch)
+	}
+}
+
+// TestApplyBatchAtomic pins all-or-nothing batch semantics: a batch
+// with any invalid op is rejected whole, leaving the published snapshot
+// (and its epoch) untouched even when earlier ops were valid.
+func TestApplyBatchAtomic(t *testing.T) {
+	g := Figure1()
+	sys := NewSystem(g)
+	req := fig1Request(t, g)
+	d, _ := g.VertexByName("d")
+	tv, _ := g.VertexByName("t")
+
+	if _, err := sys.Apply(
+		Update{Op: OpInsertEdge, From: d, To: tv, Weight: 1}, // valid
+		Update{Op: OpInsertEdge, From: 0, To: 99, Weight: 1}, // out of range
+	); err == nil {
+		t.Fatal("want error for out-of-range edge")
+	}
+	if e := sys.Epoch(); e != 1 {
+		t.Fatalf("epoch=%d after rejected batch, want 1", e)
+	}
+	if c := topCost(t, sys.Snapshot(), req); c != 20 {
+		t.Fatalf("cost=%g after rejected batch, want 20 (partial batch applied!)", c)
+	}
+	for _, bad := range []Update{
+		{Op: "resize-graph"},
+		{Op: OpInsertEdge, From: d, To: tv, Weight: -1},
+		{Op: OpAddCategory, Vertex: -1, Category: 0},
+		{Op: OpAddCategory, Vertex: 0, Category: -2},
+	} {
+		if _, err := sys.Apply(bad); err == nil {
+			t.Fatalf("update %+v: want error", bad)
+		}
+	}
+	// An empty batch publishes nothing.
+	if e, err := sys.Apply(); err != nil || e != 1 {
+		t.Fatalf("empty batch: epoch=%d err=%v", e, err)
+	}
+}
+
+func TestApplyRequiresIndex(t *testing.T) {
+	sys := NewSystemWithoutIndex(Figure1())
+	if _, err := sys.Apply(Update{Op: OpAddCategory, Vertex: 0, Category: 0}); err == nil {
+		t.Fatal("want error without label index")
+	}
+}
+
+// TestApplyCategoryThenEdgeStaysExact is the regression test for the
+// dynamic category overlay: a category added at run time must keep its
+// inverted lists exact across a later edge insertion that changes the
+// recategorized vertex's labels (Refresh must see the dynamic
+// membership, not just the base graph's).
+func TestApplyCategoryThenEdgeStaysExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 10; trial++ {
+		n := 8 + rng.Intn(10)
+		// Base graph: vertex v deliberately left out of category 2.
+		b := NewBuilder(n, true)
+		b.EnsureCategories(3)
+		for i := 0; i < 3*n; i++ {
+			b.AddEdge(Vertex(rng.Intn(n)), Vertex(rng.Intn(n)), float64(1+rng.Intn(9)))
+		}
+		v := Vertex(rng.Intn(n))
+		for u := 0; u < n; u++ {
+			c := Category(rng.Intn(3))
+			if Vertex(u) == v && c == 2 {
+				c = 1
+			}
+			b.AddCategory(Vertex(u), c)
+		}
+		g := b.MustBuild()
+		sys := NewSystem(g)
+
+		// Dynamic recategorization, then an edge insertion whose label
+		// deltas touch v's lists.
+		eu, ev := Vertex(rng.Intn(n)), Vertex(rng.Intn(n))
+		if _, err := sys.Apply(
+			Update{Op: OpAddCategory, Vertex: v, Category: 2},
+			Update{Op: OpInsertEdge, From: eu, To: ev, Weight: 1},
+		); err != nil {
+			t.Fatal(err)
+		}
+
+		// Oracle: the updated graph with v carrying category 2 natively.
+		ob := NewBuilder(n, true)
+		ob.EnsureCategories(3)
+		g.Edges(func(e graph.Edge) bool {
+			ob.AddEdge(e.From, e.To, e.W)
+			return true
+		})
+		ob.AddEdge(eu, ev, 1)
+		for u := 0; u < n; u++ {
+			for _, c := range g.Categories(Vertex(u)) {
+				ob.AddCategory(Vertex(u), c)
+			}
+		}
+		ob.AddCategory(v, 2)
+		full := ob.MustBuild()
+
+		q := Query{
+			Source:     Vertex(rng.Intn(n)),
+			Target:     Vertex(rng.Intn(n)),
+			Categories: []Category{0, 1, 2},
+			K:          3,
+		}
+		oracle, err := core.BruteForce(full, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.Do(context.Background(), Request{
+			Source: q.Source, Target: q.Target, Categories: q.Categories, K: q.K,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Routes) != len(oracle) {
+			t.Fatalf("trial %d: got %d routes, oracle %d", trial, len(res.Routes), len(oracle))
+		}
+		for i := range oracle {
+			if res.Routes[i].Cost != oracle[i].Cost {
+				t.Fatalf("trial %d route %d: cost %v, oracle %v", trial, i, res.Routes[i].Cost, oracle[i].Cost)
+			}
+		}
+	}
+}
+
+// TestConcurrentQueriesAndUpdates is the -race stress test of the
+// snapshot design: query goroutines hammer Do/DoStream while the
+// updater applies edge insertions and category churn. Every observed
+// answer must belong to some published epoch's expected value, and — the
+// monotonicity contract — a query started after Apply returns must see
+// that epoch's (or a later) answer, never a pre-update one.
+func TestConcurrentQueriesAndUpdates(t *testing.T) {
+	g := Figure1()
+	sys := NewSystem(g)
+	req := fig1Request(t, g)
+	d, _ := g.VertexByName("d")
+	tv, _ := g.VertexByName("t")
+	// The churned category is outside the query's sequence (a brand-new
+	// id, exercising the inverted index's grow path), so it never
+	// changes the expected costs.
+	newCat := Category(g.NumCategories())
+
+	// Successively cheaper parallel arcs d→t lower the optimum
+	// 20 → 19 → 18 → 17; floor holds the cheapest cost published so
+	// far, so readers can assert monotone freshness.
+	weights := []Weight{3, 2, 1}
+	expected := map[Weight]bool{20: true, 19: true, 18: true, 17: true}
+	var floor atomic.Value
+	floor.Store(Weight(20))
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errCh := make(chan error, 32)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				want := floor.Load().(Weight) // published before our query starts
+				var got Weight
+				if worker%2 == 0 {
+					res, err := sys.Do(context.Background(), req)
+					if err != nil {
+						errCh <- err
+						return
+					}
+					got = res.Routes[0].Cost
+				} else {
+					for r, err := range sys.DoStream(context.Background(), req) {
+						if err != nil {
+							errCh <- err
+							return
+						}
+						got = r.Cost
+						break
+					}
+				}
+				if !expected[got] {
+					t.Errorf("worker %d: cost %g not in expected set", worker, got)
+					return
+				}
+				if got > want {
+					t.Errorf("worker %d: stale answer %g after epoch published %g", worker, got, want)
+					return
+				}
+			}
+		}(w)
+	}
+
+	for _, w := range weights {
+		// Category churn rides along to race the category-update path.
+		if _, err := sys.Apply(
+			Update{Op: OpInsertEdge, From: d, To: tv, Weight: w},
+			Update{Op: OpAddCategory, Vertex: 0, Category: newCat},
+		); err != nil {
+			t.Fatal(err)
+		}
+		floor.Store(20 - (4 - w)) // new optimum is published now
+		if _, err := sys.Apply(Update{Op: OpRemoveCategory, Vertex: 0, Category: newCat}); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(2 * time.Millisecond) // let queries land on this epoch
+	}
+	close(stop)
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	if e := sys.Epoch(); e != 1+uint64(2*len(weights)) {
+		t.Fatalf("epoch=%d, want %d", e, 1+2*len(weights))
+	}
+	if c := topCost(t, sys.Snapshot(), req); c != 17 {
+		t.Fatalf("final cost=%g, want 17", c)
+	}
+}
+
+// TestCanonicalKeyEpoch pins that the index epoch participates in the
+// cache key, which is the whole invalidation story: post-update queries
+// can never hit a pre-update cache entry.
+func TestCanonicalKeyEpoch(t *testing.T) {
+	base := Request{Source: 1, Target: 2, Categories: []Category{3}, K: 1}
+	k1, ok := base.CanonicalKey()
+	if !ok {
+		t.Fatal("not cacheable")
+	}
+	bumped := base
+	bumped.IndexEpoch = 2
+	k2, ok := bumped.CanonicalKey()
+	if !ok || k2 == k1 {
+		t.Fatalf("epoch must change the key: %q vs %q", k1, k2)
+	}
+}
+
+// TestDoTruncatedByExamined pins the deterministic-truncation marker
+// that lets the server cache examined-budget truncations.
+func TestDoTruncatedByExamined(t *testing.T) {
+	g := Figure1()
+	sys := NewSystem(g)
+	req := fig1Request(t, g)
+	req.K = 30
+	req.MaxExamined = 12
+	res, err := sys.Do(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated || !res.TruncatedByExamined {
+		t.Fatalf("res=%+v, want Truncated and TruncatedByExamined", res)
+	}
+}
+
+// TestExpandWitnessSeesDynamicEdges pins the expansion fix: a witness
+// leg answered through a dynamically inserted arc must expand into a
+// walk that uses that arc, while a snapshot pinned before the update
+// keeps expanding on its own (pre-update) graph.
+func TestExpandWitnessSeesDynamicEdges(t *testing.T) {
+	b := NewBuilder(3, true)
+	b.EnsureCategories(1)
+	b.AddEdge(0, 1, 5).AddEdge(1, 2, 5)
+	b.AddCategory(1, 0)
+	g := b.MustBuild()
+	sys := NewSystem(g)
+	old := sys.Snapshot()
+
+	if _, err := sys.Apply(Update{Op: OpInsertEdge, From: 0, To: 2, Weight: 1}); err != nil {
+		t.Fatal(err)
+	}
+	walk := sys.ExpandWitness([]Vertex{0, 2})
+	if len(walk) != 2 || walk[0] != 0 || walk[1] != 2 {
+		t.Fatalf("post-update walk=%v, want the dynamic arc [0 2]", walk)
+	}
+	if w := old.ExpandWitness([]Vertex{0, 2}); len(w) != 3 {
+		t.Fatalf("pinned old snapshot walk=%v, want the 3-vertex base path", w)
+	}
+}
+
+// TestDynamicCategoryQueryable pins the grown-id loop: a category id
+// beyond the graph's static set, populated via Apply, must be usable in
+// a Request against the snapshot that carries it (and rejected by a
+// snapshot that predates it only in the sense of returning no routes —
+// the id space is snapshot-wide).
+func TestDynamicCategoryQueryable(t *testing.T) {
+	g := Figure1()
+	sys := NewSystem(g)
+	s, _ := g.VertexByName("s")
+	tv, _ := g.VertexByName("t")
+	bv, _ := g.VertexByName("b")
+	newCat := Category(g.NumCategories())
+
+	// Before the category exists anywhere, the id is out of range.
+	if _, err := sys.Do(context.Background(), Request{
+		Source: s, Target: tv, Categories: []Category{newCat}, K: 1,
+	}); err == nil {
+		t.Fatal("want out-of-range error before the category exists")
+	}
+
+	if _, err := sys.Apply(Update{Op: OpAddCategory, Vertex: bv, Category: newCat}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Do(context.Background(), Request{
+		Source: s, Target: tv, Categories: []Category{newCat}, K: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Routes) != 1 || res.Routes[0].Witness[1] != bv {
+		t.Fatalf("routes=%v, want one route through b", res.Routes)
+	}
+}
