@@ -1,0 +1,136 @@
+package kosr
+
+import (
+	"context"
+	"runtime"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// carryoverFixture builds a grid system large enough that a cold query
+// scratch's dense tables are clearly measurable against steady state.
+func carryoverFixture(t *testing.T, rows, cols int) (*System, Request) {
+	t.Helper()
+	b := gen.GridBuilder(gen.GridOptions{Rows: rows, Cols: cols, Directed: true, Seed: 5})
+	gen.AssignUniformCategories(b, rows*cols, 3, 40, 11)
+	g := b.MustBuild()
+	sys := NewSystem(g)
+	n := g.NumVertices()
+	req := Request{
+		Source:     Vertex(n / 7),
+		Target:     Vertex(n - 1 - n/5),
+		Categories: []Category{0, 1},
+		K:          2,
+	}
+	return sys, req
+}
+
+// measureQuery runs one Do and returns its allocation count and bytes.
+// The caller must be the only goroutine doing work.
+func measureQuery(t *testing.T, sys *System, req Request) (allocs, bytes uint64) {
+	t.Helper()
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	if _, err := sys.Do(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	runtime.ReadMemStats(&after)
+	return after.Mallocs - before.Mallocs, after.TotalAlloc - before.TotalAlloc
+}
+
+// TestScratchCarryoverKeepsPostUpdateQueriesWarm pins the
+// allocation-neutral read path of epoch publication: the first query
+// after an Apply must run on a scratch inherited from the previous
+// snapshot's pool — its dense dominance tables, iterator free lists and
+// arena intact — so its allocations match warm steady state instead of
+// the cold first-query growth (which is O(|V|) and two orders of
+// magnitude larger on this fixture).
+func TestScratchCarryoverKeepsPostUpdateQueriesWarm(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items randomly and instrumentation allocates under -race")
+	}
+	sys, req := carryoverFixture(t, 30, 30)
+
+	// Cold reference: the very first query grows the scratch.
+	coldAllocs, coldBytes := measureQuery(t, sys, req)
+
+	// Warm up, then take the steady-state baseline.
+	for i := 0; i < 5; i++ {
+		if _, err := sys.Do(context.Background(), req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	steadyAllocs, steadyBytes := measureQuery(t, sys, req)
+
+	// Publish a new epoch: one cheaper parallel arc.
+	if _, err := sys.Apply(Update{Op: OpInsertEdge, From: 0, To: 1, Weight: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if st := sys.ApplyStats(); st.ScratchCarryover < 1 {
+		t.Fatalf("ApplyStats.ScratchCarryover=%d, want ≥1 (pool not handed off)", st.ScratchCarryover)
+	}
+
+	postAllocs, postBytes := measureQuery(t, sys, req)
+	t.Logf("cold: %d allocs / %d B; steady: %d allocs / %d B; post-update first: %d allocs / %d B",
+		coldAllocs, coldBytes, steadyAllocs, steadyBytes, postAllocs, postBytes)
+
+	// The fixture must actually separate cold from warm, or the
+	// assertions below would be vacuous.
+	if coldBytes < 4*steadyBytes+4096 {
+		t.Fatalf("fixture too small: cold %d B vs steady %d B", coldBytes, steadyBytes)
+	}
+	// Post-update first query ≈ steady state (small slack for runtime
+	// noise), and nowhere near the cold growth.
+	if postBytes > 2*steadyBytes+2048 {
+		t.Fatalf("post-update first query allocated %d B, steady state is %d B — scratch not carried", postBytes, steadyBytes)
+	}
+	if postAllocs > 2*steadyAllocs+16 {
+		t.Fatalf("post-update first query made %d allocs, steady state is %d", postAllocs, steadyAllocs)
+	}
+}
+
+// applyBytesPerUpdate applies one cheaper parallel arc per listed
+// position on a rows×cols grid system and returns the mean ApplyBytes
+// per update as accounted by the paged index layer.
+func applyBytesPerUpdate(t *testing.T, rows, cols int) uint64 {
+	t.Helper()
+	b := gen.GridBuilder(gen.GridOptions{Rows: rows, Cols: cols, Directed: true, Seed: 5})
+	gen.AssignUniformCategories(b, rows*cols, 3, 40, 11)
+	g := b.MustBuild()
+	sys := NewSystem(g)
+	// The same relative grid positions on both sizes: structural
+	// locality of the update is held constant while |V| varies.
+	positions := [][2]int{{2, 2}, {rows / 2, cols / 2}, {rows / 2, 2}, {2, cols / 2}, {rows - 3, cols - 3}}
+	for _, p := range positions {
+		u := Vertex(p[0]*cols + p[1])
+		v := u + 1 // right neighbour on the grid
+		if _, err := sys.Apply(Update{Op: OpInsertEdge, From: u, To: v, Weight: 0.5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := sys.ApplyStats()
+	if st.Updates == 0 {
+		t.Fatal("no updates applied")
+	}
+	return st.ApplyBytes / st.Updates
+}
+
+// TestApplyBytesDoNotScaleWithGraphSize pins the tentpole's complexity
+// claim at the unit level: the copy-on-write bytes of a single-edge
+// Apply are O(pages touched), so the same structural update on a 9×
+// larger graph must not cost anywhere near 9× the bytes — the flat
+// header-array clone it replaces scaled exactly linearly.
+func TestApplyBytesDoNotScaleWithGraphSize(t *testing.T) {
+	small := applyBytesPerUpdate(t, 16, 16) //  256 vertices
+	large := applyBytesPerUpdate(t, 48, 48) // 2304 vertices: 9× the headers
+	t.Logf("apply bytes/update: small(256v)=%d large(2304v)=%d ratio=%.2f",
+		small, large, float64(large)/float64(small))
+	if small == 0 {
+		t.Fatal("no copy work recorded on the small graph")
+	}
+	if ratio := float64(large) / float64(small); ratio > 2.5 {
+		t.Fatalf("apply bytes scale with |V|: 9× vertices cost %.2f× bytes (want ≤ 2.5×)", ratio)
+	}
+}

@@ -1,0 +1,275 @@
+package kosr
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// applyOracleQueries builds the fixed request mix the property test
+// replays at every epoch: standard top-k requests across all three
+// methods plus the Section IV-C no-source and no-target variants, so
+// the label index, the inverted index, the category overlay and the
+// variant root seeding are all exercised against the oracle.
+func applyOracleQueries(n int, nCats int, rng *rand.Rand) []Request {
+	var reqs []Request
+	for i := 0; i < 4; i++ {
+		reqs = append(reqs, Request{
+			Source: Vertex(rng.Intn(n)),
+			Target: Vertex(rng.Intn(n)),
+			Categories: []Category{
+				Category(rng.Intn(nCats)),
+				Category(rng.Intn(nCats)),
+			},
+			K:      3,
+			Method: []Method{StarKOSR, PruningKOSR, KPNE, StarKOSR}[i],
+		})
+	}
+	for c := 0; c < nCats; c++ {
+		reqs = append(reqs, Request{
+			NoSource: true,
+			Target:   Vertex(rng.Intn(n)),
+			Categories: []Category{
+				Category(c),
+				Category(rng.Intn(nCats)),
+			},
+			K: 3,
+		})
+	}
+	reqs = append(reqs, Request{
+		Source:     Vertex(rng.Intn(n)),
+		NoTarget:   true,
+		Categories: []Category{Category(rng.Intn(nCats)), Category(rng.Intn(nCats))},
+		K:          3,
+	})
+	return reqs
+}
+
+// oracleSystem materializes the snapshot's effective graph — base
+// edges, every dynamically inserted edge, and each vertex's effective
+// category memberships — into a native graph and builds a from-scratch
+// System on it.
+func oracleSystem(t *testing.T, base *Graph, edges [][3]float64, sn *Snapshot) *System {
+	t.Helper()
+	n := base.NumVertices()
+	b := NewBuilder(n, true)
+	b.EnsureCategories(sn.NumCategories())
+	base.Edges(func(e graph.Edge) bool {
+		b.AddEdge(e.From, e.To, e.W)
+		return true
+	})
+	for _, e := range edges {
+		b.AddEdge(Vertex(e[0]), Vertex(e[1]), e[2])
+	}
+	for v := 0; v < n; v++ {
+		for _, c := range sn.CategoriesOf(Vertex(v)) {
+			b.AddCategory(Vertex(v), c)
+		}
+	}
+	return NewSystem(b.MustBuild())
+}
+
+func answersOf(t *testing.T, sn *Snapshot, reqs []Request) [][]Route {
+	t.Helper()
+	out := make([][]Route, len(reqs))
+	for i, req := range reqs {
+		res, err := sn.Do(context.Background(), req)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		out[i] = res.Routes
+	}
+	return out
+}
+
+func sameRoutes(a, b []Route) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Cost != b[i].Cost || len(a[i].Witness) != len(b[i].Witness) {
+			return false
+		}
+		for j := range a[i].Witness {
+			if a[i].Witness[j] != b[i].Witness[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestApplyRandomBatchesMatchRebuildOracle is the structural-sharing
+// property test of the paged copy-on-write index layer: 200 random
+// Apply batches (edge insertions, category adds/removals) are applied
+// one epoch at a time, and after every epoch the full query mix is
+// checked byte-identical (costs and witnesses) against a from-scratch
+// System built on the epoch's materialized effective graph. Pinned
+// older snapshots are re-verified against their recorded answers, so a
+// page aliased between epochs — a mutation leaking into a parent, or a
+// clone reading a torn page — cannot survive unnoticed.
+func TestApplyRandomBatchesMatchRebuildOracle(t *testing.T) {
+	const (
+		n       = 60
+		nCats   = 4
+		epochs  = 200
+		nEdges  = 3 * n
+		maxOps  = 3
+		recheck = 8 // pinned snapshots re-verified per epoch window
+	)
+	if testing.Short() {
+		t.Skip("property test is long")
+	}
+	rng := rand.New(rand.NewSource(7))
+
+	b := NewBuilder(n, true)
+	b.EnsureCategories(nCats)
+	for i := 0; i < nEdges; i++ {
+		b.AddEdge(Vertex(rng.Intn(n)), Vertex(rng.Intn(n)), float64(1+rng.Intn(9)))
+	}
+	for v := 0; v < n; v++ {
+		b.AddCategory(Vertex(v), Category(rng.Intn(nCats)))
+	}
+	base := b.MustBuild()
+	sys := NewSystem(base)
+	reqs := applyOracleQueries(n, nCats, rng)
+
+	type pinned struct {
+		sn      *Snapshot
+		answers [][]Route
+	}
+	var (
+		insertedEdges [][3]float64
+		pins          []pinned
+	)
+	for epoch := 0; epoch < epochs; epoch++ {
+		nOps := 1 + rng.Intn(maxOps)
+		batch := make([]Update, 0, nOps)
+		for i := 0; i < nOps; i++ {
+			switch rng.Intn(4) {
+			case 0, 1:
+				u := Update{
+					Op:     OpInsertEdge,
+					From:   Vertex(rng.Intn(n)),
+					To:     Vertex(rng.Intn(n)),
+					Weight: float64(1 + rng.Intn(9)),
+				}
+				batch = append(batch, u)
+				insertedEdges = append(insertedEdges, [3]float64{float64(u.From), float64(u.To), u.Weight})
+			case 2:
+				batch = append(batch, Update{
+					Op: OpAddCategory, Vertex: Vertex(rng.Intn(n)), Category: Category(rng.Intn(nCats)),
+				})
+			default:
+				batch = append(batch, Update{
+					Op: OpRemoveCategory, Vertex: Vertex(rng.Intn(n)), Category: Category(rng.Intn(nCats)),
+				})
+			}
+		}
+		if _, err := sys.Apply(batch...); err != nil {
+			t.Fatalf("epoch %d: %v", epoch, err)
+		}
+
+		sn := sys.Snapshot()
+		oracle := oracleSystem(t, base, insertedEdges, sn)
+		got := answersOf(t, sn, reqs)
+		want := answersOf(t, oracle.Snapshot(), reqs)
+		for i := range reqs {
+			if !sameRoutes(got[i], want[i]) {
+				t.Fatalf("epoch %d request %d (%+v):\n got %v\nwant %v",
+					epoch, i, reqs[i], got[i], want[i])
+			}
+		}
+
+		// Keep a few epochs pinned and re-verify one per iteration: a
+		// later epoch's mutation must never bleed into a page an older
+		// snapshot still reads.
+		if epoch%(epochs/recheck) == 0 {
+			pins = append(pins, pinned{sn: sn, answers: got})
+		}
+		if len(pins) > 0 {
+			p := pins[rng.Intn(len(pins))]
+			re := answersOf(t, p.sn, reqs)
+			for i := range reqs {
+				if !sameRoutes(re[i], p.answers[i]) {
+					t.Fatalf("epoch %d: pinned snapshot (epoch %d) changed its answer for request %d",
+						epoch, p.sn.Epoch, i)
+				}
+			}
+		}
+	}
+
+	st := sys.ApplyStats()
+	if st.Batches != epochs {
+		t.Fatalf("ApplyStats.Batches=%d, want %d", st.Batches, epochs)
+	}
+	if st.PagesCopied == 0 || st.ApplyBytes == 0 {
+		t.Fatalf("ApplyStats records no page work: %+v", st)
+	}
+}
+
+// TestNoSourceVariantSeesDynamicCategories pins the closed ROADMAP gap
+// directly: a vertex granted a category at run time must become a root
+// of no-source variant queries over that category — including a
+// category id that did not exist in the base graph — and removing the
+// membership must narrow the roots again.
+func TestNoSourceVariantSeesDynamicCategories(t *testing.T) {
+	// 0 → 1 → 2 → 3 chain; category 0 = {1}, category 1 = {3}.
+	b := NewBuilder(4, true)
+	b.EnsureCategories(2)
+	b.AddEdge(0, 1, 1).AddEdge(1, 2, 1).AddEdge(2, 3, 1)
+	b.AddCategory(1, 0)
+	b.AddCategory(3, 1)
+	g := b.MustBuild()
+	sys := NewSystem(g)
+
+	req := Request{NoSource: true, Target: 3, Categories: []Category{0, 1}, K: 2}
+	res, err := sys.Do(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Routes) != 1 || res.Routes[0].Witness[0] != 1 {
+		t.Fatalf("base routes=%v, want one route rooted at 1", res.Routes)
+	}
+
+	// Granting category 0 to vertex 2 adds a second, cheaper root.
+	if _, err := sys.Apply(Update{Op: OpAddCategory, Vertex: 2, Category: 0}); err != nil {
+		t.Fatal(err)
+	}
+	res, err = sys.Do(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Routes) != 2 || res.Routes[0].Witness[0] != 2 {
+		t.Fatalf("post-add routes=%v, want the new root 2 first (cost 2)", res.Routes)
+	}
+
+	// A brand-new category id becomes usable as the variant's C1.
+	newCat := Category(g.NumCategories())
+	if _, err := sys.Apply(Update{Op: OpAddCategory, Vertex: 0, Category: newCat}); err != nil {
+		t.Fatal(err)
+	}
+	res, err = sys.Do(context.Background(), Request{
+		NoSource: true, Target: 3, Categories: []Category{newCat, 1}, K: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Routes) != 1 || res.Routes[0].Witness[0] != 0 {
+		t.Fatalf("grown-id variant routes=%v, want a route rooted at 0", res.Routes)
+	}
+
+	// Removing the membership narrows the roots back down.
+	if _, err := sys.Apply(Update{Op: OpRemoveCategory, Vertex: 2, Category: 0}); err != nil {
+		t.Fatal(err)
+	}
+	res, err = sys.Do(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Routes) != 1 || res.Routes[0].Witness[0] != 1 {
+		t.Fatalf("post-remove routes=%v, want only the native root 1", res.Routes)
+	}
+}

@@ -105,6 +105,45 @@ type UpdateScanResult struct {
 	// while the updater was publishing epochs.
 	QPSDuringUpdates float64 `json:"qps_during_updates"`
 	FinalEpoch       uint64  `json:"final_epoch"`
+	// ScratchCarryover counts pooled query scratches the new epochs
+	// inherited from their predecessors during the concurrent scan
+	// (warm publication: post-update queries skip cold scratch growth).
+	ScratchCarryover uint64 `json:"scratch_carryover"`
+	// FlatCloneBytes is the O(|V|) structural cost every Apply paid
+	// before the paged copy-on-write layer: 2 × |V| slice headers
+	// (24 B) for the label in/out arrays alone. Its measured
+	// counterpart is cow_bytes_per_update in the batches cells — the
+	// pagevec-accounted structural copy work — NOT
+	// apply_bytes_per_update, which measures the whole Apply path
+	// (dominated by the resumed-search transients that exist under
+	// either layout).
+	FlatCloneBytes int64 `json:"flat_clone_bytes"`
+	// Batches is the quiesced batch-size scan: apply cost per mutation
+	// at batch sizes 1/16/256, measured with runtime.MemStats (total
+	// allocation of the Apply path, page copies included).
+	Batches []UpdateBatchCell `json:"batches,omitempty"`
+}
+
+// UpdateBatchCell is one quiesced apply-cost measurement: nBatches
+// batches of BatchSize cheaper-parallel-arc insertions each, no
+// concurrent queries, allocation counters divided by the total number
+// of mutations.
+type UpdateBatchCell struct {
+	BatchSize     int     `json:"batch_size"`
+	Updates       int     `json:"updates"`
+	UpdatesPerSec float64 `json:"updates_per_sec"`
+	// ApplyAllocsPerUpdate/ApplyBytesPerUpdate measure the whole Apply
+	// path with runtime.MemStats: COW page work plus the resumed-search
+	// transients, which dominate. Gate-worthy because the total must
+	// not scale with |V| either.
+	ApplyAllocsPerUpdate float64 `json:"apply_allocs_per_update"`
+	ApplyBytesPerUpdate  float64 `json:"apply_bytes_per_update"`
+	// CowBytesPerUpdate/PagesCopiedPerUpdate isolate the structural
+	// copy-on-write work (ApplyStats accounting: page copies + page
+	// tables) — the direct measured counterpart of flat_clone_bytes,
+	// i.e. what the O(|V|) header clone was replaced with.
+	CowBytesPerUpdate    float64 `json:"cow_bytes_per_update"`
+	PagesCopiedPerUpdate float64 `json:"pages_copied_per_update"`
 }
 
 // PQPopCost is the queue microbench cell: steady-state pop cost of the
@@ -161,6 +200,9 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "plot" {
 		os.Exit(runPlot(os.Args[2:]))
 	}
+	if len(os.Args) > 1 && os.Args[1] == "applygate" {
+		os.Exit(runApplyGate(os.Args[2:]))
+	}
 	out := flag.String("out", "BENCH_PR1.json", "output JSON path")
 	pr := flag.String("pr", "PR1", "PR tag recorded in the report")
 	scale := flag.Int("scale", 1, "dataset scale factor")
@@ -206,7 +248,15 @@ func main() {
 			"share-nothing once the scratch pool is warm). pq_pop_cost is the " +
 			"engine global-queue microbench behind the 4-ary switch (PR 4); " +
 			"updates is the live-update scan: single-edge Apply batches " +
-			"publishing snapshot epochs under concurrent query traffic.",
+			"publishing snapshot epochs under concurrent query traffic. " +
+			"updates.batches is the quiesced apply-cost scan (PR 5): " +
+			"apply_bytes_per_update is total allocation of the Apply path " +
+			"per mutation at batch sizes 1/16/256 — with chunked " +
+			"copy-on-write index pages it tracks the pages an update " +
+			"touches, not |V| (flat_clone_bytes is the O(|V|) header copy " +
+			"every apply paid before); scratch_carryover counts warm query " +
+			"scratches handed across epochs, making publication " +
+			"allocation-neutral on the read path.",
 	}
 
 	rep.PQ = benchPQPopCost()
@@ -244,25 +294,29 @@ func benchDataset(a gen.Analogue, cfg workload.Config) (DatasetResult, error) {
 	}
 	ds := DatasetResult{Name: string(a), Vertices: g.NumVertices(), Edges: g.NumEdges()}
 
-	t0 := time.Now()
-	seq := label.BuildWithOptions(g, label.BuildOptions{Workers: 1})
-	ds.SeqBuildMS = msSince(t0)
+	var par *label.Index
+	{
+		// The sequential reference build lives only in this block, so it
+		// is collectable before the downstream phases are timed.
+		t0 := time.Now()
+		seq := label.BuildWithOptions(g, label.BuildOptions{Workers: 1})
+		ds.SeqBuildMS = msSince(t0)
 
-	t0 = time.Now()
-	par := label.BuildWithOptions(g, label.BuildOptions{})
-	ds.ParBuildMS = msSince(t0)
+		t0 = time.Now()
+		par = label.BuildWithOptions(g, label.BuildOptions{})
+		ds.ParBuildMS = msSince(t0)
+		ds.Identical = sameIndex(g, seq, par)
+	}
 	if ds.ParBuildMS > 0 {
 		ds.BuildSpeedup = ds.SeqBuildMS / ds.ParBuildMS
 	}
-	ds.Identical = sameIndex(g, seq, par)
-	seq = nil //nolint:ineffassign // release the reference build before timing downstream phases
 	runtime.GC()
 
 	st := par.Stats()
 	ds.LabelEntries = st.Entries
 	ds.LabelMB = float64(st.SizeBytes) / (1 << 20)
 
-	t0 = time.Now()
+	t0 := time.Now()
 	inv := invindex.Build(g, par)
 	ds.InvBuildMS = msSince(t0)
 
@@ -392,13 +446,81 @@ func benchUpdates(d *workload.Dataset, qs []core.Query, cfg workload.Config) *Up
 	close(stop)
 	qwg.Wait()
 
-	res := &UpdateScanResult{Updates: updates, FinalEpoch: sys.Epoch()}
+	res := &UpdateScanResult{
+		Updates:          updates,
+		FinalEpoch:       sys.Epoch(),
+		ScratchCarryover: sys.ApplyStats().ScratchCarryover,
+		FlatCloneBytes:   int64(d.G.NumVertices()) * 2 * 24,
+	}
 	if elapsed > 0 {
 		res.UpdatesPerSec = float64(updates) / elapsed
 		res.AvgUpdateMS = elapsed * 1000 / updates
 		res.QPSDuringUpdates = float64(atomic.LoadInt64(&served)) / elapsed
 	}
+	res.Batches = benchApplyBatches(d, edges)
 	return res
+}
+
+// benchApplyBatches is the quiesced apply-cost scan: for each batch
+// size, a fresh System absorbs rounds of cheaper-parallel-arc batches
+// with no concurrent traffic, and the runtime allocation counters are
+// divided by the mutation count. With the paged copy-on-write index
+// layer this cost is O(pages touched) per mutation — compare the cells
+// across datasets (or against flat_clone_bytes) to see that it no
+// longer scales with |V|.
+func benchApplyBatches(d *workload.Dataset, edges []graph.Edge) []UpdateBatchCell {
+	var cells []UpdateBatchCell
+	for _, bs := range []int{1, 16, 256} {
+		// Mutation budget per cell: enough batches to average out the
+		// sampled edges without dominating the bench wall-clock (a
+		// single-edge apply costs tens of ms on the road analogues).
+		nBatches := 32
+		if bs >= 16 {
+			nBatches = 4
+		}
+		if bs >= 256 {
+			nBatches = 2
+		}
+		sys := kosr.NewSystemFromParts(d.G, d.Lab, d.Inv)
+		rng := rand.New(rand.NewSource(17))
+		total := 0
+		batches := make([][]kosr.Update, nBatches)
+		for i := range batches {
+			batch := make([]kosr.Update, bs)
+			for j := range batch {
+				e := edges[rng.Intn(len(edges))]
+				batch[j] = kosr.Update{Op: kosr.OpInsertEdge, From: e.From, To: e.To, Weight: e.W * 0.9}
+			}
+			batches[i] = batch
+			total += bs
+		}
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		for _, batch := range batches {
+			if _, err := sys.Apply(batch...); err != nil {
+				fmt.Fprintln(os.Stderr, "kosrbench: apply batch scan:", err)
+				return cells
+			}
+		}
+		elapsed := time.Since(start).Seconds()
+		runtime.ReadMemStats(&after)
+		st := sys.ApplyStats()
+		cell := UpdateBatchCell{
+			BatchSize:            bs,
+			Updates:              total,
+			ApplyAllocsPerUpdate: float64(after.Mallocs-before.Mallocs) / float64(total),
+			ApplyBytesPerUpdate:  float64(after.TotalAlloc-before.TotalAlloc) / float64(total),
+			CowBytesPerUpdate:    float64(st.ApplyBytes) / float64(total),
+			PagesCopiedPerUpdate: float64(st.PagesCopied) / float64(total),
+		}
+		if elapsed > 0 {
+			cell.UpdatesPerSec = float64(total) / elapsed
+		}
+		cells = append(cells, cell)
+	}
+	return cells
 }
 
 // benchServer pushes the query mix through a live HTTP server's
@@ -659,6 +781,80 @@ func runDiff(args []string) int {
 	return 0
 }
 
+// findBatchCell returns the apply-cost cell of the given batch size.
+func findBatchCell(ds DatasetResult, batchSize int) (UpdateBatchCell, bool) {
+	if ds.Updates == nil {
+		return UpdateBatchCell{}, false
+	}
+	for _, c := range ds.Updates.Batches {
+		if c.BatchSize == batchSize {
+			return c, true
+		}
+	}
+	return UpdateBatchCell{}, false
+}
+
+// runApplyGate implements `kosrbench applygate [-small CAL] [-large FLA]
+// [-batch 1] [-factor 2.0] REPORT.json`: the CI assertion that
+// apply_bytes_per_update does not scale with the graph size. It
+// compares the per-mutation apply bytes of the two named datasets —
+// the small and large committed road analogues, a 3.5× vertex-count
+// spread — and fails when the large graph pays more than factor× the
+// small one's bytes. Under the pre-PR5 flat header-array clones this
+// ratio tracked |V| (≈3.5×); under chunked copy-on-write pages it
+// tracks the touched pages and stays near 1.
+func runApplyGate(args []string) int {
+	fs := flag.NewFlagSet("applygate", flag.ExitOnError)
+	small := fs.String("small", "CAL", "small dataset name")
+	large := fs.String("large", "FLA", "large dataset name")
+	batch := fs.Int("batch", 1, "batch size cell to compare")
+	factor := fs.Float64("factor", 2.0, "fail when large exceeds small by this factor")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: kosrbench applygate [-small CAL] [-large FLA] [-batch 1] [-factor 2.0] REPORT.json")
+		return 2
+	}
+	rep, err := readReport(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kosrbench applygate:", err)
+		return 2
+	}
+	cell := func(name string) (UpdateBatchCell, DatasetResult, bool) {
+		ds, ok := findDataset(rep, name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "kosrbench applygate: dataset %q missing from %s\n", name, fs.Arg(0))
+			return UpdateBatchCell{}, ds, false
+		}
+		c, ok := findBatchCell(ds, *batch)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "kosrbench applygate: %s has no batch_size=%d apply cell\n", name, *batch)
+		}
+		return c, ds, ok
+	}
+	sc, sds, ok := cell(*small)
+	if !ok {
+		return 2
+	}
+	lc, lds, ok := cell(*large)
+	if !ok {
+		return 2
+	}
+	vRatio := float64(lds.Vertices) / float64(sds.Vertices)
+	bRatio := lc.ApplyBytesPerUpdate / sc.ApplyBytesPerUpdate
+	fmt.Printf("applygate: |V| %d -> %d (%.2fx); apply_bytes_per_update %.0f -> %.0f (%.2fx), threshold %.2fx\n",
+		sds.Vertices, lds.Vertices, vRatio, sc.ApplyBytesPerUpdate, lc.ApplyBytesPerUpdate, bRatio, *factor)
+	if sc.ApplyBytesPerUpdate <= 0 || lc.ApplyBytesPerUpdate <= 0 {
+		fmt.Fprintln(os.Stderr, "kosrbench applygate: zero apply bytes recorded")
+		return 1
+	}
+	if bRatio > *factor {
+		fmt.Printf("FAIL: apply bytes scale with |V| (%.2fx > %.2fx)\n", bRatio, *factor)
+		return 1
+	}
+	fmt.Println("OK: apply cost tracks the update's pages, not the graph size")
+	return 0
+}
+
 // runPlot implements `kosrbench plot REPORT.json...`: it renders the
 // per-(dataset, method) query-time and allocation trajectory across the
 // given reports as a markdown trend table, one column per report. INF
@@ -788,6 +984,42 @@ func runPlot(args []string) int {
 					return "–"
 				}
 				return fmt.Sprintf("%.0f", d.Updates.QPSDuringUpdates)
+			}},
+			{"apply_bytes_per_update(b=1)", func(d DatasetResult) string {
+				c, ok := findBatchCell(d, 1)
+				if !ok {
+					return "–"
+				}
+				return fmt.Sprintf("%.0f", c.ApplyBytesPerUpdate)
+			}},
+			{"apply_allocs_per_update(b=1)", func(d DatasetResult) string {
+				c, ok := findBatchCell(d, 1)
+				if !ok {
+					return "–"
+				}
+				return fmt.Sprintf("%.0f", c.ApplyAllocsPerUpdate)
+			}},
+			{"apply_bytes_per_update(b=256)", func(d DatasetResult) string {
+				c, ok := findBatchCell(d, 256)
+				if !ok {
+					return "–"
+				}
+				return fmt.Sprintf("%.0f", c.ApplyBytesPerUpdate)
+			}},
+			// The structural-copy pair: the paged layer's measured COW
+			// bytes per mutation vs the O(|V|) header clone it replaced.
+			{"cow_bytes_per_update(b=1)", func(d DatasetResult) string {
+				c, ok := findBatchCell(d, 1)
+				if !ok {
+					return "–"
+				}
+				return fmt.Sprintf("%.0f", c.CowBytesPerUpdate)
+			}},
+			{"flat_clone_bytes(pre-PR5, replaced by cow_bytes)", func(d DatasetResult) string {
+				if d.Updates == nil || d.Updates.FlatCloneBytes == 0 {
+					return "–"
+				}
+				return fmt.Sprintf("%d", d.Updates.FlatCloneBytes)
 			}},
 		} {
 			line := fmt.Sprintf("| %s | – | %s |", name, row.label)

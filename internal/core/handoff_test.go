@@ -1,0 +1,99 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestInheritScratchesMovesPool pins the epoch handoff: a scratch
+// pooled on the superseded provider moves to the successor and comes
+// back warm (same object, same graph size) on the next acquire. Under
+// the race detector sync.Pool drops items at random by design, so the
+// strict counts only hold in a normal build.
+func TestInheritScratchesMovesPool(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items randomly under -race")
+	}
+	g := graph.Figure1()
+	old := NewLabelProvider(g, nil)
+	s := old.AcquireScratch()
+	old.ReleaseScratch(s)
+
+	next := &LabelProvider{Graph: g, Labels: old.Labels, Inv: old.Inv}
+	if moved := next.InheritScratches(old); moved != 1 {
+		t.Fatalf("moved %d scratches, want 1", moved)
+	}
+	got := next.AcquireScratch()
+	if got != s {
+		t.Fatalf("successor pool handed out a different scratch (cold acquire)")
+	}
+	next.ReleaseScratch(got)
+}
+
+// TestReleaseForwardsAcrossEpochHandoff pins the redirect chain: a
+// scratch checked out before the handoff — an in-flight query's — must
+// land in the live successor's pool when released through the
+// superseded provider, even across several epochs.
+func TestReleaseForwardsAcrossEpochHandoff(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items randomly under -race")
+	}
+	g := graph.Figure1()
+	p1 := NewLabelProvider(g, nil)
+	inFlight := p1.AcquireScratch() // a query holds this across two publications
+
+	p2 := &LabelProvider{Graph: g, Labels: p1.Labels, Inv: p1.Inv}
+	p2.InheritScratches(p1)
+	p3 := &LabelProvider{Graph: g, Labels: p1.Labels, Inv: p1.Inv}
+	p3.InheritScratches(p2)
+
+	p1.ReleaseScratch(inFlight) // the old query finally finishes
+	got := p3.AcquireScratch()
+	if got != inFlight {
+		t.Fatal("release through a superseded provider did not reach the live pool")
+	}
+	p3.ReleaseScratch(got)
+}
+
+// TestScratchServesNewIndexAfterHandoff runs a real query on a carried
+// scratch against a different index instance, pinning the NN-iterator
+// rebind: recycled iterators must answer from the index of the query
+// that reuses them, not the one they were created on.
+func TestScratchServesNewIndexAfterHandoff(t *testing.T) {
+	g := graph.Figure1()
+	s, _ := g.VertexByName("s")
+	tv, _ := g.VertexByName("t")
+	ma, _ := g.CategoryByName("MA")
+	re, _ := g.CategoryByName("RE")
+	ci, _ := g.CategoryByName("CI")
+	q := Query{Source: s, Target: tv, Categories: []graph.Category{ma, re, ci}, K: 3}
+
+	p1 := NewLabelProvider(g, nil)
+	if _, _, err := Solve(context.Background(), g, q, p1, Options{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second provider over independently built indexes of the same
+	// graph — the handoff hands it p1's warm scratch. (Under -race
+	// sync.Pool may drop it; the correctness assertions below hold
+	// either way.)
+	p2 := NewLabelProvider(g, nil)
+	if moved := p2.InheritScratches(p1); !raceEnabled && moved != 1 {
+		t.Fatalf("moved %d scratches, want 1", moved)
+	}
+	routes, _, err := Solve(context.Background(), g, q, p2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []graph.Weight{20, 21, 22}
+	if len(routes) != len(want) {
+		t.Fatalf("got %d routes, want %d", len(routes), len(want))
+	}
+	for i, r := range routes {
+		if r.Cost != want[i] {
+			t.Fatalf("route %d cost %v, want %v", i, r.Cost, want[i])
+		}
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/dijkstra"
 	"repro/internal/graph"
@@ -81,6 +82,25 @@ type LabelProvider struct {
 	MaxScratchBytes int64
 
 	pool sync.Pool // *Scratch
+	// redirect points at this provider's successor once a newer epoch
+	// inherited its pool: queries that were in flight when the handoff
+	// happened release their scratches here afterwards, and the release
+	// path forwards them to the live pool instead of stranding them on
+	// this superseded one.
+	redirect atomic.Pointer[LabelProvider]
+}
+
+// latest follows the epoch-handoff chain to the live provider. Each
+// superseded provider points only forward, so the chain neither cycles
+// nor pins old indexes.
+func (p *LabelProvider) latest() *LabelProvider {
+	for {
+		next := p.redirect.Load()
+		if next == nil {
+			return p
+		}
+		p = next
+	}
 }
 
 // NewLabelProvider builds the inverted index for g and returns a
@@ -115,12 +135,38 @@ func (p *LabelProvider) AcquireScratch() *Scratch {
 
 // ReleaseScratch implements ScratchProvider. Scratches whose retained
 // footprint exceeds MaxScratchBytes are dropped instead of pooled.
+// When this provider has been superseded by a later epoch the scratch
+// is forwarded to the live successor's pool, so queries that were in
+// flight across a publication still hand their warm scratches to the
+// new epoch instead of stranding them.
 func (p *LabelProvider) ReleaseScratch(s *Scratch) {
 	if s == nil {
 		return
 	}
 	s.release()
+	if live := p.latest(); live != p {
+		s.unbindIndexRefs()
+		poolScratch(&live.pool, s, live.MaxScratchBytes)
+		return
+	}
 	poolScratch(&p.pool, s, p.MaxScratchBytes)
+}
+
+// InheritScratches drains prev's pooled scratches into p's pool and
+// returns how many moved. The dense tables of a scratch are graph-sized
+// and epoch-stamped — they carry over to any index of the same graph —
+// and the NN-iterator free lists are unbound here and rebound on reuse,
+// so nothing retains the superseded index. Called by the snapshot
+// updater when it publishes a new epoch, so the first queries on the
+// new snapshot run on warm scratches instead of paying cold growth.
+// prev is additionally redirected at p, so scratches held by queries
+// still in flight on the old snapshot reach p's pool when they release.
+func (p *LabelProvider) InheritScratches(prev *LabelProvider) int {
+	if prev == nil {
+		return 0
+	}
+	prev.redirect.Store(p)
+	return inheritScratches(&p.pool, &prev.pool, p.Graph.NumVertices())
 }
 
 type labelNN struct {
@@ -170,6 +216,20 @@ type DijkstraProvider struct {
 	MaxScratchBytes int64
 
 	pool sync.Pool // *Scratch
+	// redirect forwards post-handoff releases to the live successor;
+	// see LabelProvider.redirect.
+	redirect atomic.Pointer[DijkstraProvider]
+}
+
+// latest follows the epoch-handoff chain to the live provider.
+func (p *DijkstraProvider) latest() *DijkstraProvider {
+	for {
+		next := p.redirect.Load()
+		if next == nil {
+			return p
+		}
+		p = next
+	}
 }
 
 // AcquireScratch implements ScratchProvider.
@@ -183,13 +243,29 @@ func (p *DijkstraProvider) AcquireScratch() *Scratch {
 }
 
 // ReleaseScratch implements ScratchProvider. Scratches whose retained
-// footprint exceeds MaxScratchBytes are dropped instead of pooled.
+// footprint exceeds MaxScratchBytes are dropped instead of pooled; a
+// superseded provider forwards the scratch to its live successor.
 func (p *DijkstraProvider) ReleaseScratch(s *Scratch) {
 	if s == nil {
 		return
 	}
 	s.release()
+	if live := p.latest(); live != p {
+		s.unbindIndexRefs()
+		poolScratch(&live.pool, s, live.MaxScratchBytes)
+		return
+	}
 	poolScratch(&p.pool, s, p.MaxScratchBytes)
+}
+
+// InheritScratches drains prev's pooled scratches into p's pool; see
+// LabelProvider.InheritScratches.
+func (p *DijkstraProvider) InheritScratches(prev *DijkstraProvider) int {
+	if prev == nil {
+		return 0
+	}
+	prev.redirect.Store(p)
+	return inheritScratches(&p.pool, &prev.pool, p.Graph.NumVertices())
 }
 
 // NN returns a fresh Dijkstra-based NNFinder.

@@ -40,7 +40,6 @@ type Scratch struct {
 	freeHeaps  []*pq.Heap[qItem]
 
 	// FindNN iterator cache rows, one per distinct query category.
-	invIx     *invindex.Index
 	nnIdx     rowIndex
 	nnRows    [][]iterSlot
 	nnLog     []slotRef
@@ -247,6 +246,27 @@ func poolScratch(pool *sync.Pool, s *Scratch, budget int64) {
 	pool.Put(s)
 }
 
+// inheritScratches moves every scratch parked in src into dst,
+// unbinding stale index references on the way, and reports how many
+// moved. Scratches sized for a different graph are dropped. Both pools
+// are concurrency-safe, so racing releases into src merely escape the
+// handoff.
+func inheritScratches(dst, src *sync.Pool, nVerts int) int {
+	moved := 0
+	for {
+		s, _ := src.Get().(*Scratch)
+		if s == nil {
+			return moved
+		}
+		if s.nVerts != nVerts {
+			continue
+		}
+		s.unbindIndexRefs()
+		dst.Put(s)
+		moved++
+	}
+}
+
 // hardReset zeroes every dense slot; only needed at epoch wrap.
 func (s *Scratch) hardReset() {
 	for i := range s.dom {
@@ -340,14 +360,12 @@ func (s *Scratch) peekParkHeap(lvl int, v graph.Vertex) *pq.Heap[qItem] {
 // nnIter returns the FindNN iterator of (v, cat), reusing the one the
 // current query already opened (the paper's NL-sharing semantics: two
 // levels visiting the same category share one iterator) or recycling a
-// released iterator. cat must be non-negative.
+// released iterator. Recycled iterators are rebound to ix on reuse
+// (invindex.NNIterator.ResetOn), so the free list stays valid across
+// index versions — which is what lets a scratch carried over from the
+// previous snapshot's pool serve the new epoch without reallocating its
+// iterators. cat must be non-negative.
 func (s *Scratch) nnIter(ix *invindex.Index, v graph.Vertex, cat graph.Category) *invindex.NNIterator {
-	if s.invIx != ix {
-		// The provider's index changed (or this is the first query):
-		// recycled iterators hold references into the old index.
-		s.invIx = ix
-		s.freeIters = s.freeIters[:0]
-	}
 	row := s.nnIdx.claim(cat)
 	if row == len(s.nnRows) {
 		s.nnRows = append(s.nnRows, nil)
@@ -364,13 +382,23 @@ func (s *Scratch) nnIter(ix *invindex.Index, v graph.Vertex, cat graph.Category)
 		it = s.freeIters[n-1]
 		s.freeIters[n-1] = nil
 		s.freeIters = s.freeIters[:n-1]
-		it.Reset(v, cat)
+		it.ResetOn(ix, v, cat)
 	} else {
 		it = ix.NewNNIterator(v, cat)
 	}
 	*sl = iterSlot{it: it, epoch: s.epoch}
 	s.nnLog = append(s.nnLog, slotRef{row: int32(row), v: v})
 	return it
+}
+
+// unbindIndexRefs strips the index references parked in the scratch's
+// iterator free list, so a scratch handed from one snapshot's pool to
+// the next does not pin the superseded epoch's inverted index alive.
+// The buffers stay; nnIter rebinds each iterator on reuse.
+func (s *Scratch) unbindIndexRefs() {
+	for _, it := range s.freeIters {
+		it.Unbind()
+	}
 }
 
 // enStateFor returns the FindNEN state of (v, cat), creating or

@@ -156,6 +156,14 @@ type Options struct {
 	// queryable; the engine itself treats an id with no members as an
 	// empty category (no feasible routes).
 	NumCategories int
+	// VerticesOf overrides the category membership listing used to seed
+	// the roots of no-source variant queries (nil = g.VerticesOf).
+	// Systems serving epoch-versioned snapshots pass their effective
+	// per-category vertex lists, so vertices recategorized at run time
+	// widen (or narrow) the variant root set exactly like native
+	// members. The list must be duplicate-free; ascending order keeps
+	// results deterministic.
+	VerticesOf func(graph.Category) []graph.Vertex
 	// TimeBreakdown enables the Table X wall-clock attribution (NN time,
 	// queue time, estimation time); it adds timer overhead.
 	TimeBreakdown bool

@@ -162,9 +162,15 @@ func newVariantEngine(ctx context.Context, g *graph.Graph, q VariantQuery, prov 
 	if q.NoSource {
 		// Seed the queue with every (admitted) vertex of C1; the
 		// remaining category sequence excludes C1, whose members are
-		// now the route heads.
+		// now the route heads. The membership listing comes from
+		// Options.VerticesOf when set (the snapshot layer's effective
+		// view, dynamic category changes included).
+		verticesOf := opt.VerticesOf
+		if verticesOf == nil {
+			verticesOf = g.VerticesOf
+		}
 		pred := q.Filters[cats[0]]
-		for _, v := range g.VerticesOf(cats[0]) {
+		for _, v := range verticesOf(cats[0]) {
 			if pred == nil || pred(v) {
 				roots = append(roots, v)
 			}

@@ -1,51 +1,53 @@
 package graph
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/pagevec"
+)
 
 // Dynamic overlays extra edges on an immutable Graph, supporting the
 // graph-structure updates of Section IV-C without rebuilding the CSR
 // representation. It satisfies the adjacency interface the label
 // package's incremental update routines traverse.
+//
+// The per-vertex overlay arc lists live in paged copy-on-write vectors
+// (see internal/pagevec), so Clone copies only the page tables —
+// O(|V|/PageSize) — and an AddEdge pays for the pages it touches, never
+// for the graph size.
 type Dynamic struct {
 	base     *Graph
-	extraOut map[Vertex][]Arc
-	extraIn  map[Vertex][]Arc
+	extraOut *pagevec.Vec[[]Arc]
+	extraIn  *pagevec.Vec[[]Arc]
 	extra    int
 }
 
 // NewDynamic wraps g.
 func NewDynamic(g *Graph) *Dynamic {
+	n := g.NumVertices()
 	return &Dynamic{
 		base:     g,
-		extraOut: make(map[Vertex][]Arc),
-		extraIn:  make(map[Vertex][]Arc),
+		extraOut: pagevec.New[[]Arc](n),
+		extraIn:  pagevec.New[[]Arc](n),
 	}
 }
 
 // Base returns the wrapped immutable graph.
 func (d *Dynamic) Base() *Graph { return d.base }
 
-// Clone returns an overlay that shares d's arc slices but owns its own
-// adjacency maps, so AddEdge on the clone never changes what d's Out/In
-// return. Together with the fact that AddEdge only ever appends — it
-// never rewrites an existing slice element — a chain of clones forms a
-// copy-on-write history: snapshot N keeps reading its frozen overlay
-// while snapshot N+1 is built from a clone. Cost is O(#touched
-// vertices), independent of |V| and of the base graph size.
+// Clone returns an overlay that shares d's pages and arc slices until a
+// mutation touches them: AddEdge replaces whole arc lists in
+// copy-on-write pages, so a chain of clones forms a persistent history —
+// snapshot N keeps reading its frozen overlay while snapshot N+1 is
+// built from a clone. Cost is O(|V|/PageSize) page-table copies,
+// independent of how many vertices the overlay has touched.
 func (d *Dynamic) Clone() *Dynamic {
-	c := &Dynamic{
+	return &Dynamic{
 		base:     d.base,
-		extraOut: make(map[Vertex][]Arc, len(d.extraOut)),
-		extraIn:  make(map[Vertex][]Arc, len(d.extraIn)),
+		extraOut: d.extraOut.Clone(),
+		extraIn:  d.extraIn.Clone(),
 		extra:    d.extra,
 	}
-	for v, arcs := range d.extraOut {
-		c.extraOut[v] = arcs[:len(arcs):len(arcs)]
-	}
-	for v, arcs := range d.extraIn {
-		c.extraIn[v] = arcs[:len(arcs):len(arcs)]
-	}
-	return c
 }
 
 // NumVertices returns |V|.
@@ -53,6 +55,26 @@ func (d *Dynamic) NumVertices() int { return d.base.NumVertices() }
 
 // NumExtraEdges returns the number of overlay arcs.
 func (d *Dynamic) NumExtraEdges() int { return d.extra }
+
+// CopyStats reports the cumulative copy-on-write work this overlay
+// performed (pages copied and bytes moved) since it was created; the
+// snapshot updater folds it into the apply metrics.
+func (d *Dynamic) CopyStats() (pages, bytes uint64) {
+	po, bo := d.extraOut.CopyStats()
+	pi, bi := d.extraIn.CopyStats()
+	return po + pi, bo + bi
+}
+
+// appendArc replaces vec[v] with a freshly allocated list carrying one
+// more arc. Mutations never write a shared backing array, so clones of
+// any earlier epoch keep reading their own lists.
+func appendArc(vec *pagevec.Vec[[]Arc], v Vertex, a Arc) {
+	old := vec.Get(int(v))
+	fresh := make([]Arc, len(old)+1)
+	copy(fresh, old)
+	fresh[len(old)] = a
+	vec.Set(int(v), fresh)
+}
 
 // AddEdge inserts the arc (u, v, w) into the overlay. For undirected
 // base graphs the reverse arc is inserted as well. Lowering the weight
@@ -65,12 +87,12 @@ func (d *Dynamic) AddEdge(u, v Vertex, w Weight) error {
 	if w < 0 || w != w {
 		return fmt.Errorf("graph: invalid weight %v", w)
 	}
-	d.extraOut[u] = append(d.extraOut[u], Arc{To: v, W: w})
-	d.extraIn[v] = append(d.extraIn[v], Arc{To: u, W: w})
+	appendArc(d.extraOut, u, Arc{To: v, W: w})
+	appendArc(d.extraIn, v, Arc{To: u, W: w})
 	d.extra++
 	if !d.base.Directed() && u != v {
-		d.extraOut[v] = append(d.extraOut[v], Arc{To: u, W: w})
-		d.extraIn[u] = append(d.extraIn[u], Arc{To: v, W: w})
+		appendArc(d.extraOut, v, Arc{To: u, W: w})
+		appendArc(d.extraIn, u, Arc{To: v, W: w})
 		d.extra++
 	}
 	return nil
@@ -80,7 +102,7 @@ func (d *Dynamic) AddEdge(u, v Vertex, w Weight) error {
 // for v the result is freshly allocated.
 func (d *Dynamic) Out(v Vertex) []Arc {
 	base := d.base.Out(v)
-	extra := d.extraOut[v]
+	extra := d.extraOut.Get(int(v))
 	if len(extra) == 0 {
 		return base
 	}
@@ -92,7 +114,7 @@ func (d *Dynamic) Out(v Vertex) []Arc {
 // In returns the combined incoming arcs of v.
 func (d *Dynamic) In(v Vertex) []Arc {
 	base := d.base.In(v)
-	extra := d.extraIn[v]
+	extra := d.extraIn.Get(int(v))
 	if len(extra) == 0 {
 		return base
 	}
@@ -111,11 +133,12 @@ func (d *Dynamic) Rebuild() (*Graph, error) {
 		b.AddEdge(e.From, e.To, e.W)
 		return true
 	})
-	for u, arcs := range d.extraOut {
+	d.extraOut.Range(func(u int, arcs []Arc) bool {
 		for _, a := range arcs {
-			b.AddEdge(u, a.To, a.W)
+			b.AddEdge(Vertex(u), a.To, a.W)
 		}
-	}
+		return true
+	})
 	for v := 0; v < g.NumVertices(); v++ {
 		for _, c := range g.Categories(Vertex(v)) {
 			b.AddCategory(Vertex(v), c)

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/label"
+	"repro/internal/pagevec"
 	"repro/internal/pq"
 )
 
@@ -32,15 +33,30 @@ type Neighbor struct {
 	D graph.Weight
 }
 
+// ilVec holds one category's inverted label lists, indexed by hub
+// vertex: slot hub lists the vertices of the category that carry hub in
+// their Lin label, sorted ascending by distance from the hub. The paged
+// layout (internal/pagevec) is what makes cloning an epoch cheap: a
+// clone copies only the page table, and a mutation pays for the header
+// pages it touches.
+type ilVec = pagevec.Vec[[]Entry]
+
 // Index is the inverted label index over all categories of a graph.
 type Index struct {
 	lab *label.Index
-	// cats[c][hub] lists the vertices of category c that carry hub in
-	// their Lin label, sorted ascending by distance from the hub.
-	cats []map[graph.Vertex][]Entry
-	// shared[c] marks that cats[c] is still the parent's map after a
-	// Clone: the first mutation of category c copies the map (hub→list
-	// headers only) before writing. nil means every map is owned (the
+	// cats[c] is category c's inverted label vector (nil when the
+	// category has never had entries, or when it is sparse-backed).
+	cats []*ilVec
+	// sparse[c] is a map-backed IL for categories loaded per query from
+	// the disk store (FromParts): those indexes live for one query and
+	// are never cloned, so paying a page materialization per touched
+	// hub page would be pure overhead. nil (or a nil entry) means the
+	// category is vector-backed; a mutation converts sparse → vector
+	// first (see mutableIL).
+	sparse []map[graph.Vertex][]Entry
+	// shared[c] marks that cats[c] is still an ancestor's vector after a
+	// Clone: the first mutation of category c clones the vector (page
+	// table only) before writing. nil means every vector is owned (the
 	// index was built, not cloned). Entry lists are never written in
 	// place by any mutation — see mutableIL — so they are always safe
 	// to share across clones.
@@ -59,7 +75,7 @@ func Build(g *graph.Graph, lab *label.Index) *Index {
 	nc := g.NumCategories()
 	ix := &Index{
 		lab:  lab,
-		cats: make([]map[graph.Vertex][]Entry, nc),
+		cats: make([]*ilVec, nc),
 	}
 	if nc == 0 {
 		return ix
@@ -146,6 +162,7 @@ func Build(g *graph.Graph, lab *label.Index) *Index {
 					}
 				}
 				partial[c] = nil // release the chunk maps as categories merge
+				vec := pagevec.New[[]Entry](lab.NumVertices())
 				for hub := range il {
 					list := il[hub]
 					sort.Slice(list, func(i, j int) bool {
@@ -154,8 +171,9 @@ func Build(g *graph.Graph, lab *label.Index) *Index {
 						}
 						return list[i].V < list[j].V
 					})
+					vec.Set(int(hub), list)
 				}
-				ix.cats[c] = il
+				ix.cats[c] = vec
 			}
 		}()
 	}
@@ -168,10 +186,18 @@ func Build(g *graph.Graph, lab *label.Index) *Index {
 // sorted by distance, as produced by Build. The disk-resident store uses
 // this to materialize only the categories a query visits.
 func FromParts(lab *label.Index, numCats int, loaded map[graph.Category]map[graph.Vertex][]Entry) *Index {
-	ix := &Index{lab: lab, cats: make([]map[graph.Vertex][]Entry, numCats)}
+	// The loaded maps are stored as-is (sparse-backed categories): a
+	// disk-resident store assembles one of these per query, so the
+	// conversion must be free — paging only pays off for the long-lived,
+	// clone-per-epoch indexes Build produces.
+	ix := &Index{
+		lab:    lab,
+		cats:   make([]*ilVec, numCats),
+		sparse: make([]map[graph.Vertex][]Entry, numCats),
+	}
 	for c, il := range loaded {
 		if int(c) >= 0 && int(c) < numCats {
-			ix.cats[c] = il
+			ix.sparse[c] = il
 		}
 	}
 	return ix
@@ -179,35 +205,73 @@ func FromParts(lab *label.Index, numCats int, loaded map[graph.Category]map[grap
 
 // Clone returns a copy-on-write clone backed by lab (the label index of
 // the new snapshot — pass ix.Labels() when the labels did not change).
-// The per-category map headers are copied; the maps themselves and every
-// entry list stay shared until a mutation touches them, so cloning costs
-// O(|S|), not O(|V|·|C|). All mutating methods (AddVertexCategory,
-// RemoveVertexCategory, Refresh) copy the touched category's map once
-// per clone and replace entry lists wholesale, so the original index —
+// The per-category vector pointers are copied; the vectors themselves
+// and every entry list stay shared until a mutation touches them, so
+// cloning costs O(|S|), not O(|V|·|C|). All mutating methods
+// (AddVertexCategory, RemoveVertexCategory, Refresh) clone the touched
+// category's vector once per epoch — a page-table copy — then replace
+// entry lists wholesale in copied pages, so the original index —
 // typically pinned by a published snapshot's in-flight queries — is
 // never written.
 func (ix *Index) Clone(lab *label.Index) *Index {
 	c := &Index{
 		lab:    lab,
-		cats:   make([]map[graph.Vertex][]Entry, len(ix.cats)),
+		cats:   make([]*ilVec, len(ix.cats)),
 		shared: make([]bool, len(ix.cats)),
 	}
 	copy(c.cats, ix.cats)
 	for i := range c.shared {
 		c.shared[i] = c.cats[i] != nil
 	}
+	if ix.sparse != nil {
+		// Sparse-backed categories stay shared maps; the first mutation
+		// through the clone converts them to an owned vector.
+		c.sparse = make([]map[graph.Vertex][]Entry, len(ix.sparse))
+		copy(c.sparse, ix.sparse)
+	}
 	return c
 }
 
-// mutableIL returns a map for category c that this index owns and may
-// add/replace hub lists in. It copies a map still shared with a clone
-// parent (hub→list headers only) and allocates missing maps. Callers
-// must replace entry lists wholesale (never write list elements in
-// place): shared lists may be concurrently read through older clones.
-func (ix *Index) mutableIL(c graph.Category) map[graph.Vertex][]Entry {
+// CopyStats reports the cumulative copy-on-write work this index
+// performed since it was created or cloned: pages copied and bytes
+// moved by the category vectors it owns (vectors still shared with an
+// ancestor were never written and contribute nothing).
+func (ix *Index) CopyStats() (pages, bytes uint64) {
+	for c, il := range ix.cats {
+		if il == nil || (ix.shared != nil && ix.shared[c]) {
+			continue
+		}
+		p, b := il.CopyStats()
+		pages += p
+		bytes += b
+	}
+	return pages, bytes
+}
+
+// mutableIL returns category c's vector, owned by this index so hub
+// lists may be added or replaced. It clones a vector still shared with
+// a clone ancestor (page-table copy only) and allocates missing ones.
+// Callers must replace entry lists wholesale (never write list elements
+// in place): shared lists may be concurrently read through older
+// clones.
+func (ix *Index) mutableIL(c graph.Category) *ilVec {
+	if ix.sparse != nil && int(c) < len(ix.sparse) && ix.sparse[c] != nil {
+		// A sparse-backed (disk-loaded) category is being mutated:
+		// materialize it into an owned vector once.
+		il := pagevec.New[[]Entry](ix.lab.NumVertices())
+		for hub, list := range ix.sparse[c] {
+			il.Set(int(hub), list)
+		}
+		ix.sparse[c] = nil
+		ix.cats[c] = il
+		if ix.shared != nil {
+			ix.shared[c] = false
+		}
+		return il
+	}
 	il := ix.cats[c]
 	if il == nil {
-		il = make(map[graph.Vertex][]Entry)
+		il = pagevec.New[[]Entry](ix.lab.NumVertices())
 		ix.cats[c] = il
 		if ix.shared != nil {
 			ix.shared[c] = false
@@ -215,13 +279,9 @@ func (ix *Index) mutableIL(c graph.Category) map[graph.Vertex][]Entry {
 		return il
 	}
 	if ix.shared != nil && ix.shared[c] {
-		owned := make(map[graph.Vertex][]Entry, len(il))
-		for hub, list := range il {
-			owned[hub] = list
-		}
-		ix.cats[c] = owned
+		il = il.Clone()
+		ix.cats[c] = il
 		ix.shared[c] = false
-		return owned
 	}
 	return il
 }
@@ -238,7 +298,24 @@ func (ix *Index) IL(c graph.Category, hub graph.Vertex) []Entry {
 	if int(c) < 0 || int(c) >= len(ix.cats) {
 		return nil
 	}
-	return ix.cats[c][hub]
+	if ix.sparse != nil && int(c) < len(ix.sparse) && ix.sparse[c] != nil {
+		return ix.sparse[c][hub]
+	}
+	if ix.cats[c] == nil {
+		return nil
+	}
+	return ix.cats[c].Get(int(hub))
+}
+
+// hasIL reports whether category c has any IL backing at all.
+func (ix *Index) hasIL(c graph.Category) bool {
+	if int(c) < 0 || int(c) >= len(ix.cats) {
+		return false
+	}
+	if ix.cats[c] != nil {
+		return true
+	}
+	return ix.sparse != nil && int(c) < len(ix.sparse) && ix.sparse[c] != nil
 }
 
 // AddVertexCategory registers that category c was added to F(v)
@@ -253,6 +330,9 @@ func (ix *Index) AddVertexCategory(v graph.Vertex, c graph.Category) {
 		if ix.shared != nil {
 			ix.shared = append(ix.shared, false)
 		}
+		if ix.sparse != nil {
+			ix.sparse = append(ix.sparse, nil)
+		}
 	}
 	il := ix.mutableIL(c)
 	for _, e := range ix.lab.In(v) {
@@ -262,7 +342,7 @@ func (ix *Index) AddVertexCategory(v graph.Vertex, c graph.Category) {
 
 // RemoveVertexCategory undoes AddVertexCategory (Section IV-C).
 func (ix *Index) RemoveVertexCategory(v graph.Vertex, c graph.Category) {
-	if int(c) < 0 || int(c) >= len(ix.cats) || ix.cats[c] == nil {
+	if !ix.hasIL(c) {
 		return
 	}
 	il := ix.mutableIL(c)
@@ -281,7 +361,7 @@ func (ix *Index) RemoveVertexCategory(v graph.Vertex, c graph.Category) {
 func (ix *Index) Refresh(cats func(graph.Vertex) []graph.Category, updates []label.LinUpdate) {
 	for _, u := range updates {
 		for _, c := range cats(u.V) {
-			if int(c) < 0 || int(c) >= len(ix.cats) || ix.cats[c] == nil {
+			if !ix.hasIL(c) {
 				continue
 			}
 			il := ix.mutableIL(c)
@@ -295,8 +375,8 @@ func (ix *Index) Refresh(cats func(graph.Vertex) []graph.Category, updates []lab
 
 // removeEntry deletes (v, d) from the hub's list. The shrunken list is
 // freshly allocated — mutations never write a shared backing array.
-func removeEntry(il map[graph.Vertex][]Entry, hub, v graph.Vertex, d graph.Weight) {
-	list := il[hub]
+func removeEntry(il *ilVec, hub, v graph.Vertex, d graph.Weight) {
+	list := il.Get(int(hub))
 	pos := sort.Search(len(list), func(i int) bool {
 		if list[i].D != d {
 			return list[i].D > d
@@ -305,20 +385,20 @@ func removeEntry(il map[graph.Vertex][]Entry, hub, v graph.Vertex, d graph.Weigh
 	})
 	if pos < len(list) && list[pos].V == v && list[pos].D == d {
 		if len(list) == 1 {
-			delete(il, hub)
+			il.Set(int(hub), nil)
 			return
 		}
 		fresh := make([]Entry, len(list)-1)
 		copy(fresh, list[:pos])
 		copy(fresh[pos:], list[pos+1:])
-		il[hub] = fresh
+		il.Set(int(hub), fresh)
 	}
 }
 
 // insertEntry inserts (v, d) into the hub's list in (distance, vertex)
 // order, skipping exact duplicates. The grown list is freshly allocated.
-func insertEntry(il map[graph.Vertex][]Entry, hub, v graph.Vertex, d graph.Weight) {
-	list := il[hub]
+func insertEntry(il *ilVec, hub, v graph.Vertex, d graph.Weight) {
+	list := il.Get(int(hub))
 	pos := sort.Search(len(list), func(i int) bool {
 		if list[i].D != d {
 			return list[i].D > d
@@ -332,7 +412,7 @@ func insertEntry(il map[graph.Vertex][]Entry, hub, v graph.Vertex, d graph.Weigh
 	copy(fresh, list[:pos])
 	fresh[pos] = Entry{V: v, D: d}
 	copy(fresh[pos+1:], list[pos:])
-	il[hub] = fresh
+	il.Set(int(hub), fresh)
 }
 
 // Stats summarizes the inverted index (Table IX, lower half).
@@ -351,11 +431,24 @@ func (ix *Index) Stats() Stats {
 	var st Stats
 	st.Categories = len(ix.cats)
 	var lists int64
-	for _, il := range ix.cats {
-		for _, list := range il {
-			lists++
-			st.Entries += int64(len(list))
+	for c, il := range ix.cats {
+		if ix.sparse != nil && c < len(ix.sparse) && ix.sparse[c] != nil {
+			for _, list := range ix.sparse[c] {
+				lists++
+				st.Entries += int64(len(list))
+			}
+			continue
 		}
+		if il == nil {
+			continue
+		}
+		il.Range(func(_ int, list []Entry) bool {
+			if len(list) > 0 {
+				lists++
+				st.Entries += int64(len(list))
+			}
+			return true
+		})
 	}
 	if st.Categories > 0 {
 		st.AvgPerCategory = float64(st.Entries) / float64(st.Categories)
@@ -476,10 +569,10 @@ func (ix *Index) NewNNIterator(v graph.Vertex, cat graph.Category) *NNIterator {
 	}
 }
 
-// Reset retargets a used iterator at (v, cat), keeping every backing
-// buffer (NL, probing set, candidate heap, position array) so recycled
-// iterators run allocation-free. The iterator must belong to the same
-// index it was created on.
+// Reset retargets a used iterator at (v, cat) on the index it is
+// currently bound to, keeping every backing buffer (NL, probing set,
+// candidate heap, position array) so recycled iterators run
+// allocation-free. Use ResetOn to retarget across indexes.
 func (it *NNIterator) Reset(v graph.Vertex, cat graph.Category) {
 	it.v, it.cat = v, cat
 	it.nl = it.nl[:0]
@@ -489,6 +582,33 @@ func (it *NNIterator) Reset(v graph.Vertex, cat graph.Category) {
 	it.lists = it.lists[:0]
 	it.pos = it.pos[:0]
 	it.primed = false
+}
+
+// ResetOn retargets a used iterator at (v, cat) on ix — possibly a
+// different index than the one it was created on, such as the next
+// copy-on-write epoch of the same system. Every buffer is content-free
+// after the reset and prime() re-reads all index state, so rebinding is
+// safe; it is what lets query scratches carry their iterator free lists
+// across snapshot publications instead of reallocating them after every
+// update.
+func (it *NNIterator) ResetOn(ix *Index, v graph.Vertex, cat graph.Category) {
+	it.ix = ix
+	it.Reset(v, cat)
+}
+
+// Unbind drops every index reference an idle iterator retains (the
+// index pointer, the Lout view, and the per-hub list views hiding in
+// the recycled buffer's spare capacity), so a free-listed iterator
+// handed to a later epoch does not pin the superseded index alive. The
+// buffers stay allocated; ResetOn must run before the next use.
+func (it *NNIterator) Unbind() {
+	it.ix = nil
+	it.out = nil
+	it.lists = it.lists[:cap(it.lists)]
+	for i := range it.lists {
+		it.lists[i] = nil
+	}
+	it.lists = it.lists[:0]
 }
 
 // Found returns the number of neighbours materialized in NL so far.
@@ -522,13 +642,22 @@ func (it *NNIterator) Get(x int) (Neighbor, bool) {
 
 func (it *NNIterator) prime() {
 	it.primed = true
-	if int(it.cat) < 0 || int(it.cat) >= len(it.ix.cats) {
+	if !it.ix.hasIL(it.cat) {
 		return
 	}
-	il := it.ix.cats[it.cat]
+	vec := it.ix.cats[it.cat] // nil when the category is sparse-backed
+	var m map[graph.Vertex][]Entry
+	if vec == nil {
+		m = it.ix.sparse[it.cat]
+	}
 	it.out = it.ix.lab.Out(it.v)
 	for i, e := range it.out {
-		list := il[e.Hub]
+		var list []Entry
+		if vec != nil {
+			list = vec.Get(int(e.Hub))
+		} else {
+			list = m[e.Hub]
+		}
 		it.lists = append(it.lists, list)
 		if len(list) == 0 {
 			it.pos = append(it.pos, 0)

@@ -83,10 +83,10 @@ func (ix *Index) WriteCompressed(w io.Writer) (int64, error) {
 		return nil
 	}
 	for v := 0; v < ix.n; v++ {
-		if err := writeList(ix.in[v]); err != nil {
+		if err := writeList(ix.In(graph.Vertex(v))); err != nil {
 			return written, err
 		}
-		if err := writeList(ix.out[v]); err != nil {
+		if err := writeList(ix.Out(graph.Vertex(v))); err != nil {
 			return written, err
 		}
 	}
@@ -111,12 +111,7 @@ func ReadCompressed(r io.Reader) (*Index, error) {
 		return nil, fmt.Errorf("label: implausible vertex count %d", n64)
 	}
 	n := int(n64)
-	ix := &Index{
-		n:    n,
-		in:   make([][]Entry, n),
-		out:  make([][]Entry, n),
-		rank: make([]int32, n),
-	}
+	ix := newIndexShell(n)
 	// rank → vertex mapping to restore hub ids from rank deltas.
 	byRank := make([]graph.Vertex, n)
 	seen := make([]bool, n)
@@ -183,12 +178,15 @@ func ReadCompressed(r io.Reader) (*Index, error) {
 		return list, nil
 	}
 	for v := 0; v < n; v++ {
-		if ix.in[v], err = readList(); err != nil {
+		var list []Entry
+		if list, err = readList(); err != nil {
 			return nil, err
 		}
-		if ix.out[v], err = readList(); err != nil {
+		ix.in.Set(v, list)
+		if list, err = readList(); err != nil {
 			return nil, err
 		}
+		ix.out.Set(v, list)
 	}
 	return ix, nil
 }

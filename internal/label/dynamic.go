@@ -41,12 +41,12 @@ func (ix *Index) InsertEdge(adj Adjacency, a, b graph.Vertex, w graph.Weight) []
 	var updates []LinUpdate
 	// Hubs that reach a may now reach further through b: resume their
 	// forward searches seeded at b.
-	for _, e := range ix.in[a] {
+	for _, e := range ix.In(a) {
 		updates = ix.resume(adj, e.Hub, b, a, e.D+w, false, updates)
 	}
 	// Hubs reached from b may now be reached from a's side: resume
 	// their backward searches seeded at a.
-	for _, e := range ix.out[b] {
+	for _, e := range ix.Out(b) {
 		ix.resume(adj, e.Hub, a, b, e.D+w, true, nil)
 	}
 	return updates
@@ -109,8 +109,9 @@ func (ix *Index) resume(adj Adjacency, root, start, via graph.Vertex, d0 graph.W
 // list, keeping the list rank-ordered.
 //
 // The modified list is always freshly allocated — the previous backing
-// array is never written. Combined with Clone (which copies only the
-// per-vertex list headers), this makes updates copy-on-write: an index
+// array is never written — and the header write goes through the paged
+// vector, which copies the touched page when it is still shared with an
+// earlier epoch. This makes updates copy-on-write end to end: an index
 // cloned from a snapshot can absorb InsertEdge while queries keep
 // reading the original's lists concurrently, without locks.
 func (ix *Index) upsert(v, hub graph.Vertex, d graph.Weight, next graph.Vertex, reverse bool) LinUpdate {
@@ -118,7 +119,7 @@ func (ix *Index) upsert(v, hub graph.Vertex, d graph.Weight, next graph.Vertex, 
 	if reverse {
 		lists = ix.out
 	}
-	list := lists[v]
+	list := lists.Get(int(v))
 	r := ix.rank[hub]
 	pos := sort.Search(len(list), func(i int) bool { return list[i].R >= r })
 	upd := LinUpdate{V: v, Hub: hub, D: d}
@@ -129,30 +130,40 @@ func (ix *Index) upsert(v, hub graph.Vertex, d graph.Weight, next graph.Vertex, 
 		copy(fresh, list)
 		fresh[pos].D = d
 		fresh[pos].Next = next
-		lists[v] = fresh
+		lists.Set(int(v), fresh)
 		return upd
 	}
 	fresh := make([]Entry, len(list)+1)
 	copy(fresh, list[:pos])
 	fresh[pos] = Entry{Hub: hub, R: r, D: d, Next: next}
 	copy(fresh[pos+1:], list[pos:])
-	lists[v] = fresh
+	lists.Set(int(v), fresh)
 	return upd
 }
 
-// Clone returns a copy-on-write clone: the per-vertex list headers are
-// copied (O(|V|)), the entry lists themselves and the rank array are
-// shared. Every mutation made through InsertEdge replaces whole lists
-// (see upsert), so the original index — typically the one a published
-// snapshot's in-flight queries are still reading — is never written.
+// Clone returns a copy-on-write clone: only the page tables of the
+// per-vertex header vectors are copied — O(|V|/pagevec.PageSize) — and
+// the rank array is shared. Every mutation made through InsertEdge
+// replaces whole lists (see upsert) and pays for the header pages it
+// touches, so the original index — typically the one a published
+// snapshot's in-flight queries are still reading — is never written,
+// and an update costs its delta rather than O(|V|).
 func (ix *Index) Clone() *Index {
-	c := &Index{
+	return &Index{
 		n:    ix.n,
-		in:   make([][]Entry, len(ix.in)),
-		out:  make([][]Entry, len(ix.out)),
+		in:   ix.in.Clone(),
+		out:  ix.out.Clone(),
 		rank: ix.rank,
 	}
-	copy(c.in, ix.in)
-	copy(c.out, ix.out)
-	return c
+}
+
+// CopyStats reports the cumulative copy-on-write work this index
+// performed (header pages copied and bytes moved, including the
+// page-table copies of its own cloning) since it was created. The
+// snapshot updater reads it once per published epoch to account apply
+// cost.
+func (ix *Index) CopyStats() (pages, bytes uint64) {
+	pi, bi := ix.in.CopyStats()
+	po, bo := ix.out.CopyStats()
+	return pi + po, bi + bo
 }

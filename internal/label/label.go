@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/dijkstra"
 	"repro/internal/graph"
+	"repro/internal/pagevec"
 	"repro/internal/pq"
 )
 
@@ -48,11 +49,28 @@ type Entry struct {
 // one with Read. Label lists are stored in hub-rank order (the pruned
 // landmark ordering), which both distance queries and the inverted label
 // index rely on.
+//
+// The per-vertex list headers live in paged copy-on-write vectors
+// (internal/pagevec): Clone copies only the page tables, and the
+// incremental-update routines of dynamic.go copy only the pages they
+// touch, so publishing a new index epoch costs the update's delta, not
+// O(|V|).
 type Index struct {
 	n    int
-	in   [][]Entry
-	out  [][]Entry
+	in   *pagevec.Vec[[]Entry]
+	out  *pagevec.Vec[[]Entry]
 	rank []int32 // rank[v] = position of v in the landmark order
+}
+
+// newIndexShell returns an index with empty label vectors and an
+// all-zero rank array of n entries.
+func newIndexShell(n int) *Index {
+	return &Index{
+		n:    n,
+		in:   pagevec.New[[]Entry](n),
+		out:  pagevec.New[[]Entry](n),
+		rank: make([]int32, n),
+	}
 }
 
 // Order selects the landmark (hub) ordering heuristic. Ordering quality
@@ -117,13 +135,7 @@ func Build(g *graph.Graph) *Index {
 // result is byte-identical to the Workers=1 build.
 func BuildWithOptions(g *graph.Graph, opt BuildOptions) *Index {
 	order := landmarkOrder(g, opt)
-	n := g.NumVertices()
-	ix := &Index{
-		n:    n,
-		in:   make([][]Entry, n),
-		out:  make([][]Entry, n),
-		rank: make([]int32, n),
-	}
+	ix := newIndexShell(g.NumVertices())
 	for r, v := range order {
 		ix.rank[v] = int32(r)
 	}
@@ -364,7 +376,7 @@ func (b *builder) flush(reverse bool) {
 		lists = b.ix.out
 	}
 	for i, v := range b.bufV {
-		lists[v] = append(lists[v], b.bufE[i])
+		lists.Set(int(v), append(lists.Get(int(v)), b.bufE[i]))
 	}
 	b.bufV = b.bufV[:0]
 	b.bufE = b.bufE[:0]
@@ -375,13 +387,9 @@ func (b *builder) flush(reverse bool) {
 // ascending rank order, as produced by Build. The disk-resident store
 // (Section IV-C) uses this to materialize only the labels a query needs.
 func NewSparse(rank []int32) *Index {
-	n := len(rank)
-	return &Index{
-		n:    n,
-		in:   make([][]Entry, n),
-		out:  make([][]Entry, n),
-		rank: append([]int32(nil), rank...),
-	}
+	ix := newIndexShell(len(rank))
+	copy(ix.rank, rank)
+	return ix
 }
 
 // SetIn attaches Lin(v). The entries must be rank-ordered; their R fields
@@ -390,7 +398,7 @@ func (ix *Index) SetIn(v graph.Vertex, entries []Entry) {
 	for i := range entries {
 		entries[i].R = ix.rank[entries[i].Hub]
 	}
-	ix.in[v] = entries
+	ix.in.Set(int(v), entries)
 }
 
 // SetOut attaches Lout(v). The entries must be rank-ordered; their R
@@ -399,7 +407,7 @@ func (ix *Index) SetOut(v graph.Vertex, entries []Entry) {
 	for i := range entries {
 		entries[i].R = ix.rank[entries[i].Hub]
 	}
-	ix.out[v] = entries
+	ix.out.Set(int(v), entries)
 }
 
 // Ranks returns the landmark rank array (shared; do not modify).
@@ -409,10 +417,10 @@ func (ix *Index) Ranks() []int32 { return ix.rank }
 func (ix *Index) NumVertices() int { return ix.n }
 
 // In returns Lin(v). The slice is shared; do not modify.
-func (ix *Index) In(v graph.Vertex) []Entry { return ix.in[v] }
+func (ix *Index) In(v graph.Vertex) []Entry { return ix.in.Get(int(v)) }
 
 // Out returns Lout(v). The slice is shared; do not modify.
-func (ix *Index) Out(v graph.Vertex) []Entry { return ix.out[v] }
+func (ix *Index) Out(v graph.Vertex) []Entry { return ix.out.Get(int(v)) }
 
 // Rank returns the landmark rank of v (0 = highest priority hub).
 func (ix *Index) Rank(v graph.Vertex) int32 { return ix.rank[v] }
@@ -433,7 +441,7 @@ func (ix *Index) Dist(s, t graph.Vertex) graph.Weight {
 // shortcut would make the root prune itself.
 func (ix *Index) distMerge(s, t graph.Vertex) graph.Weight {
 	best := graph.Inf
-	ls, lt := ix.out[s], ix.in[t]
+	ls, lt := ix.out.Get(int(s)), ix.in.Get(int(t))
 	i, j := 0, 0
 	for i < len(ls) && j < len(lt) {
 		ri, rj := ls[i].R, lt[j].R
@@ -458,7 +466,7 @@ func (ix *Index) distMerge(s, t graph.Vertex) graph.Weight {
 func (ix *Index) BestHub(s, t graph.Vertex) (hub graph.Vertex, d graph.Weight, ok bool) {
 	best := graph.Inf
 	var bestHub graph.Vertex = -1
-	ls, lt := ix.out[s], ix.in[t]
+	ls, lt := ix.out.Get(int(s)), ix.in.Get(int(t))
 	i, j := 0, 0
 	for i < len(ls) && j < len(lt) {
 		ri, rj := ls[i].R, lt[j].R
@@ -511,7 +519,7 @@ func (ix *Index) Path(s, t graph.Vertex) []graph.Vertex {
 	}
 	path := []graph.Vertex{s}
 	for cur := s; cur != hub; {
-		e, ok := ix.lookup(ix.out[cur], hub)
+		e, ok := ix.lookup(ix.Out(cur), hub)
 		if !ok || e.Next < 0 {
 			return nil // index corrupted
 		}
@@ -520,7 +528,7 @@ func (ix *Index) Path(s, t graph.Vertex) []graph.Vertex {
 	}
 	var back []graph.Vertex
 	for cur := t; cur != hub; {
-		e, ok := ix.lookup(ix.in[cur], hub)
+		e, ok := ix.lookup(ix.In(cur), hub)
 		if !ok || e.Next < 0 {
 			return nil // index corrupted
 		}
@@ -547,10 +555,8 @@ func (ix *Index) Stats() Stats {
 	var st Stats
 	st.Vertices = ix.n
 	var in, out int64
-	for v := 0; v < ix.n; v++ {
-		in += int64(len(ix.in[v]))
-		out += int64(len(ix.out[v]))
-	}
+	ix.in.Range(func(_ int, list []Entry) bool { in += int64(len(list)); return true })
+	ix.out.Range(func(_ int, list []Entry) bool { out += int64(len(list)); return true })
 	st.Entries = in + out
 	if ix.n > 0 {
 		st.AvgIn = float64(in) / float64(ix.n)

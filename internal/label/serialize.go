@@ -60,10 +60,10 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 		return nil
 	}
 	for v := 0; v < ix.n; v++ {
-		if err := writeList(ix.in[v]); err != nil {
+		if err := writeList(ix.In(graph.Vertex(v))); err != nil {
 			return n, err
 		}
-		if err := writeList(ix.out[v]); err != nil {
+		if err := writeList(ix.Out(graph.Vertex(v))); err != nil {
 			return n, err
 		}
 	}
@@ -89,12 +89,7 @@ func Read(r io.Reader) (*Index, error) {
 	if n < 0 || n > 1<<28 {
 		return nil, fmt.Errorf("label: implausible vertex count %d", n)
 	}
-	ix := &Index{
-		n:    n,
-		in:   make([][]Entry, n),
-		out:  make([][]Entry, n),
-		rank: make([]int32, n),
-	}
+	ix := newIndexShell(n)
 	seen := make([]bool, n)
 	for v := 0; v < n; v++ {
 		var r uint32
@@ -137,13 +132,15 @@ func Read(r io.Reader) (*Index, error) {
 		return list, nil
 	}
 	for v := 0; v < n; v++ {
-		var err error
-		if ix.in[v], err = readList(); err != nil {
+		list, err := readList()
+		if err != nil {
 			return nil, err
 		}
-		if ix.out[v], err = readList(); err != nil {
+		ix.in.Set(v, list)
+		if list, err = readList(); err != nil {
 			return nil, err
 		}
+		ix.out.Set(v, list)
 	}
 	return ix, nil
 }

@@ -1,0 +1,139 @@
+// Package pagevec implements a fixed-length, chunked vector with
+// copy-on-write structural sharing: the elements live in fixed-size
+// pages behind a page table, and Clone copies only the page table —
+// O(n/PageSize) — leaving every page shared until a Set touches it.
+//
+// It is the storage layer under the system's epoch-versioned indexes
+// (the per-vertex label-list headers of label.Index, the per-category
+// inverted lists of invindex.Index, the edge overlays of graph.Dynamic):
+// publishing a new index epoch clones these vectors instead of copying
+// O(|V|) header arrays, so a dynamic update costs its delta — the pages
+// it touches — not the graph size.
+//
+// Concurrency contract: a Vec is written by at most one goroutine (the
+// serialized index updater). Readers of a vector never observe writes
+// made through any of its clones, because Set never writes a shared
+// page in place — it copies the page first. Cloning an actively-read
+// vector is safe: Get touches only the page table and the pages, and
+// Clone replaces neither.
+package pagevec
+
+import "unsafe"
+
+const (
+	pageBits = 10
+	// PageSize is the number of elements per page. 1024 list headers
+	// keep the page table ~1000× smaller than the element space while a
+	// page copy stays small enough (24 KiB for slice headers) that
+	// updates with locality touch only a few.
+	PageSize = 1 << pageBits
+	pageMask = PageSize - 1
+)
+
+// Vec is a paged vector of n elements. The zero Vec is empty; build one
+// with New. Elements of pages never materialized read as the zero T.
+type Vec[T any] struct {
+	n     int
+	pages [][]T
+	// owned[p] marks that this Vec may write page p in place. Clone
+	// clears ownership on both sides, so the first Set through either
+	// vector copies the touched page.
+	owned []bool
+
+	// copiedPages/copiedBytes account the COW work this Vec performed
+	// since it was created (page materializations and copies, plus the
+	// page-table copy of its own birth when it was born by Clone); the
+	// updater sums them per epoch into the apply metrics.
+	copiedPages uint64
+	copiedBytes uint64
+}
+
+// New returns a zero-filled vector of n elements. Only the page table
+// is allocated; pages materialize on first write.
+func New[T any](n int) *Vec[T] {
+	np := (n + PageSize - 1) / PageSize
+	return &Vec[T]{n: n, pages: make([][]T, np), owned: make([]bool, np)}
+}
+
+// Len returns the number of elements.
+func (v *Vec[T]) Len() int { return v.n }
+
+// Get returns element i. Indices must be in [0, Len()); the page-table
+// bound is the only check performed.
+func (v *Vec[T]) Get(i int) T {
+	p := v.pages[i>>pageBits]
+	if p == nil {
+		var zero T
+		return zero
+	}
+	return p[i&pageMask]
+}
+
+// Set stores x at index i, materializing the page when absent and
+// copying it first when it is still shared with a clone.
+func (v *Vec[T]) Set(i int, x T) {
+	pi := i >> pageBits
+	if !v.owned[pi] {
+		v.materialize(pi)
+	}
+	v.pages[pi][i&pageMask] = x
+}
+
+// materialize gives the Vec an owned copy of page pi.
+func (v *Vec[T]) materialize(pi int) {
+	var elem T
+	fresh := make([]T, PageSize)
+	copy(fresh, v.pages[pi]) // no-op for a never-written page
+	v.pages[pi] = fresh
+	v.owned[pi] = true
+	v.copiedPages++
+	v.copiedBytes += PageSize * uint64(unsafe.Sizeof(elem))
+}
+
+// Clone returns a structurally-shared copy: only the page table and the
+// ownership bits are duplicated — O(Len()/PageSize) — and every page
+// becomes shared by both vectors. Ownership is cleared on the parent
+// too, so whichever side mutates a page first pays for its copy; the
+// other side keeps reading the original. Clone must be called by the
+// (single) writer, but concurrent readers of the parent are safe.
+func (v *Vec[T]) Clone() *Vec[T] {
+	c := &Vec[T]{
+		n:     v.n,
+		pages: append([][]T(nil), v.pages...),
+		owned: make([]bool, len(v.pages)),
+	}
+	clear(v.owned)
+	// The page-table copy is the fixed cost of a clone; account it so
+	// apply_bytes reflects everything an epoch publication copied.
+	c.copiedBytes = uint64(len(v.pages)) * uint64(unsafe.Sizeof([]T(nil)))
+	return c
+}
+
+// Range calls f for every element of every materialized page, in
+// ascending index order, until f returns false. Pages never written
+// through this Vec or any ancestor are skipped wholesale, so iterating
+// a sparse overlay costs O(touched pages), not O(Len()).
+func (v *Vec[T]) Range(f func(i int, x T) bool) {
+	for pi, p := range v.pages {
+		if p == nil {
+			continue
+		}
+		base := pi << pageBits
+		limit := v.n - base
+		if limit > PageSize {
+			limit = PageSize
+		}
+		for j := 0; j < limit; j++ {
+			if !f(base+j, p[j]) {
+				return
+			}
+		}
+	}
+}
+
+// CopyStats reports the cumulative COW work performed through this Vec:
+// pages materialized or copied, and the bytes those copies (plus this
+// Vec's own page-table copy, when it was born by Clone) moved.
+func (v *Vec[T]) CopyStats() (pages, bytes uint64) {
+	return v.copiedPages, v.copiedBytes
+}

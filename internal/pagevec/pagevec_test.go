@@ -1,0 +1,149 @@
+package pagevec
+
+import (
+	"testing"
+	"unsafe"
+)
+
+func TestGetSetZeroDefault(t *testing.T) {
+	v := New[int](PageSize*2 + 5)
+	if v.Len() != PageSize*2+5 {
+		t.Fatalf("Len=%d", v.Len())
+	}
+	for _, i := range []int{0, 1, PageSize - 1, PageSize, 2 * PageSize, v.Len() - 1} {
+		if got := v.Get(i); got != 0 {
+			t.Fatalf("Get(%d)=%d on fresh vec", i, got)
+		}
+	}
+	v.Set(3, 42)
+	v.Set(PageSize+1, 7)
+	v.Set(v.Len()-1, 9)
+	if v.Get(3) != 42 || v.Get(PageSize+1) != 7 || v.Get(v.Len()-1) != 9 {
+		t.Fatalf("reads after writes: %d %d %d", v.Get(3), v.Get(PageSize+1), v.Get(v.Len()-1))
+	}
+	if v.Get(4) != 0 || v.Get(PageSize) != 0 {
+		t.Fatal("untouched slots must stay zero")
+	}
+}
+
+// TestCloneIsolation is the core COW contract: mutations through a
+// clone are invisible to the parent, mutations through the parent after
+// a clone are invisible to the clone, and untouched pages stay shared.
+func TestCloneIsolation(t *testing.T) {
+	v := New[int](PageSize * 3)
+	for i := 0; i < v.Len(); i += 97 {
+		v.Set(i, i)
+	}
+	c := v.Clone()
+	c.Set(0, -1)            // clone writes a page the parent owns data in
+	v.Set(97, -2)           // parent writes a shared page post-clone
+	c.Set(2*PageSize+1, -3) // clone writes a page neither touched before
+	if v.Get(0) != 0 {
+		t.Fatalf("parent sees clone write: %d", v.Get(0))
+	}
+	if c.Get(97) != 97 {
+		t.Fatalf("clone sees parent post-clone write: %d", c.Get(97))
+	}
+	if v.Get(2*PageSize+1) != 0 {
+		t.Fatalf("parent sees clone write on fresh page: %d", v.Get(2*PageSize+1))
+	}
+	// Unwritten values still flow through the shared pages.
+	if c.Get(97*2) != 97*2 || v.Get(97*2) != 97*2 {
+		t.Fatal("shared page lost data")
+	}
+}
+
+// TestCloneChain walks a three-epoch chain, checking every epoch keeps
+// its own view — the snapshot-publication usage pattern.
+func TestCloneChain(t *testing.T) {
+	e1 := New[string](PageSize + 10)
+	e1.Set(5, "one")
+	e2 := e1.Clone()
+	e2.Set(5, "two")
+	e2.Set(PageSize+1, "two-tail")
+	e3 := e2.Clone()
+	e3.Set(5, "three")
+	if e1.Get(5) != "one" || e2.Get(5) != "two" || e3.Get(5) != "three" {
+		t.Fatalf("views: %q %q %q", e1.Get(5), e2.Get(5), e3.Get(5))
+	}
+	if e1.Get(PageSize+1) != "" || e2.Get(PageSize+1) != "two-tail" || e3.Get(PageSize+1) != "two-tail" {
+		t.Fatal("tail page views wrong")
+	}
+}
+
+func TestRangeSkipsUnmaterializedPages(t *testing.T) {
+	v := New[int](PageSize * 8)
+	v.Set(PageSize*3+7, 1)
+	v.Set(PageSize*6, 2)
+	var visited, nonzero int
+	v.Range(func(i, x int) bool {
+		visited++
+		if x != 0 {
+			nonzero++
+		}
+		return true
+	})
+	if visited != 2*PageSize {
+		t.Fatalf("visited %d elements, want exactly the 2 touched pages (%d)", visited, 2*PageSize)
+	}
+	if nonzero != 2 {
+		t.Fatalf("nonzero=%d", nonzero)
+	}
+	// Early stop.
+	visited = 0
+	v.Range(func(i, x int) bool { visited++; return false })
+	if visited != 1 {
+		t.Fatalf("early stop visited %d", visited)
+	}
+}
+
+func TestRangeShortLastPage(t *testing.T) {
+	v := New[int](PageSize + 3)
+	v.Set(PageSize+2, 9)
+	last := -1
+	v.Range(func(i, x int) bool { last = i; return true })
+	if last != PageSize+2 {
+		t.Fatalf("last visited index %d, want %d", last, PageSize+2)
+	}
+}
+
+// TestCloneCostIsPages pins the whole point: cloning copies O(pages)
+// page-table bytes, and a post-clone single-element write copies
+// exactly one page regardless of Len().
+func TestCloneCostIsPages(t *testing.T) {
+	v := New[int64](PageSize * 100)
+	for i := 0; i < v.Len(); i += PageSize / 2 {
+		v.Set(i, 1)
+	}
+	c := v.Clone()
+	_, tableBytes := c.CopyStats()
+	wantTable := uint64(100) * uint64(unsafe.Sizeof([]int64(nil)))
+	if tableBytes != wantTable {
+		t.Fatalf("clone bytes=%d, want page-table copy %d", tableBytes, wantTable)
+	}
+	c.Set(PageSize*50+3, 2)
+	pages, bytes := c.CopyStats()
+	if pages != 1 {
+		t.Fatalf("one write copied %d pages, want 1", pages)
+	}
+	if want := wantTable + PageSize*8; bytes != want {
+		t.Fatalf("bytes=%d, want %d", bytes, want)
+	}
+	// A second write to the same page is free.
+	c.Set(PageSize*50+4, 3)
+	if pages2, _ := c.CopyStats(); pages2 != 1 {
+		t.Fatalf("same-page write copied again: %d pages", pages2)
+	}
+}
+
+func TestEmptyVec(t *testing.T) {
+	v := New[int](0)
+	if v.Len() != 0 {
+		t.Fatal("Len")
+	}
+	v.Range(func(i, x int) bool { t.Fatal("range on empty"); return false })
+	c := v.Clone()
+	if c.Len() != 0 {
+		t.Fatal("clone Len")
+	}
+}

@@ -288,6 +288,28 @@ type HealthResponse struct {
 
 	// Result cache counters (absent when caching is disabled).
 	Cache *CacheHealth `json:"cache,omitempty"`
+
+	// Updates reports the cumulative cost of dynamic index updates.
+	Updates *UpdateHealth `json:"updates,omitempty"`
+}
+
+// UpdateHealth is the /health view of the dynamic-update cost counters
+// (kosr.ApplyStats): how many batches/mutations were applied, how much
+// copy-on-write page work they performed, and how many warm query
+// scratches carried across epoch publications. apply_bytes growing with
+// the update count — not with the graph size — is the operational
+// signature of the chunked copy-on-write index pages.
+type UpdateHealth struct {
+	Batches uint64 `json:"batches"`
+	Applied uint64 `json:"applied"`
+	// PagesCopied / ApplyBytes: copy-on-write pages and bytes the index
+	// clones copied across all applied batches (page-table copies
+	// included).
+	PagesCopied uint64 `json:"pages_copied"`
+	ApplyBytes  uint64 `json:"apply_bytes"`
+	// ScratchCarryover: pooled query scratches inherited by new epochs'
+	// providers, keeping post-update queries warm.
+	ScratchCarryover uint64 `json:"scratch_carryover"`
 }
 
 // CacheHealth is the /health view of the result cache.
@@ -316,6 +338,14 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		resp.AvgLin = st.AvgIn
 		resp.AvgLout = st.AvgOut
 		resp.IndexBytes = st.SizeBytes
+	}
+	ast := s.sys.ApplyStats()
+	resp.Updates = &UpdateHealth{
+		Batches:          ast.Batches,
+		Applied:          ast.Updates,
+		PagesCopied:      ast.PagesCopied,
+		ApplyBytes:       ast.ApplyBytes,
+		ScratchCarryover: ast.ScratchCarryover,
 	}
 	if s.cache != nil {
 		// Refresh the freshness watermark from the snapshot, so the

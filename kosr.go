@@ -44,6 +44,7 @@ import (
 	"fmt"
 	"io"
 	"iter"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -323,6 +324,14 @@ type Snapshot struct {
 	// on a snapshot that carries dynamic edges.
 	expandOnce  sync.Once
 	expandGraph *graph.Graph
+
+	// vertsCache memoizes VerticesOf per category (Category → []Vertex).
+	// The overlay merge scans the whole catAdd/catDel maps, so without
+	// the cache every no-source variant query would pay work
+	// proportional to the snapshot's entire update history; the
+	// snapshot is immutable once queried, so the first result per
+	// category is final.
+	vertsCache sync.Map
 }
 
 func newSnapshot(epoch uint64, g *Graph, lab *label.Index, inv *invindex.Index,
@@ -394,6 +403,62 @@ func containsCat(cs []Category, c Category) bool {
 	return false
 }
 
+// VerticesOf returns the vertices belonging to category c at this
+// epoch, ascending: the base graph's V_c minus dynamically removed
+// members, plus dynamically added ones. When no dynamic category change
+// touches c the base graph's list is returned as-is (shared; do not
+// modify). No-source variant queries seed their roots from this view,
+// so a category granted to a vertex at run time widens the variant root
+// set exactly like a native membership.
+func (sn *Snapshot) VerticesOf(c Category) []Vertex {
+	base := sn.Graph.VerticesOf(c)
+	if len(sn.catAdd) == 0 && len(sn.catDel) == 0 {
+		return base
+	}
+	if cached, ok := sn.vertsCache.Load(c); ok {
+		return cached.([]Vertex)
+	}
+	out := sn.mergeVerticesOf(c, base)
+	sn.vertsCache.Store(c, out)
+	return out
+}
+
+// mergeVerticesOf computes the overlay merge behind VerticesOf.
+func (sn *Snapshot) mergeVerticesOf(c Category, base []Vertex) []Vertex {
+	var add, del []Vertex
+	for v, cats := range sn.catAdd {
+		if containsCat(cats, c) {
+			add = append(add, v)
+		}
+	}
+	for v, cats := range sn.catDel {
+		if containsCat(cats, c) {
+			del = append(del, v)
+		}
+	}
+	if len(add) == 0 && len(del) == 0 {
+		return base
+	}
+	out := make([]Vertex, 0, len(base)+len(add))
+	for _, v := range base {
+		if !containsVertex(del, v) {
+			out = append(out, v)
+		}
+	}
+	out = append(out, add...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func containsVertex(vs []Vertex, v Vertex) bool {
+	for _, x := range vs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
 // System bundles a graph with the indexes needed to answer queries and
 // absorb dynamic updates under live traffic. Reads are wait-free: the
 // index lives in an immutable Snapshot published through an atomic
@@ -417,6 +482,48 @@ type System struct {
 	// current snapshot, applies its batch, and publishes. Queries never
 	// take it.
 	updateMu sync.Mutex
+
+	// Cumulative Apply cost counters (see ApplyStats). Written only by
+	// the serialized updater; read concurrently by /health.
+	applyBatches     atomic.Uint64
+	applyUpdates     atomic.Uint64
+	applyPagesCopied atomic.Uint64
+	applyBytes       atomic.Uint64
+	scratchCarryover atomic.Uint64
+}
+
+// ApplyStats reports the cumulative cost of every Apply since the
+// System was built. PagesCopied and ApplyBytes count the copy-on-write
+// work of the paged index vectors (label headers, inverted lists, edge
+// overlays — page copies plus the page-table copies of each epoch's
+// clones), which is the structural cost of publishing an epoch: with
+// chunked pages it is O(pages touched) per update, not O(|V|).
+// ScratchCarryover counts pooled query scratches handed from a
+// superseded snapshot's providers to the next — warm-path publication;
+// each carried scratch spares the first post-update queries their
+// cold O(|V|) table growth.
+type ApplyStats struct {
+	// Batches and Updates count Apply calls and the mutations they
+	// carried.
+	Batches uint64
+	Updates uint64
+	// PagesCopied and ApplyBytes account the copy-on-write page work of
+	// all applied batches.
+	PagesCopied uint64
+	ApplyBytes  uint64
+	// ScratchCarryover counts scratches moved across epochs.
+	ScratchCarryover uint64
+}
+
+// ApplyStats returns the cumulative dynamic-update cost counters.
+func (s *System) ApplyStats() ApplyStats {
+	return ApplyStats{
+		Batches:          s.applyBatches.Load(),
+		Updates:          s.applyUpdates.Load(),
+		PagesCopied:      s.applyPagesCopied.Load(),
+		ApplyBytes:       s.applyBytes.Load(),
+		ScratchCarryover: s.scratchCarryover.Load(),
+	}
 }
 
 // NewSystem builds the 2-hop label index and the inverted label index
@@ -480,6 +587,7 @@ func (sn *Snapshot) Do(ctx context.Context, req Request) (*Result, error) {
 	var st *Stats
 	var err error
 	if req.variant() {
+		opts.VerticesOf = sn.VerticesOf // dynamic category changes widen variant roots
 		routes, st, err = core.SolveVariant(ctx, sn.Graph, VariantQuery{
 			Source: req.Source, NoSource: req.NoSource,
 			Target: req.Target, NoTarget: req.NoTarget,
@@ -568,6 +676,7 @@ func (sn *Snapshot) openSearcher(ctx context.Context, req Request) (*core.Search
 	opts := req.coreOptions()
 	opts.NumCategories = sn.NumCategories()
 	if req.variant() {
+		opts.VerticesOf = sn.VerticesOf // dynamic category changes widen variant roots
 		return core.NewVariantSearcher(ctx, sn.Graph, VariantQuery{
 			Source: req.Source, NoSource: req.NoSource,
 			Target: req.Target, NoTarget: req.NoTarget,
@@ -754,18 +863,27 @@ type Update struct {
 // Apply is the only writer: batches are serialized, each one validated
 // up front (an invalid batch is rejected whole, leaving the published
 // snapshot untouched), then applied to a copy-on-write clone of the
-// current snapshot — unchanged label columns and inverted lists stay
-// shared, so an update costs the incremental delta, not O(|V|·|C|).
-// Publication is one atomic pointer store: queries in flight finish on
-// the snapshot they pinned, queries arriving after Apply returns see
-// the new epoch. Concurrent queries are therefore always answered from
-// a consistent index version, with no reader-side locking.
+// current snapshot. The indexes are chunked into fixed-size pages of
+// list headers (internal/pagevec): cloning copies only the page tables
+// and a mutation copies only the pages it touches, so an update batch
+// costs O(pages touched), never O(|V|) — see ApplyStats for the
+// accounting. Publication is one atomic pointer store, and the new
+// snapshot's providers inherit the previous epoch's pooled query
+// scratches, so the first queries after an update run as warm as
+// steady state. Queries in flight finish on the snapshot they pinned,
+// queries arriving after Apply returns see the new epoch. Concurrent
+// queries are therefore always answered from a consistent index
+// version, with no reader-side locking.
 //
-// Label-based queries observe inserted edges and category changes.
-// Dijkstra-based queries (UseDijkstraNN) and GSP traverse the immutable
-// base graph and do not — rebuild a System from the updated graph for
-// those. Variant requests with NoSource seed their roots from the base
-// graph's category lists, which dynamic category updates do not change.
+// Label-based queries observe inserted edges and category changes
+// everywhere they matter, including no-source variant requests: the
+// snapshot keeps a per-category vertex-list overlay (Snapshot.VerticesOf),
+// so a category granted at run time widens the variant root set exactly
+// like a native membership. Dijkstra-based queries (UseDijkstraNN) and
+// GSP run their searches over the immutable base graph, so they observe
+// neither inserted edges nor recategorized nearest neighbours (variant
+// roots, which come from the snapshot overlay, are the one exception) —
+// rebuild a System from the updated graph for those.
 func (s *System) Apply(updates ...Update) (epoch uint64, err error) {
 	s.updateMu.Lock()
 	defer s.updateMu.Unlock()
@@ -811,19 +929,57 @@ func (s *System) Apply(updates ...Update) (epoch uint64, err error) {
 			next.removeCategory(u.Vertex, u.Category)
 		}
 	}
+	// Inherit the scratch pools only now, just before publication:
+	// doing it at clone time would leave the still-published snapshot's
+	// queries acquiring from emptied pools for the whole (possibly
+	// hundreds of ms) mutation phase.
+	carried := next.inheritScratches(cur)
+	pages, bytes := next.copyStats()
+	s.applyBatches.Add(1)
+	s.applyUpdates.Add(uint64(len(updates)))
+	s.applyPagesCopied.Add(pages)
+	s.applyBytes.Add(bytes)
+	s.scratchCarryover.Add(uint64(carried))
 	s.snap.Store(next)
 	return next.Epoch, nil
 }
 
+// copyStats sums the copy-on-write work recorded by this snapshot's
+// paged index structures since they were cloned — i.e. the structural
+// cost of the batch that built this snapshot. Only the serialized
+// updater calls it, before publication.
+func (sn *Snapshot) copyStats() (pages, bytes uint64) {
+	lp, lb := sn.Labels.CopyStats()
+	ip, ib := sn.Inverted.CopyStats()
+	dp, db := sn.dyn.CopyStats()
+	return lp + ip + dp, lb + ib + db
+}
+
 // cowClone prepares the next epoch's snapshot: the label index, the
-// inverted index and the edge overlay are cloned copy-on-write (list
-// headers copied, contents shared until touched), the small category
-// overlays are copied outright, and fresh providers (with empty scratch
-// pools) are attached. Only the serialized updater calls it.
+// inverted index and the edge overlay are cloned copy-on-write (page
+// tables copied, pages and lists shared until touched), the small
+// category overlays are copied outright, and fresh providers are
+// attached. The clone's providers start with empty scratch pools —
+// inheritScratches moves the predecessor's pools over right before
+// publication. Only the serialized updater calls it.
 func (sn *Snapshot) cowClone() *Snapshot {
 	lab := sn.Labels.Clone()
 	return newSnapshot(sn.Epoch+1, sn.Graph, lab, sn.Inverted.Clone(lab),
 		sn.dyn.Clone(), cloneCatOverlay(sn.catAdd), cloneCatOverlay(sn.catDel))
+}
+
+// inheritScratches hands cur's pooled query scratches (and, via the
+// provider redirect chain, those of queries still in flight) to sn's
+// providers, so publication is warm on the read path: the first
+// queries on the new epoch reuse the previous epoch's grown dominance
+// tables and iterator free lists instead of paying cold O(|V|) growth.
+// Returns how many scratches carried over.
+func (sn *Snapshot) inheritScratches(cur *Snapshot) int {
+	carried := sn.dijProv.InheritScratches(cur.dijProv)
+	if sn.labelProv != nil {
+		carried += sn.labelProv.InheritScratches(cur.labelProv)
+	}
+	return carried
 }
 
 func cloneCatOverlay(m map[Vertex][]Category) map[Vertex][]Category {

@@ -1,0 +1,5 @@
+//go:build !race
+
+package kosr
+
+const raceEnabled = false
