@@ -25,12 +25,14 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -146,6 +148,36 @@ type UpdateBatchCell struct {
 	PagesCopiedPerUpdate float64 `json:"pages_copied_per_update"`
 }
 
+// OverloadScanResult is the overload cell: the query mix offered at 2×
+// the server's admission capacity (clients = 2 × (workers + queue
+// depth), each posting back-to-back), measuring what the deadline-aware
+// admission queue does under saturation — how much it sheds and what
+// latency the accepted requests still see. Without admission control
+// this workload queues unboundedly and every request's latency grows
+// with the backlog; with it, shed_rate absorbs the excess and
+// accepted_p99_ms stays near the unloaded service time.
+type OverloadScanResult struct {
+	Workers    int `json:"workers"`
+	QueueDepth int `json:"queue_depth"`
+	Clients    int `json:"clients"`
+	// GOMAXPROCS is the value in force during this scan. The scan raises
+	// it to at least 8: with a single P, Go's channel-wakeup scheduling
+	// runs each request depth-first (enqueue → worker → response before
+	// the next accept), so offered load can never outrun service and the
+	// queue never fills. Multiple Ps let arrivals and service genuinely
+	// interleave, which is the regime admission control exists for.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	Offered    int `json:"offered_queries"`
+	Accepted   int `json:"accepted"`
+	// Shed counts structured 429/503 rejections (Retry-After included);
+	// anything else (transport error, 5xx) would fail the run and is
+	// not part of the taxonomy under pure overload.
+	Shed          int     `json:"shed"`
+	ShedRate      float64 `json:"shed_rate"`
+	AcceptedAvgMS float64 `json:"accepted_avg_ms"`
+	AcceptedP99MS float64 `json:"accepted_p99_ms"`
+}
+
 // PQPopCost is the queue microbench cell: steady-state pop cost of the
 // engine's global route queue at KPNE-like sizes, binary vs the 4-ary
 // layout the engine now uses (ROADMAP "KPNE queue growth").
@@ -174,6 +206,8 @@ type DatasetResult struct {
 	Concurrency []ConcurrencyResult `json:"concurrency,omitempty"`
 	// Server is the /v1/query batch + cache scan.
 	Server *ServerScanResult `json:"server,omitempty"`
+	// Overload is the 2×-saturation admission-control scan.
+	Overload *OverloadScanResult `json:"overload,omitempty"`
 	// Updates is the live-update scan (dynamic edge updates under
 	// concurrent query traffic).
 	Updates *UpdateScanResult `json:"updates,omitempty"`
@@ -256,7 +290,13 @@ func main() {
 			"touches, not |V| (flat_clone_bytes is the O(|V|) header copy " +
 			"every apply paid before); scratch_carryover counts warm query " +
 			"scratches handed across epochs, making publication " +
-			"allocation-neutral on the read path.",
+			"allocation-neutral on the read path. overload is the " +
+			"2x-saturation admission-control scan (PR 6): clients = " +
+			"2 x (workers + queue depth) posting back-to-back through " +
+			"/query with the result cache off; shed_rate is the fraction " +
+			"answered with structured 429/503 instead of queueing, and " +
+			"accepted_p99_ms shows the latency the bounded queue holds " +
+			"for the requests it does accept.",
 	}
 
 	rep.PQ = benchPQPopCost()
@@ -331,6 +371,7 @@ func benchDataset(a gen.Analogue, cfg workload.Config) (DatasetResult, error) {
 	}
 	ds.Concurrency = benchConcurrency(data, qs, cfg)
 	ds.Server = benchServer(data, qs, cfg)
+	ds.Overload = benchOverload(data, qs, cfg)
 	ds.Updates = benchUpdates(data, qs, cfg)
 	fmt.Printf("%-4s |V|=%d seq=%.0fms par=%.0fms (%.2fx, identical=%v) inv=%.0fms",
 		a, ds.Vertices, ds.SeqBuildMS, ds.ParBuildMS, ds.BuildSpeedup, ds.Identical, ds.InvBuildMS)
@@ -340,6 +381,9 @@ func benchDataset(a gen.Analogue, cfg workload.Config) (DatasetResult, error) {
 	if ds.Server != nil {
 		fmt.Printf(" batch=%.0fqps cached=%.0fqps hit=%.0f%%",
 			ds.Server.ColdQPS, ds.Server.CachedQPS, 100*ds.Server.CacheHitRate)
+	}
+	if ds.Overload != nil {
+		fmt.Printf(" shed=%.0f%% p99=%.1fms", 100*ds.Overload.ShedRate, ds.Overload.AcceptedP99MS)
 	}
 	if ds.Updates != nil {
 		fmt.Printf(" upd=%.0f/s(q=%.0fqps)", ds.Updates.UpdatesPerSec, ds.Updates.QPSDuringUpdates)
@@ -608,6 +652,124 @@ func benchServer(d *workload.Dataset, qs []core.Query, cfg workload.Config) *Ser
 	hits, misses, _, _ := srv.CacheStats()
 	if hits+misses > 0 {
 		res.CacheHitRate = float64(hits) / float64(hits+misses)
+	}
+	return res
+}
+
+// benchOverload offers the query mix at 2× the server's admission
+// capacity and measures the degradation contract: a small worker pool
+// behind a bounded queue, hammered by twice as many back-to-back
+// clients as it has total slots. Every response must be either a 200
+// (whose latency is recorded) or a structured 429/503 shed; the cell
+// reports the shed rate and the accepted avg/p99 latency. The result
+// cache is disabled so every accepted request really computes.
+func benchOverload(d *workload.Dataset, qs []core.Query, cfg workload.Config) *OverloadScanResult {
+	if len(qs) == 0 {
+		return nil
+	}
+	const workers, queueDepth = 2, 4
+	maxprocs := runtime.GOMAXPROCS(0)
+	if maxprocs < 8 {
+		maxprocs = 8
+	}
+	prev := runtime.GOMAXPROCS(maxprocs)
+	defer runtime.GOMAXPROCS(prev)
+	sys := kosr.NewSystemFromParts(d.G, d.Lab, d.Inv)
+	srv := server.NewWithConfig(sys, server.Config{
+		Workers:     workers,
+		QueueDepth:  queueDepth,
+		MaxExamined: cfg.MaxExamined,
+	})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	wire := make([]server.QueryRequest, len(qs))
+	for i, q := range qs {
+		cats := make([]string, len(q.Categories))
+		for j, c := range q.Categories {
+			cats[j] = strconv.Itoa(int(c))
+		}
+		wire[i] = server.QueryRequest{
+			Source:     strconv.Itoa(int(q.Source)),
+			Target:     strconv.Itoa(int(q.Target)),
+			Categories: cats,
+			K:          q.K,
+		}
+	}
+	// Warm the scratch pool outside the measured window.
+	for _, q := range qs {
+		_, _ = sys.Do(context.Background(), kosr.Request{
+			Source: q.Source, Target: q.Target, Categories: q.Categories,
+			K: q.K, MaxExamined: cfg.MaxExamined,
+		})
+	}
+
+	clients := 2 * (workers + queueDepth)
+	perClient := 2 * len(qs)
+	res := &OverloadScanResult{
+		Workers: workers, QueueDepth: queueDepth,
+		Clients: clients, GOMAXPROCS: maxprocs,
+		Offered: clients * perClient,
+	}
+	var mu sync.Mutex
+	var latencies []float64
+	var shed, accepted, other int64
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			// One transport per client: a shared transport's connection
+			// management would serialize what must be concurrent arrival.
+			client := &http.Client{}
+			defer client.CloseIdleConnections()
+			for i := 0; i < perClient; i++ {
+				body, err := json.Marshal(wire[(c+i)%len(wire)])
+				if err != nil {
+					atomic.AddInt64(&other, 1)
+					continue
+				}
+				t0 := time.Now()
+				resp, err := client.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+				if err != nil {
+					atomic.AddInt64(&other, 1)
+					continue
+				}
+				lat := msSince(t0)
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					atomic.AddInt64(&accepted, 1)
+					mu.Lock()
+					latencies = append(latencies, lat)
+					mu.Unlock()
+				case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+					atomic.AddInt64(&shed, 1)
+				default:
+					atomic.AddInt64(&other, 1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if n := atomic.LoadInt64(&other); n > 0 {
+		fmt.Fprintf(os.Stderr, "kosrbench: overload scan: %d responses outside the 200/429/503 taxonomy\n", n)
+	}
+	res.Accepted = int(accepted)
+	res.Shed = int(shed)
+	if res.Offered > 0 {
+		res.ShedRate = float64(res.Shed) / float64(res.Offered)
+	}
+	if len(latencies) > 0 {
+		sort.Float64s(latencies)
+		var sum float64
+		for _, l := range latencies {
+			sum += l
+		}
+		res.AcceptedAvgMS = sum / float64(len(latencies))
+		res.AcceptedP99MS = latencies[(99*len(latencies)+99)/100-1]
 	}
 	return res
 }
@@ -972,6 +1134,18 @@ func runPlot(args []string) int {
 					return "–"
 				}
 				return fmt.Sprintf("%.2f", d.Server.CacheHitRate)
+			}},
+			{"overload_shed_rate", func(d DatasetResult) string {
+				if d.Overload == nil {
+					return "–"
+				}
+				return fmt.Sprintf("%.2f", d.Overload.ShedRate)
+			}},
+			{"overload_accepted_p99_ms", func(d DatasetResult) string {
+				if d.Overload == nil {
+					return "–"
+				}
+				return fmt.Sprintf("%.1f", d.Overload.AcceptedP99MS)
 			}},
 			{"updates_per_sec", func(d DatasetResult) string {
 				if d.Updates == nil {

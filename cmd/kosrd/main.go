@@ -1,8 +1,8 @@
 // Command kosrd serves KOSR queries over HTTP.
 //
 //	kosrd -graph city.graph [-index city.idx] [-addr :8080] [-budget 5000000]
-//	      [-workers 8] [-query-timeout 10s] [-cache 4096] [-max-batch 64]
-//	      [-stream-write-timeout 30s]
+//	      [-workers 8] [-queue-depth 64] [-query-timeout 10s] [-cache 4096]
+//	      [-max-batch 64] [-stream-write-timeout 30s] [-serve-stale]
 //
 // Endpoints:
 //
@@ -13,11 +13,17 @@
 //	POST /expand           {"witness":[0,1,2,4,7]}
 //	POST /query            deprecated single-query endpoint
 //
-// Queries run on a bounded worker pool over a shared index snapshot;
-// each worker reuses a warm per-query scratch, and every request's
-// context is threaded into the engine, so disconnected clients abort
-// their in-flight searches (a stalled /v1/stream reader additionally
-// trips the per-line write deadline). /v1/query batches fan out across
+// Queries run on a bounded worker pool fronted by a deadline-aware
+// admission queue: work the node cannot finish in time is shed up front
+// with structured 429/503 JSON and a Retry-After hint instead of
+// queueing unboundedly (see the README's error taxonomy). Clients may
+// pass their remaining budget in an X-Deadline-Millis header; the
+// engine stops searching when an answer could no longer arrive in time
+// and returns what it has, marked truncated. Each worker reuses a warm
+// per-query scratch, and every request's context is threaded into the
+// engine, so disconnected clients abort their in-flight searches (a
+// stalled /v1/stream reader additionally trips the per-line write
+// deadline). /v1/query batches fan out across
 // the pool and pass through an LRU result cache with single-flight
 // deduplication (-cache entries; 0 disables) keyed by index epoch.
 // /v1/admin/update applies dynamic map updates (edge insertions,
@@ -50,7 +56,10 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	budget := flag.Int64("budget", 5_000_000, "max examined routes per query (0 = unlimited)")
 	workers := flag.Int("workers", 0, "query worker pool size (0 = GOMAXPROCS)")
+	queueDepth := flag.Int("queue-depth", 0, "admission queue depth; requests beyond it are shed with 429 (0 = 4×workers, min 64)")
 	cacheSize := flag.Int("cache", 4096, "result cache entries for /v1/query (0 = disabled)")
+	serveStale := flag.Bool("serve-stale", false, "answer shed /v1/query entries from recent superseded-epoch cache entries, marked stale in X-Cache")
+	staleEpochs := flag.Int("serve-stale-epochs", 1, "how many epochs behind a -serve-stale answer may be")
 	maxBatch := flag.Int("max-batch", 64, "max queries per /v1/query batch")
 	queryTimeout := flag.Duration("query-timeout", 10*time.Second, "per-query wall-clock budget, queueing included (0 = none)")
 	streamWriteTimeout := flag.Duration("stream-write-timeout", server.DefaultStreamWriteTimeout,
@@ -88,11 +97,14 @@ func main() {
 	}
 	srv := server.NewWithConfig(sys, server.Config{
 		Workers:            *workers,
+		QueueDepth:         *queueDepth,
 		MaxExamined:        *budget,
 		QueryTimeout:       *queryTimeout,
 		CacheSize:          *cacheSize,
 		MaxBatch:           *maxBatch,
 		StreamWriteTimeout: *streamWriteTimeout,
+		ServeStale:         *serveStale,
+		StaleEpochs:        *staleEpochs,
 	})
 
 	// With -query-timeout 0 (no per-query limit) the write timeout must

@@ -147,6 +147,20 @@ func (c *Cache[V]) DoAt(ctx context.Context, key string, epoch uint64, compute f
 	return val, false, err
 }
 
+// Peek returns the stored value for key without promoting the entry or
+// touching the hit/miss counters: a read with no side effects on what
+// the cache keeps resident. It backs degraded serving (a stale-epoch
+// probe must not let emergency reads displace the fresh working set)
+// and is safe alongside concurrent Do/DoAt calls.
+func (c *Cache[V]) Peek(key string) (v V, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, found := c.entries[key]; found {
+		return el.Value.(*entry[V]).val, true
+	}
+	return v, false
+}
+
 // Stats reports cumulative cache behaviour: stored-entry hits,
 // leader computations, and calls coalesced onto another caller's
 // in-flight computation.

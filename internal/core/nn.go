@@ -81,6 +81,17 @@ type LabelProvider struct {
 	// DefaultMaxScratchBytes; negative disables the cap.
 	MaxScratchBytes int64
 
+	// Forwarded, when non-nil, counts releases that arrived after this
+	// provider was superseded and were redirected to the live epoch's
+	// pool. The owner (kosr.System) shares one counter across every
+	// epoch's providers; it is what makes scratch accounting add up
+	// under saturation, when most scratches are checked out at
+	// publication time and carry over through releases, not inheritance.
+	Forwarded *atomic.Uint64
+	// Outstanding, when non-nil, tracks scratches currently checked out
+	// (acquired and not yet released). Shared like Forwarded.
+	Outstanding *atomic.Int64
+
 	pool sync.Pool // *Scratch
 	// redirect points at this provider's successor once a newer epoch
 	// inherited its pool: queries that were in flight when the handoff
@@ -130,6 +141,9 @@ func (p *LabelProvider) AcquireScratch() *Scratch {
 		s = NewScratch(p.Graph.NumVertices())
 	}
 	s.begin()
+	if p.Outstanding != nil {
+		p.Outstanding.Add(1)
+	}
 	return s
 }
 
@@ -144,7 +158,13 @@ func (p *LabelProvider) ReleaseScratch(s *Scratch) {
 		return
 	}
 	s.release()
+	if p.Outstanding != nil {
+		p.Outstanding.Add(-1)
+	}
 	if live := p.latest(); live != p {
+		if p.Forwarded != nil {
+			p.Forwarded.Add(1)
+		}
 		s.unbindIndexRefs()
 		poolScratch(&live.pool, s, live.MaxScratchBytes)
 		return
@@ -215,6 +235,11 @@ type DijkstraProvider struct {
 	// see LabelProvider.MaxScratchBytes.
 	MaxScratchBytes int64
 
+	// Forwarded / Outstanding mirror LabelProvider's shared scratch
+	// accounting counters.
+	Forwarded   *atomic.Uint64
+	Outstanding *atomic.Int64
+
 	pool sync.Pool // *Scratch
 	// redirect forwards post-handoff releases to the live successor;
 	// see LabelProvider.redirect.
@@ -239,6 +264,9 @@ func (p *DijkstraProvider) AcquireScratch() *Scratch {
 		s = NewScratch(p.Graph.NumVertices())
 	}
 	s.begin()
+	if p.Outstanding != nil {
+		p.Outstanding.Add(1)
+	}
 	return s
 }
 
@@ -250,7 +278,13 @@ func (p *DijkstraProvider) ReleaseScratch(s *Scratch) {
 		return
 	}
 	s.release()
+	if p.Outstanding != nil {
+		p.Outstanding.Add(-1)
+	}
 	if live := p.latest(); live != p {
+		if p.Forwarded != nil {
+			p.Forwarded.Add(1)
+		}
 		s.unbindIndexRefs()
 		poolScratch(&live.pool, s, live.MaxScratchBytes)
 		return

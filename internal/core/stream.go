@@ -60,6 +60,17 @@ func (s *Searcher) Next() (Route, bool, error) {
 	if s.done {
 		return Route{}, false, s.doneErr
 	}
+	// A panic out of the search must not strand the checked-out scratch:
+	// mark the stream done and release on the unwind, then re-panic.
+	// (releaseScratch is idempotent, so the normal exhaustion path below
+	// stays as it is.)
+	panicking := true
+	defer func() {
+		if panicking && !s.done {
+			s.done = true
+			s.e.releaseScratch()
+		}
+	}()
 	// Poll the context at result granularity too: a cancelled stream
 	// must not hand out routes that were computed before the
 	// cancellation was observed by the pop loop.
@@ -76,6 +87,7 @@ func (s *Searcher) Next() (Route, bool, error) {
 		s.done, s.doneErr = true, err
 		s.e.releaseScratch()
 	}
+	panicking = false
 	return r, ok, err
 }
 

@@ -1,0 +1,33 @@
+//go:build !faultinject
+
+package faultinject
+
+import "time"
+
+// Enabled reports whether fault injection was compiled in.
+func Enabled() bool { return false }
+
+// Set installs spec on an injection point. No-op in this build.
+func Set(string, Spec) {}
+
+// Clear removes an injection point's spec. No-op in this build.
+func Clear(string) {}
+
+// Reset removes every installed spec. No-op in this build.
+func Reset() {}
+
+// Fired reports how many times a point fired. Always zero here.
+func Fired(string) uint64 { return 0 }
+
+// Sleep delays the caller when the named point fires. No-op here; the
+// empty body inlines away, so hot-path call sites cost nothing.
+func Sleep(string) {}
+
+// Error returns the named point's injected error, or nil.
+func Error(string) error { return nil }
+
+// Panic raises the named point's injected panic, if any.
+func Panic(string) {}
+
+// Skew returns the named point's injected deadline skew.
+func Skew(string) time.Duration { return 0 }

@@ -1,0 +1,117 @@
+//go:build faultinject
+
+package faultinject
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Enabled reports whether fault injection was compiled in.
+func Enabled() bool { return true }
+
+type state struct {
+	spec      Spec
+	rng       *rand.Rand
+	fired     uint64
+	remaining int64 // counts down when spec.Count > 0
+}
+
+var (
+	mu     sync.Mutex
+	points = map[string]*state{}
+	seed   int64
+)
+
+// Set installs spec on the named injection point, replacing any prior
+// spec and resetting its fired count. Each point gets its own
+// deterministic RNG stream so chaos runs are reproducible modulo
+// scheduling.
+func Set(point string, spec Spec) {
+	mu.Lock()
+	defer mu.Unlock()
+	seed++
+	points[point] = &state{
+		spec:      spec,
+		rng:       rand.New(rand.NewSource(0x5eed + seed)),
+		remaining: spec.Count,
+	}
+}
+
+// Clear removes the named injection point's spec.
+func Clear(point string) {
+	mu.Lock()
+	defer mu.Unlock()
+	delete(points, point)
+}
+
+// Reset removes every installed spec.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	points = map[string]*state{}
+}
+
+// Fired reports how many times the named point has fired since its
+// spec was installed.
+func Fired(point string) uint64 {
+	mu.Lock()
+	defer mu.Unlock()
+	if st, ok := points[point]; ok {
+		return st.fired
+	}
+	return 0
+}
+
+// arm decides whether the point fires this evaluation and, if so,
+// returns its spec.
+func arm(point string) (Spec, bool) {
+	mu.Lock()
+	defer mu.Unlock()
+	st, ok := points[point]
+	if !ok {
+		return Spec{}, false
+	}
+	if st.spec.Prob < 1 && (st.spec.Prob <= 0 || st.rng.Float64() >= st.spec.Prob) {
+		return Spec{}, false
+	}
+	if st.spec.Count > 0 {
+		if st.remaining <= 0 {
+			return Spec{}, false
+		}
+		st.remaining--
+	}
+	st.fired++
+	return st.spec, true
+}
+
+// Sleep delays the caller by the point's Delay when it fires.
+func Sleep(point string) {
+	if spec, ok := arm(point); ok && spec.Delay > 0 {
+		time.Sleep(spec.Delay)
+	}
+}
+
+// Error returns the point's Err when it fires, else nil.
+func Error(point string) error {
+	if spec, ok := arm(point); ok {
+		return spec.Err
+	}
+	return nil
+}
+
+// Panic raises the point's panic message when it fires.
+func Panic(point string) {
+	if spec, ok := arm(point); ok && spec.Panic != "" {
+		panic("faultinject: " + spec.Panic)
+	}
+}
+
+// Skew returns the point's deadline skew when it fires, else zero.
+func Skew(point string) time.Duration {
+	if spec, ok := arm(point); ok {
+		return spec.Skew
+	}
+	return 0
+}

@@ -1,0 +1,61 @@
+// Package faultinject provides named fault-injection points for the
+// serving tier's chaos tests: a worker can be slowed, a computation
+// made to panic, a stream writer stalled, an index update failed, and a
+// deadline skewed — all from a central schedule a test flips at run
+// time.
+//
+// The package has two implementations selected by the `faultinject`
+// build tag. Without the tag (every production build) the hooks are
+// empty functions over no package state: they inline to nothing, so an
+// injection point on a hot path costs zero allocations and no
+// measurable time. With `-tags faultinject` the hooks consult a
+// mutable registry of Specs keyed by point name.
+//
+// Injection points are plain strings; the constants below name every
+// point the serving tier defines. Call sites pick the effect helper
+// matching their failure mode: Sleep for latency, Error for returned
+// failures, Panic for crashes, Skew for deadline distortion.
+package faultinject
+
+import "time"
+
+// The injection points wired into the serving tier.
+const (
+	// SlowWorker delays a pool worker before it runs its task
+	// (effect: Sleep, in the server's worker loop).
+	SlowWorker = "slow-worker"
+	// PanicCompute panics inside the worker-side query computation
+	// (effect: Panic, in the server's runQuery body).
+	PanicCompute = "panic-compute"
+	// StallStreamWriter delays a /v1/stream NDJSON line between arming
+	// the write deadline and writing, so long stalls trip the deadline
+	// (effect: Sleep).
+	StallStreamWriter = "stall-stream-writer"
+	// FailApply fails a System.Apply batch after validation, as a
+	// transient (retryable) error (effect: Error).
+	FailApply = "fail-apply"
+	// SkewDeadline distorts the remaining-deadline computation of the
+	// admission queue and the worker pickup path, simulating clock skew
+	// (effect: Skew; the returned duration is subtracted from the
+	// remaining budget).
+	SkewDeadline = "skew-deadline"
+)
+
+// Spec configures one injection point. A zero field disables the
+// corresponding effect, so one Spec can serve any effect helper.
+type Spec struct {
+	// Prob is the probability each evaluation fires: <= 0 never fires,
+	// >= 1 always fires.
+	Prob float64
+	// Count caps how many times the point fires in total (<= 0 means
+	// unlimited).
+	Count int64
+	// Delay is slept by Sleep when the point fires.
+	Delay time.Duration
+	// Err is returned by Error when the point fires.
+	Err error
+	// Panic, when non-empty, is the panic message raised by Panic.
+	Panic string
+	// Skew is returned by Skew when the point fires.
+	Skew time.Duration
+}

@@ -1,0 +1,59 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// Without the faultinject build tag every hook must be a no-op even for
+// armed points: Set is a stub, so production binaries cannot be made to
+// misbehave by accident.
+func TestDisabledHooksAreInert(t *testing.T) {
+	if Enabled() {
+		t.Skip("built with -tags faultinject")
+	}
+	Set(SlowWorker, Spec{Prob: 1, Delay: time.Hour})
+	Set(FailApply, Spec{Prob: 1, Err: errors.New("boom")})
+	Set(PanicCompute, Spec{Prob: 1, Panic: "boom"})
+	Set(SkewDeadline, Spec{Prob: 1, Skew: time.Hour})
+	defer Reset()
+
+	start := time.Now()
+	Sleep(SlowWorker)
+	if d := time.Since(start); d > 100*time.Millisecond {
+		t.Fatalf("Sleep slept %v in a no-op build", d)
+	}
+	if err := Error(FailApply); err != nil {
+		t.Fatalf("Error returned %v in a no-op build", err)
+	}
+	Panic(PanicCompute) // must not panic
+	if s := Skew(SkewDeadline); s != 0 {
+		t.Fatalf("Skew returned %v in a no-op build", s)
+	}
+	if n := Fired(SlowWorker); n != 0 {
+		t.Fatalf("Fired returned %d in a no-op build", n)
+	}
+	Clear(SlowWorker)
+}
+
+// The disabled hooks sit on the query hot path (worker loop, stream
+// writer, deadline math), so they must not allocate.
+func TestDisabledHooksZeroAlloc(t *testing.T) {
+	if Enabled() {
+		t.Skip("built with -tags faultinject")
+	}
+	n := testing.AllocsPerRun(1000, func() {
+		Sleep(SlowWorker)
+		if Error(FailApply) != nil {
+			t.Fatal("unexpected injected error")
+		}
+		Panic(PanicCompute)
+		if Skew(SkewDeadline) != 0 {
+			t.Fatal("unexpected injected skew")
+		}
+	})
+	if n != 0 {
+		t.Fatalf("disabled hooks allocate %v per run, want 0", n)
+	}
+}

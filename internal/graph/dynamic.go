@@ -65,6 +65,15 @@ func (d *Dynamic) CopyStats() (pages, bytes uint64) {
 	return po + pi, bo + bi
 }
 
+// Residency reports the overlay's materialized pages split into shared
+// (aliased by other epochs' clones) and owned; see
+// pagevec.Vec.Residency.
+func (d *Dynamic) Residency() (shared, owned int) {
+	so, oo := d.extraOut.Residency()
+	si, oi := d.extraIn.Residency()
+	return so + si, oo + oi
+}
+
 // appendArc replaces vec[v] with a freshly allocated list carrying one
 // more arc. Mutations never write a shared backing array, so clones of
 // any earlier epoch keep reading their own lists.

@@ -248,6 +248,28 @@ func (ix *Index) CopyStats() (pages, bytes uint64) {
 	return pages, bytes
 }
 
+// Residency reports the index's materialized inverted-list pages split
+// into shared and owned. A whole category vector still aliased from an
+// ancestor (shared[c]) contributes all its pages as shared regardless
+// of the ancestor's ownership bits — this epoch does not own them.
+// Sparse-backed (disk-loaded) categories have no pages and contribute
+// nothing.
+func (ix *Index) Residency() (shared, owned int) {
+	for c, il := range ix.cats {
+		if il == nil {
+			continue
+		}
+		s, o := il.Residency()
+		if ix.shared != nil && ix.shared[c] {
+			shared += s + o
+		} else {
+			shared += s
+			owned += o
+		}
+	}
+	return shared, owned
+}
+
 // mutableIL returns category c's vector, owned by this index so hub
 // lists may be added or replaced. It clones a vector still shared with
 // a clone ancestor (page-table copy only) and allocates missing ones.

@@ -167,3 +167,12 @@ func (ix *Index) CopyStats() (pages, bytes uint64) {
 	po, bo := ix.out.CopyStats()
 	return pi + po, bi + bo
 }
+
+// Residency reports the index's header pages split into shared (still
+// aliased by other epochs' clones) and owned (copied on write by this
+// epoch chain); see pagevec.Vec.Residency.
+func (ix *Index) Residency() (shared, owned int) {
+	si, oi := ix.in.Residency()
+	so, oo := ix.out.Residency()
+	return si + so, oi + oo
+}

@@ -137,3 +137,23 @@ func (v *Vec[T]) Range(f func(i int, x T) bool) {
 func (v *Vec[T]) CopyStats() (pages, bytes uint64) {
 	return v.copiedPages, v.copiedBytes
 }
+
+// Residency reports the Vec's materialized pages split by ownership:
+// shared pages may be aliased by clones on other epochs (one physical
+// copy, many readers), owned pages belong to this Vec alone. Never-
+// materialized (all-zero) pages count as neither. shared+owned pages of
+// the live epoch versus the owned totals of retained older epochs is
+// the memory-amplification picture of an epoch chain.
+func (v *Vec[T]) Residency() (shared, owned int) {
+	for pi, p := range v.pages {
+		if p == nil {
+			continue
+		}
+		if v.owned[pi] {
+			owned++
+		} else {
+			shared++
+		}
+	}
+	return shared, owned
+}

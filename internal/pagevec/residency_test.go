@@ -1,0 +1,41 @@
+package pagevec
+
+import "testing"
+
+// TestResidency pins the shared/owned accounting the /health page gauge
+// is built on: unmaterialized pages count as neither, writes own their
+// page, Clone demotes every materialized page to shared on BOTH sides,
+// and a post-clone write re-owns exactly the touched page.
+func TestResidency(t *testing.T) {
+	v := New[int](2*PageSize + 10) // three pages, the last short
+	if s, o := v.Residency(); s != 0 || o != 0 {
+		t.Fatalf("empty vec: shared=%d owned=%d, want 0/0", s, o)
+	}
+
+	v.Set(0, 1)
+	v.Set(PageSize, 2)
+	if s, o := v.Residency(); s != 0 || o != 2 {
+		t.Fatalf("after writes: shared=%d owned=%d, want 0/2", s, o)
+	}
+
+	c := v.Clone()
+	for name, vec := range map[string]*Vec[int]{"parent": v, "clone": c} {
+		if s, o := vec.Residency(); s != 2 || o != 0 {
+			t.Fatalf("%s after clone: shared=%d owned=%d, want 2/0", name, s, o)
+		}
+	}
+
+	c.Set(0, 5)
+	if s, o := c.Residency(); s != 1 || o != 1 {
+		t.Fatalf("clone after write: shared=%d owned=%d, want 1/1", s, o)
+	}
+	if s, o := v.Residency(); s != 2 || o != 0 {
+		t.Fatalf("parent after clone's write: shared=%d owned=%d, want 2/0", s, o)
+	}
+	if got := v.Get(0); got != 1 {
+		t.Fatalf("parent value after clone's write: %d, want 1", got)
+	}
+	if got := c.Get(PageSize); got != 2 {
+		t.Fatalf("clone read-through of shared page: %d, want 2", got)
+	}
+}

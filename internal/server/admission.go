@@ -1,0 +1,200 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+// Admission control: the worker pool is fronted by a bounded queue that
+// sheds work instead of blocking on it. A request is rejected up front
+// when the server is closing, when its deadline has already passed, when
+// the queue's estimated drain time exceeds the request's remaining
+// budget (an EWMA of recent service times times the queue length), or
+// when the queue itself is full. Shed responses are structured JSON with
+// a Retry-After hint, so a loaded node degrades into fast, explicit
+// rejections rather than a convoy of slow timeouts.
+
+var (
+	errShuttingDown = errors.New("server shutting down")
+	errQueueFull    = errors.New("admission queue full")
+	// errWorkerPanic reports that the pool worker running the request's
+	// task panicked; the recover in runTask keeps the worker alive and
+	// the handler answers 500.
+	errWorkerPanic = errors.New("internal error: worker panicked while computing the query")
+)
+
+// shedError is an admission-control rejection: the request was not run.
+// cause carries the closest standard sentinel so existing
+// errors.Is(err, context.DeadlineExceeded) / errors.Is(err,
+// errShuttingDown) checks keep working.
+type shedError struct {
+	status     int // http.StatusTooManyRequests or StatusServiceUnavailable
+	reason     string
+	retryAfter time.Duration
+	cause      error
+}
+
+func (e *shedError) Error() string {
+	return fmt.Sprintf("request shed (%s)", e.reason)
+}
+
+func (e *shedError) Unwrap() error { return e.cause }
+
+// Shed reasons, as reported in response bodies and /health counters.
+const (
+	shedQueueFull    = "queue_full"
+	shedDeadline     = "deadline_unmeetable"
+	shedExpired      = "deadline_expired"
+	shedShutdown     = "shutting_down"
+	shedBreakerOpen  = "breaker_open"
+	shedApplyFailed  = "apply_failed"
+	minRetryAfterDur = 10 * time.Millisecond
+)
+
+// endpointSheds counts admission rejections for one endpoint.
+type endpointSheds struct {
+	queueFull atomic.Uint64
+	deadline  atomic.Uint64
+	expired   atomic.Uint64
+}
+
+// ShedHealth is the /health view of one endpoint's shed counters.
+type ShedHealth struct {
+	// QueueFull counts 429s: the admission queue had no room.
+	QueueFull uint64 `json:"queue_full"`
+	// DeadlineUnmeetable counts 503s: the queue's estimated drain time
+	// exceeded the request's remaining deadline, so running it would
+	// only have produced a result nobody reads.
+	DeadlineUnmeetable uint64 `json:"deadline_unmeetable"`
+	// DeadlineExpired counts 503s: the deadline had already passed at
+	// admission time.
+	DeadlineExpired uint64 `json:"deadline_expired"`
+}
+
+// observeService folds one completed task's service time into the EWMA
+// (α = 1/8) that prices queue positions during admission.
+func (s *Server) observeService(d time.Duration) {
+	n := d.Nanoseconds()
+	for {
+		old := s.ewmaNanos.Load()
+		nw := n
+		if old != 0 {
+			nw = old + (n-old)/8
+		}
+		if s.ewmaNanos.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// estimateWait predicts how long a newly admitted task would wait for a
+// worker: the recent mean service time, times the tasks already ahead
+// of it, spread across the pool. Zero until the first task completes,
+// so an idle server never sheds on a prediction.
+func (s *Server) estimateWait() time.Duration {
+	ewma := s.ewmaNanos.Load()
+	if ewma == 0 {
+		return 0
+	}
+	q := s.queued.Load()
+	if q < 0 {
+		q = 0
+	}
+	return time.Duration(ewma * (q + 1) / int64(s.workers))
+}
+
+// retryAfterHint suggests a client backoff: the estimated queue drain
+// time, floored so the header never tells a client to hammer.
+func (s *Server) retryAfterHint() time.Duration {
+	if w := s.estimateWait(); w > minRetryAfterDur {
+		return w
+	}
+	return minRetryAfterDur
+}
+
+// dispatch runs fn on the worker pool, blocking until it completes. It
+// sheds without running fn when the server is closing, the context's
+// deadline is unmeetable, or the queue is full; shed requests return a
+// *shedError and never consume a worker.
+func (s *Server) dispatch(ctx context.Context, endpoint string, fn func()) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return &shedError{
+			status: http.StatusServiceUnavailable, reason: shedShutdown,
+			retryAfter: time.Second, cause: errShuttingDown,
+		}
+	}
+	s.inflight.Add(1)
+	s.mu.Unlock()
+	defer s.inflight.Done()
+
+	sheds := s.sheds[endpoint]
+	if deadline, ok := ctx.Deadline(); ok {
+		remaining := time.Until(deadline) - faultinject.Skew(faultinject.SkewDeadline)
+		if remaining <= 0 {
+			if sheds != nil {
+				sheds.expired.Add(1)
+			}
+			return &shedError{
+				status: http.StatusServiceUnavailable, reason: shedExpired,
+				retryAfter: s.retryAfterHint(), cause: context.DeadlineExceeded,
+			}
+		}
+		if wait := s.estimateWait(); wait > remaining {
+			if sheds != nil {
+				sheds.deadline.Add(1)
+			}
+			return &shedError{
+				status: http.StatusServiceUnavailable, reason: shedDeadline,
+				retryAfter: wait, cause: context.DeadlineExceeded,
+			}
+		}
+	}
+	t := &task{run: fn, done: make(chan struct{})}
+	select {
+	case s.jobs <- t:
+		s.queued.Add(1)
+	default:
+		if sheds != nil {
+			sheds.queueFull.Add(1)
+		}
+		return &shedError{
+			status: http.StatusTooManyRequests, reason: shedQueueFull,
+			retryAfter: s.retryAfterHint(), cause: errQueueFull,
+		}
+	}
+	// Once enqueued the task will run; the request context threaded into
+	// the engine bounds how long (responding early would race the
+	// worker's writes into the handler's response).
+	<-t.done
+	if t.panicked {
+		return errWorkerPanic
+	}
+	return nil
+}
+
+// writeShed answers a shed request: structured JSON naming the reason,
+// plus a Retry-After header (whole seconds, floored at 1 per RFC 9110)
+// and a finer-grained retry_after_millis in the body.
+func writeShed(w http.ResponseWriter, e *shedError) {
+	secs := int64(math.Ceil(e.retryAfter.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	writeJSON(w, e.status, map[string]any{
+		"error":              e.Error(),
+		"shed":               true,
+		"reason":             e.reason,
+		"retry_after_millis": e.retryAfter.Milliseconds(),
+	})
+}

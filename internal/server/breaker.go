@@ -1,0 +1,63 @@
+package server
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+var errApplyBreakerOpen = errors.New("apply circuit breaker open")
+
+// breaker is a consecutive-failure circuit breaker for the admin apply
+// path. It opens after threshold consecutive failures and stays open
+// for cooldown; while open, allow reports false with the remaining
+// wait. Any success closes it and clears the failure run. A poisoned
+// or flapping updater therefore costs each caller one fast 503 rather
+// than a blocking seat on the serialized update mutex.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	trips     atomic.Uint64 // cumulative opens, for tests and health
+
+	mu        sync.Mutex
+	failures  int
+	openUntil time.Time
+	now       func() time.Time // test hook; time.Now in production
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// allow reports whether a call may proceed; when the breaker is open it
+// returns the remaining cooldown instead. The cooldown's expiry
+// half-opens the breaker: the next call goes through, and its outcome
+// decides whether the breaker closes or re-opens.
+func (b *breaker) allow() (bool, time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if wait := b.openUntil.Sub(b.now()); wait > 0 {
+		return false, wait
+	}
+	return true, 0
+}
+
+func (b *breaker) onSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures = 0
+	b.openUntil = time.Time{}
+}
+
+func (b *breaker) onFailure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	// failures is not cleared on open: after the cooldown half-opens the
+	// breaker, one more failure re-opens it immediately.
+	b.failures++
+	if b.failures >= b.threshold {
+		b.openUntil = b.now().Add(b.cooldown)
+		b.trips.Add(1)
+	}
+}

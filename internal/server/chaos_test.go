@@ -1,0 +1,505 @@
+//go:build faultinject
+
+// Chaos tests: run with `go test -tags faultinject -race ./internal/server`.
+// They drive mixed query/stream/update traffic through the server while
+// the faultinject registry slows workers, panics computations, stalls
+// stream writes, fails index applies and skews deadlines — and assert
+// the robustness invariants: every response is either correct for its
+// epoch or a structured shed/error, epochs never run backwards, no
+// goroutine leaks, and every pooled scratch comes home.
+
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	kosr "repro"
+	"repro/internal/faultinject"
+)
+
+var chaosWant = []float64{20, 21, 22}
+
+// chaosQuery is Figure1's canonical query; a parallel edge of weight
+// >= 1000 never shortens anything, so its top-3 costs are invariant
+// across every epoch the chaos updater publishes.
+func chaosQuery(k int) QueryRequest {
+	return QueryRequest{Source: "s", Target: "t", Categories: []string{"MA", "RE", "CI"}, K: k}
+}
+
+func TestChaosMixedTraffic(t *testing.T) {
+	defer faultinject.Reset()
+	before := runtime.NumGoroutine()
+	sys := kosr.NewSystem(kosr.Figure1())
+	srv := NewWithConfig(sys, Config{
+		Workers: 4, QueueDepth: 8, CacheSize: 128, ServeStale: true,
+		QueryTimeout: 2 * time.Second,
+		ApplyRetries: 3, ApplyBackoff: time.Millisecond,
+		BreakerCooldown: 50 * time.Millisecond,
+	})
+	ts := httptest.NewServer(srv)
+	client := ts.Client()
+
+	errInjectedApply := errors.New("chaos: injected apply failure")
+	faultinject.Set(faultinject.SlowWorker, faultinject.Spec{Prob: 0.2, Delay: 2 * time.Millisecond})
+	faultinject.Set(faultinject.PanicCompute, faultinject.Spec{Prob: 0.05, Panic: "chaos"})
+	faultinject.Set(faultinject.StallStreamWriter, faultinject.Spec{Prob: 0.1, Delay: time.Millisecond})
+	faultinject.Set(faultinject.FailApply, faultinject.Spec{Prob: 0.3, Err: errInjectedApply})
+	faultinject.Set(faultinject.SkewDeadline, faultinject.Spec{Prob: 0.2, Skew: time.Millisecond})
+
+	post := func(path string, hdr map[string]string, body any) *http.Response {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Error(err)
+			return nil
+		}
+		req, err := http.NewRequest(http.MethodPost, ts.URL+path, bytes.NewReader(b))
+		if err != nil {
+			t.Error(err)
+			return nil
+		}
+		req.Header.Set("Content-Type", "application/json")
+		for k, v := range hdr {
+			req.Header.Set(k, v)
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			return nil
+		}
+		return resp
+	}
+
+	// checkErrorBody validates a structured 429/503/500: a JSON error
+	// body, and Retry-After whenever the response is an admission shed.
+	checkErrorBody := func(path string, resp *http.Response) {
+		defer resp.Body.Close()
+		var m map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+			t.Errorf("%s %d: undecodable error body: %v", path, resp.StatusCode, err)
+			return
+		}
+		if s, _ := m["error"].(string); s == "" {
+			t.Errorf("%s %d: error body without error field: %v", path, resp.StatusCode, m)
+		}
+		if shed, _ := m["shed"].(bool); shed && resp.Header.Get("Retry-After") == "" {
+			t.Errorf("%s: shed response missing Retry-After", path)
+		}
+	}
+
+	// checkEpoch enforces per-client monotonicity of X-Index-Epoch.
+	checkEpoch := func(last uint64, resp *http.Response) uint64 {
+		h := resp.Header.Get("X-Index-Epoch")
+		if h == "" {
+			return last
+		}
+		e, err := strconv.ParseUint(h, 10, 64)
+		if err != nil {
+			t.Errorf("bad X-Index-Epoch %q", h)
+			return last
+		}
+		if e < last {
+			t.Errorf("X-Index-Epoch went backwards: %d after %d", e, last)
+		}
+		return e
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			last := uint64(0)
+			for i := 0; i < 30; i++ {
+				hdr := map[string]string{}
+				if i%2 == 0 {
+					hdr["X-Deadline-Millis"] = "1500"
+				}
+				if g%2 == 0 {
+					k := i%3 + 1
+					resp := post("/query", hdr, chaosQuery(k))
+					if resp == nil {
+						continue
+					}
+					last = checkEpoch(last, resp)
+					switch resp.StatusCode {
+					case http.StatusOK:
+						var qr QueryResponse
+						err := json.NewDecoder(resp.Body).Decode(&qr)
+						resp.Body.Close()
+						if err != nil {
+							t.Error(err)
+							continue
+						}
+						if !qr.Truncated && len(qr.Routes) != k {
+							t.Errorf("/query k=%d: %d routes", k, len(qr.Routes))
+						}
+						for j, r := range qr.Routes {
+							if j >= len(chaosWant) || r.Cost != chaosWant[j] {
+								t.Errorf("/query route %d cost %v", j, r.Cost)
+							}
+						}
+					case http.StatusTooManyRequests, http.StatusServiceUnavailable, http.StatusInternalServerError:
+						checkErrorBody("/query", resp)
+					default:
+						resp.Body.Close()
+						t.Errorf("/query: unexpected status %d", resp.StatusCode)
+					}
+				} else {
+					queries := []QueryRequest{chaosQuery(1), chaosQuery(2), chaosQuery(3)}
+					resp := post("/v1/query", hdr, BatchRequest{Queries: queries})
+					if resp == nil {
+						continue
+					}
+					last = checkEpoch(last, resp)
+					switch resp.StatusCode {
+					case http.StatusOK:
+						var br BatchResponse
+						err := json.NewDecoder(resp.Body).Decode(&br)
+						resp.Body.Close()
+						if err != nil {
+							t.Error(err)
+							continue
+						}
+						if len(br.Results) != len(queries) {
+							t.Errorf("batch: %d results, want %d", len(br.Results), len(queries))
+							continue
+						}
+						for j, raw := range br.Results {
+							var qr QueryResult
+							if err := json.Unmarshal(raw, &qr); err != nil {
+								t.Errorf("entry %d: %v", j, err)
+								continue
+							}
+							switch {
+							case qr.Shed:
+								if qr.Error == "" {
+									t.Errorf("shed entry without error: %+v", qr)
+								}
+							case qr.Error != "":
+								// A structured per-entry failure (worker
+								// panic); the rest of the batch answered.
+							default:
+								if !qr.Truncated && len(qr.Routes) != j+1 {
+									t.Errorf("entry %d: %d routes, want %d", j, len(qr.Routes), j+1)
+								}
+								for n, r := range qr.Routes {
+									if n >= len(chaosWant) || r.Cost != chaosWant[n] {
+										t.Errorf("entry %d route %d cost %v", j, n, r.Cost)
+									}
+								}
+							}
+						}
+					case http.StatusTooManyRequests, http.StatusServiceUnavailable, http.StatusInternalServerError:
+						checkErrorBody("/v1/query", resp)
+					default:
+						resp.Body.Close()
+						t.Errorf("/v1/query: unexpected status %d", resp.StatusCode)
+					}
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			last := uint64(0)
+			for i := 0; i < 10; i++ {
+				resp := post("/v1/stream", map[string]string{"X-Deadline-Millis": "1500"}, chaosQuery(3))
+				if resp == nil {
+					continue
+				}
+				last = checkEpoch(last, resp)
+				if resp.StatusCode != http.StatusOK {
+					switch resp.StatusCode {
+					case http.StatusTooManyRequests, http.StatusServiceUnavailable, http.StatusInternalServerError:
+						checkErrorBody("/v1/stream", resp)
+					default:
+						resp.Body.Close()
+						t.Errorf("/v1/stream: unexpected status %d", resp.StatusCode)
+					}
+					continue
+				}
+				sc := bufio.NewScanner(resp.Body)
+				n := 0
+				for sc.Scan() {
+					var line map[string]any
+					if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+						t.Errorf("stream line %q: %v", sc.Text(), err)
+						break
+					}
+					if d, _ := line["done"].(bool); d {
+						break
+					}
+					if _, isErr := line["error"]; isErr {
+						break
+					}
+					cost, _ := line["cost"].(float64)
+					if n >= len(chaosWant) || cost != chaosWant[n] {
+						t.Errorf("stream route %d cost %v", n, cost)
+					}
+					n++
+				}
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		lastEpoch := uint64(1)
+		for i := 0; i < 20; i++ {
+			resp := post("/v1/admin/update", nil, AdminUpdateRequest{Updates: []UpdateJSON{
+				{Op: "insert-edge", From: "s", To: "t", Weight: 1000 + float64(i)},
+			}})
+			if resp == nil {
+				continue
+			}
+			switch resp.StatusCode {
+			case http.StatusOK:
+				var ar AdminUpdateResponse
+				err := json.NewDecoder(resp.Body).Decode(&ar)
+				resp.Body.Close()
+				if err != nil {
+					t.Error(err)
+					continue
+				}
+				if ar.Epoch <= lastEpoch {
+					t.Errorf("epoch %d did not advance past %d", ar.Epoch, lastEpoch)
+				}
+				lastEpoch = ar.Epoch
+			case http.StatusServiceUnavailable:
+				var sb shedBody
+				err := json.NewDecoder(resp.Body).Decode(&sb)
+				resp.Body.Close()
+				if err != nil {
+					t.Error(err)
+					continue
+				}
+				if sb.Reason != "apply_failed" && sb.Reason != "breaker_open" {
+					t.Errorf("update shed reason %q", sb.Reason)
+				}
+				time.Sleep(20 * time.Millisecond) // let a tripped breaker cool
+			default:
+				resp.Body.Close()
+				t.Errorf("update: unexpected status %d", resp.StatusCode)
+			}
+		}
+	}()
+	wg.Wait()
+
+	firedPanics := faultinject.Fired(faultinject.PanicCompute)
+	for _, pt := range []string{faultinject.SlowWorker, faultinject.SkewDeadline, faultinject.FailApply} {
+		if faultinject.Fired(pt) == 0 {
+			t.Errorf("injection point %s never fired", pt)
+		}
+	}
+	faultinject.Reset()
+
+	// Every scratch must be back in a pool once the chaos stops.
+	drain := time.Now().Add(10 * time.Second)
+	for sys.ScratchesInFlight() != 0 {
+		if time.Now().After(drain) {
+			t.Fatalf("scratches in flight=%d after chaos, want 0", sys.ScratchesInFlight())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The pool survived: a full-width batch answers correctly with the
+	// injections gone.
+	resp, br := postBatch(t, ts.URL, BatchRequest{Queries: []QueryRequest{
+		chaosQuery(3), chaosQuery(3), chaosQuery(3), chaosQuery(3),
+		chaosQuery(3), chaosQuery(3), chaosQuery(3), chaosQuery(3),
+	}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-chaos batch status=%d", resp.StatusCode)
+	}
+	for i, raw := range br.Results {
+		qr := decodeResult(t, raw)
+		if qr.Error != "" || qr.Shed || len(qr.Routes) != 3 || qr.Routes[0].Cost != 20 {
+			t.Fatalf("post-chaos result %d: %+v", i, qr)
+		}
+	}
+
+	// Every injected panic was recovered and counted — no more, no less.
+	if got := srv.panics.Load(); got != firedPanics {
+		t.Errorf("recovered panics=%d, injected %d", got, firedPanics)
+	}
+	h := getHealth(t, ts.URL)
+	if h.Panics != firedPanics {
+		t.Errorf("health panics=%d, injected %d", h.Panics, firedPanics)
+	}
+	if h.Updates == nil || h.Updates.ScratchInFlight != 0 {
+		t.Errorf("health updates=%+v, want scratch_in_flight=0", h.Updates)
+	}
+	if h.Pages == nil || h.Pages.Shared+h.Pages.Owned == 0 {
+		t.Errorf("health pages=%+v", h.Pages)
+	}
+
+	ts.Close()
+	srv.Close()
+	client.CloseIdleConnections()
+	http.DefaultClient.CloseIdleConnections()
+	for time.Now().Before(drain) && runtime.NumGoroutine() > before+2 {
+		runtime.GC()
+		time.Sleep(20 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before+2 {
+		t.Fatalf("goroutines: %d before chaos, %d after", before, n)
+	}
+}
+
+// TestPanicComputeRecovery exercises the three recovery layers one at a
+// time: the worker's recover (single query → 500), the batch fan-out
+// goroutine's recover (per-entry error, batch still answers), and the
+// pool's health afterwards.
+func TestPanicComputeRecovery(t *testing.T) {
+	defer faultinject.Reset()
+	sys := kosr.NewSystem(kosr.Figure1())
+	srv := NewWithConfig(sys, Config{Workers: 2})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(srv.Close)
+	t.Cleanup(ts.Close)
+
+	faultinject.Set(faultinject.PanicCompute, faultinject.Spec{Prob: 1, Count: 1, Panic: "boom"})
+	resp := postJSON(t, ts.URL+"/query", chaosQuery(3))
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicking /query: status=%d, want 500", resp.StatusCode)
+	}
+	var body map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(body["error"], "panic") {
+		t.Fatalf("500 body=%v", body)
+	}
+
+	faultinject.Set(faultinject.PanicCompute, faultinject.Spec{Prob: 1, Count: 1, Panic: "boom"})
+	respB, br := postBatch(t, ts.URL, BatchRequest{Queries: []QueryRequest{chaosQuery(1), chaosQuery(2)}})
+	if respB.StatusCode != http.StatusOK {
+		t.Fatalf("batch with one panicking entry: status=%d, want 200", respB.StatusCode)
+	}
+	panicked, answered := 0, 0
+	for _, raw := range br.Results {
+		qr := decodeResult(t, raw)
+		switch {
+		case strings.Contains(qr.Error, "panic"):
+			panicked++
+		case qr.Error == "" && len(qr.Routes) > 0 && qr.Routes[0].Cost == 20:
+			answered++
+		default:
+			t.Fatalf("unexpected entry: %+v", qr)
+		}
+	}
+	if panicked != 1 || answered != 1 {
+		t.Fatalf("panicked=%d answered=%d, want 1/1", panicked, answered)
+	}
+
+	if got := srv.panics.Load(); got != 2 {
+		t.Fatalf("recovered panic count=%d, want 2", got)
+	}
+	// No scratch leaked and the pool still serves at full width.
+	drain := time.Now().Add(5 * time.Second)
+	for sys.ScratchesInFlight() != 0 {
+		if time.Now().After(drain) {
+			t.Fatalf("scratches in flight=%d, want 0", sys.ScratchesInFlight())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	respOK, brOK := postBatch(t, ts.URL, BatchRequest{Queries: []QueryRequest{
+		chaosQuery(3), chaosQuery(3), chaosQuery(3), chaosQuery(3),
+	}})
+	if respOK.StatusCode != http.StatusOK {
+		t.Fatalf("post-panic batch status=%d", respOK.StatusCode)
+	}
+	for i, raw := range brOK.Results {
+		if qr := decodeResult(t, raw); qr.Error != "" || len(qr.Routes) != 3 {
+			t.Fatalf("post-panic result %d: %+v", i, qr)
+		}
+	}
+}
+
+// TestApplyRetryAndBreaker walks /v1/admin/update through the whole
+// degradation ladder: a transient failure absorbed by the retry, retry
+// exhaustion shedding with apply_failed, the breaker opening after
+// consecutive failures, and recovery once the fault clears.
+func TestApplyRetryAndBreaker(t *testing.T) {
+	defer faultinject.Reset()
+	errBoom := errors.New("injected apply failure")
+	sys := kosr.NewSystem(kosr.Figure1())
+	srv := NewWithConfig(sys, Config{
+		Workers: 1, ApplyRetries: 2, ApplyBackoff: time.Millisecond,
+		BreakerThreshold: 2, BreakerCooldown: 100 * time.Millisecond,
+	})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(srv.Close)
+	t.Cleanup(ts.Close)
+	upd := AdminUpdateRequest{Updates: []UpdateJSON{
+		{Op: "insert-edge", From: "s", To: "t", Weight: 500},
+	}}
+
+	// One transient failure is absorbed by the retry: the client sees 200.
+	faultinject.Set(faultinject.FailApply, faultinject.Spec{Prob: 1, Count: 1, Err: errBoom})
+	resp := postJSON(t, ts.URL+"/v1/admin/update", upd)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("retried update: status=%d, want 200", resp.StatusCode)
+	}
+	var ar AdminUpdateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ar); err != nil {
+		t.Fatal(err)
+	}
+	if ar.Epoch != 2 {
+		t.Fatalf("epoch=%d, want 2", ar.Epoch)
+	}
+
+	// A persistent failure exhausts the retries: two updates shed with
+	// apply_failed and trip the breaker.
+	faultinject.Set(faultinject.FailApply, faultinject.Spec{Prob: 1, Err: errBoom})
+	for i := 0; i < 2; i++ {
+		resp := postJSON(t, ts.URL+"/v1/admin/update", upd)
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("failing update %d: status=%d, want 503", i, resp.StatusCode)
+		}
+		if sb := decodeShed(t, resp); sb.Reason != "apply_failed" {
+			t.Fatalf("failing update %d: reason=%q", i, sb.Reason)
+		}
+	}
+	// The open breaker sheds without touching the updater at all.
+	firedBefore := faultinject.Fired(faultinject.FailApply)
+	resp = postJSON(t, ts.URL+"/v1/admin/update", upd)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("breaker-open update: status=%d, want 503", resp.StatusCode)
+	}
+	if sb := decodeShed(t, resp); sb.Reason != "breaker_open" {
+		t.Fatalf("breaker-open reason=%q", sb.Reason)
+	}
+	if fired := faultinject.Fired(faultinject.FailApply); fired != firedBefore {
+		t.Fatalf("breaker-open update reached Apply: fired %d -> %d", firedBefore, fired)
+	}
+
+	// Fault cleared + cooldown passed: the half-open probe succeeds and
+	// the breaker closes.
+	faultinject.Clear(faultinject.FailApply)
+	time.Sleep(150 * time.Millisecond)
+	resp = postJSON(t, ts.URL+"/v1/admin/update", upd)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-recovery update: status=%d, want 200", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ar); err != nil {
+		t.Fatal(err)
+	}
+	if ar.Epoch != 3 {
+		t.Fatalf("post-recovery epoch=%d, want 3", ar.Epoch)
+	}
+}

@@ -1,0 +1,496 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	kosr "repro"
+)
+
+// shedBody is the wire shape of a writeShed response.
+type shedBody struct {
+	Error            string `json:"error"`
+	Shed             bool   `json:"shed"`
+	Reason           string `json:"reason"`
+	RetryAfterMillis int64  `json:"retry_after_millis"`
+}
+
+func decodeShed(t *testing.T, resp *http.Response) shedBody {
+	t.Helper()
+	var sb shedBody
+	if err := json.NewDecoder(resp.Body).Decode(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb
+}
+
+func postWithHeaders(t *testing.T, url string, hdr map[string]string, body any) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func getHealth(t *testing.T, url string) HealthResponse {
+	t.Helper()
+	resp, err := http.Get(url + "/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// saturate occupies a Workers:1/QueueDepth:1 server completely: one task
+// holds the worker, a second fills the only queue slot. The returned
+// release unblocks both; it is idempotent.
+func saturate(t *testing.T, srv *Server) (release func()) {
+	t.Helper()
+	block := make(chan struct{})
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		srv.dispatch(context.Background(), "/query", func() { close(started); <-block })
+	}()
+	<-started // the worker is now busy and the queue is empty
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		srv.dispatch(context.Background(), "/query", func() { <-block })
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.queued.Load() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("queue slot never filled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() { close(block) })
+		wg.Wait()
+	}
+}
+
+var fig1Query = QueryRequest{
+	Source: "s", Target: "t",
+	Categories: []string{"MA", "RE", "CI"}, K: 3,
+}
+
+func TestQueueFullShed(t *testing.T) {
+	sys := kosr.NewSystem(kosr.Figure1())
+	srv := NewWithConfig(sys, Config{Workers: 1, QueueDepth: 1})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(srv.Close)
+	t.Cleanup(ts.Close)
+	release := saturate(t, srv)
+	defer release()
+
+	// A single query on a full queue sheds with 429 and a retry hint.
+	resp := postJSON(t, ts.URL+"/query", fig1Query)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated /query: status=%d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("shed response is missing Retry-After")
+	}
+	sb := decodeShed(t, resp)
+	if !sb.Shed || sb.Reason != "queue_full" || sb.RetryAfterMillis < minRetryAfterDur.Milliseconds() {
+		t.Fatalf("shed body=%+v", sb)
+	}
+
+	// A batch whose every entry sheds is rejected whole, not answered
+	// as a 200 full of useless entries.
+	respB, _ := postBatch(t, ts.URL, BatchRequest{Queries: []QueryRequest{fig1Query, fig1Query}})
+	if respB.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated batch: status=%d, want 429", respB.StatusCode)
+	}
+
+	h := getHealth(t, ts.URL)
+	if h.Sheds["/query"].QueueFull < 1 {
+		t.Errorf("health /query queue_full=%d, want >=1", h.Sheds["/query"].QueueFull)
+	}
+	if h.Sheds["/v1/query"].QueueFull < 2 {
+		t.Errorf("health /v1/query queue_full=%d, want >=2", h.Sheds["/v1/query"].QueueFull)
+	}
+
+	// Releasing the saturation restores normal service.
+	release()
+	resp2 := postJSON(t, ts.URL+"/query", fig1Query)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("post-release status=%d, want 200", resp2.StatusCode)
+	}
+}
+
+func TestDeadlineUnmeetableShed(t *testing.T) {
+	sys := kosr.NewSystem(kosr.Figure1())
+	srv := NewWithConfig(sys, Config{Workers: 1})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(srv.Close)
+	t.Cleanup(ts.Close)
+
+	// Price a queue slot at ten seconds: any request budgeting less is
+	// hopeless and must be rejected before it wastes a worker.
+	srv.ewmaNanos.Store((10 * time.Second).Nanoseconds())
+	resp := postWithHeaders(t, ts.URL+"/query", map[string]string{"X-Deadline-Millis": "50"}, fig1Query)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("unmeetable deadline: status=%d, want 503", resp.StatusCode)
+	}
+	sb := decodeShed(t, resp)
+	if !sb.Shed || sb.Reason != "deadline_unmeetable" {
+		t.Fatalf("shed body=%+v", sb)
+	}
+	if h := getHealth(t, ts.URL); h.Sheds["/query"].DeadlineUnmeetable < 1 {
+		t.Errorf("health deadline_unmeetable=%d, want >=1", h.Sheds["/query"].DeadlineUnmeetable)
+	}
+
+	// With the estimate cleared the same budget is honoured and answered.
+	srv.ewmaNanos.Store(0)
+	resp2 := postWithHeaders(t, ts.URL+"/query", map[string]string{"X-Deadline-Millis": "50"}, fig1Query)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("meetable deadline: status=%d, want 200", resp2.StatusCode)
+	}
+}
+
+// TestDispatchExpiredDeadline drives dispatch directly with a context
+// whose deadline already passed: the request sheds as expired and the
+// error still satisfies the historical errors.Is(err,
+// context.DeadlineExceeded) contract through Unwrap.
+func TestDispatchExpiredDeadline(t *testing.T) {
+	srv := NewWithConfig(kosr.NewSystem(kosr.Figure1()), Config{Workers: 1})
+	t.Cleanup(srv.Close)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	err := srv.dispatch(ctx, "/query", func() { t.Error("expired request must not run") })
+	var sh *shedError
+	if !errors.As(err, &sh) {
+		t.Fatalf("err=%v, want *shedError", err)
+	}
+	if sh.status != http.StatusServiceUnavailable || sh.reason != shedExpired {
+		t.Fatalf("shed=%+v", sh)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatal("shed error must unwrap to context.DeadlineExceeded")
+	}
+	if got := srv.sheds["/query"].expired.Load(); got != 1 {
+		t.Fatalf("expired counter=%d, want 1", got)
+	}
+}
+
+func TestDeadlineHeaderValidation(t *testing.T) {
+	ts, _ := newTestServer(t)
+	for _, path := range []string{"/query", "/v1/stream", "/expand"} {
+		for _, bad := range []string{"abc", "-5", "0", "1.5", "99999999999999999999"} {
+			var body any = fig1Query
+			if path == "/expand" {
+				body = ExpandRequest{Witness: []int32{0, 1}}
+			}
+			resp := postWithHeaders(t, ts.URL+path, map[string]string{"X-Deadline-Millis": bad}, body)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Errorf("%s with X-Deadline-Millis=%q: status=%d, want 400", path, bad, resp.StatusCode)
+			}
+		}
+	}
+	resp, _ := postBatch(t, ts.URL, BatchRequest{Queries: []QueryRequest{fig1Query}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch without header: status=%d", resp.StatusCode)
+	}
+	respH := postWithHeaders(t, ts.URL+"/query", map[string]string{"X-Deadline-Millis": "30000"}, fig1Query)
+	if respH.StatusCode != http.StatusOK {
+		t.Fatalf("generous header budget: status=%d, want 200", respH.StatusCode)
+	}
+}
+
+func TestServeStaleDegradedMode(t *testing.T) {
+	sys := kosr.NewSystem(kosr.Figure1())
+	srv := NewWithConfig(sys, Config{Workers: 1, QueueDepth: 1, CacheSize: 64, ServeStale: true})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(srv.Close)
+	t.Cleanup(ts.Close)
+
+	// Warm the cache on epoch 1.
+	respWarm, brWarm := postBatch(t, ts.URL, BatchRequest{Queries: []QueryRequest{fig1Query}})
+	if respWarm.StatusCode != http.StatusOK {
+		t.Fatalf("warm status=%d", respWarm.StatusCode)
+	}
+	if xc := respWarm.Header.Get("X-Cache"); xc != "hits=0 misses=1" {
+		t.Fatalf("warm X-Cache=%q", xc)
+	}
+
+	// Publish epoch 2: a heavy parallel edge that changes no answer but
+	// makes every epoch-1 cache entry stale.
+	respUpd := postJSON(t, ts.URL+"/v1/admin/update", AdminUpdateRequest{Updates: []UpdateJSON{
+		{Op: "insert-edge", From: "s", To: "t", Weight: 1000},
+	}})
+	if respUpd.StatusCode != http.StatusOK {
+		t.Fatalf("update status=%d", respUpd.StatusCode)
+	}
+
+	release := saturate(t, srv)
+	defer release()
+
+	// The shed query falls back to its epoch-1 answer, byte-identical,
+	// and the degradation is visible in the X-Cache stale segment.
+	respStale, brStale := postBatch(t, ts.URL, BatchRequest{Queries: []QueryRequest{fig1Query}})
+	if respStale.StatusCode != http.StatusOK {
+		t.Fatalf("stale fallback status=%d, want 200", respStale.StatusCode)
+	}
+	if xc := respStale.Header.Get("X-Cache"); xc != "hits=0 misses=0 stale=1" {
+		t.Fatalf("stale X-Cache=%q", xc)
+	}
+	if !bytes.Equal(brStale.Results[0], brWarm.Results[0]) {
+		t.Fatalf("stale answer differs from its epoch-1 original:\n%s\n%s", brStale.Results[0], brWarm.Results[0])
+	}
+	if got := respStale.Header.Get("X-Index-Epoch"); got != "2" {
+		t.Fatalf("stale response epoch=%q, want 2", got)
+	}
+
+	// A query with no recent-epoch entry has nothing to degrade to: the
+	// batch sheds whole with 429 as if ServeStale were off.
+	respMiss, _ := postBatch(t, ts.URL, BatchRequest{Queries: []QueryRequest{
+		{Source: "s", Target: "t", Categories: []string{"MA"}, K: 1},
+	}})
+	if respMiss.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("uncached shed status=%d, want 429", respMiss.StatusCode)
+	}
+}
+
+// TestAdminUpdateStrictness locks in /v1/admin/update's input hygiene:
+// non-JSON content types, unknown fields at either nesting level, and
+// oversized bodies are all rejected before any mutation is attempted.
+func TestAdminUpdateStrictness(t *testing.T) {
+	ts, _ := newTestServer(t)
+	url := ts.URL + "/v1/admin/update"
+	valid := `{"updates":[{"op":"insert-edge","from":"s","to":"t","weight":2}]}`
+
+	resp, err := http.Post(url, "text/plain", strings.NewReader(valid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnsupportedMediaType {
+		t.Fatalf("text/plain: status=%d, want 415", resp.StatusCode)
+	}
+
+	for _, tc := range []struct{ name, body string }{
+		{"unknown top-level field", `{"updates":[{"op":"insert-edge","from":"s","to":"t","weight":2}],"force":true}`},
+		{"unknown update field", `{"updates":[{"op":"insert-edge","from":"s","to":"t","weight":2,"wat":1}]}`},
+		{"oversized body", fmt.Sprintf(`{"updates":[{"op":"insert-edge","from":%q,"to":"t","weight":2}]}`,
+			strings.Repeat("x", maxBodyBytes))},
+	} {
+		resp, err := http.Post(url, "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status=%d, want 400", tc.name, resp.StatusCode)
+		}
+	}
+
+	// None of the rejected requests may have published an epoch.
+	if h := getHealth(t, ts.URL); h.Epoch != 1 {
+		t.Fatalf("epoch=%d after rejected updates, want 1", h.Epoch)
+	}
+}
+
+func TestBreakerHalfOpen(t *testing.T) {
+	b := newBreaker(2, time.Minute)
+	now := time.Unix(1000, 0)
+	b.now = func() time.Time { return now }
+
+	if ok, _ := b.allow(); !ok {
+		t.Fatal("new breaker must allow")
+	}
+	b.onFailure()
+	if ok, _ := b.allow(); !ok {
+		t.Fatal("one failure below threshold must still allow")
+	}
+	b.onFailure() // second consecutive failure trips it
+	if ok, wait := b.allow(); ok || wait <= 0 {
+		t.Fatalf("tripped breaker: ok=%v wait=%v", ok, wait)
+	}
+	now = now.Add(30 * time.Second)
+	if ok, wait := b.allow(); ok || wait != 30*time.Second {
+		t.Fatalf("mid-cooldown: ok=%v wait=%v, want open with 30s left", ok, wait)
+	}
+	now = now.Add(31 * time.Second)
+	if ok, _ := b.allow(); !ok {
+		t.Fatal("cooldown expiry must half-open the breaker")
+	}
+	// The failure run survives the open period: one failed half-open
+	// probe re-opens immediately instead of needing a fresh run.
+	b.onFailure()
+	if ok, _ := b.allow(); ok {
+		t.Fatal("failed half-open probe must re-open the breaker")
+	}
+	now = now.Add(2 * time.Minute)
+	if ok, _ := b.allow(); !ok {
+		t.Fatal("second cooldown expiry must half-open again")
+	}
+	b.onSuccess()
+	b.onFailure()
+	if ok, _ := b.allow(); !ok {
+		t.Fatal("a success must clear the failure run")
+	}
+	if got := b.trips.Load(); got != 2 {
+		t.Fatalf("trips=%d, want 2", got)
+	}
+}
+
+// TestRequestHygiene runs a table of well-behaved and badly-behaved
+// requests and asserts the invariant behind all of them: no pooled
+// scratch stays checked out, no goroutine leaks, and the pool still
+// answers a full-width batch correctly afterwards.
+func TestRequestHygiene(t *testing.T) {
+	before := runtime.NumGoroutine()
+	sys := kosr.NewSystem(kosr.Figure1())
+	srv := NewWithConfig(sys, Config{Workers: 2, QueryTimeout: 2 * time.Second})
+	ts := httptest.NewServer(srv)
+
+	cases := []struct {
+		name string
+		run  func(t *testing.T)
+	}{
+		{"query-ok", func(t *testing.T) {
+			if resp := postJSON(t, ts.URL+"/query", fig1Query); resp.StatusCode != http.StatusOK {
+				t.Fatalf("status=%d", resp.StatusCode)
+			}
+		}},
+		{"query-tiny-budget", func(t *testing.T) {
+			// 1ms may answer or shed depending on scheduling; either way
+			// the invariants below must hold.
+			resp := postWithHeaders(t, ts.URL+"/query", map[string]string{"X-Deadline-Millis": "1"}, fig1Query)
+			resp.Body.Close()
+		}},
+		{"query-cancelled-client", func(t *testing.T) {
+			ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+			defer cancel()
+			b, _ := json.Marshal(fig1Query)
+			req, _ := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/query", bytes.NewReader(b))
+			req.Header.Set("Content-Type", "application/json")
+			if resp, err := http.DefaultClient.Do(req); err == nil {
+				resp.Body.Close()
+			}
+		}},
+		{"stream-abandoned", func(t *testing.T) {
+			resp := postJSON(t, ts.URL+"/v1/stream", QueryRequest{
+				Source: "s", Target: "t", Categories: []string{"MA", "RE", "CI"},
+			})
+			// Read nothing and walk away: the disconnect must cancel the
+			// engine and return its scratch.
+			resp.Body.Close()
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, c.run)
+	}
+
+	// Every scratch must come home once the traffic stops.
+	deadline := time.Now().Add(10 * time.Second)
+	for sys.ScratchesInFlight() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("scratches in flight=%d after traffic stopped, want 0", sys.ScratchesInFlight())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Pool-size regression: a batch as wide as the pool still answers
+	// correctly, so no worker or scratch was lost along the way.
+	resp, br := postBatch(t, ts.URL, BatchRequest{Queries: []QueryRequest{
+		fig1Query, fig1Query, fig1Query, fig1Query,
+	}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-hygiene batch status=%d", resp.StatusCode)
+	}
+	for i, raw := range br.Results {
+		qr := decodeResult(t, raw)
+		if qr.Error != "" || len(qr.Routes) != 3 || qr.Routes[0].Cost != 20 {
+			t.Fatalf("post-hygiene result %d: %+v", i, qr)
+		}
+	}
+
+	ts.Close()
+	srv.Close()
+	http.DefaultClient.CloseIdleConnections()
+	for time.Now().Before(deadline) && runtime.NumGoroutine() > before+2 {
+		runtime.GC()
+		time.Sleep(20 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before+2 {
+		t.Fatalf("goroutines: %d before, %d after", before, n)
+	}
+}
+
+// TestHealthRobustnessGauges locks in the /health fields the
+// degradation machinery reports: the page-residency gauge, the fixed
+// per-endpoint shed counter map, and the scratch accounting.
+func TestHealthRobustnessGauges(t *testing.T) {
+	ts, _ := newTestServer(t)
+	h := getHealth(t, ts.URL)
+	if h.Pages == nil || h.Pages.Shared+h.Pages.Owned == 0 {
+		t.Fatalf("pages gauge=%+v, want materialized pages", h.Pages)
+	}
+	if len(h.Sheds) != 4 {
+		t.Fatalf("sheds=%v, want the four shedding endpoints", h.Sheds)
+	}
+	for _, ep := range []string{"/query", "/v1/query", "/v1/stream", "/expand"} {
+		if h.Sheds[ep] == nil {
+			t.Fatalf("missing shed counters for %s in %v", ep, h.Sheds)
+		}
+	}
+	if h.Updates == nil || h.Updates.ScratchInFlight != 0 {
+		t.Fatalf("updates=%+v, want scratch_in_flight=0 at idle", h.Updates)
+	}
+	if h.Panics != 0 {
+		t.Fatalf("panics=%d on a fresh server", h.Panics)
+	}
+
+	// After an update that only adds a new category, the live snapshot
+	// shares its untouched pages with the superseded epoch.
+	resp := postJSON(t, ts.URL+"/v1/admin/update", AdminUpdateRequest{Updates: []UpdateJSON{
+		{Op: "add-category", Vertex: "0", Category: "3"},
+	}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("update status=%d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	h2 := getHealth(t, ts.URL)
+	if h2.Epoch != 2 {
+		t.Fatalf("post-update epoch=%d, want 2", h2.Epoch)
+	}
+	if h2.Pages == nil || h2.Pages.Shared == 0 {
+		t.Fatalf("post-update pages=%+v, want shared>0", h2.Pages)
+	}
+}

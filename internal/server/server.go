@@ -37,10 +37,12 @@ import (
 	"runtime"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	kosr "repro"
 	"repro/internal/cache"
+	"repro/internal/faultinject"
 )
 
 // maxBodyBytes bounds request bodies; KOSR queries are tiny, so
@@ -53,8 +55,9 @@ type Config struct {
 	// (default: GOMAXPROCS).
 	Workers int
 	// QueueDepth bounds how many accepted requests may wait for a
-	// worker (default: 4×Workers). Beyond it, requests block until
-	// their timeout and are rejected.
+	// worker (default: 4×Workers, floored at 64 so a default-sized
+	// batch fans out without shedding on small machines). Beyond it,
+	// requests are shed immediately with 429.
 	QueueDepth int
 	// MaxExamined bounds each query's search (0 = unlimited); a routing
 	// service should always set it. Queries over budget return their
@@ -82,6 +85,28 @@ type Config struct {
 	// MaxUpdateBatch bounds how many mutations one /v1/admin/update
 	// request may carry (default 1024).
 	MaxUpdateBatch int
+	// ServeStale allows a query that admission control shed to be
+	// answered from a cache entry computed on a recent superseded epoch,
+	// marked stale in X-Cache, instead of rejected. Off by default:
+	// stale answers are wrong answers unless the operator opts in.
+	ServeStale bool
+	// StaleEpochs bounds how many epochs behind a stale answer may be
+	// (default 1 when ServeStale is set). Ignored unless ServeStale.
+	StaleEpochs int
+	// ApplyRetries is how many times /v1/admin/update retries a
+	// transiently failing System.Apply before giving up (default 3;
+	// validation failures never retry).
+	ApplyRetries int
+	// ApplyBackoff is the initial sleep between Apply retries, doubling
+	// each attempt (default 5ms).
+	ApplyBackoff time.Duration
+	// BreakerThreshold opens the apply circuit breaker after this many
+	// consecutive exhausted-retry failures (default 3), shedding
+	// further updates with 503 until BreakerCooldown passes.
+	BreakerThreshold int
+	// BreakerCooldown is how long the apply breaker stays open
+	// (default 5s).
+	BreakerCooldown time.Duration
 }
 
 // DefaultStreamWriteTimeout is the per-line write deadline applied to
@@ -105,9 +130,22 @@ type Server struct {
 	maxBatch       int
 	maxUpdateBatch int
 	streamTimeout  time.Duration // per-line /v1/stream write deadline; <0 = none
+	workers        int
+	staleEpochs    int // >0 enables stale serving, bounding the window
+	applyRetries   int
+	applyBackoff   time.Duration
+	brk            *breaker
 
 	jobs     chan *task
 	workerWG sync.WaitGroup
+
+	// Admission-control state: tasks waiting in jobs, the recent mean
+	// service time pricing a queue slot, per-endpoint shed counters,
+	// and recovered panics (worker- and handler-side).
+	queued    atomic.Int64
+	ewmaNanos atomic.Int64
+	sheds     map[string]*endpointSheds // fixed at construction; values mutate
+	panics    atomic.Uint64
 
 	mu       sync.Mutex
 	closed   bool
@@ -115,8 +153,9 @@ type Server struct {
 }
 
 type task struct {
-	run  func()
-	done chan struct{}
+	run      func()
+	done     chan struct{}
+	panicked bool // set by the worker's recover before done closes
 }
 
 // New returns a Server for sys with default Config.
@@ -129,6 +168,9 @@ func NewWithConfig(sys *kosr.System, cfg Config) *Server {
 	}
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 4 * cfg.Workers
+		if cfg.QueueDepth < 64 {
+			cfg.QueueDepth = 64
+		}
 	}
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = 64
@@ -139,6 +181,21 @@ func NewWithConfig(sys *kosr.System, cfg Config) *Server {
 	if cfg.StreamWriteTimeout == 0 {
 		cfg.StreamWriteTimeout = DefaultStreamWriteTimeout
 	}
+	if cfg.StaleEpochs <= 0 {
+		cfg.StaleEpochs = 1
+	}
+	if cfg.ApplyRetries <= 0 {
+		cfg.ApplyRetries = 3
+	}
+	if cfg.ApplyBackoff <= 0 {
+		cfg.ApplyBackoff = 5 * time.Millisecond
+	}
+	if cfg.BreakerThreshold <= 0 {
+		cfg.BreakerThreshold = 3
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 5 * time.Second
+	}
 	s := &Server{
 		sys:            sys,
 		mux:            http.NewServeMux(),
@@ -147,7 +204,20 @@ func NewWithConfig(sys *kosr.System, cfg Config) *Server {
 		maxBatch:       cfg.MaxBatch,
 		maxUpdateBatch: cfg.MaxUpdateBatch,
 		streamTimeout:  cfg.StreamWriteTimeout,
+		workers:        cfg.Workers,
+		applyRetries:   cfg.ApplyRetries,
+		applyBackoff:   cfg.ApplyBackoff,
+		brk:            newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
 		jobs:           make(chan *task, cfg.QueueDepth),
+		sheds: map[string]*endpointSheds{
+			"/v1/query":  {},
+			"/v1/stream": {},
+			"/query":     {},
+			"/expand":    {},
+		},
+	}
+	if cfg.ServeStale {
+		s.staleEpochs = cfg.StaleEpochs
 	}
 	if cfg.CacheSize > 0 {
 		s.cache = cache.New[[]byte](cfg.CacheSize)
@@ -169,9 +239,28 @@ func NewWithConfig(sys *kosr.System, cfg Config) *Server {
 func (s *Server) worker() {
 	defer s.workerWG.Done()
 	for t := range s.jobs {
-		t.run()
+		s.queued.Add(-1)
+		start := time.Now()
+		s.runTask(t)
+		s.observeService(time.Since(start))
 		close(t.done)
 	}
+}
+
+// runTask runs one task, converting a panic into t.panicked so the
+// worker survives and the dispatching handler answers 500. The engine
+// releases its own resources on the unwind (snapshot pins are plain
+// pointers; scratch acquisition sites defer their release), so a
+// panicking query does not shrink the scratch pool.
+func (s *Server) runTask(t *task) {
+	defer func() {
+		if r := recover(); r != nil {
+			t.panicked = true
+			s.panics.Add(1)
+		}
+	}()
+	faultinject.Sleep(faultinject.SlowWorker)
+	t.run()
 }
 
 // Close stops accepting work, waits for queued and running queries to
@@ -201,35 +290,49 @@ func (s *Server) CacheStats() (hits, misses, coalesced int64, entries int) {
 	return h, m, c, s.cache.Len()
 }
 
-var errShuttingDown = errors.New("server shutting down")
-
-// dispatch runs fn on the worker pool, blocking until it completes.
-// It fails without running fn when the server is closing or ctx expires
-// before a worker picks the task up.
-func (s *Server) dispatch(ctx context.Context, fn func()) error {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return errShuttingDown
-	}
-	s.inflight.Add(1)
-	s.mu.Unlock()
-	defer s.inflight.Done()
-	t := &task{run: fn, done: make(chan struct{})}
-	select {
-	case s.jobs <- t:
-	case <-ctx.Done():
-		return ctx.Err()
-	}
-	// Once scheduled the task will run; the request context threaded
-	// into the engine bounds how long (responding early would race the
-	// worker's writes into the handler's response).
-	<-t.done
-	return nil
+// ServeHTTP implements http.Handler. Every handler runs under panic
+// recovery: a panicking handler goroutine answers 500 (when no bytes
+// have gone out yet) instead of killing the connection with a stack
+// trace, and the panic is counted in /health.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rw := &recoveryWriter{ResponseWriter: w}
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.panics.Add(1)
+			if !rw.wrote {
+				writeError(rw, http.StatusInternalServerError, "internal error")
+			}
+		}
+	}()
+	s.mux.ServeHTTP(rw, r)
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// recoveryWriter tracks whether any response bytes were written, so the
+// recovery middleware knows whether a 500 can still be answered.
+type recoveryWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (w *recoveryWriter) WriteHeader(code int) {
+	w.wrote = true
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *recoveryWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *recoveryWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap lets http.ResponseController reach the underlying writer's
+// deadline controls through the wrapper.
+func (w *recoveryWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 // methodOnly rejects every verb but the given one with a 405 carrying
 // the mandatory Allow header.
@@ -291,6 +394,24 @@ type HealthResponse struct {
 
 	// Updates reports the cumulative cost of dynamic index updates.
 	Updates *UpdateHealth `json:"updates,omitempty"`
+
+	// Sheds reports per-endpoint admission-control rejections since
+	// startup, keyed by endpoint path.
+	Sheds map[string]*ShedHealth `json:"sheds"`
+	// Panics counts recovered panics (worker- and handler-side); any
+	// nonzero value deserves a look at the logs.
+	Panics uint64 `json:"panics,omitempty"`
+	// Pages reports the current snapshot's page residency: Shared pages
+	// are borrowed from ancestor epochs, Owned were copied on write.
+	// Owned growing toward Shared+Owned across a long epoch chain is
+	// the memory-amplification signature to alarm on.
+	Pages *PageHealth `json:"pages,omitempty"`
+}
+
+// PageHealth is the /health view of Snapshot.PageResidency.
+type PageHealth struct {
+	Shared int `json:"shared"`
+	Owned  int `json:"owned"`
 }
 
 // UpdateHealth is the /health view of the dynamic-update cost counters
@@ -310,6 +431,15 @@ type UpdateHealth struct {
 	// ScratchCarryover: pooled query scratches inherited by new epochs'
 	// providers, keeping post-update queries warm.
 	ScratchCarryover uint64 `json:"scratch_carryover"`
+	// ScratchForwarded: scratch releases redirected from a superseded
+	// epoch's provider into the live pool. Carryover only counts
+	// scratches at rest at publication time; under saturation most are
+	// checked out then and come home through this path instead.
+	ScratchForwarded uint64 `json:"scratch_forwarded"`
+	// ScratchInFlight: scratches currently checked out by running
+	// queries; should fall back to 0 when traffic stops (a persistent
+	// nonzero value at idle means a leak).
+	ScratchInFlight int64 `json:"scratch_in_flight"`
 }
 
 // CacheHealth is the /health view of the result cache.
@@ -346,7 +476,20 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		PagesCopied:      ast.PagesCopied,
 		ApplyBytes:       ast.ApplyBytes,
 		ScratchCarryover: ast.ScratchCarryover,
+		ScratchForwarded: ast.ScratchForwarded,
+		ScratchInFlight:  s.sys.ScratchesInFlight(),
 	}
+	shared, owned := snap.PageResidency()
+	resp.Pages = &PageHealth{Shared: shared, Owned: owned}
+	resp.Sheds = make(map[string]*ShedHealth, len(s.sheds))
+	for ep, c := range s.sheds {
+		resp.Sheds[ep] = &ShedHealth{
+			QueueFull:          c.queueFull.Load(),
+			DeadlineUnmeetable: c.deadline.Load(),
+			DeadlineExpired:    c.expired.Load(),
+		}
+	}
+	resp.Panics = s.panics.Load()
 	if s.cache != nil {
 		// Refresh the freshness watermark from the snapshot, so the
 		// stale count stays right even when an embedder publishes
@@ -395,6 +538,13 @@ type QueryResult struct {
 	// Error reports a per-query failure (unknown vertex, bad method,
 	// …); the surrounding batch still answers its other queries.
 	Error string `json:"error,omitempty"`
+	// Shed marks that admission control rejected this query without
+	// running it; Error names the reason and RetryAfterMillis suggests
+	// a backoff. The surrounding batch still answers its other queries
+	// (an entirely shed batch is rejected whole with 429/503 instead).
+	Shed bool `json:"shed,omitempty"`
+	// RetryAfterMillis accompanies Shed.
+	RetryAfterMillis int64 `json:"retry_after_millis,omitempty"`
 }
 
 // BatchRequest is the /v1/query payload: a batch of queries answered
@@ -492,13 +642,28 @@ func (s *Server) buildRequest(snap *kosr.Snapshot, qr QueryRequest) (kosr.Reques
 	}, nil
 }
 
-// queryCtx derives the per-query context from the request context and
-// the configured timeout.
-func (s *Server) queryCtx(r *http.Request) (context.Context, context.CancelFunc) {
-	if s.QueryTimeout > 0 {
-		return context.WithTimeout(r.Context(), s.QueryTimeout)
+// queryCtx derives the per-query context from the request context, the
+// configured timeout, and the optional X-Deadline-Millis header, which
+// lets a client pass its remaining budget so the server stops working
+// the moment an answer could no longer arrive in time. The tighter of
+// the header and QueryTimeout wins. A malformed header is a caller bug
+// and reports an error (the handler answers 400).
+func (s *Server) queryCtx(r *http.Request) (context.Context, context.CancelFunc, error) {
+	budget := s.QueryTimeout
+	if h := r.Header.Get("X-Deadline-Millis"); h != "" {
+		ms, err := strconv.ParseInt(h, 10, 64)
+		if err != nil || ms <= 0 {
+			return nil, nil, fmt.Errorf("bad X-Deadline-Millis %q: want a positive integer", h)
+		}
+		if d := time.Duration(ms) * time.Millisecond; budget <= 0 || d < budget {
+			budget = d
+		}
 	}
-	return r.Context(), func() {}
+	if budget > 0 {
+		ctx, cancel := context.WithTimeout(r.Context(), budget)
+		return ctx, cancel, nil
+	}
+	return r.Context(), func() {}, nil
 }
 
 // runQuery answers one Request on the worker pool against the pinned
@@ -508,17 +673,18 @@ func (s *Server) queryCtx(r *http.Request) (context.Context, context.CancelFunc)
 // time left when the worker picks the query up, so queueing cannot
 // extend the request's stay. Expansion runs on the worker too, so the
 // pool bounds all engine CPU, not just Do.
-func (s *Server) runQuery(ctx context.Context, snap *kosr.Snapshot, req kosr.Request, expand bool) (res *kosr.Result, expanded [][]int32, err error) {
+func (s *Server) runQuery(ctx context.Context, endpoint string, snap *kosr.Snapshot, req kosr.Request, expand bool) (res *kosr.Result, expanded [][]int32, err error) {
 	var doErr error
-	if err := s.dispatch(ctx, func() {
+	if err := s.dispatch(ctx, endpoint, func() {
 		if deadline, ok := ctx.Deadline(); ok {
-			remaining := time.Until(deadline)
+			remaining := time.Until(deadline) - faultinject.Skew(faultinject.SkewDeadline)
 			if remaining <= 0 {
 				doErr = context.DeadlineExceeded
 				return
 			}
 			req.MaxDuration = remaining
 		}
+		faultinject.Panic(faultinject.PanicCompute)
 		res, doErr = snap.Do(ctx, req)
 		if doErr == nil && expand {
 			expanded = make([][]int32, len(res.Routes))
@@ -539,8 +705,8 @@ func (s *Server) runQuery(ctx context.Context, snap *kosr.Snapshot, req kosr.Req
 // results truncated by the deterministic MaxExamined budget are
 // storable — the cache key covers the budget, so every request sharing
 // the key truncates identically.
-func (s *Server) compute(ctx context.Context, snap *kosr.Snapshot, req kosr.Request, expand bool) (body []byte, storable bool, err error) {
-	res, expanded, err := s.runQuery(ctx, snap, req, expand)
+func (s *Server) compute(ctx context.Context, endpoint string, snap *kosr.Snapshot, req kosr.Request, expand bool) (body []byte, storable bool, err error) {
+	res, expanded, err := s.runQuery(ctx, endpoint, snap, req, expand)
 	if err != nil {
 		return nil, false, err
 	}
@@ -581,10 +747,11 @@ func (s *Server) routesJSON(routes []kosr.Route, expanded [][]int32) []RouteJSON
 // QueryResult; per-query failures become the Error field so the batch's
 // other queries still answer. hit reports a cache hit (or a coalesced
 // in-flight computation).
-func (s *Server) answerOne(ctx context.Context, snap *kosr.Snapshot, qr QueryRequest) (body json.RawMessage, hit bool) {
+func (s *Server) answerOne(ctx context.Context, snap *kosr.Snapshot, qr QueryRequest) (body json.RawMessage, hit, stale bool, shed *shedError) {
+	const endpoint = "/v1/query"
 	req, err := s.buildRequest(snap, qr)
 	if err != nil {
-		return errResult(err), false
+		return errResult(err), false, false, nil
 	}
 	req.IndexEpoch = snap.Epoch
 	key, cacheable := req.CanonicalKey()
@@ -592,31 +759,79 @@ func (s *Server) answerOne(ctx context.Context, snap *kosr.Snapshot, qr QueryReq
 		key = "e|" + key
 	}
 	if s.cache == nil || !cacheable {
-		b, _, err := s.compute(ctx, snap, req, qr.Expand)
-		if err != nil {
-			return errResult(err), false
-		}
-		return b, false
+		b, _, err := s.compute(ctx, endpoint, snap, req, qr.Expand)
+		return s.finishOne(b, false, req, qr.Expand, err)
 	}
 	b, hit, err := s.cache.DoAt(ctx, key, snap.Epoch, func() ([]byte, bool, error) {
-		return s.compute(ctx, snap, req, qr.Expand)
+		return s.compute(ctx, endpoint, snap, req, qr.Expand)
 	})
 	if err != nil && hit {
 		// The leader we coalesced onto failed (most likely its client
 		// disconnected, cancelling its context). Its failure is not
 		// ours: compute independently.
-		b, _, err = s.compute(ctx, snap, req, qr.Expand)
+		b, _, err = s.compute(ctx, endpoint, snap, req, qr.Expand)
 		hit = false
 	}
-	if err != nil {
-		return errResult(err), false
+	return s.finishOne(b, hit, req, qr.Expand, err)
+}
+
+// finishOne folds one batch entry's compute outcome into a wire result.
+// A shed query falls back to a bounded-staleness cache entry when the
+// operator enabled -serve-stale; otherwise it reports the shed
+// structurally so the rest of the batch still answers.
+func (s *Server) finishOne(b []byte, hit bool, req kosr.Request, expand bool, err error) (json.RawMessage, bool, bool, *shedError) {
+	if err == nil {
+		return b, hit, false, nil
 	}
-	return b, hit
+	var sh *shedError
+	if errors.As(err, &sh) {
+		if sb, ok := s.peekStale(req, expand); ok {
+			return sb, false, true, nil
+		}
+		return shedResult(sh), false, false, sh
+	}
+	return errResult(err), false, false, nil
+}
+
+// peekStale probes the result cache for this query answered on a recent
+// superseded epoch, newest first, within the configured staleness
+// window. Peek does not promote or count: a degraded read must not
+// perturb what the fresh working set keeps resident.
+func (s *Server) peekStale(req kosr.Request, expand bool) (json.RawMessage, bool) {
+	if s.staleEpochs <= 0 || s.cache == nil {
+		return nil, false
+	}
+	epoch := req.IndexEpoch
+	for back := uint64(1); back <= uint64(s.staleEpochs) && back <= epoch; back++ {
+		req.IndexEpoch = epoch - back
+		key, cacheable := req.CanonicalKey()
+		if !cacheable {
+			return nil, false
+		}
+		if expand {
+			key = "e|" + key
+		}
+		if b, ok := s.cache.Peek(key); ok {
+			return b, true
+		}
+	}
+	return nil, false
 }
 
 func errResult(err error) json.RawMessage {
 	b, mErr := json.Marshal(QueryResult{Error: err.Error()})
 	if mErr != nil {
+		return json.RawMessage(`{"error":"internal error"}`)
+	}
+	return b
+}
+
+func shedResult(sh *shedError) json.RawMessage {
+	b, err := json.Marshal(QueryResult{
+		Error: sh.Error(), Shed: true,
+		RetryAfterMillis: sh.retryAfter.Milliseconds(),
+	})
+	if err != nil {
 		return json.RawMessage(`{"error":"internal error"}`)
 	}
 	return b
@@ -637,7 +852,11 @@ func (s *Server) handleBatchQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "batch of %d queries exceeds the limit of %d", len(batch.Queries), s.maxBatch)
 		return
 	}
-	ctx, cancel := s.queryCtx(r)
+	ctx, cancel, err := s.queryCtx(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	defer cancel()
 
 	// One snapshot pin serves the whole batch: every query of the batch
@@ -647,26 +866,61 @@ func (s *Server) handleBatchQuery(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	results := make([]json.RawMessage, len(batch.Queries))
 	hits := make([]bool, len(batch.Queries))
+	stales := make([]bool, len(batch.Queries))
+	shedErrs := make([]*shedError, len(batch.Queries))
 	var wg sync.WaitGroup
 	for i, q := range batch.Queries {
 		wg.Add(1)
 		go func(i int, q QueryRequest) {
 			defer wg.Done()
-			results[i], hits[i] = s.answerOne(ctx, snap, q)
+			// A panic here would escape the handler's recovery (it is a
+			// different goroutine) and kill the process: degrade to a
+			// per-query error instead, like any other entry failure.
+			defer func() {
+				if rec := recover(); rec != nil {
+					s.panics.Add(1)
+					results[i] = errResult(errWorkerPanic)
+				}
+			}()
+			results[i], hits[i], stales[i], shedErrs[i] = s.answerOne(ctx, snap, q)
 		}(i, q)
 	}
 	wg.Wait()
 
-	nHits := 0
-	for _, h := range hits {
-		if h {
+	nHits, nStale, nShed := 0, 0, 0
+	worst := (*shedError)(nil)
+	for i := range results {
+		if hits[i] {
 			nHits++
 		}
+		if stales[i] {
+			nStale++
+		}
+		if sh := shedErrs[i]; sh != nil {
+			nShed++
+			if worst == nil || sh.retryAfter > worst.retryAfter ||
+				(sh.status == http.StatusServiceUnavailable && worst.status != http.StatusServiceUnavailable) {
+				worst = sh
+			}
+		}
+	}
+	// When admission control rejected every entry there is no partial
+	// answer worth a 200: reject the batch whole, with the most
+	// conservative Retry-After among the per-entry sheds.
+	if nShed == len(results) {
+		writeShed(w, worst)
+		return
 	}
 	// Timing and cache outcome travel as headers: the body stays
 	// deterministic, so cached and uncached responses are byte-identical.
+	// The stale segment appears only when stale entries were served, so
+	// the header is byte-stable for every fully fresh response.
+	xc := fmt.Sprintf("hits=%d misses=%d", nHits, len(results)-nHits-nStale)
+	if nStale > 0 {
+		xc += fmt.Sprintf(" stale=%d", nStale)
+	}
 	w.Header().Set("X-Index-Epoch", strconv.FormatUint(snap.Epoch, 10))
-	w.Header().Set("X-Cache", fmt.Sprintf("hits=%d misses=%d", nHits, len(results)-nHits))
+	w.Header().Set("X-Cache", xc)
 	w.Header().Set("X-Query-Millis",
 		strconv.FormatFloat(float64(time.Since(start).Microseconds())/1000, 'f', 3, 64))
 	writeJSON(w, http.StatusOK, BatchResponse{Results: results})
@@ -694,7 +948,11 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	req.K = qr.K // DoStream treats K<=0 as unbounded; don't default to 1
-	ctx, cancel := s.queryCtx(r)
+	ctx, cancel, err := s.queryCtx(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	defer cancel()
 	req.IndexEpoch = snap.Epoch
 
@@ -715,7 +973,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	// from doing so.
 	expired := false
 	started := false
-	if err := s.dispatch(ctx, func() {
+	if err := s.dispatch(ctx, "/v1/stream", func() {
 		// The deadline is a property of the connection, not the request:
 		// clear it on the way out or a later keep-alive request on the
 		// same connection would inherit it (http.Server only re-arms
@@ -726,7 +984,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			}
 		}()
 		if deadline, ok := ctx.Deadline(); ok {
-			remaining := time.Until(deadline)
+			remaining := time.Until(deadline) - faultinject.Skew(faultinject.SkewDeadline)
 			if remaining <= 0 {
 				expired = true // queueing ate the whole budget
 				return
@@ -759,6 +1017,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 				line.Route = snap.ExpandWitness(rt.Witness)
 			}
 			armWriteDeadline()
+			faultinject.Sleep(faultinject.StallStreamWriter)
 			if enc.Encode(line) != nil {
 				// Client gone or its socket write blocked past the
 				// deadline; ctx cancellation tears down the engine.
@@ -797,13 +1056,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	ctx, cancel := s.queryCtx(r)
+	ctx, cancel, err := s.queryCtx(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	defer cancel()
 	req.IndexEpoch = snap.Epoch
 
 	start := time.Now()
-	res, expanded, err := s.runQuery(ctx, snap, req, qr.Expand)
-	if errors.Is(err, errShuttingDown) || errors.Is(err, context.Canceled) {
+	res, expanded, err := s.runQuery(ctx, "/query", snap, req, qr.Expand)
+	if isDispatchError(err) || errors.Is(err, context.Canceled) {
 		writeDispatchError(w, err)
 		return
 	}
@@ -824,8 +1087,20 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// isDispatchError reports whether err came from dispatch itself (a shed
+// or a worker panic) rather than the query's own execution.
+func isDispatchError(err error) bool {
+	var sh *shedError
+	return errors.As(err, &sh) || errors.Is(err, errWorkerPanic)
+}
+
 func writeDispatchError(w http.ResponseWriter, err error) {
+	var sh *shedError
 	switch {
+	case errors.As(err, &sh):
+		writeShed(w, sh)
+	case errors.Is(err, errWorkerPanic):
+		writeError(w, http.StatusInternalServerError, "%v", err)
 	case errors.Is(err, errShuttingDown):
 		writeError(w, http.StatusServiceUnavailable, "server shutting down")
 	case errors.Is(err, context.DeadlineExceeded):
@@ -896,16 +1171,52 @@ func (s *Server) handleAdminUpdate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	epoch, err := s.sys.Apply(updates...)
-	if err != nil {
+	// The apply path is guarded by a circuit breaker: while it is open
+	// (after repeated transient failures) updates shed immediately
+	// instead of piling retries onto a struggling updater.
+	if ok, wait := s.brk.allow(); !ok {
+		writeShed(w, &shedError{
+			status: http.StatusServiceUnavailable, reason: shedBreakerOpen,
+			retryAfter: wait, cause: errApplyBreakerOpen,
+		})
+		return
+	}
+	epoch, err := s.applyWithRetry(updates)
+	if errors.Is(err, kosr.ErrInvalidUpdate) {
+		// The batch itself is bad; retrying cannot help and the updater
+		// is healthy, so the breaker is untouched.
 		writeError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
+	if err != nil {
+		s.brk.onFailure()
+		writeShed(w, &shedError{
+			status: http.StatusServiceUnavailable, reason: shedApplyFailed,
+			retryAfter: s.brk.cooldown, cause: err,
+		})
+		return
+	}
+	s.brk.onSuccess()
 	if s.cache != nil {
 		s.cache.SetEpoch(epoch)
 	}
 	w.Header().Set("X-Index-Epoch", strconv.FormatUint(epoch, 10))
 	writeJSON(w, http.StatusOK, AdminUpdateResponse{Epoch: epoch, Applied: len(updates)})
+}
+
+// applyWithRetry runs System.Apply with bounded exponential backoff on
+// transient failures. Validation failures (ErrInvalidUpdate) return
+// immediately: the batch would fail identically every time.
+func (s *Server) applyWithRetry(updates []kosr.Update) (epoch uint64, err error) {
+	backoff := s.applyBackoff
+	for attempt := 0; ; attempt++ {
+		epoch, err = s.sys.Apply(updates...)
+		if err == nil || errors.Is(err, kosr.ErrInvalidUpdate) || attempt+1 >= s.applyRetries {
+			return epoch, err
+		}
+		time.Sleep(backoff)
+		backoff *= 2
+	}
 }
 
 // buildUpdate resolves one wire mutation into an engine Update.
@@ -979,11 +1290,15 @@ func (s *Server) handleExpand(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	ctx, cancel := s.queryCtx(r)
+	ctx, cancel, err := s.queryCtx(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	defer cancel()
 	snap := s.sys.Snapshot()
 	var route []int32
-	if err := s.dispatch(ctx, func() {
+	if err := s.dispatch(ctx, "/expand", func() {
 		route = snap.ExpandWitness(req.Witness)
 	}); err != nil {
 		writeDispatchError(w, err)

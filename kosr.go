@@ -53,6 +53,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/disk"
+	"repro/internal/faultinject"
 	"repro/internal/graph"
 	"repro/internal/invindex"
 	"repro/internal/label"
@@ -347,6 +348,39 @@ func newSnapshot(epoch uint64, g *Graph, lab *label.Index, inv *invindex.Index,
 	return sn
 }
 
+// wireCounters points the snapshot's providers at the owning System's
+// shared scratch-accounting counters. Called before the snapshot is
+// published (constructors and the serialized updater), so it never
+// races a query.
+func (sn *Snapshot) wireCounters(fwd *atomic.Uint64, out *atomic.Int64) {
+	sn.dijProv.Forwarded, sn.dijProv.Outstanding = fwd, out
+	if sn.labelProv != nil {
+		sn.labelProv.Forwarded, sn.labelProv.Outstanding = fwd, out
+	}
+}
+
+// PageResidency reports the snapshot's paged index structures' page
+// residency: shared pages are borrowed from an ancestor epoch (one
+// physical copy serves several snapshots), owned pages were copied on
+// write and belong to this snapshot's chain. Owned growth across a
+// long-lived epoch chain is the memory-amplification signal dynamic
+// updates pay for isolation.
+func (sn *Snapshot) PageResidency() (shared, owned int) {
+	if sn.Labels != nil {
+		s, o := sn.Labels.Residency()
+		shared, owned = shared+s, owned+o
+	}
+	if sn.Inverted != nil {
+		s, o := sn.Inverted.Residency()
+		shared, owned = shared+s, owned+o
+	}
+	if sn.dyn != nil {
+		s, o := sn.dyn.Residency()
+		shared, owned = shared+s, owned+o
+	}
+	return shared, owned
+}
+
 // provider picks the snapshot's provider for the request: both exist
 // for the snapshot's lifetime, so this is a branch, not a lock.
 func (sn *Snapshot) provider(useDijkstraNN bool) core.Provider {
@@ -490,6 +524,29 @@ type System struct {
 	applyPagesCopied atomic.Uint64
 	applyBytes       atomic.Uint64
 	scratchCarryover atomic.Uint64
+	// scratchForwarded / scratchOutstanding are shared by every epoch's
+	// providers (see core provider Forwarded/Outstanding): releases that
+	// chase a publication, and scratches currently checked out.
+	scratchForwarded   atomic.Uint64
+	scratchOutstanding atomic.Int64
+}
+
+// ErrInvalidUpdate marks an Apply failure caused by the update batch
+// itself (out-of-range ids, bad weights, unknown ops, no label index):
+// retrying the same batch fails identically. Test with errors.Is;
+// failures NOT matching it may be transient and worth a retry.
+var ErrInvalidUpdate = errors.New("kosr: invalid update")
+
+// invalidUpdateError keeps the historical message text while matching
+// ErrInvalidUpdate under errors.Is.
+type invalidUpdateError struct{ msg string }
+
+func (e *invalidUpdateError) Error() string { return e.msg }
+
+func (e *invalidUpdateError) Is(target error) bool { return target == ErrInvalidUpdate }
+
+func invalidUpdatef(format string, args ...any) error {
+	return &invalidUpdateError{msg: fmt.Sprintf(format, args...)}
 }
 
 // ApplyStats reports the cumulative cost of every Apply since the
@@ -513,6 +570,12 @@ type ApplyStats struct {
 	ApplyBytes  uint64
 	// ScratchCarryover counts scratches moved across epochs.
 	ScratchCarryover uint64
+	// ScratchForwarded counts scratch releases that arrived at a
+	// superseded epoch's provider and were redirected to the live pool.
+	// Carryover only sees scratches at rest at publication time; under
+	// saturation most are checked out then, and this counter is how
+	// they are accounted when they come home.
+	ScratchForwarded uint64
 }
 
 // ApplyStats returns the cumulative dynamic-update cost counters.
@@ -523,8 +586,15 @@ func (s *System) ApplyStats() ApplyStats {
 		PagesCopied:      s.applyPagesCopied.Load(),
 		ApplyBytes:       s.applyBytes.Load(),
 		ScratchCarryover: s.scratchCarryover.Load(),
+		ScratchForwarded: s.scratchForwarded.Load(),
 	}
 }
+
+// ScratchesInFlight reports how many pooled query scratches are
+// currently checked out by running queries, across every epoch's
+// providers. It returns to zero when traffic drains; a persistent
+// nonzero value at idle means a release was lost (a leak).
+func (s *System) ScratchesInFlight() int64 { return s.scratchOutstanding.Load() }
 
 // NewSystem builds the 2-hop label index and the inverted label index
 // for g. Preprocessing is O(|V|) pruned Dijkstra searches; see
@@ -540,7 +610,9 @@ func NewSystem(g *Graph) *System {
 // caller must not mutate them afterwards.
 func NewSystemFromParts(g *Graph, lab *label.Index, inv *invindex.Index) *System {
 	s := &System{Graph: g}
-	s.snap.Store(newSnapshot(1, g, lab, inv, graph.NewDynamic(g), nil, nil))
+	sn := newSnapshot(1, g, lab, inv, graph.NewDynamic(g), nil, nil)
+	sn.wireCounters(&s.scratchForwarded, &s.scratchOutstanding)
+	s.snap.Store(sn)
 	return s
 }
 
@@ -549,7 +621,9 @@ func NewSystemFromParts(g *Graph, lab *label.Index, inv *invindex.Index) *System
 // Dynamic updates require a label index and are rejected.
 func NewSystemWithoutIndex(g *Graph) *System {
 	s := &System{Graph: g}
-	s.snap.Store(newSnapshot(1, g, nil, nil, graph.NewDynamic(g), nil, nil))
+	sn := newSnapshot(1, g, nil, nil, graph.NewDynamic(g), nil, nil)
+	sn.wireCounters(&s.scratchForwarded, &s.scratchOutstanding)
+	s.snap.Store(sn)
 	return s
 }
 
@@ -889,7 +963,7 @@ func (s *System) Apply(updates ...Update) (epoch uint64, err error) {
 	defer s.updateMu.Unlock()
 	cur := s.Snapshot()
 	if cur.Labels == nil {
-		return cur.Epoch, fmt.Errorf("kosr: dynamic updates require a label index")
+		return cur.Epoch, invalidUpdatef("kosr: dynamic updates require a label index")
 	}
 	if len(updates) == 0 {
 		return cur.Epoch, nil
@@ -899,24 +973,30 @@ func (s *System) Apply(updates ...Update) (epoch uint64, err error) {
 		switch u.Op {
 		case OpInsertEdge:
 			if u.From < 0 || u.From >= n || u.To < 0 || u.To >= n {
-				return cur.Epoch, fmt.Errorf("kosr: update %d: edge (%d,%d) out of range [0,%d)", i, u.From, u.To, n)
+				return cur.Epoch, invalidUpdatef("kosr: update %d: edge (%d,%d) out of range [0,%d)", i, u.From, u.To, n)
 			}
 			if u.Weight < 0 || u.Weight != u.Weight {
-				return cur.Epoch, fmt.Errorf("kosr: update %d: invalid weight %v", i, u.Weight)
+				return cur.Epoch, invalidUpdatef("kosr: update %d: invalid weight %v", i, u.Weight)
 			}
 		case OpAddCategory, OpRemoveCategory:
 			if u.Vertex < 0 || u.Vertex >= n {
-				return cur.Epoch, fmt.Errorf("kosr: update %d: vertex %d out of range [0,%d)", i, u.Vertex, n)
+				return cur.Epoch, invalidUpdatef("kosr: update %d: vertex %d out of range [0,%d)", i, u.Vertex, n)
 			}
 			// Dynamic categories may extend beyond the graph's static
 			// set (the inverted index grows), but the per-category
 			// tables are dense in the max id — bound it.
 			if maxCat := Category(s.Graph.NumCategories() + MaxDynamicCategoryGrowth); u.Category < 0 || u.Category >= maxCat {
-				return cur.Epoch, fmt.Errorf("kosr: update %d: category %d out of range [0,%d)", i, u.Category, maxCat)
+				return cur.Epoch, invalidUpdatef("kosr: update %d: category %d out of range [0,%d)", i, u.Category, maxCat)
 			}
 		default:
-			return cur.Epoch, fmt.Errorf("kosr: update %d: unknown op %q", i, u.Op)
+			return cur.Epoch, invalidUpdatef("kosr: update %d: unknown op %q", i, u.Op)
 		}
+	}
+	// Fault-injection point for the chaos tests: a transient
+	// post-validation failure, i.e. not ErrInvalidUpdate, so callers'
+	// retry/breaker wrappers treat it as retryable.
+	if err := faultinject.Error(faultinject.FailApply); err != nil {
+		return cur.Epoch, err
 	}
 	next := cur.cowClone()
 	for _, u := range updates {
@@ -933,6 +1013,7 @@ func (s *System) Apply(updates ...Update) (epoch uint64, err error) {
 	// doing it at clone time would leave the still-published snapshot's
 	// queries acquiring from emptied pools for the whole (possibly
 	// hundreds of ms) mutation phase.
+	next.wireCounters(&s.scratchForwarded, &s.scratchOutstanding)
 	carried := next.inheritScratches(cur)
 	pages, bytes := next.copyStats()
 	s.applyBatches.Add(1)

@@ -1,0 +1,92 @@
+package kosr
+
+import (
+	"context"
+	"iter"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// TestScratchForwardedOnStreamRelease pins the forwarded-release
+// accounting: a scratch checked out by a stream that outlives an index
+// publication must, on release, be forwarded to the live epoch's pool
+// (counted in ApplyStats().ScratchForwarded) rather than stranded on
+// the superseded provider.
+func TestScratchForwardedOnStreamRelease(t *testing.T) {
+	g, s, tv, cats := fig1(t)
+	sys := NewSystem(g)
+
+	next, stop := iter.Pull2(sys.Snapshot().DoStream(context.Background(), Request{Source: s, Target: tv, Categories: cats}))
+	if _, err, ok := next(); !ok || err != nil {
+		t.Fatalf("first streamed route: ok=%v err=%v", ok, err)
+	}
+	if n := sys.ScratchesInFlight(); n != 1 {
+		t.Fatalf("scratches in flight=%d with a paused stream, want 1", n)
+	}
+
+	// Publish a new epoch while the stream still holds its scratch. The
+	// heavy parallel edge changes nothing the stream would notice.
+	if _, err := sys.Apply(Update{Op: OpInsertEdge, From: s, To: tv, Weight: 1000}); err != nil {
+		t.Fatal(err)
+	}
+	if f := sys.ApplyStats().ScratchForwarded; f != 0 {
+		t.Fatalf("forwarded=%d before the stream released its scratch", f)
+	}
+
+	stop() // abandon the stream; its scratch releases into the superseded provider
+	if f := sys.ApplyStats().ScratchForwarded; f != 1 {
+		t.Fatalf("forwarded=%d after release, want 1", f)
+	}
+	if n := sys.ScratchesInFlight(); n != 0 {
+		t.Fatalf("scratches in flight=%d after release, want 0", n)
+	}
+
+	// The forwarded scratch must be usable by the live epoch.
+	res, err := sys.Do(context.Background(), Request{Source: s, Target: tv, Categories: cats, K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Routes) != 3 || res.Routes[0].Cost != 20 {
+		t.Fatalf("post-forward routes=%v", res.Routes)
+	}
+}
+
+// TestPageResidencyAcrossEpochs checks the shared/owned page gauge on a
+// graph wider than one index page: after a local update the live
+// snapshot owns the pages the apply touched and still shares the
+// distant ones with the superseded epoch.
+func TestPageResidencyAcrossEpochs(t *testing.T) {
+	b := gen.GridBuilder(gen.GridOptions{Rows: 36, Cols: 36, Seed: 7})
+	gen.AssignUniformCategories(b, 36*36, 2, 40, 1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := NewSystem(g)
+
+	old := sys.Snapshot()
+	s1, o1 := old.PageResidency()
+	if s1+o1 == 0 {
+		t.Fatal("fresh index reports no materialized pages")
+	}
+
+	// A cheap parallel edge between two corner neighbours rewrites
+	// labels around the corner and nothing far away.
+	if _, err := sys.Apply(Update{Op: OpInsertEdge, From: 0, To: 1, Weight: 0.01}); err != nil {
+		t.Fatal(err)
+	}
+	s2, o2 := sys.Snapshot().PageResidency()
+	if o2 == 0 {
+		t.Fatalf("post-apply residency shared=%d owned=%d: an applied edge must own the pages it touched", s2, o2)
+	}
+	if s2 == 0 {
+		t.Fatalf("post-apply residency shared=%d owned=%d: a local update must leave distant pages shared", s2, o2)
+	}
+
+	// The superseded snapshot still answers its own residency.
+	so, oo := old.PageResidency()
+	if so+oo == 0 {
+		t.Fatal("superseded snapshot lost its pages")
+	}
+}
