@@ -2,6 +2,7 @@
 //
 //	kosr gen    -analogue FLA -out fla.graph        generate a dataset
 //	kosr index  -graph fla.graph -out fla.idx       build the label index
+//	kosr pack   -graph fla.graph -out fla.flat      pack a flat mmap-able index
 //	kosr query  -graph fla.graph [-index fla.idx] -source 0 -target 99 \
 //	            -cats 1,2,3 -k 5 [-method SK|PK|KPNE] [-dij]
 //	kosr bench  -exp f3a [-scale 1] [-queries 10]   regenerate a paper artifact
@@ -37,6 +38,8 @@ func main() {
 		err = cmdGen(os.Args[2:])
 	case "index":
 		err = cmdIndex(os.Args[2:])
+	case "pack":
+		err = cmdPack(os.Args[2:])
 	case "query":
 		err = cmdQuery(os.Args[2:])
 	case "bench":
@@ -59,10 +62,11 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: kosr <gen|index|query|bench|demo> [flags]
+	fmt.Fprintln(os.Stderr, `usage: kosr <gen|index|pack|query|bench|demo> [flags]
 
   gen    generate a synthetic dataset analogue (CAL NYC COL FLA G+)
   index  build and save the 2-hop label index for a graph
+  pack   write the flat index file kosrd mmaps and serves zero-copy
   query  answer a KOSR query
   bench  regenerate a table or figure of the paper (see -exp list)
   demo   replay the paper's running example with a step-by-step trace
@@ -148,6 +152,51 @@ func cmdIndex(args []string) error {
 	return nil
 }
 
+// cmdPack writes the flat, mmap-able index format: both indexes (label
+// + inverted) packed into one checksummed file that kosrd maps and
+// serves with no parse step. The source is a legacy label index when
+// -index is given (the inverted index is rebuilt once, here, instead of
+// at every boot), or a fresh build otherwise.
+func cmdPack(args []string) error {
+	fs := flag.NewFlagSet("pack", flag.ExitOnError)
+	graphPath := fs.String("graph", "", "graph file (required)")
+	indexPath := fs.String("index", "", "legacy label index to convert (optional; the index is built otherwise)")
+	out := fs.String("out", "", "flat index output file (required)")
+	fs.Parse(args)
+	if *graphPath == "" || *out == "" {
+		return fmt.Errorf("pack: -graph and -out are required")
+	}
+	g, err := loadGraph(*graphPath)
+	if err != nil {
+		return err
+	}
+	var sys *kosr.System
+	if *indexPath != "" {
+		f, err := os.Open(*indexPath)
+		if err != nil {
+			return err
+		}
+		sys, err = kosr.LoadSystem(g, f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	} else {
+		fmt.Fprintf(os.Stderr, "building label index for %d vertices ...\n", g.NumVertices())
+		sys = kosr.NewSystem(g)
+	}
+	if err := sys.SaveFlatIndex(*out); err != nil {
+		return err
+	}
+	st, err := os.Stat(*out)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "flat index written to %s (%.1fMB); serve it with kosrd -index %s\n",
+		*out, float64(st.Size())/(1<<20), *out)
+	return nil
+}
+
 func parseCats(g *kosr.Graph, spec string) ([]kosr.Category, error) {
 	if spec == "" {
 		return nil, nil
@@ -201,7 +250,13 @@ func cmdQuery(args []string) error {
 		return err
 	}
 	var sys *kosr.System
-	if *indexPath != "" {
+	switch {
+	case *indexPath != "" && kosr.IsFlatIndex(*indexPath):
+		if sys, err = kosr.OpenFlatSystem(g, *indexPath); err != nil {
+			return err
+		}
+		defer sys.Close()
+	case *indexPath != "":
 		f, err := os.Open(*indexPath)
 		if err != nil {
 			return err
@@ -211,9 +266,9 @@ func cmdQuery(args []string) error {
 		if err != nil {
 			return err
 		}
-	} else if *dij {
+	case *dij:
 		sys = kosr.NewSystemWithoutIndex(g)
-	} else {
+	default:
 		sys = kosr.NewSystem(g)
 	}
 	src, err := parseVertex(g, *source)

@@ -31,6 +31,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strconv"
@@ -90,6 +91,25 @@ type ServerScanResult struct {
 	CachedQPS     float64 `json:"cached_qps"`
 	// CacheHitRate is hits/(hits+misses) across the whole scan.
 	CacheHitRate float64 `json:"cache_hit_rate"`
+}
+
+// ColdStartResult is the zero-copy persistence cell (PR 7): wall-clock
+// from an index artifact on disk to the first query answered, legacy
+// parsed format (label read + inverted-index rebuild) vs flat format
+// (mmap + one checksum pass + O(n) page-directory slice headers).
+type ColdStartResult struct {
+	LegacyFileMB float64 `json:"legacy_file_mb"`
+	FlatFileMB   float64 `json:"flat_file_mb"`
+	// LegacyLoadMS is open + parse + invindex rebuild; FlatOpenMS is
+	// mmap + checksum verification + page-directory construction.
+	LegacyLoadMS float64 `json:"legacy_load_ms"`
+	FlatOpenMS   float64 `json:"flat_open_ms"`
+	// *FirstQueryMS measure the full cold start: load/open through the
+	// first query's answer on the fresh System.
+	LegacyFirstQueryMS float64 `json:"legacy_first_query_ms"`
+	FlatFirstQueryMS   float64 `json:"flat_first_query_ms"`
+	// Speedup is legacy_first_query_ms / flat_first_query_ms.
+	Speedup float64 `json:"cold_start_speedup"`
 }
 
 // UpdateScanResult is the live-update cell: a stream of dynamic edge
@@ -211,6 +231,9 @@ type DatasetResult struct {
 	// Updates is the live-update scan (dynamic edge updates under
 	// concurrent query traffic).
 	Updates *UpdateScanResult `json:"updates,omitempty"`
+	// ColdStart is the disk-to-first-query scan: legacy parsed index
+	// vs mmap'd flat index.
+	ColdStart *ColdStartResult `json:"coldstart,omitempty"`
 }
 
 // Report is the top-level JSON document.
@@ -296,7 +319,13 @@ func main() {
 			"/query with the result cache off; shed_rate is the fraction " +
 			"answered with structured 429/503 instead of queueing, and " +
 			"accepted_p99_ms shows the latency the bounded queue holds " +
-			"for the requests it does accept.",
+			"for the requests it does accept. coldstart is the " +
+			"persistence scan (PR 7): disk-to-first-query wall-clock for " +
+			"the legacy parsed index (full label parse + inverted-index " +
+			"rebuild) vs the flat format mmap'd and served zero-copy " +
+			"(checksum pass + O(n) page-directory headers); " +
+			"cold_start_speedup is the ratio of the two first-query " +
+			"times.",
 	}
 
 	rep.PQ = benchPQPopCost()
@@ -373,6 +402,7 @@ func benchDataset(a gen.Analogue, cfg workload.Config) (DatasetResult, error) {
 	ds.Server = benchServer(data, qs, cfg)
 	ds.Overload = benchOverload(data, qs, cfg)
 	ds.Updates = benchUpdates(data, qs, cfg)
+	ds.ColdStart = benchColdStart(data, qs, cfg)
 	fmt.Printf("%-4s |V|=%d seq=%.0fms par=%.0fms (%.2fx, identical=%v) inv=%.0fms",
 		a, ds.Vertices, ds.SeqBuildMS, ds.ParBuildMS, ds.BuildSpeedup, ds.Identical, ds.InvBuildMS)
 	for _, cr := range ds.Concurrency {
@@ -387,6 +417,10 @@ func benchDataset(a gen.Analogue, cfg workload.Config) (DatasetResult, error) {
 	}
 	if ds.Updates != nil {
 		fmt.Printf(" upd=%.0f/s(q=%.0fqps)", ds.Updates.UpdatesPerSec, ds.Updates.QPSDuringUpdates)
+	}
+	if ds.ColdStart != nil {
+		fmt.Printf(" cold=%.0fms/flat=%.1fms (%.0fx)",
+			ds.ColdStart.LegacyFirstQueryMS, ds.ColdStart.FlatFirstQueryMS, ds.ColdStart.Speedup)
 	}
 	fmt.Println()
 	return ds, nil
@@ -565,6 +599,91 @@ func benchApplyBatches(d *workload.Dataset, edges []graph.Edge) []UpdateBatchCel
 		cells = append(cells, cell)
 	}
 	return cells
+}
+
+// benchColdStart measures the disk-to-first-query path both persistence
+// formats give a restarting node: the legacy format pays a full parse
+// of the label index plus an inverted-index rebuild before the first
+// query can run; the flat format is mmap'd and served zero-copy, so its
+// cold start is one checksum pass plus O(n) page-directory headers.
+// Both artifacts are written to a scratch directory first, then each
+// side is timed from open to the first answered query.
+func benchColdStart(d *workload.Dataset, qs []core.Query, cfg workload.Config) *ColdStartResult {
+	if len(qs) == 0 {
+		return nil
+	}
+	dir, err := os.MkdirTemp("", "kosrbench-coldstart")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kosrbench: coldstart scan:", err)
+		return nil
+	}
+	defer os.RemoveAll(dir)
+
+	sys := kosr.NewSystemFromParts(d.G, d.Lab, d.Inv)
+	legacyPath := filepath.Join(dir, "index.legacy")
+	f, err := os.Create(legacyPath)
+	if err == nil {
+		err = sys.SaveIndex(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kosrbench: coldstart scan:", err)
+		return nil
+	}
+	flatPath := filepath.Join(dir, "index.flat")
+	if err := sys.SaveFlatIndex(flatPath); err != nil {
+		fmt.Fprintln(os.Stderr, "kosrbench: coldstart scan:", err)
+		return nil
+	}
+
+	res := &ColdStartResult{}
+	if fi, err := os.Stat(legacyPath); err == nil {
+		res.LegacyFileMB = float64(fi.Size()) / (1 << 20)
+	}
+	if fi, err := os.Stat(flatPath); err == nil {
+		res.FlatFileMB = float64(fi.Size()) / (1 << 20)
+	}
+	q := qs[0]
+	req := kosr.Request{
+		Source: q.Source, Target: q.Target, Categories: q.Categories,
+		K: q.K, MaxExamined: cfg.MaxExamined,
+	}
+
+	runtime.GC()
+	t0 := time.Now()
+	lf, err := os.Open(legacyPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kosrbench: coldstart scan:", err)
+		return nil
+	}
+	lsys, err := kosr.LoadSystem(d.G, lf)
+	lf.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kosrbench: coldstart scan:", err)
+		return nil
+	}
+	res.LegacyLoadMS = msSince(t0)
+	_, _ = lsys.Do(context.Background(), req)
+	res.LegacyFirstQueryMS = msSince(t0)
+
+	runtime.GC()
+	t0 = time.Now()
+	fsys, err := kosr.OpenFlatSystem(d.G, flatPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kosrbench: coldstart scan:", err)
+		return nil
+	}
+	res.FlatOpenMS = msSince(t0)
+	_, _ = fsys.Do(context.Background(), req)
+	res.FlatFirstQueryMS = msSince(t0)
+	fsys.Close()
+
+	if res.FlatFirstQueryMS > 0 {
+		res.Speedup = res.LegacyFirstQueryMS / res.FlatFirstQueryMS
+	}
+	return res
 }
 
 // benchServer pushes the query mix through a live HTTP server's
@@ -1194,6 +1313,24 @@ func runPlot(args []string) int {
 					return "–"
 				}
 				return fmt.Sprintf("%d", d.Updates.FlatCloneBytes)
+			}},
+			{"coldstart_legacy_first_query_ms", func(d DatasetResult) string {
+				if d.ColdStart == nil {
+					return "–"
+				}
+				return fmt.Sprintf("%.1f", d.ColdStart.LegacyFirstQueryMS)
+			}},
+			{"coldstart_flat_first_query_ms", func(d DatasetResult) string {
+				if d.ColdStart == nil {
+					return "–"
+				}
+				return fmt.Sprintf("%.1f", d.ColdStart.FlatFirstQueryMS)
+			}},
+			{"cold_start_speedup", func(d DatasetResult) string {
+				if d.ColdStart == nil {
+					return "–"
+				}
+				return fmt.Sprintf("%.0fx", d.ColdStart.Speedup)
 			}},
 		} {
 			line := fmt.Sprintf("| %s | – | %s |", name, row.label)

@@ -1,8 +1,16 @@
 // Command kosrd serves KOSR queries over HTTP.
 //
-//	kosrd -graph city.graph [-index city.idx] [-addr :8080] [-budget 5000000]
+//	kosrd -graph city.graph [-index city.flat] [-addr :8080] [-budget 5000000]
 //	      [-workers 8] [-queue-depth 64] [-query-timeout 10s] [-cache 4096]
-//	      [-max-batch 64] [-stream-write-timeout 30s] [-serve-stale]
+//	      [-max-batch 64] [-stream-write-timeout 30s] [-serve-stale] [-prewarm 8]
+//
+// -index accepts either format and sniffs which one it got: a flat
+// index file (produced by `kosr pack`) is mmap'd and served zero-copy —
+// cold start is the map plus one checksum pass — while a legacy label
+// index is parsed into the heap and its inverted index rebuilt.
+// -prewarm pre-sizes that many pooled query scratches at startup
+// (default: one per worker), so a cold boot's first queries skip the
+// lazy O(|V|) table growth.
 //
 // Endpoints:
 //
@@ -43,6 +51,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -52,7 +61,8 @@ import (
 
 func main() {
 	graphPath := flag.String("graph", "", "graph file (required)")
-	indexPath := flag.String("index", "", "label index file (optional; built at startup otherwise)")
+	indexPath := flag.String("index", "", "index file: flat (kosr pack; mmap'd zero-copy) or legacy label index (optional; built at startup otherwise)")
+	prewarm := flag.Int("prewarm", -1, "query scratches to pre-size at startup so first queries skip the cold allocation path (-1 = one per worker, 0 = none)")
 	addr := flag.String("addr", ":8080", "listen address")
 	budget := flag.Int64("budget", 5_000_000, "max examined routes per query (0 = unlimited)")
 	workers := flag.Int("workers", 0, "query worker pool size (0 = GOMAXPROCS)")
@@ -80,7 +90,16 @@ func main() {
 		log.Fatal(err)
 	}
 	var sys *kosr.System
-	if *indexPath != "" {
+	switch {
+	case *indexPath != "" && kosr.IsFlatIndex(*indexPath):
+		start := time.Now()
+		sys, err = kosr.OpenFlatSystem(g, *indexPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("mapped flat index from %s in %v (zero-copy)", *indexPath, time.Since(start).Round(time.Millisecond))
+	case *indexPath != "":
+		start := time.Now()
 		idx, err := os.Open(*indexPath)
 		if err != nil {
 			log.Fatal(err)
@@ -90,10 +109,22 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("loaded label index from %s", *indexPath)
-	} else {
+		log.Printf("loaded legacy label index from %s in %v (consider `kosr pack`)", *indexPath, time.Since(start).Round(time.Millisecond))
+	default:
 		log.Printf("building label index for %d vertices ...", g.NumVertices())
 		sys = kosr.NewSystem(g)
+	}
+	defer sys.Close()
+	n := *prewarm
+	if n < 0 {
+		n = *workers
+		if n <= 0 {
+			n = runtime.GOMAXPROCS(0)
+		}
+	}
+	if n > 0 {
+		sys.Prewarm(n)
+		log.Printf("prewarmed %d query scratches", n)
 	}
 	srv := server.NewWithConfig(sys, server.Config{
 		Workers:            *workers,

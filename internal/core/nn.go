@@ -189,6 +189,15 @@ func (p *LabelProvider) InheritScratches(prev *LabelProvider) int {
 	return inheritScratches(&p.pool, &prev.pool, p.Graph.NumVertices())
 }
 
+// Prewarm stocks the pool with n scratches whose dense tables are
+// pre-sized for queries touching up to `levels` witness sizes and
+// `cats` distinct categories, so a cold-booted server's first queries
+// skip the lazy O(|V|) growth allocations (NewScratch itself is just a
+// shell — the tables grow on first touch without this).
+func (p *LabelProvider) Prewarm(n, levels, cats int) {
+	prewarmPool(&p.pool, p.Graph.NumVertices(), n, levels, cats)
+}
+
 type labelNN struct {
 	inv     *invindex.Index
 	scr     *Scratch
@@ -300,6 +309,12 @@ func (p *DijkstraProvider) InheritScratches(prev *DijkstraProvider) int {
 	}
 	prev.redirect.Store(p)
 	return inheritScratches(&p.pool, &prev.pool, p.Graph.NumVertices())
+}
+
+// Prewarm stocks the pool with n pre-sized scratches; see
+// LabelProvider.Prewarm.
+func (p *DijkstraProvider) Prewarm(n, levels, cats int) {
+	prewarmPool(&p.pool, p.Graph.NumVertices(), n, levels, cats)
 }
 
 // NN returns a fresh Dijkstra-based NNFinder.

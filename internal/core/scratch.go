@@ -246,6 +246,17 @@ func poolScratch(pool *sync.Pool, s *Scratch, budget int64) {
 	pool.Put(s)
 }
 
+// prewarmPool stocks pool with n scratches for nVerts-vertex graphs,
+// each prewarmed for `levels` dominance levels and `cats` category
+// rows. Backs the providers' Prewarm methods.
+func prewarmPool(pool *sync.Pool, nVerts, n, levels, cats int) {
+	for i := 0; i < n; i++ {
+		s := NewScratch(nVerts)
+		s.prewarm(levels, cats)
+		pool.Put(s)
+	}
+}
+
 // inheritScratches moves every scratch parked in src into dst,
 // unbinding stale index references on the way, and reports how many
 // moved. Scratches sized for a different graph are dropped. Both pools
@@ -287,6 +298,49 @@ func clearSlice[T any](sl []T) {
 	for i := range sl {
 		sl[i] = zero
 	}
+}
+
+// prewarmHeapCap is the global-queue capacity a prewarmed scratch
+// starts with — enough for typical top-k searches to never regrow it.
+const prewarmHeapCap = 4096
+
+// prewarm pre-sizes the scratch's lazily-grown O(|V|) state so the
+// first query served by it skips the cold-path allocations entirely:
+// `levels` dominance levels (nodes and heap slots), `cats` FindNN
+// iterator rows and FindNEN state rows, one arena chunk, and global
+// queue capacity. The tables start zeroed, which the epoch-stamping
+// scheme reads as empty — exactly the state a first query expects.
+func (s *Scratch) prewarm(levels, cats int) {
+	s.ensureLevels(levels)
+	for i := 0; i < levels; i++ {
+		L := &s.dom[i]
+		if L.nodes == nil {
+			L.nodes = make([]domNodeSlot, s.nVerts)
+		}
+		if L.heaps == nil {
+			L.heaps = make([]domHeapSlot, s.nVerts)
+		}
+	}
+	for len(s.nnRows) < cats {
+		s.nnRows = append(s.nnRows, make([]iterSlot, s.nVerts))
+	}
+	for i := range s.nnRows {
+		if s.nnRows[i] == nil {
+			s.nnRows[i] = make([]iterSlot, s.nVerts)
+		}
+	}
+	for len(s.enRows) < cats {
+		s.enRows = append(s.enRows, make([]enSlot, s.nVerts))
+	}
+	for i := range s.enRows {
+		if s.enRows[i] == nil {
+			s.enRows[i] = make([]enSlot, s.nVerts)
+		}
+	}
+	if len(s.arena.chunks) == 0 {
+		s.arena.chunks = append(s.arena.chunks, make([]routeNode, arenaChunkSize))
+	}
+	s.heap.Grow(prewarmHeapCap)
 }
 
 // ensureLevels grows the dominance table to at least n levels.

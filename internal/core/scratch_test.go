@@ -300,3 +300,75 @@ func TestSearcherReleasesScratch(t *testing.T) {
 		}
 	}
 }
+
+// TestPrewarmPresizesColdPath pins the -prewarm contract: a prewarmed
+// provider's pooled scratch already carries every dense per-vertex table
+// the first query would otherwise grow lazily, and that first query
+// consequently allocates a small fraction of what a cold provider's
+// does.
+func TestPrewarmPresizesColdPath(t *testing.T) {
+	if raceEnabled {
+		t.Skip("pool retention and allocation accounting are unreliable under the race detector")
+	}
+	g := scratchTestGraph(32, 32, 6, 3) // |V| = 1024
+	prov := NewLabelProvider(g, nil)
+	const levels, cats = 4, 3
+	prov.Prewarm(1, levels, cats)
+
+	s := prov.AcquireScratch()
+	if len(s.dom) < levels {
+		t.Fatalf("prewarmed scratch has %d dominance levels, want ≥ %d", len(s.dom), levels)
+	}
+	for i := 0; i < levels; i++ {
+		if len(s.dom[i].nodes) != s.nVerts || len(s.dom[i].heaps) != s.nVerts {
+			t.Fatalf("dominance level %d tables not pre-sized: nodes=%d heaps=%d want %d",
+				i, len(s.dom[i].nodes), len(s.dom[i].heaps), s.nVerts)
+		}
+	}
+	if len(s.nnRows) < cats || len(s.enRows) < cats {
+		t.Fatalf("iterator rows not pre-sized: nn=%d en=%d want ≥ %d", len(s.nnRows), len(s.enRows), cats)
+	}
+	for i := 0; i < cats; i++ {
+		if len(s.nnRows[i]) != s.nVerts || len(s.enRows[i]) != s.nVerts {
+			t.Fatalf("row %d not pre-sized: nn=%d en=%d want %d", i, len(s.nnRows[i]), len(s.enRows[i]), s.nVerts)
+		}
+	}
+	if len(s.arena.chunks) == 0 {
+		t.Fatal("arena has no pre-allocated chunk")
+	}
+	if s.heap.Cap() < prewarmHeapCap {
+		t.Fatalf("global queue capacity %d, want ≥ %d", s.heap.Cap(), prewarmHeapCap)
+	}
+	prov.ReleaseScratch(s)
+
+	// Behavioral half: the prewarmed provider's very first query must
+	// allocate far less than a cold provider's, whose lazy growth builds
+	// the same tables inline.
+	// Budget-capped so route production (arena chunks, parked heaps) stays
+	// small and identical on both sides; the cold side's remaining cost is
+	// the lazy O(|V|) table growth prewarm exists to eliminate.
+	q := scratchTestQueries(g, 1, 17)[0]
+	firstQueryBytes := func(p *LabelProvider) uint64 {
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		if _, _, err := Solve(context.Background(), g, q, p, Options{Method: MethodPK, MaxExamined: 500}); err != nil && !errors.Is(err, ErrBudgetExceeded) {
+			t.Fatal(err)
+		}
+		runtime.ReadMemStats(&after)
+		return after.TotalAlloc - before.TotalAlloc
+	}
+	warm := firstQueryBytes(prov)
+	cold := firstQueryBytes(&LabelProvider{Graph: g, Labels: prov.Labels, Inv: prov.Inv})
+	t.Logf("first query: prewarmed %d bytes, cold %d bytes", warm, cold)
+	// Both sides pay the same route-production cost (parked heaps, NN
+	// iterators); the cold side additionally grows the dense per-vertex
+	// tables inline. Require the prewarmed side to save at least the
+	// dominance tables' worth of allocation (levels · |V| · 16 B per
+	// table kind; assert half that as margin).
+	saved := int64(cold) - int64(warm)
+	if min := int64(levels) * int64(g.NumVertices()) * 16; saved < min {
+		t.Fatalf("prewarmed first query saved only %d bytes over cold (%d vs %d); want ≥ %d — prewarm is not absorbing the O(|V|) growth",
+			saved, warm, cold, min)
+	}
+}

@@ -1,0 +1,114 @@
+package flat
+
+import (
+	"encoding/binary"
+	"math"
+	"unsafe"
+
+	"repro/internal/graph"
+	"repro/internal/invindex"
+	"repro/internal/label"
+)
+
+// The zero-copy paths reinterpret mapped file bytes as Go struct
+// slices, which is only sound when the in-memory layout equals the
+// on-disk record layout: little-endian byte order and the exact field
+// offsets the format documents. Both are checked once at init; on any
+// mismatch (a big-endian port, a changed struct) every cast falls back
+// to an allocating field-by-field decode, so the format stays readable
+// everywhere and merely loses the zero-copy property.
+var (
+	hostLittleEndian = func() bool {
+		x := uint16(1)
+		return *(*byte)(unsafe.Pointer(&x)) == 1
+	}()
+
+	zeroCopyLabel = hostLittleEndian &&
+		unsafe.Sizeof(label.Entry{}) == labelEntrySize &&
+		unsafe.Offsetof(label.Entry{}.Hub) == 0 &&
+		unsafe.Offsetof(label.Entry{}.R) == 4 &&
+		unsafe.Offsetof(label.Entry{}.D) == 8 &&
+		unsafe.Offsetof(label.Entry{}.Next) == 16
+
+	zeroCopyInv = hostLittleEndian &&
+		unsafe.Sizeof(invindex.Entry{}) == invEntrySize &&
+		unsafe.Offsetof(invindex.Entry{}.V) == 0 &&
+		unsafe.Offsetof(invindex.Entry{}.D) == 8
+
+	zeroCopyWords = hostLittleEndian
+)
+
+// castLabelEntries views b (length a multiple of labelEntrySize) as
+// label entries without copying; the fallback decodes into fresh memory.
+func castLabelEntries(b []byte) []label.Entry {
+	n := len(b) / labelEntrySize
+	if n == 0 {
+		return nil
+	}
+	if zeroCopyLabel {
+		return unsafe.Slice((*label.Entry)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]label.Entry, n)
+	for i := range out {
+		rec := b[i*labelEntrySize:]
+		out[i] = label.Entry{
+			Hub:  graph.Vertex(int32(binary.LittleEndian.Uint32(rec[0:]))),
+			R:    int32(binary.LittleEndian.Uint32(rec[4:])),
+			D:    graph.Weight(math.Float64frombits(binary.LittleEndian.Uint64(rec[8:]))),
+			Next: graph.Vertex(int32(binary.LittleEndian.Uint32(rec[16:]))),
+		}
+	}
+	return out
+}
+
+// castInvEntries views b as inverted label entries without copying.
+func castInvEntries(b []byte) []invindex.Entry {
+	n := len(b) / invEntrySize
+	if n == 0 {
+		return nil
+	}
+	if zeroCopyInv {
+		return unsafe.Slice((*invindex.Entry)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]invindex.Entry, n)
+	for i := range out {
+		rec := b[i*invEntrySize:]
+		out[i] = invindex.Entry{
+			V: graph.Vertex(int32(binary.LittleEndian.Uint32(rec[0:]))),
+			D: graph.Weight(math.Float64frombits(binary.LittleEndian.Uint64(rec[8:]))),
+		}
+	}
+	return out
+}
+
+// castInt32s views b as an int32 array (the rank section).
+func castInt32s(b []byte) []int32 {
+	n := len(b) / 4
+	if n == 0 {
+		return nil
+	}
+	if zeroCopyWords {
+		return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b[i*4:]))
+	}
+	return out
+}
+
+// castUint64s views b as a uint64 array (the offset sections).
+func castUint64s(b []byte) []uint64 {
+	n := len(b) / 8
+	if n == 0 {
+		return nil
+	}
+	if zeroCopyWords {
+		return unsafe.Slice((*uint64)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(b[i*8:])
+	}
+	return out
+}

@@ -1,0 +1,236 @@
+package flat
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/invindex"
+	"repro/internal/label"
+)
+
+// testIndexes builds a modest grid graph with categories and its two
+// indexes — the fixture every test here round-trips.
+func testIndexes(t *testing.T) (*graph.Graph, *label.Index, *invindex.Index) {
+	t.Helper()
+	b := gen.GridBuilder(gen.GridOptions{Rows: 12, Cols: 14, Diagonals: true, MaxWeight: 9, Seed: 5})
+	gen.AssignUniformCategories(b, 12*14, 6, 10, 11)
+	g := b.MustBuild()
+	lab := label.Build(g)
+	return g, lab, invindex.Build(g, lab)
+}
+
+func writeFlat(t *testing.T, lab *label.Index, inv *invindex.Index) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "index.flat")
+	if err := WriteFile(path, lab, inv); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	return path
+}
+
+// TestRoundTripFieldByField writes the indexes, maps them back, and
+// compares every label list, rank, and inverted list against the
+// in-memory originals.
+func TestRoundTripFieldByField(t *testing.T) {
+	g, lab, inv := testIndexes(t)
+	f, err := Open(writeFlat(t, lab, inv))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer f.Close()
+
+	n := g.NumVertices()
+	if f.NumVertices() != n || f.NumCategories() != g.NumCategories() {
+		t.Fatalf("sizes: got (%d,%d), want (%d,%d)", f.NumVertices(), f.NumCategories(), n, g.NumCategories())
+	}
+	got := f.Labels()
+	for v := 0; v < n; v++ {
+		if got.Rank(graph.Vertex(v)) != lab.Rank(graph.Vertex(v)) {
+			t.Fatalf("rank[%d] mismatch", v)
+		}
+		compareLabelLists(t, "In", v, lab.In(graph.Vertex(v)), got.In(graph.Vertex(v)))
+		compareLabelLists(t, "Out", v, lab.Out(graph.Vertex(v)), got.Out(graph.Vertex(v)))
+	}
+	gotInv := f.Inverted()
+	for c := 0; c < g.NumCategories(); c++ {
+		for hub := 0; hub < n; hub++ {
+			want := inv.IL(graph.Category(c), graph.Vertex(hub))
+			have := gotInv.IL(graph.Category(c), graph.Vertex(hub))
+			if len(want) != len(have) {
+				t.Fatalf("IL(%d,%d): %d entries, want %d", c, hub, len(have), len(want))
+			}
+			for i := range want {
+				if want[i] != have[i] {
+					t.Fatalf("IL(%d,%d)[%d]: %+v != %+v", c, hub, i, have[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func compareLabelLists(t *testing.T, side string, v int, want, got []label.Entry) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s(%d): %d entries, want %d", side, v, len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("%s(%d)[%d]: %+v != %+v", side, v, i, got[i], want[i])
+		}
+	}
+}
+
+// TestWriteDeterministic: the same indexes must always pack to the same
+// bytes, so flat files can be diffed in CI.
+func TestWriteDeterministic(t *testing.T) {
+	_, lab, inv := testIndexes(t)
+	var a, b bytes.Buffer
+	if _, err := Write(&a, lab, inv); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Write(&b, lab, inv); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two Write calls produced different bytes")
+	}
+}
+
+// TestCorruptionAlwaysRejected flips random bytes (and random bit
+// positions) all over the file and asserts Open rejects every corrupted
+// variant with a structured error — never serving corrupt data and
+// never panicking. Every byte of the file is checksummed, so a single
+// flip anywhere must be caught.
+func TestCorruptionAlwaysRejected(t *testing.T) {
+	_, lab, inv := testIndexes(t)
+	path := writeFlat(t, lab, inv)
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	target := filepath.Join(t.TempDir(), "corrupt.flat")
+	for trial := 0; trial < 300; trial++ {
+		pos := rng.Intn(len(orig))
+		bit := byte(1 << rng.Intn(8))
+		mut := append([]byte(nil), orig...)
+		mut[pos] ^= bit
+		if err := os.WriteFile(target, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		f, err := Open(target)
+		if err == nil {
+			f.Close()
+			t.Fatalf("trial %d: flip of bit %#x at byte %d was served", trial, bit, pos)
+		}
+		if !errors.Is(err, ErrBadMagic) && !errors.Is(err, ErrVersion) &&
+			!errors.Is(err, ErrTruncated) && !errors.Is(err, ErrChecksum) &&
+			!errors.Is(err, ErrCorrupt) {
+			t.Fatalf("trial %d: unstructured error %v", trial, err)
+		}
+	}
+}
+
+// TestTruncationRejected cuts the file at random lengths.
+func TestTruncationRejected(t *testing.T) {
+	_, lab, inv := testIndexes(t)
+	path := writeFlat(t, lab, inv)
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	target := filepath.Join(t.TempDir(), "trunc.flat")
+	for trial := 0; trial < 50; trial++ {
+		cut := rng.Intn(len(orig))
+		if err := os.WriteFile(target, orig[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		f, err := Open(target)
+		if err == nil {
+			f.Close()
+			t.Fatalf("trial %d: file cut to %d bytes was served", trial, cut)
+		}
+	}
+}
+
+// TestIsFlat distinguishes flat files from the legacy format and junk.
+func TestIsFlat(t *testing.T) {
+	_, lab, inv := testIndexes(t)
+	path := writeFlat(t, lab, inv)
+	if !IsFlat(path) {
+		t.Fatal("IsFlat(flat file) = false")
+	}
+	legacy := filepath.Join(t.TempDir(), "legacy.idx")
+	lf, err := os.Create(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lab.WriteTo(lf); err != nil {
+		t.Fatal(err)
+	}
+	lf.Close()
+	if IsFlat(legacy) {
+		t.Fatal("IsFlat(legacy file) = true")
+	}
+	if IsFlat(filepath.Join(t.TempDir(), "missing")) {
+		t.Fatal("IsFlat(missing file) = true")
+	}
+}
+
+// TestMappedMutationCOW: an Apply-style mutation through a mapped index
+// must copy the touched page into owned memory and leave the file
+// bytes untouched.
+func TestMappedMutationCOW(t *testing.T) {
+	g, lab, inv := testIndexes(t)
+	path := writeFlat(t, lab, inv)
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	// Mutate the mapped inverted index: add a category membership.
+	mInv := f.Inverted().Clone(f.Labels())
+	v := graph.Vertex(3)
+	mInv.AddVertexCategory(v, 2)
+	found := false
+	for _, e := range f.Labels().In(v) {
+		want := invindex.Entry{V: v, D: e.D}
+		for _, have := range mInv.IL(2, e.Hub) {
+			if have == want {
+				found = true
+			}
+		}
+	}
+	if len(f.Labels().In(v)) > 0 && !found {
+		t.Fatal("mutation through mapped index not visible")
+	}
+	// The original mapped view must not see it, and the file must be
+	// byte-identical (the mapping is never written).
+	origTotal, mutTotal := 0, 0
+	for hub := 0; hub < g.NumVertices(); hub++ {
+		origTotal += len(f.Inverted().IL(2, graph.Vertex(hub)))
+		mutTotal += len(mInv.IL(2, graph.Vertex(hub)))
+	}
+	if mutTotal <= origTotal {
+		t.Fatalf("clone has %d entries, original %d — mutation lost", mutTotal, origTotal)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("mutation wrote through to the index file")
+	}
+}

@@ -1,0 +1,123 @@
+// Package flat implements the zero-copy persistent index format: a
+// flat, offset-based on-disk layout for the 2-hop label index
+// (label.Index) and the inverted label index (invindex.Index) that can
+// be mmap'd and served without a parse step.
+//
+// # Layout
+//
+// All integers are little-endian. The file is a 64-byte header, a
+// section table, and 64-byte-aligned sections of packed fixed-width
+// records:
+//
+//	header (64 B):
+//	    magic         [8]byte "KOSRFLT1"
+//	    version       uint32  (currently 1)
+//	    flags         uint32  (0)
+//	    n             uint64  vertices
+//	    nCats         uint64  categories
+//	    labelPageSize uint32  pagevec page size of the label vectors
+//	    invPageSize   uint32  pagevec page size of the inverted vectors
+//	    nSections     uint32
+//	    fileSize      uint64  total file length in bytes
+//	    bodyCRC       uint32  CRC-32C over bytes [64, fileSize)
+//	    headerCRC     uint32  CRC-32C over bytes [0, 56)
+//	    reserved      uint32  must be 0
+//
+//	section table (nSections × 32 B, at offset 64):
+//	    id uint32, reserved uint32, off uint64, length uint64,
+//	    crc uint32 (CRC-32C of the section bytes), reserved uint32
+//
+//	sections (each starting at a 64-byte-aligned offset):
+//	    rank       n × int32          landmark rank per vertex
+//	    inOff      (n+1) × uint64     Lin(v) = inEntries[inOff[v]:inOff[v+1]]
+//	    outOff     (n+1) × uint64     Lout(v) likewise
+//	    inEntries  Σ|Lin| × 24 B      hub i32, r i32, d f64, next i32, pad
+//	    outEntries Σ|Lout| × 24 B
+//	    invDir     nCats × 16 B       listStart u64, listCount u64 → invLists
+//	    invLists   Σlists × 16 B      hub u32, entCount u32, entOff u64
+//	    invEntries Σentries × 16 B    v i32, pad, d f64
+//
+// The 24-byte label record and the 16-byte inverted record equal the
+// in-memory layouts of label.Entry and invindex.Entry on little-endian
+// machines, so the loader serves the entry arrays directly out of the
+// mapping (an unsafe slice cast, verified at init — see cast.go) and
+// only builds the O(n) per-vertex slice headers, packed into pagevec
+// pages whose size matches the in-memory vectors one-to-one. Dynamic
+// updates on a mapped index therefore work unchanged: pagevec treats
+// the mapped pages as borrowed and copies any page the first mutation
+// touches (copy-on-write over the mmap base); the mapping itself is
+// never written.
+//
+// Every byte of the file is covered by a checksum: the header by
+// headerCRC (plus the reserved field, which must be zero), everything
+// after it — section table, sections, and alignment padding — by
+// bodyCRC. Open verifies both, so a half-written or corrupted file
+// fails with a structured error instead of being served.
+package flat
+
+import (
+	"errors"
+	"hash/crc32"
+)
+
+// Magic identifies a flat index file; it occupies the first 8 bytes.
+var Magic = [8]byte{'K', 'O', 'S', 'R', 'F', 'L', 'T', '1'}
+
+// Version is the current format version.
+const Version = 1
+
+const (
+	headerSize     = 64
+	headerCRCSpan  = 56 // headerCRC covers bytes [0, 56)
+	sectionEntSize = 32
+
+	labelEntrySize = 24
+	invEntrySize   = 16
+	invDirSize     = 16
+	invListSize    = 16
+)
+
+// Section ids, in file order.
+const (
+	secRank uint32 = 1 + iota
+	secInOff
+	secOutOff
+	secInEntries
+	secOutEntries
+	secInvDir
+	secInvLists
+	secInvEntries
+
+	numSections = 8
+)
+
+var sectionName = map[uint32]string{
+	secRank: "rank", secInOff: "inOff", secOutOff: "outOff",
+	secInEntries: "inEntries", secOutEntries: "outEntries",
+	secInvDir: "invDir", secInvLists: "invLists", secInvEntries: "invEntries",
+}
+
+// Structured load-failure causes; test with errors.Is. Every loader
+// error wraps exactly one of them.
+var (
+	// ErrBadMagic: the file is not a flat index file at all.
+	ErrBadMagic = errors.New("flat: bad magic (not a flat index file)")
+	// ErrVersion: a flat index file of an unsupported format version.
+	ErrVersion = errors.New("flat: unsupported format version")
+	// ErrTruncated: the file is shorter than its header claims.
+	ErrTruncated = errors.New("flat: truncated index file")
+	// ErrChecksum: a header, body, or section CRC does not match.
+	ErrChecksum = errors.New("flat: checksum mismatch")
+	// ErrCorrupt: checksums passed or were skipped but the structure is
+	// inconsistent (bad offsets, overlapping sections, out-of-range ids).
+	ErrCorrupt = errors.New("flat: structurally invalid index file")
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+func crc(b []byte) uint32 { return crc32.Checksum(b, castagnoli) }
+
+// align64 rounds x up to the next multiple of 64 — the section
+// alignment, which keeps every packed record array 8-byte aligned for
+// the zero-copy casts regardless of the sections before it.
+func align64(x uint64) uint64 { return (x + 63) &^ 63 }

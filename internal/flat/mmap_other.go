@@ -1,0 +1,34 @@
+//go:build !unix
+
+package flat
+
+import (
+	"io"
+	"os"
+	"unsafe"
+)
+
+// mapFile reads path into memory on platforms without POSIX mmap. The
+// buffer is built over a []uint64 so the zero-copy record casts keep
+// their 8-byte alignment guarantee; the release func just drops it.
+func mapFile(path string) ([]byte, func() error, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil, func() error { return nil }, nil
+	}
+	words := make([]uint64, (size+7)/8)
+	data := unsafe.Slice((*byte)(unsafe.Pointer(&words[0])), size)
+	if _, err := io.ReadFull(f, data); err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return nil }, nil
+}

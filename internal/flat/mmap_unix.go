@@ -1,0 +1,33 @@
+//go:build unix
+
+package flat
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps path read-only. The returned bytes alias the kernel page
+// cache: nothing is read until touched, so load cost is independent of
+// file size, and an index larger than RAM is served with the kernel
+// doing the tiering. The release func unmaps.
+func mapFile(path string) ([]byte, func() error, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil, func() error { return nil }, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

@@ -1,0 +1,328 @@
+package flat
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+
+	"repro/internal/invindex"
+	"repro/internal/label"
+	"repro/internal/pagevec"
+)
+
+// File is a loaded flat index: the mapping plus index views served
+// directly out of it. The label and inverted indexes returned by Labels
+// and Inverted reference the mapped bytes for their entry arrays — only
+// the O(n) per-vertex slice headers live on the heap — so Close must
+// not be called while anything still reads them (including snapshots
+// cloned from them: clones copy page tables, not entry arrays).
+type File struct {
+	data  []byte
+	unmap func() error
+
+	n     int
+	nCats int
+	lab   *label.Index
+	inv   *invindex.Index
+}
+
+// Open maps (or, on platforms without mmap, reads) the flat index at
+// path and verifies it fully: magic, version, header CRC, declared
+// size, and the body CRC covering every byte after the header. A file
+// that fails any check is rejected with an error wrapping ErrBadMagic,
+// ErrVersion, ErrTruncated, ErrChecksum, or ErrCorrupt — it is never
+// partially served. Verification is one sequential CRC pass (hardware
+// CRC-32C, GB/s); the index structures are then built in O(n) without
+// parsing any entry.
+func Open(path string) (*File, error) {
+	return open(path, true)
+}
+
+// OpenUnverified maps the flat index skipping the body-CRC pass: only
+// the header (magic, version, header CRC, size) and the structural
+// offset checks run, so nothing beyond the touched pages is read and
+// load time is independent of index size. Use it only on files whose
+// integrity something else guarantees (a content-addressed deploy, a
+// just-written pack); a corrupted entry array would be served as-is.
+func OpenUnverified(path string) (*File, error) {
+	return open(path, false)
+}
+
+// IsFlat reports whether path begins with the flat-format magic.
+// Loaders that also accept the legacy serialized format sniff with it.
+func IsFlat(path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	var m [8]byte
+	if _, err := f.ReadAt(m[:], 0); err != nil {
+		return false
+	}
+	return m == Magic
+}
+
+func open(path string, verify bool) (*File, error) {
+	data, unmap, err := mapFile(path)
+	if err != nil {
+		return nil, err
+	}
+	f, err := parse(data, verify)
+	if err != nil {
+		unmap()
+		return nil, err
+	}
+	f.unmap = unmap
+	return f, nil
+}
+
+// Close releases the mapping. The indexes served from this File (and
+// every snapshot descended from them) must no longer be in use.
+func (f *File) Close() error {
+	f.lab, f.inv, f.data = nil, nil, nil
+	if f.unmap == nil {
+		return nil
+	}
+	u := f.unmap
+	f.unmap = nil
+	return u()
+}
+
+// NumVertices returns the number of vertices the index covers.
+func (f *File) NumVertices() int { return f.n }
+
+// NumCategories returns the number of categories the index covers.
+func (f *File) NumCategories() int { return f.nCats }
+
+// Labels returns the 2-hop label index view over the mapping.
+func (f *File) Labels() *label.Index { return f.lab }
+
+// Inverted returns the inverted label index view over the mapping,
+// built over Labels().
+func (f *File) Inverted() *invindex.Index { return f.inv }
+
+func parse(data []byte, verify bool) (*File, error) {
+	if len(data) < headerSize {
+		return nil, fmt.Errorf("%w: %d bytes, header needs %d", ErrTruncated, len(data), headerSize)
+	}
+	var m [8]byte
+	copy(m[:], data[:8])
+	if m != Magic {
+		return nil, fmt.Errorf("%w: got %q", ErrBadMagic, m)
+	}
+	if hc := binary.LittleEndian.Uint32(data[56:]); hc != crc(data[:headerCRCSpan]) {
+		return nil, fmt.Errorf("%w: header CRC", ErrChecksum)
+	}
+	if v := binary.LittleEndian.Uint32(data[8:]); v != Version {
+		return nil, fmt.Errorf("%w: version %d, this build reads %d", ErrVersion, v, Version)
+	}
+	if flags := binary.LittleEndian.Uint32(data[12:]); flags != 0 {
+		return nil, fmt.Errorf("%w: unknown flags %#x", ErrCorrupt, flags)
+	}
+	if rsv := binary.LittleEndian.Uint32(data[60:]); rsv != 0 {
+		return nil, fmt.Errorf("%w: reserved header bytes not zero", ErrCorrupt)
+	}
+	fileSize := binary.LittleEndian.Uint64(data[44:])
+	if fileSize != uint64(len(data)) {
+		return nil, fmt.Errorf("%w: header declares %d bytes, file has %d", ErrTruncated, fileSize, len(data))
+	}
+	n64 := binary.LittleEndian.Uint64(data[16:])
+	nCats64 := binary.LittleEndian.Uint64(data[24:])
+	if n64 >= 1<<31 || nCats64 >= 1<<31 {
+		return nil, fmt.Errorf("%w: implausible sizes (n=%d categories=%d)", ErrCorrupt, n64, nCats64)
+	}
+	n, nCats := int(n64), int(nCats64)
+	labelPS := int(binary.LittleEndian.Uint32(data[32:]))
+	invPS := int(binary.LittleEndian.Uint32(data[36:]))
+	if !validPageSize(labelPS) || !validPageSize(invPS) {
+		return nil, fmt.Errorf("%w: bad page sizes (label=%d inv=%d)", ErrCorrupt, labelPS, invPS)
+	}
+	nSec := int(binary.LittleEndian.Uint32(data[40:]))
+	if nSec != numSections {
+		return nil, fmt.Errorf("%w: %d sections, format has %d", ErrCorrupt, nSec, numSections)
+	}
+
+	if verify {
+		if bc := binary.LittleEndian.Uint32(data[52:]); bc != crc(data[headerSize:]) {
+			// Localize via the per-section CRCs for a more actionable error.
+			return nil, fmt.Errorf("%w: %s", ErrChecksum, localizeCorruption(data))
+		}
+	}
+
+	// Section table: ids in order, bounds inside the file, 8-aligned.
+	secStart := uint64(headerSize + numSections*sectionEntSize)
+	var secs [numSections][]byte
+	for i := 0; i < numSections; i++ {
+		rec := data[headerSize+i*sectionEntSize:]
+		id := binary.LittleEndian.Uint32(rec[0:])
+		off := binary.LittleEndian.Uint64(rec[8:])
+		length := binary.LittleEndian.Uint64(rec[16:])
+		if id != uint32(i+1) {
+			return nil, fmt.Errorf("%w: section %d has id %d", ErrCorrupt, i, id)
+		}
+		if off%8 != 0 || off < secStart || off > fileSize || length > fileSize-off {
+			return nil, fmt.Errorf("%w: section %s out of bounds (off=%d len=%d)", ErrCorrupt, sectionName[id], off, length)
+		}
+		secs[i] = data[off : off+length]
+	}
+
+	// Structural validation of the record counts against n / nCats.
+	wantLen := [numSections]uint64{
+		uint64(n) * 4, uint64(n+1) * 8, uint64(n+1) * 8,
+		0, 0, uint64(nCats) * invDirSize, 0, 0,
+	}
+	for i, want := range wantLen {
+		if want != 0 && uint64(len(secs[i])) != want {
+			return nil, fmt.Errorf("%w: section %s is %d bytes, want %d", ErrCorrupt, sectionName[uint32(i+1)], len(secs[i]), want)
+		}
+	}
+	for _, i := range []int{3, 4} {
+		if len(secs[i])%labelEntrySize != 0 {
+			return nil, fmt.Errorf("%w: section %s not a whole number of entries", ErrCorrupt, sectionName[uint32(i+1)])
+		}
+	}
+	if len(secs[6])%invListSize != 0 || len(secs[7])%invEntrySize != 0 {
+		return nil, fmt.Errorf("%w: inverted sections not a whole number of records", ErrCorrupt)
+	}
+
+	rank := castInt32s(secs[0])
+	for v := 0; v < n; v++ {
+		if r := rank[v]; r < 0 || int(r) >= n {
+			return nil, fmt.Errorf("%w: rank[%d] = %d out of [0,%d)", ErrCorrupt, v, r, n)
+		}
+	}
+
+	inEntries := castLabelEntries(secs[3])
+	outEntries := castLabelEntries(secs[4])
+	inVec, err := buildLabelVec(n, labelPS, castUint64s(secs[1]), inEntries, "inOff")
+	if err != nil {
+		return nil, err
+	}
+	outVec, err := buildLabelVec(n, labelPS, castUint64s(secs[2]), outEntries, "outOff")
+	if err != nil {
+		return nil, err
+	}
+	lab := label.FromVectors(rank, inVec, outVec)
+
+	cats, err := buildInvVecs(n, nCats, invPS, secs[5], secs[6], castInvEntries(secs[7]))
+	if err != nil {
+		return nil, err
+	}
+
+	return &File{
+		data: data, n: n, nCats: nCats,
+		lab: lab,
+		inv: invindex.FromVectors(lab, cats),
+	}, nil
+}
+
+func validPageSize(ps int) bool {
+	return ps > 0 && ps <= 1<<20 && ps&(ps-1) == 0
+}
+
+// buildLabelVec assembles one label vector over the mapped entry array:
+// an O(n) pass slicing entries[off[v]:off[v+1]] into per-vertex list
+// headers packed into pagevec pages. Pages whose vertices all have
+// empty labels stay nil (pagevec's zero-page representation). No entry
+// is read.
+func buildLabelVec(n, pageSize int, off []uint64, entries []label.Entry, what string) (*pagevec.Vec[[]label.Entry], error) {
+	total := uint64(len(entries))
+	if off[0] != 0 || off[n] != total {
+		return nil, fmt.Errorf("%w: %s endpoints [%d,%d] do not span %d entries", ErrCorrupt, what, off[0], off[n], total)
+	}
+	nPages := (n + pageSize - 1) / pageSize
+	pages := make([][][]label.Entry, nPages)
+	for pi := 0; pi < nPages; pi++ {
+		base := pi * pageSize
+		cnt := n - base
+		if cnt > pageSize {
+			cnt = pageSize
+		}
+		if off[base+cnt] < off[base] {
+			return nil, fmt.Errorf("%w: %s not monotonic near vertex %d", ErrCorrupt, what, base)
+		}
+		if off[base+cnt] == off[base] {
+			continue // all-empty page
+		}
+		page := make([][]label.Entry, cnt)
+		for j := 0; j < cnt; j++ {
+			lo, hi := off[base+j], off[base+j+1]
+			if lo > hi || hi > total {
+				return nil, fmt.Errorf("%w: %s[%d..%d] = [%d,%d] out of order or beyond %d entries",
+					ErrCorrupt, what, base+j, base+j+1, lo, hi, total)
+			}
+			if lo < hi {
+				page[j] = entries[lo:hi:hi]
+			}
+		}
+		pages[pi] = page
+	}
+	return pagevec.FromPages(n, pages, pageSize), nil
+}
+
+// buildInvVecs assembles the per-category inverted vectors from the
+// mapped directory, list descriptors, and entry array. Cost is O(lists)
+// — one slice header per non-empty hub list; entries are never read.
+func buildInvVecs(n, nCats, pageSize int, dir, lists []byte, entries []invindex.Entry) ([]*pagevec.Vec[[]invindex.Entry], error) {
+	totalLists := uint64(len(lists) / invListSize)
+	totalEntries := uint64(len(entries))
+	cats := make([]*pagevec.Vec[[]invindex.Entry], nCats)
+	nPages := (n + pageSize - 1) / pageSize
+	for c := 0; c < nCats; c++ {
+		dr := dir[c*invDirSize:]
+		start := binary.LittleEndian.Uint64(dr[0:])
+		count := binary.LittleEndian.Uint64(dr[8:])
+		if count > totalLists || start > totalLists-count {
+			return nil, fmt.Errorf("%w: category %d list range [%d,+%d) beyond %d lists", ErrCorrupt, c, start, count, totalLists)
+		}
+		if count == 0 {
+			continue
+		}
+		pages := make([][][]invindex.Entry, nPages)
+		prevHub := int64(-1)
+		for li := start; li < start+count; li++ {
+			rec := lists[li*invListSize:]
+			hub := int64(int32(binary.LittleEndian.Uint32(rec[0:])))
+			entCount := uint64(binary.LittleEndian.Uint32(rec[4:]))
+			entOff := binary.LittleEndian.Uint64(rec[8:])
+			if hub <= prevHub || hub >= int64(n) {
+				return nil, fmt.Errorf("%w: category %d hub %d out of order or range", ErrCorrupt, c, hub)
+			}
+			prevHub = hub
+			if entCount == 0 || entCount > totalEntries || entOff > totalEntries-entCount {
+				return nil, fmt.Errorf("%w: category %d hub %d entries [%d,+%d) beyond %d", ErrCorrupt, c, hub, entOff, entCount, totalEntries)
+			}
+			pi := int(hub) / pageSize
+			if pages[pi] == nil {
+				cnt := n - pi*pageSize
+				if cnt > pageSize {
+					cnt = pageSize
+				}
+				pages[pi] = make([][]invindex.Entry, cnt)
+			}
+			pages[pi][int(hub)%pageSize] = entries[entOff : entOff+entCount : entOff+entCount]
+		}
+		cats[c] = pagevec.FromPages(n, pages, pageSize)
+	}
+	return cats, nil
+}
+
+// localizeCorruption names the first section whose CRC fails, for the
+// body-checksum error message.
+func localizeCorruption(data []byte) string {
+	fileSize := uint64(len(data))
+	for i := 0; i < numSections; i++ {
+		rec := data[headerSize+i*sectionEntSize:]
+		off := binary.LittleEndian.Uint64(rec[8:])
+		length := binary.LittleEndian.Uint64(rec[16:])
+		want := binary.LittleEndian.Uint32(rec[24:])
+		if off > fileSize || length > fileSize-off {
+			return fmt.Sprintf("body CRC (section table corrupt at %s)", sectionName[uint32(i+1)])
+		}
+		if crc(data[off:off+length]) != want {
+			return fmt.Sprintf("body CRC (first bad section: %s)", sectionName[uint32(i+1)])
+		}
+	}
+	return "body CRC (corruption in section table or padding)"
+}

@@ -1,0 +1,194 @@
+package flat
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+
+	"repro/internal/graph"
+	"repro/internal/invindex"
+	"repro/internal/label"
+	"repro/internal/pagevec"
+)
+
+// Write serializes the label index and the inverted label index in the
+// flat format. The output is deterministic: the same indexes always
+// produce the same bytes (every record is written field by field with
+// explicit zero padding), so flat files can be compared byte-for-byte.
+// The inverted index must be built over lab; sparse-backed categories
+// serialize through the same deterministic ILRange order as
+// vector-backed ones.
+func Write(w io.Writer, lab *label.Index, inv *invindex.Index) (int64, error) {
+	buf, err := assemble(lab, inv)
+	if err != nil {
+		return 0, err
+	}
+	n, err := w.Write(buf)
+	return int64(n), err
+}
+
+// WriteFile writes the flat index to path atomically: the bytes land in
+// a temp file in the same directory, which is renamed over path only
+// after a successful write + sync, so a crash mid-pack can never leave
+// a half-written file where a loader would look. (The checksums would
+// reject one anyway; the rename means it is never observed at all.)
+func WriteFile(path string, lab *label.Index, inv *invindex.Index) error {
+	buf, err := assemble(lab, inv)
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// assemble builds the entire file image in memory. Index files are
+// dominated by their packed entry arrays (24 B per label entry); an
+// in-memory image keeps the writer single-pass while the header's
+// checksums cover the final bytes.
+func assemble(lab *label.Index, inv *invindex.Index) ([]byte, error) {
+	n := lab.NumVertices()
+	nCats := inv.NumCategories()
+	if inv.Labels() != lab {
+		return nil, fmt.Errorf("flat: inverted index is not built over the given label index")
+	}
+
+	// Pass 1: sizes. Label list lengths come from the per-vertex views;
+	// the inverted side is counted through the same deterministic
+	// iteration the packing pass uses.
+	var totalIn, totalOut uint64
+	for v := 0; v < n; v++ {
+		totalIn += uint64(len(lab.In(graph.Vertex(v))))
+		totalOut += uint64(len(lab.Out(graph.Vertex(v))))
+	}
+	var totalLists, totalInvEntries uint64
+	for c := 0; c < nCats; c++ {
+		inv.ILRange(graph.Category(c), func(_ graph.Vertex, list []invindex.Entry) bool {
+			totalLists++
+			totalInvEntries += uint64(len(list))
+			return true
+		})
+	}
+
+	// Section layout.
+	type sec struct {
+		id     uint32
+		off    uint64
+		length uint64
+	}
+	secs := make([]sec, 0, numSections)
+	off := align64(headerSize + numSections*sectionEntSize)
+	place := func(id uint32, length uint64) {
+		secs = append(secs, sec{id: id, off: off, length: length})
+		off = align64(off + length)
+	}
+	place(secRank, uint64(n)*4)
+	place(secInOff, uint64(n+1)*8)
+	place(secOutOff, uint64(n+1)*8)
+	place(secInEntries, totalIn*labelEntrySize)
+	place(secOutEntries, totalOut*labelEntrySize)
+	place(secInvDir, uint64(nCats)*invDirSize)
+	place(secInvLists, totalLists*invListSize)
+	place(secInvEntries, totalInvEntries*invEntrySize)
+	fileSize := off
+
+	buf := make([]byte, fileSize)
+	at := func(i int) []byte { return buf[secs[i].off : secs[i].off+secs[i].length] }
+
+	// rank
+	rank := lab.Ranks()
+	b := at(0)
+	for v := 0; v < n; v++ {
+		binary.LittleEndian.PutUint32(b[v*4:], uint32(rank[v]))
+	}
+
+	// Label offsets + entries.
+	putLabel := func(offSec, entSec int, list func(graph.Vertex) []label.Entry) {
+		ob, eb := at(offSec), at(entSec)
+		var cum uint64
+		for v := 0; v < n; v++ {
+			binary.LittleEndian.PutUint64(ob[v*8:], cum)
+			for _, e := range list(graph.Vertex(v)) {
+				rec := eb[cum*labelEntrySize:]
+				binary.LittleEndian.PutUint32(rec[0:], uint32(e.Hub))
+				binary.LittleEndian.PutUint32(rec[4:], uint32(e.R))
+				binary.LittleEndian.PutUint64(rec[8:], math.Float64bits(float64(e.D)))
+				binary.LittleEndian.PutUint32(rec[16:], uint32(e.Next))
+				// rec[20:24] stays zero (padding).
+				cum++
+			}
+		}
+		binary.LittleEndian.PutUint64(ob[n*8:], cum)
+	}
+	putLabel(1, 3, lab.In)
+	putLabel(2, 4, lab.Out)
+
+	// Inverted directory, list descriptors, entries.
+	db, lb, ib := at(5), at(6), at(7)
+	var listCum, entCum uint64
+	for c := 0; c < nCats; c++ {
+		start := listCum
+		inv.ILRange(graph.Category(c), func(hub graph.Vertex, list []invindex.Entry) bool {
+			rec := lb[listCum*invListSize:]
+			binary.LittleEndian.PutUint32(rec[0:], uint32(hub))
+			binary.LittleEndian.PutUint32(rec[4:], uint32(len(list)))
+			binary.LittleEndian.PutUint64(rec[8:], entCum)
+			for _, e := range list {
+				er := ib[entCum*invEntrySize:]
+				binary.LittleEndian.PutUint32(er[0:], uint32(e.V))
+				// er[4:8] stays zero (padding).
+				binary.LittleEndian.PutUint64(er[8:], math.Float64bits(float64(e.D)))
+				entCum++
+			}
+			listCum++
+			return true
+		})
+		dr := db[c*invDirSize:]
+		binary.LittleEndian.PutUint64(dr[0:], start)
+		binary.LittleEndian.PutUint64(dr[8:], listCum-start)
+	}
+
+	// Section table.
+	for i, s := range secs {
+		rec := buf[headerSize+i*sectionEntSize:]
+		binary.LittleEndian.PutUint32(rec[0:], s.id)
+		binary.LittleEndian.PutUint64(rec[8:], s.off)
+		binary.LittleEndian.PutUint64(rec[16:], s.length)
+		binary.LittleEndian.PutUint32(rec[24:], crc(at(i)))
+	}
+
+	// Header. bodyCRC is computed last, over everything after the header
+	// — section table, sections, and the zero padding between them — so
+	// no byte of the file escapes a checksum.
+	copy(buf[0:], Magic[:])
+	binary.LittleEndian.PutUint32(buf[8:], Version)
+	binary.LittleEndian.PutUint32(buf[12:], 0) // flags
+	binary.LittleEndian.PutUint64(buf[16:], uint64(n))
+	binary.LittleEndian.PutUint64(buf[24:], uint64(nCats))
+	binary.LittleEndian.PutUint32(buf[32:], uint32(pagevec.PageSize))
+	binary.LittleEndian.PutUint32(buf[36:], uint32(invindex.ILPageSize))
+	binary.LittleEndian.PutUint32(buf[40:], numSections)
+	binary.LittleEndian.PutUint64(buf[44:], fileSize)
+	binary.LittleEndian.PutUint32(buf[52:], crc(buf[headerSize:]))
+	binary.LittleEndian.PutUint32(buf[56:], crc(buf[:headerCRCSpan]))
+	// buf[60:64] stays zero (reserved).
+	return buf, nil
+}

@@ -33,6 +33,16 @@ type Neighbor struct {
 	D graph.Weight
 }
 
+// ILPageSize is the pagevec page size of the inverted-list vectors.
+// Inverted lists are sparse in hub space — only the vertices that
+// actually serve as hubs of some Lin label carry a list, and a category
+// update touches a handful of hubs — so the label side's 1024-slot pages
+// would copy mostly-empty headers on every touch. 256 cuts the per-touch
+// copy 4× while the page table stays far smaller than the entry data.
+// The flat on-disk format pages its inverted-list directory with the
+// same constant so an mmap'd page maps one-to-one onto a pagevec page.
+const ILPageSize = 256
+
 // ilVec holds one category's inverted label lists, indexed by hub
 // vertex: slot hub lists the vertices of the category that carry hub in
 // their Lin label, sorted ascending by distance from the hub. The paged
@@ -40,6 +50,10 @@ type Neighbor struct {
 // clone copies only the page table, and a mutation pays for the header
 // pages it touches.
 type ilVec = pagevec.Vec[[]Entry]
+
+// newILVec allocates one category's inverted-list vector over n hub
+// slots at the inverted-list page granularity.
+func newILVec(n int) *ilVec { return pagevec.NewSized[[]Entry](n, ILPageSize) }
 
 // Index is the inverted label index over all categories of a graph.
 type Index struct {
@@ -162,7 +176,7 @@ func Build(g *graph.Graph, lab *label.Index) *Index {
 					}
 				}
 				partial[c] = nil // release the chunk maps as categories merge
-				vec := pagevec.New[[]Entry](lab.NumVertices())
+				vec := newILVec(lab.NumVertices())
 				for hub := range il {
 					list := il[hub]
 					sort.Slice(list, func(i, j int) bool {
@@ -201,6 +215,49 @@ func FromParts(lab *label.Index, numCats int, loaded map[graph.Category]map[grap
 		}
 	}
 	return ix
+}
+
+// FromVectors assembles an index directly from per-category inverted-
+// list vectors, one per category (nil for categories without entries).
+// Each vector must be hub-indexed over lab.NumVertices() slots with
+// lists sorted by (distance, vertex), as produced by Build. The flat
+// mmap loader uses this: its vectors carry borrowed read-only pages, so
+// the index serves straight from the mapping and the first mutation of
+// a page copies it into owned memory (pagevec.FromPages semantics).
+func FromVectors(lab *label.Index, cats []*pagevec.Vec[[]Entry]) *Index {
+	return &Index{lab: lab, cats: cats}
+}
+
+// ILRange calls f for every non-empty inverted label list of category c
+// in ascending hub order, until f returns false. Both vector-backed and
+// sparse-backed categories iterate in the same deterministic order, so
+// the flat writer's output does not depend on the backing.
+func (ix *Index) ILRange(c graph.Category, f func(hub graph.Vertex, list []Entry) bool) {
+	if int(c) < 0 || int(c) >= len(ix.cats) {
+		return
+	}
+	if ix.sparse != nil && int(c) < len(ix.sparse) && ix.sparse[c] != nil {
+		hubs := make([]graph.Vertex, 0, len(ix.sparse[c]))
+		for hub := range ix.sparse[c] {
+			hubs = append(hubs, hub)
+		}
+		sort.Slice(hubs, func(i, j int) bool { return hubs[i] < hubs[j] })
+		for _, hub := range hubs {
+			if list := ix.sparse[c][hub]; len(list) > 0 && !f(hub, list) {
+				return
+			}
+		}
+		return
+	}
+	if ix.cats[c] == nil {
+		return
+	}
+	ix.cats[c].Range(func(i int, list []Entry) bool {
+		if len(list) == 0 {
+			return true
+		}
+		return f(graph.Vertex(i), list)
+	})
 }
 
 // Clone returns a copy-on-write clone backed by lab (the label index of
@@ -280,7 +337,7 @@ func (ix *Index) mutableIL(c graph.Category) *ilVec {
 	if ix.sparse != nil && int(c) < len(ix.sparse) && ix.sparse[c] != nil {
 		// A sparse-backed (disk-loaded) category is being mutated:
 		// materialize it into an owned vector once.
-		il := pagevec.New[[]Entry](ix.lab.NumVertices())
+		il := newILVec(ix.lab.NumVertices())
 		for hub, list := range ix.sparse[c] {
 			il.Set(int(hub), list)
 		}
@@ -293,7 +350,7 @@ func (ix *Index) mutableIL(c graph.Category) *ilVec {
 	}
 	il := ix.cats[c]
 	if il == nil {
-		il = pagevec.New[[]Entry](ix.lab.NumVertices())
+		il = newILVec(ix.lab.NumVertices())
 		ix.cats[c] = il
 		if ix.shared != nil {
 			ix.shared[c] = false

@@ -392,6 +392,17 @@ func NewSparse(rank []int32) *Index {
 	return ix
 }
 
+// FromVectors assembles an index directly from pre-built label-list
+// vectors. Lists must be rank-ordered with R fields already filled, as
+// produced by Build — no normalization happens. The flat mmap loader
+// uses this: its vectors carry borrowed read-only pages whose list
+// headers point into the mapping, so the index serves with zero copying
+// and the first dynamic update of a page materializes it (pagevec
+// copy-on-write over the mmap base).
+func FromVectors(rank []int32, in, out *pagevec.Vec[[]Entry]) *Index {
+	return &Index{n: len(rank), in: in, out: out, rank: rank}
+}
+
 // SetIn attaches Lin(v). The entries must be rank-ordered; their R fields
 // are filled in from the index's rank array.
 func (ix *Index) SetIn(v graph.Vertex, entries []Entry) {

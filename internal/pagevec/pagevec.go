@@ -1,7 +1,7 @@
 // Package pagevec implements a fixed-length, chunked vector with
 // copy-on-write structural sharing: the elements live in fixed-size
 // pages behind a page table, and Clone copies only the page table —
-// O(n/PageSize) — leaving every page shared until a Set touches it.
+// O(n/pageSize) — leaving every page shared until a Set touches it.
 //
 // It is the storage layer under the system's epoch-versioned indexes
 // (the per-vertex label-list headers of label.Index, the per-category
@@ -9,6 +9,18 @@
 // publishing a new index epoch clones these vectors instead of copying
 // O(|V|) header arrays, so a dynamic update costs its delta — the pages
 // it touches — not the graph size.
+//
+// The page size is per vector (New applies PageSize; NewSized picks any
+// power of two), so dense structures (label headers: most vertices carry
+// labels) and sparse ones (inverted lists: few hubs per category have
+// entries) each pay a page-copy granularity matched to their density.
+//
+// A vector may also be built over externally owned read-only pages
+// (FromPages) — views into an mmap'd flat index file. Such a vector
+// reads straight from the mapping, and the first Set through it (or any
+// clone) copies the touched page into owned heap memory, exactly like a
+// page shared with a clone: copy-on-write overlays stack on top of a
+// zero-copy base.
 //
 // Concurrency contract: a Vec is written by at most one goroutine (the
 // serialized index updater). Readers of a vector never observe writes
@@ -18,26 +30,33 @@
 // Clone replaces neither.
 package pagevec
 
-import "unsafe"
+import (
+	"fmt"
+	"math/bits"
+	"unsafe"
+)
 
 const (
-	pageBits = 10
-	// PageSize is the number of elements per page. 1024 list headers
-	// keep the page table ~1000× smaller than the element space while a
-	// page copy stays small enough (24 KiB for slice headers) that
-	// updates with locality touch only a few.
-	PageSize = 1 << pageBits
-	pageMask = PageSize - 1
+	defaultPageBits = 10
+	// PageSize is the default number of elements per page (see New).
+	// 1024 list headers keep the page table ~1000× smaller than the
+	// element space while a page copy stays small enough (24 KiB for
+	// slice headers) that updates with locality touch only a few.
+	PageSize = 1 << defaultPageBits
 )
 
 // Vec is a paged vector of n elements. The zero Vec is empty; build one
-// with New. Elements of pages never materialized read as the zero T.
+// with New, NewSized or FromPages. Elements of pages never materialized
+// read as the zero T.
 type Vec[T any] struct {
 	n     int
+	bits  uint // log2 of the page size
+	mask  int  // pageSize - 1
 	pages [][]T
 	// owned[p] marks that this Vec may write page p in place. Clone
-	// clears ownership on both sides, so the first Set through either
-	// vector copies the touched page.
+	// clears ownership on both sides, and FromPages starts with no
+	// ownership at all, so the first Set through either vector copies
+	// the touched page.
 	owned []bool
 
 	// copiedPages/copiedBytes account the COW work this Vec performed
@@ -48,50 +67,89 @@ type Vec[T any] struct {
 	copiedBytes uint64
 }
 
-// New returns a zero-filled vector of n elements. Only the page table
-// is allocated; pages materialize on first write.
-func New[T any](n int) *Vec[T] {
-	np := (n + PageSize - 1) / PageSize
-	return &Vec[T]{n: n, pages: make([][]T, np), owned: make([]bool, np)}
+// New returns a zero-filled vector of n elements with the default
+// PageSize. Only the page table is allocated; pages materialize on
+// first write.
+func New[T any](n int) *Vec[T] { return NewSized[T](n, PageSize) }
+
+// NewSized returns a zero-filled vector of n elements chunked into
+// pages of pageSize elements, which must be a power of two. Smaller
+// pages cut the bytes a mutation copies (sparser structures amortize
+// less per touch) at the price of a proportionally longer page table.
+func NewSized[T any](n, pageSize int) *Vec[T] {
+	if pageSize <= 0 || pageSize&(pageSize-1) != 0 {
+		panic(fmt.Sprintf("pagevec: page size %d is not a positive power of two", pageSize))
+	}
+	np := (n + pageSize - 1) / pageSize
+	return &Vec[T]{
+		n:     n,
+		bits:  uint(bits.TrailingZeros(uint(pageSize))),
+		mask:  pageSize - 1,
+		pages: make([][]T, np),
+		owned: make([]bool, np),
+	}
+}
+
+// FromPages returns a vector of n elements whose pages are provided by
+// the caller — typically views into a read-only mapping. The vector
+// does not own any page: reads go straight to the provided memory, and
+// the first Set of each page copies it into owned heap memory first, so
+// the provided pages are never written. pages[i] holds elements
+// [i*pageSize, (i+1)*pageSize) and may be shorter than pageSize only
+// for the final page (missing or short pages read as zero T beyond
+// their length is NOT supported — a nil entry stands for an
+// all-zero page instead). pageSize must be a power of two.
+func FromPages[T any](n int, pages [][]T, pageSize int) *Vec[T] {
+	v := NewSized[T](n, pageSize)
+	if len(pages) != len(v.pages) {
+		panic(fmt.Sprintf("pagevec: %d pages provided, %d needed for %d elements of page size %d",
+			len(pages), len(v.pages), n, pageSize))
+	}
+	copy(v.pages, pages)
+	return v
 }
 
 // Len returns the number of elements.
 func (v *Vec[T]) Len() int { return v.n }
 
+// PageElems returns the vector's page size in elements.
+func (v *Vec[T]) PageElems() int { return v.mask + 1 }
+
 // Get returns element i. Indices must be in [0, Len()); the page-table
 // bound is the only check performed.
 func (v *Vec[T]) Get(i int) T {
-	p := v.pages[i>>pageBits]
+	p := v.pages[i>>v.bits]
 	if p == nil {
 		var zero T
 		return zero
 	}
-	return p[i&pageMask]
+	return p[i&v.mask]
 }
 
 // Set stores x at index i, materializing the page when absent and
-// copying it first when it is still shared with a clone.
+// copying it first when it is still shared with a clone (or borrowed
+// from a read-only page source).
 func (v *Vec[T]) Set(i int, x T) {
-	pi := i >> pageBits
+	pi := i >> v.bits
 	if !v.owned[pi] {
 		v.materialize(pi)
 	}
-	v.pages[pi][i&pageMask] = x
+	v.pages[pi][i&v.mask] = x
 }
 
 // materialize gives the Vec an owned copy of page pi.
 func (v *Vec[T]) materialize(pi int) {
 	var elem T
-	fresh := make([]T, PageSize)
+	fresh := make([]T, v.mask+1)
 	copy(fresh, v.pages[pi]) // no-op for a never-written page
 	v.pages[pi] = fresh
 	v.owned[pi] = true
 	v.copiedPages++
-	v.copiedBytes += PageSize * uint64(unsafe.Sizeof(elem))
+	v.copiedBytes += uint64(v.mask+1) * uint64(unsafe.Sizeof(elem))
 }
 
 // Clone returns a structurally-shared copy: only the page table and the
-// ownership bits are duplicated — O(Len()/PageSize) — and every page
+// ownership bits are duplicated — O(Len()/pageSize) — and every page
 // becomes shared by both vectors. Ownership is cleared on the parent
 // too, so whichever side mutates a page first pays for its copy; the
 // other side keeps reading the original. Clone must be called by the
@@ -99,6 +157,8 @@ func (v *Vec[T]) materialize(pi int) {
 func (v *Vec[T]) Clone() *Vec[T] {
 	c := &Vec[T]{
 		n:     v.n,
+		bits:  v.bits,
+		mask:  v.mask,
 		pages: append([][]T(nil), v.pages...),
 		owned: make([]bool, len(v.pages)),
 	}
@@ -118,10 +178,10 @@ func (v *Vec[T]) Range(f func(i int, x T) bool) {
 		if p == nil {
 			continue
 		}
-		base := pi << pageBits
+		base := pi << v.bits
 		limit := v.n - base
-		if limit > PageSize {
-			limit = PageSize
+		if limit > len(p) {
+			limit = len(p)
 		}
 		for j := 0; j < limit; j++ {
 			if !f(base+j, p[j]) {
@@ -140,10 +200,11 @@ func (v *Vec[T]) CopyStats() (pages, bytes uint64) {
 
 // Residency reports the Vec's materialized pages split by ownership:
 // shared pages may be aliased by clones on other epochs (one physical
-// copy, many readers), owned pages belong to this Vec alone. Never-
-// materialized (all-zero) pages count as neither. shared+owned pages of
-// the live epoch versus the owned totals of retained older epochs is
-// the memory-amplification picture of an epoch chain.
+// copy, many readers) or borrowed from a read-only page source, owned
+// pages belong to this Vec alone. Never-materialized (all-zero) pages
+// count as neither. shared+owned pages of the live epoch versus the
+// owned totals of retained older epochs is the memory-amplification
+// picture of an epoch chain.
 func (v *Vec[T]) Residency() (shared, owned int) {
 	for pi, p := range v.pages {
 		if p == nil {

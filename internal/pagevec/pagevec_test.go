@@ -147,3 +147,109 @@ func TestEmptyVec(t *testing.T) {
 		t.Fatal("clone Len")
 	}
 }
+
+func TestNewSizedPageGranularity(t *testing.T) {
+	v := NewSized[int32](1000, 256)
+	if v.PageElems() != 256 {
+		t.Fatalf("PageElems = %d, want 256", v.PageElems())
+	}
+	for i := 0; i < 1000; i++ {
+		v.Set(i, int32(i))
+	}
+	for i := 0; i < 1000; i++ {
+		if v.Get(i) != int32(i) {
+			t.Fatalf("Get(%d) = %d", i, v.Get(i))
+		}
+	}
+	pages, bytes := v.CopyStats()
+	if pages != 4 {
+		t.Fatalf("copied pages = %d, want 4 (1000 elems / 256-page)", pages)
+	}
+	if want := uint64(4 * 256 * 4); bytes != want {
+		t.Fatalf("copied bytes = %d, want %d", bytes, want)
+	}
+}
+
+func TestNewSizedRejectsNonPowerOfTwo(t *testing.T) {
+	for _, bad := range []int{0, -1, 3, 1000} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewSized(_, %d) did not panic", bad)
+				}
+			}()
+			NewSized[int](10, bad)
+		}()
+	}
+}
+
+// TestFromPagesCOW is the mmap-overlay contract: a Vec built over
+// borrowed read-only pages must never write them — the first Set of a
+// page copies it into owned memory, and the borrowed backing stays
+// byte-identical.
+func TestFromPagesCOW(t *testing.T) {
+	const n, ps = 600, 256
+	backing := make([]int32, 3*ps)
+	for i := range backing {
+		backing[i] = int32(i * 7)
+	}
+	pages := [][]int32{backing[0:ps], backing[ps : 2*ps], backing[2*ps : 2*ps+(n-2*ps)]}
+	v := FromPages(n, pages, ps)
+	for i := 0; i < n; i++ {
+		if v.Get(i) != int32(i*7) {
+			t.Fatalf("Get(%d) = %d, want %d", i, v.Get(i), i*7)
+		}
+	}
+	if sh, ow := v.Residency(); sh != 3 || ow != 0 {
+		t.Fatalf("residency = (%d shared, %d owned), want (3, 0)", sh, ow)
+	}
+
+	v.Set(300, -1)
+	if backing[300] != int32(300*7) {
+		t.Fatalf("Set wrote through to the borrowed page: backing[300] = %d", backing[300])
+	}
+	if v.Get(300) != -1 || v.Get(299) != int32(299*7) {
+		t.Fatalf("owned copy wrong around index 300: %d %d", v.Get(299), v.Get(300))
+	}
+	if sh, ow := v.Residency(); sh != 2 || ow != 1 {
+		t.Fatalf("residency after Set = (%d shared, %d owned), want (2, 1)", sh, ow)
+	}
+
+	// A clone of the overlay shares the still-borrowed pages and the
+	// owned one alike; its own writes stay invisible to the parent.
+	c := v.Clone()
+	c.Set(0, 42)
+	if v.Get(0) != 0*7 || backing[0] != 0 {
+		t.Fatalf("clone write leaked: parent Get(0)=%d backing[0]=%d", v.Get(0), backing[0])
+	}
+	if c.Get(0) != 42 {
+		t.Fatalf("clone Get(0) = %d, want 42", c.Get(0))
+	}
+}
+
+// TestFromPagesShortLastPage: the final borrowed page may be shorter
+// than the page size; Range must clamp to it and Set must still be able
+// to materialize a full owned page from it.
+func TestFromPagesShortLastPage(t *testing.T) {
+	const n, ps = 300, 256
+	backing := make([]int16, n)
+	for i := range backing {
+		backing[i] = int16(i)
+	}
+	v := FromPages(n, [][]int16{backing[:ps], backing[ps:n]}, ps)
+	var got int
+	v.Range(func(i int, x int16) bool {
+		if x != int16(i) {
+			t.Fatalf("Range(%d) = %d", i, x)
+		}
+		got++
+		return true
+	})
+	if got != n {
+		t.Fatalf("Range visited %d, want %d", got, n)
+	}
+	v.Set(n-1, -5)
+	if v.Get(n-1) != -5 || backing[n-1] != int16(n-1) {
+		t.Fatalf("short-page Set misbehaved: %d %d", v.Get(n-1), backing[n-1])
+	}
+}

@@ -80,6 +80,15 @@ func (h *Heap[T]) Items() []T { return h.items }
 // cleared heap retains for reuse.
 func (h *Heap[T]) Cap() int { return cap(h.items) }
 
+// Grow ensures capacity for at least n items, preserving contents.
+func (h *Heap[T]) Grow(n int) {
+	if cap(h.items) < n {
+		items := make([]T, len(h.items), n)
+		copy(items, h.items)
+		h.items = items
+	}
+}
+
 func (h *Heap[T]) up(i int) {
 	d := h.arity
 	for i > 0 {

@@ -380,8 +380,12 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 
 // HealthResponse is the /health payload.
 type HealthResponse struct {
-	Status     string  `json:"status"`
-	Epoch      uint64  `json:"epoch"`
+	Status string `json:"status"`
+	Epoch  uint64 `json:"epoch"`
+	// Store names the index backing the serving snapshot chain was
+	// opened from: "memory" (built or legacy-loaded), "mmap" (flat
+	// index file served zero-copy), or "disk" (SK-DB).
+	Store      string  `json:"store"`
 	Vertices   int     `json:"vertices"`
 	Edges      int     `json:"edges"`
 	Categories int     `json:"categories"`
@@ -459,6 +463,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	resp := HealthResponse{
 		Status:     "ok",
 		Epoch:      snap.Epoch,
+		Store:      string(snap.Backing),
 		Vertices:   snap.Graph.NumVertices(),
 		Edges:      snap.Graph.NumEdges(),
 		Categories: snap.Graph.NumCategories(),

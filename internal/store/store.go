@@ -1,0 +1,148 @@
+// Package store defines the pluggable index-backing seam: an
+// IndexStore hands the query engine the label and inverted index views
+// it needs, hiding where they live. Three backings implement it —
+//
+//   - memory: today's heap-resident structs (label.Build /
+//     invindex.Build, or the legacy serialized loader);
+//   - mmap: a flat index file (internal/flat) mapped read-only and
+//     served zero-copy, the kernel page cache doing the tiering;
+//   - disk: the Section IV-C SK-DB store (internal/disk), which
+//     assembles a per-query sparse view from B+-tree-located records.
+//
+// memory and mmap are resident stores: one long-lived index pair serves
+// every query and supports cloning into new epochs (an mmap-backed
+// clone copies touched pages into owned heap memory; the mapping is
+// never written). disk is a per-query store: each View call reads just
+// the records the query touches, so Resident reports ok=false and
+// dynamic updates are unsupported.
+package store
+
+import (
+	"fmt"
+
+	"repro/internal/disk"
+	"repro/internal/flat"
+	"repro/internal/graph"
+	"repro/internal/invindex"
+	"repro/internal/label"
+)
+
+// Kind names an index backing; /health reports it.
+type Kind string
+
+// The index backings.
+const (
+	KindMemory Kind = "memory"
+	KindMmap   Kind = "mmap"
+	KindDisk   Kind = "disk"
+)
+
+// IndexStore is the seam between the query layers and the index
+// backing.
+type IndexStore interface {
+	// Kind names the backing.
+	Kind() Kind
+	// NumVertices returns the number of vertices the index covers.
+	NumVertices() int
+	// NumCategories returns the number of categories the index covers.
+	NumCategories() int
+	// Resident returns the store's long-lived index pair when it has
+	// one (memory, mmap); ok is false for per-query stores (disk).
+	// Resident indexes may be cloned copy-on-write into new epochs.
+	Resident() (lab *label.Index, inv *invindex.Index, ok bool)
+	// View returns index views sufficient to answer one query over the
+	// given categories and endpoints. Resident stores return their
+	// resident pair regardless of the arguments; per-query stores load
+	// exactly the needed records.
+	View(cats []graph.Category, src, dst graph.Vertex) (*label.Index, *invindex.Index, error)
+	// Close releases the backing (unmaps the file, closes descriptors).
+	// Only call it when no index view — nor any snapshot cloned from
+	// one — is still in use.
+	Close() error
+}
+
+// memStore serves heap-resident indexes.
+type memStore struct {
+	lab *label.Index
+	inv *invindex.Index
+}
+
+// Memory wraps built or legacy-loaded indexes as an IndexStore.
+func Memory(lab *label.Index, inv *invindex.Index) IndexStore {
+	return &memStore{lab: lab, inv: inv}
+}
+
+func (s *memStore) Kind() Kind         { return KindMemory }
+func (s *memStore) NumVertices() int   { return s.lab.NumVertices() }
+func (s *memStore) NumCategories() int { return s.inv.NumCategories() }
+func (s *memStore) Resident() (*label.Index, *invindex.Index, bool) {
+	return s.lab, s.inv, true
+}
+func (s *memStore) View(_ []graph.Category, _, _ graph.Vertex) (*label.Index, *invindex.Index, error) {
+	return s.lab, s.inv, nil
+}
+func (s *memStore) Close() error { return nil }
+
+// mmapStore serves a mapped flat index file.
+type mmapStore struct {
+	f *flat.File
+}
+
+// OpenMmap maps the flat index file at path (verifying its checksums)
+// and serves it zero-copy.
+func OpenMmap(path string) (IndexStore, error) {
+	f, err := flat.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &mmapStore{f: f}, nil
+}
+
+func (s *mmapStore) Kind() Kind         { return KindMmap }
+func (s *mmapStore) NumVertices() int   { return s.f.NumVertices() }
+func (s *mmapStore) NumCategories() int { return s.f.NumCategories() }
+func (s *mmapStore) Resident() (*label.Index, *invindex.Index, bool) {
+	return s.f.Labels(), s.f.Inverted(), true
+}
+func (s *mmapStore) View(_ []graph.Category, _, _ graph.Vertex) (*label.Index, *invindex.Index, error) {
+	return s.f.Labels(), s.f.Inverted(), nil
+}
+func (s *mmapStore) Close() error { return s.f.Close() }
+
+// diskStore serves per-query sparse views from the SK-DB store.
+type diskStore struct {
+	st *disk.Store
+}
+
+// OpenDisk opens the SK-DB directory store written by disk.Write.
+func OpenDisk(dir string) (IndexStore, error) {
+	st, err := disk.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &diskStore{st: st}, nil
+}
+
+// Disk wraps an already-open SK-DB store.
+func Disk(st *disk.Store) IndexStore { return &diskStore{st: st} }
+
+func (s *diskStore) Kind() Kind         { return KindDisk }
+func (s *diskStore) NumVertices() int   { return s.st.NumVertices() }
+func (s *diskStore) NumCategories() int { return s.st.NumCategories() }
+func (s *diskStore) Resident() (*label.Index, *invindex.Index, bool) {
+	return nil, nil, false
+}
+func (s *diskStore) View(cats []graph.Category, src, dst graph.Vertex) (*label.Index, *invindex.Index, error) {
+	return s.st.LoadQuery(cats, src, dst)
+}
+func (s *diskStore) Close() error { return s.st.Close() }
+
+// Validate checks that st covers g; every opener should call it before
+// serving queries against the pair.
+func Validate(st IndexStore, g *graph.Graph) error {
+	if st.NumVertices() != g.NumVertices() {
+		return fmt.Errorf("store: index covers %d vertices, graph has %d",
+			st.NumVertices(), g.NumVertices())
+	}
+	return nil
+}

@@ -54,9 +54,25 @@ import (
 	"repro/internal/core"
 	"repro/internal/disk"
 	"repro/internal/faultinject"
+	"repro/internal/flat"
 	"repro/internal/graph"
 	"repro/internal/invindex"
 	"repro/internal/label"
+	"repro/internal/store"
+)
+
+// StoreKind names the index backing a snapshot serves from; see
+// internal/store. Servers report it in /health.
+type StoreKind = store.Kind
+
+// The index backings.
+const (
+	// StoreMemory: heap-resident indexes (built, or legacy-loaded).
+	StoreMemory = store.KindMemory
+	// StoreMmap: a flat index file mapped read-only, served zero-copy.
+	StoreMmap = store.KindMmap
+	// StoreDisk: the Section IV-C SK-DB store, read per query.
+	StoreDisk = store.KindDisk
 )
 
 // Re-exported graph types: the full graph API (builders, IO, categories)
@@ -299,6 +315,12 @@ type Snapshot struct {
 	Labels *label.Index
 	// Inverted is this version's per-category inverted label index.
 	Inverted *invindex.Index
+	// Backing names the index store this snapshot chain was opened
+	// from (memory, mmap). An mmap-backed chain serves label and
+	// inverted entries straight out of the mapped flat file; epochs
+	// cloned from it keep the kind — their untouched pages still
+	// resolve into the mapping.
+	Backing StoreKind
 
 	// dyn is the frozen dynamic-edge overlay holding every edge
 	// inserted up to this epoch; the updater traverses it when resuming
@@ -335,10 +357,10 @@ type Snapshot struct {
 	vertsCache sync.Map
 }
 
-func newSnapshot(epoch uint64, g *Graph, lab *label.Index, inv *invindex.Index,
+func newSnapshot(epoch uint64, backing StoreKind, g *Graph, lab *label.Index, inv *invindex.Index,
 	dyn *graph.Dynamic, catAdd, catDel map[Vertex][]Category) *Snapshot {
 	sn := &Snapshot{
-		Epoch: epoch, Graph: g, Labels: lab, Inverted: inv,
+		Epoch: epoch, Graph: g, Labels: lab, Inverted: inv, Backing: backing,
 		dyn: dyn, catAdd: catAdd, catDel: catDel,
 		dijProv: &core.DijkstraProvider{Graph: g},
 	}
@@ -517,6 +539,12 @@ type System struct {
 	// take it.
 	updateMu sync.Mutex
 
+	// st is the index store the system was opened from, when any:
+	// NewSystemFromStore keeps it so Close can release the backing
+	// (unmap the flat file). Systems assembled from in-memory parts
+	// leave it nil.
+	st store.IndexStore
+
 	// Cumulative Apply cost counters (see ApplyStats). Written only by
 	// the serialized updater; read concurrently by /health.
 	applyBatches     atomic.Uint64
@@ -610,10 +638,91 @@ func NewSystem(g *Graph) *System {
 // caller must not mutate them afterwards.
 func NewSystemFromParts(g *Graph, lab *label.Index, inv *invindex.Index) *System {
 	s := &System{Graph: g}
-	sn := newSnapshot(1, g, lab, inv, graph.NewDynamic(g), nil, nil)
+	sn := newSnapshot(1, StoreMemory, g, lab, inv, graph.NewDynamic(g), nil, nil)
 	sn.wireCounters(&s.scratchForwarded, &s.scratchOutstanding)
 	s.snap.Store(sn)
 	return s
+}
+
+// NewSystemFromStore assembles a System over a resident index store:
+// the store's index pair becomes epoch 1 and every snapshot records the
+// store's kind (see Snapshot.Backing). The system takes ownership of
+// the store — Close releases it. Per-query stores (StoreDisk) have no
+// resident pair and are rejected; serve those through DiskSystem.
+func NewSystemFromStore(g *Graph, st store.IndexStore) (*System, error) {
+	if err := store.Validate(st, g); err != nil {
+		return nil, err
+	}
+	lab, inv, ok := st.Resident()
+	if !ok {
+		return nil, fmt.Errorf("kosr: %s store has no resident index; use DiskSystem", st.Kind())
+	}
+	s := &System{Graph: g, st: st}
+	sn := newSnapshot(1, st.Kind(), g, lab, inv, graph.NewDynamic(g), nil, nil)
+	sn.wireCounters(&s.scratchForwarded, &s.scratchOutstanding)
+	s.snap.Store(sn)
+	return s, nil
+}
+
+// OpenFlatSystem maps the flat index file at path (written by
+// SaveFlatIndex or `kosr pack`) and serves queries zero-copy from the
+// mapping: no parse step, no entry materialization — cold start is the
+// mmap plus one checksum pass. Dynamic updates work as usual; touched
+// pages are copied on write, untouched ones keep resolving into the
+// mapping. Close the returned System when done to release it.
+func OpenFlatSystem(g *Graph, path string) (*System, error) {
+	st, err := store.OpenMmap(path)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := NewSystemFromStore(g, st)
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+	return sys, nil
+}
+
+// StoreKind reports the index backing the current snapshot serves
+// from.
+func (s *System) StoreKind() StoreKind { return s.Snapshot().Backing }
+
+// Close releases the index store the system was opened from (unmaps a
+// flat file). Only call it when no query is in flight and no snapshot
+// of this system will be used again; systems assembled from in-memory
+// parts have nothing to release.
+func (s *System) Close() error {
+	if s.st == nil {
+		return nil
+	}
+	return s.st.Close()
+}
+
+// Default Prewarm table sizing: typical KOSR requests carry a handful
+// of categories (the paper evaluates |C| ≤ 5) and dominance levels one
+// past that, so four levels and three category rows cover the common
+// case without pinning worst-case footprints.
+const (
+	prewarmDomLevels = 4
+	prewarmCatRows   = 3
+)
+
+// Prewarm stocks the current snapshot's scratch pool with n fully
+// pre-sized query scratches (n ≤ 0 is a no-op). A scratch's dense
+// tables normally grow lazily on first touch, so the first query per
+// server worker after a cold boot pays a burst of O(|V|) allocations;
+// prewarming moves that work to startup. Servers call it with their
+// worker count before accepting traffic.
+func (s *System) Prewarm(n int) {
+	if n <= 0 {
+		return
+	}
+	sn := s.Snapshot()
+	if sn.labelProv != nil {
+		sn.labelProv.Prewarm(n, prewarmDomLevels, prewarmCatRows)
+		return
+	}
+	sn.dijProv.Prewarm(n, prewarmDomLevels, prewarmCatRows)
 }
 
 // NewSystemWithoutIndex returns a System that answers every query with
@@ -621,7 +730,7 @@ func NewSystemFromParts(g *Graph, lab *label.Index, inv *invindex.Index) *System
 // Dynamic updates require a label index and are rejected.
 func NewSystemWithoutIndex(g *Graph) *System {
 	s := &System{Graph: g}
-	sn := newSnapshot(1, g, nil, nil, graph.NewDynamic(g), nil, nil)
+	sn := newSnapshot(1, StoreMemory, g, nil, nil, graph.NewDynamic(g), nil, nil)
 	sn.wireCounters(&s.scratchForwarded, &s.scratchOutstanding)
 	s.snap.Store(sn)
 	return s
@@ -1045,7 +1154,7 @@ func (sn *Snapshot) copyStats() (pages, bytes uint64) {
 // publication. Only the serialized updater calls it.
 func (sn *Snapshot) cowClone() *Snapshot {
 	lab := sn.Labels.Clone()
-	return newSnapshot(sn.Epoch+1, sn.Graph, lab, sn.Inverted.Clone(lab),
+	return newSnapshot(sn.Epoch+1, sn.Backing, sn.Graph, lab, sn.Inverted.Clone(lab),
 		sn.dyn.Clone(), cloneCatOverlay(sn.catAdd), cloneCatOverlay(sn.catDel))
 }
 
@@ -1197,6 +1306,24 @@ func LoadSystem(g *Graph, r io.Reader) (*System, error) {
 	return NewSystemFromParts(g, lab, invindex.Build(g, lab)), nil
 }
 
+// SaveFlatIndex packs the current snapshot's label index and inverted
+// label index into the flat file format at path (atomically: temp file
+// + rename), ready for OpenFlatSystem to mmap. Unlike SaveIndex, a
+// flat file carries the inverted index too, so loading performs no
+// rebuild — and no parse at all.
+func (s *System) SaveFlatIndex(path string) error {
+	sn := s.Snapshot()
+	if sn.Labels == nil {
+		return fmt.Errorf("kosr: no label index to save")
+	}
+	return flat.WriteFile(path, sn.Labels, sn.Inverted)
+}
+
+// IsFlatIndex reports whether path begins with the flat index magic —
+// the sniff loaders use to route a -index file to OpenFlatSystem
+// versus the legacy LoadSystem reader. false for unreadable files.
+func IsFlatIndex(path string) bool { return flat.IsFlat(path) }
+
 // SaveDiskStore materializes the current snapshot's index as the
 // on-disk store of Section IV-C (per-category sections located through
 // a B+ tree).
@@ -1209,10 +1336,19 @@ func (s *System) SaveDiskStore(dir string) error {
 }
 
 // DiskSystem answers queries from a disk store, loading only the
-// sections each query touches (the paper's SK-DB method).
+// sections each query touches (the paper's SK-DB method). It is the
+// per-query face of the store seam: each Do assembles a sparse index
+// view through store.IndexStore.View instead of serving a resident
+// pair.
 type DiskSystem struct {
 	Graph *Graph
+	// Store is the underlying SK-DB store; exported for its IO
+	// counters (Store.Seeks).
 	Store *disk.Store
+
+	// st adapts Store to the IndexStore seam; view() builds it lazily
+	// so literal-constructed DiskSystems keep working.
+	st store.IndexStore
 }
 
 // OpenDiskSystem opens a store written by SaveDiskStore.
@@ -1221,16 +1357,28 @@ func OpenDiskSystem(g *Graph, dir string) (*DiskSystem, error) {
 	if err != nil {
 		return nil, err
 	}
-	if st.NumVertices() != g.NumVertices() {
+	ixs := store.Disk(st)
+	if err := store.Validate(ixs, g); err != nil {
 		st.Close()
-		return nil, fmt.Errorf("kosr: store covers %d vertices, graph has %d",
-			st.NumVertices(), g.NumVertices())
+		return nil, fmt.Errorf("kosr: %w", err)
 	}
-	return &DiskSystem{Graph: g, Store: st}, nil
+	return &DiskSystem{Graph: g, Store: st, st: ixs}, nil
 }
 
 // Close releases the store's files.
 func (d *DiskSystem) Close() error { return d.Store.Close() }
+
+// StoreKind reports the index backing (always StoreDisk).
+func (d *DiskSystem) StoreKind() StoreKind { return StoreDisk }
+
+// view returns the per-query index view for the request through the
+// store seam.
+func (d *DiskSystem) view(req Request) (*label.Index, *invindex.Index, error) {
+	if d.st == nil {
+		d.st = store.Disk(d.Store)
+	}
+	return d.st.View(req.Categories, req.Source, req.Target)
+}
 
 // Do answers a Request from disk, loading roughly |C|+4 records.
 // Variant requests are not supported by the disk store.
@@ -1238,7 +1386,7 @@ func (d *DiskSystem) Do(ctx context.Context, req Request) (*Result, error) {
 	if req.variant() {
 		return nil, fmt.Errorf("kosr: disk stores do not answer variant requests")
 	}
-	lab, inv, err := d.Store.LoadQuery(req.Categories, req.Source, req.Target)
+	lab, inv, err := d.view(req)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,300 @@
+package kosr
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/store"
+)
+
+// storeFixture builds a grid graph with categories plus a memory-backed
+// System, and writes its flat index and disk store next to each other.
+func storeFixture(t *testing.T) (g *Graph, mem *System, flatPath, diskDir string) {
+	t.Helper()
+	// Directed, because the rebuild oracle below re-materializes the
+	// effective graph through a directed builder.
+	b := gen.GridBuilder(gen.GridOptions{Rows: 11, Cols: 13, Directed: true, Diagonals: true, MaxWeight: 9, Seed: 3})
+	gen.AssignUniformCategories(b, 11*13, 5, 9, 4)
+	g = b.MustBuild()
+	mem = NewSystem(g)
+	dir := t.TempDir()
+	flatPath = filepath.Join(dir, "index.flat")
+	if err := mem.SaveFlatIndex(flatPath); err != nil {
+		t.Fatalf("SaveFlatIndex: %v", err)
+	}
+	diskDir = filepath.Join(dir, "skdb")
+	if err := mem.SaveDiskStore(diskDir); err != nil {
+		t.Fatalf("SaveDiskStore: %v", err)
+	}
+	return g, mem, flatPath, diskDir
+}
+
+// storeMixRequests is the request mix the equivalence tests replay on
+// every backing: all three methods, several k values, repeated
+// categories. Variants are excluded — the disk store rejects them.
+func storeMixRequests(g *Graph, rng *rand.Rand) []Request {
+	n := g.NumVertices()
+	nCats := g.NumCategories()
+	var reqs []Request
+	for i := 0; i < 12; i++ {
+		nc := 1 + rng.Intn(3)
+		cats := make([]Category, nc)
+		for j := range cats {
+			cats[j] = Category(rng.Intn(nCats))
+		}
+		reqs = append(reqs, Request{
+			Source:     Vertex(rng.Intn(n)),
+			Target:     Vertex(rng.Intn(n)),
+			Categories: cats,
+			K:          1 + rng.Intn(4),
+			Method:     []Method{StarKOSR, PruningKOSR, KPNE}[i%3],
+		})
+	}
+	return reqs
+}
+
+// routesBytes serializes an answer canonically so backings can be
+// compared byte for byte.
+func routesBytes(t *testing.T, res *Result) []byte {
+	t.Helper()
+	b, err := json.Marshal(res.Routes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestThreeStoreEquivalence is the store-seam gate: the same request
+// mix answered on the memory-resident index, the mmap'd flat file, and
+// the per-query disk store must serialize to byte-identical routes.
+// CI runs it as a dedicated step.
+func TestThreeStoreEquivalence(t *testing.T) {
+	g, mem, flatPath, diskDir := storeFixture(t)
+
+	mm, err := OpenFlatSystem(g, flatPath)
+	if err != nil {
+		t.Fatalf("OpenFlatSystem: %v", err)
+	}
+	defer mm.Close()
+	if mm.StoreKind() != StoreMmap {
+		t.Fatalf("StoreKind=%q, want %q", mm.StoreKind(), StoreMmap)
+	}
+	if mem.StoreKind() != StoreMemory {
+		t.Fatalf("memory StoreKind=%q, want %q", mem.StoreKind(), StoreMemory)
+	}
+	ds, err := OpenDiskSystem(g, diskDir)
+	if err != nil {
+		t.Fatalf("OpenDiskSystem: %v", err)
+	}
+	defer ds.Close()
+	if ds.StoreKind() != StoreDisk {
+		t.Fatalf("disk StoreKind=%q, want %q", ds.StoreKind(), StoreDisk)
+	}
+
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(11))
+	for i, req := range storeMixRequests(g, rng) {
+		resMem, err := mem.Do(ctx, req)
+		if err != nil {
+			t.Fatalf("request %d memory: %v", i, err)
+		}
+		resMmap, err := mm.Do(ctx, req)
+		if err != nil {
+			t.Fatalf("request %d mmap: %v", i, err)
+		}
+		resDisk, err := ds.Do(ctx, req)
+		if err != nil {
+			t.Fatalf("request %d disk: %v", i, err)
+		}
+		want := routesBytes(t, resMem)
+		if got := routesBytes(t, resMmap); !bytes.Equal(got, want) {
+			t.Fatalf("request %d (%+v): mmap answer diverges\n got %s\nwant %s", i, req, got, want)
+		}
+		if got := routesBytes(t, resDisk); !bytes.Equal(got, want) {
+			t.Fatalf("request %d (%+v): disk answer diverges\n got %s\nwant %s", i, req, got, want)
+		}
+	}
+}
+
+// TestMmapApplyMatchesRebuildOracle runs the dynamic-update oracle
+// property on an mmap-backed snapshot chain: random Apply batches land
+// on a System opened from the flat file, every epoch's answers are
+// checked against a from-scratch rebuild on the materialized effective
+// graph, and the mapped file itself must stay byte-identical throughout
+// — mutations may only ever land in copied pages, never the mapping.
+func TestMmapApplyMatchesRebuildOracle(t *testing.T) {
+	g, _, flatPath, _ := storeFixture(t)
+	before, err := os.ReadFile(flatPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := OpenFlatSystem(g, flatPath)
+	if err != nil {
+		t.Fatalf("OpenFlatSystem: %v", err)
+	}
+	defer sys.Close()
+
+	const epochs = 25
+	rng := rand.New(rand.NewSource(23))
+	n := g.NumVertices()
+	nCats := g.NumCategories()
+	reqs := applyOracleQueries(n, nCats, rng)
+	var insertedEdges [][3]float64
+	for epoch := 0; epoch < epochs; epoch++ {
+		batch := make([]Update, 0, 3)
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			switch rng.Intn(4) {
+			case 0, 1:
+				u := Update{
+					Op:     OpInsertEdge,
+					From:   Vertex(rng.Intn(n)),
+					To:     Vertex(rng.Intn(n)),
+					Weight: float64(1 + rng.Intn(9)),
+				}
+				batch = append(batch, u)
+				insertedEdges = append(insertedEdges, [3]float64{float64(u.From), float64(u.To), u.Weight})
+			case 2:
+				batch = append(batch, Update{
+					Op: OpAddCategory, Vertex: Vertex(rng.Intn(n)), Category: Category(rng.Intn(nCats)),
+				})
+			default:
+				batch = append(batch, Update{
+					Op: OpRemoveCategory, Vertex: Vertex(rng.Intn(n)), Category: Category(rng.Intn(nCats)),
+				})
+			}
+		}
+		if _, err := sys.Apply(batch...); err != nil {
+			t.Fatalf("epoch %d: %v", epoch, err)
+		}
+		sn := sys.Snapshot()
+		if sn.Backing != StoreMmap {
+			t.Fatalf("epoch %d: cloned snapshot Backing=%q, want %q", epoch, sn.Backing, StoreMmap)
+		}
+		oracle := oracleSystem(t, g, insertedEdges, sn)
+		got := answersOf(t, sn, reqs)
+		want := answersOf(t, oracle.Snapshot(), reqs)
+		for i := range reqs {
+			if !sameRoutes(got[i], want[i]) {
+				t.Fatalf("epoch %d request %d (%+v):\n got %v\nwant %v",
+					epoch, i, reqs[i], got[i], want[i])
+			}
+		}
+	}
+
+	after, err := os.ReadFile(flatPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("dynamic updates wrote through to the mapped flat index file")
+	}
+}
+
+// TestFlatRoundTripThroughSystem: saving the index flat and reopening
+// it must reproduce the exact routes of the in-memory build, including
+// after the flat-backed system absorbs its own updates and saves again.
+func TestFlatRoundTripThroughSystem(t *testing.T) {
+	g, mem, flatPath, _ := storeFixture(t)
+	sys, err := OpenFlatSystem(g, flatPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	req := Request{Source: 0, Target: Vertex(g.NumVertices() - 1), Categories: []Category{1, 3}, K: 3}
+	ctx := context.Background()
+	want, err := mem.Do(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sys.Do(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameRoutes(want.Routes, got.Routes) {
+		t.Fatalf("flat-backed answer %v, want %v", got.Routes, want.Routes)
+	}
+
+	// Mutate the mapped system, then pack its current snapshot: the new
+	// file must load and preserve the post-update answers.
+	if _, err := sys.Apply(Update{Op: OpAddCategory, Vertex: 5, Category: 2}); err != nil {
+		t.Fatal(err)
+	}
+	repacked := filepath.Join(t.TempDir(), "repacked.flat")
+	if err := sys.SaveFlatIndex(repacked); err != nil {
+		t.Fatal(err)
+	}
+	sys2, err := OpenFlatSystem(g, repacked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys2.Close()
+	req2 := Request{Source: 0, Target: Vertex(g.NumVertices() - 1), Categories: []Category{2}, K: 2}
+	want2, err := sys.Do(ctx, req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := sys2.Do(ctx, req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameRoutes(want2.Routes, got2.Routes) {
+		t.Fatalf("repacked answer %v, want %v", got2.Routes, want2.Routes)
+	}
+}
+
+// TestSystemPrewarm: prewarming must be invisible to correctness — the
+// first queries on a prewarmed system answer exactly like a cold one —
+// and the prewarmed scratches must actually be pooled (the first query
+// acquires one instead of allocating).
+func TestSystemPrewarm(t *testing.T) {
+	g, mem, flatPath, _ := storeFixture(t)
+	sys, err := OpenFlatSystem(g, flatPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	sys.Prewarm(2)
+	sys.Prewarm(0)  // no-ops
+	sys.Prewarm(-1) // no-ops
+
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(29))
+	for i, req := range storeMixRequests(g, rng) {
+		want, err := mem.Do(ctx, req)
+		if err != nil {
+			t.Fatalf("request %d memory: %v", i, err)
+		}
+		got, err := sys.Do(ctx, req)
+		if err != nil {
+			t.Fatalf("request %d prewarmed: %v", i, err)
+		}
+		if !sameRoutes(want.Routes, got.Routes) {
+			t.Fatalf("request %d: prewarmed answer %v, want %v", i, got.Routes, want.Routes)
+		}
+	}
+	if n := sys.ScratchesInFlight(); n != 0 {
+		t.Fatalf("ScratchesInFlight=%d after queries drained, want 0", n)
+	}
+}
+
+// TestNewSystemFromStoreRejectsPerQueryStores: disk stores have no
+// resident index pair; the resident-system constructor must say so
+// instead of serving nil indexes.
+func TestNewSystemFromStoreRejectsPerQueryStores(t *testing.T) {
+	g, _, _, diskDir := storeFixture(t)
+	st, err := store.OpenDisk(diskDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if _, err := NewSystemFromStore(g, st); err == nil {
+		t.Fatal("NewSystemFromStore accepted a per-query disk store")
+	}
+}
