@@ -1,0 +1,34 @@
+# Developer entry points. CI (.github/workflows/ci.yml) runs the same
+# commands; keep the two in sync when adding gates.
+
+GO ?= go
+
+.PHONY: build test lint vet escapes fmt bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# lint runs the project's own analyzer suite (internal/lint) three ways:
+# standalone, through the `go vet -vettool` driver protocol, and the
+# hotpath heap-escape gate against internal/lint/escapes.baseline.
+# Suppress a finding with `//lint:ignore <analyzer> <reason>` on or
+# directly above the line; the reason is mandatory.
+lint: vet escapes
+	$(GO) run ./cmd/kosrlint ./...
+
+vet:
+	$(GO) vet ./...
+	$(GO) build -o /tmp/kosrlint ./cmd/kosrlint
+	$(GO) vet -vettool=/tmp/kosrlint ./...
+
+escapes:
+	$(GO) run ./cmd/kosrlint escapes
+
+fmt:
+	gofmt -w .
+
+bench:
+	$(GO) run ./cmd/kosrbench -quick -analogues CAL -queries 2 -out /tmp/bench-smoke.json

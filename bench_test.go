@@ -79,7 +79,7 @@ func runMethod(b *testing.B, d *workload.Dataset, m workload.MethodID, lenC, k i
 	var last workload.Result
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r, err := d.RunMethod(m, queries, cfg, false)
+		r, err := d.RunMethod(context.Background(), m, queries, cfg, false)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -176,7 +176,7 @@ func BenchmarkTable10Breakdown(b *testing.B) {
 		b.Run(string(m), func(b *testing.B) {
 			var last workload.Result
 			for i := 0; i < b.N; i++ {
-				r, err := d.RunMethod(m, queries, cfg, true)
+				r, err := d.RunMethod(context.Background(), m, queries, cfg, true)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -275,7 +275,7 @@ func BenchmarkFig5SearchSpace(b *testing.B) {
 	queries := workload.RandomQueries(d.G, cfg.NumQueries, cfg.LenC, cfg.K, cfg.Seed)
 	var last workload.Result
 	for i := 0; i < b.N; i++ {
-		r, err := d.RunMethod(workload.MSK, queries, cfg, false)
+		r, err := d.RunMethod(context.Background(), workload.MSK, queries, cfg, false)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -370,7 +370,7 @@ func cmdBench(args []string) error {
 	cfg := workload.Config{
 		Scale: *scale, NumQueries: *queries, Seed: *seed, CatSize: *catSize,
 	}
-	return e.Run(cfg, os.Stdout)
+	return e.Run(context.Background(), cfg, os.Stdout)
 }
 
 func cmdVerify(args []string) error {

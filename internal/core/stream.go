@@ -36,7 +36,17 @@ func NewSearcher(ctx context.Context, g *graph.Graph, q Query, prov Provider, op
 	if err != nil {
 		return nil, err
 	}
+	// Seeding runs caller-reachable code (the distance oracle, variant
+	// predicates); a panic there must not strand the checked-out scratch
+	// on the unwind.
+	seeded := false
+	defer func() {
+		if !seeded {
+			e.releaseScratch()
+		}
+	}()
 	e.seed()
+	seeded = true
 	return &Searcher{e: e, nn: nn, start: time.Now()}, nil
 }
 
@@ -49,7 +59,16 @@ func NewVariantSearcher(ctx context.Context, g *graph.Graph, q VariantQuery, pro
 	if err != nil {
 		return nil, err
 	}
+	// Variant seeding is the riskier path: user-supplied Filters
+	// predicates run under it. Same unwind guard as NewSearcher.
+	seeded := false
+	defer func() {
+		if !seeded {
+			e.releaseScratch()
+		}
+	}()
 	e.seed()
+	seeded = true
 	return &Searcher{e: e, nn: nn, start: time.Now()}, nil
 }
 

@@ -93,3 +93,51 @@ func TestSearcherValidation(t *testing.T) {
 		t.Fatal("want validation error")
 	}
 }
+
+// seedPanicProvider delegates to a LabelProvider but returns a distance
+// oracle that panics, modelling a corrupted label store surfacing
+// mid-seed. It counts scratch checkouts to prove none leak.
+type seedPanicProvider struct {
+	*LabelProvider
+	acquired int
+	released int
+}
+
+func (p *seedPanicProvider) AcquireScratch() *Scratch {
+	p.acquired++
+	return p.LabelProvider.AcquireScratch()
+}
+
+func (p *seedPanicProvider) ReleaseScratch(s *Scratch) {
+	p.released++
+	p.LabelProvider.ReleaseScratch(s)
+}
+
+func (p *seedPanicProvider) DistTo(graph.Vertex) func(graph.Vertex) graph.Weight {
+	return func(graph.Vertex) graph.Weight { panic("oracle exploded") }
+}
+
+// TestVariantSearcherSeedPanicReleasesScratch pins the construction-time
+// unwind guard: multi-root variant seeding keys every root through the
+// distance oracle, and a panic there must hand the checked-out scratch
+// back to the provider's pool on the unwind instead of stranding it.
+func TestVariantSearcherSeedPanicReleasesScratch(t *testing.T) {
+	g := graph.Figure1()
+	base := fig1Query(t, g, 1)
+	q := VariantQuery{NoSource: true, Target: base.Target, Categories: base.Categories, K: 1}
+	prov := &seedPanicProvider{LabelProvider: NewLabelProvider(g, nil)}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected the oracle panic to propagate")
+			}
+		}()
+		_, _ = NewVariantSearcher(context.Background(), g, q, prov, Options{Method: MethodSK})
+	}()
+	if prov.acquired == 0 {
+		t.Fatal("no scratch was acquired; the test exercised nothing")
+	}
+	if prov.released != prov.acquired {
+		t.Fatalf("scratch leak on seed panic: acquired %d, released %d", prov.acquired, prov.released)
+	}
+}

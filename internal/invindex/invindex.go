@@ -707,6 +707,8 @@ func (it *NNIterator) MemFootprint() int64 {
 // Get returns the x-th (1-based) nearest neighbour of v in the category.
 // ok is false when fewer than x vertices of the category are reachable.
 // Calls with x ≤ Found() are NL cache hits and cost O(1).
+//
+//kosr:hotpath
 func (it *NNIterator) Get(x int) (Neighbor, bool) {
 	for len(it.nl) < x {
 		nb, ok := it.next()
@@ -719,6 +721,7 @@ func (it *NNIterator) Get(x int) (Neighbor, bool) {
 	return it.nl[x-1], true
 }
 
+//kosr:hotpath
 func (it *NNIterator) prime() {
 	it.primed = true
 	if !it.ix.hasIL(it.cat) {
@@ -749,6 +752,8 @@ func (it *NNIterator) prime() {
 
 // advance pushes the next unseen entry of the popped candidate's hub list
 // into NQ (lines 12–16 of Algorithm 3).
+//
+//kosr:hotpath
 func (it *NNIterator) advance(ord int32) {
 	list := it.lists[ord]
 	p := it.pos[ord]
@@ -763,6 +768,7 @@ func (it *NNIterator) advance(ord int32) {
 	}
 }
 
+//kosr:hotpath
 func (it *NNIterator) next() (Neighbor, bool) {
 	if !it.primed {
 		it.prime()

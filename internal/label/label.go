@@ -440,6 +440,8 @@ func (ix *Index) Rank(v graph.Vertex) int32 { return ix.rank[v] }
 // merge join of Lout(s) and Lin(t) in hub-rank order. dis(v, v) is 0 by
 // definition (the empty path), which also keeps sparse indexes — where a
 // vertex may carry only one of its two labels — exact.
+//
+//kosr:hotpath
 func (ix *Index) Dist(s, t graph.Vertex) graph.Weight {
 	if s == t {
 		return 0
@@ -450,6 +452,8 @@ func (ix *Index) Dist(s, t graph.Vertex) graph.Weight {
 // distMerge is the raw label merge join, without the s == t shortcut.
 // The builder's prune test must use it: during the root's own search the
 // shortcut would make the root prune itself.
+//
+//kosr:hotpath
 func (ix *Index) distMerge(s, t graph.Vertex) graph.Weight {
 	best := graph.Inf
 	ls, lt := ix.out.Get(int(s)), ix.in.Get(int(t))
@@ -474,6 +478,8 @@ func (ix *Index) distMerge(s, t graph.Vertex) graph.Weight {
 
 // BestHub returns the hub minimizing ds,h + dh,t together with that
 // distance; ok is false when t is unreachable from s.
+//
+//kosr:hotpath
 func (ix *Index) BestHub(s, t graph.Vertex) (hub graph.Vertex, d graph.Weight, ok bool) {
 	best := graph.Inf
 	var bestHub graph.Vertex = -1
@@ -499,6 +505,8 @@ func (ix *Index) BestHub(s, t graph.Vertex) (hub graph.Vertex, d graph.Weight, o
 }
 
 // lookup finds the entry with the given hub in a rank-ordered label list.
+//
+//kosr:hotpath
 func (ix *Index) lookup(list []Entry, hub graph.Vertex) (Entry, bool) {
 	r := ix.rank[hub]
 	lo, hi := 0, len(list)

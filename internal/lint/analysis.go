@@ -1,0 +1,66 @@
+// Package lint is a suite of project-specific static analyzers that
+// machine-check the engine's hand-written invariants: pooled scratches
+// must be released on every path, epoch-stamped dense tables must be
+// stamp-checked before reads, unsafe zero-copy casts stay behind the
+// layout gates in internal/flat, //kosr:hotpath functions stay free of
+// allocation-prone constructs, and the API surface stays context-first.
+//
+// The package deliberately mirrors the golang.org/x/tools/go/analysis
+// API (Analyzer / Pass / Diagnostic) but is built on the standard
+// library only — go/ast, go/types and the gc export-data importer — so
+// the module keeps zero third-party dependencies. If x/tools ever
+// becomes available, each analyzer ports mechanically.
+//
+// Suppression follows the staticcheck convention: a finding is silenced
+// by `//lint:ignore <analyzer> <reason>` on the offending line or the
+// line directly above it, or `//lint:file-ignore <analyzer> <reason>`
+// anywhere in the file. The reason is mandatory; a bare directive is
+// itself reported.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:ignore directives. Lower-case, no spaces.
+	Name string
+	// Doc is the one-paragraph description printed by kosrlint -list.
+	Doc string
+	// Run applies the analyzer to one package, reporting findings
+	// through pass.Report.
+	Run func(pass *Pass) error
+}
+
+// A Pass is one analyzer applied to one package: the parsed syntax,
+// the type information, and the report sink.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// Reportf reports a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer.Name})
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Position resolves the diagnostic's file position against fset.
+func (d Diagnostic) Position(fset *token.FileSet) token.Position {
+	return fset.Position(d.Pos)
+}

@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxFirst keeps the API surface cancellable: exported functions and
+// methods that take a context.Context must take it as the first
+// parameter, and library code must never mint its own root context —
+// context.Background() and context.TODO() belong to main packages and
+// tests only. A search that cannot be cancelled holds a snapshot pin
+// and a scratch for its whole runtime; a buried context is how that
+// happens.
+//
+// Two rules:
+//
+//  1. In every function signature (exported or not — a misplaced ctx
+//     in a helper propagates outward), a context.Context parameter
+//     must be the first parameter.
+//
+//  2. Calls to context.Background() / context.TODO() are flagged in
+//     library packages. Packages named main are exempt, as are
+//     *_test.go files (dropped by the runner globally).
+//
+// Suppress with //lint:ignore ctxfirst <reason> — the deprecated
+// compatibility wrappers do this deliberately.
+var CtxFirst = &Analyzer{
+	Name: "ctxfirst",
+	Doc: "require context.Context as the first parameter and ban " +
+		"context.Background/TODO in library code",
+	Run: runCtxFirst,
+}
+
+func runCtxFirst(pass *Pass) error {
+	for _, fd := range funcsOf(pass.Files) {
+		checkCtxPosition(pass, fd)
+	}
+	if pass.Pkg != nil && pass.Pkg.Name() == "main" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || (sel.Sel.Name != "Background" && sel.Sel.Name != "TODO") {
+				return true
+			}
+			pkg, ok := sel.X.(*ast.Ident)
+			if !ok || pkg.Name != "context" {
+				return true
+			}
+			if obj, ok := pass.TypesInfo.Uses[pkg]; ok {
+				if _, isPkg := obj.(*types.PkgName); !isPkg {
+					return true
+				}
+			}
+			pass.Reportf(call.Pos(),
+				"context.%s() in library code: accept a context.Context from the caller instead of minting a root",
+				sel.Sel.Name)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkCtxPosition flags signatures where a context.Context parameter
+// is not first.
+func checkCtxPosition(pass *Pass, fd *ast.FuncDecl) {
+	if fd.Type.Params == nil {
+		return
+	}
+	// Flatten the parameter list: (a, b context.Context) counts b too.
+	idx := 0
+	for _, field := range fd.Type.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if isContextType(pass, field.Type) {
+			if idx != 0 {
+				pass.Reportf(field.Pos(),
+					"context.Context is parameter %d of %s; it must come first",
+					idx+1, fd.Name.Name)
+			}
+			return // only the first ctx parameter matters
+		}
+		idx += n
+	}
+}
+
+// isContextType reports whether the type expression denotes
+// context.Context.
+func isContextType(pass *Pass, e ast.Expr) bool {
+	if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Type != nil {
+		return tv.Type.String() == "context.Context"
+	}
+	// Fallback on syntax if type info is missing.
+	if sel, ok := e.(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok {
+			return id.Name == "context" && sel.Sel.Name == "Context"
+		}
+	}
+	return strings.HasSuffix(types.ExprString(e), "context.Context")
+}

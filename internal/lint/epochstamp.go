@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// EpochStamp guards the generation-stamped dense tables: slot structs
+// carrying an unexported `epoch` field next to a payload field are only
+// valid while the slot's stamp equals the owning scratch's current
+// epoch. Reading the payload without comparing stamps in the same
+// function resurrects state from a previous query.
+//
+// The analyzer recognises a "stamped slot type" structurally: a struct
+// with at most four fields, one of which is an unexported field named
+// `epoch`. Any selector read of a non-epoch field through such a type
+// is flagged unless the enclosing function also contains at least one
+// comparison (== or !=) whose operand is an `.epoch` selector.
+//
+// Suppress a deliberate unguarded read (e.g. the release path that
+// drains journals wholesale) with //lint:ignore epochstamp <reason>.
+var EpochStamp = &Analyzer{
+	Name: "epochstamp",
+	Doc: "check that payload reads of epoch-stamped slot structs happen in " +
+		"functions that compare the slot stamp against the current epoch",
+	Run: runEpochStamp,
+}
+
+func runEpochStamp(pass *Pass) error {
+	for _, fd := range funcsOf(pass.Files) {
+		checkEpochReads(pass, fd)
+	}
+	return nil
+}
+
+// isStampedSlot reports whether t is (or points to) a small struct with
+// an unexported `epoch` field — the project's generation-stamp idiom.
+func isStampedSlot(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok || st.NumFields() > 4 {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() == "epoch" && !f.Exported() {
+			return true
+		}
+	}
+	return false
+}
+
+// checkEpochReads flags payload selector reads of stamped slots in
+// functions without any `.epoch` comparison.
+func checkEpochReads(pass *Pass, fd *ast.FuncDecl) {
+	// First: does the function compare stamps anywhere?
+	hasGuard := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || (be.Op.String() != "==" && be.Op.String() != "!=") {
+			return true
+		}
+		for _, side := range []ast.Expr{be.X, be.Y} {
+			if sel, ok := side.(*ast.SelectorExpr); ok && sel.Sel.Name == "epoch" {
+				hasGuard = true
+				return false
+			}
+		}
+		return true
+	})
+	if hasGuard {
+		return
+	}
+
+	// No guard: any payload read of a stamped slot type is a finding.
+	// Writes (assignment LHS) are fine — stamping a slot rewrites both
+	// fields together.
+	writes := map[*ast.SelectorExpr]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			markWrites(lhs, writes)
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name == "epoch" || writes[sel] {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[sel.X]
+		if !ok || !isStampedSlot(tv.Type) {
+			return true
+		}
+		pass.Reportf(sel.Pos(),
+			"read of %s on epoch-stamped slot without a stamp comparison in this function (guard with `sl.epoch != s.epoch` or equivalent)",
+			sel.Sel.Name)
+		return true
+	})
+}
+
+// markWrites records the selector expressions appearing as assignment
+// targets (including inside index expressions on the path).
+func markWrites(lhs ast.Expr, writes map[*ast.SelectorExpr]bool) {
+	if sel, ok := lhs.(*ast.SelectorExpr); ok {
+		writes[sel] = true
+	}
+}

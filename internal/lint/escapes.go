@@ -1,0 +1,171 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The escapes gate: the hotpath analyzer bans what syntax can see, but
+// whether a value reaches the heap is the compiler's call. The gate
+// runs `go build -gcflags=-m`, keeps the "escapes to heap" / "moved to
+// heap" lines that fall inside //kosr:hotpath functions, and compares
+// them against a checked-in baseline. A new escape in a hot function
+// fails the build until either the code stops allocating or the
+// baseline is deliberately regenerated with -update.
+//
+// Baseline entries are function-relative —
+//
+//	pkgpath.(*T).method +12: x escapes to heap
+//
+// — so unrelated edits that shift absolute line numbers don't churn
+// the file.
+
+// EscapeEntries builds the current escape set for the module at dir:
+// one normalized entry per compiler escape diagnostic inside a hotpath
+// function of the packages matched by patterns.
+func EscapeEntries(dir string, patterns ...string) ([]string, error) {
+	pkgs, err := Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	hot := HotPathFuncs(pkgs)
+	if len(hot) == 0 {
+		return nil, nil
+	}
+
+	args := append([]string{"build", "-gcflags=-m"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go build -gcflags=-m: %v\n%s", err, out.String())
+	}
+
+	var entries []string
+	for _, line := range strings.Split(out.String(), "\n") {
+		if !strings.Contains(line, "escapes to heap") && !strings.Contains(line, "moved to heap") {
+			continue
+		}
+		file, lineNo, msg, ok := splitEscapeLine(line)
+		if !ok {
+			continue
+		}
+		abs := file
+		if !filepath.IsAbs(abs) {
+			abs = filepath.Join(dir, file)
+		}
+		for _, h := range hot {
+			if h.File == abs && h.Start <= lineNo && lineNo <= h.End {
+				entries = append(entries, fmt.Sprintf("%s +%d: %s", h.Name, lineNo-h.Start, msg))
+				break
+			}
+		}
+	}
+	sort.Strings(entries)
+	return entries, nil
+}
+
+// splitEscapeLine parses "file.go:12:34: msg" into its parts.
+func splitEscapeLine(line string) (file string, lineNo int, msg string, ok bool) {
+	parts := strings.SplitN(strings.TrimSpace(line), ":", 4)
+	if len(parts) != 4 || !strings.HasSuffix(parts[0], ".go") {
+		return "", 0, "", false
+	}
+	n, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return "", 0, "", false
+	}
+	return parts[0], n, strings.TrimSpace(parts[3]), true
+}
+
+// CompareBaseline diffs the current entries against the baseline file
+// content. Added entries are regressions; removed entries are stale
+// baseline lines (an improvement — regenerate to lock it in).
+func CompareBaseline(entries []string, baseline []byte) (added, removed []string) {
+	base := map[string]bool{}
+	for _, line := range strings.Split(string(baseline), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		base[line] = true
+	}
+	cur := map[string]bool{}
+	for _, e := range entries {
+		cur[e] = true
+		if !base[e] {
+			added = append(added, e)
+		}
+	}
+	for b := range base {
+		if !cur[b] {
+			removed = append(removed, b)
+		}
+	}
+	sort.Strings(added)
+	sort.Strings(removed)
+	return added, removed
+}
+
+// FormatBaseline renders entries as baseline file content.
+func FormatBaseline(entries []string) []byte {
+	var b strings.Builder
+	b.WriteString("# Heap escapes inside //kosr:hotpath functions, as reported by\n")
+	b.WriteString("# `go build -gcflags=-m`. Regenerate with `go run ./cmd/kosrlint escapes -update`.\n")
+	b.WriteString("# Entries are function-relative (+N = lines below the declaration).\n")
+	for _, e := range entries {
+		b.WriteString(e)
+		b.WriteByte('\n')
+	}
+	return []byte(b.String())
+}
+
+// EscapeGate runs the full gate for the module at dir: compute entries,
+// compare with the baseline at baselinePath (relative paths resolve
+// against dir), and either report drift or (update) rewrite the
+// baseline. It returns true when the gate passes.
+func EscapeGate(dir, baselinePath string, update bool, w io.Writer, patterns ...string) (bool, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	entries, err := EscapeEntries(dir, patterns...)
+	if err != nil {
+		return false, err
+	}
+	if !filepath.IsAbs(baselinePath) {
+		baselinePath = filepath.Join(dir, baselinePath)
+	}
+	if update {
+		if err := os.WriteFile(baselinePath, FormatBaseline(entries), 0o644); err != nil {
+			return false, err
+		}
+		fmt.Fprintf(w, "wrote %d escape entries to %s\n", len(entries), baselinePath)
+		return true, nil
+	}
+	baseline, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return false, fmt.Errorf("read baseline (run with -update to create it): %v", err)
+	}
+	added, removed := CompareBaseline(entries, baseline)
+	for _, a := range added {
+		fmt.Fprintf(w, "NEW heap escape in hotpath function: %s\n", a)
+	}
+	for _, r := range removed {
+		fmt.Fprintf(w, "note: baseline entry no longer observed (regenerate with -update): %s\n", r)
+	}
+	if len(added) > 0 {
+		fmt.Fprintf(w, "escape gate: %d new escape(s) vs %s\n", len(added), baselinePath)
+		return false, nil
+	}
+	fmt.Fprintf(w, "escape gate: ok (%d baseline escapes, %d stale)\n", len(entries), len(removed))
+	return true, nil
+}

@@ -1,0 +1,238 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// HotPath enforces the `//kosr:hotpath` directive: functions so marked
+// sit on the per-result search path (heap sift, label merge, posting
+// advance) where a single allocation or dynamic dispatch multiplies by
+// millions of iterations. Four constructs are banned in their bodies:
+//
+//   - fmt.* calls — even fmt.Errorf on an error path forces its
+//     operands to escape; build errors at the call boundary instead.
+//   - map literals and make(map...) — map allocation plus hashing has
+//     no place per-result; index with dense slices keyed by vertex id.
+//   - closures that capture variables — an escaping closure boxes its
+//     captures; closures without captures are allowed (they compile to
+//     plain funcs).
+//   - implicit interface{}/any boxing: passing a concrete non-pointer
+//     value where an interface parameter is expected allocates. This
+//     includes variadic ...any sinks.
+//
+// The directive attaches to the function declaration's doc comment.
+// The complementary escape-analysis gate (`kosrlint escapes`) catches
+// what syntax can't: it compares `go build -gcflags=-m` output for
+// hotpath functions against a checked-in baseline.
+//
+// Suppress with //lint:ignore hotpath <reason> on the offending line.
+var HotPath = &Analyzer{
+	Name: "hotpath",
+	Doc: "ban fmt calls, map allocation, capturing closures and interface " +
+		"boxing inside //kosr:hotpath functions",
+	Run: runHotPath,
+}
+
+// hotPathDirective is the comment that opts a function in.
+const hotPathDirective = "//kosr:hotpath"
+
+// isHotPath reports whether the function declaration carries the
+// directive in its doc comment.
+func isHotPath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(strings.TrimSpace(c.Text), hotPathDirective) {
+			return true
+		}
+	}
+	return false
+}
+
+func runHotPath(pass *Pass) error {
+	for _, fd := range funcsOf(pass.Files) {
+		if !isHotPath(fd) {
+			continue
+		}
+		checkHotBody(pass, fd)
+	}
+	return nil
+}
+
+func checkHotBody(pass *Pass, fd *ast.FuncDecl) {
+	// Parameter and local names declared in this function, for closure
+	// capture detection.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch nn := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := nn.Fun.(*ast.SelectorExpr); ok {
+				if pkg, ok := sel.X.(*ast.Ident); ok && pkg.Name == "fmt" {
+					if obj, ok := pass.TypesInfo.Uses[pkg]; ok {
+						if _, isPkg := obj.(*types.PkgName); !isPkg {
+							return true // a local variable named fmt; unlikely but honest
+						}
+					}
+					pass.Reportf(nn.Pos(),
+						"fmt.%s in //kosr:hotpath function %s: fmt forces operands to escape; construct messages at the call boundary",
+						sel.Sel.Name, fd.Name.Name)
+					return true
+				}
+			}
+			// make(map[...]...)
+			if id, ok := nn.Fun.(*ast.Ident); ok && id.Name == "make" && len(nn.Args) > 0 {
+				if _, isMap := nn.Args[0].(*ast.MapType); isMap {
+					pass.Reportf(nn.Pos(),
+						"map allocation in //kosr:hotpath function %s: use dense slices keyed by vertex id",
+						fd.Name.Name)
+					return true
+				}
+			}
+			checkInterfaceBoxing(pass, fd, nn)
+		case *ast.CompositeLit:
+			if _, isMap := nn.Type.(*ast.MapType); isMap {
+				pass.Reportf(nn.Pos(),
+					"map literal in //kosr:hotpath function %s: use dense slices keyed by vertex id",
+					fd.Name.Name)
+			}
+		case *ast.FuncLit:
+			if caps := closureCaptures(pass, fd, nn); len(caps) > 0 {
+				pass.Reportf(nn.Pos(),
+					"closure capturing %s in //kosr:hotpath function %s: captures box onto the heap; pass state explicitly",
+					strings.Join(caps, ", "), fd.Name.Name)
+			}
+			return false // don't re-analyze the closure body against fd
+		}
+		return true
+	})
+}
+
+// checkInterfaceBoxing flags arguments whose static type is a concrete
+// non-pointer type passed into an interface-typed parameter.
+func checkInterfaceBoxing(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	// Conversions (T(x)) and builtin calls have no Signature; skip.
+	for i, arg := range call.Args {
+		var paramType types.Type
+		if sig.Variadic() && i >= sig.Params().Len()-1 {
+			last := sig.Params().At(sig.Params().Len() - 1).Type()
+			if sl, ok := last.(*types.Slice); ok {
+				paramType = sl.Elem()
+			}
+		} else if i < sig.Params().Len() {
+			paramType = sig.Params().At(i).Type()
+		}
+		if paramType == nil {
+			continue
+		}
+		if _, isIface := paramType.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		at, ok := pass.TypesInfo.Types[arg]
+		if !ok || at.Type == nil {
+			continue
+		}
+		if _, argIsIface := at.Type.Underlying().(*types.Interface); argIsIface {
+			continue // interface-to-interface: no new box
+		}
+		if _, isPtr := at.Type.Underlying().(*types.Pointer); isPtr {
+			continue // pointers fit in the iface word without boxing
+		}
+		if at.IsNil() {
+			continue
+		}
+		pass.Reportf(arg.Pos(),
+			"interface boxing in //kosr:hotpath function %s: %s argument converts to %s and may allocate",
+			fd.Name.Name, at.Type.String(), paramType.String())
+	}
+}
+
+// closureCaptures returns the names of identifiers used inside lit that
+// resolve to objects declared in fd outside the literal — i.e. true
+// captures.
+func closureCaptures(pass *Pass, fd *ast.FuncDecl, lit *ast.FuncLit) []string {
+	seen := map[string]bool{}
+	var caps []string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || id.Name == "_" || seen[id.Name] {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil {
+			return true
+		}
+		v, ok := obj.(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Captured iff declared inside fd but outside the literal.
+		if v.Pos() >= fd.Pos() && v.Pos() < fd.End() &&
+			(v.Pos() < lit.Pos() || v.Pos() >= lit.End()) {
+			seen[id.Name] = true
+			caps = append(caps, id.Name)
+		}
+		return true
+	})
+	return caps
+}
+
+// A HotFunc locates one //kosr:hotpath function for the escapes gate.
+type HotFunc struct {
+	Name  string // pkgpath.Func or pkgpath.(*Recv).Method
+	File  string // absolute path
+	Start int    // first line of the declaration
+	End   int    // last line of the body
+}
+
+// HotPathFuncs lists every //kosr:hotpath function in pkgs with its
+// source range. The escapes gate uses the ranges to scope
+// `go build -gcflags=-m` output to hot functions only.
+func HotPathFuncs(pkgs []*Package) []HotFunc {
+	var out []HotFunc
+	for _, pkg := range pkgs {
+		for _, fd := range funcsOf(pkg.Files) {
+			if !isHotPath(fd) {
+				continue
+			}
+			name := fd.Name.Name
+			if fd.Recv != nil && len(fd.Recv.List) > 0 {
+				recv := recvTypeName(fd.Recv.List[0].Type)
+				if recv != "" {
+					name = "(" + recv + ")." + name
+				}
+			}
+			start := pkg.Fset.Position(fd.Pos())
+			end := pkg.Fset.Position(fd.End())
+			out = append(out, HotFunc{
+				Name:  pkg.ImportPath + "." + name,
+				File:  start.Filename,
+				Start: start.Line,
+				End:   end.Line,
+			})
+		}
+	}
+	return out
+}
+
+// recvTypeName renders a receiver type expression ("*Scratch" -> "*Scratch").
+func recvTypeName(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		return "*" + recvTypeName(t.X)
+	case *ast.IndexExpr: // generic receiver
+		return recvTypeName(t.X)
+	}
+	return ""
+}

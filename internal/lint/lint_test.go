@@ -1,0 +1,159 @@
+package lint
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRe extracts the backtick-quoted regexes of a `// want` comment.
+var wantRe = regexp.MustCompile("`([^`]+)`")
+
+// runFixture loads the named fixture packages under testdata/src, runs
+// a single analyzer, and checks the findings against `// want` comments
+// (each a backtick-quoted regex on the offending line). wantSuppressed
+// asserts how many findings //lint:ignore directives silenced.
+func runFixture(t *testing.T, a *Analyzer, wantSuppressed int, dirs ...string) {
+	t.Helper()
+	patterns := make([]string, len(dirs))
+	for i, d := range dirs {
+		patterns[i] = "./testdata/src/" + d
+	}
+	pkgs, err := Load(".", patterns...)
+	if err != nil {
+		t.Fatalf("load fixtures %v: %v", dirs, err)
+	}
+	res, err := Run(pkgs, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("run %s: %v", a.Name, err)
+	}
+
+	type expectation struct {
+		file    string
+		line    int
+		re      *regexp.Regexp
+		matched bool
+	}
+	var expects []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					idx := strings.Index(c.Text, "// want ")
+					if idx < 0 {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					for _, m := range wantRe.FindAllStringSubmatch(c.Text[idx:], -1) {
+						re, err := regexp.Compile(m[1])
+						if err != nil {
+							t.Fatalf("%s:%d: bad want regex %q: %v", pos.Filename, pos.Line, m[1], err)
+						}
+						expects = append(expects, &expectation{file: pos.Filename, line: pos.Line, re: re})
+					}
+				}
+			}
+		}
+	}
+
+	for i, d := range res.Diagnostics {
+		file, line := splitPosition(t, res.Positions[i])
+		found := false
+		for _, e := range expects {
+			if !e.matched && e.file == file && e.line == line && e.re.MatchString(d.Message) {
+				e.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected %s finding at %s: %s", d.Analyzer, res.Positions[i], d.Message)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("missing finding at %s:%d matching %q", e.file, e.line, e.re)
+		}
+	}
+	if res.Suppressed != wantSuppressed {
+		t.Errorf("suppressed = %d, want %d", res.Suppressed, wantSuppressed)
+	}
+}
+
+func splitPosition(t *testing.T, pos string) (string, int) {
+	t.Helper()
+	parts := strings.Split(pos, ":")
+	if len(parts) < 2 {
+		t.Fatalf("unparsable position %q", pos)
+	}
+	var line int
+	if _, err := fmt.Sscanf(parts[1], "%d", &line); err != nil {
+		t.Fatalf("unparsable position %q: %v", pos, err)
+	}
+	return parts[0], line
+}
+
+func TestScratchPairFixture(t *testing.T) {
+	runFixture(t, ScratchPair, 1, "scratchpair")
+}
+
+func TestEpochStampFixture(t *testing.T) {
+	runFixture(t, EpochStamp, 1, "epochstamp")
+}
+
+func TestUnsafeGateFixture(t *testing.T) {
+	runFixture(t, UnsafeGate, 0, "unsafegate", "flat")
+}
+
+func TestHotPathFixture(t *testing.T) {
+	runFixture(t, HotPath, 1, "hotpath")
+}
+
+func TestCtxFirstFixture(t *testing.T) {
+	runFixture(t, CtxFirst, 1, "ctxfirst")
+}
+
+// TestMalformedDirective checks that a lint directive without a reason
+// is itself reported, whichever analyzer runs.
+func TestMalformedDirective(t *testing.T) {
+	pkgs, err := Load(".", "./testdata/src/directive")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	res, err := Run(pkgs, []*Analyzer{CtxFirst})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	found := false
+	for _, d := range res.Diagnostics {
+		if d.Analyzer == "lintdirective" && strings.Contains(d.Message, "reason") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected a lintdirective finding, got %+v", res.Diagnostics)
+	}
+}
+
+// TestSuppressionRequiresName checks that an ignore directive for a
+// different analyzer does not silence a finding.
+func TestSuppressionRequiresName(t *testing.T) {
+	pkgs, err := Load(".", "./testdata/src/directive")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	res, err := Run(pkgs, []*Analyzer{HotPath})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var hot int
+	for _, d := range res.Diagnostics {
+		if d.Analyzer == "hotpath" {
+			hot++
+		}
+	}
+	if hot != 1 {
+		t.Fatalf("hotpath findings = %d, want 1 (wrong-name directive must not suppress)", hot)
+	}
+}

@@ -1,0 +1,194 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// A Package is one loaded, type-checked target package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	TypesInfo  *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Load resolves patterns (./..., package paths, directories) from dir
+// using the go command, type-checks every matched package against the
+// export data of its dependencies, and returns the targets ready for
+// analysis. Test files are not loaded: the invariants are enforced on
+// production code, and tests exercise violations deliberately. Use
+// CheckFiles (the `go vet -vettool` path) when the build system has
+// already planned the file set.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{
+		"list", "-e", "-deps", "-export",
+		"-json=ImportPath,Dir,Name,Export,GoFiles,Standard,DepOnly,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	exports := make(map[string]string)
+	var targets []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("load %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			q := p
+			targets = append(targets, &q)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, exports)
+	var pkgs []*Package
+	for _, t := range targets {
+		files := make([]string, len(t.GoFiles))
+		for i, f := range t.GoFiles {
+			files[i] = filepath.Join(t.Dir, f)
+		}
+		pkg, err := checkFiles(fset, imp, t.ImportPath, t.Dir, files)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// CheckFiles parses and type-checks one package from an explicit file
+// list, resolving imports through lookup: importPath -> export-data
+// file (with importMap translating source-level import paths to
+// canonical ones first). This is the `go vet -vettool` entry: the vet
+// config supplies the exact file and export sets.
+func CheckFiles(importPath, dir string, goFiles []string, importMap map[string]string, packageFile map[string]string) (*Package, error) {
+	fset := token.NewFileSet()
+	exports := make(map[string]string, len(packageFile))
+	for canonical, file := range packageFile {
+		exports[canonical] = file
+	}
+	imp := &exportImporter{
+		fset:      fset,
+		exports:   exports,
+		importMap: importMap,
+		imported:  make(map[string]*types.Package),
+	}
+	return checkFiles(fset, imp, importPath, dir, goFiles)
+}
+
+func checkFiles(fset *token.FileSet, imp types.Importer, importPath, dir string, goFiles []string) (*Package, error) {
+	var files []*ast.File
+	for _, f := range goFiles {
+		af, err := parser.ParseFile(fset, f, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %v", f, err)
+		}
+		files = append(files, af)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", importPath, err)
+	}
+	return &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        pkg,
+		TypesInfo:  info,
+	}, nil
+}
+
+// exportImporter resolves imports from compiler export data, the same
+// way the compiler itself does. The go command (via `go list -export`
+// or a vet config) tells us where each dependency's export file is; the
+// stdlib gc importer decodes it.
+type exportImporter struct {
+	fset      *token.FileSet
+	exports   map[string]string // canonical import path -> export file
+	importMap map[string]string // source import path -> canonical (vet mode)
+	imported  map[string]*types.Package
+	gc        types.ImporterFrom
+}
+
+func newExportImporter(fset *token.FileSet, exports map[string]string) *exportImporter {
+	return &exportImporter{fset: fset, exports: exports, imported: make(map[string]*types.Package)}
+}
+
+func (e *exportImporter) Import(path string) (*types.Package, error) {
+	if e.importMap != nil {
+		if canonical, ok := e.importMap[path]; ok {
+			path = canonical
+		}
+	}
+	if p, ok := e.imported[path]; ok {
+		return p, nil
+	}
+	if e.gc == nil {
+		lookup := func(path string) (io.ReadCloser, error) {
+			f, ok := e.exports[path]
+			if !ok {
+				return nil, fmt.Errorf("no export data for %q", path)
+			}
+			return os.Open(f)
+		}
+		e.gc = importer.ForCompiler(e.fset, "gc", lookup).(types.ImporterFrom)
+	}
+	p, err := e.gc.ImportFrom(path, "", 0)
+	if err != nil {
+		return nil, err
+	}
+	e.imported[path] = p
+	return p, nil
+}

@@ -1,0 +1,14 @@
+package lint
+
+// All returns every analyzer in the suite, in stable order. cmd/kosrlint
+// registers exactly this set; the meta-test in cmd/kosrlint asserts the
+// names stay in sync with the documentation.
+func All() []*Analyzer {
+	return []*Analyzer{
+		ScratchPair,
+		EpochStamp,
+		UnsafeGate,
+		HotPath,
+		CtxFirst,
+	}
+}

@@ -1,0 +1,173 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Result is the outcome of running analyzers over packages.
+type Result struct {
+	// Diagnostics are the surviving findings, sorted by position.
+	Diagnostics []Diagnostic
+	// Positions carries each diagnostic's resolved file position,
+	// parallel to Diagnostics.
+	Positions []string
+	// Suppressed counts findings silenced by //lint:ignore directives.
+	Suppressed int
+}
+
+// Run applies every analyzer to every package and resolves
+// //lint:ignore suppressions. Findings in *_test.go files are dropped:
+// tests exercise invariant violations deliberately.
+func Run(pkgs []*Package, analyzers []*Analyzer) (*Result, error) {
+	res := &Result{}
+	for _, pkg := range pkgs {
+		ig := collectIgnores(pkg)
+		// Malformed directives are findings themselves, regardless of
+		// which analyzers run.
+		for _, bad := range ig.malformed {
+			pos := pkg.Fset.Position(bad.pos)
+			res.Diagnostics = append(res.Diagnostics, Diagnostic{
+				Pos: bad.pos, Analyzer: "lintdirective",
+				Message: bad.msg,
+			})
+			res.Positions = append(res.Positions, pos.String())
+		}
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Pkg,
+				TypesInfo: pkg.TypesInfo,
+			}
+			pass.Report = func(d Diagnostic) {
+				pos := pkg.Fset.Position(d.Pos)
+				if strings.HasSuffix(pos.Filename, "_test.go") {
+					return
+				}
+				if ig.suppressed(a.Name, pos.Filename, pos.Line) {
+					res.Suppressed++
+					return
+				}
+				res.Diagnostics = append(res.Diagnostics, d)
+				res.Positions = append(res.Positions, pos.String())
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.ImportPath, err)
+			}
+		}
+	}
+	sort.Sort(byPosition{res})
+	return res, nil
+}
+
+type byPosition struct{ r *Result }
+
+func (b byPosition) Len() int { return len(b.r.Diagnostics) }
+func (b byPosition) Less(i, j int) bool {
+	if b.r.Positions[i] != b.r.Positions[j] {
+		return b.r.Positions[i] < b.r.Positions[j]
+	}
+	return b.r.Diagnostics[i].Message < b.r.Diagnostics[j].Message
+}
+func (b byPosition) Swap(i, j int) {
+	b.r.Diagnostics[i], b.r.Diagnostics[j] = b.r.Diagnostics[j], b.r.Diagnostics[i]
+	b.r.Positions[i], b.r.Positions[j] = b.r.Positions[j], b.r.Positions[i]
+}
+
+// ignoreIndex resolves which (analyzer, file, line) triples are
+// silenced by lint directives.
+type ignoreIndex struct {
+	// line maps file -> line -> analyzer names silenced on that line.
+	line map[string]map[int][]string
+	// file maps file -> analyzer names silenced for the whole file.
+	file      map[string][]string
+	malformed []malformedDirective
+}
+
+type malformedDirective struct {
+	pos token.Pos
+	msg string
+}
+
+func (ig *ignoreIndex) suppressed(analyzer, file string, line int) bool {
+	for _, a := range ig.file[file] {
+		if a == analyzer {
+			return true
+		}
+	}
+	for _, l := range []int{line, line - 1} {
+		for _, a := range ig.line[file][l] {
+			if a == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// collectIgnores scans every comment of the package for
+// //lint:ignore and //lint:file-ignore directives.
+func collectIgnores(pkg *Package) *ignoreIndex {
+	ig := &ignoreIndex{
+		line: make(map[string]map[int][]string),
+		file: make(map[string][]string),
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, isFile := strings.CutPrefix(c.Text, "//lint:file-ignore ")
+				if !isFile {
+					var isLine bool
+					text, isLine = strings.CutPrefix(c.Text, "//lint:ignore ")
+					if !isLine {
+						if c.Text == "//lint:ignore" || c.Text == "//lint:file-ignore" {
+							ig.malformed = append(ig.malformed, malformedDirective{
+								pos: c.Pos(),
+								msg: "lint directive needs an analyzer name and a reason",
+							})
+						}
+						continue
+					}
+				}
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					ig.malformed = append(ig.malformed, malformedDirective{
+						pos: c.Pos(),
+						msg: fmt.Sprintf("lint directive %q needs a reason after the analyzer name", c.Text),
+					})
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, name := range strings.Split(fields[0], ",") {
+					if isFile {
+						ig.file[pos.Filename] = append(ig.file[pos.Filename], name)
+					} else {
+						if ig.line[pos.Filename] == nil {
+							ig.line[pos.Filename] = make(map[int][]string)
+						}
+						ig.line[pos.Filename][pos.Line] = append(ig.line[pos.Filename][pos.Line], name)
+					}
+				}
+			}
+		}
+	}
+	return ig
+}
+
+// funcsOf yields every function declaration of the package with a body.
+func funcsOf(files []*ast.File) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,426 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// ScratchPair flags acquisitions of pooled query state that can escape
+// their function without a matching release. Three disciplines are
+// enforced, all by name convention (the analyzer is project-specific;
+// matching on names keeps it robust across refactors of the concrete
+// types):
+//
+//  1. The result of AcquireScratch / acquireScratch must, within the
+//     same function, either be released (ReleaseScratch / releaseScratch,
+//     plainly or deferred) on every exit path, or have its ownership
+//     transferred: returned, stored into a composite literal or struct
+//     field, or passed to another call. An early `return` between the
+//     acquire and the first release is the classic leak.
+//
+//  2. The result of the scratch-holding engine constructors
+//     (newStandardEngine / newVariantEngine) must be protected before
+//     any further method call on it: either the very next statements
+//     install a deferred release guard (a defer whose body mentions
+//     releaseScratch / ReleaseScratch / Close), or the value is
+//     returned unused. Calling into the engine (seeding, running)
+//     without the guard leaks the checked-out scratch when that call
+//     panics — the unwind skips the release.
+//
+//  3. The result of NewSearcher / NewVariantSearcher must be Closed
+//     (plainly or deferred) or ownership-transferred, like rule 1.
+//
+// Suppress a deliberate violation with
+// //lint:ignore scratchpair <reason>.
+var ScratchPair = &Analyzer{
+	Name: "scratchpair",
+	Doc: "check that pooled scratches and searchers acquired in a function are " +
+		"released, closed or ownership-transferred on every exit path, " +
+		"including panic unwind across engine calls",
+	Run: runScratchPair,
+}
+
+// The name conventions rule 1-3 key on.
+var (
+	scratchAcquireNames = map[string]bool{"AcquireScratch": true, "acquireScratch": true}
+	scratchReleaseNames = map[string]bool{"ReleaseScratch": true, "releaseScratch": true}
+	holderCtorNames     = map[string]bool{"newStandardEngine": true, "newVariantEngine": true}
+	searcherCtorNames   = map[string]bool{"NewSearcher": true, "NewVariantSearcher": true}
+	searcherCloseNames  = map[string]bool{"Close": true}
+)
+
+func runScratchPair(pass *Pass) error {
+	for _, fd := range funcsOf(pass.Files) {
+		checkPairedResource(pass, fd, scratchAcquireNames, scratchReleaseNames, "scratch")
+		checkPairedResource(pass, fd, searcherCtorNames, searcherCloseNames, "searcher")
+		checkPanicWindow(pass, fd)
+	}
+	return nil
+}
+
+// calleeName extracts the bare function or method name of a call.
+func calleeName(call *ast.CallExpr) string {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	}
+	return ""
+}
+
+// checkPairedResource enforces rule 1/3: within fd, results of acquire
+// calls must be released (possibly via defer) or ownership-transferred,
+// with no unprotected early return in between.
+func checkPairedResource(pass *Pass, fd *ast.FuncDecl, acquires, releases map[string]bool, what string) {
+	type acquisition struct {
+		call  *ast.CallExpr
+		names map[string]bool // variables bound to the result
+	}
+	var acqs []*acquisition
+
+	// Pass A: find acquires and the variables their results bind to.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // closures are separate scopes; keep rule local
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || !acquires[calleeName(call)] {
+				continue
+			}
+			acq := &acquisition{call: call, names: map[string]bool{}}
+			for _, lhs := range as.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+					acq.names[id.Name] = true
+				}
+			}
+			acqs = append(acqs, acq)
+		}
+		return true
+	})
+	// Acquire calls used as bare expressions or nested arguments count
+	// as immediately transferred (someone else owns the result); only
+	// variable-bound results are tracked.
+	if len(acqs) == 0 {
+		return
+	}
+
+	for _, acq := range acqs {
+		state := newPairState(acq.names, releases)
+		walkAfter(fd.Body, acq.call.Pos(), state)
+		if state.leakReturn != nil {
+			pass.Reportf(state.leakReturn.Pos(),
+				"%s acquired via %s is not released on this return path (release it, defer the release, or transfer ownership)",
+				what, calleeName(acq.call))
+		} else if !state.released && !state.transferred {
+			pass.Reportf(acq.call.Pos(),
+				"%s acquired via %s is never released, closed or ownership-transferred in this function",
+				what, calleeName(acq.call))
+		}
+	}
+}
+
+// pairState tracks one acquisition while scanning the statements that
+// follow it in source order.
+type pairState struct {
+	names        map[string]bool
+	releases     map[string]bool
+	released     bool // a release call (or deferred release) was seen
+	deferred     bool // the release was a defer (covers all later paths)
+	transferred  bool // ownership left the function
+	leakReturn   ast.Node
+	releaseNames map[string]bool
+}
+
+func newPairState(names, releases map[string]bool) *pairState {
+	return &pairState{names: names, releases: releases, releaseNames: releases}
+}
+
+// usesTracked reports whether expr mentions one of the tracked
+// variables.
+func (st *pairState) usesTracked(expr ast.Expr) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && st.names[id.Name] {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// returnsTracked reports whether a return result hands the tracked
+// resource itself to the caller: the bare variable, or the variable
+// embedded in a composite literal (possibly behind & and parens).
+// `return s.Next()` merely uses the resource and does NOT transfer it.
+func (st *pairState) returnsTracked(r ast.Expr) bool {
+	switch e := r.(type) {
+	case *ast.Ident:
+		return st.names[e.Name]
+	case *ast.ParenExpr:
+		return st.returnsTracked(e.X)
+	case *ast.UnaryExpr:
+		return st.returnsTracked(e.X)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			if st.returnsTracked(el) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isRelease reports whether call releases a tracked variable: a
+// release-named callee that either receives a tracked variable as an
+// argument or is a method on one.
+func (st *pairState) isRelease(call *ast.CallExpr) bool {
+	if !st.releases[calleeName(call)] {
+		return false
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && st.usesTracked(sel.X) {
+		return true
+	}
+	for _, arg := range call.Args {
+		if st.usesTracked(arg) {
+			return true
+		}
+	}
+	return false
+}
+
+// walkAfter scans the function body in source order, only acting on
+// nodes positioned after the acquisition.
+func walkAfter(body *ast.BlockStmt, after token.Pos, st *pairState) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil || st.deferred || st.transferred {
+			return false
+		}
+		if n.End() <= after {
+			return false // entirely before the acquire
+		}
+		switch nn := n.(type) {
+		case *ast.DeferStmt:
+			if nn.Pos() <= after {
+				return true
+			}
+			// defer x.ReleaseScratch(...) or defer func() { ... release ... }()
+			if st.isRelease(nn.Call) {
+				st.released, st.deferred = true, true
+				return false
+			}
+			if lit, ok := nn.Call.Fun.(*ast.FuncLit); ok {
+				cover := false
+				ast.Inspect(lit.Body, func(m ast.Node) bool {
+					if c, ok := m.(*ast.CallExpr); ok && st.isRelease(c) {
+						cover = true
+						return false
+					}
+					return true
+				})
+				if cover {
+					st.released, st.deferred = true, true
+					return false
+				}
+			}
+		case *ast.CallExpr:
+			if nn.Pos() <= after {
+				return true
+			}
+			if st.isRelease(nn) {
+				st.released = true
+				return false
+			}
+			// A tracked variable passed to some other call transfers
+			// ownership conservatively (e.g. pool.Put(s), wrap(s)).
+			if _, isSel := nn.Fun.(*ast.SelectorExpr); isSel || nn.Fun != nil {
+				for _, arg := range nn.Args {
+					if st.usesTracked(arg) {
+						st.transferred = true
+						return false
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			if nn.Pos() <= after {
+				return true
+			}
+			for _, r := range nn.Results {
+				if st.returnsTracked(r) {
+					st.transferred = true
+					return false
+				}
+			}
+			if !st.released && st.leakReturn == nil {
+				st.leakReturn = nn
+			}
+		case *ast.AssignStmt:
+			if nn.Pos() <= after {
+				return true
+			}
+			// Storing the resource into a field or composite literal
+			// transfers ownership (the holder is responsible now).
+			for _, rhs := range nn.Rhs {
+				if st.usesTracked(rhs) {
+					if _, isIdent := nn.Lhs[0].(*ast.Ident); !isIdent || containsComposite(rhs, st) {
+						st.transferred = true
+						return false
+					}
+					if containsComposite(rhs, st) {
+						st.transferred = true
+						return false
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			if nn.Pos() <= after {
+				return true
+			}
+			for _, el := range nn.Elts {
+				if st.usesTracked(el) {
+					st.transferred = true
+					return false
+				}
+			}
+		case *ast.FuncLit:
+			return false
+		}
+		return true
+	})
+}
+
+// containsComposite reports whether expr is (or contains) a composite
+// literal mentioning a tracked variable.
+func containsComposite(expr ast.Expr, st *pairState) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if cl, ok := n.(*ast.CompositeLit); ok {
+			for _, el := range cl.Elts {
+				if st.usesTracked(el) {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// checkPanicWindow enforces rule 2: after binding the result of a
+// scratch-holding constructor, no method may be called on it until a
+// deferred release guard is installed — a panic inside such a call
+// would unwind past the function and strand the checked-out scratch.
+func checkPanicWindow(pass *Pass, fd *ast.FuncDecl) {
+	// Find holder bindings: e, nn, err := newStandardEngine(...)
+	type binding struct {
+		name string
+		pos  token.Pos
+	}
+	var bindings []binding
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || !holderCtorNames[calleeName(call)] {
+				continue
+			}
+			if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+				bindings = append(bindings, binding{name: id.Name, pos: as.End()})
+			}
+		}
+		return true
+	})
+
+	for _, b := range bindings {
+		guarded := false
+		var offender *ast.CallExpr
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if n == nil || guarded || offender != nil {
+				return false
+			}
+			if n.End() <= b.pos {
+				// Skip anything before (and including) the binding, but
+				// still descend: a block may span the binding.
+				_, isBlockLike := n.(*ast.BlockStmt)
+				return isBlockLike || n.Pos() <= b.pos
+			}
+			switch nn := n.(type) {
+			case *ast.DeferStmt:
+				if deferMentionsRelease(nn, b.name) {
+					guarded = true
+					return false
+				}
+			case *ast.CallExpr:
+				if sel, ok := nn.Fun.(*ast.SelectorExpr); ok {
+					if id, ok := sel.X.(*ast.Ident); ok && id.Name == b.name {
+						offender = nn
+						return false
+					}
+				}
+			case *ast.FuncLit:
+				return false
+			}
+			return true
+		})
+		if offender != nil {
+			pass.Reportf(offender.Pos(),
+				"method call on %s before a deferred release guard: a panic here leaks the checked-out scratch (install `defer`red releaseScratch/Close first)",
+				b.name)
+		}
+	}
+}
+
+// deferMentionsRelease reports whether the defer releases or closes the
+// named holder, directly or inside a closure body.
+func deferMentionsRelease(d *ast.DeferStmt, name string) bool {
+	mentions := func(call *ast.CallExpr) bool {
+		nm := calleeName(call)
+		if !scratchReleaseNames[nm] && !searcherCloseNames[nm] {
+			return false
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		found := false
+		ast.Inspect(sel.X, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && id.Name == name {
+				found = true
+				return false
+			}
+			return true
+		})
+		return found
+	}
+	if mentions(d.Call) {
+		return true
+	}
+	if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
+		found := false
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if c, ok := n.(*ast.CallExpr); ok && mentions(c) {
+				found = true
+				return false
+			}
+			return true
+		})
+		return found
+	}
+	return false
+}

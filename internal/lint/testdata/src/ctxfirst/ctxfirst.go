@@ -1,0 +1,50 @@
+// Package ctxfirst is a lint fixture: context placement and root-minting
+// rules for library code.
+package ctxfirst
+
+import "context"
+
+type store struct{}
+
+// GoodFirst takes the context first.
+func GoodFirst(ctx context.Context, key string) error {
+	return ctx.Err()
+}
+
+// goodMethodFirst applies to unexported methods too.
+func (s *store) goodMethodFirst(ctx context.Context, n int) error {
+	return ctx.Err()
+}
+
+// goodNoCtx has no context at all.
+func goodNoCtx(n int) int { return n }
+
+// BadSecond buries the context behind another parameter.
+func BadSecond(key string, ctx context.Context) error { // want `context.Context is parameter 2 of BadSecond`
+	return ctx.Err()
+}
+
+// badMethodLast buries it even deeper.
+func (s *store) badMethodLast(n int, retries int, ctx context.Context) error { // want `context.Context is parameter 3 of badMethodLast`
+	return ctx.Err()
+}
+
+// badRoot mints a root context in library code.
+func badRoot(s *store) error {
+	ctx := context.Background() // want `context.Background\(\) in library code`
+	return ctx.Err()
+}
+
+// badTODO is no better.
+func badTODO(s *store) error {
+	ctx := context.TODO() // want `context.TODO\(\) in library code`
+	return ctx.Err()
+}
+
+// suppressedRoot shows the escape hatch for deliberate compatibility
+// wrappers.
+func suppressedRoot() error {
+	//lint:ignore ctxfirst fixture demonstrates the suppression syntax
+	ctx := context.Background()
+	return ctx.Err()
+}

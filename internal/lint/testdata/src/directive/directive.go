@@ -1,0 +1,15 @@
+// Package directive is a lint fixture for the directive syntax itself:
+// a reason-less ignore is malformed, and an ignore naming the wrong
+// analyzer suppresses nothing.
+package directive
+
+func consume(v any) { _ = v }
+
+//lint:ignore ctxfirst
+func missingReason() {}
+
+//kosr:hotpath
+func wrongName(x int) {
+	//lint:ignore ctxfirst wrong analyzer name, hotpath finding survives
+	consume(x)
+}

@@ -1,0 +1,58 @@
+// Package epochstamp is a lint fixture: a generation-stamped slot table
+// exercising the stamp-before-read rule.
+package epochstamp
+
+// slot is the stamped shape the analyzer recognises: a small struct
+// with an unexported epoch field.
+type slot struct {
+	val   int
+	epoch uint32
+}
+
+// table deliberately has more than four fields so it does not itself
+// count as a stamped slot.
+type table struct {
+	slots []slot
+	cur   uint32
+	a, b  int
+	c     int
+}
+
+// goodGuarded compares the stamp before touching the payload.
+func goodGuarded(t *table, i int) int {
+	sl := t.slots[i]
+	if sl.epoch != t.cur {
+		return -1
+	}
+	return sl.val
+}
+
+// goodStampWrite rewrites payload and stamp together; writes are not
+// reads and need no guard.
+func goodStampWrite(t *table, i, v int) {
+	t.slots[i].val = v
+	t.slots[i].epoch = t.cur
+}
+
+// badUnguarded reads the payload with no stamp comparison anywhere in
+// the function: a stale slot from a previous generation leaks through.
+func badUnguarded(t *table, i int) int {
+	return t.slots[i].val // want `read of val on epoch-stamped slot without a stamp comparison`
+}
+
+// badCopyThenRead copies the slot but still never checks the stamp.
+func badCopyThenRead(t *table, i int) int {
+	sl := t.slots[i]
+	return sl.val // want `read of val on epoch-stamped slot without a stamp comparison`
+}
+
+// suppressedDrain models the journal-drain path that deliberately reads
+// every live slot regardless of stamp.
+func suppressedDrain(t *table) int {
+	sum := 0
+	for i := range t.slots {
+		//lint:ignore epochstamp drain path touches every slot by design
+		sum += t.slots[i].val
+	}
+	return sum
+}

@@ -1,0 +1,47 @@
+// Package flat is a lint fixture standing in for internal/flat: this
+// file is named cast.go inside a directory named flat, so unsafe
+// reinterpretation is allowed here — but non-byte casts must still sit
+// behind a layout gate.
+package flat
+
+import "unsafe"
+
+// zeroCopyWords is the layout gate; in the real package its initializer
+// probes alignment and byte order.
+var zeroCopyWords = true
+
+var hostLittleEndian = probeEndian()
+
+func probeEndian() bool {
+	x := uint16(1)
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}
+
+// gatedCast is the sanctioned pattern: the gate dominates the cast and
+// exotic layouts take the decode fallback.
+func gatedCast(b []byte) []uint32 {
+	if zeroCopyWords && hostLittleEndian {
+		return unsafe.Slice((*uint32)(unsafe.Pointer(&b[0])), len(b)/4)
+	}
+	return decodeWords(b)
+}
+
+// byteView carries no layout assumptions; byte-element casts need no
+// gate.
+func byteView(p *byte, n int) []byte {
+	return unsafe.Slice(p, n)
+}
+
+// ungatedCast skips the gate: flagged even inside the allowed file.
+func ungatedCast(b []byte) []uint32 {
+	return unsafe.Slice((*uint32)(unsafe.Pointer(&b[0])), len(b)/4) // want `ungated non-byte unsafe.Slice cast`
+}
+
+func decodeWords(b []byte) []uint32 {
+	out := make([]uint32, len(b)/4)
+	for i := range out {
+		o := i * 4
+		out[i] = uint32(b[o]) | uint32(b[o+1])<<8 | uint32(b[o+2])<<16 | uint32(b[o+3])<<24
+	}
+	return out
+}

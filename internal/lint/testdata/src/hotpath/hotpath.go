@@ -1,0 +1,62 @@
+// Package hotpath is a lint fixture: the //kosr:hotpath directive bans
+// allocation-prone constructs in per-result code.
+package hotpath
+
+import "fmt"
+
+type sink interface{ accept(int) }
+
+func consume(v any)      { _ = v }
+func consumePtr(p *int)  { _ = p }
+func apply(f func() int) { _ = f() }
+
+// coldEverything is unmarked: the same constructs draw no findings.
+func coldEverything(x int) string {
+	m := map[int]int{x: x}
+	_ = m
+	consume(x)
+	return fmt.Sprintf("%d", x)
+}
+
+//kosr:hotpath
+func hotFmt(x int) string {
+	return fmt.Sprintf("%d", x) // want `fmt.Sprintf in //kosr:hotpath function hotFmt`
+}
+
+//kosr:hotpath
+func hotMapLit(x int) int {
+	m := map[int]int{x: x} // want `map literal in //kosr:hotpath function hotMapLit`
+	return m[x]
+}
+
+//kosr:hotpath
+func hotMakeMap(n int) int {
+	m := make(map[int]int, n) // want `map allocation in //kosr:hotpath function hotMakeMap`
+	return len(m)
+}
+
+//kosr:hotpath
+func hotCapture(x int) {
+	apply(func() int { return x }) // want `closure capturing x in //kosr:hotpath function hotCapture`
+}
+
+//kosr:hotpath
+func hotFreeClosure() {
+	apply(func() int { return 42 })
+}
+
+//kosr:hotpath
+func hotBoxing(x int) {
+	consume(x) // want `interface boxing in //kosr:hotpath function hotBoxing`
+}
+
+//kosr:hotpath
+func hotPointerArg(x int) {
+	consumePtr(&x)
+}
+
+//kosr:hotpath
+func hotSuppressed(x int) {
+	//lint:ignore hotpath fixture demonstrates the suppression syntax
+	consume(x)
+}

@@ -1,0 +1,125 @@
+// Package scratchpair is a lint fixture: stubbed pool types exercising
+// the acquire/release pairing rules. The analyzer matches on names, so
+// the stubs only need the right shapes.
+package scratchpair
+
+type scratch struct{ n int }
+
+type provider struct{}
+
+func (p *provider) AcquireScratch(n int) *scratch { return &scratch{n: n} }
+func (p *provider) ReleaseScratch(s *scratch)     {}
+
+type engine struct{ s *scratch }
+
+func newStandardEngine(p *provider, n int) *engine {
+	return &engine{s: p.AcquireScratch(n)}
+}
+
+func (e *engine) seed() int         { return e.s.n }
+func (e *engine) releaseScratch()   {}
+func (e *engine) run() (int, error) { return e.seed(), nil }
+func (e *engine) String() string    { return "engine" }
+func NewSearcher(p *provider) *searcher {
+	return &searcher{}
+}
+
+type searcher struct{}
+
+func (s *searcher) Next() bool { return false }
+func (s *searcher) Close()     {}
+
+// goodDeferred releases via defer: every path is covered.
+func goodDeferred(p *provider, n int) int {
+	s := p.AcquireScratch(n)
+	defer p.ReleaseScratch(s)
+	if n < 0 {
+		return -1
+	}
+	return s.n
+}
+
+// goodClosureDefer releases inside a deferred closure.
+func goodClosureDefer(p *provider, n int) int {
+	s := p.AcquireScratch(n)
+	defer func() {
+		p.ReleaseScratch(s)
+	}()
+	return s.n
+}
+
+// goodTransferReturn hands the scratch to the caller.
+func goodTransferReturn(p *provider, n int) *scratch {
+	s := p.AcquireScratch(n)
+	return s
+}
+
+// goodTransferStruct stores the scratch into a holder.
+func goodTransferStruct(p *provider, n int) *engine {
+	s := p.AcquireScratch(n)
+	return &engine{s: s}
+}
+
+// badEarlyReturn leaks on the error path: the return before the
+// release slips out with the scratch still checked out.
+func badEarlyReturn(p *provider, n int) int {
+	s := p.AcquireScratch(n)
+	if n < 0 {
+		return -1 // want `scratch acquired via AcquireScratch is not released on this return path`
+	}
+	p.ReleaseScratch(s)
+	return 0
+}
+
+// badNeverReleased never releases at all.
+func badNeverReleased(p *provider, n int) {
+	s := p.AcquireScratch(n) // want `scratch acquired via AcquireScratch is never released`
+	_ = s.n
+}
+
+// goodGuardedEngine installs the deferred guard before calling into
+// the engine, so a panic inside seed unwinds through the release.
+func goodGuardedEngine(p *provider, n int) (out int) {
+	e := newStandardEngine(p, n)
+	done := false
+	defer func() {
+		if !done {
+			e.releaseScratch()
+		}
+	}()
+	out = e.seed()
+	done = true
+	e.releaseScratch()
+	return out
+}
+
+// badPanicWindow calls into the engine before any guard: a panic in
+// seed strands the scratch.
+func badPanicWindow(p *provider, n int) int {
+	e := newStandardEngine(p, n)
+	v := e.seed() // want `method call on e before a deferred release guard`
+	e.releaseScratch()
+	return v
+}
+
+// goodSearcher closes via defer.
+func goodSearcher(p *provider) bool {
+	sr := NewSearcher(p)
+	defer sr.Close()
+	return sr.Next()
+}
+
+// badSearcher never closes; returning a value derived from the
+// searcher is not a transfer.
+func badSearcher(p *provider) bool {
+	sr := NewSearcher(p)
+	return sr.Next() // want `searcher acquired via NewSearcher is not released on this return path`
+}
+
+// suppressedLeak shows the escape hatch: the directive must name the
+// analyzer and give a reason.
+func suppressedLeak(p *provider, n int) {
+	//lint:ignore scratchpair fixture demonstrates the suppression syntax
+	s := p.AcquireScratch(n)
+	_ = s.n
+}

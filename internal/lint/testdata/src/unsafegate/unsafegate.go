@@ -1,0 +1,38 @@
+// Package unsafegate is a lint fixture: unsafe reinterpretation outside
+// the allowed internal/flat files.
+package unsafegate
+
+import (
+	"reflect"
+	"syscall"
+	"unsafe"
+)
+
+type record struct {
+	a uint32
+	b uint32
+}
+
+// sizeArith is fine everywhere: Sizeof/Alignof/Offsetof are
+// compile-time arithmetic.
+func sizeArith() uintptr {
+	var r record
+	return unsafe.Sizeof(r) + unsafe.Alignof(r) + unsafe.Offsetof(r.b)
+}
+
+// badCast reinterprets bytes outside the flat package.
+func badCast(b []byte) []uint32 {
+	return unsafe.Slice((*uint32)(unsafe.Pointer(&b[0])), len(b)/4) // want `unsafe.Slice outside` `unsafe.Pointer outside`
+}
+
+// badHeader uses the deprecated header type outside flat.
+func badHeader() {
+	var h reflect.SliceHeader // want `reflect.SliceHeader outside`
+	_ = h
+}
+
+// badMmap maps memory outside the flat store.
+func badMmap() error {
+	_, err := syscall.Mmap(-1, 0, 4096, syscall.PROT_READ, syscall.MAP_PRIVATE|syscall.MAP_ANON) // want `syscall.Mmap outside`
+	return err
+}

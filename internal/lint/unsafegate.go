@@ -1,0 +1,213 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// UnsafeGate fences the zero-copy machinery: unsafe pointer
+// reinterpretation and mmap syscalls are only allowed in
+// internal/flat/cast.go and internal/flat/mmap_*.go, and inside cast.go
+// every non-byte reinterpreting cast must be dominated by one of the
+// layout-check gates (an `if` on a zeroCopy* / hostLittleEndian
+// variable) so a platform with exotic alignment or byte order falls
+// back to the decoding path instead of reading garbage.
+//
+// Three rules:
+//
+//  1. Outside the allowed files, any use of unsafe.Pointer /
+//     unsafe.Slice / unsafe.String / reflect.SliceHeader /
+//     reflect.StringHeader, and any syscall.Mmap / syscall.Munmap call,
+//     is flagged. unsafe.Sizeof / Alignof / Offsetof are pure
+//     compile-time arithmetic and stay allowed everywhere.
+//
+//  2. Inside the allowed files, unsafe.Slice calls whose element type
+//     is not byte must appear lexically inside an `if` whose condition
+//     mentions an identifier starting with "zeroCopy" or named
+//     "hostLittleEndian".
+//
+//  3. The gate variables themselves may only be declared in the
+//     allowed files (so nobody smuggles a `zeroCopyFoo := true` gate
+//     into new code to satisfy rule 2 elsewhere — rule 1 already fires
+//     there, this just keeps the message precise).
+//
+// Suppress with //lint:ignore unsafegate <reason> — expected only for
+// deliberate, reviewed escapes.
+var UnsafeGate = &Analyzer{
+	Name: "unsafegate",
+	Doc: "restrict unsafe reinterpretation and mmap to internal/flat's cast/mmap " +
+		"files and require layout-check gates to dominate every non-byte cast",
+	Run: runUnsafeGate,
+}
+
+// unsafeAllowedFile reports whether filename may contain unsafe
+// reinterpretation: internal/flat's cast.go or mmap_*.go.
+func unsafeAllowedFile(filename string) bool {
+	base := filepath.Base(filename)
+	dir := filepath.Base(filepath.Dir(filename))
+	if dir != "flat" {
+		return false
+	}
+	return base == "cast.go" || strings.HasPrefix(base, "mmap_")
+}
+
+// pureUnsafe are the compile-time-only unsafe operations allowed
+// everywhere.
+var pureUnsafe = map[string]bool{"Sizeof": true, "Alignof": true, "Offsetof": true}
+
+func runUnsafeGate(pass *Pass) error {
+	for _, f := range pass.Files {
+		filename := pass.Fset.Position(f.Pos()).Filename
+		allowed := unsafeAllowedFile(filename)
+		if allowed {
+			checkGatedCasts(pass, f)
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			switch pkg.Name {
+			case "unsafe":
+				if !pureUnsafe[sel.Sel.Name] {
+					pass.Reportf(sel.Pos(),
+						"unsafe.%s outside internal/flat/{cast.go,mmap_*.go}: zero-copy reinterpretation belongs behind the layout gates there",
+						sel.Sel.Name)
+				}
+			case "reflect":
+				if sel.Sel.Name == "SliceHeader" || sel.Sel.Name == "StringHeader" {
+					pass.Reportf(sel.Pos(),
+						"reflect.%s outside internal/flat/{cast.go,mmap_*.go}: header surgery belongs behind the layout gates there",
+						sel.Sel.Name)
+				}
+			case "syscall":
+				if sel.Sel.Name == "Mmap" || sel.Sel.Name == "Munmap" {
+					pass.Reportf(sel.Pos(),
+						"syscall.%s outside internal/flat/{cast.go,mmap_*.go}: mapping is the flat store's job",
+						sel.Sel.Name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkGatedCasts enforces rule 2 inside an allowed file: every
+// unsafe.Slice with a non-byte element type must sit inside an if whose
+// condition mentions a gate identifier.
+func checkGatedCasts(pass *Pass, f *ast.File) {
+	// Collect the position ranges of gated if-bodies.
+	type posRange struct{ lo, hi token.Pos }
+	var gated []posRange
+	ast.Inspect(f, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		if condMentionsGate(ifs.Cond) {
+			gated = append(gated, posRange{ifs.Body.Pos(), ifs.Body.End()})
+		}
+		return true
+	})
+	inGate := func(p token.Pos) bool {
+		for _, r := range gated {
+			if r.lo <= p && p < r.hi {
+				return true
+			}
+		}
+		return false
+	}
+
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Slice" {
+			return true
+		}
+		if pkg, ok := sel.X.(*ast.Ident); !ok || pkg.Name != "unsafe" {
+			return true
+		}
+		if len(call.Args) == 0 || isByteElem(pass, call.Args[0]) {
+			return true
+		}
+		// The gate may dominate the cast directly, or the cast may sit
+		// in a var initializer that probes layout itself (e.g. the
+		// hostLittleEndian probe) — the latter is a gate definition, not
+		// a gated use, and lives outside any function.
+		if inGate(call.Pos()) || !insideFunc(f, call.Pos()) {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"ungated non-byte unsafe.Slice cast: wrap it in `if zeroCopy...` / `if hostLittleEndian` so exotic layouts fall back to decoding")
+		return true
+	})
+}
+
+// condMentionsGate reports whether the condition references a layout
+// gate: an identifier with prefix "zeroCopy" or named "hostLittleEndian".
+func condMentionsGate(cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if strings.HasPrefix(id.Name, "zeroCopy") || id.Name == "hostLittleEndian" {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isByteElem reports whether the first argument of unsafe.Slice is a
+// *byte-typed expression — byte views carry no layout assumptions.
+func isByteElem(pass *Pass, arg ast.Expr) bool {
+	if tv, ok := pass.TypesInfo.Types[arg]; ok && tv.Type != nil {
+		if ptr, ok := tv.Type.Underlying().(*types.Pointer); ok {
+			if b, ok := ptr.Elem().Underlying().(*types.Basic); ok {
+				return b.Kind() == types.Uint8
+			}
+		}
+		return false
+	}
+	// Fallback on syntax if type info is missing: (*byte)(...) casts.
+	star, ok := arg.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	paren, ok := star.Fun.(*ast.ParenExpr)
+	if !ok {
+		return false
+	}
+	ptr, ok := paren.X.(*ast.StarExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ptr.X.(*ast.Ident)
+	return ok && id.Name == "byte"
+}
+
+// insideFunc reports whether pos falls inside any function body of f —
+// package-level var initializers are not.
+func insideFunc(f *ast.File, pos token.Pos) bool {
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			if fd.Body.Pos() <= pos && pos < fd.Body.End() {
+				return true
+			}
+		}
+	}
+	return false
+}

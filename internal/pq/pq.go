@@ -39,6 +39,8 @@ func NewHeapD[T any](less func(a, b T) bool, d int) *Heap[T] {
 func (h *Heap[T]) Len() int { return len(h.items) }
 
 // Push inserts x.
+//
+//kosr:hotpath
 func (h *Heap[T]) Push(x T) {
 	h.items = append(h.items, x)
 	h.up(len(h.items) - 1)
@@ -50,6 +52,8 @@ func (h *Heap[T]) Min() T { return h.items[0] }
 
 // Pop removes and returns the smallest element. It panics on an empty
 // heap.
+//
+//kosr:hotpath
 func (h *Heap[T]) Pop() T {
 	top := h.items[0]
 	last := len(h.items) - 1
@@ -89,6 +93,7 @@ func (h *Heap[T]) Grow(n int) {
 	}
 }
 
+//kosr:hotpath
 func (h *Heap[T]) up(i int) {
 	d := h.arity
 	for i > 0 {
@@ -101,6 +106,7 @@ func (h *Heap[T]) up(i int) {
 	}
 }
 
+//kosr:hotpath
 func (h *Heap[T]) down(i int) {
 	n := len(h.items)
 	d := h.arity

@@ -13,6 +13,7 @@ package server
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"net/http"
@@ -501,5 +502,40 @@ func TestApplyRetryAndBreaker(t *testing.T) {
 	}
 	if ar.Epoch != 3 {
 		t.Fatalf("post-recovery epoch=%d, want 3", ar.Epoch)
+	}
+}
+
+// TestApplyRetryHonorsContext pins the retry loop's cancellation
+// contract: when the client abandons /v1/admin/update mid-backoff, the
+// loop must stop sleeping instead of riding out the full exponential
+// schedule against a struggling updater.
+func TestApplyRetryHonorsContext(t *testing.T) {
+	defer faultinject.Reset()
+	errBoom := errors.New("injected apply failure")
+	sys := kosr.NewSystem(kosr.Figure1())
+	srv := NewWithConfig(sys, Config{
+		Workers: 1, ApplyRetries: 10, ApplyBackoff: time.Minute,
+	})
+	t.Cleanup(srv.Close)
+	upd, err := srv.buildUpdate(UpdateJSON{Op: "insert-edge", From: "s", To: "t", Weight: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Set(faultinject.FailApply, faultinject.Spec{Prob: 1, Err: errBoom})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = srv.applyWithRetry(ctx, []kosr.Update{upd})
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("retry loop slept through cancellation: took %v", elapsed)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v, want context.Canceled in the chain", err)
+	}
+	if !strings.Contains(err.Error(), errBoom.Error()) {
+		t.Fatalf("err=%v should carry the last apply failure", err)
 	}
 }

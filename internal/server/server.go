@@ -1186,7 +1186,7 @@ func (s *Server) handleAdminUpdate(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
-	epoch, err := s.applyWithRetry(updates)
+	epoch, err := s.applyWithRetry(r.Context(), updates)
 	if errors.Is(err, kosr.ErrInvalidUpdate) {
 		// The batch itself is bad; retrying cannot help and the updater
 		// is healthy, so the breaker is untouched.
@@ -1211,15 +1211,23 @@ func (s *Server) handleAdminUpdate(w http.ResponseWriter, r *http.Request) {
 
 // applyWithRetry runs System.Apply with bounded exponential backoff on
 // transient failures. Validation failures (ErrInvalidUpdate) return
-// immediately: the batch would fail identically every time.
-func (s *Server) applyWithRetry(updates []kosr.Update) (epoch uint64, err error) {
+// immediately: the batch would fail identically every time. Backoff
+// sleeps watch ctx so a client that gives up (or a shutting-down
+// server) stops the retry loop instead of holding the handler.
+func (s *Server) applyWithRetry(ctx context.Context, updates []kosr.Update) (epoch uint64, err error) {
 	backoff := s.applyBackoff
 	for attempt := 0; ; attempt++ {
 		epoch, err = s.sys.Apply(updates...)
 		if err == nil || errors.Is(err, kosr.ErrInvalidUpdate) || attempt+1 >= s.applyRetries {
 			return epoch, err
 		}
-		time.Sleep(backoff)
+		t := time.NewTimer(backoff)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return epoch, fmt.Errorf("apply retry abandoned: %w (last attempt: %v)", ctx.Err(), err)
+		case <-t.C:
+		}
 		backoff *= 2
 	}
 }

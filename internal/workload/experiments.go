@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -12,11 +13,12 @@ import (
 	"repro/internal/graph"
 )
 
-// Experiment regenerates one table or figure of the paper.
+// Experiment regenerates one table or figure of the paper. Cancelling
+// ctx stops the run between (not within) individual query solves.
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func(cfg Config, w io.Writer) error
+	Run   func(ctx context.Context, cfg Config, w io.Writer) error
 }
 
 // Experiments lists every reproducible artifact of the evaluation, keyed
@@ -65,7 +67,7 @@ func fmtCount(c float64, inf bool) string {
 	return fmt.Sprintf("%.0f", c)
 }
 
-func runTable7(cfg Config, w io.Writer) error {
+func runTable7(ctx context.Context, cfg Config, w io.Writer) error {
 	cfg.Fill()
 	fmt.Fprintf(w, "Table VII analogue inventory (scale=%d)\n", cfg.Scale)
 	fmt.Fprintf(w, "%-6s %10s %10s %9s %6s %9s\n", "graph", "|V|", "|E|", "directed", "|S|", "avg|Ci|")
@@ -90,7 +92,7 @@ func runTable7(cfg Config, w io.Writer) error {
 	return nil
 }
 
-func runTable9(cfg Config, w io.Writer) error {
+func runTable9(ctx context.Context, cfg Config, w io.Writer) error {
 	cfg.Fill()
 	fmt.Fprintln(w, "Table IX preprocessing results")
 	fmt.Fprintf(w, "%-6s %10s %9s %9s %10s | %10s %12s %10s %10s\n",
@@ -112,7 +114,7 @@ func runTable9(cfg Config, w io.Writer) error {
 	return nil
 }
 
-func runTable10(cfg Config, w io.Writer) error {
+func runTable10(ctx context.Context, cfg Config, w io.Writer) error {
 	cfg.Fill()
 	d, err := Prepare(gen.FLA, cfg)
 	if err != nil {
@@ -123,7 +125,7 @@ func runTable10(cfg Config, w io.Writer) error {
 	fmt.Fprintf(w, "Table X query time distribution on %s (ms, avg over %d queries)\n", d.Name, len(queries))
 	fmt.Fprintf(w, "%-10s %12s %12s %12s %12s %12s\n", "method", "overall", "NN", "queue", "estimate", "other")
 	for _, m := range []MethodID{MPK, MSK} {
-		r, err := d.RunMethod(m, queries, cfg, true)
+		r, err := d.RunMethod(ctx, m, queries, cfg, true)
 		if err != nil {
 			return err
 		}
@@ -137,7 +139,7 @@ func runTable10(cfg Config, w io.Writer) error {
 	return nil
 }
 
-func runFig3(cfg Config, w io.Writer) error {
+func runFig3(ctx context.Context, cfg Config, w io.Writer) error {
 	cfg.Fill()
 	type cell struct{ res Result }
 	rows := map[gen.Analogue]map[MethodID]Result{}
@@ -149,7 +151,7 @@ func runFig3(cfg Config, w io.Writer) error {
 		queries := RandomQueries(d.G, cfg.NumQueries, cfg.LenC, cfg.K, cfg.Seed+2)
 		rows[a] = map[MethodID]Result{}
 		for _, m := range AllKOSRMethods {
-			r, err := d.RunMethod(m, queries, cfg, false)
+			r, err := d.RunMethod(ctx, m, queries, cfg, false)
 			if err != nil {
 				return err
 			}
@@ -180,7 +182,7 @@ func runFig3(cfg Config, w io.Writer) error {
 }
 
 // sweep renders one "effect of <param>" figure: a time series per method.
-func sweep(cfg Config, w io.Writer, a gen.Analogue, title, param string,
+func sweep(ctx context.Context, cfg Config, w io.Writer, a gen.Analogue, title, param string,
 	values []int, mk func(base Config, v int) (Config, []core.Query, *Dataset, error)) error {
 	fmt.Fprintf(w, "%s on the %s analogue (query time, ms)\n", title, a)
 	fmt.Fprintf(w, "%-8s", param)
@@ -195,7 +197,7 @@ func sweep(cfg Config, w io.Writer, a gen.Analogue, title, param string,
 		}
 		fmt.Fprintf(w, "%-8d", v)
 		for _, m := range AllKOSRMethods {
-			r, err := d.RunMethod(m, queries, c2, false)
+			r, err := d.RunMethod(ctx, m, queries, c2, false)
 			if err != nil {
 				return err
 			}
@@ -206,51 +208,51 @@ func sweep(cfg Config, w io.Writer, a gen.Analogue, title, param string,
 	return nil
 }
 
-func runEffectOfK(cfg Config, w io.Writer, a gen.Analogue, ks []int, figure string) error {
+func runEffectOfK(ctx context.Context, cfg Config, w io.Writer, a gen.Analogue, ks []int, figure string) error {
 	cfg.Fill()
 	d, err := Prepare(a, cfg)
 	if err != nil {
 		return err
 	}
 	defer d.Close()
-	return sweep(cfg, w, a, figure, "k", ks,
+	return sweep(ctx, cfg, w, a, figure, "k", ks,
 		func(base Config, k int) (Config, []core.Query, *Dataset, error) {
 			qs := RandomQueries(d.G, base.NumQueries, base.LenC, k, base.Seed+3)
 			return base, qs, d, nil
 		})
 }
 
-func runFig3d(cfg Config, w io.Writer) error {
-	return runEffectOfK(cfg, w, gen.FLA, []int{10, 20, 30, 40, 50}, "Figure 3(d): effect of k")
+func runFig3d(ctx context.Context, cfg Config, w io.Writer) error {
+	return runEffectOfK(ctx, cfg, w, gen.FLA, []int{10, 20, 30, 40, 50}, "Figure 3(d): effect of k")
 }
 
-func runFig3e(cfg Config, w io.Writer) error {
-	return runEffectOfK(cfg, w, gen.CAL, []int{10, 20, 30, 40, 50}, "Figure 3(e): effect of k")
+func runFig3e(ctx context.Context, cfg Config, w io.Writer) error {
+	return runEffectOfK(ctx, cfg, w, gen.CAL, []int{10, 20, 30, 40, 50}, "Figure 3(e): effect of k")
 }
 
-func runEffectOfC(cfg Config, w io.Writer, a gen.Analogue, figure string) error {
+func runEffectOfC(ctx context.Context, cfg Config, w io.Writer, a gen.Analogue, figure string) error {
 	cfg.Fill()
 	d, err := Prepare(a, cfg)
 	if err != nil {
 		return err
 	}
 	defer d.Close()
-	return sweep(cfg, w, a, figure, "|C|", []int{2, 4, 6, 8, 10},
+	return sweep(ctx, cfg, w, a, figure, "|C|", []int{2, 4, 6, 8, 10},
 		func(base Config, lenC int) (Config, []core.Query, *Dataset, error) {
 			qs := RandomQueries(d.G, base.NumQueries, lenC, base.K, base.Seed+4)
 			return base, qs, d, nil
 		})
 }
 
-func runFig3f(cfg Config, w io.Writer) error {
-	return runEffectOfC(cfg, w, gen.FLA, "Figure 3(f): effect of |C|")
+func runFig3f(ctx context.Context, cfg Config, w io.Writer) error {
+	return runEffectOfC(ctx, cfg, w, gen.FLA, "Figure 3(f): effect of |C|")
 }
 
-func runFig3g(cfg Config, w io.Writer) error {
-	return runEffectOfC(cfg, w, gen.CAL, "Figure 3(g): effect of |C|")
+func runFig3g(ctx context.Context, cfg Config, w io.Writer) error {
+	return runEffectOfC(ctx, cfg, w, gen.CAL, "Figure 3(g): effect of |C|")
 }
 
-func runFig3h(cfg Config, w io.Writer) error {
+func runFig3h(ctx context.Context, cfg Config, w io.Writer) error {
 	cfg.Fill()
 	// |Ci| sweep as per-mille of |V| (the paper sweeps 5k–20k of ~1.07M).
 	base, err := gen.BuildAnalogue(gen.FLA, gen.AnalogueOptions{Scale: cfg.Scale, Seed: cfg.Seed})
@@ -290,7 +292,7 @@ func runFig3h(cfg Config, w io.Writer) error {
 		queries := RandomQueries(d.G, cfg.NumQueries, cfg.LenC, cfg.K, cfg.Seed+5)
 		fmt.Fprintf(w, "%-8d", size)
 		for _, m := range AllKOSRMethods {
-			r, err := d.RunMethod(m, queries, c2, false)
+			r, err := d.RunMethod(ctx, m, queries, c2, false)
 			if err != nil {
 				return err
 			}
@@ -302,17 +304,17 @@ func runFig3h(cfg Config, w io.Writer) error {
 	return nil
 }
 
-func runFig4(cfg Config, w io.Writer) error {
+func runFig4(ctx context.Context, cfg Config, w io.Writer) error {
 	cfg.Fill()
 	for _, a := range []gen.Analogue{gen.CAL, gen.FLA} {
-		if err := runEffectOfK(cfg, w, a, []int{1, 2, 3, 4, 5, 10}, "Figure 4: small k"); err != nil {
+		if err := runEffectOfK(ctx, cfg, w, a, []int{1, 2, 3, 4, 5, 10}, "Figure 4: small k"); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func runFig5(cfg Config, w io.Writer) error {
+func runFig5(ctx context.Context, cfg Config, w io.Writer) error {
 	cfg.Fill()
 	fmt.Fprintf(w, "Figure 5: searching space of SK at each category (avg # examined routes)\n")
 	fmt.Fprintf(w, "%-6s", "graph")
@@ -326,7 +328,7 @@ func runFig5(cfg Config, w io.Writer) error {
 			return err
 		}
 		queries := RandomQueries(d.G, cfg.NumQueries, cfg.LenC, cfg.K, cfg.Seed+6)
-		r, err := d.RunMethod(MSK, queries, cfg, false)
+		r, err := d.RunMethod(ctx, MSK, queries, cfg, false)
 		if err != nil {
 			return err
 		}
@@ -340,7 +342,7 @@ func runFig5(cfg Config, w io.Writer) error {
 	return nil
 }
 
-func runFig6(cfg Config, w io.Writer) error {
+func runFig6(ctx context.Context, cfg Config, w io.Writer) error {
 	cfg.Fill()
 	fmt.Fprintf(w, "Figure 6: Zipfian category skew factor f on the FLA analogue (query time, ms; |C|=%d, k=%d)\n", cfg.LenC, cfg.K)
 	methods := []MethodID{MKPNE, MPK, MSK}
@@ -367,7 +369,7 @@ func runFig6(cfg Config, w io.Writer) error {
 		queries := RandomQueries(d.G, cfg.NumQueries, cfg.LenC, cfg.K, cfg.Seed+7)
 		fmt.Fprintf(w, "%-6.1f", f)
 		for _, m := range methods {
-			r, err := d.RunMethod(m, queries, cfg, false)
+			r, err := d.RunMethod(ctx, m, queries, cfg, false)
 			if err != nil {
 				return err
 			}
@@ -390,7 +392,7 @@ func buildZipfFLA(cfg Config, f float64) (*graph.Graph, error) {
 	return b.Build()
 }
 
-func runFig7(cfg Config, w io.Writer) error {
+func runFig7(ctx context.Context, cfg Config, w io.Writer) error {
 	cfg.Fill()
 	methods := append(append([]MethodID(nil), AllKOSRMethods...), MGSP, MGSPCH)
 	fmt.Fprintln(w, "Figure 7: OSR queries (k = 1), query run-time (ms)")
@@ -439,7 +441,7 @@ func runFig7(cfg Config, w io.Writer) error {
 				ms := float64(time.Since(start).Microseconds()) / 1000 / float64(len(queries))
 				fmt.Fprintf(w, " %12.2f", ms)
 			default:
-				r, err := d.RunMethod(m, queries, cfg, false)
+				r, err := d.RunMethod(ctx, m, queries, cfg, false)
 				if err != nil {
 					return err
 				}
@@ -452,7 +454,7 @@ func runFig7(cfg Config, w io.Writer) error {
 	return nil
 }
 
-func runAblation(cfg Config, w io.Writer) error {
+func runAblation(ctx context.Context, cfg Config, w io.Writer) error {
 	cfg.Fill()
 	d, err := Prepare(gen.FLA, cfg)
 	if err != nil {
@@ -472,7 +474,7 @@ func runAblation(cfg Config, w io.Writer) error {
 		{"both (SK)", MSK},
 	}
 	for _, row := range rows {
-		r, err := d.RunMethod(row.m, queries, cfg, false)
+		r, err := d.RunMethod(ctx, row.m, queries, cfg, false)
 		if err != nil {
 			return err
 		}
@@ -487,7 +489,7 @@ func runAblation(cfg Config, w io.Writer) error {
 // scale GSP's O(|C|) graph-wide Dijkstra sweeps are cheap, so this probe
 // shows how the gap moves with |V| (GSP grows with the graph, SK with
 // the category size and label size).
-func runScaling(cfg Config, w io.Writer) error {
+func runScaling(ctx context.Context, cfg Config, w io.Writer) error {
 	cfg.Fill()
 	// Hold |Ci| fixed while |V| grows, as the paper does (|Ci|=10,000 on
 	// every graph size); otherwise SK's |Ci|-driven work grows together
@@ -505,11 +507,11 @@ func runScaling(cfg Config, w io.Writer) error {
 			return err
 		}
 		queries := RandomQueries(d.G, cfg.NumQueries, cfg.LenC, 1, cfg.Seed+11)
-		pk, err := d.RunMethod(MPK, queries, c2, false)
+		pk, err := d.RunMethod(ctx, MPK, queries, c2, false)
 		if err != nil {
 			return err
 		}
-		sk, err := d.RunMethod(MSK, queries, c2, false)
+		sk, err := d.RunMethod(ctx, MSK, queries, c2, false)
 		if err != nil {
 			return err
 		}

@@ -239,7 +239,9 @@ func (m MethodID) usesDijkstra() bool {
 
 // RunMethod executes the queries with one method and aggregates stats.
 // Budget overruns mark the result INF, matching the paper's reporting.
-func (d *Dataset) RunMethod(m MethodID, queries []core.Query, cfg Config, breakdown bool) (Result, error) {
+// Cancelling ctx aborts the run at the granularity the engine's pop
+// loop polls the context.
+func (d *Dataset) RunMethod(ctx context.Context, m MethodID, queries []core.Query, cfg Config, breakdown bool) (Result, error) {
 	cfg.Fill()
 	res := Result{Graph: d.Name, Method: m}
 	cm, ok := m.coreMethod()
@@ -285,7 +287,7 @@ func (d *Dataset) RunMethod(m MethodID, queries []core.Query, cfg Config, breakd
 			}
 			prov = labelProv
 		}
-		_, st, err := core.Solve(context.Background(), d.G, q, prov, opts)
+		_, st, err := core.Solve(ctx, d.G, q, prov, opts)
 		if errors.Is(err, core.ErrBudgetExceeded) {
 			res.INF = true
 			return res, nil

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -67,7 +68,7 @@ func TestRunMethodAllVariants(t *testing.T) {
 	qs := RandomQueries(d.G, 3, 3, 5, 13)
 	var ref Result
 	for i, m := range []MethodID{MSK, MPK, MKPNE, MSKDij, MPKDij, MKPNEDij, MSKDB, MKStar} {
-		r, err := d.RunMethod(m, qs, cfg, false)
+		r, err := d.RunMethod(context.Background(), m, qs, cfg, false)
 		if err != nil {
 			t.Fatalf("%s: %v", m, err)
 		}
@@ -93,7 +94,7 @@ func TestRunMethodUnknown(t *testing.T) {
 	d := tinyDataset(t)
 	cfg := Config{}
 	cfg.Fill()
-	if _, err := d.RunMethod(MGSP, RandomQueries(d.G, 1, 2, 1, 1), cfg, false); err == nil {
+	if _, err := d.RunMethod(context.Background(), MGSP, RandomQueries(d.G, 1, 2, 1, 1), cfg, false); err == nil {
 		t.Fatal("GSP is not a KOSR method; want error")
 	}
 }
@@ -104,7 +105,7 @@ func TestINFReporting(t *testing.T) {
 	cfg.Fill()
 	cfg.MaxExamined = 3 // Fill would raise it
 	qs := RandomQueries(d.G, 2, 4, 10, 17)
-	r, err := d.RunMethod(MKPNE, qs, cfg, false)
+	r, err := d.RunMethod(context.Background(), MKPNE, qs, cfg, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +119,7 @@ func TestBreakdownCollected(t *testing.T) {
 	cfg := Config{NumQueries: 2}
 	cfg.Fill()
 	qs := RandomQueries(d.G, 2, 3, 5, 19)
-	r, err := d.RunMethod(MSK, qs, cfg, true)
+	r, err := d.RunMethod(context.Background(), MSK, qs, cfg, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +163,7 @@ func TestRunTable7(t *testing.T) {
 	var buf bytes.Buffer
 	e, _ := Get("t7")
 	cfg := Config{NumQueries: 1}
-	if err := e.Run(cfg, &buf); err != nil {
+	if err := e.Run(context.Background(), cfg, &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -190,7 +191,7 @@ func TestPrepareAnalogueCAL(t *testing.T) {
 	qs := RandomQueries(d.G, 1, 3, 5, 23)
 	cfg.Fill()
 	cfg.MaxDuration = 30 * time.Second
-	r, err := d.RunMethod(MSK, qs, cfg, false)
+	r, err := d.RunMethod(context.Background(), MSK, qs, cfg, false)
 	if err != nil {
 		t.Fatal(err)
 	}

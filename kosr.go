@@ -761,6 +761,7 @@ func (s *System) Inverted() *invindex.Index { return s.Snapshot().Inverted }
 // System.Apply cannot move the index under a multi-query sequence.
 func (sn *Snapshot) Do(ctx context.Context, req Request) (*Result, error) {
 	if ctx == nil {
+		//lint:ignore ctxfirst documented nil-ctx tolerance for callers migrating off the deprecated wrappers
 		ctx = context.Background()
 	}
 	prov := sn.provider(req.UseDijkstraNN)
@@ -853,6 +854,7 @@ func (sn *Snapshot) DoStream(ctx context.Context, req Request) iter.Seq2[Route, 
 // deprecated Stream entry point.
 func (sn *Snapshot) openSearcher(ctx context.Context, req Request) (*core.Searcher, error) {
 	if ctx == nil {
+		//lint:ignore ctxfirst documented nil-ctx tolerance for callers migrating off the deprecated wrappers
 		ctx = context.Background()
 	}
 	prov := sn.provider(req.UseDijkstraNN)
@@ -914,6 +916,7 @@ func (s *System) SolveVariant(q VariantQuery, opt Options) ([]Route, *Stats, err
 // doCompat adapts Do back to the historical (routes, stats, error)
 // contract of the deprecated wrappers.
 func (s *System) doCompat(req Request) ([]Route, *Stats, error) {
+	//lint:ignore ctxfirst the deprecated wrappers predate cancellation; their contract is an uncancellable call
 	res, err := s.Do(context.Background(), req)
 	if err != nil {
 		return nil, nil, err
@@ -931,6 +934,7 @@ func (s *System) doCompat(req Request) ([]Route, *Stats, error) {
 // Deprecated: use DoStream, which adds cancellation and releases the
 // search state automatically when the iteration ends.
 func (s *System) Stream(q Query, opt Options) (*core.Searcher, error) {
+	//lint:ignore ctxfirst the deprecated wrappers predate cancellation; their contract is an uncancellable call
 	return s.Snapshot().openSearcher(context.Background(), Request{
 		Source: q.Source, Target: q.Target, Categories: q.Categories,
 		Method: opt.Method, UseDijkstraNN: opt.UseDijkstraNN,
@@ -1407,6 +1411,7 @@ func (d *DiskSystem) Do(ctx context.Context, req Request) (*Result, error) {
 //
 // Deprecated: use Do, which adds cancellation.
 func (d *DiskSystem) Solve(q Query, opt Options) ([]Route, *Stats, error) {
+	//lint:ignore ctxfirst the deprecated wrappers predate cancellation; their contract is an uncancellable call
 	res, err := d.Do(context.Background(), Request{
 		Source: q.Source, Target: q.Target, Categories: q.Categories, K: q.K,
 		Method: opt.Method, MaxExamined: opt.MaxExamined,
