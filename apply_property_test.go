@@ -110,6 +110,11 @@ func sameRoutes(a, b []Route) bool {
 // older snapshots are re-verified against their recorded answers, so a
 // page aliased between epochs — a mutation leaking into a parent, or a
 // clone reading a torn page — cannot survive unnoticed.
+//
+// Repair parallelism alternates between the serial schedule and 4
+// workers from epoch to epoch, so the parallel speculation/commit path
+// is exercised against label state produced by serial repairs and vice
+// versa — the two schedules are required to be byte-identical.
 func TestApplyRandomBatchesMatchRebuildOracle(t *testing.T) {
 	const (
 		n       = 60
@@ -145,6 +150,11 @@ func TestApplyRandomBatchesMatchRebuildOracle(t *testing.T) {
 		pins          []pinned
 	)
 	for epoch := 0; epoch < epochs; epoch++ {
+		if epoch%2 == 0 {
+			sys.SetRepairWorkers(1)
+		} else {
+			sys.SetRepairWorkers(4)
+		}
 		nOps := 1 + rng.Intn(maxOps)
 		batch := make([]Update, 0, nOps)
 		for i := 0; i < nOps; i++ {
@@ -207,6 +217,9 @@ func TestApplyRandomBatchesMatchRebuildOracle(t *testing.T) {
 	}
 	if st.PagesCopied == 0 || st.ApplyBytes == 0 {
 		t.Fatalf("ApplyStats records no page work: %+v", st)
+	}
+	if st.HubRepairs == 0 || st.RepairSeeds < st.HubRepairs {
+		t.Fatalf("ApplyStats repair counters inconsistent: %+v", st)
 	}
 }
 

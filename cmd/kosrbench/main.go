@@ -127,6 +127,16 @@ type UpdateScanResult struct {
 	// while the updater was publishing epochs.
 	QPSDuringUpdates float64 `json:"qps_during_updates"`
 	FinalEpoch       uint64  `json:"final_epoch"`
+	// HubRepairs / RepairSeeds / SeedsSkipped: deduplicated (hub,
+	// direction) label repair searches the scan's inserts ran, the raw
+	// seed count before dedup and filtering, and the seeds dropped
+	// because the pre-batch labels already covered them. RepairReruns
+	// counts parallel speculations re-run after a cross-hub conflict (0
+	// when repair ran serially).
+	HubRepairs   uint64 `json:"hub_repairs"`
+	RepairSeeds  uint64 `json:"repair_seeds"`
+	SeedsSkipped uint64 `json:"seeds_skipped"`
+	RepairReruns uint64 `json:"repair_reruns"`
 	// ScratchCarryover counts pooled query scratches the new epochs
 	// inherited from their predecessors during the concurrent scan
 	// (warm publication: post-update queries skip cold scratch growth).
@@ -166,6 +176,10 @@ type UpdateBatchCell struct {
 	// i.e. what the O(|V|) header clone was replaced with.
 	CowBytesPerUpdate    float64 `json:"cow_bytes_per_update"`
 	PagesCopiedPerUpdate float64 `json:"pages_copied_per_update"`
+	// HubRepairsPerUpdate: deduplicated (hub, direction) label repairs
+	// per mutation — the per-update search count the dense scratch is
+	// amortized over; batch sizes > 1 drive it down via cross-arc dedup.
+	HubRepairsPerUpdate float64 `json:"hub_repairs_per_update"`
 }
 
 // OverloadScanResult is the overload cell: the query mix offered at 2×
@@ -260,6 +274,9 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "applygate" {
 		os.Exit(runApplyGate(os.Args[2:]))
 	}
+	if len(os.Args) > 1 && os.Args[1] == "updategate" {
+		os.Exit(runUpdateGate(os.Args[2:]))
+	}
 	out := flag.String("out", "BENCH_PR1.json", "output JSON path")
 	pr := flag.String("pr", "PR1", "PR tag recorded in the report")
 	scale := flag.Int("scale", 1, "dataset scale factor")
@@ -325,7 +342,14 @@ func main() {
 			"rebuild) vs the flat format mmap'd and served zero-copy " +
 			"(checksum pass + O(n) page-directory headers); " +
 			"cold_start_speedup is the ratio of the two first-query " +
-			"times.",
+			"times. The update path (PR 9) runs batched label repairs on a " +
+			"dense epoch-stamped updater scratch: hub_repairs counts the " +
+			"deduplicated (hub, direction) searches, repair_seeds the raw " +
+			"seeds before cross-arc dedup, seeds_skipped the seeds the " +
+			"pre-batch labels already covered (dropped without a search), " +
+			"and repair_reruns the parallel speculations redone after " +
+			"cross-hub conflicts (0 on a single-core runner, where repair " +
+			"runs serially).",
 	}
 
 	rep.PQ = benchPQPopCost()
@@ -524,10 +548,15 @@ func benchUpdates(d *workload.Dataset, qs []core.Query, cfg workload.Config) *Up
 	close(stop)
 	qwg.Wait()
 
+	ast := sys.ApplyStats()
 	res := &UpdateScanResult{
 		Updates:          updates,
 		FinalEpoch:       sys.Epoch(),
-		ScratchCarryover: sys.ApplyStats().ScratchCarryover,
+		HubRepairs:       ast.HubRepairs,
+		RepairSeeds:      ast.RepairSeeds,
+		SeedsSkipped:     ast.SeedsSkipped,
+		RepairReruns:     ast.RepairReruns,
+		ScratchCarryover: ast.ScratchCarryover,
 		FlatCloneBytes:   int64(d.G.NumVertices()) * 2 * 24,
 	}
 	if elapsed > 0 {
@@ -592,6 +621,7 @@ func benchApplyBatches(d *workload.Dataset, edges []graph.Edge) []UpdateBatchCel
 			ApplyBytesPerUpdate:  float64(after.TotalAlloc-before.TotalAlloc) / float64(total),
 			CowBytesPerUpdate:    float64(st.ApplyBytes) / float64(total),
 			PagesCopiedPerUpdate: float64(st.PagesCopied) / float64(total),
+			HubRepairsPerUpdate:  float64(st.HubRepairs) / float64(total),
 		}
 		if elapsed > 0 {
 			cell.UpdatesPerSec = float64(total) / elapsed
@@ -1136,6 +1166,67 @@ func runApplyGate(args []string) int {
 	return 0
 }
 
+// runUpdateGate implements `kosrbench updategate [-dataset FLA]
+// [-factor 2.0] OLD.json NEW.json`: the CI assertion that the live-scan
+// update throughput holds its recorded level. It fails when the new
+// report's updates_per_sec on the named dataset falls below the old
+// report's value divided by factor — once the PR 9 throughput is the
+// committed baseline, any later report regressing >2× against it fails
+// the gate. Improvements are reported but never fail.
+func runUpdateGate(args []string) int {
+	fs := flag.NewFlagSet("updategate", flag.ExitOnError)
+	dataset := fs.String("dataset", "FLA", "dataset whose live-update scan is compared")
+	factor := fs.Float64("factor", 2.0, "fail when updates_per_sec drops by more than this factor")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: kosrbench updategate [-dataset FLA] [-factor 2.0] OLD.json NEW.json")
+		return 2
+	}
+	oldRep, err := readReport(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kosrbench updategate:", err)
+		return 2
+	}
+	newRep, err := readReport(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kosrbench updategate:", err)
+		return 2
+	}
+	if oldRep.NumCPU != newRep.NumCPU || oldRep.GOMAXPROCS != newRep.GOMAXPROCS {
+		fmt.Printf("note: reports come from different machines (%d/%d vs %d/%d cpus); timings are indicative only\n",
+			oldRep.NumCPU, oldRep.GOMAXPROCS, newRep.NumCPU, newRep.GOMAXPROCS)
+	}
+	scan := func(rep Report, path string) (*UpdateScanResult, bool) {
+		ds, ok := findDataset(rep, *dataset)
+		if !ok || ds.Updates == nil {
+			fmt.Fprintf(os.Stderr, "kosrbench updategate: %s has no live-update scan for dataset %q\n", path, *dataset)
+			return nil, false
+		}
+		return ds.Updates, true
+	}
+	ou, ok := scan(oldRep, fs.Arg(0))
+	if !ok {
+		return 2
+	}
+	nu, ok := scan(newRep, fs.Arg(1))
+	if !ok {
+		return 2
+	}
+	if ou.UpdatesPerSec <= 0 || nu.UpdatesPerSec <= 0 {
+		fmt.Fprintln(os.Stderr, "kosrbench updategate: zero updates_per_sec recorded")
+		return 1
+	}
+	r := nu.UpdatesPerSec / ou.UpdatesPerSec
+	fmt.Printf("updategate: %s updates_per_sec %.1f (%s) -> %.1f (%s): %.2fx, floor %.2fx of baseline\n",
+		*dataset, ou.UpdatesPerSec, oldRep.PR, nu.UpdatesPerSec, newRep.PR, r, 1 / *factor)
+	if nu.UpdatesPerSec < ou.UpdatesPerSec / *factor {
+		fmt.Printf("FAIL: update throughput regressed more than %.2fx\n", *factor)
+		return 1
+	}
+	fmt.Println("OK: update throughput holds its recorded level")
+	return 0
+}
+
 // runPlot implements `kosrbench plot REPORT.json...`: it renders the
 // per-(dataset, method) query-time and allocation trajectory across the
 // given reports as a markdown trend table, one column per report. INF
@@ -1298,6 +1389,23 @@ func runPlot(args []string) int {
 					return "–"
 				}
 				return fmt.Sprintf("%.0f", c.ApplyBytesPerUpdate)
+			}},
+			// Repair dedup: searches per mutation at batch 1 vs 256 — the
+			// cross-arc (hub, direction) dedup of the batched update path
+			// shows as the b=256 row sitting well under the b=1 row.
+			{"hub_repairs_per_update(b=1)", func(d DatasetResult) string {
+				c, ok := findBatchCell(d, 1)
+				if !ok || c.HubRepairsPerUpdate == 0 {
+					return "–"
+				}
+				return fmt.Sprintf("%.1f", c.HubRepairsPerUpdate)
+			}},
+			{"hub_repairs_per_update(b=256)", func(d DatasetResult) string {
+				c, ok := findBatchCell(d, 256)
+				if !ok || c.HubRepairsPerUpdate == 0 {
+					return "–"
+				}
+				return fmt.Sprintf("%.1f", c.HubRepairsPerUpdate)
 			}},
 			// The structural-copy pair: the paged layer's measured COW
 			// bytes per mutation vs the O(|V|) header clone it replaced.

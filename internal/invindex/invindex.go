@@ -438,30 +438,135 @@ func (ix *Index) RemoveVertexCategory(v graph.Vertex, c graph.Category) {
 // dynamically added/removed categories so vertices recategorized at run
 // time keep their inverted lists exact across edge insertions.
 func (ix *Index) Refresh(cats func(graph.Vertex) []graph.Category, updates []label.LinUpdate) {
+	var sc RefreshScratch
+	ix.RefreshBatch(&sc, cats, updates)
+}
+
+// RefreshScratch is the reusable coalescing state of RefreshBatch,
+// owned by the serialized updater and checked out once per Apply batch.
+// The zero value is ready to use; reuse amortizes the grouping map and
+// the list rebuild buffer across batches.
+type RefreshScratch struct {
+	keys   map[uint64]int32 // (category, hub) -> group ordinal
+	groups []refreshGroup
+	ng     int
+	buf    []Entry
+}
+
+type refreshGroup struct {
+	cat graph.Category
+	hub graph.Vertex
+	ops []refreshOp
+}
+
+type refreshOp struct {
+	v      graph.Vertex
+	d      graph.Weight
+	oldD   graph.Weight
+	hadOld bool
+}
+
+// RefreshBatch is Refresh with batched list rebuilds: the updates are
+// coalesced per (category, hub), and each touched inverted list is
+// rebuilt once in a scratch buffer and written back with a single fresh
+// allocation — instead of one fresh list per change, which dominated
+// apply cost when a batch revisits the same hub's list repeatedly.
+// Ops targeting the same list keep their arrival order and ops on
+// different lists commute, so the result is identical to Refresh.
+func (ix *Index) RefreshBatch(sc *RefreshScratch, cats func(graph.Vertex) []graph.Category, updates []label.LinUpdate) {
+	if len(updates) == 0 {
+		return
+	}
+	if sc.keys == nil {
+		sc.keys = make(map[uint64]int32)
+	}
+	sc.ng = 0
 	for _, u := range updates {
 		for _, c := range cats(u.V) {
 			if !ix.hasIL(c) {
 				continue
 			}
-			il := ix.mutableIL(c)
-			if u.HadOld {
-				removeEntry(il, u.Hub, u.V, u.OldD)
+			key := uint64(uint32(c))<<32 | uint64(uint32(u.Hub))
+			gi, ok := sc.keys[key]
+			if !ok {
+				gi = int32(sc.ng)
+				if int(gi) < len(sc.groups) {
+					g := &sc.groups[gi]
+					g.cat, g.hub = c, u.Hub
+					g.ops = g.ops[:0]
+				} else {
+					sc.groups = append(sc.groups, refreshGroup{cat: c, hub: u.Hub})
+				}
+				sc.ng++
+				sc.keys[key] = gi
 			}
-			insertEntry(il, u.Hub, u.V, u.D)
+			g := &sc.groups[gi]
+			g.ops = append(g.ops, refreshOp{v: u.V, d: u.D, oldD: u.OldD, hadOld: u.HadOld})
 		}
 	}
+	for k := range sc.keys {
+		delete(sc.keys, k)
+	}
+	for i := 0; i < sc.ng; i++ {
+		g := &sc.groups[i]
+		il := ix.mutableIL(g.cat)
+		sc.buf = append(sc.buf[:0], il.Get(int(g.hub))...)
+		for _, op := range g.ops {
+			if op.hadOld {
+				sc.buf = removeFromBuf(sc.buf, op.v, op.oldD)
+			}
+			sc.buf = insertIntoBuf(sc.buf, op.v, op.d)
+		}
+		if len(sc.buf) == 0 {
+			il.Set(int(g.hub), nil)
+			continue
+		}
+		fresh := make([]Entry, len(sc.buf))
+		copy(fresh, sc.buf)
+		il.Set(int(g.hub), fresh)
+	}
+}
+
+// removeFromBuf deletes (v, d) from the scratch list in place, with
+// removeEntry's search and match rule.
+func removeFromBuf(buf []Entry, v graph.Vertex, d graph.Weight) []Entry {
+	pos := searchIL(buf, v, d)
+	if pos < len(buf) && buf[pos].V == v && buf[pos].D == d {
+		copy(buf[pos:], buf[pos+1:])
+		buf = buf[:len(buf)-1]
+	}
+	return buf
+}
+
+// insertIntoBuf inserts (v, d) into the scratch list in place in
+// (distance, vertex) order, skipping exact duplicates like insertEntry.
+func insertIntoBuf(buf []Entry, v graph.Vertex, d graph.Weight) []Entry {
+	pos := searchIL(buf, v, d)
+	if pos < len(buf) && buf[pos].V == v && buf[pos].D == d {
+		return buf
+	}
+	buf = append(buf, Entry{})
+	copy(buf[pos+1:], buf[pos:])
+	buf[pos] = Entry{V: v, D: d}
+	return buf
+}
+
+// searchIL finds the position of (v, d) in a (distance, vertex)-ordered
+// inverted list — the shared search of every IL mutation.
+func searchIL(list []Entry, v graph.Vertex, d graph.Weight) int {
+	return sort.Search(len(list), func(i int) bool {
+		if list[i].D != d {
+			return list[i].D > d
+		}
+		return list[i].V >= v
+	})
 }
 
 // removeEntry deletes (v, d) from the hub's list. The shrunken list is
 // freshly allocated — mutations never write a shared backing array.
 func removeEntry(il *ilVec, hub, v graph.Vertex, d graph.Weight) {
 	list := il.Get(int(hub))
-	pos := sort.Search(len(list), func(i int) bool {
-		if list[i].D != d {
-			return list[i].D > d
-		}
-		return list[i].V >= v
-	})
+	pos := searchIL(list, v, d)
 	if pos < len(list) && list[pos].V == v && list[pos].D == d {
 		if len(list) == 1 {
 			il.Set(int(hub), nil)
@@ -478,12 +583,7 @@ func removeEntry(il *ilVec, hub, v graph.Vertex, d graph.Weight) {
 // order, skipping exact duplicates. The grown list is freshly allocated.
 func insertEntry(il *ilVec, hub, v graph.Vertex, d graph.Weight) {
 	list := il.Get(int(hub))
-	pos := sort.Search(len(list), func(i int) bool {
-		if list[i].D != d {
-			return list[i].D > d
-		}
-		return list[i].V >= v
-	})
+	pos := searchIL(list, v, d)
 	if pos < len(list) && list[pos].V == v && list[pos].D == d {
 		return
 	}

@@ -4,7 +4,6 @@ import (
 	"sort"
 
 	"repro/internal/graph"
-	"repro/internal/pq"
 )
 
 // This file implements incremental label maintenance for graph-structure
@@ -37,107 +36,70 @@ type LinUpdate struct {
 // adj must already contain the arc. It returns the Lin changes for
 // downstream refresh (see invindex.Refresh). For undirected graphs call
 // it once per direction.
-func (ix *Index) InsertEdge(adj Adjacency, a, b graph.Vertex, w graph.Weight) []LinUpdate {
-	var updates []LinUpdate
-	// Hubs that reach a may now reach further through b: resume their
-	// forward searches seeded at b.
-	for _, e := range ix.In(a) {
-		updates = ix.resume(adj, e.Hub, b, a, e.D+w, false, updates)
-	}
-	// Hubs reached from b may now be reached from a's side: resume
-	// their backward searches seeded at a.
-	for _, e := range ix.Out(b) {
-		ix.resume(adj, e.Hub, a, b, e.D+w, true, nil)
-	}
-	return updates
-}
-
-// resume runs a pruned Dijkstra for hub root seeded at start with
-// distance d0 (the first parent is via). With reverse=false it updates
-// Lin labels over forward arcs; with reverse=true, Lout labels over
-// reverse arcs.
-func (ix *Index) resume(adj Adjacency, root, start, via graph.Vertex, d0 graph.Weight,
-	reverse bool, updates []LinUpdate) []LinUpdate {
-
-	type item struct {
-		v graph.Vertex
-		d graph.Weight
-	}
-	dist := map[graph.Vertex]graph.Weight{start: d0}
-	parent := map[graph.Vertex]graph.Vertex{start: via}
-	h := pq.NewHeap[item](func(x, y item) bool { return x.d < y.d })
-	h.Push(item{v: start, d: d0})
-	for h.Len() > 0 {
-		it := h.Pop()
-		if it.d > dist[it.v] {
-			continue // stale entry
-		}
-		// Prune when the current labels already cover (root, v) at
-		// least as cheaply.
-		var covered graph.Weight
-		if reverse {
-			covered = ix.distMerge(it.v, root)
-		} else {
-			covered = ix.distMerge(root, it.v)
-		}
-		if covered <= it.d {
-			continue
-		}
-		upd := ix.upsert(it.v, root, it.d, parent[it.v], reverse)
-		if !reverse {
-			updates = append(updates, upd)
-		}
-		var arcs []graph.Arc
-		if reverse {
-			arcs = adj.In(it.v)
-		} else {
-			arcs = adj.Out(it.v)
-		}
-		for _, a := range arcs {
-			nd := it.d + a.W
-			if old, ok := dist[a.To]; !ok || nd < old {
-				dist[a.To] = nd
-				parent[a.To] = it.v
-				h.Push(item{v: a.To, d: nd})
-			}
-		}
-	}
-	return updates
-}
-
-// upsert inserts or improves the (hub, d) entry of v's Lin (or Lout)
-// list, keeping the list rank-ordered.
 //
-// The modified list is always freshly allocated — the previous backing
-// array is never written — and the header write goes through the paged
-// vector, which copies the touched page when it is still shared with an
-// earlier epoch. This makes updates copy-on-write end to end: an index
-// cloned from a snapshot can absorb InsertEdge while queries keep
-// reading the original's lists concurrently, without locks.
-func (ix *Index) upsert(v, hub graph.Vertex, d graph.Weight, next graph.Vertex, reverse bool) LinUpdate {
-	lists := ix.in
+// This is the single-arc convenience form: it allocates a transient
+// UpdateScratch per call. The batch Apply path holds a long-lived
+// scratch and calls InsertEdgeBatch directly (see update.go).
+func (ix *Index) InsertEdge(adj Adjacency, a, b graph.Vertex, w graph.Weight) []LinUpdate {
+	us := NewUpdateScratch(ix.n)
+	res := ix.InsertEdgeBatch(adj, []NewArc{{From: a, To: b, W: w}}, us, RepairOptions{})
+	return res.Updates
+}
+
+// upsertBatch inserts or improves the (hub, d) entry of v's Lin (or
+// Lout) list, keeping the list rank-ordered.
+//
+// Copy-on-write is paid once per (list, batch): the first touch of a
+// list in a batch allocates a fresh backing array (the previous one —
+// possibly still read by an earlier snapshot's in-flight queries — is
+// never written) and stamps the scratch's ownership mark; later
+// touches of the same list in the same batch mutate that
+// batch-private array in place. A single-edge weight decrease
+// typically improves the same vertex's distance from many hubs, so
+// the in-place path turns O(hubs·|list|) copying into one copy. The
+// header write goes through the paged vector, which copies the
+// touched page when it is still shared with an earlier epoch; an
+// in-place distance overwrite leaves the header untouched and skips
+// the vector entirely.
+func (ix *Index) upsertBatch(v, hub graph.Vertex, d graph.Weight, next graph.Vertex, reverse bool, us *UpdateScratch) LinUpdate {
+	lists, own := ix.in, us.ownIn
 	if reverse {
-		lists = ix.out
+		lists, own = ix.out, us.ownOut
 	}
 	list := lists.Get(int(v))
 	r := ix.rank[hub]
 	pos := sort.Search(len(list), func(i int) bool { return list[i].R >= r })
 	upd := LinUpdate{V: v, Hub: hub, D: d}
+	owned := own[v] == us.batch
 	if pos < len(list) && list[pos].Hub == hub {
 		upd.HadOld = true
 		upd.OldD = list[pos].D
+		if owned {
+			list[pos].D = d
+			list[pos].Next = next
+			return upd
+		}
 		fresh := make([]Entry, len(list))
 		copy(fresh, list)
 		fresh[pos].D = d
 		fresh[pos].Next = next
 		lists.Set(int(v), fresh)
+		own[v] = us.batch
 		return upd
 	}
-	fresh := make([]Entry, len(list)+1)
+	if owned && cap(list) > len(list) {
+		list = list[:len(list)+1]
+		copy(list[pos+1:], list[pos:len(list)-1])
+		list[pos] = Entry{Hub: hub, R: r, D: d, Next: next}
+		lists.Set(int(v), list)
+		return upd
+	}
+	fresh := make([]Entry, len(list)+1, len(list)+4)
 	copy(fresh, list[:pos])
 	fresh[pos] = Entry{Hub: hub, R: r, D: d, Next: next}
 	copy(fresh[pos+1:], list[pos:])
 	lists.Set(int(v), fresh)
+	own[v] = us.batch
 	return upd
 }
 

@@ -1,0 +1,590 @@
+package label
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+	"repro/internal/pq"
+)
+
+// This file is the batched, allocation-free successor of the per-arc
+// map-backed resume path (see dynamic.go for the compatibility
+// wrapper). An Apply batch's arc insertions are folded into one
+// InsertEdgeBatch call: seeds are collected from the pre-batch labels,
+// deduplicated per (hub, direction) so a hub repaired once covers every
+// arc of the batch that touches it, and the repairs run on a dense
+// epoch-stamped UpdateScratch — optionally speculated in parallel and
+// committed in rank order, byte-identical to the serial schedule.
+
+// NewArc describes one arc inserted by a batch. The adjacency handed to
+// InsertEdgeBatch must already contain every arc of the batch: a single
+// multi-seed repair per hub only covers cascades through sibling arcs
+// when it can traverse them.
+type NewArc struct {
+	From, To graph.Vertex
+	W        graph.Weight
+}
+
+// RepairOptions controls one InsertEdgeBatch call.
+type RepairOptions struct {
+	// Workers caps the parallelism of the speculative repair stage.
+	// Values <= 1 run the serial reference schedule. The committed
+	// index is byte-identical for every value.
+	Workers int
+}
+
+// RepairResult reports what one batch repair did. Updates aliases the
+// scratch's staging buffer and is valid only until the next batch
+// checked out on the same UpdateScratch.
+type RepairResult struct {
+	// Updates stages the Lin changes of the batch, in commit order,
+	// for downstream refresh (see invindex.RefreshBatch).
+	Updates []LinUpdate
+	// Repairs counts the deduplicated (hub, direction) searches run.
+	Repairs int
+	// Seeds counts raw seed entries before deduplication and filtering;
+	// Seeds-SeedsSkipped spread over Repairs groups is the work the
+	// per-arc path would have repeated.
+	Seeds int
+	// SeedsSkipped counts seeds already covered by the pre-batch labels
+	// and dropped without a search: label distances only improve during
+	// a batch, so a seed covered before the batch is provably pruned on
+	// its first pop in the serial schedule too.
+	SeedsSkipped int
+	// Reruns counts speculative repairs invalidated by a cross-hub
+	// conflict and re-run serially at commit time.
+	Reruns int
+}
+
+// repairSlot is one vertex's tentative search state: valid only when
+// its stamp matches the owning repairScratch's current epoch, so a new
+// search begins by bumping the epoch instead of clearing |V| slots
+// (same discipline as core.Scratch).
+type repairSlot struct {
+	epoch  uint32
+	parent graph.Vertex
+	d      graph.Weight
+}
+
+// repairItem is one heap entry of a repair search. Duplicates are
+// resolved lazily: a popped item older than its slot is skipped.
+type repairItem struct {
+	v graph.Vertex
+	d graph.Weight
+}
+
+func lessRepairItem(a, b repairItem) bool { return a.d < b.d }
+
+// pruneSlot is one rank's scattered label distance, valid only when its
+// stamp matches the owning table's current epoch. Stamp and distance
+// share a slot so a prune lookup costs one cache line, not two.
+type pruneSlot struct {
+	stamp uint32
+	d     graph.Weight
+}
+
+// repairScratch is one worker's dense search state, reused across every
+// repair it runs: stamped dist/parent slots, a heap with retained
+// capacity, and the root-label prune table — the repair's root list
+// scattered by hub rank once per run, so each popped vertex's prune is
+// one scan of its own list with O(1) lookups instead of a two-list
+// merge.
+type repairScratch struct {
+	epoch uint32
+	slots []repairSlot
+	heap  *pq.Heap[repairItem]
+	prune []pruneSlot
+}
+
+func newRepairScratch(n int) *repairScratch {
+	return &repairScratch{
+		slots: make([]repairSlot, n),
+		heap:  pq.NewHeap[repairItem](lessRepairItem),
+		prune: make([]pruneSlot, n),
+	}
+}
+
+// begin opens a new search epoch, invalidating every slot and prune
+// entry in O(1). On uint32 wrap-around stale stamps could alias the new
+// epoch, so the tables are hard-reset — once per 4G searches.
+func (rs *repairScratch) begin() {
+	rs.epoch++
+	if rs.epoch == 0 {
+		for i := range rs.slots {
+			rs.slots[i] = repairSlot{}
+			rs.prune[i] = pruneSlot{}
+		}
+		rs.epoch = 1
+	}
+}
+
+// repairSeed is one resume point of a (hub, direction) repair: the
+// search reaches v via the pre-batch label distance plus one new arc.
+type repairSeed struct {
+	v   graph.Vertex
+	via graph.Vertex
+	d   graph.Weight
+}
+
+// repairOp is one buffered label write (settle order): upsert of
+// (hub, d) into v's list at commit time.
+type repairOp struct {
+	v    graph.Vertex
+	next graph.Vertex
+	d    graph.Weight
+}
+
+// repairGroup is the deduplicated unit of work: all seeds of one
+// (hub, direction) across the arcs of the batch, and — after its
+// speculative run — the buffered writes plus the vertices whose label
+// lists the search read (its conflict set).
+type repairGroup struct {
+	hub     graph.Vertex
+	rank    int32
+	reverse bool
+	seeds   []repairSeed
+	ops     []repairOp
+	reads   []graph.Vertex
+}
+
+// groupsByRank orders groups by hub rank, forward before backward for
+// the same hub — the fixed commit schedule both the serial and the
+// parallel path follow. Keys are unique per batch, so the order is
+// total and the sort deterministic.
+type groupsByRank []repairGroup
+
+func (s groupsByRank) Len() int { return len(s) }
+func (s groupsByRank) Less(i, j int) bool {
+	if s[i].rank != s[j].rank {
+		return s[i].rank < s[j].rank
+	}
+	return !s[i].reverse && s[j].reverse
+}
+func (s groupsByRank) Swap(i, j int) { s[i], s[j] = s[j], s[i] }
+
+// UpdateScratch is the serialized updater's reusable state: per-worker
+// dense search scratches, the (hub, direction) dedup table, the commit
+// conflict marks and the LinUpdate staging buffer. All per-vertex
+// tables are batch-epoch-stamped, so checking out a new batch is O(1).
+// It is owned by one updater at a time (System.Apply holds it under the
+// update mutex) and is NOT safe for concurrent use.
+type UpdateScratch struct {
+	n     int
+	batch uint32
+
+	// Dedup table: group ordinal per hub and direction, valid when the
+	// stamp matches the current batch.
+	groupF, groupB []int32
+	stampF, stampB []uint32
+
+	// Commit-time write marks: dirtyIn[v] (resp. dirtyOut) is stamped
+	// when a committed group wrote v's Lin (resp. Lout) list this
+	// batch. A speculated group conflicts iff it read a stamped list.
+	dirtyIn, dirtyOut []uint32
+
+	// Commit-time list ownership: ownIn[v] (resp. ownOut) is stamped
+	// when this batch's commit path has already allocated a fresh
+	// backing array for v's Lin (resp. Lout) list, so later upserts of
+	// the same batch may mutate it in place (see upsertBatch).
+	ownIn, ownOut []uint32
+
+	// Seed-filter table: one arc endpoint's label list scattered by
+	// rank, used to drop seeds the pre-batch labels already cover
+	// without opening a repair group for them.
+	filterEpoch uint32
+	filter      []pruneSlot
+
+	groups []repairGroup
+	ng     int
+
+	updates []LinUpdate
+
+	workers []*repairScratch
+}
+
+// NewUpdateScratch returns an updater scratch for indexes over n
+// vertices. Worker search scratches are allocated lazily on first use
+// (or eagerly via Prewarm).
+func NewUpdateScratch(n int) *UpdateScratch {
+	return &UpdateScratch{
+		n:      n,
+		groupF: make([]int32, n),
+		groupB: make([]int32, n),
+		stampF: make([]uint32, n),
+		stampB: make([]uint32, n),
+
+		dirtyIn:  make([]uint32, n),
+		dirtyOut: make([]uint32, n),
+
+		ownIn:  make([]uint32, n),
+		ownOut: make([]uint32, n),
+
+		filter: make([]pruneSlot, n),
+	}
+}
+
+// NumVertices returns the vertex count the scratch was sized for; an
+// index may only use a scratch of matching size.
+func (us *UpdateScratch) NumVertices() int { return us.n }
+
+// Prewarm eagerly allocates the per-worker search scratches for the
+// given worker count, so the first Apply after startup does not pay the
+// O(|V|) slot allocations.
+func (us *UpdateScratch) Prewarm(workers int) {
+	if workers < 1 {
+		workers = 1
+	}
+	us.worker(workers - 1)
+}
+
+// FootprintBytes reports the resident size of the scratch's dense
+// tables and retained buffers, for capacity accounting.
+func (us *UpdateScratch) FootprintBytes() uint64 {
+	b := uint64(us.n) * (2*4 + 2*4 + 2*4 + 2*4) // dedup + dirty + ownership tables
+	for _, rs := range us.workers {
+		//lint:ignore epochstamp capacity accounting reads buffer sizes, not stamped search state
+		b += uint64(cap(rs.slots))*16 + uint64(rs.heap.Cap())*16
+		//lint:ignore epochstamp capacity accounting reads buffer sizes, not stamped search state
+		b += uint64(cap(rs.prune)) * 16
+	}
+	for i := range us.groups {
+		g := &us.groups[i]
+		b += uint64(cap(g.seeds))*16 + uint64(cap(g.ops))*16 + uint64(cap(g.reads))*4
+	}
+	b += uint64(cap(us.updates)) * 32
+	return b
+}
+
+func (us *UpdateScratch) worker(i int) *repairScratch {
+	for len(us.workers) <= i {
+		us.workers = append(us.workers, newRepairScratch(us.n))
+	}
+	return us.workers[i]
+}
+
+// beginBatch opens a new batch epoch: the dedup table and dirty marks
+// invalidate in O(1), the group list and staging buffer rewind keeping
+// their capacity. Stamp wrap-around hard-resets, once per 4G batches.
+func (us *UpdateScratch) beginBatch() {
+	us.batch++
+	if us.batch == 0 {
+		for i := range us.stampF {
+			us.stampF[i] = 0
+			us.stampB[i] = 0
+			us.dirtyIn[i] = 0
+			us.dirtyOut[i] = 0
+			us.ownIn[i] = 0
+			us.ownOut[i] = 0
+		}
+		us.batch = 1
+	}
+	us.ng = 0
+	us.updates = us.updates[:0]
+}
+
+// scatterFilter opens a fresh filter epoch over list (a rank-sorted
+// label list), so seedCovered lookups answer "do the pre-batch labels
+// cover (hub, v) through one of list's hubs?" in one scan of the hub's
+// own list. Stamp wrap-around hard-resets, once per 4G scatters.
+func (us *UpdateScratch) scatterFilter(list []Entry) {
+	us.filterEpoch++
+	if us.filterEpoch == 0 {
+		for i := range us.filter {
+			us.filter[i] = pruneSlot{}
+		}
+		us.filterEpoch = 1
+	}
+	for _, e := range list {
+		us.filter[e.R] = pruneSlot{stamp: us.filterEpoch, d: e.D}
+	}
+}
+
+// seedCovered reports whether the scattered endpoint list and hubList
+// (the seed hub's same-side list) witness a 2-hop distance <= d — in
+// which case the seed's first pop would be pruned and the seed can be
+// dropped before any repair group is opened. Label distances only
+// improve during a batch, so a pre-batch witness remains one at any
+// point of the serial schedule.
+func (us *UpdateScratch) seedCovered(hubList []Entry, d graph.Weight) bool {
+	for _, e := range hubList {
+		if sl := us.filter[e.R]; sl.stamp == us.filterEpoch && sl.d+e.D <= d {
+			return true
+		}
+	}
+	return false
+}
+
+// group returns this batch's group for (hub, reverse), creating it on
+// first sight.
+func (us *UpdateScratch) group(hub graph.Vertex, rank int32, reverse bool) *repairGroup {
+	groupOf, stamps := us.groupF, us.stampF
+	if reverse {
+		groupOf, stamps = us.groupB, us.stampB
+	}
+	if stamps[hub] == us.batch {
+		return &us.groups[groupOf[hub]]
+	}
+	gi := us.ng
+	if gi < len(us.groups) {
+		g := &us.groups[gi]
+		g.hub, g.rank, g.reverse = hub, rank, reverse
+		g.seeds = g.seeds[:0]
+		g.ops = g.ops[:0]
+		g.reads = g.reads[:0]
+	} else {
+		us.groups = append(us.groups, repairGroup{hub: hub, rank: rank, reverse: reverse})
+	}
+	us.ng++
+	groupOf[hub] = int32(gi)
+	stamps[hub] = us.batch
+	return &us.groups[gi]
+}
+
+// InsertEdgeBatch incrementally repairs the index for a batch of
+// inserted arcs. adj must already contain every arc of the batch. The
+// scratch must have been created for this index's vertex count and is
+// reused across batches; the returned Updates alias its staging buffer.
+//
+// Seeds are collected from the pre-batch labels: for each arc (a,b,w),
+// every hub reaching a resumes its forward search at b, and every hub
+// reached from b resumes its backward search at a (Akiba–Iwata–Yoshida
+// resumed pruned search, weighted). Collecting all seeds up front and
+// running ONE multi-seed search per (hub, direction) is equivalent to
+// the sequential per-arc schedule: any label entry a later per-arc
+// resume would have read mid-batch stems from that same hub's own
+// repair, whose cascade the merged search discovers by traversing the
+// already-inserted sibling arcs itself.
+//
+// With opt.Workers > 1 the repairs are speculated in parallel against
+// the pre-batch labels (the index is not written during that stage) and
+// committed single-threaded in rank order; a group that read a list an
+// earlier-ranked group committed to is detected via the dirty marks and
+// re-run serially. The committed index is byte-identical to the serial
+// schedule for every worker count.
+func (ix *Index) InsertEdgeBatch(adj Adjacency, arcs []NewArc, us *UpdateScratch, opt RepairOptions) RepairResult {
+	if us.n != ix.n {
+		panic("label: UpdateScratch sized for a different index")
+	}
+	us.beginBatch()
+	var res RepairResult
+	for _, a := range arcs {
+		us.scatterFilter(ix.In(a.To))
+		for _, e := range ix.In(a.From) {
+			res.Seeds++
+			d := e.D + a.W
+			if us.seedCovered(ix.Out(e.Hub), d) {
+				res.SeedsSkipped++
+				continue
+			}
+			g := us.group(e.Hub, e.R, false)
+			g.seeds = append(g.seeds, repairSeed{v: a.To, via: a.From, d: d})
+		}
+		us.scatterFilter(ix.Out(a.From))
+		for _, e := range ix.Out(a.To) {
+			res.Seeds++
+			d := e.D + a.W
+			if us.seedCovered(ix.In(e.Hub), d) {
+				res.SeedsSkipped++
+				continue
+			}
+			g := us.group(e.Hub, e.R, true)
+			g.seeds = append(g.seeds, repairSeed{v: a.From, via: a.To, d: d})
+		}
+	}
+	res.Repairs = us.ng
+	if us.ng == 0 {
+		res.Updates = us.updates
+		return res
+	}
+	groups := us.groups[:us.ng]
+	sort.Sort(groupsByRank(groups))
+
+	workers := opt.Workers
+	if workers > len(groups) {
+		workers = len(groups)
+	}
+	if workers <= 1 {
+		// Serial reference schedule: repair and commit one group at a
+		// time, in rank order, each search reading the labels as left
+		// by every earlier commit.
+		rs := us.worker(0)
+		for i := range groups {
+			g := &groups[i]
+			ix.repairRun(adj, g, rs)
+			ix.commitGroup(g, us)
+		}
+		res.Updates = us.updates
+		return res
+	}
+
+	// Phase A — speculation: every group repairs against the pre-batch
+	// labels, read-only, on per-worker scratches. Each group's buffered
+	// ops and read set depend only on the immutable pre-batch state, so
+	// the outcome is independent of scheduling.
+	var next int64 = -1
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(rs *repairScratch) {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(groups) {
+					return
+				}
+				ix.repairRun(adj, &groups[i], rs)
+			}
+		}(us.worker(w))
+	}
+	wg.Wait()
+
+	// Phase B — rank-order commit: a speculated group is valid exactly
+	// when no earlier commit wrote a list it read; the first diverging
+	// input of a hypothetical serial run would be such a read. Invalid
+	// groups re-run here against the current labels, which IS the
+	// serial schedule for them.
+	rs := us.worker(0)
+	for i := range groups {
+		g := &groups[i]
+		if us.conflicts(g) {
+			res.Reruns++
+			ix.repairRun(adj, g, rs)
+		}
+		ix.commitGroup(g, us)
+		us.markDirty(g)
+	}
+	res.Updates = us.updates
+	return res
+}
+
+// conflicts reports whether any label list g's speculative run read has
+// since been written by a committed group: the popped vertices' lists
+// on the search side, plus the root's list on the opposite side (the
+// other half of every distMerge prune).
+func (us *UpdateScratch) conflicts(g *repairGroup) bool {
+	same, opp := us.dirtyIn, us.dirtyOut
+	if g.reverse {
+		same, opp = us.dirtyOut, us.dirtyIn
+	}
+	if opp[g.hub] == us.batch {
+		return true
+	}
+	for _, v := range g.reads {
+		if same[v] == us.batch {
+			return true
+		}
+	}
+	return false
+}
+
+// markDirty stamps the lists g's commit wrote. A forward repair writes
+// only Lin lists, a backward repair only Lout lists.
+func (us *UpdateScratch) markDirty(g *repairGroup) {
+	marks := us.dirtyIn
+	if g.reverse {
+		marks = us.dirtyOut
+	}
+	for _, op := range g.ops {
+		marks[op.v] = us.batch
+	}
+}
+
+// commitGroup applies a group's buffered writes through the COW upsert,
+// staging forward (Lin) changes for the inverted-index refresh. Ops are
+// in settle order, and every op still strictly improves its list at
+// commit time: the search's own-hub prune guarantees the existing entry,
+// if any, is strictly worse.
+func (ix *Index) commitGroup(g *repairGroup, us *UpdateScratch) {
+	for _, op := range g.ops {
+		upd := ix.upsertBatch(op.v, g.hub, op.d, op.next, g.reverse, us)
+		if !g.reverse {
+			us.updates = append(us.updates, upd)
+		}
+	}
+}
+
+// repairRun executes one (hub, direction) resumed pruned Dijkstra on a
+// dense scratch, buffering label writes into g.ops instead of applying
+// them. Buffering is equivalent to the old interleaved upsert: a search
+// never reads a list it writes (each vertex settles at most once — the
+// prune consults Lin(v)/Lout(root) for forward runs, and v's own write
+// happens only at its settle — so the labels it observes are identical
+// either way). g.reads records every popped vertex: together with the
+// root, exactly the lists the distMerge prunes consulted, which the
+// parallel commit uses as the conflict set.
+//
+//kosr:hotpath
+func (ix *Index) repairRun(adj Adjacency, g *repairGroup, rs *repairScratch) {
+	rs.begin()
+	rs.heap.Clear()
+	g.ops = g.ops[:0]
+	g.reads = g.reads[:0]
+	root := g.hub
+	// Scatter the root's opposite-side list — the half of every prune
+	// that is constant across the run (the index is not written mid-run,
+	// so reading it once is exactly equivalent to re-reading per pop) —
+	// into the rank-indexed prune table.
+	rootList := ix.Out(root)
+	if g.reverse {
+		rootList = ix.In(root)
+	}
+	for _, e := range rootList {
+		rs.prune[e.R] = pruneSlot{stamp: rs.epoch, d: e.D}
+	}
+	for _, s := range g.seeds {
+		sl := &rs.slots[s.v]
+		if sl.epoch != rs.epoch || s.d < sl.d {
+			sl.epoch = rs.epoch
+			sl.d = s.d
+			sl.parent = s.via
+			rs.heap.Push(repairItem{v: s.v, d: s.d})
+		}
+	}
+	for rs.heap.Len() > 0 {
+		it := rs.heap.Pop()
+		sl := &rs.slots[it.v]
+		if sl.epoch == rs.epoch && it.d > sl.d {
+			continue // stale heap entry, superseded by a cheaper push
+		}
+		g.reads = append(g.reads, it.v)
+		// Prune when the current labels already cover (root, v) at
+		// least as cheaply — including the root itself, covered at 0
+		// by its own (root, 0) entries. One scan of v's same-side list
+		// against the prune table, with early exit on the first
+		// witness (existence is enough; the exact minimum is not
+		// needed).
+		vlist := ix.In(it.v)
+		if g.reverse {
+			vlist = ix.Out(it.v)
+		}
+		pruned := false
+		for _, e := range vlist {
+			if sl := rs.prune[e.R]; sl.stamp == rs.epoch && sl.d+e.D <= it.d {
+				pruned = true
+				break
+			}
+		}
+		if pruned {
+			continue
+		}
+		g.ops = append(g.ops, repairOp{v: it.v, next: sl.parent, d: it.d})
+		var arcs []graph.Arc
+		if g.reverse {
+			arcs = adj.In(it.v)
+		} else {
+			arcs = adj.Out(it.v)
+		}
+		for _, a := range arcs {
+			nd := it.d + a.W
+			nsl := &rs.slots[a.To]
+			if nsl.epoch != rs.epoch || nd < nsl.d {
+				nsl.epoch = rs.epoch
+				nsl.d = nd
+				nsl.parent = it.v
+				rs.heap.Push(repairItem{v: a.To, d: nd})
+			}
+		}
+	}
+}

@@ -1,0 +1,246 @@
+package label
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// countNaiveRepairs is what the old per-arc path would have run: one
+// resume per label entry of every arc endpoint, with no cross-arc
+// dedup. Counted against the same pre-batch index the batch path
+// collects its seeds from.
+func countNaiveRepairs(ix *Index, arcs []NewArc) int {
+	n := 0
+	for _, a := range arcs {
+		n += len(ix.In(a.From)) + len(ix.Out(a.To))
+	}
+	return n
+}
+
+// TestInsertEdgeBatchDedupesRepairs pins the satellite fix: a batch
+// whose arcs share endpoints (so their seed hub sets overlap heavily)
+// must run one repair per distinct (hub, direction), not one per seed.
+func TestInsertEdgeBatchDedupesRepairs(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	g := randomGraph(rng, 30, 90)
+	ix := Build(g)
+	dyn := graph.NewDynamic(g)
+
+	// Three arcs out of vertex 0 and two into vertex 1: every arc out
+	// of 0 re-seeds all hubs of Lin(0), every arc into 1 re-seeds all
+	// hubs of Lout(1).
+	arcs := []NewArc{
+		{From: 0, To: 5, W: 2}, {From: 0, To: 9, W: 3}, {From: 0, To: 13, W: 1},
+		{From: 4, To: 1, W: 2}, {From: 8, To: 1, W: 4},
+	}
+	naive := countNaiveRepairs(ix, arcs)
+
+	// Distinct (hub, direction) pairs across all seeds — the most work
+	// a deduplicating batch may do.
+	type key struct {
+		hub graph.Vertex
+		rev bool
+	}
+	want := map[key]bool{}
+	for _, a := range arcs {
+		for _, e := range ix.In(a.From) {
+			want[key{e.Hub, false}] = true
+		}
+		for _, e := range ix.Out(a.To) {
+			want[key{e.Hub, true}] = true
+		}
+	}
+
+	for _, a := range arcs {
+		if err := dyn.AddEdge(a.From, a.To, a.W); err != nil {
+			t.Fatal(err)
+		}
+	}
+	us := NewUpdateScratch(ix.n)
+	res := ix.InsertEdgeBatch(dyn, arcs, us, RepairOptions{})
+
+	if res.Seeds != naive {
+		t.Fatalf("Seeds=%d, want the naive per-arc count %d", res.Seeds, naive)
+	}
+	// The covered-seed filter may drop some of the distinct groups
+	// entirely (their repairs would have settled nothing), but a batch
+	// may never run more than one repair per distinct (hub, direction).
+	if res.Repairs > len(want) {
+		t.Fatalf("Repairs=%d, want at most %d distinct (hub, direction) groups", res.Repairs, len(want))
+	}
+	if res.Repairs+res.SeedsSkipped < len(want) {
+		t.Fatalf("Repairs=%d SeedsSkipped=%d cannot account for %d distinct groups",
+			res.Repairs, res.SeedsSkipped, len(want))
+	}
+	if res.Repairs == 0 {
+		t.Fatal("every repair was filtered; the batch should improve some distances")
+	}
+	if res.Repairs >= naive {
+		t.Fatalf("no dedup: %d repairs for %d seeds on an overlapping batch", res.Repairs, naive)
+	}
+	checkDynamicAllPairs(t, dyn, ix)
+}
+
+// TestInsertEdgeBatchScratchReuse verifies the batch-scoped scratch
+// lifecycle: one scratch carries many batches, each batch's result
+// staying exact and its Updates buffer rewinding rather than growing.
+func TestInsertEdgeBatchScratchReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	g := randomGraph(rng, 25, 60)
+	ix := Build(g)
+	dyn := graph.NewDynamic(g)
+	us := NewUpdateScratch(ix.n)
+	for batch := 0; batch < 6; batch++ {
+		var arcs []NewArc
+		for i := 0; i < 3; i++ {
+			a := NewArc{
+				From: graph.Vertex(rng.Intn(25)),
+				To:   graph.Vertex(rng.Intn(25)),
+				W:    float64(1 + rng.Intn(9)),
+			}
+			if err := dyn.AddEdge(a.From, a.To, a.W); err != nil {
+				t.Fatal(err)
+			}
+			arcs = append(arcs, a)
+		}
+		ix.InsertEdgeBatch(dyn, arcs, us, RepairOptions{})
+	}
+	checkDynamicAllPairs(t, dyn, ix)
+	if us.FootprintBytes() == 0 {
+		t.Fatal("scratch reports zero footprint after use")
+	}
+}
+
+// TestParallelRepairDeterminism asserts the tentpole invariant of the
+// parallel repair stage, mirroring TestParallelBuildDeterminism: for
+// every worker count, applying the same arc batches leaves an index
+// byte-identical to the serial (Workers=1) schedule — same serialized
+// form, same staged LinUpdates in the same order.
+func TestParallelRepairDeterminism(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"figure1": graph.Figure1(),
+		"grid": gen.GridBuilder(gen.GridOptions{
+			Rows: 16, Cols: 16, Directed: true, Diagonals: true, MaxWeight: 9, Seed: 7,
+		}).MustBuild(),
+		"smallworld": gen.SmallWorldBuilder(gen.SmallWorldOptions{
+			N: 200, OutDegree: 5, Seed: 3,
+		}).MustBuild(),
+	}
+	for gname, g := range graphs {
+		t.Run(gname, func(t *testing.T) {
+			base := Build(g)
+			rng := rand.New(rand.NewSource(17))
+			n := g.NumVertices()
+			// Three successive batches so later batches repair state the
+			// earlier ones produced.
+			var batches [][]NewArc
+			for b := 0; b < 3; b++ {
+				var arcs []NewArc
+				for i := 0; i < 4; i++ {
+					arcs = append(arcs, NewArc{
+						From: graph.Vertex(rng.Intn(n)),
+						To:   graph.Vertex(rng.Intn(n)),
+						W:    float64(1 + rng.Intn(9)),
+					})
+				}
+				batches = append(batches, arcs)
+			}
+			apply := func(workers int) (*Index, [][]LinUpdate) {
+				ix := base.Clone()
+				dyn := graph.NewDynamic(g)
+				us := NewUpdateScratch(ix.n)
+				var staged [][]LinUpdate
+				for _, arcs := range batches {
+					for _, a := range arcs {
+						if err := dyn.AddEdge(a.From, a.To, a.W); err != nil {
+							t.Fatal(err)
+						}
+					}
+					res := ix.InsertEdgeBatch(dyn, arcs, us, RepairOptions{Workers: workers})
+					staged = append(staged, append([]LinUpdate(nil), res.Updates...))
+				}
+				return ix, staged
+			}
+			seq, seqUpd := apply(1)
+			var sb bytes.Buffer
+			if _, err := seq.WriteTo(&sb); err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{2, 4, 8} {
+				par, parUpd := apply(workers)
+				if !reflect.DeepEqual(seqUpd, parUpd) {
+					t.Fatalf("workers=%d: staged LinUpdates differ from serial", workers)
+				}
+				var pb bytes.Buffer
+				if _, err := par.WriteTo(&pb); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(sb.Bytes(), pb.Bytes()) {
+					t.Fatalf("workers=%d: serialized indexes differ from serial repair", workers)
+				}
+			}
+			// And the serial result itself is exact.
+			dyn := graph.NewDynamic(g)
+			for _, arcs := range batches {
+				for _, a := range arcs {
+					dyn.AddEdge(a.From, a.To, a.W)
+				}
+			}
+			checkDynamicAllPairs(t, dyn, seq)
+		})
+	}
+}
+
+// TestParallelRepairConflictRerun drives the commit-time conflict path:
+// with hubs whose repair cascades overlap, at least some speculated
+// groups must be invalidated and re-run — and the result must still be
+// byte-identical to serial. A long chain plus a batch of shortcuts into
+// it makes every hub's repair walk the same corridor.
+func TestParallelRepairConflictRerun(t *testing.T) {
+	const n = 40
+	b := graph.NewBuilder(n, true)
+	for i := 0; i < n-1; i++ {
+		b.AddEdge(graph.Vertex(i), graph.Vertex(i+1), 10)
+	}
+	g := b.MustBuild()
+	base := Build(g)
+
+	var arcs []NewArc
+	for i := 0; i < 8; i++ {
+		arcs = append(arcs, NewArc{From: graph.Vertex(i), To: graph.Vertex(n - 1 - i), W: 1})
+	}
+	run := func(workers int) (*Index, RepairResult) {
+		ix := base.Clone()
+		dyn := graph.NewDynamic(g)
+		for _, a := range arcs {
+			if err := dyn.AddEdge(a.From, a.To, a.W); err != nil {
+				t.Fatal(err)
+			}
+		}
+		us := NewUpdateScratch(ix.n)
+		return ix, ix.InsertEdgeBatch(dyn, arcs, us, RepairOptions{Workers: workers})
+	}
+	seq, seqRes := run(1)
+	if seqRes.Reruns != 0 {
+		t.Fatalf("serial path reports %d reruns", seqRes.Reruns)
+	}
+	par, parRes := run(4)
+	if parRes.Reruns == 0 {
+		t.Fatal("expected cross-hub conflicts to force reruns on this batch")
+	}
+	var sb, pb bytes.Buffer
+	if _, err := seq.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := par.WriteTo(&pb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sb.Bytes(), pb.Bytes()) {
+		t.Fatal("parallel repair with reruns diverged from serial")
+	}
+}

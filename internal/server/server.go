@@ -432,6 +432,16 @@ type UpdateHealth struct {
 	// included).
 	PagesCopied uint64 `json:"pages_copied"`
 	ApplyBytes  uint64 `json:"apply_bytes"`
+	// HubRepairs / RepairSeeds / SeedsSkipped: deduplicated (hub,
+	// direction) label repairs run by edge insertions, the raw seed
+	// count before batch dedup and filtering, and the seeds dropped
+	// because the pre-batch labels already covered them. RepairReruns:
+	// parallel speculative repairs invalidated by cross-hub conflicts
+	// and re-run serially at commit (0 with serial repair).
+	HubRepairs   uint64 `json:"hub_repairs"`
+	RepairSeeds  uint64 `json:"repair_seeds"`
+	SeedsSkipped uint64 `json:"seeds_skipped"`
+	RepairReruns uint64 `json:"repair_reruns"`
 	// ScratchCarryover: pooled query scratches inherited by new epochs'
 	// providers, keeping post-update queries warm.
 	ScratchCarryover uint64 `json:"scratch_carryover"`
@@ -480,6 +490,10 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		Applied:          ast.Updates,
 		PagesCopied:      ast.PagesCopied,
 		ApplyBytes:       ast.ApplyBytes,
+		HubRepairs:       ast.HubRepairs,
+		RepairSeeds:      ast.RepairSeeds,
+		SeedsSkipped:     ast.SeedsSkipped,
+		RepairReruns:     ast.RepairReruns,
 		ScratchCarryover: ast.ScratchCarryover,
 		ScratchForwarded: ast.ScratchForwarded,
 		ScratchInFlight:  s.sys.ScratchesInFlight(),

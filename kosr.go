@@ -44,6 +44,7 @@ import (
 	"fmt"
 	"io"
 	"iter"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -545,13 +546,29 @@ type System struct {
 	// leave it nil.
 	st store.IndexStore
 
+	// Updater-owned state, guarded by updateMu: the dense label-repair
+	// scratch and the inverted-index refresh scratch are checked out
+	// once per Apply batch and reused across epochs, so a steady-state
+	// update allocates only the fresh COW lists it writes. arcBuf
+	// batches consecutive edge insertions of one Apply into a single
+	// InsertEdgeBatch call. repairWorkers caps the parallel repair
+	// stage (0 = GOMAXPROCS at Apply time; see SetRepairWorkers).
+	upScratch      *label.UpdateScratch
+	refreshScratch invindex.RefreshScratch
+	arcBuf         []label.NewArc
+	repairWorkers  int
+
 	// Cumulative Apply cost counters (see ApplyStats). Written only by
 	// the serialized updater; read concurrently by /health.
-	applyBatches     atomic.Uint64
-	applyUpdates     atomic.Uint64
-	applyPagesCopied atomic.Uint64
-	applyBytes       atomic.Uint64
-	scratchCarryover atomic.Uint64
+	applyBatches      atomic.Uint64
+	applyUpdates      atomic.Uint64
+	applyPagesCopied  atomic.Uint64
+	applyBytes        atomic.Uint64
+	applyHubRepairs   atomic.Uint64
+	applyRepairSeeds  atomic.Uint64
+	applySeedsSkipped atomic.Uint64
+	applyRepairReruns atomic.Uint64
+	scratchCarryover  atomic.Uint64
 	// scratchForwarded / scratchOutstanding are shared by every epoch's
 	// providers (see core provider Forwarded/Outstanding): releases that
 	// chase a publication, and scratches currently checked out.
@@ -596,6 +613,17 @@ type ApplyStats struct {
 	// all applied batches.
 	PagesCopied uint64
 	ApplyBytes  uint64
+	// HubRepairs counts the deduplicated (hub, direction) label-repair
+	// searches run by edge insertions; RepairSeeds counts the raw seed
+	// entries before batch dedup and filtering, and SeedsSkipped the
+	// seeds dropped because the pre-batch labels already covered them
+	// (their repairs would have settled nothing). RepairReruns counts
+	// parallel speculative repairs invalidated by cross-hub conflicts
+	// and re-run serially at commit — always 0 with serial repair.
+	HubRepairs   uint64
+	RepairSeeds  uint64
+	SeedsSkipped uint64
+	RepairReruns uint64
 	// ScratchCarryover counts scratches moved across epochs.
 	ScratchCarryover uint64
 	// ScratchForwarded counts scratch releases that arrived at a
@@ -613,6 +641,10 @@ func (s *System) ApplyStats() ApplyStats {
 		Updates:          s.applyUpdates.Load(),
 		PagesCopied:      s.applyPagesCopied.Load(),
 		ApplyBytes:       s.applyBytes.Load(),
+		HubRepairs:       s.applyHubRepairs.Load(),
+		RepairSeeds:      s.applyRepairSeeds.Load(),
+		SeedsSkipped:     s.applySeedsSkipped.Load(),
+		RepairReruns:     s.applyRepairReruns.Load(),
 		ScratchCarryover: s.scratchCarryover.Load(),
 		ScratchForwarded: s.scratchForwarded.Load(),
 	}
@@ -713,11 +745,20 @@ const (
 // server worker after a cold boot pays a burst of O(|V|) allocations;
 // prewarming moves that work to startup. Servers call it with their
 // worker count before accepting traffic.
+//
+// The updater's label-repair scratch is warmed too (when the system
+// has a label index): its dense per-worker search tables otherwise
+// grow on the first Apply, delaying the first published epoch.
 func (s *System) Prewarm(n int) {
 	if n <= 0 {
 		return
 	}
 	sn := s.Snapshot()
+	if sn.Labels != nil {
+		s.updateMu.Lock()
+		s.updaterScratch().Prewarm(s.applyWorkersLocked())
+		s.updateMu.Unlock()
+	}
 	if sn.labelProv != nil {
 		sn.labelProv.Prewarm(n, prewarmDomLevels, prewarmCatRows)
 		return
@@ -1112,16 +1153,51 @@ func (s *System) Apply(updates ...Update) (epoch uint64, err error) {
 		return cur.Epoch, err
 	}
 	next := cur.cowClone()
+	// Edge insertions are folded into batched label repairs: each run of
+	// consecutive OpInsertEdge ops lands in the overlay first, then one
+	// InsertEdgeBatch repairs every affected (hub, direction) exactly
+	// once on the reused dense scratch and the staged Lin changes
+	// refresh the inverted index in one coalesced pass. Category ops
+	// flush the pending run first, so interleaved batches keep exact
+	// sequential semantics.
+	us := s.updaterScratch()
+	opts := label.RepairOptions{Workers: s.applyWorkersLocked()}
+	arcs := s.arcBuf[:0]
+	var hubRepairs, repairSeeds, seedsSkipped, repairReruns uint64
+	flush := func() {
+		if len(arcs) == 0 {
+			return
+		}
+		res := next.Labels.InsertEdgeBatch(next.dyn, arcs, us, opts)
+		next.Inverted.RefreshBatch(&s.refreshScratch, next.CategoriesOf, res.Updates)
+		hubRepairs += uint64(res.Repairs)
+		repairSeeds += uint64(res.Seeds)
+		seedsSkipped += uint64(res.SeedsSkipped)
+		repairReruns += uint64(res.Reruns)
+		arcs = arcs[:0]
+	}
 	for _, u := range updates {
 		switch u.Op {
 		case OpInsertEdge:
-			next.insertEdge(u.From, u.To, u.Weight)
+			if err := next.dyn.AddEdge(u.From, u.To, u.Weight); err != nil {
+				continue // unreachable: validated above
+			}
+			arcs = append(arcs, label.NewArc{From: u.From, To: u.To, W: u.Weight})
+			if !next.Graph.Directed() && u.From != u.To {
+				// The overlay already added the mirror arc; repair its
+				// label direction too.
+				arcs = append(arcs, label.NewArc{From: u.To, To: u.From, W: u.Weight})
+			}
 		case OpAddCategory:
+			flush()
 			next.addCategory(u.Vertex, u.Category)
 		case OpRemoveCategory:
+			flush()
 			next.removeCategory(u.Vertex, u.Category)
 		}
 	}
+	flush()
+	s.arcBuf = arcs[:0]
 	// Inherit the scratch pools only now, just before publication:
 	// doing it at clone time would leave the still-published snapshot's
 	// queries acquiring from emptied pools for the whole (possibly
@@ -1133,6 +1209,10 @@ func (s *System) Apply(updates ...Update) (epoch uint64, err error) {
 	s.applyUpdates.Add(uint64(len(updates)))
 	s.applyPagesCopied.Add(pages)
 	s.applyBytes.Add(bytes)
+	s.applyHubRepairs.Add(hubRepairs)
+	s.applyRepairSeeds.Add(repairSeeds)
+	s.applySeedsSkipped.Add(seedsSkipped)
+	s.applyRepairReruns.Add(repairReruns)
 	s.scratchCarryover.Add(uint64(carried))
 	s.snap.Store(next)
 	return next.Epoch, nil
@@ -1187,17 +1267,37 @@ func cloneCatOverlay(m map[Vertex][]Category) map[Vertex][]Category {
 	return c
 }
 
-// insertEdge applies OpInsertEdge to an unpublished clone. Arguments
-// are pre-validated.
-func (sn *Snapshot) insertEdge(u, v Vertex, w Weight) {
-	if err := sn.dyn.AddEdge(u, v, w); err != nil {
-		return // unreachable: Apply validated range and weight
+// updaterScratch returns the system's long-lived label-repair scratch,
+// allocating it on first use. Callers must hold updateMu.
+func (s *System) updaterScratch() *label.UpdateScratch {
+	if s.upScratch == nil {
+		s.upScratch = label.NewUpdateScratch(s.Graph.NumVertices())
 	}
-	updates := sn.Labels.InsertEdge(sn.dyn, u, v, w)
-	if !sn.Graph.Directed() && u != v {
-		updates = append(updates, sn.Labels.InsertEdge(sn.dyn, v, u, w)...)
+	return s.upScratch
+}
+
+// applyWorkersLocked resolves the repair worker count for one batch.
+// Callers must hold updateMu.
+func (s *System) applyWorkersLocked() int {
+	if s.repairWorkers > 0 {
+		return s.repairWorkers
 	}
-	sn.Inverted.Refresh(sn.CategoriesOf, updates)
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetRepairWorkers caps the parallel label-repair stage of Apply.
+// n <= 0 restores the default, GOMAXPROCS at Apply time; n == 1 forces
+// the serial reference schedule. The published index is byte-identical
+// for every setting — parallel repair commits in rank order and re-runs
+// conflicting speculations — so this only trades update latency against
+// CPU.
+func (s *System) SetRepairWorkers(n int) {
+	s.updateMu.Lock()
+	defer s.updateMu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	s.repairWorkers = n
 }
 
 // addCategory applies OpAddCategory to an unpublished clone.
