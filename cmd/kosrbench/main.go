@@ -23,6 +23,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -213,13 +214,34 @@ type OverloadScanResult struct {
 }
 
 // PQPopCost is the queue microbench cell: steady-state pop cost of the
-// engine's global route queue at KPNE-like sizes, binary vs the 4-ary
-// layout the engine now uses (ROADMAP "KPNE queue growth").
+// engine's global route queue at KPNE-like sizes — binary heap vs the
+// 4-ary layout (PR 4) vs the monotone bucket queue the engine now uses
+// for the exhaustive methods (PR 10, ROADMAP "KPNE queue growth").
 type PQPopCost struct {
 	QueueSize          int     `json:"queue_size"`
 	BinaryNsPerPop     float64 `json:"binary_ns_per_pop"`
 	QuaternaryNsPerPop float64 `json:"quaternary_ns_per_pop"`
 	Speedup4aryVs2ary  float64 `json:"speedup_4ary_vs_binary"`
+	BucketNsPerPop     float64 `json:"bucket_ns_per_pop,omitempty"`
+	SpeedupBucketVs4   float64 `json:"speedup_bucket_vs_4ary,omitempty"`
+}
+
+// KPNERateResult is the PR10 acceptance cell: KPNE examined-route
+// throughput on the same dataset and queries under the two global-queue
+// implementations, measured through core.Solve with the queue forced
+// each way and a fixed deterministic MaxExamined budget. The heap side
+// is the PR9 kernel unchanged, so the speedup is directly the bucket
+// queue's contribution. (The workload harness marks budget-tripped runs
+// INF and discards their stats, which is why this cell measures the rate
+// itself rather than reusing the methods table.)
+type KPNERateResult struct {
+	MaxExamined          int64   `json:"max_examined"`
+	HeapExaminedPerSec   float64 `json:"heap_examined_per_sec"`
+	BucketExaminedPerSec float64 `json:"bucket_examined_per_sec"`
+	SpeedupBucketVsHeap  float64 `json:"speedup_bucket_vs_heap"`
+	HeapAllocsPerQuery   float64 `json:"heap_allocs_per_query"`
+	BucketAllocsPerQuery float64 `json:"bucket_allocs_per_query"`
+	ResultsIdentical     bool    `json:"results_identical"`
 }
 
 // DatasetResult reports preprocessing and query numbers for one graph.
@@ -236,6 +258,8 @@ type DatasetResult struct {
 	InvBuildMS   float64 `json:"invindex_build_ms"`
 
 	Methods []MethodResult `json:"methods"`
+	// KPNERate is the PR10 queue-comparison cell; see KPNERateResult.
+	KPNERate *KPNERateResult `json:"kpne_rate,omitempty"`
 	// Concurrency is the StarKOSR throughput scan at 1/2/4/8 workers.
 	Concurrency []ConcurrencyResult `json:"concurrency,omitempty"`
 	// Server is the /v1/query batch + cache scan.
@@ -349,12 +373,23 @@ func main() {
 			"pre-batch labels already covered (dropped without a search), " +
 			"and repair_reruns the parallel speculations redone after " +
 			"cross-hub conflicts (0 on a single-core runner, where repair " +
-			"runs serially).",
+			"runs serially). pq_pop_cost (PR 10) additionally measures the " +
+			"monotone bucket/radix queue the engine now selects for the " +
+			"exhaustive methods: bucket_ns_per_pop is the same pop/push " +
+			"workload on the bucket queue (O(1) amortized vs O(log n) " +
+			"sift-down). kpne_rate is the PR 10 acceptance cell: KPNE " +
+			"examined-routes/sec through core.Solve on the dataset's query " +
+			"mix with the queue forced to heap (the PR 9 kernel, unchanged) " +
+			"vs bucket, under a fixed deterministic MaxExamined budget so " +
+			"the comparison is identical work on both sides; " +
+			"results_identical cross-checks the byte-identical-results " +
+			"equivalence property on the full benchmark graphs.",
 	}
 
 	rep.PQ = benchPQPopCost()
-	fmt.Printf("pq   pop@%d: binary=%.1fns 4ary=%.1fns (%.2fx)\n",
-		rep.PQ.QueueSize, rep.PQ.BinaryNsPerPop, rep.PQ.QuaternaryNsPerPop, rep.PQ.Speedup4aryVs2ary)
+	fmt.Printf("pq   pop@%d: binary=%.1fns 4ary=%.1fns (%.2fx) bucket=%.1fns (%.2fx vs 4ary)\n",
+		rep.PQ.QueueSize, rep.PQ.BinaryNsPerPop, rep.PQ.QuaternaryNsPerPop, rep.PQ.Speedup4aryVs2ary,
+		rep.PQ.BucketNsPerPop, rep.PQ.SpeedupBucketVs4)
 
 	for _, a := range sel {
 		ds, err := benchDataset(a, cfg)
@@ -422,6 +457,7 @@ func benchDataset(a gen.Analogue, cfg workload.Config) (DatasetResult, error) {
 		}
 		ds.Methods = append(ds.Methods, mr)
 	}
+	ds.KPNERate = benchKPNERate(data, qs, cfg)
 	ds.Concurrency = benchConcurrency(data, qs, cfg)
 	ds.Server = benchServer(data, qs, cfg)
 	ds.Overload = benchOverload(data, qs, cfg)
@@ -445,6 +481,11 @@ func benchDataset(a gen.Analogue, cfg workload.Config) (DatasetResult, error) {
 	if ds.ColdStart != nil {
 		fmt.Printf(" cold=%.0fms/flat=%.1fms (%.0fx)",
 			ds.ColdStart.LegacyFirstQueryMS, ds.ColdStart.FlatFirstQueryMS, ds.ColdStart.Speedup)
+	}
+	if ds.KPNERate != nil {
+		fmt.Printf(" kpne=%.0f/s->%.0f/s (%.2fx, identical=%v)",
+			ds.KPNERate.HeapExaminedPerSec, ds.KPNERate.BucketExaminedPerSec,
+			ds.KPNERate.SpeedupBucketVsHeap, ds.KPNERate.ResultsIdentical)
 	}
 	fmt.Println()
 	return ds, nil
@@ -480,13 +521,122 @@ func benchPQPopCost() *PQPopCost {
 		}
 		return float64(time.Since(start).Nanoseconds()) / iters
 	}
+	// The bucket queue runs the same workload: pops remove the minimum,
+	// so the random refills are (almost) always at-or-above the frontier,
+	// matching the engine's monotone methods.
+	measureBucket := func() float64 {
+		q := pq.NewBucketQueue[routeLike](less, func(it routeLike) float64 { return it.key })
+		rng := rand.New(rand.NewSource(11))
+		for i := 0; i < size; i++ {
+			q.Push(routeLike{key: rng.Float64() * 1000, seq: int64(i)})
+		}
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			q.Pop()
+			q.Push(routeLike{key: rng.Float64() * 1000, seq: int64(size + i)})
+		}
+		return float64(time.Since(start).Nanoseconds()) / iters
+	}
 	res := &PQPopCost{QueueSize: size}
 	res.BinaryNsPerPop = measure(2)
 	res.QuaternaryNsPerPop = measure(4)
 	if res.QuaternaryNsPerPop > 0 {
 		res.Speedup4aryVs2ary = res.BinaryNsPerPop / res.QuaternaryNsPerPop
 	}
+	res.BucketNsPerPop = measureBucket()
+	if res.BucketNsPerPop > 0 {
+		res.SpeedupBucketVs4 = res.QuaternaryNsPerPop / res.BucketNsPerPop
+	}
 	return res
+}
+
+// benchKPNERate measures KPNE examined-route throughput with the global
+// queue forced to each implementation, on the dataset's query mix under
+// a fixed deterministic examined budget. Both runs share the provider
+// (and therefore the scratch pool), so the only variable is the queue.
+// It also cross-checks that the two runs return identical routes and
+// examined counts — the equivalence property, asserted here on the full
+// benchmark graphs.
+func benchKPNERate(d *workload.Dataset, qs []core.Query, cfg workload.Config) *KPNERateResult {
+	if len(qs) == 0 {
+		return nil
+	}
+	budget := cfg.MaxExamined
+	const rateBudget = 300_000
+	if budget <= 0 || budget > rateBudget {
+		budget = rateBudget
+	}
+	prov := &core.LabelProvider{Graph: d.G, Labels: d.Lab, Inv: d.Inv}
+	res := &KPNERateResult{MaxExamined: budget, ResultsIdentical: true}
+	type runOut struct {
+		examined int64
+		elapsed  time.Duration
+		allocs   float64
+		routes   [][]core.Route
+	}
+	run := func(kind core.QueueKind) runOut {
+		var out runOut
+		var ms0, ms1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&ms0)
+		for _, q := range qs {
+			opts := core.Options{Method: core.MethodKPNE, MaxExamined: budget, Queue: kind}
+			t0 := time.Now()
+			routes, st, err := core.Solve(context.Background(), d.G, q, prov, opts)
+			out.elapsed += time.Since(t0)
+			if err != nil && !errorsIsBudget(err) {
+				return runOut{}
+			}
+			out.examined += st.Examined
+			out.routes = append(out.routes, routes)
+		}
+		runtime.ReadMemStats(&ms1)
+		out.allocs = float64(ms1.Mallocs-ms0.Mallocs) / float64(len(qs))
+		return out
+	}
+	run(core.QueueHeap) // warm the scratch pool so neither side pays cold growth
+	heap := run(core.QueueHeap)
+	bucket := run(core.QueueBucket)
+	if heap.elapsed > 0 {
+		res.HeapExaminedPerSec = float64(heap.examined) / heap.elapsed.Seconds()
+	}
+	if bucket.elapsed > 0 {
+		res.BucketExaminedPerSec = float64(bucket.examined) / bucket.elapsed.Seconds()
+	}
+	if res.HeapExaminedPerSec > 0 {
+		res.SpeedupBucketVsHeap = res.BucketExaminedPerSec / res.HeapExaminedPerSec
+	}
+	res.HeapAllocsPerQuery = heap.allocs
+	res.BucketAllocsPerQuery = bucket.allocs
+	if heap.examined != bucket.examined || len(heap.routes) != len(bucket.routes) {
+		res.ResultsIdentical = false
+	} else {
+	outer:
+		for i := range heap.routes {
+			hr, br := heap.routes[i], bucket.routes[i]
+			if len(hr) != len(br) {
+				res.ResultsIdentical = false
+				break
+			}
+			for j := range hr {
+				if hr[j].Cost != br[j].Cost || len(hr[j].Witness) != len(br[j].Witness) {
+					res.ResultsIdentical = false
+					break outer
+				}
+				for k := range hr[j].Witness {
+					if hr[j].Witness[k] != br[j].Witness[k] {
+						res.ResultsIdentical = false
+						break outer
+					}
+				}
+			}
+		}
+	}
+	return res
+}
+
+func errorsIsBudget(err error) bool {
+	return errors.Is(err, core.ErrBudgetExceeded)
 }
 
 // benchUpdates measures the live-update workload the snapshot design
@@ -1439,6 +1589,25 @@ func runPlot(args []string) int {
 					return "–"
 				}
 				return fmt.Sprintf("%.0fx", d.ColdStart.Speedup)
+			}},
+			// PR10: KPNE examined-rate under the two queue implementations.
+			{"kpne_heap_examined_per_sec", func(d DatasetResult) string {
+				if d.KPNERate == nil {
+					return "–"
+				}
+				return fmt.Sprintf("%.0f", d.KPNERate.HeapExaminedPerSec)
+			}},
+			{"kpne_bucket_examined_per_sec", func(d DatasetResult) string {
+				if d.KPNERate == nil {
+					return "–"
+				}
+				return fmt.Sprintf("%.0f", d.KPNERate.BucketExaminedPerSec)
+			}},
+			{"kpne_queue_speedup", func(d DatasetResult) string {
+				if d.KPNERate == nil {
+					return "–"
+				}
+				return fmt.Sprintf("%.2fx", d.KPNERate.SpeedupBucketVsHeap)
 			}},
 		} {
 			line := fmt.Sprintf("| %s | – | %s |", name, row.label)

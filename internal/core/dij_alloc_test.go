@@ -1,0 +1,132 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestDijIterRecyclingAllocs is the allocation regression guard for the
+// Dijkstra-backed NN finder (PR10): once a pooled scratch has served one
+// query, subsequent queries touching the same number of (vertex,
+// category) slots must reuse the recycled KNN iterators — maps, heap, and
+// neighbour slice included — instead of rebuilding them. The seed paid a
+// dense per-query cat-table plus fresh iterators (two map allocations
+// each) per slot.
+func TestDijIterRecyclingAllocs(t *testing.T) {
+	g := graph.Figure1()
+	ma, _ := g.CategoryByName("MA")
+	re, _ := g.CategoryByName("RE")
+	n := g.NumVertices()
+	s := NewScratch(n)
+	query := func() {
+		s.begin()
+		for v := 0; v < n; v++ {
+			for _, cat := range []graph.Category{ma, re} {
+				it := s.dijIter(g, graph.Vertex(v), cat)
+				it.Get(1)
+				it.Get(2)
+			}
+		}
+		s.release()
+	}
+	query() // cold: builds rows and iterators
+	avg := testing.AllocsPerRun(200, query)
+	// A warm query's only allocations are occasional slice growths of the
+	// shared journals; per-slot iterator state must not be rebuilt.
+	if avg > 1.0 {
+		t.Fatalf("warm dijIter query allocates %.2f objects/op; want ≤ 1", avg)
+	}
+}
+
+// TestDijkstraSolveWarmAllocs bounds the end-to-end allocations of a
+// Dijkstra-provider query on a warm pool. The bound is deliberately
+// loose — Solve allocates stats, results, and engine shells — but it is
+// far below what one per-query dense cat-table alone would cost, so a
+// regression to per-query iterator state trips it.
+func TestDijkstraSolveWarmAllocs(t *testing.T) {
+	g := graph.Figure1()
+	prov := &DijkstraProvider{Graph: g}
+	s, _ := g.VertexByName("s")
+	tv, _ := g.VertexByName("t")
+	ma, _ := g.CategoryByName("MA")
+	re, _ := g.CategoryByName("RE")
+	q := Query{Source: s, Target: tv, Categories: []graph.Category{ma, re}, K: 2}
+	run := func() {
+		if _, _, err := Solve(context.Background(), g, q, prov, Options{Method: MethodKPNE}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm the provider's scratch pool
+	avg := testing.AllocsPerRun(100, run)
+	if avg > 60 {
+		t.Fatalf("warm Dijkstra-provider Solve allocates %.1f objects/op; want ≤ 60", avg)
+	}
+}
+
+// TestPrewarmCatRows pins the batch-aware prewarming contract
+// (Options.PrewarmCatRows): the engine pre-allocates that many NN
+// iterator rows — label or Dijkstra, per provider — before the search,
+// plus estimated-NN rows for the A*-guided methods.
+func TestPrewarmCatRows(t *testing.T) {
+	g := graph.Figure1()
+	s, _ := g.VertexByName("s")
+	tv, _ := g.VertexByName("t")
+	ma, _ := g.CategoryByName("MA")
+	q := Query{Source: s, Target: tv, Categories: []graph.Category{ma}, K: 1}
+	const rows = 3
+
+	countAllocated := func(tbl [][]iterSlot) int {
+		n := 0
+		for _, r := range tbl {
+			if r != nil {
+				n++
+			}
+		}
+		return n
+	}
+
+	e, _, err := newStandardEngine(context.Background(), g, q, NewLabelProvider(g, nil),
+		Options{Method: MethodKPNE, PrewarmCatRows: rows})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := countAllocated(e.scratch.nnRows); got < rows {
+		t.Errorf("label provider: %d NN rows allocated before search, want ≥ %d", got, rows)
+	}
+	e.releaseScratch()
+
+	dijProv := &DijkstraProvider{Graph: g}
+	e, _, err = newStandardEngine(context.Background(), g, q, dijProv,
+		Options{Method: MethodKPNE, PrewarmCatRows: rows})
+	if err != nil {
+		t.Fatal(err)
+	}
+	djAllocated := 0
+	for _, r := range e.scratch.djRows {
+		if r != nil {
+			djAllocated++
+		}
+	}
+	if djAllocated < rows {
+		t.Errorf("dijkstra provider: %d kNN rows allocated before search, want ≥ %d", djAllocated, rows)
+	}
+	e.releaseScratch()
+
+	e, _, err = newStandardEngine(context.Background(), g, q, NewLabelProvider(g, nil),
+		Options{Method: MethodSK, PrewarmCatRows: rows})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enAllocated := 0
+	for _, r := range e.scratch.enRows {
+		if r != nil {
+			enAllocated++
+		}
+	}
+	if enAllocated < rows {
+		t.Errorf("StarKOSR: %d estimated-NN rows allocated before search, want ≥ %d", enAllocated, rows)
+	}
+	e.releaseScratch()
+}

@@ -8,7 +8,6 @@ import (
 	"time"
 
 	"repro/internal/graph"
-	"repro/internal/pq"
 )
 
 // routeNode is one vertex of a partially explored witness. Nodes form a
@@ -74,6 +73,25 @@ func lessQItem(a, b qItem) bool {
 	return a.seq < b.seq
 }
 
+// routeQueue is the engine's view of the global route queue. Both
+// implementations — pq.Heap (4-ary, decrease-free comparison heap) and
+// pq.BucketQueue (monotone bucket/radix queue) — satisfy it and pop in
+// the exact same (key, seq) order, so the engine's results are
+// independent of the selection (see Options.Queue).
+type routeQueue interface {
+	Push(qItem)
+	Pop() qItem
+	Min() qItem
+	Len() int
+	Items() []qItem
+	Clear()
+}
+
+// qItemKey extracts the bucket-queue radix key. Route keys are sums of
+// non-negative shortest-path distances, so they are always >= 0 and
+// NaN-free — the preconditions for O(1) bucket placement.
+func qItemKey(it qItem) float64 { return it.key }
+
 // ctxCheckInterval is how many pop-loop iterations may pass between two
 // polls of the request context. Cancellation is therefore observed
 // within one check interval of engine work — small enough to abort an
@@ -89,7 +107,7 @@ type engine struct {
 	finder NNFinder // plain NN (KPNE/PK) or FindNEN (SK)
 	distTo func(graph.Vertex) graph.Weight
 
-	heap    *pq.Heap[qItem]
+	heap    routeQueue
 	seq     int64
 	nVerts  int
 	results []Route
@@ -122,15 +140,39 @@ type engine struct {
 	pqTime *time.Duration
 }
 
-// initSearchState points the engine at its scratch's queue and, when
-// dominance pruning is on, sizes the dense HT≺/HT≻ tables. It must run
-// after q, useDominance, and scratch are final.
+// initSearchState points the engine at its scratch's queue (selected per
+// method, see Options.Queue) and, when dominance pruning is on, sizes the
+// dense HT≺/HT≻ tables. It must run after q, opt, useDominance, and
+// scratch are final.
 func (e *engine) initSearchState() {
 	e.nVerts = e.g.NumVertices()
-	e.heap = e.scratch.heap
+	e.heap = e.scratch.queueFor(e.opt.Queue, e.useDominance)
 	if e.useDominance {
 		e.scratch.ensureLevels(len(e.q.Categories) + 2)
 	}
+	if n := e.opt.PrewarmCatRows; n > 0 {
+		e.prewarmRows(n)
+	}
+}
+
+// prewarmRows pre-claims n NN iterator rows (and estimated-NN rows when
+// the method uses the A* estimate) so a batch of queries sharing
+// categories allocates each row once per pooled scratch, not once per
+// query. Rows are positional — the rowIndex maps a query's distinct
+// categories to ordinals — so warming means ensuring n rows exist.
+func (e *engine) prewarmRows(n int) {
+	if rp, ok := e.finder.(rowPrewarmer); ok {
+		rp.prewarmRows(n)
+	}
+	if e.useEstimate {
+		e.scratch.prewarmENRows(n)
+	}
+}
+
+// rowPrewarmer is implemented by NN finders whose per-category state
+// lives in positional scratch rows and can be allocated ahead of use.
+type rowPrewarmer interface {
+	prewarmRows(n int)
 }
 
 // releaseScratch returns the scratch to its owning pool (or abandons a
@@ -508,3 +550,9 @@ func (t *timedNN) Find(v graph.Vertex, cat graph.Category, x int) (Neighbor, boo
 }
 
 func (t *timedNN) Queries() int64 { return t.inner.Queries() }
+
+func (t *timedNN) prewarmRows(n int) {
+	if rp, ok := t.inner.(rowPrewarmer); ok {
+		rp.prewarmRows(n)
+	}
+}

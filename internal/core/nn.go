@@ -25,41 +25,6 @@ type scratchUser interface {
 	bindScratch(*Scratch)
 }
 
-// catTable is a dense per-(category, vertex) cache: slot [cat][v] holds
-// the iterator state of Find(v, cat, ·). Keying by category (not by
-// route level) preserves the paper's NL-sharing semantics — two levels
-// visiting the same category share one iterator — while replacing the
-// seed's map lookup with two array indexes on the query hot path.
-// Per-category rows are allocated on first touch; rows grow on demand so
-// categories added dynamically (Section IV-C) stay addressable.
-type catTable[T any] struct {
-	n    int
-	rows [][]*T
-}
-
-func newCatTable[T any](nVerts, nCats int) catTable[T] {
-	return catTable[T]{n: nVerts, rows: make([][]*T, nCats)}
-}
-
-// slot returns the address of entry (cat, v), or nil when cat is
-// negative.
-func (t *catTable[T]) slot(v graph.Vertex, cat graph.Category) **T {
-	if cat < 0 {
-		return nil
-	}
-	if int(cat) >= len(t.rows) {
-		grown := make([][]*T, int(cat)+1)
-		copy(grown, t.rows)
-		t.rows = grown
-	}
-	row := t.rows[cat]
-	if row == nil {
-		row = make([]*T, t.n)
-		t.rows[cat] = row
-	}
-	return &row[v]
-}
-
 // LabelProvider backs queries with the 2-hop label index and the inverted
 // label index: FindNN is Algorithm 3, the distance oracle is a label
 // merge join. This is the configuration of the paper's PK / SK methods.
@@ -195,7 +160,7 @@ func (p *LabelProvider) InheritScratches(prev *LabelProvider) int {
 // skip the lazy O(|V|) growth allocations (NewScratch itself is just a
 // shell — the tables grow on first touch without this).
 func (p *LabelProvider) Prewarm(n, levels, cats int) {
-	prewarmPool(&p.pool, p.Graph.NumVertices(), n, levels, cats)
+	prewarmPool(&p.pool, p.Graph.NumVertices(), n, levels, cats, false)
 }
 
 type labelNN struct {
@@ -205,6 +170,14 @@ type labelNN struct {
 }
 
 func (l *labelNN) bindScratch(s *Scratch) { l.scr = s }
+
+// prewarmRows pre-allocates the first n FindNN iterator rows; see
+// Options.PrewarmCatRows.
+func (l *labelNN) prewarmRows(n int) {
+	if l.scr != nil {
+		l.scr.prewarmNNRows(n)
+	}
+}
 
 //kosr:hotpath
 func (l *labelNN) Find(v graph.Vertex, cat graph.Category, x int) (Neighbor, bool) {
@@ -312,18 +285,15 @@ func (p *DijkstraProvider) InheritScratches(prev *DijkstraProvider) int {
 	return inheritScratches(&p.pool, &prev.pool, p.Graph.NumVertices())
 }
 
-// Prewarm stocks the pool with n pre-sized scratches; see
-// LabelProvider.Prewarm.
+// Prewarm stocks the pool with n pre-sized scratches (including the
+// Dijkstra kNN iterator rows); see LabelProvider.Prewarm.
 func (p *DijkstraProvider) Prewarm(n, levels, cats int) {
-	prewarmPool(&p.pool, p.Graph.NumVertices(), n, levels, cats)
+	prewarmPool(&p.pool, p.Graph.NumVertices(), n, levels, cats, true)
 }
 
 // NN returns a fresh Dijkstra-based NNFinder.
 func (p *DijkstraProvider) NN() NNFinder {
-	return &dijNN{
-		g:     p.Graph,
-		iters: newCatTable[dijkstra.KNN](p.Graph.NumVertices(), p.Graph.NumCategories()),
-	}
+	return &dijNN{g: p.Graph}
 }
 
 // DistTo runs one reverse SSSP from t and serves dis(·, t) lookups from
@@ -333,23 +303,38 @@ func (p *DijkstraProvider) DistTo(t graph.Vertex) func(graph.Vertex) graph.Weigh
 	return func(v graph.Vertex) graph.Weight { return dist[v] }
 }
 
+// dijNN keeps its per-(vertex, category) kNN iterators in the engine's
+// scratch (pooled rows, recycled free list — see Scratch.dijIter), so a
+// steady-state query on a warm scratch reuses earlier queries' iterator
+// buffers instead of building a dense cat-table per query.
 type dijNN struct {
 	g       *graph.Graph
-	iters   catTable[dijkstra.KNN]
+	scr     *Scratch
 	queries int64
+}
+
+func (d *dijNN) bindScratch(s *Scratch) { d.scr = s }
+
+// prewarmRows pre-allocates the first n Dijkstra kNN iterator rows; see
+// Options.PrewarmCatRows.
+func (d *dijNN) prewarmRows(n int) {
+	if d.scr != nil {
+		d.scr.prewarmDijRows(n)
+	}
 }
 
 //kosr:hotpath
 func (d *dijNN) Find(v graph.Vertex, cat graph.Category, x int) (Neighbor, bool) {
-	slot := d.iters.slot(v, cat)
-	if slot == nil {
+	if cat < 0 {
 		return Neighbor{}, false
 	}
-	it := *slot
-	if it == nil {
-		it = dijkstra.NewKNN(d.g, v, cat)
-		*slot = it
+	if d.scr == nil {
+		// Used outside an engine (tests, ad-hoc callers): fall back to a
+		// private throwaway scratch.
+		d.scr = NewScratch(d.g.NumVertices())
+		d.scr.begin()
 	}
+	it := d.scr.dijIter(d.g, v, cat)
 	if x > it.Found() {
 		d.queries++
 	}
@@ -414,6 +399,14 @@ func newENFinder(nn NNFinder, distTo func(graph.Vertex) graph.Weight, scr *Scrat
 }
 
 func (e *enFinder) Queries() int64 { return e.nn.Queries() }
+
+// prewarmRows forwards row prewarming to the wrapped plain-NN finder
+// (the enFinder's own state rows are warmed separately by the engine).
+func (e *enFinder) prewarmRows(n int) {
+	if rp, ok := e.nn.(rowPrewarmer); ok {
+		rp.prewarmRows(n)
+	}
+}
 
 //kosr:hotpath
 func (e *enFinder) Find(v graph.Vertex, cat graph.Category, x int) (Neighbor, bool) {

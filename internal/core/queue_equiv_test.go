@@ -1,0 +1,174 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/pq"
+)
+
+// Concrete queue types, for asserting the QueueAuto selection policy.
+type (
+	bucketQueueType = pq.BucketQueue[qItem]
+	heapQueueType   = pq.Heap[qItem]
+)
+
+// The CI-gated equivalence property of PR10: the monotone bucket queue
+// and the 4-ary heap must produce byte-identical results — same
+// witnesses, same costs, same order — and identical Examined/Generated
+// counts, for every method, on several graph families. The two
+// implementations share the (key, seq) total order, so any divergence is
+// a queue bug, not a modeling choice.
+
+// gridInstance builds a directed grid with uniform edge weights — the
+// worst case for tie-breaking, since almost every frontier expansion
+// produces equal keys — plus a random query.
+func gridInstance(rng *rand.Rand) (*graph.Graph, Query) {
+	rows, cols := 3+rng.Intn(3), 3+rng.Intn(4)
+	n := rows * cols
+	ncats := 2 + rng.Intn(3)
+	b := graph.NewBuilder(n, true)
+	b.EnsureCategories(ncats)
+	at := func(r, c int) graph.Vertex { return graph.Vertex(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				b.AddEdge(at(r, c), at(r, c+1), 1)
+				b.AddEdge(at(r, c+1), at(r, c), 1)
+			}
+			if r+1 < rows {
+				b.AddEdge(at(r, c), at(r+1, c), 1)
+				b.AddEdge(at(r+1, c), at(r, c), 1)
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		b.AddCategory(graph.Vertex(v), graph.Category(v%ncats))
+	}
+	g := b.MustBuild()
+	j := 1 + rng.Intn(3)
+	cats := make([]graph.Category, j)
+	for i := range cats {
+		cats[i] = graph.Category(rng.Intn(ncats))
+	}
+	return g, Query{
+		Source:     graph.Vertex(rng.Intn(n)),
+		Target:     graph.Vertex(rng.Intn(n)),
+		Categories: cats,
+		K:          1 + rng.Intn(5),
+	}
+}
+
+// clusterInstance builds a few dense clusters joined by sparse heavy
+// bridges, giving a bimodal key distribution: the bucket queue sees long
+// runs in low buckets punctuated by far-bucket redistributions.
+func clusterInstance(rng *rand.Rand) (*graph.Graph, Query) {
+	k := 2 + rng.Intn(3)  // clusters
+	sz := 4 + rng.Intn(4) // vertices per cluster
+	n := k * sz
+	ncats := 2 + rng.Intn(3)
+	b := graph.NewBuilder(n, true)
+	b.EnsureCategories(ncats)
+	for ci := 0; ci < k; ci++ {
+		base := ci * sz
+		for e := 0; e < 3*sz; e++ {
+			u := graph.Vertex(base + rng.Intn(sz))
+			v := graph.Vertex(base + rng.Intn(sz))
+			b.AddEdge(u, v, float64(1+rng.Intn(3)))
+		}
+	}
+	for e := 0; e < 2*k; e++ {
+		cu, cv := rng.Intn(k), rng.Intn(k)
+		u := graph.Vertex(cu*sz + rng.Intn(sz))
+		v := graph.Vertex(cv*sz + rng.Intn(sz))
+		b.AddEdge(u, v, float64(50+rng.Intn(100)))
+	}
+	for v := 0; v < n; v++ {
+		if rng.Intn(3) != 0 {
+			b.AddCategory(graph.Vertex(v), graph.Category(rng.Intn(ncats)))
+		}
+	}
+	g := b.MustBuild()
+	j := 1 + rng.Intn(3)
+	cats := make([]graph.Category, j)
+	for i := range cats {
+		cats[i] = graph.Category(rng.Intn(ncats))
+	}
+	return g, Query{
+		Source:     graph.Vertex(rng.Intn(n)),
+		Target:     graph.Vertex(rng.Intn(n)),
+		Categories: cats,
+		K:          1 + rng.Intn(5),
+	}
+}
+
+// TestQueueImplementationsEquivalent runs every method on three graph
+// families with the queue forced each way and demands byte-identical
+// routes and identical examined/generated counters. It also covers the
+// truncated case: a MaxExamined budget must trip at the same pop for
+// both queues.
+func TestQueueImplementationsEquivalent(t *testing.T) {
+	families := []struct {
+		name string
+		gen  func(*rand.Rand) (*graph.Graph, Query)
+	}{
+		{"sparse", randomInstance},
+		{"grid", gridInstance},
+		{"cluster", clusterInstance},
+	}
+	methods := []Method{MethodKPNE, MethodPK, MethodSK, MethodKStar}
+	for _, fam := range families {
+		t.Run(fam.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(1010))
+			for trial := 0; trial < 40; trial++ {
+				g, q := fam.gen(rng)
+				for provName, prov := range providers(g) {
+					for _, m := range methods {
+						tag := fmt.Sprintf("trial %d %s/%s", trial, provName, m)
+						opts := Options{Method: m}
+						if trial%5 == 4 {
+							opts.MaxExamined = 1 + int64(rng.Intn(30))
+						}
+						opts.Queue = QueueHeap
+						hr, hs, herr := Solve(context.Background(), g, q, prov, opts)
+						opts.Queue = QueueBucket
+						br, bs, berr := Solve(context.Background(), g, q, prov, opts)
+						if (herr == nil) != (berr == nil) || (herr != nil && herr.Error() != berr.Error()) {
+							t.Fatalf("%s: error mismatch: heap=%v bucket=%v", tag, herr, berr)
+						}
+						if !reflect.DeepEqual(hr, br) {
+							t.Fatalf("%s: routes differ\n heap=%v\n bucket=%v", tag, hr, br)
+						}
+						if hs.Examined != bs.Examined || hs.Generated != bs.Generated {
+							t.Fatalf("%s: counters differ: heap examined=%d generated=%d, bucket examined=%d generated=%d",
+								tag, hs.Examined, hs.Generated, bs.Examined, bs.Generated)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestQueueAutoSelection pins the QueueAuto policy: monotone methods get
+// the bucket queue, dominance-pruned methods the heap, and both forced
+// kinds are honoured.
+func TestQueueAutoSelection(t *testing.T) {
+	s := NewScratch(8)
+	if _, ok := s.queueFor(QueueAuto, false).(*bucketQueueType); !ok {
+		t.Error("QueueAuto without dominance should select the bucket queue")
+	}
+	if _, ok := s.queueFor(QueueAuto, true).(*heapQueueType); !ok {
+		t.Error("QueueAuto with dominance should select the heap")
+	}
+	if _, ok := s.queueFor(QueueBucket, true).(*bucketQueueType); !ok {
+		t.Error("QueueBucket should be honoured regardless of dominance")
+	}
+	if _, ok := s.queueFor(QueueHeap, false).(*heapQueueType); !ok {
+		t.Error("QueueHeap should be honoured regardless of dominance")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"unsafe"
 
+	"repro/internal/dijkstra"
 	"repro/internal/graph"
 	"repro/internal/invindex"
 	"repro/internal/pq"
@@ -32,7 +33,14 @@ type Scratch struct {
 	epoch  uint32
 
 	arena nodeArena
-	heap  *pq.Heap[qItem] // the engine's global route queue
+	// The engine's global route queue, in both forms: the 4-ary heap
+	// serves the dominance-pruned methods (whose reconsider step
+	// re-inserts below the pop frontier) and the monotone bucket queue
+	// serves the exhaustive expansions. queueFor picks one per query; the
+	// other stays empty. The bucket queue is created on first use so
+	// heap-only workloads never pay for it.
+	heap   *pq.Heap[qItem]
+	bucket *pq.BucketQueue[qItem]
 
 	// Dominance state, one level per witness size.
 	dom        []domLevel
@@ -50,6 +58,13 @@ type Scratch struct {
 	enRows  [][]enSlot
 	enLog   []slotRef
 	freeENs []*enState
+
+	// Incremental Dijkstra kNN rows (the -Dij variants), one per distinct
+	// query category.
+	djIdx    rowIndex
+	djRows   [][]knnSlot
+	djLog    []slotRef
+	freeKNNs []*dijkstra.KNN
 }
 
 // rowIndex assigns the distinct categories of the current query to row
@@ -118,6 +133,13 @@ type enSlot struct {
 	epoch uint32
 }
 
+// knnSlot caches the incremental Dijkstra kNN iterator of (v, row
+// category).
+type knnSlot struct {
+	it    *dijkstra.KNN
+	epoch uint32
+}
+
 // globalQueueArity is the arity of the engine's global route queue. The
 // queue is the KPNE bottleneck (exhaustive expansion grows it to
 // millions of entries at FLA scale), and every pop pays one sift-down
@@ -160,6 +182,30 @@ func (s *Scratch) begin() {
 	s.epoch++
 	s.nnIdx.reset()
 	s.enIdx.reset()
+	s.djIdx.reset()
+}
+
+// queueFor returns the global route queue for one query. QueueAuto maps
+// to the bucket queue for the monotone methods (no dominance: KPNE and
+// the KPNE+A* ablation pop non-decreasing keys) and to the heap for the
+// dominance-pruned ones (reconsider re-inserts parked routes below the
+// frontier, which the bucket queue only handles through its slower
+// overflow path). Both pop in the identical (key, seq) order.
+func (s *Scratch) queueFor(kind QueueKind, useDominance bool) routeQueue {
+	if kind == QueueAuto {
+		if useDominance {
+			kind = QueueHeap
+		} else {
+			kind = QueueBucket
+		}
+	}
+	if kind == QueueBucket {
+		if s.bucket == nil {
+			s.bucket = pq.NewBucketQueue[qItem](lessQItem, qItemKey)
+		}
+		return s.bucket
+	}
+	return s.heap
 }
 
 // release cleans up after a query: parked objects return to their free
@@ -191,7 +237,17 @@ func (s *Scratch) release() {
 		sl.st = nil
 	}
 	s.enLog = s.enLog[:0]
+	for _, ref := range s.djLog {
+		sl := &s.djRows[ref.row][ref.v]
+		//lint:ignore epochstamp journal entries were recorded this epoch, so the slot is current by construction
+		s.freeKNNs = append(s.freeKNNs, sl.it)
+		sl.it = nil
+	}
+	s.djLog = s.djLog[:0]
 	s.heap.Clear()
+	if s.bucket != nil {
+		s.bucket.Clear()
+	}
 	s.arena.reset()
 }
 
@@ -222,8 +278,14 @@ func (s *Scratch) FootprintBytes() int64 {
 	for i := range s.enRows {
 		b += int64(cap(s.enRows[i])) * int64(unsafe.Sizeof(enSlot{}))
 	}
+	for i := range s.djRows {
+		b += int64(cap(s.djRows[i])) * int64(unsafe.Sizeof(knnSlot{}))
+	}
 	b += int64(len(s.arena.chunks)) * arenaChunkSize * int64(unsafe.Sizeof(routeNode{}))
 	b += int64(s.heap.Cap()) * int64(unsafe.Sizeof(qItem{}))
+	if s.bucket != nil {
+		b += int64(s.bucket.Cap()) * int64(unsafe.Sizeof(qItem{}))
+	}
 	for _, h := range s.freeHeaps {
 		b += int64(h.Cap()) * int64(unsafe.Sizeof(qItem{}))
 	}
@@ -233,6 +295,9 @@ func (s *Scratch) FootprintBytes() int64 {
 	for _, st := range s.freeENs {
 		b += int64(cap(st.enl))*int64(unsafe.Sizeof(Neighbor{})) +
 			int64(st.enq.Cap())*int64(unsafe.Sizeof(enCand{}))
+	}
+	for _, it := range s.freeKNNs {
+		b += it.MemFootprint()
 	}
 	return b
 }
@@ -253,11 +318,12 @@ func poolScratch(pool *sync.Pool, s *Scratch, budget int64) {
 
 // prewarmPool stocks pool with n scratches for nVerts-vertex graphs,
 // each prewarmed for `levels` dominance levels and `cats` category
-// rows. Backs the providers' Prewarm methods.
-func prewarmPool(pool *sync.Pool, nVerts, n, levels, cats int) {
+// rows (Dijkstra kNN rows too when dij is set). Backs the providers'
+// Prewarm methods.
+func prewarmPool(pool *sync.Pool, nVerts, n, levels, cats int, dij bool) {
 	for i := 0; i < n; i++ {
 		s := NewScratch(nVerts)
-		s.prewarm(levels, cats)
+		s.prewarm(levels, cats, dij)
 		pool.Put(s)
 	}
 }
@@ -295,6 +361,9 @@ func (s *Scratch) hardReset() {
 	for i := range s.enRows {
 		clearSlice(s.enRows[i])
 	}
+	for i := range s.djRows {
+		clearSlice(s.djRows[i])
+	}
 	s.epoch = 0
 }
 
@@ -312,10 +381,11 @@ const prewarmHeapCap = 4096
 // prewarm pre-sizes the scratch's lazily-grown O(|V|) state so the
 // first query served by it skips the cold-path allocations entirely:
 // `levels` dominance levels (nodes and heap slots), `cats` FindNN
-// iterator rows and FindNEN state rows, one arena chunk, and global
-// queue capacity. The tables start zeroed, which the epoch-stamping
-// scheme reads as empty — exactly the state a first query expects.
-func (s *Scratch) prewarm(levels, cats int) {
+// iterator rows and FindNEN state rows (plus Dijkstra kNN rows when dij
+// is set), one arena chunk, and global queue capacity. The tables start
+// zeroed, which the epoch-stamping scheme reads as empty — exactly the
+// state a first query expects.
+func (s *Scratch) prewarm(levels, cats int, dij bool) {
 	s.ensureLevels(levels)
 	for i := 0; i < levels; i++ {
 		L := &s.dom[i]
@@ -326,26 +396,54 @@ func (s *Scratch) prewarm(levels, cats int) {
 			L.heaps = make([]domHeapSlot, s.nVerts)
 		}
 	}
-	for len(s.nnRows) < cats {
-		s.nnRows = append(s.nnRows, make([]iterSlot, s.nVerts))
-	}
-	for i := range s.nnRows {
-		if s.nnRows[i] == nil {
-			s.nnRows[i] = make([]iterSlot, s.nVerts)
-		}
-	}
-	for len(s.enRows) < cats {
-		s.enRows = append(s.enRows, make([]enSlot, s.nVerts))
-	}
-	for i := range s.enRows {
-		if s.enRows[i] == nil {
-			s.enRows[i] = make([]enSlot, s.nVerts)
-		}
+	s.prewarmNNRows(cats)
+	s.prewarmENRows(cats)
+	if dij {
+		s.prewarmDijRows(cats)
 	}
 	if len(s.arena.chunks) == 0 {
 		s.arena.chunks = append(s.arena.chunks, make([]routeNode, arenaChunkSize))
 	}
 	s.heap.Grow(prewarmHeapCap)
+}
+
+// prewarmNNRows ensures the first n FindNN iterator rows are allocated.
+// Rows are positional — the rowIndex maps each query's distinct
+// categories to ordinals 0..n-1 — so pre-allocating the first n rows
+// covers any query (or batch) touching up to n distinct categories.
+func (s *Scratch) prewarmNNRows(n int) {
+	for len(s.nnRows) < n {
+		s.nnRows = append(s.nnRows, nil)
+	}
+	for i := 0; i < n; i++ {
+		if s.nnRows[i] == nil {
+			s.nnRows[i] = make([]iterSlot, s.nVerts)
+		}
+	}
+}
+
+// prewarmENRows ensures the first n FindNEN state rows are allocated.
+func (s *Scratch) prewarmENRows(n int) {
+	for len(s.enRows) < n {
+		s.enRows = append(s.enRows, nil)
+	}
+	for i := 0; i < n; i++ {
+		if s.enRows[i] == nil {
+			s.enRows[i] = make([]enSlot, s.nVerts)
+		}
+	}
+}
+
+// prewarmDijRows ensures the first n Dijkstra kNN rows are allocated.
+func (s *Scratch) prewarmDijRows(n int) {
+	for len(s.djRows) < n {
+		s.djRows = append(s.djRows, nil)
+	}
+	for i := 0; i < n; i++ {
+		if s.djRows[i] == nil {
+			s.djRows[i] = make([]knnSlot, s.nVerts)
+		}
+	}
 }
 
 // ensureLevels grows the dominance table to at least n levels.
@@ -450,12 +548,47 @@ func (s *Scratch) nnIter(ix *invindex.Index, v graph.Vertex, cat graph.Category)
 	return it
 }
 
+// dijIter returns the incremental Dijkstra kNN iterator of (v, cat),
+// reusing the one the current query already opened (the same NL-sharing
+// semantics as nnIter) or recycling a released iterator from the free
+// list. Recycled iterators are rebound to g on reuse (dijkstra.KNN.Reset)
+// so the free list stays valid across snapshot epochs. cat must be
+// non-negative.
+func (s *Scratch) dijIter(g *graph.Graph, v graph.Vertex, cat graph.Category) *dijkstra.KNN {
+	row := s.djIdx.claim(cat)
+	if row == len(s.djRows) {
+		s.djRows = append(s.djRows, nil)
+	}
+	if s.djRows[row] == nil {
+		s.djRows[row] = make([]knnSlot, s.nVerts)
+	}
+	sl := &s.djRows[row][v]
+	if sl.epoch == s.epoch && sl.it != nil {
+		return sl.it
+	}
+	var it *dijkstra.KNN
+	if n := len(s.freeKNNs); n > 0 {
+		it = s.freeKNNs[n-1]
+		s.freeKNNs[n-1] = nil
+		s.freeKNNs = s.freeKNNs[:n-1]
+		it.Reset(g, v, cat)
+	} else {
+		it = dijkstra.NewKNN(g, v, cat)
+	}
+	*sl = knnSlot{it: it, epoch: s.epoch}
+	s.djLog = append(s.djLog, slotRef{row: int32(row), v: v})
+	return it
+}
+
 // unbindIndexRefs strips the index references parked in the scratch's
-// iterator free list, so a scratch handed from one snapshot's pool to
-// the next does not pin the superseded epoch's inverted index alive.
-// The buffers stay; nnIter rebinds each iterator on reuse.
+// iterator free lists, so a scratch handed from one snapshot's pool to
+// the next does not pin the superseded epoch's inverted index (or graph)
+// alive. The buffers stay; nnIter and dijIter rebind on reuse.
 func (s *Scratch) unbindIndexRefs() {
 	for _, it := range s.freeIters {
+		it.Unbind()
+	}
+	for _, it := range s.freeKNNs {
 		it.Unbind()
 	}
 }

@@ -146,9 +146,39 @@ func (m Method) String() string {
 	}
 }
 
+// QueueKind selects the implementation of the engine's global route
+// queue. The two implementations pop in byte-identical order (the bucket
+// queue reproduces the heap's (key, seq) total order exactly, falling
+// back to an internal overflow heap for below-frontier re-insertions), so
+// the choice affects only constant factors.
+type QueueKind int
+
+const (
+	// QueueAuto picks per method: the monotone bucket queue for the
+	// exhaustive expansions (KPNE, KPNE+A*), whose pop keys never
+	// decrease, and the 4-ary heap for the dominance-pruned methods
+	// (PruningKOSR, StarKOSR), whose reconsider step re-inserts parked
+	// routes below the pop frontier.
+	QueueAuto QueueKind = iota
+	// QueueHeap forces the 4-ary comparison heap.
+	QueueHeap
+	// QueueBucket forces the monotone bucket (radix) queue.
+	QueueBucket
+)
+
 // Options tunes a Solve call.
 type Options struct {
 	Method Method
+	// Queue selects the global route queue implementation (default
+	// QueueAuto). Results are identical for every setting; this is a
+	// performance knob and an equivalence-testing hook.
+	Queue QueueKind
+	// PrewarmCatRows asks the engine to pre-claim this many NN iterator
+	// rows (and estimated-NN rows for the A*-guided methods) before the
+	// search starts. Batch callers set it to the number of distinct
+	// categories across the batch so row allocation happens once per
+	// pooled scratch rather than once per query (0 = no prewarming).
+	PrewarmCatRows int
 	// NumCategories overrides the category-id validation bound
 	// (0 = g.NumCategories()). Systems serving epoch-versioned
 	// snapshots pass the snapshot's effective category count, so

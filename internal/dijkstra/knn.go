@@ -1,6 +1,8 @@
 package dijkstra
 
 import (
+	"unsafe"
+
 	"repro/internal/graph"
 	"repro/internal/pq"
 )
@@ -22,6 +24,7 @@ type KNN struct {
 	dist    map[graph.Vertex]float64
 	heap    *pq.Heap[knnItem]
 	found   []Neighbor
+	hw      int // high-water frontier size, for MemFootprint
 }
 
 type knnItem struct {
@@ -48,6 +51,44 @@ func NewKNN(g *graph.Graph, source graph.Vertex, cat graph.Category) *KNN {
 	}
 	k.heap.Push(knnItem{v: source, d: 0})
 	return k
+}
+
+// Reset rebinds the iterator to a new (graph, source, category) triple,
+// keeping the allocated map buckets, heap array, and neighbour slice so a
+// recycled iterator performs no steady-state allocation. It leaves the
+// iterator exactly as NewKNN would.
+func (k *KNN) Reset(g *graph.Graph, source graph.Vertex, cat graph.Category) {
+	if n := len(k.dist); n > k.hw {
+		k.hw = n
+	}
+	clear(k.settled)
+	clear(k.dist)
+	k.heap.Clear()
+	k.found = k.found[:0]
+	k.g = g
+	k.cat = cat
+	k.dist[source] = 0
+	k.heap.Push(knnItem{v: source, d: 0})
+}
+
+// Unbind drops the graph reference so an iterator parked on a free list
+// does not pin a superseded snapshot's graph alive. Reset rebinds it.
+func (k *KNN) Unbind() { k.g = nil }
+
+// MemFootprint estimates the bytes the iterator retains for reuse. Go
+// maps keep their buckets across clear(), so the high-water mark of the
+// search frontier stands in for the (unobservable) map capacity.
+func (k *KNN) MemFootprint() int64 {
+	hw := k.hw
+	if n := len(k.dist); n > hw {
+		hw = n
+	}
+	// Rough per-frontier-vertex cost of the settled and dist maps
+	// (key+value+bucket overhead each).
+	const mapEntryBytes = 40
+	return int64(hw)*mapEntryBytes +
+		int64(k.heap.Cap())*int64(unsafe.Sizeof(knnItem{})) +
+		int64(cap(k.found))*int64(unsafe.Sizeof(Neighbor{}))
 }
 
 // Found returns the number of neighbours discovered so far.

@@ -1,0 +1,216 @@
+package pq
+
+import (
+	"math"
+	"math/bits"
+)
+
+// BucketQueue is a monotone bucket (radix) queue over elements of type T.
+// It exploits the fact that Dijkstra-style searches over non-negative
+// weights pop keys in non-decreasing order: keys are mapped to their IEEE
+// 754 bit patterns (order-preserving for non-negative floats) and stored
+// in 65 buckets indexed by the position of the highest bit in which the
+// key differs from the last redistribution pivot. Pops and pushes are
+// O(1) amortized — each element is moved to a strictly lower bucket at
+// most 64 times over its lifetime — versus O(log n) for a comparison
+// heap, which is what makes it worthwhile on the multi-million-entry
+// route queues KPNE builds.
+//
+// The queue remains correct for arbitrary (non-monotone) inputs: a push
+// whose key is below the current pivot — or negative, or NaN — is routed
+// to a small overflow heap ordered by the caller's less function. All
+// overflow keys are strictly below every bucketed key, so popping the
+// overflow heap first preserves the global order. When the overflow heap
+// sees heavy traffic the structure degrades gracefully to heap behavior;
+// callers with genuinely non-monotone workloads should prefer Heap.
+//
+// Ties are broken exactly as a Heap with the same total-order less would
+// break them, provided less is consistent with key (key(a) < key(b)
+// implies less(a, b)) and elements with equal keys are pushed in
+// less-increasing order (the engine's route queues order equal keys by a
+// globally increasing insertion sequence, which satisfies this): buckets
+// are FIFO and redistribution preserves relative order, so equal keys pop
+// in insertion order.
+type BucketQueue[T any] struct {
+	less    func(a, b T) bool
+	key     func(T) float64
+	last    uint64 // bit pattern of the current pivot key
+	head    int    // pop cursor into buckets[0]
+	n       int
+	occ     [2]uint64 // occupancy bitmap over the 65 buckets
+	buckets [65][]T
+	behind  *Heap[T] // overflow for keys below the pivot
+}
+
+// NewBucketQueue returns an empty bucket queue. less is the total order
+// used for the overflow heap and Min; key extracts the (normally
+// non-negative) priority that drives bucket placement. key must not
+// capture state that changes while an element is queued.
+func NewBucketQueue[T any](less func(a, b T) bool, key func(T) float64) *BucketQueue[T] {
+	return &BucketQueue[T]{less: less, key: key, behind: NewHeap(less)}
+}
+
+// Len returns the number of queued elements.
+func (q *BucketQueue[T]) Len() int { return q.n }
+
+// Push inserts x.
+//
+//kosr:hotpath
+func (q *BucketQueue[T]) Push(x T) {
+	k := q.key(x)
+	q.n++
+	if !(k >= 0) {
+		// Negative or NaN keys have bit patterns that break the radix
+		// order; the overflow heap handles them exactly.
+		q.behind.Push(x)
+		return
+	}
+	kb := math.Float64bits(k)
+	if kb < q.last {
+		q.behind.Push(x)
+		return
+	}
+	b := bits.Len64(kb ^ q.last)
+	q.buckets[b] = append(q.buckets[b], x)
+	q.occ[b>>6] |= 1 << (b & 63)
+}
+
+// Pop removes and returns the smallest element. It panics on an empty
+// queue.
+//
+//kosr:hotpath
+func (q *BucketQueue[T]) Pop() T {
+	q.n--
+	if q.behind.Len() > 0 {
+		// Overflow keys are strictly below every bucketed key.
+		return q.behind.Pop()
+	}
+	b := q.lowest()
+	if b != 0 {
+		q.redistribute(b)
+	}
+	b0 := q.buckets[0]
+	x := b0[q.head] // panics (index out of range) on an empty queue
+	var zero T
+	b0[q.head] = zero // release references held by the slice
+	q.head++
+	if q.head == len(b0) {
+		q.buckets[0] = b0[:0]
+		q.head = 0
+		q.occ[0] &^= 1
+	}
+	return x
+}
+
+// Min returns the smallest element without removing it. It panics on an
+// empty queue.
+func (q *BucketQueue[T]) Min() T {
+	if q.n == 0 {
+		panic("pq: Min on empty BucketQueue")
+	}
+	if q.behind.Len() > 0 {
+		return q.behind.Min()
+	}
+	b := q.lowest()
+	if b == 0 {
+		return q.buckets[0][q.head]
+	}
+	// The lowest non-empty bucket holds the global minimum; find it
+	// without redistributing so Min stays read-only.
+	items := q.buckets[b]
+	min := items[0]
+	for _, it := range items[1:] {
+		if q.less(it, min) {
+			min = it
+		}
+	}
+	return min
+}
+
+// lowest returns the index of the lowest non-empty bucket. It must only
+// be called when at least one bucket is occupied.
+//
+//kosr:hotpath
+func (q *BucketQueue[T]) lowest() int {
+	if q.occ[0] != 0 {
+		return bits.TrailingZeros64(q.occ[0])
+	}
+	return 64
+}
+
+// redistribute empties bucket b (the lowest non-empty one) into strictly
+// lower buckets after advancing the pivot to b's minimum key. The items
+// carrying that minimum land in bucket 0 in their original insertion
+// order, ready for FIFO popping.
+//
+//kosr:hotpath
+func (q *BucketQueue[T]) redistribute(b int) {
+	items := q.buckets[b]
+	min := math.Float64bits(q.key(items[0]))
+	for _, it := range items[1:] {
+		if kb := math.Float64bits(q.key(it)); kb < min {
+			min = kb
+		}
+	}
+	q.last = min
+	for i, it := range items {
+		nb := bits.Len64(math.Float64bits(q.key(it)) ^ min)
+		q.buckets[nb] = append(q.buckets[nb], it)
+		q.occ[nb>>6] |= 1 << (nb & 63)
+		var zero T
+		items[i] = zero
+	}
+	q.buckets[b] = items[:0]
+	q.occ[b>>6] &^= 1 << (b & 63)
+}
+
+// Clear removes all elements, keeping the allocated capacity, and resets
+// the pivot so the queue is ready for a fresh monotone run.
+func (q *BucketQueue[T]) Clear() {
+	var zero T
+	for b := range q.buckets {
+		s := q.buckets[b]
+		for i := range s {
+			s[i] = zero
+		}
+		q.buckets[b] = s[:0]
+	}
+	q.behind.Clear()
+	q.last = 0
+	q.head = 0
+	q.n = 0
+	q.occ[0] = 0
+	q.occ[1] = 0
+}
+
+// Items returns the queued elements in unspecified order, as a freshly
+// allocated slice. It is intended for tracing, not hot paths.
+func (q *BucketQueue[T]) Items() []T {
+	out := make([]T, 0, q.n)
+	out = append(out, q.behind.Items()...)
+	out = append(out, q.buckets[0][q.head:]...)
+	for b := 1; b < len(q.buckets); b++ {
+		out = append(out, q.buckets[b]...)
+	}
+	return out
+}
+
+// Cap returns the total capacity of the backing arrays — the footprint a
+// cleared queue retains for reuse.
+func (q *BucketQueue[T]) Cap() int {
+	c := q.behind.Cap()
+	for b := range q.buckets {
+		c += cap(q.buckets[b])
+	}
+	return c
+}
+
+// Grow ensures bucket 0 — where every element eventually lands before
+// being popped — has capacity for at least n items.
+func (q *BucketQueue[T]) Grow(n int) {
+	if cap(q.buckets[0]) < n {
+		s := make([]T, len(q.buckets[0]), n)
+		copy(s, q.buckets[0])
+		q.buckets[0] = s
+	}
+}

@@ -1,0 +1,227 @@
+package pq
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// bqItem mirrors the engine's route-queue entries: a float key plus a
+// globally increasing insertion sequence used as the tie-break.
+type bqItem struct {
+	key float64
+	seq int64
+}
+
+func bqLess(a, b bqItem) bool {
+	if a.key != b.key {
+		return a.key < b.key
+	}
+	return a.seq < b.seq
+}
+
+func bqKey(it bqItem) float64 { return it.key }
+
+// drainBoth pops both queues dry and asserts identical sequences.
+func drainBoth(t *testing.T, h *Heap[bqItem], q *BucketQueue[bqItem], label string) {
+	t.Helper()
+	if h.Len() != q.Len() {
+		t.Fatalf("%s: Len mismatch heap=%d bucket=%d", label, h.Len(), q.Len())
+	}
+	for i := 0; h.Len() > 0; i++ {
+		hm, qm := h.Min(), q.Min()
+		if hm != qm {
+			t.Fatalf("%s: Min mismatch at pop %d: heap=%v bucket=%v", label, i, hm, qm)
+		}
+		hp, qp := h.Pop(), q.Pop()
+		if hp != qp {
+			t.Fatalf("%s: Pop mismatch at pop %d: heap=%v bucket=%v", label, i, hp, qp)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("%s: bucket queue not empty after drain: %d left", label, q.Len())
+	}
+}
+
+// TestBucketQueueMatchesHeapMonotone drives both queues with a
+// Dijkstra-like monotone workload: every push's key is >= the key of the
+// last pop, with frequent exact ties to exercise the FIFO tie-break.
+func TestBucketQueueMatchesHeapMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for round := 0; round < 50; round++ {
+		h := NewHeapD(bqLess, 4)
+		q := NewBucketQueue(bqLess, bqKey)
+		var seq int64
+		floor := 0.0
+		push := func(k float64) {
+			it := bqItem{key: k, seq: seq}
+			seq++
+			h.Push(it)
+			q.Push(it)
+		}
+		for i := 0; i < 400; i++ {
+			switch {
+			case h.Len() == 0 || rng.Intn(3) != 0:
+				k := floor + rng.Float64()*10
+				if rng.Intn(4) == 0 {
+					k = floor // exact tie with the frontier
+				}
+				push(k)
+			default:
+				hp, qp := h.Pop(), q.Pop()
+				if hp != qp {
+					t.Fatalf("round %d: mid-run pop mismatch heap=%v bucket=%v", round, hp, qp)
+				}
+				floor = hp.key
+			}
+		}
+		drainBoth(t, h, q, "monotone")
+	}
+}
+
+// TestBucketQueueMatchesHeapNonMonotone pushes keys with no relation to
+// the pop frontier — including keys far below it, negatives, and zero —
+// forcing heavy overflow-heap traffic. The bucket queue must still pop
+// the exact heap order.
+func TestBucketQueueMatchesHeapNonMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for round := 0; round < 50; round++ {
+		h := NewHeapD(bqLess, 4)
+		q := NewBucketQueue(bqLess, bqKey)
+		var seq int64
+		for i := 0; i < 400; i++ {
+			if h.Len() > 0 && rng.Intn(3) == 0 {
+				hp, qp := h.Pop(), q.Pop()
+				if hp != qp {
+					t.Fatalf("round %d: pop mismatch heap=%v bucket=%v", round, hp, qp)
+				}
+				continue
+			}
+			var k float64
+			switch rng.Intn(5) {
+			case 0:
+				k = -rng.Float64() * 100
+			case 1:
+				k = 0
+			default:
+				k = rng.Float64() * 1000
+			}
+			it := bqItem{key: k, seq: seq}
+			seq++
+			h.Push(it)
+			q.Push(it)
+		}
+		drainBoth(t, h, q, "non-monotone")
+	}
+}
+
+// TestBucketQueueSortsLargeRange checks raw ordering over widely spread
+// keys, including denormal-adjacent tiny values and large magnitudes that
+// land in high buckets.
+func TestBucketQueueSortsLargeRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	q := NewBucketQueue(bqLess, bqKey)
+	items := make([]bqItem, 0, 2000)
+	for i := 0; i < 2000; i++ {
+		it := bqItem{key: math.Exp(rng.Float64()*40 - 20), seq: int64(i)}
+		items = append(items, it)
+		q.Push(it)
+	}
+	sort.Slice(items, func(i, j int) bool { return bqLess(items[i], items[j]) })
+	for i, want := range items {
+		got := q.Pop()
+		if got != want {
+			t.Fatalf("pop %d: got %v want %v", i, got, want)
+		}
+	}
+}
+
+func TestBucketQueueNaNRoutedToOverflow(t *testing.T) {
+	q := NewBucketQueue(bqLess, bqKey)
+	q.Push(bqItem{key: math.NaN(), seq: 0})
+	q.Push(bqItem{key: 1, seq: 1})
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", q.Len())
+	}
+	q.Pop()
+	q.Pop()
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d after draining, want 0", q.Len())
+	}
+}
+
+func TestBucketQueueClearKeepsCapacityAndResetsPivot(t *testing.T) {
+	q := NewBucketQueue(bqLess, bqKey)
+	for i := 0; i < 100; i++ {
+		q.Push(bqItem{key: float64(100 + i), seq: int64(i)})
+	}
+	for i := 0; i < 50; i++ {
+		q.Pop() // advance the pivot well past zero
+	}
+	capBefore := q.Cap()
+	q.Clear()
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d after Clear, want 0", q.Len())
+	}
+	if q.Cap() < capBefore {
+		t.Fatalf("Cap shrank across Clear: %d -> %d", capBefore, q.Cap())
+	}
+	// After Clear, small keys must go back into buckets (pivot reset),
+	// not the overflow heap.
+	q.Push(bqItem{key: 0.5, seq: 0})
+	if got := q.Pop(); got.key != 0.5 {
+		t.Fatalf("post-Clear pop key = %v, want 0.5", got.key)
+	}
+}
+
+func TestBucketQueueItemsAndGrow(t *testing.T) {
+	q := NewBucketQueue(bqLess, bqKey)
+	q.Grow(64)
+	if q.Cap() < 64 {
+		t.Fatalf("Cap = %d after Grow(64)", q.Cap())
+	}
+	seen := map[bqItem]bool{}
+	for i := 0; i < 10; i++ {
+		it := bqItem{key: float64(i % 4), seq: int64(i)}
+		seen[it] = true
+		q.Push(it)
+	}
+	q.Pop() // leave a mix of popped bucket-0 prefix and live items
+	items := q.Items()
+	if len(items) != q.Len() {
+		t.Fatalf("Items returned %d elements, Len = %d", len(items), q.Len())
+	}
+	for _, it := range items {
+		if !seen[it] {
+			t.Fatalf("Items returned unknown element %v", it)
+		}
+	}
+}
+
+func TestBucketQueuePopEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pop on empty BucketQueue did not panic")
+		}
+	}()
+	NewBucketQueue(bqLess, bqKey).Pop()
+}
+
+func BenchmarkBucketQueueMonotone(b *testing.B) {
+	q := NewBucketQueue(bqLess, bqKey)
+	rng := rand.New(rand.NewSource(5))
+	var seq int64
+	for i := 0; i < 1<<14; i++ {
+		q.Push(bqItem{key: rng.Float64() * 100, seq: seq})
+		seq++
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := q.Pop()
+		it.key += rng.Float64() * 10
+		it.seq = seq
+		seq++
+		q.Push(it)
+	}
+}

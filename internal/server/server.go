@@ -766,13 +766,14 @@ func (s *Server) routesJSON(routes []kosr.Route, expanded [][]int32) []RouteJSON
 // QueryResult; per-query failures become the Error field so the batch's
 // other queries still answer. hit reports a cache hit (or a coalesced
 // in-flight computation).
-func (s *Server) answerOne(ctx context.Context, snap *kosr.Snapshot, qr QueryRequest) (body json.RawMessage, hit, stale bool, shed *shedError) {
+func (s *Server) answerOne(ctx context.Context, snap *kosr.Snapshot, qr QueryRequest, warm []kosr.Category) (body json.RawMessage, hit, stale bool, shed *shedError) {
 	const endpoint = "/v1/query"
 	req, err := s.buildRequest(snap, qr)
 	if err != nil {
 		return errResult(err), false, false, nil
 	}
 	req.IndexEpoch = snap.Epoch
+	req.WarmCategories = warm
 	key, cacheable := req.CanonicalKey()
 	if qr.Expand {
 		key = "e|" + key
@@ -856,6 +857,48 @@ func shedResult(sh *shedError) json.RawMessage {
 	return b
 }
 
+// batchWarmCategories computes the Request.WarmCategories hint for one
+// batch: the deduplicated union of resolvable category ids across all
+// entries, so queries sharing categories warm each pooled scratch's
+// iterator rows once per batch rather than once per query. Single-entry
+// batches get no hint (warming beyond the query's own categories buys
+// nothing), and unresolvable specs are skipped here — the entry itself
+// reports the error when it is answered.
+func (s *Server) batchWarmCategories(snap *kosr.Snapshot, queries []QueryRequest) []kosr.Category {
+	if len(queries) < 2 {
+		return nil
+	}
+	var union []kosr.Category
+outer:
+	for _, q := range queries {
+		for _, spec := range q.Categories {
+			c, err := s.resolveCategory(snap, spec)
+			if err != nil {
+				continue
+			}
+			seen := false
+			for _, u := range union {
+				if u == c {
+					seen = true
+					break
+				}
+			}
+			if !seen {
+				union = append(union, c)
+				if len(union) >= maxBatchWarmCategories {
+					break outer
+				}
+			}
+		}
+	}
+	return union
+}
+
+// maxBatchWarmCategories bounds the warm hint: each warmed iterator row
+// is an O(|V|) allocation retained by a pooled scratch, so a batch
+// naming many distinct categories must not widen every scratch.
+const maxBatchWarmCategories = 16
+
 // handleBatchQuery answers POST /v1/query: a batch of queries fanned
 // out across the worker pool, each passing through the result cache.
 func (s *Server) handleBatchQuery(w http.ResponseWriter, r *http.Request) {
@@ -882,6 +925,7 @@ func (s *Server) handleBatchQuery(w http.ResponseWriter, r *http.Request) {
 	// is answered on the same index version, even if an update publishes
 	// mid-flight.
 	snap := s.sys.Snapshot()
+	warm := s.batchWarmCategories(snap, batch.Queries)
 	start := time.Now()
 	results := make([]json.RawMessage, len(batch.Queries))
 	hits := make([]bool, len(batch.Queries))
@@ -901,7 +945,7 @@ func (s *Server) handleBatchQuery(w http.ResponseWriter, r *http.Request) {
 					results[i] = errResult(errWorkerPanic)
 				}
 			}()
-			results[i], hits[i], stales[i], shedErrs[i] = s.answerOne(ctx, snap, q)
+			results[i], hits[i], stales[i], shedErrs[i] = s.answerOne(ctx, snap, q, warm)
 		}(i, q)
 	}
 	wg.Wait()

@@ -1,0 +1,48 @@
+package server
+
+import (
+	"testing"
+
+	kosr "repro"
+)
+
+// TestBatchWarmCategories pins the batch prewarming hint: multi-entry
+// batches get the deduplicated union of resolvable category ids,
+// single-entry batches get no hint, and unresolvable specs are skipped
+// (the entry itself reports the error later).
+func TestBatchWarmCategories(t *testing.T) {
+	srv := New(kosr.NewSystem(kosr.Figure1()))
+	t.Cleanup(srv.Close)
+	snap := srv.sys.Snapshot()
+
+	q := func(cats ...string) QueryRequest {
+		return QueryRequest{Source: "s", Target: "t", Categories: cats, K: 1}
+	}
+	resolve := func(name string) kosr.Category {
+		c, err := srv.resolveCategory(snap, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+
+	if warm := srv.batchWarmCategories(snap, []QueryRequest{q("MA", "RE")}); warm != nil {
+		t.Errorf("single-entry batch: warm = %v, want nil", warm)
+	}
+
+	warm := srv.batchWarmCategories(snap, []QueryRequest{
+		q("MA", "RE"),
+		q("RE", "CI"),
+		q("no-such-category", "MA"),
+	})
+	want := map[kosr.Category]bool{resolve("MA"): true, resolve("RE"): true, resolve("CI"): true}
+	if len(warm) != len(want) {
+		t.Fatalf("warm = %v, want the union of MA/RE/CI", warm)
+	}
+	for _, c := range warm {
+		if !want[c] {
+			t.Errorf("warm contains unexpected category %d", c)
+		}
+		delete(want, c) // also catches duplicates
+	}
+}

@@ -196,6 +196,15 @@ type Request struct {
 	// Result.Stats; it adds timer overhead.
 	TimeBreakdown bool
 
+	// WarmCategories is a performance hint: the distinct categories the
+	// caller expects to query soon on the same scratch (typically the
+	// union across one server batch). The engine pre-allocates that many
+	// NN iterator rows before the search starts, so a batch of queries
+	// sharing categories grows each pooled scratch's rows once instead
+	// of once per query. The hint never changes the routes — it is
+	// deliberately excluded from CanonicalKey.
+	WarmCategories []Category
+
 	// IndexEpoch optionally records the Snapshot.Epoch the request is
 	// answered against. It never influences the search — Do always
 	// answers from the snapshot it pinned — but CanonicalKey folds it
@@ -214,11 +223,41 @@ func (r Request) variant() bool {
 
 func (r Request) coreOptions() core.Options {
 	return core.Options{
-		Method:        r.Method,
-		MaxExamined:   r.MaxExamined,
-		MaxDuration:   r.MaxDuration,
-		TimeBreakdown: r.TimeBreakdown,
+		Method:         r.Method,
+		MaxExamined:    r.MaxExamined,
+		MaxDuration:    r.MaxDuration,
+		TimeBreakdown:  r.TimeBreakdown,
+		PrewarmCatRows: r.prewarmCatRows(),
 	}
+}
+
+// maxWarmCategories caps the batch warm hint: each warmed row is an
+// O(|V|) allocation retained by the pooled scratch, so an adversarial
+// batch naming hundreds of categories must not pin hundreds of rows.
+const maxWarmCategories = 16
+
+// prewarmCatRows reduces the WarmCategories hint to a row count: the
+// number of distinct hinted categories, capped at maxWarmCategories.
+func (r Request) prewarmCatRows() int {
+	if len(r.WarmCategories) == 0 {
+		return 0
+	}
+	n := 0
+	var seen [maxWarmCategories]Category
+outer:
+	for _, c := range r.WarmCategories {
+		for _, s := range seen[:n] {
+			if s == c {
+				continue outer
+			}
+		}
+		if n == maxWarmCategories {
+			break
+		}
+		seen[n] = c
+		n++
+	}
+	return n
 }
 
 // CanonicalKey renders the request as a canonical string so that any
@@ -233,7 +272,9 @@ func (r Request) coreOptions() core.Options {
 // excludes MaxDuration and TimeBreakdown: wall-clock budgets are
 // nondeterministic, so cache users must only store results whose
 // truncation (if any) came from the deterministic MaxExamined budget —
-// those are byte-identical regardless of either field.
+// those are byte-identical regardless of either field. WarmCategories is
+// excluded too: it is a pure performance hint and never changes the
+// answer.
 func (r Request) CanonicalKey() (key string, ok bool) {
 	if len(r.Filters) > 0 {
 		return "", false

@@ -1,0 +1,50 @@
+package kosr
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+// TestWarmCategoriesHint pins the Request.WarmCategories contract: the
+// hint deduplicates and caps to a bounded row count, never changes the
+// cache key, and never changes the answer.
+func TestWarmCategoriesHint(t *testing.T) {
+	if n := (Request{}).prewarmCatRows(); n != 0 {
+		t.Errorf("no hint: prewarmCatRows = %d, want 0", n)
+	}
+	r := Request{WarmCategories: []Category{2, 1, 2, 0, 1}}
+	if n := r.prewarmCatRows(); n != 3 {
+		t.Errorf("deduped hint: prewarmCatRows = %d, want 3", n)
+	}
+	wide := make([]Category, 100)
+	for i := range wide {
+		wide[i] = Category(i)
+	}
+	if n := (Request{WarmCategories: wide}).prewarmCatRows(); n != maxWarmCategories {
+		t.Errorf("wide hint: prewarmCatRows = %d, want the cap %d", n, maxWarmCategories)
+	}
+
+	g, s, tv, cats := fig1(t)
+	base := Request{Source: s, Target: tv, Categories: cats, K: 3}
+	hinted := base
+	hinted.WarmCategories = cats
+	bk, ok1 := base.CanonicalKey()
+	hk, ok2 := hinted.CanonicalKey()
+	if !ok1 || !ok2 || bk != hk {
+		t.Errorf("WarmCategories changed the cache key: %q vs %q", bk, hk)
+	}
+
+	sys := NewSystem(g)
+	want, err := sys.Do(context.Background(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sys.Do(context.Background(), hinted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want.Routes, got.Routes) {
+		t.Errorf("WarmCategories changed the routes:\n want %v\n got  %v", want.Routes, got.Routes)
+	}
+}
